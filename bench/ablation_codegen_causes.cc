@@ -1,0 +1,106 @@
+// Ablation: isolates each §6 root cause by toggling one codegen option at a
+// time on top of the native profile, measuring its contribution to the
+// Wasm/native gap on a mixed workload sample.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+namespace {
+
+CodegenOptions WithStackChecks(CodegenOptions o, const char* name) {
+  o.profile_name = name;
+  o.stack_check = true;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  printf("== Ablation: per-cause contribution to the Wasm slowdown ==\n\n");
+  // Build the ladder: native -> +linear-scan -> +no-fusion -> +no-rotation ->
+  // +reserved regs/heap reg -> +checks (= chrome profile).
+  std::vector<CodegenOptions> ladder;
+  CodegenOptions base = CodegenOptions::NativeClang();
+  base.extra_opt_passes = 0;
+  base.profile_name = "native";
+  ladder.push_back(base);
+
+  CodegenOptions l1 = base;
+  l1.profile_name = "+linear-scan-regalloc";
+  l1.regalloc = RegAllocKind::kLinearScan;
+  ladder.push_back(l1);
+
+  CodegenOptions l2 = l1;
+  l2.profile_name = "+no-addressing-fusion";
+  l2.fuse_addressing = false;
+  ladder.push_back(l2);
+
+  CodegenOptions l3 = l2;
+  l3.profile_name = "+no-loop-rotation";
+  l3.rotate_loops = false;
+  ladder.push_back(l3);
+
+  CodegenOptions l4 = l3;
+  l4.profile_name = "+reserved-registers";
+  l4.heap_base_in_disp = false;
+  l4.heap_base_reg = Gpr::kRbx;
+  l4.reserved_gprs = {Gpr::kR13};
+  l4.reserved_xmms = {Xmm::kXmm13};
+  ladder.push_back(l4);
+
+  CodegenOptions l5 = l4;
+  l5.profile_name = "+stack+indirect-checks";
+  l5.stack_check = true;
+  l5.indirect_check = true;
+  l5.loop_entry_jump = true;
+  ladder.push_back(l5);
+
+  std::vector<WorkloadSpec> sample;
+  sample.push_back(PolybenchSpec("gemm"));
+  sample.push_back(MatmulSpec(64));
+  sample.push_back(SpecWorkload("458.sjeng"));
+  sample.push_back(SpecWorkload("473.astar"));
+  sample.push_back(SpecWorkload("444.namd"));
+
+  BenchHarness harness;
+  std::vector<std::vector<std::string>> table = {
+      {"configuration", "geomean-vs-native", "instr-ratio", "load-ratio"}};
+  std::vector<double> base_secs;
+  std::vector<double> base_instr;
+  std::vector<double> base_loads;
+  for (const CodegenOptions& opts : ladder) {
+    std::vector<double> secs;
+    std::vector<double> instr;
+    std::vector<double> loads;
+    for (const WorkloadSpec& spec : sample) {
+      RunResult r = harness.RunOnce(spec, opts);
+      if (!r.ok) {
+        fprintf(stderr, "!! %s under %s: %s\n", spec.name.c_str(), opts.profile_name.c_str(),
+                r.error.c_str());
+        continue;
+      }
+      secs.push_back(r.seconds);
+      instr.push_back(static_cast<double>(r.counters.instructions_retired));
+      loads.push_back(static_cast<double>(r.counters.loads_retired));
+    }
+    if (base_secs.empty()) {
+      base_secs = secs;
+      base_instr = instr;
+      base_loads = loads;
+    }
+    std::vector<double> sr;
+    std::vector<double> ir;
+    std::vector<double> lr;
+    for (size_t i = 0; i < secs.size() && i < base_secs.size(); i++) {
+      sr.push_back(secs[i] / base_secs[i]);
+      ir.push_back(instr[i] / base_instr[i]);
+      lr.push_back(loads[i] / base_loads[i]);
+    }
+    table.push_back({opts.profile_name, StrFormat("%.2fx", GeoMean(sr)),
+                     StrFormat("%.2fx", GeoMean(ir)), StrFormat("%.2fx", GeoMean(lr))});
+  }
+  printf("%s\n", RenderTable(table).c_str());
+  printf("Each row adds one cause from §6 on top of the previous row; the last row\n");
+  printf("is the full Chrome-like configuration.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Ablation for the §2 BrowserFS fix: append-heavy workload (464.h264ref's
+// bitstream) under the exact-growth vs chunked-growth filesystem policies.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+int main() {
+  printf("== Ablation: BrowserFS growth policy (the 464.h264ref fix, §2) ==\n\n");
+  std::vector<std::vector<std::string>> table = {
+      {"policy", "bytes copied by fs", "syscalls", "kernel cycles"}};
+  for (GrowthPolicy policy : {GrowthPolicy::kExact, GrowthPolicy::kChunked}) {
+    BrowsixKernel kernel(policy);
+    // Many small appends, as specinvoke-driven benchmarks produce.
+    MemFs& fs = kernel.fs();
+    int32_t inode = fs.CreateFile("/stream.bin");
+    std::vector<uint8_t> chunk(128, 0xab);
+    uint64_t offset = 0;
+    for (int i = 0; i < 20000; i++) {
+      fs.WriteAt(inode, offset, chunk.data(), chunk.size());
+      offset += chunk.size();
+    }
+    table.push_back({policy == GrowthPolicy::kExact ? "exact (pre-fix BrowserFS)"
+                                                    : "chunked >=4KB (fixed)",
+                     StrFormat("%llu", (unsigned long long)fs.total_copy_bytes()),
+                     StrFormat("%llu", (unsigned long long)kernel.total_syscalls()),
+                     StrFormat("%llu", (unsigned long long)kernel.TransportCycles(
+                                           fs.total_copy_bytes()))});
+  }
+  printf("%s\n", RenderTable(table).c_str());
+  printf("Paper (§2): the exact policy made 464.h264ref spend 25s in Browsix; the\n");
+  printf(">=4KB growth fix cut that to under 1.5s.\n");
+  return 0;
+}

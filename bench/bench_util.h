@@ -1,0 +1,83 @@
+// Shared plumbing for the per-table/figure bench binaries.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/harness/harness.h"
+#include "src/polybench/polybench.h"
+#include "src/spec/spec.h"
+#include "src/support/str.h"
+
+namespace nsf {
+
+struct SuiteRow {
+  std::string name;
+  std::map<std::string, RunResult> by_profile;  // profile_name -> result
+};
+
+// Runs every workload in `specs` under each profile; validates JIT profiles
+// against the native reference.
+inline std::vector<SuiteRow> RunSuite(const std::vector<WorkloadSpec>& specs,
+                                      const std::vector<CodegenOptions>& profiles,
+                                      bool verbose = true) {
+  BenchHarness harness;
+  std::vector<SuiteRow> rows;
+  for (const WorkloadSpec& spec : specs) {
+    SuiteRow row;
+    row.name = spec.name;
+    for (const CodegenOptions& opts : profiles) {
+      RunResult r = harness.RunValidated(spec, opts);
+      if (!r.ok) {
+        fprintf(stderr, "!! %s under %s: %s\n", spec.name.c_str(), opts.profile_name.c_str(),
+                r.error.c_str());
+      } else if (!r.validated) {
+        fprintf(stderr, "!! %s under %s: output mismatch\n", spec.name.c_str(),
+                opts.profile_name.c_str());
+      }
+      row.by_profile[opts.profile_name] = std::move(r);
+    }
+    if (verbose) {
+      fprintf(stderr, "  ran %s\n", spec.name.c_str());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+inline std::vector<WorkloadSpec> AllPolybench(int scale = 1) {
+  std::vector<WorkloadSpec> out;
+  for (const std::string& name : PolybenchKernelNames()) {
+    out.push_back(PolybenchSpec(name, scale));
+  }
+  return out;
+}
+
+inline std::vector<WorkloadSpec> AllSpec(int scale = 1) {
+  std::vector<WorkloadSpec> out;
+  for (const std::string& name : SpecWorkloadNames()) {
+    out.push_back(SpecWorkload(name, scale));
+  }
+  return out;
+}
+
+inline double Ratio(const SuiteRow& row, const std::string& profile, const std::string& base,
+                    double (*metric)(const RunResult&)) {
+  auto it = row.by_profile.find(profile);
+  auto ib = row.by_profile.find(base);
+  if (it == row.by_profile.end() || ib == row.by_profile.end() || !it->second.ok ||
+      !ib->second.ok) {
+    return 0;
+  }
+  double denom = metric(ib->second);
+  return denom > 0 ? metric(it->second) / denom : 0;
+}
+
+inline double SecondsMetric(const RunResult& r) { return r.seconds; }
+
+}  // namespace nsf
+
+#endif  // BENCH_BENCH_UTIL_H_

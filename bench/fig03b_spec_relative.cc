@@ -1,0 +1,31 @@
+// Figure 3b: SPEC CPU execution time relative to native, Chrome & Firefox.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+int main() {
+  printf("== Figure 3b: SPEC relative execution time (native = 1.0) ==\n\n");
+  auto rows = RunSuite(AllSpec(),
+                       {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8(),
+                        CodegenOptions::FirefoxSM()});
+  std::vector<std::vector<std::string>> table = {{"benchmark", "chrome", "firefox"}};
+  std::vector<double> chrome_ratios;
+  std::vector<double> firefox_ratios;
+  for (const SuiteRow& row : rows) {
+    double cr = Ratio(row, "chrome-v8", "native-clang", SecondsMetric);
+    double fr = Ratio(row, "firefox-spidermonkey", "native-clang", SecondsMetric);
+    if (cr > 0) {
+      chrome_ratios.push_back(cr);
+    }
+    if (fr > 0) {
+      firefox_ratios.push_back(fr);
+    }
+    table.push_back({row.name, StrFormat("%.2fx", cr), StrFormat("%.2fx", fr)});
+  }
+  table.push_back({"geomean", StrFormat("%.2fx", GeoMean(chrome_ratios)),
+                   StrFormat("%.2fx", GeoMean(firefox_ratios))});
+  printf("%s\n", RenderTable(table).c_str());
+  printf("Paper (Fig 3b): geomean 1.55x (Chrome), 1.45x (Firefox); peaks 2.5x / 2.08x;\n");
+  printf("SPEC overheads exceed PolyBenchC overheads.\n");
+  return 0;
+}

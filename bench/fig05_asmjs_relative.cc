@@ -1,0 +1,27 @@
+// Figures 5 and 6 companion: asm.js time relative to WebAssembly per browser.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+int main() {
+  printf("== Figure 5: asm.js execution time relative to WebAssembly ==\n\n");
+  auto rows = RunSuite(AllSpec(),
+                       {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8(),
+                        CodegenOptions::FirefoxSM(), CodegenOptions::ChromeAsmJs(),
+                        CodegenOptions::FirefoxAsmJs()});
+  std::vector<std::vector<std::string>> table = {{"benchmark", "chrome", "firefox"}};
+  std::vector<double> chrome_speedups;
+  std::vector<double> firefox_speedups;
+  for (const SuiteRow& row : rows) {
+    double cs = Ratio(row, "chrome-asmjs", "chrome-v8", SecondsMetric);
+    double fs = Ratio(row, "firefox-asmjs", "firefox-spidermonkey", SecondsMetric);
+    chrome_speedups.push_back(cs);
+    firefox_speedups.push_back(fs);
+    table.push_back({row.name, StrFormat("%.2fx", cs), StrFormat("%.2fx", fs)});
+  }
+  table.push_back({"geomean", StrFormat("%.2fx", GeoMean(chrome_speedups)),
+                   StrFormat("%.2fx", GeoMean(firefox_speedups))});
+  printf("%s\n", RenderTable(table).c_str());
+  printf("Paper (Fig 5): Wasm beats asm.js — 1.54x (Chrome), 1.39x (Firefox).\n");
+  return 0;
+}

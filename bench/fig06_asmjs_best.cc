@@ -1,0 +1,29 @@
+// Figure 6: best-browser asm.js time relative to best-browser WebAssembly.
+#include "bench/bench_util.h"
+
+#include <algorithm>
+
+using namespace nsf;
+
+int main() {
+  printf("== Figure 6: best asm.js vs best WebAssembly ==\n\n");
+  auto rows = RunSuite(AllSpec(),
+                       {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8(),
+                        CodegenOptions::FirefoxSM(), CodegenOptions::ChromeAsmJs(),
+                        CodegenOptions::FirefoxAsmJs()});
+  std::vector<std::vector<std::string>> table = {{"benchmark", "best-asmjs / best-wasm"}};
+  std::vector<double> ratios;
+  for (const SuiteRow& row : rows) {
+    double wasm_best = std::min(row.by_profile.at("chrome-v8").seconds,
+                                row.by_profile.at("firefox-spidermonkey").seconds);
+    double asm_best = std::min(row.by_profile.at("chrome-asmjs").seconds,
+                               row.by_profile.at("firefox-asmjs").seconds);
+    double ratio = wasm_best > 0 ? asm_best / wasm_best : 0;
+    ratios.push_back(ratio);
+    table.push_back({row.name, StrFormat("%.2fx", ratio)});
+  }
+  table.push_back({"geomean", StrFormat("%.2fx", GeoMean(ratios))});
+  printf("%s\n", RenderTable(table).c_str());
+  printf("Paper (Fig 6): best-asm.js is 1.3x slower than best-Wasm on average.\n");
+  return 0;
+}

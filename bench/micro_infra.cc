@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks for the infrastructure itself: decoder,
+// validator, interpreter, compiler backends, and the simulated machine.
+#include <benchmark/benchmark.h>
+
+#include "src/builder/builder.h"
+#include "src/codegen/codegen.h"
+#include "src/interp/interp.h"
+#include "src/machine/machine.h"
+#include "src/polybench/polybench.h"
+#include "src/wasm/decoder.h"
+#include "src/wasm/encoder.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+namespace {
+
+Module BuildGemmModule() { return PolybenchSpec("gemm").build(); }
+
+void BM_EncodeModule(benchmark::State& state) {
+  Module m = BuildGemmModule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeModule(m));
+  }
+}
+BENCHMARK(BM_EncodeModule);
+
+void BM_DecodeModule(benchmark::State& state) {
+  std::vector<uint8_t> bytes = EncodeModule(BuildGemmModule());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeModule(bytes));
+  }
+}
+BENCHMARK(BM_DecodeModule);
+
+void BM_ValidateModule(benchmark::State& state) {
+  Module m = BuildGemmModule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValidateModule(m));
+  }
+}
+BENCHMARK(BM_ValidateModule);
+
+void BM_CompileNative(benchmark::State& state) {
+  Module m = BuildGemmModule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileModule(m, CodegenOptions::NativeClang()));
+  }
+}
+BENCHMARK(BM_CompileNative);
+
+void BM_CompileChrome(benchmark::State& state) {
+  Module m = BuildGemmModule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileModule(m, CodegenOptions::ChromeV8()));
+  }
+}
+BENCHMARK(BM_CompileChrome);
+
+void BM_MachineExec(benchmark::State& state) {
+  // Tight arithmetic loop; reports simulated instructions per second.
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("spin", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 0, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).I32Mul().LocalGet(i).I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  Module m = mb.Build();
+  CompileResult cr = CompileModule(m, CodegenOptions::NativeClang());
+  uint64_t executed = 0;
+  SimMachine machine(&cr.program);
+  for (auto _ : state) {
+    uint64_t before = machine.counters().instructions_retired;
+    uint64_t top = kStackBase + kStackSize;
+    machine.WriteStack(top - 8, 100000);
+    benchmark::DoNotOptimize(machine.RunAt(0, top - 8));
+    executed += machine.counters().instructions_retired - before;
+  }
+  state.counters["sim_instr_per_s"] =
+      benchmark::Counter(static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineExec);
+
+void BM_InterpExec(benchmark::State& state) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("spin", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 0, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).I32Mul().LocalGet(i).I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  Module m = mb.Build();
+  std::string err;
+  auto inst = Instance::Create(m, nullptr, &err);
+  uint64_t executed = 0;
+  for (auto _ : state) {
+    uint64_t before = inst->instructions_retired();
+    benchmark::DoNotOptimize(inst->CallExport("spin", {TypedValue::I32(100000)}));
+    executed += inst->instructions_retired() - before;
+  }
+  state.counters["interp_instr_per_s"] =
+      benchmark::Counter(static_cast<double>(executed), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpExec);
+
+}  // namespace
+}  // namespace nsf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 4: geomean performance-counter increases for SPEC under Wasm.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+int main() {
+  printf("== Table 4: geomean counter increases (Wasm / native) ==\n\n");
+  auto rows = RunSuite(AllSpec(),
+                       {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8(),
+                        CodegenOptions::FirefoxSM()});
+  struct Row {
+    const char* label;
+    const char* paper_chrome;
+    const char* paper_firefox;
+    uint64_t (*get)(const PerfCounters&);
+  };
+  const Row kRows[] = {
+      {"all-loads-retired", "2.02x", "1.92x",
+       [](const PerfCounters& c) { return c.loads_retired; }},
+      {"all-stores-retired", "2.30x", "2.16x",
+       [](const PerfCounters& c) { return c.stores_retired; }},
+      {"branch-instructions-retired", "1.75x", "1.65x",
+       [](const PerfCounters& c) { return c.branches_retired; }},
+      {"conditional-branches", "1.65x", "1.62x",
+       [](const PerfCounters& c) { return c.cond_branches_retired; }},
+      {"instructions-retired", "1.80x", "1.75x",
+       [](const PerfCounters& c) { return c.instructions_retired; }},
+      {"cpu-cycles", "1.54x", "1.38x", [](const PerfCounters& c) { return c.cycles(); }},
+      {"L1-icache-load-misses", "2.83x", "2.04x",
+       [](const PerfCounters& c) { return c.l1i_misses < 1 ? 1 : c.l1i_misses; }},
+  };
+  std::vector<std::vector<std::string>> table = {
+      {"counter", "chrome", "firefox", "paper-chrome", "paper-firefox"}};
+  for (const Row& r : kRows) {
+    std::vector<double> cs;
+    std::vector<double> fs;
+    for (const SuiteRow& row : rows) {
+      const RunResult& nat = row.by_profile.at("native-clang");
+      const RunResult& ch = row.by_profile.at("chrome-v8");
+      const RunResult& fx = row.by_profile.at("firefox-spidermonkey");
+      if (!nat.ok || !ch.ok || !fx.ok) {
+        continue;
+      }
+      double base = static_cast<double>(r.get(nat.counters));
+      if (base <= 0) {
+        continue;
+      }
+      cs.push_back(r.get(ch.counters) / base);
+      fs.push_back(r.get(fx.counters) / base);
+    }
+    table.push_back({r.label, StrFormat("%.2fx", GeoMean(cs)), StrFormat("%.2fx", GeoMean(fs)),
+                     r.paper_chrome, r.paper_firefox});
+  }
+  printf("%s\n", RenderTable(table).c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a Wasm module with the builder DSL, validate it, run it
+// in the reference interpreter, compile it with two toolchain profiles, and
+// compare performance counters — the library's core loop in ~80 lines.
+#include <cstdio>
+
+#include "src/builder/builder.h"
+#include "src/codegen/codegen.h"
+#include "src/interp/interp.h"
+#include "src/machine/machine.h"
+#include "src/wasm/validator.h"
+#include "src/wasm/wat.h"
+
+using namespace nsf;
+
+int main() {
+  // 1. Build a module: sum of squares 1..n.
+  ModuleBuilder mb("quickstart");
+  auto& f = mb.AddFunction("sum_squares", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 1, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).LocalGet(i).I32Mul().I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  Module module = mb.Build();
+
+  // 2. Validate and print it.
+  ValidationResult v = ValidateModule(module);
+  if (!v.ok) {
+    fprintf(stderr, "validation failed: %s\n", v.error.c_str());
+    return 1;
+  }
+  printf("--- WAT ---\n%s\n", ModuleToWat(module).c_str());
+
+  // 3. Run in the reference interpreter.
+  std::string error;
+  auto instance = Instance::Create(module, nullptr, &error);
+  ExecResult r = instance->CallExport("sum_squares", {TypedValue::I32(101)});
+  printf("interpreter: sum_squares(1..100) = %u\n", r.values[0].value.i32);
+
+  // 4. Compile under the native and Chrome profiles and execute on the
+  //    simulated machine.
+  for (const CodegenOptions& opts :
+       {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8()}) {
+    CompileResult compiled = CompileModule(module, opts);
+    SimMachine machine(&compiled.program);
+    uint64_t top = kStackBase + kStackSize;
+    machine.WriteStack(top - 8, 101);  // stack-args ABI
+    MachineResult mr = machine.RunAt(module.FindExport("sum_squares", ExternalKind::kFunc)->index,
+                                     top - 8);
+    const PerfCounters& c = machine.counters();
+    printf("%-22s result=%llu  instrs=%llu  cycles=%llu  loads=%llu  branches=%llu\n",
+           opts.profile_name.c_str(), (unsigned long long)(mr.ret_i & 0xffffffff),
+           (unsigned long long)c.instructions_retired, (unsigned long long)c.cycles(),
+           (unsigned long long)c.loads_retired, (unsigned long long)c.branches_retired);
+  }
+  printf("\nThe Chrome profile retires more instructions and branches for the same\n");
+  printf("program — the paper's effect, reproduced at quickstart scale.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Binary-format round trip: encode a module to Wasm bytes, hex-dump the
+// header, decode it back, validate, and print the WAT — the wabt-style
+// tooling loop on our own pipeline.
+#include <cstdio>
+
+#include "src/polybench/polybench.h"
+#include "src/wasm/decoder.h"
+#include "src/wasm/encoder.h"
+#include "src/wasm/validator.h"
+#include "src/wasm/wat.h"
+
+using namespace nsf;
+
+int main() {
+  Module module = PolybenchSpec("gemm").build();
+  std::vector<uint8_t> bytes = EncodeModule(module);
+  printf("encoded gemm module: %zu bytes\n", bytes.size());
+  printf("header: ");
+  for (size_t i = 0; i < 16 && i < bytes.size(); i++) {
+    printf("%02x ", bytes[i]);
+  }
+  printf("\n\n");
+
+  DecodeResult decoded = DecodeModule(bytes);
+  if (!decoded.ok) {
+    fprintf(stderr, "decode failed: %s\n", decoded.error.c_str());
+    return 1;
+  }
+  ValidationResult v = ValidateModule(decoded.module);
+  printf("decoded: %zu types, %zu imports, %zu functions, %zu data segments\n",
+         decoded.module.types.size(), decoded.module.imports.size(),
+         decoded.module.functions.size(), decoded.module.data.size());
+  printf("validates: %s\n\n", v.ok ? "yes" : v.error.c_str());
+
+  // Round-trip stability.
+  std::vector<uint8_t> bytes2 = EncodeModule(decoded.module);
+  printf("re-encode is byte-identical: %s\n\n", bytes == bytes2 ? "yes" : "NO");
+
+  // Print the first function in WAT form (truncated).
+  std::string wat = ModuleToWat(decoded.module);
+  if (wat.size() > 4000) {
+    wat.resize(4000);
+    wat += "\n  ... (truncated)\n";
+  }
+  printf("%s\n", wat.c_str());
+  return 0;
+}

@@ -1,0 +1,362 @@
+#include "src/builder/builder.h"
+
+namespace nsf {
+
+namespace {
+
+// Natural alignment (log2) for a memory-access opcode, used as the default.
+uint32_t NaturalAlignLog2(Opcode op) {
+  switch (op) {
+    case Opcode::kI32Load8S:
+    case Opcode::kI32Load8U:
+    case Opcode::kI64Load8S:
+    case Opcode::kI64Load8U:
+    case Opcode::kI32Store8:
+    case Opcode::kI64Store8:
+      return 0;
+    case Opcode::kI32Load16S:
+    case Opcode::kI32Load16U:
+    case Opcode::kI64Load16S:
+    case Opcode::kI64Load16U:
+    case Opcode::kI32Store16:
+    case Opcode::kI64Store16:
+      return 1;
+    case Opcode::kI32Load:
+    case Opcode::kF32Load:
+    case Opcode::kI64Load32S:
+    case Opcode::kI64Load32U:
+    case Opcode::kI32Store:
+    case Opcode::kF32Store:
+    case Opcode::kI64Store32:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+}  // namespace
+
+Function& FunctionBuilder::func() { return module_->module_.functions[defined_index_]; }
+
+uint32_t FunctionBuilder::AddLocal(ValType t) {
+  Function& f = func();
+  uint32_t nparams =
+      static_cast<uint32_t>(module_->module_.types[f.type_index].params.size());
+  f.locals.push_back(t);
+  return nparams + static_cast<uint32_t>(f.locals.size()) - 1;
+}
+
+FunctionBuilder& FunctionBuilder::Emit(Instr instr) {
+  func().body.push_back(std::move(instr));
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::Op(Opcode op) { return Emit(Instr::Simple(op)); }
+
+FunctionBuilder& FunctionBuilder::I32Const(int32_t v) { return Emit(Instr::ConstI32(v)); }
+FunctionBuilder& FunctionBuilder::I64Const(int64_t v) { return Emit(Instr::ConstI64(v)); }
+FunctionBuilder& FunctionBuilder::F32Const(float v) { return Emit(Instr::ConstF32(v)); }
+FunctionBuilder& FunctionBuilder::F64Const(double v) { return Emit(Instr::ConstF64(v)); }
+
+FunctionBuilder& FunctionBuilder::LocalGet(uint32_t idx) {
+  return Emit(Instr::Idx(Opcode::kLocalGet, idx));
+}
+FunctionBuilder& FunctionBuilder::LocalSet(uint32_t idx) {
+  return Emit(Instr::Idx(Opcode::kLocalSet, idx));
+}
+FunctionBuilder& FunctionBuilder::LocalTee(uint32_t idx) {
+  return Emit(Instr::Idx(Opcode::kLocalTee, idx));
+}
+FunctionBuilder& FunctionBuilder::GlobalGet(uint32_t idx) {
+  return Emit(Instr::Idx(Opcode::kGlobalGet, idx));
+}
+FunctionBuilder& FunctionBuilder::GlobalSet(uint32_t idx) {
+  return Emit(Instr::Idx(Opcode::kGlobalSet, idx));
+}
+
+FunctionBuilder& FunctionBuilder::Load(Opcode op, uint32_t offset) {
+  return Emit(Instr::Mem(op, NaturalAlignLog2(op), offset));
+}
+FunctionBuilder& FunctionBuilder::Store(Opcode op, uint32_t offset) {
+  return Emit(Instr::Mem(op, NaturalAlignLog2(op), offset));
+}
+
+FunctionBuilder& FunctionBuilder::Block(std::function<void()> body) {
+  Instr i;
+  i.op = Opcode::kBlock;
+  Emit(i);
+  body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::Block(ValType result, std::function<void()> body) {
+  Instr i;
+  i.op = Opcode::kBlock;
+  // ValType codes (0x7c..0x7f) appear in s33 block types as their
+  // single-byte sign-extended values: code - 0x80 (e.g. i32 0x7f -> -1).
+  i.block_type = static_cast<int64_t>(static_cast<uint8_t>(result)) - 0x80;
+  Emit(i);
+  body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::LoopBlock(std::function<void()> body) {
+  Instr i;
+  i.op = Opcode::kLoop;
+  Emit(i);
+  body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::If(std::function<void()> then_body) {
+  Instr i;
+  i.op = Opcode::kIf;
+  Emit(i);
+  then_body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::IfElse(std::function<void()> then_body,
+                                         std::function<void()> else_body) {
+  Instr i;
+  i.op = Opcode::kIf;
+  Emit(i);
+  then_body();
+  Op(Opcode::kElse);
+  else_body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::IfElse(ValType result, std::function<void()> then_body,
+                                         std::function<void()> else_body) {
+  Instr i;
+  i.op = Opcode::kIf;
+  i.block_type = static_cast<int64_t>(static_cast<uint8_t>(result)) - 0x80;
+  Emit(i);
+  then_body();
+  Op(Opcode::kElse);
+  else_body();
+  return Op(Opcode::kEnd);
+}
+
+FunctionBuilder& FunctionBuilder::Br(uint32_t depth) {
+  return Emit(Instr::Idx(Opcode::kBr, depth));
+}
+FunctionBuilder& FunctionBuilder::BrIf(uint32_t depth) {
+  return Emit(Instr::Idx(Opcode::kBrIf, depth));
+}
+FunctionBuilder& FunctionBuilder::Return() { return Op(Opcode::kReturn); }
+FunctionBuilder& FunctionBuilder::Call(uint32_t func_index) {
+  return Emit(Instr::Idx(Opcode::kCall, func_index));
+}
+FunctionBuilder& FunctionBuilder::CallIndirect(uint32_t type_index) {
+  return Emit(Instr::Idx(Opcode::kCallIndirect, type_index));
+}
+FunctionBuilder& FunctionBuilder::Unreachable() { return Op(Opcode::kUnreachable); }
+FunctionBuilder& FunctionBuilder::Drop() { return Op(Opcode::kDrop); }
+FunctionBuilder& FunctionBuilder::Select() { return Op(Opcode::kSelect); }
+
+FunctionBuilder& FunctionBuilder::ForI32(uint32_t i, int32_t begin, int32_t end, int32_t step,
+                                         std::function<void()> body) {
+  I32Const(begin);
+  LocalSet(i);
+  Block([&] {
+    LoopBlock([&] {
+      // Exit when i >= end (for positive step) / i <= end (negative step).
+      LocalGet(i);
+      I32Const(end);
+      if (step > 0) {
+        Op(Opcode::kI32GeS);
+      } else {
+        Op(Opcode::kI32LeS);
+      }
+      BrIf(1);
+      body();
+      LocalGet(i);
+      I32Const(step);
+      I32Add();
+      LocalSet(i);
+      Br(0);
+    });
+  });
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::ForI32Dyn(uint32_t i, int32_t begin, uint32_t end_local,
+                                            int32_t step, std::function<void()> body) {
+  I32Const(begin);
+  LocalSet(i);
+  Block([&] {
+    LoopBlock([&] {
+      LocalGet(i);
+      LocalGet(end_local);
+      if (step > 0) {
+        Op(Opcode::kI32GeS);
+      } else {
+        Op(Opcode::kI32LeS);
+      }
+      BrIf(1);
+      body();
+      LocalGet(i);
+      I32Const(step);
+      I32Add();
+      LocalSet(i);
+      Br(0);
+    });
+  });
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::While(std::function<void()> cond, std::function<void()> body) {
+  Block([&] {
+    LoopBlock([&] {
+      cond();
+      Op(Opcode::kI32Eqz);
+      BrIf(1);
+      body();
+      Br(0);
+    });
+  });
+  return *this;
+}
+
+FunctionBuilder& FunctionBuilder::AddrBaseIndex(uint32_t base_local, uint32_t index_local,
+                                                uint32_t elem_size) {
+  LocalGet(base_local);
+  LocalGet(index_local);
+  if (elem_size == 1) {
+    I32Add();
+    return *this;
+  }
+  // Power of two -> shift; otherwise multiply.
+  if ((elem_size & (elem_size - 1)) == 0) {
+    uint32_t shift = 0;
+    while ((1u << shift) != elem_size) {
+      shift++;
+    }
+    I32Const(static_cast<int32_t>(shift));
+    I32Shl();
+  } else {
+    I32Const(static_cast<int32_t>(elem_size));
+    I32Mul();
+  }
+  I32Add();
+  return *this;
+}
+
+void FunctionBuilder::End() {
+  if (!ended_) {
+    Op(Opcode::kEnd);
+    ended_ = true;
+  }
+}
+
+ModuleBuilder::ModuleBuilder(std::string name) { module_.name = std::move(name); }
+
+uint32_t ModuleBuilder::AddType(const FuncType& type) {
+  for (size_t i = 0; i < module_.types.size(); i++) {
+    if (module_.types[i] == type) {
+      return static_cast<uint32_t>(i);
+    }
+  }
+  module_.types.push_back(type);
+  return static_cast<uint32_t>(module_.types.size()) - 1;
+}
+
+uint32_t ModuleBuilder::AddFuncImport(const std::string& module, const std::string& name,
+                                      const std::vector<ValType>& params,
+                                      const std::vector<ValType>& results) {
+  Import imp;
+  imp.module = module;
+  imp.name = name;
+  imp.kind = ExternalKind::kFunc;
+  imp.type_index = AddType(FuncType{params, results});
+  module_.imports.push_back(std::move(imp));
+  return module_.NumImportedFuncs() - 1;
+}
+
+FunctionBuilder& ModuleBuilder::AddFunction(const std::string& export_name,
+                                            const std::vector<ValType>& params,
+                                            const std::vector<ValType>& results) {
+  FunctionBuilder& fb = AddInternalFunction(export_name, params, results);
+  Export e;
+  e.name = export_name;
+  e.kind = ExternalKind::kFunc;
+  e.index = fb.index();
+  module_.exports.push_back(std::move(e));
+  return fb;
+}
+
+FunctionBuilder& ModuleBuilder::AddInternalFunction(const std::string& debug_name,
+                                                    const std::vector<ValType>& params,
+                                                    const std::vector<ValType>& results) {
+  Function f;
+  f.type_index = AddType(FuncType{params, results});
+  f.debug_name = debug_name;
+  module_.functions.push_back(std::move(f));
+  uint32_t defined_index = static_cast<uint32_t>(module_.functions.size()) - 1;
+  uint32_t func_index = module_.NumImportedFuncs() + defined_index;
+  builders_.emplace_back(this, func_index, defined_index);
+  return builders_.back();
+}
+
+void ModuleBuilder::AddMemory(uint32_t min_pages, uint32_t max_pages) {
+  MemorySec m;
+  m.limits.min = min_pages;
+  m.limits.max = max_pages;
+  module_.memories.push_back(m);
+}
+
+uint32_t ModuleBuilder::AddGlobal(ValType type, bool mut, Instr init) {
+  Global g;
+  g.type.type = type;
+  g.type.mut = mut;
+  g.init = std::move(init);
+  module_.globals.push_back(std::move(g));
+  return module_.NumTotalGlobals() - 1;
+}
+
+void ModuleBuilder::AddData(uint32_t offset, const std::vector<uint8_t>& bytes) {
+  DataSegment d;
+  d.offset = Instr::ConstI32(static_cast<int32_t>(offset));
+  d.bytes = bytes;
+  module_.data.push_back(std::move(d));
+}
+
+void ModuleBuilder::AddData(uint32_t offset, const std::string& bytes) {
+  AddData(offset, std::vector<uint8_t>(bytes.begin(), bytes.end()));
+}
+
+void ModuleBuilder::AddTable(uint32_t size) {
+  Table t;
+  t.limits.min = size;
+  t.limits.max = size;
+  module_.tables.push_back(t);
+}
+
+void ModuleBuilder::AddElements(uint32_t offset, const std::vector<uint32_t>& func_indices) {
+  ElementSegment seg;
+  seg.offset = Instr::ConstI32(static_cast<int32_t>(offset));
+  seg.func_indices = func_indices;
+  module_.elements.push_back(std::move(seg));
+}
+
+void ModuleBuilder::SetStart(uint32_t func_index) { module_.start = func_index; }
+
+void ModuleBuilder::ExportMemory(const std::string& name) {
+  Export e;
+  e.name = name;
+  e.kind = ExternalKind::kMemory;
+  e.index = 0;
+  module_.exports.push_back(std::move(e));
+}
+
+Module ModuleBuilder::Build() {
+  for (FunctionBuilder& fb : builders_) {
+    fb.End();
+  }
+  built_ = true;
+  return std::move(module_);
+}
+
+}  // namespace nsf

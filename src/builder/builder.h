@@ -1,0 +1,207 @@
+// Fluent construction of Wasm modules. This is the "frontend" all workloads
+// in this repository are written against: PolyBench kernels, the SPEC-like
+// suite, and tests build modules with ModuleBuilder/FunctionBuilder instead of
+// hand-assembling instruction vectors.
+//
+// The builder emits plain MVP instruction sequences (the same Instr structs
+// the decoder produces), so everything downstream — validator, interpreter,
+// encoder, codegen — treats built and decoded modules identically.
+#ifndef SRC_BUILDER_BUILDER_H_
+#define SRC_BUILDER_BUILDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+class ModuleBuilder;
+
+// Builds one function body. Methods append instructions; structured-control
+// helpers (Block/Loop/If) take lambdas so nesting mirrors source structure.
+class FunctionBuilder {
+ public:
+  FunctionBuilder(ModuleBuilder* module, uint32_t func_index, uint32_t defined_index)
+      : module_(module), func_index_(func_index), defined_index_(defined_index) {}
+
+  // Index in the joint (imports-first) function index space — what Call takes.
+  uint32_t index() const { return func_index_; }
+
+  // --- Locals ---
+  // Declares a new local of type `t`, returning its index (params precede
+  // declared locals automatically).
+  uint32_t AddLocal(ValType t);
+
+  // --- Raw emission ---
+  FunctionBuilder& Emit(Instr instr);
+  FunctionBuilder& Op(Opcode op);
+
+  // --- Constants ---
+  FunctionBuilder& I32Const(int32_t v);
+  FunctionBuilder& I64Const(int64_t v);
+  FunctionBuilder& F32Const(float v);
+  FunctionBuilder& F64Const(double v);
+
+  // --- Locals/globals ---
+  FunctionBuilder& LocalGet(uint32_t idx);
+  FunctionBuilder& LocalSet(uint32_t idx);
+  FunctionBuilder& LocalTee(uint32_t idx);
+  FunctionBuilder& GlobalGet(uint32_t idx);
+  FunctionBuilder& GlobalSet(uint32_t idx);
+
+  // --- Memory (offset in bytes; natural alignment) ---
+  FunctionBuilder& Load(Opcode op, uint32_t offset = 0);
+  FunctionBuilder& Store(Opcode op, uint32_t offset = 0);
+  FunctionBuilder& I32Load(uint32_t offset = 0) { return Load(Opcode::kI32Load, offset); }
+  FunctionBuilder& I32Store(uint32_t offset = 0) { return Store(Opcode::kI32Store, offset); }
+  FunctionBuilder& F64Load(uint32_t offset = 0) { return Load(Opcode::kF64Load, offset); }
+  FunctionBuilder& F64Store(uint32_t offset = 0) { return Store(Opcode::kF64Store, offset); }
+  FunctionBuilder& I32Load8U(uint32_t offset = 0) { return Load(Opcode::kI32Load8U, offset); }
+  FunctionBuilder& I32Store8(uint32_t offset = 0) { return Store(Opcode::kI32Store8, offset); }
+
+  // --- Control flow ---
+  FunctionBuilder& Block(std::function<void()> body);
+  FunctionBuilder& Block(ValType result, std::function<void()> body);
+  FunctionBuilder& LoopBlock(std::function<void()> body);
+  FunctionBuilder& If(std::function<void()> then_body);
+  FunctionBuilder& IfElse(std::function<void()> then_body, std::function<void()> else_body);
+  FunctionBuilder& IfElse(ValType result, std::function<void()> then_body,
+                          std::function<void()> else_body);
+  FunctionBuilder& Br(uint32_t depth);
+  FunctionBuilder& BrIf(uint32_t depth);
+  FunctionBuilder& Return();
+  FunctionBuilder& Call(uint32_t func_index);
+  FunctionBuilder& CallIndirect(uint32_t type_index);
+  FunctionBuilder& Unreachable();
+  FunctionBuilder& Drop();
+  FunctionBuilder& Select();
+
+  // --- High-level loop helpers ---
+  // Emits: for (local i = begin; i < end (signed); i += step) { body(); }
+  // `i` must be an i32 local. The loop body may use Continue()/BreakLoop()
+  // via the depths documented below (body runs at block-depth +2: the
+  // enclosing block is depth 1, the loop header depth 0).
+  FunctionBuilder& ForI32(uint32_t i, int32_t begin, int32_t end, int32_t step,
+                          std::function<void()> body);
+  // Same with dynamic end: end_local is read each iteration.
+  FunctionBuilder& ForI32Dyn(uint32_t i, int32_t begin, uint32_t end_local, int32_t step,
+                             std::function<void()> body);
+
+  // Simple while: loops while cond() leaves non-zero i32 on the stack.
+  FunctionBuilder& While(std::function<void()> cond, std::function<void()> body);
+
+  // --- Arithmetic shorthands (i32) ---
+  FunctionBuilder& I32Add() { return Op(Opcode::kI32Add); }
+  FunctionBuilder& I32Sub() { return Op(Opcode::kI32Sub); }
+  FunctionBuilder& I32Mul() { return Op(Opcode::kI32Mul); }
+  FunctionBuilder& I32And() { return Op(Opcode::kI32And); }
+  FunctionBuilder& I32Or() { return Op(Opcode::kI32Or); }
+  FunctionBuilder& I32Xor() { return Op(Opcode::kI32Xor); }
+  FunctionBuilder& I32Shl() { return Op(Opcode::kI32Shl); }
+  FunctionBuilder& I32ShrU() { return Op(Opcode::kI32ShrU); }
+  FunctionBuilder& I32ShrS() { return Op(Opcode::kI32ShrS); }
+  FunctionBuilder& I32Eq() { return Op(Opcode::kI32Eq); }
+  FunctionBuilder& I32Ne() { return Op(Opcode::kI32Ne); }
+  FunctionBuilder& I32LtS() { return Op(Opcode::kI32LtS); }
+  FunctionBuilder& I32LtU() { return Op(Opcode::kI32LtU); }
+  FunctionBuilder& I32GtS() { return Op(Opcode::kI32GtS); }
+  FunctionBuilder& I32GeS() { return Op(Opcode::kI32GeS); }
+  FunctionBuilder& I32LeS() { return Op(Opcode::kI32LeS); }
+  FunctionBuilder& I32Eqz() { return Op(Opcode::kI32Eqz); }
+  FunctionBuilder& I32DivS() { return Op(Opcode::kI32DivS); }
+  FunctionBuilder& I32DivU() { return Op(Opcode::kI32DivU); }
+  FunctionBuilder& I32RemU() { return Op(Opcode::kI32RemU); }
+  FunctionBuilder& I32RemS() { return Op(Opcode::kI32RemS); }
+
+  // --- Arithmetic shorthands (f64) ---
+  FunctionBuilder& F64Add() { return Op(Opcode::kF64Add); }
+  FunctionBuilder& F64Sub() { return Op(Opcode::kF64Sub); }
+  FunctionBuilder& F64Mul() { return Op(Opcode::kF64Mul); }
+  FunctionBuilder& F64Div() { return Op(Opcode::kF64Div); }
+  FunctionBuilder& F64Sqrt() { return Op(Opcode::kF64Sqrt); }
+  FunctionBuilder& F64Neg() { return Op(Opcode::kF64Neg); }
+  FunctionBuilder& F64Abs() { return Op(Opcode::kF64Abs); }
+  FunctionBuilder& F64Lt() { return Op(Opcode::kF64Lt); }
+  FunctionBuilder& F64Gt() { return Op(Opcode::kF64Gt); }
+  FunctionBuilder& F64Le() { return Op(Opcode::kF64Le); }
+  FunctionBuilder& F64Ge() { return Op(Opcode::kF64Ge); }
+  FunctionBuilder& F64Eq() { return Op(Opcode::kF64Eq); }
+  FunctionBuilder& F64ConvertI32S() { return Op(Opcode::kF64ConvertI32S); }
+  FunctionBuilder& I32TruncF64S() { return Op(Opcode::kI32TruncF64S); }
+
+  // Computes address expr: base_local + index_local * elem_size, leaving an
+  // i32 address on the stack (elem_size must be a power of two or small
+  // constant; emitted as shl when possible).
+  FunctionBuilder& AddrBaseIndex(uint32_t base_local, uint32_t index_local, uint32_t elem_size);
+
+  // Finishes the body with the implicit `end`. Called automatically by
+  // ModuleBuilder::Build if omitted.
+  void End();
+
+ private:
+  Function& func();
+
+  ModuleBuilder* module_;
+  uint32_t func_index_;
+  uint32_t defined_index_;
+  bool ended_ = false;
+};
+
+// Builds a whole module. Typical usage:
+//
+//   ModuleBuilder mb("kernel");
+//   mb.AddMemory(16);
+//   auto& f = mb.AddFunction("run", {ValType::kI32}, {ValType::kI32});
+//   ... f.LocalGet(0) ... ;
+//   Module m = mb.Build();
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string name = "");
+
+  // Returns (creating if needed) the index of `type`.
+  uint32_t AddType(const FuncType& type);
+
+  // Imports must be added before any defined function.
+  uint32_t AddFuncImport(const std::string& module, const std::string& name,
+                         const std::vector<ValType>& params, const std::vector<ValType>& results);
+
+  // Adds a defined+exported function; returns the builder for its body.
+  FunctionBuilder& AddFunction(const std::string& export_name, const std::vector<ValType>& params,
+                               const std::vector<ValType>& results);
+  // Adds a defined internal (non-exported) function.
+  FunctionBuilder& AddInternalFunction(const std::string& debug_name,
+                                       const std::vector<ValType>& params,
+                                       const std::vector<ValType>& results);
+
+  void AddMemory(uint32_t min_pages, uint32_t max_pages = kMaxMemoryPages);
+  uint32_t AddGlobal(ValType type, bool mut, Instr init);
+  void AddData(uint32_t offset, const std::vector<uint8_t>& bytes);
+  void AddData(uint32_t offset, const std::string& bytes);
+  // Declares a funcref table of the given size and fills [offset..] with the
+  // listed function indices.
+  void AddTable(uint32_t size);
+  void AddElements(uint32_t offset, const std::vector<uint32_t>& func_indices);
+  void SetStart(uint32_t func_index);
+  void ExportMemory(const std::string& name);
+
+  // Finalizes and returns the module (appends missing `end`s). The builder
+  // must not be reused after Build().
+  Module Build();
+
+  Module& module() { return module_; }
+
+ private:
+  friend class FunctionBuilder;
+
+  Module module_;
+  std::deque<FunctionBuilder> builders_;  // deque: stable references
+  bool built_ = false;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_BUILDER_BUILDER_H_

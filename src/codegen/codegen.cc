@@ -1,0 +1,263 @@
+#include "src/codegen/codegen.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/codegen/emit.h"
+#include "src/codegen/opt.h"
+#include "src/codegen/regalloc.h"
+#include "src/support/str.h"
+
+namespace nsf {
+
+CodegenOptions CodegenOptions::NativeClang() {
+  CodegenOptions o;
+  o.profile_name = "native-clang";
+  o.regalloc = RegAllocKind::kGraphColor;
+  o.fuse_addressing = true;
+  o.heap_base_in_disp = true;
+  o.rotate_loops = true;
+  o.stack_check = false;
+  o.indirect_check = false;
+  // Offline compilers afford many more passes (Table 2's compile-time gap).
+  o.extra_opt_passes = 24;
+  return o;
+}
+
+CodegenOptions CodegenOptions::ChromeV8() {
+  CodegenOptions o;
+  o.profile_name = "chrome-v8";
+  o.regalloc = RegAllocKind::kLinearScan;
+  o.fuse_addressing = false;
+  o.heap_base_in_disp = false;
+  o.heap_base_reg = Gpr::kRbx;        // V8 keeps the memory start in a register
+  o.reserved_gprs = {Gpr::kR13};      // GC root array (paper §6.1.1)
+  o.reserved_xmms = {Xmm::kXmm13};    // V8 FP scratch
+  o.rotate_loops = false;
+  o.loop_entry_jump = true;           // §5.1.3 extra jumps
+  o.stack_check = true;
+  o.indirect_check = true;
+  return o;
+}
+
+CodegenOptions CodegenOptions::FirefoxSM() {
+  CodegenOptions o;
+  o.profile_name = "firefox-spidermonkey";
+  o.regalloc = RegAllocKind::kLinearScan;
+  o.fuse_addressing = false;
+  o.heap_base_in_disp = false;
+  o.heap_base_reg = Gpr::kR15;        // SpiderMonkey heap pointer (§6.1.1)
+  o.reserved_gprs = {};               // r11/xmm15 (SM scratch) already universal
+  o.reserved_xmms = {};
+  o.rotate_loops = false;
+  o.loop_entry_jump = false;
+  o.stack_check = true;
+  o.indirect_check = true;
+  return o;
+}
+
+CodegenOptions CodegenOptions::ChromeAsmJs() {
+  CodegenOptions o = ChromeV8();
+  o.profile_name = "chrome-asmjs";
+  o.asmjs_coercions = true;
+  o.reserved_gprs.push_back(Gpr::kRsi);  // JS context register
+  return o;
+}
+
+CodegenOptions CodegenOptions::FirefoxAsmJs() {
+  CodegenOptions o = FirefoxSM();
+  o.profile_name = "firefox-asmjs";
+  o.asmjs_coercions = true;
+  o.reserved_gprs.push_back(Gpr::kRsi);
+  return o;
+}
+
+CodegenOptions CodegenOptions::ChromeV8_2017() {
+  CodegenOptions o = ChromeV8();
+  o.profile_name = "chrome-v8-2017";
+  // The 2017-era tier: more redundant moves survive and one more register is
+  // burned on engine bookkeeping.
+  o.asmjs_coercions = true;
+  o.reserved_gprs.push_back(Gpr::kRdi);
+  return o;
+}
+
+CodegenOptions CodegenOptions::ChromeV8_2018() {
+  CodegenOptions o = ChromeV8();
+  o.profile_name = "chrome-v8-2018";
+  o.reserved_gprs.push_back(Gpr::kRdi);
+  return o;
+}
+
+namespace {
+
+// Builds the stub MFunction for imported function `import_index` with `sig`:
+// marshal up to 6 stack arguments into registers, then invoke the host hook.
+MFunction BuildImportStub(uint32_t import_index, const FuncType& sig, const std::string& name) {
+  MFunction f;
+  f.name = "import:" + name;
+  static const Gpr kArgRegs[6] = {Gpr::kRdi, Gpr::kRsi, Gpr::kRdx,
+                                  Gpr::kRcx, Gpr::kR8,  Gpr::kR9};
+  uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(sig.params.size()), 6);
+  // The arg registers are allocatable (callee-saved) in caller code, so the
+  // stub preserves them around the host call.
+  for (uint32_t i = 0; i < n; i++) {
+    MInstr push;
+    push.op = MOp::kPush;
+    push.dst = Operand::R(kArgRegs[i]);
+    f.code.push_back(push);
+  }
+  for (uint32_t i = 0; i < n; i++) {
+    // Args sit above the return address and the saves:
+    // [rsp + 8*n_saves + 8 + 8*i].
+    f.code.push_back(MInstr::RM(MOp::kLoad, kArgRegs[i],
+                                MemRef::BaseDisp(Gpr::kRsp, 8 * (int)n + 8 + 8 * (int)i), 8));
+  }
+  MInstr call;
+  call.op = MOp::kCallHost;
+  call.func = import_index;
+  f.code.push_back(call);
+  for (uint32_t i = n; i > 0; i--) {
+    MInstr pop;
+    pop.op = MOp::kPop;
+    pop.dst = Operand::R(kArgRegs[i - 1]);
+    f.code.push_back(pop);
+  }
+  MInstr ret;
+  ret.op = MOp::kRet;
+  f.code.push_back(ret);
+  return f;
+}
+
+}  // namespace
+
+CompileResult CompileModule(const Module& module, const CodegenOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  CompileResult result;
+  MProgram& prog = result.program;
+
+  EmitEnv env;
+  if (!module.tables.empty()) {
+    env.table_size = module.tables[0].limits.min;
+  }
+  for (uint32_t t = 0; t < module.types.size(); t++) {
+    env.sig_ids[t] = t;
+  }
+
+  uint32_t imported = module.NumImportedFuncs();
+  // Import stubs occupy the first `imported` MProgram slots, so MProgram
+  // function indices equal joint Wasm function indices.
+  uint32_t import_seen = 0;
+  for (const Import& imp : module.imports) {
+    if (imp.kind != ExternalKind::kFunc) {
+      continue;
+    }
+    prog.funcs.push_back(
+        BuildImportStub(import_seen, module.types[imp.type_index], imp.module + "." + imp.name));
+    result.import_hooks.push_back(import_seen);
+    import_seen++;
+  }
+
+  CompileStats& stats = result.stats;
+  for (uint32_t d = 0; d < module.functions.size(); d++) {
+    VFunc vf = LowerFunction(module, d, options);
+    stats.vops += vf.ops.size();
+    // Copy propagation models the move coalescing a graph-coloring allocator
+    // performs; the linear-scan JIT profiles keep their moves (§6.1.2).
+    if (options.regalloc == RegAllocKind::kGraphColor) {
+      CopyPropagate(&vf);
+    }
+    if (options.rotate_loops) {
+      RotateLoops(&vf);
+    }
+    if (options.fuse_addressing) {
+      FuseAddressing(&vf);
+      FuseAluMem(&vf);
+    }
+    // Extra passes model offline-compiler optimization budgets; the passes
+    // are idempotent, so they cost time without changing the output.
+    for (uint32_t p = 0; p < options.extra_opt_passes; p++) {
+      CopyPropagate(&vf);
+      if (options.fuse_addressing) {
+        FuseAddressing(&vf);
+        FuseAluMem(&vf);
+      }
+      ComputeLiveness(vf);
+    }
+    Allocation alloc = AllocateRegisters(vf, options);
+    stats.spill_slots += alloc.num_slots;
+    prog.funcs.push_back(EmitFunction(vf, alloc, options, env));
+    stats.minstrs += prog.funcs.back().code.size();
+  }
+
+  // Table image.
+  if (!module.tables.empty()) {
+    prog.table.assign(env.table_size, MProgram::TableEntry{});
+    for (const ElementSegment& seg : module.elements) {
+      uint32_t offset = static_cast<uint32_t>(seg.offset.imm);
+      for (size_t i = 0; i < seg.func_indices.size(); i++) {
+        uint32_t fi = seg.func_indices[i];
+        if (offset + i < prog.table.size()) {
+          uint32_t type_index;
+          if (fi < imported) {
+            type_index = module.FuncImportOf(fi).type_index;
+          } else {
+            type_index = module.functions[fi - imported].type_index;
+          }
+          prog.table[offset + i] = MProgram::TableEntry{type_index, fi};
+        }
+      }
+    }
+  }
+
+  // Memory + data.
+  for (const MemorySec& m : module.memories) {
+    prog.memory_pages = m.limits.min;
+    prog.max_memory_pages = m.limits.max.value_or(kMaxMemoryPages);
+  }
+  for (const Import& imp : module.imports) {
+    if (imp.kind == ExternalKind::kMemory) {
+      prog.memory_pages = imp.limits.min;
+      prog.max_memory_pages = imp.limits.max.value_or(kMaxMemoryPages);
+    }
+  }
+  for (const DataSegment& seg : module.data) {
+    prog.data_segments.push_back({static_cast<uint32_t>(seg.offset.imm), seg.bytes});
+  }
+
+  // Globals: slot 0 is the stack limit; Wasm global g lives in slot 1+g.
+  prog.num_globals = module.NumTotalGlobals() + 1;
+  uint32_t gbase = module.NumImportedGlobals();
+  for (uint32_t g = 0; g < module.globals.size(); g++) {
+    const Global& gl = module.globals[g];
+    uint64_t bits = 0;
+    switch (gl.init.op) {
+      case Opcode::kI32Const:
+        bits = static_cast<uint32_t>(gl.init.imm);
+        break;
+      case Opcode::kI64Const:
+      case Opcode::kF64Const:
+      case Opcode::kF32Const:
+        bits = gl.init.imm;
+        break;
+      default:
+        break;  // global.get of import: left zero; embedder initializes
+    }
+    prog.global_inits.push_back({1 + gbase + g, bits});
+  }
+
+  prog.Link();
+  stats.code_bytes = prog.total_code_bytes;
+
+  result.func_map.resize(module.NumTotalFuncs());
+  for (uint32_t i = 0; i < result.func_map.size(); i++) {
+    result.func_map[i] = i;
+  }
+
+  auto t1 = std::chrono::steady_clock::now();
+  stats.seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace nsf

@@ -1,0 +1,103 @@
+// Wasm -> simulated-x64 compiler. A CodegenOptions value selects which of
+// the paper's code-generation behaviours are active; the named profiles
+// correspond to the toolchains the paper measures:
+//
+//   NativeClang(): offline-compiler quality — graph-coloring register
+//     allocation, full addressing-mode fusion (incl. register-memory ALU
+//     forms), loop rotation (single conditional branch per iteration), heap
+//     base folded into displacements, no sandbox checks.
+//   ChromeV8(): linear-scan allocation, reserved registers (r13 GC root,
+//     r10 scratch, rbx heap base, xmm13 scratch), no addressing fusion,
+//     top-test loops with an extra loop-entry jump (§5.1.3), per-function
+//     stack-overflow checks, indirect-call checks.
+//   FirefoxSM(): linear-scan allocation, reserved registers (r15 heap base,
+//     r11 scratch, xmm15 scratch), no addressing fusion, top-test loops,
+//     stack checks, indirect-call checks.
+//   ChromeAsmJs()/FirefoxAsmJs(): the JIT profiles plus asm.js overheads
+//     (coercion moves after arithmetic, fewer allocatable registers).
+#ifndef SRC_CODEGEN_CODEGEN_H_
+#define SRC_CODEGEN_CODEGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/codegen/ir.h"
+#include "src/wasm/module.h"
+#include "src/x64/insts.h"
+
+namespace nsf {
+
+enum class RegAllocKind : uint8_t { kLinearScan, kGraphColor };
+
+struct CodegenOptions {
+  std::string profile_name = "custom";
+  RegAllocKind regalloc = RegAllocKind::kGraphColor;
+  // Fold add/shl address arithmetic into [base+index*scale+disp] operands and
+  // use register-memory ALU forms (add [mem], reg).
+  bool fuse_addressing = true;
+  // Heap base as a constant displacement (native) instead of a reserved
+  // base register (JIT profiles reserve one; see reserved_gprs).
+  bool heap_base_in_disp = true;
+  Gpr heap_base_reg = Gpr::kRbx;  // used when !heap_base_in_disp
+  // Registers withheld from allocation (beyond the universal rsp/rbp/rax/
+  // rdx/rcx/scratch exclusions).
+  std::vector<Gpr> reserved_gprs;
+  std::vector<Xmm> reserved_xmms;
+  // Rotate top-test loops into bottom-test form (1 branch/iteration).
+  bool rotate_loops = true;
+  // Emit an extra unconditional jump at loop entry (V8 codegen shape, §5.1.3).
+  bool loop_entry_jump = false;
+  // Per-function stack-overflow check (§6.2.2).
+  bool stack_check = false;
+  // call_indirect bounds + signature checks (§6.2.3).
+  bool indirect_check = false;
+  // asm.js-style coercions: an extra move after every arithmetic result
+  // (models JavaScript |0 / +x coercion traffic surviving codegen).
+  bool asmjs_coercions = false;
+  // Extra optimization passes, modeling offline-compiler compile time
+  // (Table 2); each pass re-runs fusion + DCE.
+  uint32_t extra_opt_passes = 0;
+
+  static CodegenOptions NativeClang();
+  static CodegenOptions ChromeV8();
+  static CodegenOptions FirefoxSM();
+  static CodegenOptions ChromeAsmJs();
+  static CodegenOptions FirefoxAsmJs();
+  // Era profiles for the Figure 1 history experiment: progressively weaker
+  // versions of ChromeV8 (2017 lacks several optimizations).
+  static CodegenOptions ChromeV8_2017();
+  static CodegenOptions ChromeV8_2018();
+};
+
+struct CompileStats {
+  double seconds = 0;           // wall-clock compile time
+  uint64_t vops = 0;            // IR size after lowering
+  uint64_t minstrs = 0;         // emitted machine instructions
+  uint64_t spill_slots = 0;     // total spill slots across functions
+  uint64_t code_bytes = 0;
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;
+  MProgram program;
+  CompileStats stats;
+  // Joint wasm function index -> MProgram function index (identity here, but
+  // kept explicit for callers).
+  std::vector<uint32_t> func_map;
+  // Host-hook index for each imported function, in import order.
+  std::vector<uint32_t> import_hooks;
+};
+
+// Compiles a validated module. Imported functions become stub MFunctions
+// that marshal stack arguments into registers and invoke host hook `i` (the
+// i-th function import). The caller registers matching hooks on the machine.
+CompileResult CompileModule(const Module& module, const CodegenOptions& options);
+
+// Lowers a single function to IR (exposed for tests and the case study).
+VFunc LowerFunction(const Module& module, uint32_t defined_index, const CodegenOptions& options);
+
+}  // namespace nsf
+
+#endif  // SRC_CODEGEN_CODEGEN_H_

@@ -1,0 +1,1318 @@
+// Emission: VOps with an Allocation become MInstrs.
+//
+// ABI (both backends; documented in DESIGN.md):
+//   - arguments passed on the stack, pushed by the caller below its rsp;
+//     callee reads them at [rbp + 16 + i*8]
+//   - return value in rax (int) / xmm0 (fp)
+//   - every allocatable register is callee-saved: the prologue stores the
+//     ones the function uses into the frame and the epilogue restores them
+//   - r10/r11 and xmm14/xmm15 are emission scratch, never allocated
+//   - rax/rdx/rcx have fixed roles (division pair, shift count)
+//
+// Profile-specific shapes handled here:
+//   - heap access: [vreg_base + kHeapBase] displacement (native) vs
+//     [heap_base_reg + vreg] (JIT)
+//   - per-function stack checks (cmp rsp against a limit slot in memory)
+//   - call_indirect table checks (bounds + null + signature)
+//   - the extra loop-entry jump of the Chrome profile
+#include "src/codegen/emit.h"
+
+#include <unordered_map>
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+namespace {
+
+constexpr Gpr kScratch0 = Gpr::kR10;
+constexpr Gpr kScratch1 = Gpr::kR11;
+constexpr Xmm kFpScratch0 = Xmm::kXmm14;
+constexpr Xmm kFpScratch1 = Xmm::kXmm15;
+
+class Emitter {
+ public:
+  Emitter(const VFunc& vf, const Allocation& alloc, const CodegenOptions& options,
+          const EmitEnv& env)
+      : vf_(vf), alloc_(alloc), options_(options), env_(env) {}
+
+  MFunction Run() {
+    out_.name = vf_.name;
+    num_saved_ = static_cast<uint32_t>(alloc_.used_gprs.size() + alloc_.used_xmms.size());
+    // Frame: [rbp-8 .. rbp-8*num_saved] saved regs, then spill slots.
+    frame_slots_ = num_saved_ + alloc_.num_slots;
+    out_.frame_slots = frame_slots_;
+
+    EmitPrologue();
+    for (size_t i = 0; i < vf_.ops.size(); i++) {
+      EmitOp(vf_.ops[i]);
+    }
+    // Shared epilogue + out-of-line trap stubs.
+    BindLabel(epilogue_label_);
+    EmitEpilogue();
+    for (const auto& [label, kind] : trap_stubs_) {
+      BindLabel(label);
+      MInstr t;
+      t.op = MOp::kCallHost;
+      t.func = kind;
+      Push(t);
+    }
+    ResolveLabels();
+    return std::move(out_);
+  }
+
+ private:
+  // ---- label management ----
+  uint32_t NewLabel() { return next_label_++; }
+
+  void BindLabel(uint32_t label) { label_pos_[label] = static_cast<uint32_t>(out_.code.size()); }
+
+  void Push(MInstr instr) { out_.code.push_back(std::move(instr)); }
+
+  void PushJump(uint32_t label) {
+    MInstr j = MInstr::Jump(0);
+    j.label = label;
+    pending_.push_back(static_cast<uint32_t>(out_.code.size()));
+    Push(j);
+  }
+
+  void PushJcc(Cond cond, uint32_t label) {
+    MInstr j = MInstr::JumpCc(cond, 0);
+    j.label = label;
+    pending_.push_back(static_cast<uint32_t>(out_.code.size()));
+    Push(j);
+  }
+
+  void ResolveLabels() {
+    for (uint32_t idx : pending_) {
+      out_.code[idx].label = label_pos_.at(out_.code[idx].label);
+    }
+  }
+
+  // ---- frame addressing ----
+  MemRef SlotRef(uint32_t slot) {
+    return MemRef::BaseDisp(Gpr::kRbp, -8 * static_cast<int32_t>(num_saved_ + slot + 1));
+  }
+
+  MemRef SavedRef(uint32_t i) {
+    return MemRef::BaseDisp(Gpr::kRbp, -8 * static_cast<int32_t>(i + 1));
+  }
+
+  MemRef ParamRef(uint32_t i) {
+    return MemRef::BaseDisp(Gpr::kRbp, 16 + 8 * static_cast<int32_t>(i));
+  }
+
+  // ---- operand materialization ----
+  // Returns the physical GPR holding vreg v, loading from the spill slot
+  // into `scratch` when needed.
+  Gpr UseGpr(uint32_t v, Gpr scratch) {
+    if (alloc_.IsReg(v)) {
+      return alloc_.GprOf(v);
+    }
+    MInstr ld;
+    ld.op = MOp::kLoad;
+    ld.dst = Operand::R(scratch);
+    ld.src = Operand::M(SlotRef(alloc_.SlotOf(v)));
+    ld.width = 8;
+    Push(ld);
+    return scratch;
+  }
+
+  Xmm UseXmm(uint32_t v, Xmm scratch) {
+    if (alloc_.IsReg(v)) {
+      return alloc_.XmmOf(v);
+    }
+    MInstr ld;
+    ld.op = MOp::kMovsd;
+    ld.dst = Operand::X(scratch);
+    ld.src = Operand::M(SlotRef(alloc_.SlotOf(v)));
+    ld.width = 8;
+    Push(ld);
+    return scratch;
+  }
+
+  // Destination register for defining vreg v (scratch when spilled); caller
+  // must invoke StoreIfSpilled(v, reg) afterward.
+  Gpr DefGpr(uint32_t v, Gpr scratch) { return alloc_.IsReg(v) ? alloc_.GprOf(v) : scratch; }
+  Xmm DefXmm(uint32_t v, Xmm scratch) { return alloc_.IsReg(v) ? alloc_.XmmOf(v) : scratch; }
+
+  void StoreIfSpilled(uint32_t v, Gpr reg) {
+    if (alloc_.IsReg(v) || alloc_.loc[v] == -1) {
+      return;
+    }
+    MInstr st;
+    st.op = MOp::kStore;
+    st.dst = Operand::M(SlotRef(alloc_.SlotOf(v)));
+    st.src = Operand::R(reg);
+    st.width = 8;
+    Push(st);
+  }
+
+  void StoreIfSpilledX(uint32_t v, Xmm reg) {
+    if (alloc_.IsReg(v) || alloc_.loc[v] == -1) {
+      return;
+    }
+    MInstr st;
+    st.op = MOp::kMovsd;
+    st.dst = Operand::M(SlotRef(alloc_.SlotOf(v)));
+    st.src = Operand::X(reg);
+    st.width = 8;
+    Push(st);
+  }
+
+  // Heap memory operand for an access with unfused address vreg `a`.
+  MemRef HeapRef(uint32_t a_vreg, int32_t offset, Gpr scratch) {
+    Gpr a = UseGpr(a_vreg, scratch);
+    if (options_.heap_base_in_disp) {
+      return MemRef::BaseDisp(a, static_cast<int32_t>(kHeapBase) + offset);
+    }
+    return MemRef::BaseIndex(options_.heap_base_reg, a, 1, offset);
+  }
+
+  // Heap memory operand for a fused access: base + index*scale + offset.
+  MemRef FusedHeapRef(uint32_t base_v, uint32_t index_v, uint8_t scale, int32_t offset) {
+    Gpr base = UseGpr(base_v, kScratch0);
+    Gpr index = UseGpr(index_v, kScratch1);
+    MemRef m = MemRef::BaseIndex(base, index, scale, offset);
+    if (options_.heap_base_in_disp) {
+      m.disp += static_cast<int32_t>(kHeapBase);
+    }
+    // Without a folded heap base the fused form still needs the base
+    // register; fused addressing is only enabled for the native profile,
+    // which folds the base, so this path is native-only in practice.
+    return m;
+  }
+
+  uint32_t TrapStub(uint32_t builtin_kind) {
+    for (const auto& [label, kind] : trap_stubs_) {
+      if (kind == builtin_kind) {
+        return label;
+      }
+    }
+    uint32_t label = NewLabel();
+    trap_stubs_.push_back({label, builtin_kind});
+    return label;
+  }
+
+  void EmitPrologue() {
+    MInstr push_rbp;
+    push_rbp.op = MOp::kPush;
+    push_rbp.dst = Operand::R(Gpr::kRbp);
+    Push(push_rbp);
+    Push(MInstr::RR(MOp::kMov, Gpr::kRbp, Gpr::kRsp, 8));
+    if (frame_slots_ > 0) {
+      Push(MInstr::RI(MOp::kSub, Gpr::kRsp, 8 * frame_slots_, 8));
+    }
+    // Stack-overflow check (JIT profiles, §6.2.2).
+    if (options_.stack_check) {
+      MInstr ld;
+      ld.op = MOp::kLoad;
+      ld.dst = Operand::R(kScratch0);
+      ld.src = Operand::M(MemRef::Abs(static_cast<int32_t>(
+          kGlobalsBase + 8 * MProgram::kStackLimitSlot)));
+      ld.width = 8;
+      ld.comment = "stack limit";
+      Push(ld);
+      MInstr cmp = MInstr::RR(MOp::kCmp, Gpr::kRsp, kScratch0, 8);
+      cmp.comment = "stack check";
+      Push(cmp);
+      PushJcc(Cond::kB, TrapStub(kBuiltinTrapStack));
+    }
+    // Save callee-saved registers this function uses.
+    uint32_t i = 0;
+    for (Gpr g : alloc_.used_gprs) {
+      Push(MInstr::MR(MOp::kStore, SavedRef(i++), g, 8));
+    }
+    for (Xmm x : alloc_.used_xmms) {
+      MInstr st;
+      st.op = MOp::kMovsd;
+      st.dst = Operand::M(SavedRef(i++));
+      st.src = Operand::X(x);
+      st.width = 8;
+      Push(st);
+    }
+  }
+
+  void EmitEpilogue() {
+    uint32_t i = 0;
+    for (Gpr g : alloc_.used_gprs) {
+      Push(MInstr::RM(MOp::kLoad, g, SavedRef(i++), 8));
+    }
+    for (Xmm x : alloc_.used_xmms) {
+      MInstr ld;
+      ld.op = MOp::kMovsd;
+      ld.dst = Operand::X(x);
+      ld.src = Operand::M(SavedRef(i++));
+      ld.width = 8;
+      Push(ld);
+    }
+    Push(MInstr::RR(MOp::kMov, Gpr::kRsp, Gpr::kRbp, 8));
+    MInstr pop_rbp;
+    pop_rbp.op = MOp::kPop;
+    pop_rbp.dst = Operand::R(Gpr::kRbp);
+    Push(pop_rbp);
+    MInstr ret;
+    ret.op = MOp::kRet;
+    Push(ret);
+  }
+
+  void EmitMoveGpr(uint32_t d, uint32_t a, uint8_t width) {
+    if (alloc_.loc[d] == -1) {
+      return;  // dead destination
+    }
+    if (alloc_.IsReg(d) && alloc_.IsReg(a) && alloc_.GprOf(d) == alloc_.GprOf(a)) {
+      return;  // coalesced
+    }
+    if (alloc_.IsSpill(d) && alloc_.IsSpill(a) && alloc_.SlotOf(d) == alloc_.SlotOf(a)) {
+      return;
+    }
+    Gpr src = UseGpr(a, kScratch0);
+    Gpr dst = DefGpr(d, src);
+    if (alloc_.IsReg(d)) {
+      Push(MInstr::RR(MOp::kMov, dst, src, width == 4 ? 4 : 8));
+    }
+    StoreIfSpilled(d, src);
+  }
+
+  void EmitMoveXmm(uint32_t d, uint32_t a) {
+    if (alloc_.loc[d] == -1) {
+      return;
+    }
+    if (alloc_.IsReg(d) && alloc_.IsReg(a) && alloc_.XmmOf(d) == alloc_.XmmOf(a)) {
+      return;
+    }
+    if (alloc_.IsSpill(d) && alloc_.IsSpill(a) && alloc_.SlotOf(d) == alloc_.SlotOf(a)) {
+      return;
+    }
+    Xmm src = UseXmm(a, kFpScratch0);
+    if (alloc_.IsReg(d)) {
+      MInstr mv;
+      mv.op = MOp::kMovsd;
+      mv.dst = Operand::X(alloc_.XmmOf(d));
+      mv.src = Operand::X(src);
+      Push(mv);
+    }
+    StoreIfSpilledX(d, src);
+  }
+
+  // Loads a 64-bit immediate into a register (short form when it fits).
+  void LoadImm(Gpr reg, uint64_t bits, uint8_t width) {
+    int64_t sv = static_cast<int64_t>(bits);
+    if (width == 8 && (sv > INT32_MAX || sv < INT32_MIN)) {
+      MInstr mi = MInstr::RI(MOp::kMovImm64, reg, sv, 8);
+      Push(mi);
+    } else {
+      Push(MInstr::RI(MOp::kMov, reg, static_cast<int64_t>(
+          width == 4 ? static_cast<int64_t>(static_cast<uint32_t>(bits)) : sv), width));
+    }
+  }
+
+  void EmitCmpSet(const VOp& op) {
+    // Compare and materialize 0/1.
+    if (op.is_fp) {
+      EmitFpCompare(op.a, op.b, op.width);
+      Gpr d = DefGpr(op.d, kScratch0);
+      if (op.cond == Cond::kE) {
+        // equal and ordered: sete && setnp
+        MInstr s1;
+        s1.op = MOp::kSetcc;
+        s1.cond = Cond::kE;
+        s1.dst = Operand::R(d);
+        Push(s1);
+        MInstr s2;
+        s2.op = MOp::kSetcc;
+        s2.cond = Cond::kNp;
+        s2.dst = Operand::R(kScratch1);
+        Push(s2);
+        Push(MInstr::RR(MOp::kAnd, d, kScratch1, 4));
+      } else if (op.cond == Cond::kNe) {
+        MInstr s1;
+        s1.op = MOp::kSetcc;
+        s1.cond = Cond::kNe;
+        s1.dst = Operand::R(d);
+        Push(s1);
+        MInstr s2;
+        s2.op = MOp::kSetcc;
+        s2.cond = Cond::kP;
+        s2.dst = Operand::R(kScratch1);
+        Push(s2);
+        Push(MInstr::RR(MOp::kOr, d, kScratch1, 4));
+      } else {
+        MInstr s;
+        s.op = MOp::kSetcc;
+        s.cond = op.cond;
+        s.dst = Operand::R(d);
+        Push(s);
+      }
+      StoreIfSpilled(op.d, d);
+      return;
+    }
+    Gpr a = UseGpr(op.a, kScratch0);
+    Gpr b = UseGpr(op.b, kScratch1);
+    Push(MInstr::RR(MOp::kCmp, a, b, op.width));
+    Gpr d = DefGpr(op.d, kScratch0);
+    MInstr s;
+    s.op = MOp::kSetcc;
+    s.cond = op.cond;
+    s.dst = Operand::R(d);
+    Push(s);
+    StoreIfSpilled(op.d, d);
+  }
+
+  void EmitFpCompare(uint32_t a, uint32_t b, uint8_t width) {
+    Xmm xa = UseXmm(a, kFpScratch0);
+    Xmm xb = UseXmm(b, kFpScratch1);
+    MInstr cmp;
+    cmp.op = width == 4 ? MOp::kUcomiss : MOp::kUcomisd;
+    cmp.dst = Operand::X(xa);
+    cmp.src = Operand::X(xb);
+    Push(cmp);
+  }
+
+  void EmitBin(const VOp& op) {
+    if (op.is_fp) {
+      EmitFpBin(op);
+      return;
+    }
+    switch (op.wop) {
+      case Opcode::kI32DivS:
+      case Opcode::kI32DivU:
+      case Opcode::kI32RemS:
+      case Opcode::kI32RemU:
+      case Opcode::kI64DivS:
+      case Opcode::kI64DivU:
+      case Opcode::kI64RemS:
+      case Opcode::kI64RemU:
+        EmitDiv(op);
+        return;
+      case Opcode::kI32Shl:
+      case Opcode::kI32ShrS:
+      case Opcode::kI32ShrU:
+      case Opcode::kI32Rotl:
+      case Opcode::kI32Rotr:
+      case Opcode::kI64Shl:
+      case Opcode::kI64ShrS:
+      case Opcode::kI64ShrU:
+      case Opcode::kI64Rotl:
+      case Opcode::kI64Rotr:
+        EmitShift(op);
+        return;
+      default:
+        break;
+    }
+    MOp mop;
+    switch (op.wop) {
+      case Opcode::kI32Add:
+      case Opcode::kI64Add:
+        mop = MOp::kAdd;
+        break;
+      case Opcode::kI32Sub:
+      case Opcode::kI64Sub:
+        mop = MOp::kSub;
+        break;
+      case Opcode::kI32Mul:
+      case Opcode::kI64Mul:
+        mop = MOp::kImul;
+        break;
+      case Opcode::kI32And:
+      case Opcode::kI64And:
+        mop = MOp::kAnd;
+        break;
+      case Opcode::kI32Or:
+      case Opcode::kI64Or:
+        mop = MOp::kOr;
+        break;
+      default:
+        mop = MOp::kXor;
+        break;
+    }
+    // d = a op b: mov d, a; op d, b (two-operand machine).
+    Gpr a = UseGpr(op.a, kScratch0);
+    Gpr d = DefGpr(op.d, kScratch0);
+    bool d_is_b = alloc_.IsReg(op.d) && alloc_.IsReg(op.b) &&
+                  alloc_.GprOf(op.d) == alloc_.GprOf(op.b);
+    if (d_is_b) {
+      // mov into scratch to avoid clobbering b.
+      Push(MInstr::RR(MOp::kMov, kScratch0, a, op.width));
+      Gpr b = UseGpr(op.b, kScratch1);
+      Push(MInstr::RR(mop, kScratch0, b, op.width));
+      Push(MInstr::RR(MOp::kMov, alloc_.GprOf(op.d), kScratch0, op.width));
+      return;
+    }
+    if (d != a || !alloc_.IsReg(op.d) || !alloc_.IsReg(op.a) ||
+        alloc_.GprOf(op.d) != alloc_.GprOf(op.a)) {
+      if (!(alloc_.IsReg(op.d) && alloc_.IsReg(op.a) &&
+            alloc_.GprOf(op.d) == alloc_.GprOf(op.a))) {
+        Push(MInstr::RR(MOp::kMov, d, a, op.width));
+      }
+    }
+    Gpr b = UseGpr(op.b, kScratch1);
+    Push(MInstr::RR(mop, d, b, op.width));
+    StoreIfSpilled(op.d, d);
+  }
+
+  void EmitDiv(const VOp& op) {
+    bool is_signed = op.wop == Opcode::kI32DivS || op.wop == Opcode::kI32RemS ||
+                     op.wop == Opcode::kI64DivS || op.wop == Opcode::kI64RemS;
+    bool is_rem = op.wop == Opcode::kI32RemS || op.wop == Opcode::kI32RemU ||
+                  op.wop == Opcode::kI64RemS || op.wop == Opcode::kI64RemU;
+    // rem_s INT_MIN % -1 must yield 0, but idiv traps; engines and compilers
+    // guard it. We emit the guard for rem_s only: cmp b,-1; je zero-path.
+    Gpr a = UseGpr(op.a, kScratch0);
+    Push(MInstr::RR(MOp::kMov, Gpr::kRax, a, op.width));
+    Gpr b = UseGpr(op.b, kScratch1);
+    uint32_t done = NewLabel();
+    if (is_rem && is_signed) {
+      Push(MInstr::RI(MOp::kCmp, b, -1, op.width));
+      uint32_t not_m1 = NewLabel();
+      PushJcc(Cond::kNe, not_m1);
+      Push(MInstr::RI(MOp::kMov, Gpr::kRdx, 0, op.width));
+      PushJump(done);
+      BindLabel(not_m1);
+    }
+    if (is_signed) {
+      MInstr cdq;
+      cdq.op = MOp::kCdq;
+      cdq.width = op.width;
+      Push(cdq);
+    } else {
+      Push(MInstr::RI(MOp::kMov, Gpr::kRdx, 0, op.width));
+    }
+    MInstr div;
+    div.op = is_signed ? MOp::kIdiv : MOp::kDiv;
+    div.src = Operand::R(b);
+    div.width = op.width;
+    Push(div);
+    BindLabel(done);
+    Gpr result = is_rem ? Gpr::kRdx : Gpr::kRax;
+    Gpr d = DefGpr(op.d, kScratch0);
+    Push(MInstr::RR(MOp::kMov, d, result, op.width));
+    StoreIfSpilled(op.d, d);
+  }
+
+  void EmitShift(const VOp& op) {
+    MOp mop;
+    switch (op.wop) {
+      case Opcode::kI32Shl:
+      case Opcode::kI64Shl:
+        mop = MOp::kShl;
+        break;
+      case Opcode::kI32ShrU:
+      case Opcode::kI64ShrU:
+        mop = MOp::kShr;
+        break;
+      case Opcode::kI32ShrS:
+      case Opcode::kI64ShrS:
+        mop = MOp::kSar;
+        break;
+      case Opcode::kI32Rotl:
+      case Opcode::kI64Rotl:
+        mop = MOp::kRol;
+        break;
+      default:
+        mop = MOp::kRor;
+        break;
+    }
+    // count -> rcx; value -> d (via scratch when needed).
+    Gpr b = UseGpr(op.b, kScratch1);
+    Push(MInstr::RR(MOp::kMov, Gpr::kRcx, b, op.width));
+    Gpr a = UseGpr(op.a, kScratch0);
+    Gpr d = DefGpr(op.d, kScratch0);
+    if (!(alloc_.IsReg(op.d) && alloc_.IsReg(op.a) &&
+          alloc_.GprOf(op.d) == alloc_.GprOf(op.a))) {
+      Push(MInstr::RR(MOp::kMov, d, a, op.width));
+    }
+    MInstr sh;
+    sh.op = mop;
+    sh.dst = Operand::R(d);
+    sh.src2 = Operand::R(Gpr::kRcx);
+    sh.width = op.width;
+    Push(sh);
+    StoreIfSpilled(op.d, d);
+  }
+
+  void EmitFpBin(const VOp& op) {
+    if (op.wop == Opcode::kF64Copysign || op.wop == Opcode::kF32Copysign) {
+      EmitCopysign(op);
+      return;
+    }
+    bool f32 = op.width == 4;
+    MOp mop;
+    switch (op.wop) {
+      case Opcode::kF64Add:
+      case Opcode::kF32Add:
+        mop = f32 ? MOp::kAddss : MOp::kAddsd;
+        break;
+      case Opcode::kF64Sub:
+      case Opcode::kF32Sub:
+        mop = f32 ? MOp::kSubss : MOp::kSubsd;
+        break;
+      case Opcode::kF64Mul:
+      case Opcode::kF32Mul:
+        mop = f32 ? MOp::kMulss : MOp::kMulsd;
+        break;
+      case Opcode::kF64Div:
+      case Opcode::kF32Div:
+        mop = f32 ? MOp::kDivss : MOp::kDivsd;
+        break;
+      case Opcode::kF64Min:
+      case Opcode::kF32Min:
+        mop = f32 ? MOp::kMinss : MOp::kMinsd;
+        break;
+      default:
+        mop = f32 ? MOp::kMaxss : MOp::kMaxsd;
+        break;
+    }
+    Xmm a = UseXmm(op.a, kFpScratch0);
+    Xmm d = DefXmm(op.d, kFpScratch0);
+    bool d_is_b = alloc_.IsReg(op.d) && alloc_.IsReg(op.b) &&
+                  alloc_.XmmOf(op.d) == alloc_.XmmOf(op.b);
+    if (d_is_b) {
+      MInstr mv;
+      mv.op = MOp::kMovsd;
+      mv.dst = Operand::X(kFpScratch0);
+      mv.src = Operand::X(a);
+      Push(mv);
+      Xmm b = UseXmm(op.b, kFpScratch1);
+      MInstr alu;
+      alu.op = mop;
+      alu.dst = Operand::X(kFpScratch0);
+      alu.src = Operand::X(b);
+      Push(alu);
+      MInstr mv2;
+      mv2.op = MOp::kMovsd;
+      mv2.dst = Operand::X(alloc_.XmmOf(op.d));
+      mv2.src = Operand::X(kFpScratch0);
+      Push(mv2);
+      return;
+    }
+    if (!(alloc_.IsReg(op.d) && alloc_.IsReg(op.a) &&
+          alloc_.XmmOf(op.d) == alloc_.XmmOf(op.a))) {
+      MInstr mv;
+      mv.op = MOp::kMovsd;
+      mv.dst = Operand::X(d);
+      mv.src = Operand::X(a);
+      Push(mv);
+    }
+    Xmm b = UseXmm(op.b, kFpScratch1);
+    MInstr alu;
+    alu.op = mop;
+    alu.dst = Operand::X(d);
+    alu.src = Operand::X(b);
+    Push(alu);
+    StoreIfSpilledX(op.d, d);
+  }
+
+  void EmitCopysign(const VOp& op) {
+    bool f32 = op.width == 4;
+    uint64_t sign_mask = f32 ? 0x80000000ull : 0x8000000000000000ull;
+    uint64_t abs_mask = f32 ? 0x7fffffffull : 0x7fffffffffffffffull;
+    // d = (a & abs_mask) | (b & sign_mask)
+    Xmm a = UseXmm(op.a, kFpScratch0);
+    MInstr mv;
+    mv.op = MOp::kMovsd;
+    mv.dst = Operand::X(kFpScratch0);
+    mv.src = Operand::X(a);
+    Push(mv);
+    MInstr andm;
+    andm.op = MOp::kAndpd;
+    andm.dst = Operand::X(kFpScratch0);
+    andm.src = Operand::Imm(static_cast<int64_t>(abs_mask));
+    Push(andm);
+    Xmm b = UseXmm(op.b, kFpScratch1);
+    MInstr mv2;
+    mv2.op = MOp::kMovsd;
+    mv2.dst = Operand::X(kFpScratch1);
+    mv2.src = Operand::X(b);
+    Push(mv2);
+    MInstr andm2;
+    andm2.op = MOp::kAndpd;
+    andm2.dst = Operand::X(kFpScratch1);
+    andm2.src = Operand::Imm(static_cast<int64_t>(sign_mask));
+    Push(andm2);
+    MInstr orm;
+    orm.op = MOp::kOrpd;
+    orm.dst = Operand::X(kFpScratch0);
+    orm.src = Operand::X(kFpScratch1);
+    Push(orm);
+    Xmm d = DefXmm(op.d, kFpScratch0);
+    if (alloc_.IsReg(op.d)) {
+      MInstr mv3;
+      mv3.op = MOp::kMovsd;
+      mv3.dst = Operand::X(d);
+      mv3.src = Operand::X(kFpScratch0);
+      Push(mv3);
+    }
+    StoreIfSpilledX(op.d, kFpScratch0);
+  }
+
+  void EmitUn(const VOp& op) {
+    switch (op.wop) {
+      case Opcode::kI32Clz:
+      case Opcode::kI64Clz:
+      case Opcode::kI32Ctz:
+      case Opcode::kI64Ctz:
+      case Opcode::kI32Popcnt:
+      case Opcode::kI64Popcnt: {
+        MOp mop = (op.wop == Opcode::kI32Clz || op.wop == Opcode::kI64Clz) ? MOp::kLzcnt
+                  : (op.wop == Opcode::kI32Ctz || op.wop == Opcode::kI64Ctz) ? MOp::kTzcnt
+                                                                             : MOp::kPopcnt;
+        uint8_t w = (op.wop == Opcode::kI32Clz || op.wop == Opcode::kI32Ctz ||
+                     op.wop == Opcode::kI32Popcnt)
+                        ? 4
+                        : 8;
+        Gpr a = UseGpr(op.a, kScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        MInstr mi;
+        mi.op = mop;
+        mi.dst = Operand::R(d);
+        mi.src = Operand::R(a);
+        mi.width = w;
+        Push(mi);
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kI32WrapI64: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        Push(MInstr::RR(MOp::kMov, d, a, 4));  // 32-bit mov zero-extends
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kI64ExtendI32S: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        MInstr mi;
+        mi.op = MOp::kMovsxd;
+        mi.dst = Operand::R(d);
+        mi.src = Operand::R(a);
+        mi.width = 8;
+        Push(mi);
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kI64ExtendI32U: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        Push(MInstr::RR(MOp::kMov, d, a, 4));
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kF64Neg:
+      case Opcode::kF32Neg:
+      case Opcode::kF64Abs:
+      case Opcode::kF32Abs: {
+        bool is_abs = op.wop == Opcode::kF64Abs || op.wop == Opcode::kF32Abs;
+        bool f32 = op.width == 4;
+        uint64_t mask = is_abs ? (f32 ? 0x7fffffffull : 0x7fffffffffffffffull)
+                               : (f32 ? 0x80000000ull : 0x8000000000000000ull);
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        if (!(alloc_.IsReg(op.d) && alloc_.IsReg(op.a) &&
+              alloc_.XmmOf(op.d) == alloc_.XmmOf(op.a))) {
+          MInstr mv;
+          mv.op = MOp::kMovsd;
+          mv.dst = Operand::X(d);
+          mv.src = Operand::X(a);
+          Push(mv);
+        }
+        MInstr mi;
+        mi.op = is_abs ? MOp::kAndpd : MOp::kXorpd;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::Imm(static_cast<int64_t>(mask));
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case Opcode::kF64Sqrt:
+      case Opcode::kF32Sqrt: {
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = op.width == 4 ? MOp::kSqrtss : MOp::kSqrtsd;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::X(a);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case Opcode::kF64Ceil:
+      case Opcode::kF64Floor:
+      case Opcode::kF64Trunc:
+      case Opcode::kF64Nearest:
+      case Opcode::kF32Ceil:
+      case Opcode::kF32Floor:
+      case Opcode::kF32Trunc:
+      case Opcode::kF32Nearest: {
+        int mode;
+        switch (op.wop) {
+          case Opcode::kF64Nearest:
+          case Opcode::kF32Nearest:
+            mode = 0;
+            break;
+          case Opcode::kF64Floor:
+          case Opcode::kF32Floor:
+            mode = 1;
+            break;
+          case Opcode::kF64Ceil:
+          case Opcode::kF32Ceil:
+            mode = 2;
+            break;
+          default:
+            mode = 3;
+            break;
+        }
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = op.width == 4 ? MOp::kRoundss : MOp::kRoundsd;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::X(a);
+        mi.src2 = Operand::Imm(mode);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      // Conversions.
+      case Opcode::kI32TruncF32S:
+      case Opcode::kI32TruncF32U:
+      case Opcode::kI32TruncF64S:
+      case Opcode::kI32TruncF64U:
+      case Opcode::kI64TruncF32S:
+      case Opcode::kI64TruncF32U:
+      case Opcode::kI64TruncF64S:
+      case Opcode::kI64TruncF64U: {
+        bool from32 = op.wop == Opcode::kI32TruncF32S || op.wop == Opcode::kI32TruncF32U ||
+                      op.wop == Opcode::kI64TruncF32S || op.wop == Opcode::kI64TruncF32U;
+        bool to64 = op.wop == Opcode::kI64TruncF32S || op.wop == Opcode::kI64TruncF32U ||
+                    op.wop == Opcode::kI64TruncF64S || op.wop == Opcode::kI64TruncF64U;
+        bool uns = op.wop == Opcode::kI32TruncF32U || op.wop == Opcode::kI32TruncF64U ||
+                   op.wop == Opcode::kI64TruncF32U || op.wop == Opcode::kI64TruncF64U;
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        MInstr mi;
+        mi.op = from32 ? MOp::kCvttss2si : MOp::kCvttsd2si;
+        mi.dst = Operand::R(d);
+        mi.src = Operand::X(a);
+        mi.width = to64 ? 8 : 4;
+        mi.sign_extend = !uns;
+        Push(mi);
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kF64ConvertI32S:
+      case Opcode::kF64ConvertI32U:
+      case Opcode::kF64ConvertI64S:
+      case Opcode::kF64ConvertI64U:
+      case Opcode::kF32ConvertI32S:
+      case Opcode::kF32ConvertI32U:
+      case Opcode::kF32ConvertI64S:
+      case Opcode::kF32ConvertI64U: {
+        bool to32 = op.wop == Opcode::kF32ConvertI32S || op.wop == Opcode::kF32ConvertI32U ||
+                    op.wop == Opcode::kF32ConvertI64S || op.wop == Opcode::kF32ConvertI64U;
+        bool from64 = op.wop == Opcode::kF64ConvertI64S || op.wop == Opcode::kF64ConvertI64U ||
+                      op.wop == Opcode::kF32ConvertI64S || op.wop == Opcode::kF32ConvertI64U;
+        bool uns = op.wop == Opcode::kF64ConvertI32U || op.wop == Opcode::kF64ConvertI64U ||
+                   op.wop == Opcode::kF32ConvertI32U || op.wop == Opcode::kF32ConvertI64U;
+        Gpr a = UseGpr(op.a, kScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = to32 ? MOp::kCvtsi2ss : MOp::kCvtsi2sd;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::R(a);
+        mi.width = from64 ? 8 : 4;
+        mi.sign_extend = !uns;
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case Opcode::kF64PromoteF32: {
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = MOp::kCvtss2sd;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::X(a);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case Opcode::kF32DemoteF64: {
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = MOp::kCvtsd2ss;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::X(a);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case Opcode::kI32ReinterpretF32:
+      case Opcode::kI64ReinterpretF64: {
+        Xmm a = UseXmm(op.a, kFpScratch0);
+        Gpr d = DefGpr(op.d, kScratch0);
+        MInstr mi;
+        mi.op = MOp::kMovqFromXmm;
+        mi.dst = Operand::R(d);
+        mi.src = Operand::X(a);
+        Push(mi);
+        if (op.wop == Opcode::kI32ReinterpretF32) {
+          Push(MInstr::RR(MOp::kMov, d, d, 4));  // truncate to low 32
+        }
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case Opcode::kF32ReinterpretI32:
+      case Opcode::kF64ReinterpretI64: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = MOp::kMovqToXmm;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::R(a);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      default:
+        break;
+    }
+  }
+
+  void EmitLoad(const VOp& op) {
+    MemRef mem = op.fuse_scale != 0 ? FusedHeapRef(op.a, op.b, op.fuse_scale, op.offset)
+                                    : HeapRef(op.a, op.offset, kScratch0);
+    if (op.is_fp) {
+      Xmm d = DefXmm(op.d, kFpScratch0);
+      MInstr mi;
+      mi.op = op.width == 4 ? MOp::kMovss : MOp::kMovsd;
+      mi.dst = Operand::X(d);
+      mi.src = Operand::M(mem);
+      mi.width = op.width;
+      Push(mi);
+      StoreIfSpilledX(op.d, d);
+      return;
+    }
+    Gpr d = DefGpr(op.d, kScratch1);
+    MInstr mi;
+    mi.op = MOp::kLoad;
+    mi.dst = Operand::R(d);
+    mi.src = Operand::M(mem);
+    mi.width = op.width;
+    mi.sign_extend = op.sign;
+    Push(mi);
+    StoreIfSpilled(op.d, d);
+  }
+
+  void EmitStore(const VOp& op) {
+    MemRef mem = op.fuse_scale != 0 ? FusedHeapRef(op.a, op.c, op.fuse_scale, op.offset)
+                                    : HeapRef(op.a, op.offset, kScratch0);
+    if (op.alu_op != Opcode::kNop) {
+      // Register-memory ALU form (native fusion).
+      MOp mop;
+      switch (op.alu_op) {
+        case Opcode::kI32Add:
+        case Opcode::kI64Add:
+          mop = MOp::kAdd;
+          break;
+        case Opcode::kI32Sub:
+        case Opcode::kI64Sub:
+          mop = MOp::kSub;
+          break;
+        case Opcode::kI32And:
+          mop = MOp::kAnd;
+          break;
+        case Opcode::kI32Or:
+          mop = MOp::kOr;
+          break;
+        default:
+          mop = MOp::kXor;
+          break;
+      }
+      Gpr v = UseGpr(op.b, kScratch1);
+      MInstr mi;
+      mi.op = mop;
+      mi.dst = Operand::M(mem);
+      mi.src = Operand::R(v);
+      mi.width = op.width;
+      Push(mi);
+      return;
+    }
+    if (op.is_fp) {
+      Xmm v = UseXmm(op.b, kFpScratch0);
+      MInstr mi;
+      mi.op = op.width == 4 ? MOp::kMovss : MOp::kMovsd;
+      mi.dst = Operand::M(mem);
+      mi.src = Operand::X(v);
+      mi.width = op.width;
+      Push(mi);
+      return;
+    }
+    Gpr v = UseGpr(op.b, kScratch1);
+    MInstr mi;
+    mi.op = MOp::kStore;
+    mi.dst = Operand::M(mem);
+    mi.src = Operand::R(v);
+    mi.width = op.width;
+    Push(mi);
+  }
+
+  void EmitCallCommon(const VOp& op, bool indirect) {
+    // Indirect: checks + load target into kScratch1 first.
+    if (indirect) {
+      Gpr t = UseGpr(op.a, kScratch0);
+      uint32_t table_size = static_cast<uint32_t>(env_.table_size);
+      if (options_.indirect_check) {
+        MInstr cmp = MInstr::RI(MOp::kCmp, t, table_size, 4);
+        cmp.comment = "table bounds check";
+        Push(cmp);
+        PushJcc(Cond::kAe, TrapStub(kBuiltinTrapOob));
+        // Load sig id.
+        MInstr lds;
+        lds.op = MOp::kLoad;
+        lds.dst = Operand::R(kScratch1);
+        lds.src = Operand::M(MemRef{std::nullopt, t, 8, static_cast<int32_t>(kTableBase)});
+        lds.width = 4;
+        lds.comment = "load sig id";
+        Push(lds);
+        MInstr cmpn = MInstr::RI(MOp::kCmp, kScratch1, -1, 4);
+        cmpn.comment = "null check";
+        Push(cmpn);
+        PushJcc(Cond::kE, TrapStub(kBuiltinTrapNull));
+        MInstr cmps = MInstr::RI(MOp::kCmp, kScratch1, env_.sig_ids.at(op.sig), 4);
+        cmps.comment = "signature check";
+        Push(cmps);
+        PushJcc(Cond::kNe, TrapStub(kBuiltinTrapSig));
+      }
+      MInstr ldf;
+      ldf.op = MOp::kLoad;
+      ldf.dst = Operand::R(kScratch1);
+      ldf.src = Operand::M(MemRef{std::nullopt, t, 8, static_cast<int32_t>(kTableBase) + 4});
+      ldf.width = 4;
+      ldf.comment = "load target";
+      Push(ldf);
+    }
+    // Arguments: pushed into the outgoing area below rsp.
+    uint32_t nargs = static_cast<uint32_t>(op.args.size());
+    if (nargs > 0) {
+      Push(MInstr::RI(MOp::kSub, Gpr::kRsp, 8 * nargs, 8));
+      for (uint32_t i = 0; i < nargs; i++) {
+        uint32_t v = op.args[i];
+        if (vf_.vregs[v].is_fp) {
+          Xmm x = UseXmm(v, kFpScratch0);
+          MInstr st;
+          st.op = MOp::kMovsd;
+          st.dst = Operand::M(MemRef::BaseDisp(Gpr::kRsp, 8 * static_cast<int32_t>(i)));
+          st.src = Operand::X(x);
+          Push(st);
+        } else {
+          Gpr g = UseGpr(v, kScratch0);
+          Push(MInstr::MR(MOp::kStore, MemRef::BaseDisp(Gpr::kRsp, 8 * static_cast<int32_t>(i)),
+                          g, 8));
+        }
+      }
+    }
+    if (indirect) {
+      MInstr call;
+      call.op = MOp::kCallReg;
+      call.dst = Operand::R(kScratch1);
+      Push(call);
+    } else {
+      MInstr call;
+      call.op = MOp::kCall;
+      call.func = op.func;
+      Push(call);
+    }
+    if (nargs > 0) {
+      Push(MInstr::RI(MOp::kAdd, Gpr::kRsp, 8 * nargs, 8));
+    }
+    // Result.
+    if (op.d != kNoVReg && alloc_.loc[op.d] != -1) {
+      if (op.is_fp) {
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        if (alloc_.IsReg(op.d)) {
+          MInstr mv;
+          mv.op = MOp::kMovsd;
+          mv.dst = Operand::X(d);
+          mv.src = Operand::X(Xmm::kXmm0);
+          Push(mv);
+          StoreIfSpilledX(op.d, d);
+        } else {
+          StoreIfSpilledX(op.d, Xmm::kXmm0);
+        }
+      } else {
+        Gpr d = DefGpr(op.d, Gpr::kRax);
+        if (alloc_.IsReg(op.d)) {
+          Push(MInstr::RR(MOp::kMov, d, Gpr::kRax, 8));
+        }
+        StoreIfSpilled(op.d, Gpr::kRax);
+      }
+    }
+  }
+
+  void EmitOp(const VOp& op) {
+    switch (op.k) {
+      case VOp::K::kParam: {
+        if (alloc_.loc[op.d] == -1) {
+          return;
+        }
+        if (op.is_fp) {
+          Xmm d = DefXmm(op.d, kFpScratch0);
+          MInstr ld;
+          ld.op = MOp::kMovsd;
+          ld.dst = Operand::X(d);
+          ld.src = Operand::M(ParamRef(static_cast<uint32_t>(op.imm)));
+          Push(ld);
+          StoreIfSpilledX(op.d, d);
+        } else {
+          Gpr d = DefGpr(op.d, kScratch0);
+          Push(MInstr::RM(MOp::kLoad, d, ParamRef(static_cast<uint32_t>(op.imm)), 8));
+          StoreIfSpilled(op.d, d);
+        }
+        return;
+      }
+      case VOp::K::kConst: {
+        if (alloc_.loc[op.d] == -1) {
+          return;
+        }
+        Gpr d = DefGpr(op.d, kScratch0);
+        LoadImm(d, op.imm, op.width);
+        StoreIfSpilled(op.d, d);
+        return;
+      }
+      case VOp::K::kConstF: {
+        if (alloc_.loc[op.d] == -1) {
+          return;
+        }
+        // Materialize through a GPR (engines use a constant pool load; the
+        // instruction count is comparable).
+        LoadImm(kScratch0, op.imm, 8);
+        Xmm d = DefXmm(op.d, kFpScratch0);
+        MInstr mi;
+        mi.op = MOp::kMovqToXmm;
+        mi.dst = Operand::X(d);
+        mi.src = Operand::R(kScratch0);
+        Push(mi);
+        StoreIfSpilledX(op.d, d);
+        return;
+      }
+      case VOp::K::kMove:
+        if (op.is_fp) {
+          EmitMoveXmm(op.d, op.a);
+        } else {
+          EmitMoveGpr(op.d, op.a, op.width);
+        }
+        return;
+      case VOp::K::kUn:
+        EmitUn(op);
+        return;
+      case VOp::K::kBin:
+        EmitBin(op);
+        return;
+      case VOp::K::kCmp:
+        EmitCmpSet(op);
+        return;
+      case VOp::K::kSelect: {
+        Gpr c = UseGpr(op.c, kScratch0);
+        MInstr tst = MInstr::RR(MOp::kTest, c, c, 4);
+        Push(tst);
+        uint32_t use_b = NewLabel();
+        uint32_t done = NewLabel();
+        PushJcc(Cond::kE, use_b);
+        if (op.is_fp) {
+          EmitMoveXmm(op.d, op.a);
+        } else {
+          EmitMoveGpr(op.d, op.a, op.width);
+        }
+        PushJump(done);
+        BindLabel(use_b);
+        if (op.is_fp) {
+          EmitMoveXmm(op.d, op.b);
+        } else {
+          EmitMoveGpr(op.d, op.b, op.width);
+        }
+        BindLabel(done);
+        return;
+      }
+      case VOp::K::kLoad:
+        EmitLoad(op);
+        return;
+      case VOp::K::kStore:
+        EmitStore(op);
+        return;
+      case VOp::K::kGlobalGet: {
+        if (alloc_.loc[op.d] == -1) {
+          return;
+        }
+        MemRef mem = MemRef::Abs(static_cast<int32_t>(kGlobalsBase + 8 * (1 + op.imm)));
+        if (op.is_fp) {
+          Xmm d = DefXmm(op.d, kFpScratch0);
+          MInstr ld;
+          ld.op = MOp::kMovsd;
+          ld.dst = Operand::X(d);
+          ld.src = Operand::M(mem);
+          Push(ld);
+          StoreIfSpilledX(op.d, d);
+        } else {
+          Gpr d = DefGpr(op.d, kScratch0);
+          Push(MInstr::RM(MOp::kLoad, d, mem, 8));
+          StoreIfSpilled(op.d, d);
+        }
+        return;
+      }
+      case VOp::K::kGlobalSet: {
+        MemRef mem = MemRef::Abs(static_cast<int32_t>(kGlobalsBase + 8 * (1 + op.imm)));
+        if (op.is_fp) {
+          Xmm a = UseXmm(op.a, kFpScratch0);
+          MInstr st;
+          st.op = MOp::kMovsd;
+          st.dst = Operand::M(mem);
+          st.src = Operand::X(a);
+          Push(st);
+        } else {
+          Gpr a = UseGpr(op.a, kScratch0);
+          Push(MInstr::MR(MOp::kStore, mem, a, 8));
+        }
+        return;
+      }
+      case VOp::K::kLabel: {
+        if (options_.loop_entry_jump && IsLoopHeader(op.label)) {
+          // V8 shape: an extra jump into the loop (skipping reload code).
+          uint32_t skip = NewLabel();
+          PushJump(skip);
+          BindLabel(skip);
+        }
+        BindLabel(UserLabel(op.label));
+        return;
+      }
+      case VOp::K::kBr:
+        PushJump(UserLabel(op.label));
+        return;
+      case VOp::K::kBrIf: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Push(MInstr::RR(MOp::kTest, a, a, 4));
+        PushJcc(op.negate ? Cond::kE : Cond::kNe, UserLabel(op.label));
+        return;
+      }
+      case VOp::K::kBrCmp: {
+        Gpr a = UseGpr(op.a, kScratch0);
+        Gpr b = UseGpr(op.b, kScratch1);
+        Push(MInstr::RR(MOp::kCmp, a, b, op.width));
+        PushJcc(op.cond, UserLabel(op.label));
+        return;
+      }
+      case VOp::K::kCall:
+        EmitCallCommon(op, false);
+        return;
+      case VOp::K::kCallInd:
+        EmitCallCommon(op, true);
+        return;
+      case VOp::K::kMemSize: {
+        MInstr call;
+        call.op = MOp::kCallHost;
+        call.func = kBuiltinMemorySize;
+        Push(call);
+        Gpr d = DefGpr(op.d, Gpr::kRax);
+        if (alloc_.IsReg(op.d)) {
+          Push(MInstr::RR(MOp::kMov, d, Gpr::kRax, 4));
+        }
+        StoreIfSpilled(op.d, Gpr::kRax);
+        return;
+      }
+      case VOp::K::kMemGrow: {
+        MInstr push_rdi;
+        push_rdi.op = MOp::kPush;
+        push_rdi.dst = Operand::R(Gpr::kRdi);
+        Push(push_rdi);
+        Gpr a = UseGpr(op.a, kScratch0);
+        Push(MInstr::RR(MOp::kMov, Gpr::kRdi, a, 4));
+        MInstr call;
+        call.op = MOp::kCallHost;
+        call.func = kBuiltinMemoryGrow;
+        Push(call);
+        MInstr pop_rdi;
+        pop_rdi.op = MOp::kPop;
+        pop_rdi.dst = Operand::R(Gpr::kRdi);
+        Push(pop_rdi);
+        Gpr d = DefGpr(op.d, Gpr::kRax);
+        if (alloc_.IsReg(op.d)) {
+          Push(MInstr::RR(MOp::kMov, d, Gpr::kRax, 4));
+        }
+        StoreIfSpilled(op.d, Gpr::kRax);
+        return;
+      }
+      case VOp::K::kRet: {
+        if (op.a != kNoVReg) {
+          if (op.is_fp) {
+            Xmm a = UseXmm(op.a, kFpScratch0);
+            if (a != Xmm::kXmm0) {
+              MInstr mv;
+              mv.op = MOp::kMovsd;
+              mv.dst = Operand::X(Xmm::kXmm0);
+              mv.src = Operand::X(a);
+              Push(mv);
+            }
+          } else {
+            Gpr a = UseGpr(op.a, kScratch0);
+            if (a != Gpr::kRax) {
+              Push(MInstr::RR(MOp::kMov, Gpr::kRax, a, 8));
+            }
+          }
+        }
+        PushJump(epilogue_label_);
+        return;
+      }
+      case VOp::K::kTrap: {
+        MInstr call;
+        call.op = MOp::kCallHost;
+        call.func = kBuiltinTrapUnreachable;
+        Push(call);
+        return;
+      }
+    }
+  }
+
+  bool IsLoopHeader(uint32_t user_label) const {
+    for (uint32_t h : vf_.loop_headers) {
+      if (h == user_label) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // User (VOp) labels and emission-internal labels share one space: user
+  // label i maps to internal label i; internal labels start above them.
+  uint32_t UserLabel(uint32_t label) { return label; }
+
+  const VFunc& vf_;
+  const Allocation& alloc_;
+  const CodegenOptions& options_;
+  const EmitEnv& env_;
+  MFunction out_;
+  uint32_t num_saved_ = 0;
+  uint32_t frame_slots_ = 0;
+  uint32_t next_label_;
+  uint32_t epilogue_label_;
+  std::unordered_map<uint32_t, uint32_t> label_pos_;
+  std::vector<uint32_t> pending_;
+  std::vector<std::pair<uint32_t, uint32_t>> trap_stubs_;
+
+ public:
+  void Init() {
+    next_label_ = vf_.next_label;
+    epilogue_label_ = NewLabel();
+  }
+};
+
+}  // namespace
+
+MFunction EmitFunction(const VFunc& vf, const Allocation& alloc, const CodegenOptions& options,
+                       const EmitEnv& env) {
+  Emitter e(vf, alloc, options, env);
+  e.Init();
+  return e.Run();
+}
+
+}  // namespace nsf

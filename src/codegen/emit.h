@@ -1,0 +1,25 @@
+// Emission of allocated IR into machine functions.
+#ifndef SRC_CODEGEN_EMIT_H_
+#define SRC_CODEGEN_EMIT_H_
+
+#include <unordered_map>
+
+#include "src/codegen/codegen.h"
+#include "src/codegen/regalloc.h"
+#include "src/machine/machine.h"
+
+namespace nsf {
+
+// Module-level facts the emitter needs.
+struct EmitEnv {
+  uint32_t table_size = 0;
+  // Wasm type index -> signature id baked into the table image.
+  std::unordered_map<uint32_t, uint32_t> sig_ids;
+};
+
+MFunction EmitFunction(const VFunc& vf, const Allocation& alloc, const CodegenOptions& options,
+                       const EmitEnv& env);
+
+}  // namespace nsf
+
+#endif  // SRC_CODEGEN_EMIT_H_

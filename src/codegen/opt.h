@@ -1,0 +1,26 @@
+// Optimization passes over the VOp IR (see opt.cc for pass semantics).
+#ifndef SRC_CODEGEN_OPT_H_
+#define SRC_CODEGEN_OPT_H_
+
+#include "src/codegen/ir.h"
+
+namespace nsf {
+
+// Removes pure ops whose results are unused (to fixpoint).
+void DeadCodeElim(VFunc* vf);
+
+// Forwards single-def copies and re-runs DCE.
+void CopyPropagate(VFunc* vf);
+
+// Rotates top-test loops into bottom-test form (native profile).
+void RotateLoops(VFunc* vf);
+
+// Folds add/shl address chains into [base+index*scale+disp] operands.
+void FuseAddressing(VFunc* vf);
+
+// Fuses load/modify/store into register-memory ALU instructions.
+void FuseAluMem(VFunc* vf);
+
+}  // namespace nsf
+
+#endif  // SRC_CODEGEN_OPT_H_

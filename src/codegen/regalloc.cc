@@ -1,0 +1,528 @@
+#include "src/codegen/regalloc.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace nsf {
+
+namespace {
+
+// Universal exclusions: rsp/rbp (frame), rax/rdx (division + return),
+// rcx (shift counts), r10/r11 (emission scratch).
+bool UniversallyExcluded(Gpr g) {
+  switch (g) {
+    case Gpr::kRsp:
+    case Gpr::kRbp:
+    case Gpr::kRax:
+    case Gpr::kRdx:
+    case Gpr::kRcx:
+    case Gpr::kR10:
+    case Gpr::kR11:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// xmm0 (return), xmm14/xmm15 (emission scratch).
+bool UniversallyExcludedXmm(Xmm x) {
+  return x == Xmm::kXmm0 || x == Xmm::kXmm14 || x == Xmm::kXmm15;
+}
+
+}  // namespace
+
+std::vector<Gpr> AllocatableGprs(const CodegenOptions& options) {
+  std::vector<Gpr> pool;
+  for (int i = 0; i < kNumGprs; i++) {
+    Gpr g = static_cast<Gpr>(i);
+    if (UniversallyExcluded(g)) {
+      continue;
+    }
+    if (!options.heap_base_in_disp && g == options.heap_base_reg) {
+      continue;
+    }
+    bool reserved = false;
+    for (Gpr r : options.reserved_gprs) {
+      reserved = reserved || r == g;
+    }
+    if (!reserved) {
+      pool.push_back(g);
+    }
+  }
+  return pool;
+}
+
+std::vector<Xmm> AllocatableXmms(const CodegenOptions& options) {
+  std::vector<Xmm> pool;
+  for (int i = 0; i < kNumXmms; i++) {
+    Xmm x = static_cast<Xmm>(i);
+    if (UniversallyExcludedXmm(x)) {
+      continue;
+    }
+    bool reserved = false;
+    for (Xmm r : options.reserved_xmms) {
+      reserved = reserved || r == x;
+    }
+    if (!reserved) {
+      pool.push_back(x);
+    }
+  }
+  return pool;
+}
+
+Liveness ComputeLiveness(const VFunc& vf) {
+  const size_t n = vf.ops.size();
+  const uint32_t words = static_cast<uint32_t>((vf.vregs.size() + 63) / 64);
+  Liveness lv;
+  lv.words = words;
+  lv.live_out.assign(n, std::vector<uint64_t>(words, 0));
+
+  // Label -> op index.
+  std::unordered_map<uint32_t, uint32_t> label_at;
+  for (size_t i = 0; i < n; i++) {
+    if (vf.ops[i].k == VOp::K::kLabel) {
+      label_at[vf.ops[i].label] = static_cast<uint32_t>(i);
+    }
+  }
+
+  auto succs = [&](size_t i, uint32_t out[2]) -> int {
+    const VOp& op = vf.ops[i];
+    int count = 0;
+    switch (op.k) {
+      case VOp::K::kBr:
+        out[count++] = label_at.at(op.label);
+        break;
+      case VOp::K::kBrIf:
+      case VOp::K::kBrCmp:
+        out[count++] = label_at.at(op.label);
+        if (i + 1 < n) {
+          out[count++] = static_cast<uint32_t>(i + 1);
+        }
+        break;
+      case VOp::K::kRet:
+      case VOp::K::kTrap:
+        break;
+      default:
+        if (i + 1 < n) {
+          out[count++] = static_cast<uint32_t>(i + 1);
+        }
+        break;
+    }
+    return count;
+  };
+
+  // Fixpoint backward dataflow at op granularity.
+  bool changed = true;
+  std::vector<uint64_t> live(words);
+  while (changed) {
+    changed = false;
+    for (size_t ii = n; ii > 0; ii--) {
+      size_t i = ii - 1;
+      // live_out = union of live_in(succ); live_in(s) = (live_out(s) - def) | use.
+      std::fill(live.begin(), live.end(), 0);
+      uint32_t sc[2];
+      int ns = succs(i, sc);
+      for (int s = 0; s < ns; s++) {
+        const VOp& sop = vf.ops[sc[s]];
+        // live_in of successor.
+        std::vector<uint64_t> in = lv.live_out[sc[s]];
+        uint32_t d = DefOf(sop);
+        if (d != kNoVReg) {
+          in[d / 64] &= ~(uint64_t{1} << (d % 64));
+        }
+        ForEachUse(sop, [&in](uint32_t v) { in[v / 64] |= uint64_t{1} << (v % 64); });
+        for (uint32_t w = 0; w < words; w++) {
+          live[w] |= in[w];
+        }
+      }
+      if (live != lv.live_out[i]) {
+        lv.live_out[i] = live;
+        changed = true;
+      }
+    }
+  }
+  return lv;
+}
+
+namespace {
+
+struct Interval {
+  uint32_t vreg = 0;
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint32_t weight = 0;  // spill-cost proxy: use count (loop-weighted for GC)
+  bool is_fp = false;
+};
+
+// Builds whole-function live intervals from per-op liveness.
+std::vector<Interval> BuildIntervals(const VFunc& vf, const Liveness& lv) {
+  const uint32_t kNone = UINT32_MAX;
+  std::vector<uint32_t> first(vf.vregs.size(), kNone);
+  std::vector<uint32_t> last(vf.vregs.size(), 0);
+  std::vector<uint32_t> weight(vf.vregs.size(), 0);
+  auto touch = [&](uint32_t v, uint32_t i) {
+    if (first[v] == kNone) {
+      first[v] = i;
+    }
+    first[v] = std::min(first[v], i);
+    last[v] = std::max(last[v], i);
+  };
+  for (uint32_t i = 0; i < vf.ops.size(); i++) {
+    const VOp& op = vf.ops[i];
+    uint32_t d = DefOf(op);
+    if (d != kNoVReg) {
+      touch(d, i);
+      weight[d]++;
+    }
+    ForEachUse(op, [&](uint32_t v) {
+      touch(v, i);
+      weight[v]++;
+    });
+    for (uint32_t w = 0; w < lv.words; w++) {
+      uint64_t bits = lv.live_out[i][w];
+      while (bits != 0) {
+        uint32_t bit = static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        touch(w * 64 + bit, i + 1 <= vf.ops.size() ? i + 1 : i);
+      }
+    }
+  }
+  std::vector<Interval> out;
+  for (uint32_t v = 0; v < vf.vregs.size(); v++) {
+    if (first[v] == kNone) {
+      continue;
+    }
+    Interval iv;
+    iv.vreg = v;
+    iv.start = first[v];
+    iv.end = last[v];
+    iv.weight = weight[v];
+    iv.is_fp = vf.vregs[v].is_fp;
+    out.push_back(iv);
+  }
+  return out;
+}
+
+// --- Linear scan (per class) ---
+void LinearScanClass(std::vector<Interval> intervals, uint32_t num_regs,
+                     std::vector<int32_t>* loc, uint32_t* next_slot,
+                     std::vector<bool>* used_regs, uint32_t* spills) {
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    return a.start < b.start || (a.start == b.start && a.vreg < b.vreg);
+  });
+  struct Active {
+    uint32_t end;
+    uint32_t vreg;
+    uint32_t reg;
+  };
+  std::vector<Active> active;  // kept sorted by end
+  std::vector<bool> free_reg(num_regs, true);
+
+  for (const Interval& iv : intervals) {
+    // Expire old intervals.
+    size_t keep = 0;
+    for (size_t i = 0; i < active.size(); i++) {
+      if (active[i].end >= iv.start) {
+        active[keep++] = active[i];
+      } else {
+        free_reg[active[i].reg] = true;
+      }
+    }
+    active.resize(keep);
+    // Find a free register.
+    int32_t reg = -1;
+    for (uint32_t r = 0; r < num_regs; r++) {
+      if (free_reg[r]) {
+        reg = static_cast<int32_t>(r);
+        break;
+      }
+    }
+    if (reg >= 0) {
+      free_reg[reg] = false;
+      (*used_regs)[reg] = true;
+      (*loc)[iv.vreg] = reg;
+      active.push_back(Active{iv.end, iv.vreg, static_cast<uint32_t>(reg)});
+      std::sort(active.begin(), active.end(),
+                [](const Active& a, const Active& b) { return a.end < b.end; });
+      continue;
+    }
+    // Spill: the active interval with the furthest end, or this one.
+    Active* victim = active.empty() ? nullptr : &active.back();
+    if (victim != nullptr && victim->end > iv.end) {
+      (*loc)[iv.vreg] = (*loc)[victim->vreg];
+      (*loc)[victim->vreg] = -2 - static_cast<int32_t>((*next_slot)++);
+      (*spills)++;
+      victim->vreg = iv.vreg;
+      victim->end = iv.end;
+      std::sort(active.begin(), active.end(),
+                [](const Active& a, const Active& b) { return a.end < b.end; });
+    } else {
+      (*loc)[iv.vreg] = -2 - static_cast<int32_t>((*next_slot)++);
+      (*spills)++;
+    }
+  }
+}
+
+// --- Graph coloring (per class) ---
+void GraphColorClass(const VFunc& vf, const Liveness& lv, const std::vector<Interval>& intervals,
+                     bool fp_class, uint32_t num_regs, std::vector<int32_t>* loc,
+                     uint32_t* next_slot, std::vector<bool>* used_regs, uint32_t* spills) {
+  // Node set: vregs of this class that appear.
+  std::vector<uint32_t> nodes;
+  std::vector<int32_t> node_of(vf.vregs.size(), -1);
+  for (const Interval& iv : intervals) {
+    node_of[iv.vreg] = static_cast<int32_t>(nodes.size());
+    nodes.push_back(iv.vreg);
+  }
+  const size_t nn = nodes.size();
+  std::vector<std::unordered_set<uint32_t>> adj(nn);
+  std::vector<uint32_t> weight(nn, 0);
+  for (size_t i = 0; i < nodes.size(); i++) {
+    weight[i] = intervals[i].weight;
+  }
+
+  auto interfere = [&](uint32_t a, uint32_t b) {
+    if (a == b) {
+      return;
+    }
+    adj[a].insert(b);
+    adj[b].insert(a);
+  };
+
+  // Def interferes with live-out (minus move sources — allows coalescing).
+  for (size_t i = 0; i < vf.ops.size(); i++) {
+    const VOp& op = vf.ops[i];
+    uint32_t d = DefOf(op);
+    if (d == kNoVReg || vf.vregs[d].is_fp != fp_class || node_of[d] < 0) {
+      continue;
+    }
+    uint32_t dn = static_cast<uint32_t>(node_of[d]);
+    uint32_t move_src = op.k == VOp::K::kMove ? op.a : kNoVReg;
+    for (uint32_t w = 0; w < lv.words; w++) {
+      uint64_t bits = lv.live_out[i][w];
+      while (bits != 0) {
+        uint32_t bit = static_cast<uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        uint32_t v = w * 64 + bit;
+        if (v != d && v != move_src && vf.vregs[v].is_fp == fp_class && node_of[v] >= 0) {
+          interfere(dn, static_cast<uint32_t>(node_of[v]));
+        }
+      }
+    }
+  }
+
+  // Conservative move coalescing (Briggs): merge move-related nodes when the
+  // merged node has < num_regs high-degree neighbors.
+  std::vector<int32_t> merged_into(nn, -1);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (merged_into[x] >= 0) {
+      x = static_cast<uint32_t>(merged_into[x]);
+    }
+    return x;
+  };
+  for (const VOp& op : vf.ops) {
+    if (op.k != VOp::K::kMove || op.a == kNoVReg) {
+      continue;
+    }
+    if (vf.vregs[op.d].is_fp != fp_class || node_of[op.d] < 0 || node_of[op.a] < 0) {
+      continue;
+    }
+    uint32_t x = find(static_cast<uint32_t>(node_of[op.d]));
+    uint32_t y = find(static_cast<uint32_t>(node_of[op.a]));
+    if (x == y || adj[x].count(y) != 0) {
+      continue;
+    }
+    // Briggs test on the union.
+    std::unordered_set<uint32_t> combined;
+    for (uint32_t t : adj[x]) {
+      combined.insert(find(t));
+    }
+    for (uint32_t t : adj[y]) {
+      combined.insert(find(t));
+    }
+    combined.erase(x);
+    combined.erase(y);
+    uint32_t high = 0;
+    for (uint32_t t : combined) {
+      if (adj[t].size() >= num_regs) {
+        high++;
+      }
+    }
+    if (high >= num_regs) {
+      continue;
+    }
+    // Merge y into x.
+    merged_into[y] = static_cast<int32_t>(x);
+    for (uint32_t t : adj[y]) {
+      uint32_t tt = find(t);
+      if (tt != x) {
+        adj[x].insert(tt);
+        adj[tt].insert(x);
+      }
+    }
+    weight[x] += weight[y];
+  }
+
+  // Rebuild adjacency over representatives.
+  std::vector<std::unordered_set<uint32_t>> radj(nn);
+  for (uint32_t i = 0; i < nn; i++) {
+    uint32_t ri = find(i);
+    for (uint32_t t : adj[i]) {
+      uint32_t rt = find(t);
+      if (ri != rt) {
+        radj[ri].insert(rt);
+        radj[rt].insert(ri);
+      }
+    }
+  }
+
+  // Chaitin-Briggs simplify/spill with optimistic coloring.
+  std::vector<uint32_t> reps;
+  for (uint32_t i = 0; i < nn; i++) {
+    if (find(i) == i) {
+      reps.push_back(i);
+    }
+  }
+  std::vector<std::unordered_set<uint32_t>> work = radj;
+  std::vector<bool> removed(nn, false);
+  std::vector<uint32_t> stack;
+  size_t remaining = reps.size();
+  while (remaining > 0) {
+    bool simplified = false;
+    for (uint32_t r : reps) {
+      if (!removed[r] && work[r].size() < num_regs) {
+        stack.push_back(r);
+        removed[r] = true;
+        remaining--;
+        for (uint32_t t : radj[r]) {
+          work[t].erase(r);
+        }
+        simplified = true;
+      }
+    }
+    if (simplified) {
+      continue;
+    }
+    // Pick a spill candidate: lowest weight / degree ratio.
+    uint32_t best = UINT32_MAX;
+    double best_score = 0;
+    for (uint32_t r : reps) {
+      if (removed[r]) {
+        continue;
+      }
+      double score = static_cast<double>(weight[r]) / (1.0 + work[r].size());
+      if (best == UINT32_MAX || score < best_score) {
+        best = r;
+        best_score = score;
+      }
+    }
+    stack.push_back(best);
+    removed[best] = true;
+    remaining--;
+    for (uint32_t t : radj[best]) {
+      work[t].erase(best);
+    }
+  }
+
+  // Optimistic assignment.
+  std::vector<int32_t> color(nn, -1);
+  while (!stack.empty()) {
+    uint32_t r = stack.back();
+    stack.pop_back();
+    std::vector<bool> taken(num_regs, false);
+    for (uint32_t t : radj[r]) {
+      if (color[t] >= 0) {
+        taken[color[t]] = true;
+      }
+    }
+    int32_t c = -1;
+    for (uint32_t k = 0; k < num_regs; k++) {
+      if (!taken[k]) {
+        c = static_cast<int32_t>(k);
+        break;
+      }
+    }
+    color[r] = c;  // -1 -> spilled
+  }
+
+  // Write assignments back through the union-find.
+  std::unordered_map<uint32_t, int32_t> rep_slot;
+  for (uint32_t i = 0; i < nn; i++) {
+    uint32_t r = find(i);
+    int32_t c = color[r];
+    if (c >= 0) {
+      (*loc)[nodes[i]] = c;
+      (*used_regs)[c] = true;
+    } else {
+      auto it = rep_slot.find(r);
+      if (it == rep_slot.end()) {
+        it = rep_slot.emplace(r, -2 - static_cast<int32_t>((*next_slot)++)).first;
+        (*spills)++;
+      }
+      (*loc)[nodes[i]] = it->second;
+    }
+  }
+}
+
+}  // namespace
+
+Allocation AllocateRegisters(const VFunc& vf, const CodegenOptions& options) {
+  Liveness lv = ComputeLiveness(vf);
+  std::vector<Interval> all = BuildIntervals(vf, lv);
+  std::vector<Interval> ints;
+  std::vector<Interval> fps;
+  for (const Interval& iv : all) {
+    (iv.is_fp ? fps : ints).push_back(iv);
+  }
+
+  std::vector<Gpr> gpr_pool = AllocatableGprs(options);
+  std::vector<Xmm> xmm_pool = AllocatableXmms(options);
+
+  Allocation alloc;
+  alloc.loc.assign(vf.vregs.size(), -1);
+  std::vector<bool> gpr_used(gpr_pool.size(), false);
+  std::vector<bool> xmm_used(xmm_pool.size(), false);
+  std::vector<int32_t> pool_loc(vf.vregs.size(), -1);
+
+  if (options.regalloc == RegAllocKind::kLinearScan) {
+    LinearScanClass(ints, static_cast<uint32_t>(gpr_pool.size()), &pool_loc, &alloc.num_slots,
+                    &gpr_used, &alloc.num_spilled_vregs);
+    LinearScanClass(fps, static_cast<uint32_t>(xmm_pool.size()), &pool_loc, &alloc.num_slots,
+                    &xmm_used, &alloc.num_spilled_vregs);
+  } else {
+    GraphColorClass(vf, lv, ints, false, static_cast<uint32_t>(gpr_pool.size()), &pool_loc,
+                    &alloc.num_slots, &gpr_used, &alloc.num_spilled_vregs);
+    GraphColorClass(vf, lv, fps, true, static_cast<uint32_t>(xmm_pool.size()), &pool_loc,
+                    &alloc.num_slots, &xmm_used, &alloc.num_spilled_vregs);
+  }
+
+  // Translate pool indices to machine register ids.
+  for (uint32_t v = 0; v < vf.vregs.size(); v++) {
+    int32_t p = pool_loc[v];
+    if (p == -1 || p <= -2) {
+      alloc.loc[v] = p;
+      continue;
+    }
+    if (vf.vregs[v].is_fp) {
+      alloc.loc[v] = static_cast<int32_t>(xmm_pool[p]);
+    } else {
+      alloc.loc[v] = static_cast<int32_t>(gpr_pool[p]);
+    }
+  }
+  for (size_t i = 0; i < gpr_pool.size(); i++) {
+    if (gpr_used[i]) {
+      alloc.used_gprs.push_back(gpr_pool[i]);
+    }
+  }
+  for (size_t i = 0; i < xmm_pool.size(); i++) {
+    if (xmm_used[i]) {
+      alloc.used_xmms.push_back(xmm_pool[i]);
+    }
+  }
+  return alloc;
+}
+
+}  // namespace nsf

@@ -1,0 +1,213 @@
+#include "src/harness/harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/runtime/runtime.h"
+#include "src/support/rng.h"
+#include "src/support/str.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0;
+  }
+  double log_sum = 0;
+  for (double x : xs) {
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+RunResult BenchHarness::RunOnce(const WorkloadSpec& spec, const CodegenOptions& options) {
+  RunResult result;
+  Module module = spec.build();
+  ValidationResult vr = ValidateModule(module);
+  if (!vr.ok) {
+    result.error = "module invalid: " + vr.error;
+    return result;
+  }
+  CompileResult compiled = CompileModule(module, options);
+  if (!compiled.ok) {
+    result.error = "compile failed: " + compiled.error;
+    return result;
+  }
+  result.compile = compiled.stats;
+
+  BrowsixKernel kernel;
+  if (spec.setup) {
+    spec.setup(kernel);
+  }
+  SimMachine machine(&compiled.program);
+  if (spec.fuel != 0) {
+    machine.set_fuel(spec.fuel);
+  }
+  MachineMemPort port(&machine);
+  auto process = kernel.CreateProcess(&port, spec.argv);
+  BindSyscalls(&machine, compiled, module, process.get());
+
+  const Export* entry = module.FindExport(spec.entry, ExternalKind::kFunc);
+  if (entry == nullptr) {
+    result.error = "no entry export " + spec.entry;
+    return result;
+  }
+  // The measurement window starts after compilation, as in the paper
+  // ("after WebAssembly JIT compilation concludes").
+  machine.ResetCounters();
+  MachineResult mr = machine.RunAt(entry->index, kStackBase + kStackSize);
+  if (!mr.ok) {
+    result.error = StrFormat("%s trapped: %s", spec.name.c_str(), mr.error.c_str());
+    return result;
+  }
+  result.ok = true;
+  result.exit_code = mr.ret_i;
+  result.counters = machine.counters();
+  result.seconds = machine.SecondsFromCycles(result.counters.cycles());
+  result.browsix_seconds = machine.SecondsFromCycles(machine.host_micro_cycles() / 4);
+  result.syscalls = process->syscall_count();
+  result.stdout_text = process->StdoutString();
+  for (const std::string& path : spec.output_files) {
+    std::vector<uint8_t> bytes;
+    kernel.fs().ReadFile(path, &bytes);
+    result.outputs.push_back({path, std::move(bytes)});
+  }
+  return result;
+}
+
+RunResult BenchHarness::RunValidated(const WorkloadSpec& spec, const CodegenOptions& options) {
+  // Reference outputs come from the native profile (SPEC's reference run).
+  auto it = reference_outputs_.find(spec.name);
+  if (it == reference_outputs_.end()) {
+    RunResult ref = RunOnce(spec, CodegenOptions::NativeClang());
+    if (!ref.ok) {
+      RunResult fail;
+      fail.error = "reference run failed: " + ref.error;
+      return fail;
+    }
+    it = reference_outputs_.emplace(spec.name, std::move(ref.outputs)).first;
+  }
+  RunResult r = RunOnce(spec, options);
+  if (!r.ok) {
+    return r;
+  }
+  // cmp each output file against the reference bytes.
+  r.validated = r.outputs.size() == it->second.size();
+  for (size_t i = 0; r.validated && i < r.outputs.size(); i++) {
+    r.validated = r.outputs[i].first == it->second[i].first &&
+                  r.outputs[i].second == it->second[i].second;
+  }
+  if (!r.validated) {
+    r.error = spec.name + ": output mismatch vs reference";
+  }
+  return r;
+}
+
+Sample BenchHarness::JitteredSeconds(const WorkloadSpec& spec, const CodegenOptions& options,
+                                     double seconds, int reps) const {
+  // Deterministic per-(workload, profile) jitter, ±0.5%, modeling the
+  // run-to-run variance the paper reports as standard error.
+  Rng rng(Fnv1a(spec.name + "|" + options.profile_name));
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; i++) {
+    double eps = (rng.NextDouble() - 0.5) * 0.01;
+    samples.push_back(seconds * (1.0 + eps));
+  }
+  double mean = 0;
+  for (double s : samples) {
+    mean += s;
+  }
+  mean /= reps;
+  double var = 0;
+  for (double s : samples) {
+    var += (s - mean) * (s - mean);
+  }
+  var /= std::max(1, reps - 1);
+  Sample out;
+  out.mean = mean;
+  out.stderr_ = std::sqrt(var / reps);
+  return out;
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return "";
+  }
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t c = 0; c < row.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows.size(); r++) {
+    for (size_t c = 0; c < rows[r].size(); c++) {
+      std::string cell = rows[r][c];
+      cell.resize(widths[c], ' ');
+      out += cell;
+      if (c + 1 != rows[r].size()) {
+        out += "  ";
+      }
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); c++) {
+        out += std::string(widths[c], '-');
+        if (c + 1 != widths.size()) {
+          out += "  ";
+        }
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderCsv(const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    out += StrJoin(row, ",") + "\n";
+  }
+  return out;
+}
+
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& data,
+                       double unit_value, const std::string& unit_label, int width) {
+  double max_v = 0;
+  size_t max_label = 0;
+  for (const auto& [label, v] : data) {
+    max_v = std::max(max_v, v);
+    max_label = std::max(max_label, label.size());
+  }
+  if (max_v <= 0) {
+    max_v = 1;
+  }
+  std::string out;
+  for (const auto& [label, v] : data) {
+    std::string padded = label;
+    padded.resize(max_label, ' ');
+    int bars = static_cast<int>(v / max_v * width + 0.5);
+    out += StrFormat("%s |%s%s %.3f%s\n", padded.c_str(), std::string(bars, '#').c_str(),
+                     std::string(width - bars, ' ').c_str(), v, unit_label.c_str());
+  }
+  if (unit_value > 0) {
+    out += StrFormat("(reference line: %.2f%s)\n", unit_value, unit_label.c_str());
+  }
+  return out;
+}
+
+}  // namespace nsf

@@ -1,0 +1,100 @@
+// BROWSIX-SPEC: the benchmark harness. Registers workloads, runs them under
+// each toolchain profile on the simulated machine, captures performance
+// counters, validates outputs (`cmp` against the native-profile reference,
+// exactly as SPEC validates against reference outputs), and aggregates
+// statistics for the paper's tables and figures.
+#ifndef SRC_HARNESS_HARNESS_H_
+#define SRC_HARNESS_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codegen/codegen.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/machine.h"
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+// A benchmark program: how to build its module, stage its inputs, and which
+// output files constitute its result.
+struct WorkloadSpec {
+  std::string name;                         // e.g. "401.bzip2"
+  std::function<Module()> build;            // builds the Wasm module
+  std::function<void(BrowsixKernel&)> setup;  // stages input files
+  std::vector<std::string> argv = {"prog"};
+  std::string entry = "main";
+  std::vector<std::string> output_files;    // validated via cmp
+  uint64_t fuel = 0;                        // 0 = machine default cap
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  PerfCounters counters;
+  double seconds = 0;           // simulated wall clock (cycles / clock)
+  double browsix_seconds = 0;   // time charged to the Browsix kernel
+  uint64_t syscalls = 0;
+  uint64_t exit_code = 0;
+  std::string stdout_text;
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> outputs;
+  CompileStats compile;
+  bool validated = false;       // outputs matched the reference run
+};
+
+// Mean / standard-error pair, as the paper reports (5 runs).
+struct Sample {
+  double mean = 0;
+  double stderr_ = 0;
+};
+
+double GeoMean(const std::vector<double>& xs);
+double Median(std::vector<double> xs);
+
+class BenchHarness {
+ public:
+  BenchHarness() = default;
+
+  // Executes `spec` once under `options`. The module is compiled, loaded
+  // onto a fresh machine + kernel, inputs staged, and the entry function
+  // run. Counters cover only the program's execution (compilation excluded),
+  // mirroring the paper's measurement window.
+  RunResult RunOnce(const WorkloadSpec& spec, const CodegenOptions& options);
+
+  // Runs `spec` under `options`, validating outputs against the reference
+  // (native-profile) run. `reps` simulated repetitions produce the reported
+  // mean ± stderr through a documented, seeded ±0.5% jitter model (the
+  // simulator itself is deterministic).
+  RunResult RunValidated(const WorkloadSpec& spec, const CodegenOptions& options);
+
+  // Seconds with jitter samples for table rendering.
+  Sample JitteredSeconds(const WorkloadSpec& spec, const CodegenOptions& options, double seconds,
+                         int reps = 5) const;
+
+  // The reference (native) outputs are cached per workload name.
+  void ClearReferenceCache() { reference_outputs_.clear(); }
+
+ private:
+  std::map<std::string, std::vector<std::pair<std::string, std::vector<uint8_t>>>>
+      reference_outputs_;
+};
+
+// --- Rendering helpers shared by the bench binaries ---
+
+// Renders an aligned ASCII table; row 0 is the header.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+// Renders a CSV block.
+std::string RenderCsv(const std::vector<std::vector<std::string>>& rows);
+
+// Renders a horizontal ASCII bar chart: one row per (label, value).
+std::string RenderBars(const std::vector<std::pair<std::string, double>>& data, double unit_value,
+                       const std::string& unit_label, int width = 48);
+
+}  // namespace nsf
+
+#endif  // SRC_HARNESS_HARNESS_H_

@@ -1,0 +1,1096 @@
+#include "src/interp/interp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+namespace {
+
+constexpr uint32_t kNullFunc = UINT32_MAX;
+constexpr int kMaxCallDepth = 512;
+
+// Pre-computed structured-control-flow targets for one function body.
+struct SideTable {
+  // For each pc holding block/loop/if: index just past the matching end.
+  std::unordered_map<uint32_t, uint32_t> end_of;
+  // For each pc holding if: index just past the matching else (or == end_of
+  // when there is no else).
+  std::unordered_map<uint32_t, uint32_t> else_of;
+};
+
+SideTable BuildSideTable(const Function& func) {
+  SideTable table;
+  std::vector<uint32_t> stack;           // pcs of open block/loop/if
+  std::vector<uint32_t> pending_else;    // pcs of open ifs without else yet
+  for (uint32_t pc = 0; pc < func.body.size(); pc++) {
+    switch (func.body[pc].op) {
+      case Opcode::kBlock:
+      case Opcode::kLoop:
+        stack.push_back(pc);
+        break;
+      case Opcode::kIf:
+        stack.push_back(pc);
+        break;
+      case Opcode::kElse: {
+        uint32_t if_pc = stack.back();
+        table.else_of[if_pc] = pc + 1;
+        break;
+      }
+      case Opcode::kEnd: {
+        if (stack.empty()) {
+          // The function's own closing end.
+          break;
+        }
+        uint32_t open_pc = stack.back();
+        stack.pop_back();
+        table.end_of[open_pc] = pc + 1;
+        if (func.body[open_pc].op == Opcode::kIf &&
+            table.else_of.find(open_pc) == table.else_of.end()) {
+          table.else_of[open_pc] = pc + 1;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return table;
+}
+
+struct Label {
+  Opcode op;           // kBlock / kLoop / kIf (+ kElse arm treated as block)
+  uint32_t start_pc;   // pc of the opening instruction
+  uint32_t cont_pc;    // where a branch to this label lands
+  uint32_t height;     // value-stack height at entry
+  uint32_t arity;      // values a branch transports (block results; loop: 0)
+};
+
+ExecResult Trap(TrapKind kind, const std::string& msg) {
+  ExecResult r;
+  r.ok = false;
+  r.trap = kind;
+  r.error = msg;
+  return r;
+}
+
+bool F64ToI32S(double v, uint32_t* out, TrapKind* trap) {
+  if (std::isnan(v)) {
+    *trap = TrapKind::kInvalidConversion;
+    return false;
+  }
+  double t = std::trunc(v);
+  if (t < -2147483648.0 || t > 2147483647.0) {
+    *trap = TrapKind::kIntegerOverflow;
+    return false;
+  }
+  *out = static_cast<uint32_t>(static_cast<int32_t>(t));
+  return true;
+}
+
+bool F64ToI32U(double v, uint32_t* out, TrapKind* trap) {
+  if (std::isnan(v)) {
+    *trap = TrapKind::kInvalidConversion;
+    return false;
+  }
+  double t = std::trunc(v);
+  if (t < 0.0 || t > 4294967295.0) {
+    *trap = TrapKind::kIntegerOverflow;
+    return false;
+  }
+  *out = static_cast<uint32_t>(t);
+  return true;
+}
+
+bool F64ToI64S(double v, uint64_t* out, TrapKind* trap) {
+  if (std::isnan(v)) {
+    *trap = TrapKind::kInvalidConversion;
+    return false;
+  }
+  double t = std::trunc(v);
+  if (t < -9223372036854775808.0 || t >= 9223372036854775808.0) {
+    *trap = TrapKind::kIntegerOverflow;
+    return false;
+  }
+  *out = static_cast<uint64_t>(static_cast<int64_t>(t));
+  return true;
+}
+
+bool F64ToI64U(double v, uint64_t* out, TrapKind* trap) {
+  if (std::isnan(v)) {
+    *trap = TrapKind::kInvalidConversion;
+    return false;
+  }
+  double t = std::trunc(v);
+  if (t < 0.0 || t >= 18446744073709551616.0) {
+    *trap = TrapKind::kIntegerOverflow;
+    return false;
+  }
+  *out = static_cast<uint64_t>(t);
+  return true;
+}
+
+float CanonMinF32(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? a : b;  // min(-0, +0) = -0
+  }
+  return a < b ? a : b;
+}
+
+float CanonMaxF32(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? b : a;
+  }
+  return a > b ? a : b;
+}
+
+double CanonMinF64(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? a : b;
+  }
+  return a < b ? a : b;
+}
+
+double CanonMaxF64(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? b : a;
+  }
+  return a > b ? a : b;
+}
+
+}  // namespace
+
+
+void HostModule::Register(const std::string& module, const std::string& name, HostFunc fn) {
+  entries_.push_back({module, name, std::move(fn)});
+}
+
+const HostFunc* HostModule::ResolveFunc(const std::string& module, const std::string& name,
+                                        const FuncType& type) {
+  for (const Entry& e : entries_) {
+    if (e.module == module && e.name == name) {
+      return &e.fn;
+    }
+  }
+  return nullptr;
+}
+
+// Per-instance side tables, one per defined function, stored behind the
+// opaque Instance::side_tables_ pointer.
+namespace {
+struct InstanceSideTables {
+  std::vector<SideTable> tables;
+};
+}  // namespace
+
+std::unique_ptr<Instance> Instance::Create(const Module& module, ImportResolver* resolver,
+                                           std::string* error) {
+  auto inst = std::unique_ptr<Instance>(new Instance(module));
+  // Resolve function imports.
+  for (const Import& imp : module.imports) {
+    switch (imp.kind) {
+      case ExternalKind::kFunc: {
+        const FuncType& type = module.types[imp.type_index];
+        const HostFunc* fn =
+            resolver != nullptr ? resolver->ResolveFunc(imp.module, imp.name, type) : nullptr;
+        if (fn == nullptr) {
+          *error = StrFormat("unresolved import %s.%s", imp.module.c_str(), imp.name.c_str());
+          return nullptr;
+        }
+        inst->host_funcs_.push_back(fn);
+        break;
+      }
+      case ExternalKind::kMemory:
+        inst->memory_.resize(size_t{imp.limits.min} * kWasmPageSize);
+        if (imp.limits.max.has_value()) {
+          inst->max_pages_ = *imp.limits.max;
+        }
+        break;
+      case ExternalKind::kTable:
+        inst->table_.assign(imp.limits.min, kNullFunc);
+        break;
+      case ExternalKind::kGlobal:
+        // Imported globals are materialized as zero-initialized slots; the
+        // embedder can set them through globals() before running.
+        inst->globals_.push_back(TypedValue{imp.global_type.type, Value()});
+        break;
+    }
+  }
+  // Defined memory/table.
+  for (const MemorySec& m : module.memories) {
+    inst->memory_.resize(size_t{m.limits.min} * kWasmPageSize);
+    if (m.limits.max.has_value()) {
+      inst->max_pages_ = *m.limits.max;
+    }
+  }
+  for (const Table& t : module.tables) {
+    inst->table_.assign(t.limits.min, kNullFunc);
+  }
+  // Defined globals.
+  for (const Global& g : module.globals) {
+    TypedValue v;
+    v.type = g.type.type;
+    switch (g.init.op) {
+      case Opcode::kI32Const:
+        v.value = Value::I32(static_cast<uint32_t>(g.init.imm));
+        break;
+      case Opcode::kI64Const:
+        v.value = Value::I64(g.init.imm);
+        break;
+      case Opcode::kF32Const:
+        v.value = Value::F32(g.init.AsF32());
+        break;
+      case Opcode::kF64Const:
+        v.value = Value::F64(g.init.AsF64());
+        break;
+      case Opcode::kGlobalGet:
+        v.value = inst->globals_[g.init.a].value;
+        break;
+      default:
+        *error = "bad global initializer";
+        return nullptr;
+    }
+    inst->globals_.push_back(v);
+  }
+  // Element segments.
+  for (const ElementSegment& seg : module.elements) {
+    uint32_t offset = seg.offset.op == Opcode::kGlobalGet
+                          ? inst->globals_[seg.offset.a].value.i32
+                          : static_cast<uint32_t>(seg.offset.imm);
+    if (size_t{offset} + seg.func_indices.size() > inst->table_.size()) {
+      *error = "element segment out of bounds";
+      return nullptr;
+    }
+    for (size_t i = 0; i < seg.func_indices.size(); i++) {
+      inst->table_[offset + i] = seg.func_indices[i];
+    }
+  }
+  // Data segments.
+  for (const DataSegment& seg : module.data) {
+    uint32_t offset = seg.offset.op == Opcode::kGlobalGet
+                          ? inst->globals_[seg.offset.a].value.i32
+                          : static_cast<uint32_t>(seg.offset.imm);
+    if (size_t{offset} + seg.bytes.size() > inst->memory_.size()) {
+      *error = "data segment out of bounds";
+      return nullptr;
+    }
+    std::memcpy(inst->memory_.data() + offset, seg.bytes.data(), seg.bytes.size());
+  }
+  // Pre-build side tables.
+  auto tables = std::make_shared<InstanceSideTables>();
+  tables->tables.reserve(module.functions.size());
+  for (const Function& f : module.functions) {
+    tables->tables.push_back(BuildSideTable(f));
+  }
+  inst->side_tables_ = std::move(tables);
+  return inst;
+}
+
+ExecResult Instance::RunStart() {
+  if (!module_.start.has_value()) {
+    ExecResult ok;
+    ok.ok = true;
+    return ok;
+  }
+  return CallFunction(*module_.start, {});
+}
+
+ExecResult Instance::CallExport(const std::string& name, const std::vector<TypedValue>& args) {
+  const Export* e = module_.FindExport(name, ExternalKind::kFunc);
+  if (e == nullptr) {
+    return Trap(TrapKind::kHostError, StrFormat("no exported function %s", name.c_str()));
+  }
+  return CallFunction(e->index, args);
+}
+
+ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedValue>& args) {
+  if (call_depth_ >= kMaxCallDepth) {
+    return Trap(TrapKind::kCallStackExhausted, "call depth limit");
+  }
+  call_depth_++;
+  struct DepthGuard {
+    int* depth;
+    ~DepthGuard() { (*depth)--; }
+  } guard{&call_depth_};
+
+  const FuncType& type = module_.FuncTypeOf(func_index);
+  if (args.size() != type.params.size()) {
+    return Trap(TrapKind::kHostError, "argument count mismatch");
+  }
+
+  if (module_.IsImportedFunc(func_index)) {
+    return (*host_funcs_[func_index])(*this, args);
+  }
+
+  uint32_t defined_index = func_index - module_.NumImportedFuncs();
+  const Function& func = module_.functions[defined_index];
+  const SideTable& side =
+      static_cast<const InstanceSideTables*>(side_tables_.get())->tables[defined_index];
+
+  // Locals: params then zero-initialized declared locals.
+  std::vector<Value> locals(type.params.size() + func.locals.size());
+  for (size_t i = 0; i < args.size(); i++) {
+    locals[i] = args[i].value;
+  }
+
+  std::vector<Value> stack;
+  stack.reserve(64);
+  std::vector<Label> labels;
+  labels.push_back(Label{Opcode::kBlock, 0, static_cast<uint32_t>(func.body.size()), 0,
+                         static_cast<uint32_t>(type.results.size())});
+
+  auto pop = [&stack]() {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto push_i32 = [&stack](uint32_t v) { stack.push_back(Value::I32(v)); };
+  auto push_i64 = [&stack](uint64_t v) { stack.push_back(Value::I64(v)); };
+  auto push_f32 = [&stack](float v) { stack.push_back(Value::F32(v)); };
+  auto push_f64 = [&stack](double v) { stack.push_back(Value::F64(v)); };
+
+  auto mem_addr = [this](uint32_t base, uint32_t offset, uint32_t width,
+                         uint64_t* addr) -> bool {
+    uint64_t a = uint64_t{base} + uint64_t{offset};
+    if (a + width > memory_.size()) {
+      return false;
+    }
+    *addr = a;
+    return true;
+  };
+
+  uint32_t pc = 0;
+  const uint32_t body_size = static_cast<uint32_t>(func.body.size());
+
+  // Performs a branch to relative depth `d`; returns new pc.
+  auto do_branch = [&](uint32_t d) -> uint32_t {
+    size_t idx = labels.size() - 1 - d;
+    Label target = labels[idx];
+    if (target.op == Opcode::kLoop) {
+      // Re-enter the loop: keep the loop label, drop inner labels.
+      labels.resize(idx + 1);
+      stack.resize(target.height);
+      return target.cont_pc;  // pc of first instr inside the loop
+    }
+    // Forward branch: transport `arity` values, drop label and inner ones.
+    std::vector<Value> xfer(target.arity);
+    for (size_t i = xfer.size(); i > 0; i--) {
+      xfer[i - 1] = pop();
+    }
+    stack.resize(target.height);
+    for (const Value& v : xfer) {
+      stack.push_back(v);
+    }
+    labels.resize(idx);
+    return target.cont_pc;
+  };
+
+  while (pc < body_size) {
+    const Instr& instr = func.body[pc];
+    instr_count_++;
+    if (fuel_limit_ != 0 && instr_count_ > fuel_limit_) {
+      return Trap(TrapKind::kFuelExhausted, "execution budget exceeded");
+    }
+    switch (instr.op) {
+      case Opcode::kUnreachable:
+        return Trap(TrapKind::kUnreachable, "unreachable executed");
+      case Opcode::kNop:
+        pc++;
+        break;
+      case Opcode::kBlock: {
+        uint32_t arity = instr.block_type == kVoidBlockType ? 0 : 1;
+        labels.push_back(Label{Opcode::kBlock, pc, side.end_of.at(pc),
+                               static_cast<uint32_t>(stack.size()), arity});
+        pc++;
+        break;
+      }
+      case Opcode::kLoop: {
+        labels.push_back(
+            Label{Opcode::kLoop, pc, pc + 1, static_cast<uint32_t>(stack.size()), 0});
+        pc++;
+        break;
+      }
+      case Opcode::kIf: {
+        uint32_t cond = pop().i32;
+        uint32_t arity = instr.block_type == kVoidBlockType ? 0 : 1;
+        uint32_t end_pc = side.end_of.at(pc);
+        uint32_t else_pc = side.else_of.at(pc);
+        if (cond != 0) {
+          labels.push_back(
+              Label{Opcode::kIf, pc, end_pc, static_cast<uint32_t>(stack.size()), arity});
+          pc++;
+        } else if (else_pc != end_pc) {
+          labels.push_back(
+              Label{Opcode::kIf, pc, end_pc, static_cast<uint32_t>(stack.size()), arity});
+          pc = else_pc;
+        } else {
+          // No else arm: skip the whole if, including its end.
+          pc = end_pc;
+        }
+        break;
+      }
+      case Opcode::kElse: {
+        // Falling into else from the then-arm: jump past the end.
+        Label label = labels.back();
+        labels.pop_back();
+        pc = side.end_of.at(label.start_pc);
+        break;
+      }
+      case Opcode::kEnd: {
+        labels.pop_back();
+        pc++;
+        break;
+      }
+      case Opcode::kBr:
+        pc = do_branch(instr.a);
+        break;
+      case Opcode::kBrIf: {
+        uint32_t cond = pop().i32;
+        pc = cond != 0 ? do_branch(instr.a) : pc + 1;
+        break;
+      }
+      case Opcode::kBrTable: {
+        uint32_t index = pop().i32;
+        uint32_t n = static_cast<uint32_t>(instr.table.size()) - 1;
+        uint32_t depth = index < n ? instr.table[index] : instr.table[n];
+        pc = do_branch(depth);
+        break;
+      }
+      case Opcode::kReturn:
+        pc = body_size;
+        break;
+      case Opcode::kCall: {
+        const FuncType& callee_type = module_.FuncTypeOf(instr.a);
+        std::vector<TypedValue> call_args(callee_type.params.size());
+        for (size_t i = call_args.size(); i > 0; i--) {
+          call_args[i - 1].type = callee_type.params[i - 1];
+          call_args[i - 1].value = pop();
+        }
+        ExecResult r = CallFunction(instr.a, call_args);
+        if (!r.ok) {
+          return r;
+        }
+        for (const TypedValue& v : r.values) {
+          stack.push_back(v.value);
+        }
+        pc++;
+        break;
+      }
+      case Opcode::kCallIndirect: {
+        uint32_t elem = pop().i32;
+        if (elem >= table_.size()) {
+          return Trap(TrapKind::kIndirectCallOutOfBounds, "table index out of bounds");
+        }
+        uint32_t target = table_[elem];
+        if (target == kNullFunc) {
+          return Trap(TrapKind::kIndirectCallNull, "null table entry");
+        }
+        const FuncType& expect = module_.types[instr.a];
+        if (!(module_.FuncTypeOf(target) == expect)) {
+          return Trap(TrapKind::kIndirectCallTypeMismatch, "signature mismatch");
+        }
+        std::vector<TypedValue> call_args(expect.params.size());
+        for (size_t i = call_args.size(); i > 0; i--) {
+          call_args[i - 1].type = expect.params[i - 1];
+          call_args[i - 1].value = pop();
+        }
+        ExecResult r = CallFunction(target, call_args);
+        if (!r.ok) {
+          return r;
+        }
+        for (const TypedValue& v : r.values) {
+          stack.push_back(v.value);
+        }
+        pc++;
+        break;
+      }
+      case Opcode::kDrop:
+        pop();
+        pc++;
+        break;
+      case Opcode::kSelect: {
+        uint32_t cond = pop().i32;
+        Value b = pop();
+        Value a = pop();
+        stack.push_back(cond != 0 ? a : b);
+        pc++;
+        break;
+      }
+      case Opcode::kLocalGet:
+        stack.push_back(locals[instr.a]);
+        pc++;
+        break;
+      case Opcode::kLocalSet:
+        locals[instr.a] = pop();
+        pc++;
+        break;
+      case Opcode::kLocalTee:
+        locals[instr.a] = stack.back();
+        pc++;
+        break;
+      case Opcode::kGlobalGet:
+        stack.push_back(globals_[instr.a].value);
+        pc++;
+        break;
+      case Opcode::kGlobalSet:
+        globals_[instr.a].value = pop();
+        pc++;
+        break;
+
+#define NSF_LOAD_CASE(opname, ctype, width, pusher, convert)                           \
+  case Opcode::opname: {                                                               \
+    uint32_t base = pop().i32;                                                         \
+    uint64_t addr;                                                                     \
+    if (!mem_addr(base, instr.b, width, &addr)) {                                      \
+      return Trap(TrapKind::kMemoryOutOfBounds,                                        \
+                  StrFormat("load at %u+%u", base, instr.b));                          \
+    }                                                                                  \
+    ctype raw;                                                                         \
+    std::memcpy(&raw, memory_.data() + addr, width);                                   \
+    pusher(convert(raw));                                                              \
+    pc++;                                                                              \
+    break;                                                                             \
+  }
+
+      NSF_LOAD_CASE(kI32Load, uint32_t, 4, push_i32, )
+      NSF_LOAD_CASE(kI64Load, uint64_t, 8, push_i64, )
+      NSF_LOAD_CASE(kF32Load, float, 4, push_f32, )
+      NSF_LOAD_CASE(kF64Load, double, 8, push_f64, )
+      NSF_LOAD_CASE(kI32Load8S, int8_t, 1, push_i32, static_cast<uint32_t>)
+      NSF_LOAD_CASE(kI32Load8U, uint8_t, 1, push_i32, static_cast<uint32_t>)
+      NSF_LOAD_CASE(kI32Load16S, int16_t, 2, push_i32, static_cast<uint32_t>)
+      NSF_LOAD_CASE(kI32Load16U, uint16_t, 2, push_i32, static_cast<uint32_t>)
+      NSF_LOAD_CASE(kI64Load8S, int8_t, 1, push_i64, static_cast<uint64_t>)
+      NSF_LOAD_CASE(kI64Load8U, uint8_t, 1, push_i64, static_cast<uint64_t>)
+      NSF_LOAD_CASE(kI64Load16S, int16_t, 2, push_i64, static_cast<uint64_t>)
+      NSF_LOAD_CASE(kI64Load16U, uint16_t, 2, push_i64, static_cast<uint64_t>)
+      NSF_LOAD_CASE(kI64Load32S, int32_t, 4, push_i64, static_cast<uint64_t>)
+      NSF_LOAD_CASE(kI64Load32U, uint32_t, 4, push_i64, static_cast<uint64_t>)
+#undef NSF_LOAD_CASE
+
+#define NSF_STORE_CASE(opname, ctype, width, getter)                                   \
+  case Opcode::opname: {                                                               \
+    Value val = pop();                                                                 \
+    uint32_t base = pop().i32;                                                         \
+    uint64_t addr;                                                                     \
+    if (!mem_addr(base, instr.b, width, &addr)) {                                      \
+      return Trap(TrapKind::kMemoryOutOfBounds,                                        \
+                  StrFormat("store at %u+%u", base, instr.b));                         \
+    }                                                                                  \
+    ctype raw = static_cast<ctype>(val.getter);                                        \
+    std::memcpy(memory_.data() + addr, &raw, width);                                   \
+    pc++;                                                                              \
+    break;                                                                             \
+  }
+
+      NSF_STORE_CASE(kI32Store, uint32_t, 4, i32)
+      NSF_STORE_CASE(kI64Store, uint64_t, 8, i64)
+      NSF_STORE_CASE(kF32Store, float, 4, f32)
+      NSF_STORE_CASE(kF64Store, double, 8, f64)
+      NSF_STORE_CASE(kI32Store8, uint8_t, 1, i32)
+      NSF_STORE_CASE(kI32Store16, uint16_t, 2, i32)
+      NSF_STORE_CASE(kI64Store8, uint8_t, 1, i64)
+      NSF_STORE_CASE(kI64Store16, uint16_t, 2, i64)
+      NSF_STORE_CASE(kI64Store32, uint32_t, 4, i64)
+#undef NSF_STORE_CASE
+
+      case Opcode::kMemorySize:
+        push_i32(memory_pages());
+        pc++;
+        break;
+      case Opcode::kMemoryGrow: {
+        uint32_t delta = pop().i32;
+        uint32_t old_pages = memory_pages();
+        uint64_t new_pages = uint64_t{old_pages} + delta;
+        if (new_pages > max_pages_) {
+          push_i32(static_cast<uint32_t>(-1));
+        } else {
+          memory_.resize(new_pages * kWasmPageSize);
+          push_i32(old_pages);
+        }
+        pc++;
+        break;
+      }
+
+      case Opcode::kI32Const:
+        push_i32(static_cast<uint32_t>(instr.imm));
+        pc++;
+        break;
+      case Opcode::kI64Const:
+        push_i64(instr.imm);
+        pc++;
+        break;
+      case Opcode::kF32Const:
+        push_f32(instr.AsF32());
+        pc++;
+        break;
+      case Opcode::kF64Const:
+        push_f64(instr.AsF64());
+        pc++;
+        break;
+
+#define NSF_I32_CMP(opname, type, cmpop)                        \
+  case Opcode::opname: {                                        \
+    type b = static_cast<type>(pop().i32);                      \
+    type a = static_cast<type>(pop().i32);                      \
+    push_i32(a cmpop b ? 1 : 0);                                \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_I32_CMP(kI32Eq, uint32_t, ==)
+      NSF_I32_CMP(kI32Ne, uint32_t, !=)
+      NSF_I32_CMP(kI32LtS, int32_t, <)
+      NSF_I32_CMP(kI32LtU, uint32_t, <)
+      NSF_I32_CMP(kI32GtS, int32_t, >)
+      NSF_I32_CMP(kI32GtU, uint32_t, >)
+      NSF_I32_CMP(kI32LeS, int32_t, <=)
+      NSF_I32_CMP(kI32LeU, uint32_t, <=)
+      NSF_I32_CMP(kI32GeS, int32_t, >=)
+      NSF_I32_CMP(kI32GeU, uint32_t, >=)
+#undef NSF_I32_CMP
+
+#define NSF_I64_CMP(opname, type, cmpop)                        \
+  case Opcode::opname: {                                        \
+    type b = static_cast<type>(pop().i64);                      \
+    type a = static_cast<type>(pop().i64);                      \
+    push_i32(a cmpop b ? 1 : 0);                                \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_I64_CMP(kI64Eq, uint64_t, ==)
+      NSF_I64_CMP(kI64Ne, uint64_t, !=)
+      NSF_I64_CMP(kI64LtS, int64_t, <)
+      NSF_I64_CMP(kI64LtU, uint64_t, <)
+      NSF_I64_CMP(kI64GtS, int64_t, >)
+      NSF_I64_CMP(kI64GtU, uint64_t, >)
+      NSF_I64_CMP(kI64LeS, int64_t, <=)
+      NSF_I64_CMP(kI64LeU, uint64_t, <=)
+      NSF_I64_CMP(kI64GeS, int64_t, >=)
+      NSF_I64_CMP(kI64GeU, uint64_t, >=)
+#undef NSF_I64_CMP
+
+#define NSF_F_CMP(opname, field, cmpop)                         \
+  case Opcode::opname: {                                        \
+    auto b = pop().field;                                       \
+    auto a = pop().field;                                       \
+    push_i32(a cmpop b ? 1 : 0);                                \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_F_CMP(kF32Eq, f32, ==)
+      NSF_F_CMP(kF32Ne, f32, !=)
+      NSF_F_CMP(kF32Lt, f32, <)
+      NSF_F_CMP(kF32Gt, f32, >)
+      NSF_F_CMP(kF32Le, f32, <=)
+      NSF_F_CMP(kF32Ge, f32, >=)
+      NSF_F_CMP(kF64Eq, f64, ==)
+      NSF_F_CMP(kF64Ne, f64, !=)
+      NSF_F_CMP(kF64Lt, f64, <)
+      NSF_F_CMP(kF64Gt, f64, >)
+      NSF_F_CMP(kF64Le, f64, <=)
+      NSF_F_CMP(kF64Ge, f64, >=)
+#undef NSF_F_CMP
+
+      case Opcode::kI32Eqz:
+        push_i32(pop().i32 == 0 ? 1 : 0);
+        pc++;
+        break;
+      case Opcode::kI64Eqz:
+        push_i32(pop().i64 == 0 ? 1 : 0);
+        pc++;
+        break;
+      case Opcode::kI32Clz:
+        push_i32(static_cast<uint32_t>(std::countl_zero(pop().i32)));
+        pc++;
+        break;
+      case Opcode::kI32Ctz:
+        push_i32(static_cast<uint32_t>(std::countr_zero(pop().i32)));
+        pc++;
+        break;
+      case Opcode::kI32Popcnt:
+        push_i32(static_cast<uint32_t>(std::popcount(pop().i32)));
+        pc++;
+        break;
+      case Opcode::kI64Clz:
+        push_i64(static_cast<uint64_t>(std::countl_zero(pop().i64)));
+        pc++;
+        break;
+      case Opcode::kI64Ctz:
+        push_i64(static_cast<uint64_t>(std::countr_zero(pop().i64)));
+        pc++;
+        break;
+      case Opcode::kI64Popcnt:
+        push_i64(static_cast<uint64_t>(std::popcount(pop().i64)));
+        pc++;
+        break;
+
+#define NSF_I32_BIN(opname, expr)                               \
+  case Opcode::opname: {                                        \
+    uint32_t b = pop().i32;                                     \
+    uint32_t a = pop().i32;                                     \
+    (void)a;                                                    \
+    (void)b;                                                    \
+    push_i32(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_I32_BIN(kI32Add, a + b)
+      NSF_I32_BIN(kI32Sub, a - b)
+      NSF_I32_BIN(kI32Mul, a * b)
+      NSF_I32_BIN(kI32And, a & b)
+      NSF_I32_BIN(kI32Or, a | b)
+      NSF_I32_BIN(kI32Xor, a ^ b)
+      NSF_I32_BIN(kI32Shl, a << (b & 31))
+      NSF_I32_BIN(kI32ShrU, a >> (b & 31))
+      NSF_I32_BIN(kI32ShrS, static_cast<uint32_t>(static_cast<int32_t>(a) >> (b & 31)))
+      NSF_I32_BIN(kI32Rotl, (a << (b & 31)) | (a >> ((32 - b) & 31)))
+      NSF_I32_BIN(kI32Rotr, (a >> (b & 31)) | (a << ((32 - b) & 31)))
+#undef NSF_I32_BIN
+
+      case Opcode::kI32DivS: {
+        int32_t b = static_cast<int32_t>(pop().i32);
+        int32_t a = static_cast<int32_t>(pop().i32);
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i32.div_s by zero");
+        }
+        if (a == INT32_MIN && b == -1) {
+          return Trap(TrapKind::kIntegerOverflow, "i32.div_s overflow");
+        }
+        push_i32(static_cast<uint32_t>(a / b));
+        pc++;
+        break;
+      }
+      case Opcode::kI32DivU: {
+        uint32_t b = pop().i32;
+        uint32_t a = pop().i32;
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i32.div_u by zero");
+        }
+        push_i32(a / b);
+        pc++;
+        break;
+      }
+      case Opcode::kI32RemS: {
+        int32_t b = static_cast<int32_t>(pop().i32);
+        int32_t a = static_cast<int32_t>(pop().i32);
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i32.rem_s by zero");
+        }
+        push_i32(a == INT32_MIN && b == -1 ? 0 : static_cast<uint32_t>(a % b));
+        pc++;
+        break;
+      }
+      case Opcode::kI32RemU: {
+        uint32_t b = pop().i32;
+        uint32_t a = pop().i32;
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i32.rem_u by zero");
+        }
+        push_i32(a % b);
+        pc++;
+        break;
+      }
+
+#define NSF_I64_BIN(opname, expr)                               \
+  case Opcode::opname: {                                        \
+    uint64_t b = pop().i64;                                     \
+    uint64_t a = pop().i64;                                     \
+    (void)a;                                                    \
+    (void)b;                                                    \
+    push_i64(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_I64_BIN(kI64Add, a + b)
+      NSF_I64_BIN(kI64Sub, a - b)
+      NSF_I64_BIN(kI64Mul, a * b)
+      NSF_I64_BIN(kI64And, a & b)
+      NSF_I64_BIN(kI64Or, a | b)
+      NSF_I64_BIN(kI64Xor, a ^ b)
+      NSF_I64_BIN(kI64Shl, a << (b & 63))
+      NSF_I64_BIN(kI64ShrU, a >> (b & 63))
+      NSF_I64_BIN(kI64ShrS, static_cast<uint64_t>(static_cast<int64_t>(a) >> (b & 63)))
+      NSF_I64_BIN(kI64Rotl, (a << (b & 63)) | (a >> ((64 - b) & 63)))
+      NSF_I64_BIN(kI64Rotr, (a >> (b & 63)) | (a << ((64 - b) & 63)))
+#undef NSF_I64_BIN
+
+      case Opcode::kI64DivS: {
+        int64_t b = static_cast<int64_t>(pop().i64);
+        int64_t a = static_cast<int64_t>(pop().i64);
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i64.div_s by zero");
+        }
+        if (a == INT64_MIN && b == -1) {
+          return Trap(TrapKind::kIntegerOverflow, "i64.div_s overflow");
+        }
+        push_i64(static_cast<uint64_t>(a / b));
+        pc++;
+        break;
+      }
+      case Opcode::kI64DivU: {
+        uint64_t b = pop().i64;
+        uint64_t a = pop().i64;
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i64.div_u by zero");
+        }
+        push_i64(a / b);
+        pc++;
+        break;
+      }
+      case Opcode::kI64RemS: {
+        int64_t b = static_cast<int64_t>(pop().i64);
+        int64_t a = static_cast<int64_t>(pop().i64);
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i64.rem_s by zero");
+        }
+        push_i64(a == INT64_MIN && b == -1 ? 0 : static_cast<uint64_t>(a % b));
+        pc++;
+        break;
+      }
+      case Opcode::kI64RemU: {
+        uint64_t b = pop().i64;
+        uint64_t a = pop().i64;
+        if (b == 0) {
+          return Trap(TrapKind::kDivByZero, "i64.rem_u by zero");
+        }
+        push_i64(a % b);
+        pc++;
+        break;
+      }
+
+#define NSF_F32_UN(opname, expr)                                \
+  case Opcode::opname: {                                        \
+    float a = pop().f32;                                        \
+    push_f32(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_F32_UN(kF32Abs, std::fabs(a))
+      NSF_F32_UN(kF32Neg, -a)
+      NSF_F32_UN(kF32Ceil, std::ceil(a))
+      NSF_F32_UN(kF32Floor, std::floor(a))
+      NSF_F32_UN(kF32Trunc, std::trunc(a))
+      NSF_F32_UN(kF32Nearest, std::nearbyint(a))
+      NSF_F32_UN(kF32Sqrt, std::sqrt(a))
+#undef NSF_F32_UN
+
+#define NSF_F32_BIN(opname, expr)                               \
+  case Opcode::opname: {                                        \
+    float b = pop().f32;                                        \
+    float a = pop().f32;                                        \
+    push_f32(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_F32_BIN(kF32Add, a + b)
+      NSF_F32_BIN(kF32Sub, a - b)
+      NSF_F32_BIN(kF32Mul, a * b)
+      NSF_F32_BIN(kF32Div, a / b)
+      NSF_F32_BIN(kF32Min, CanonMinF32(a, b))
+      NSF_F32_BIN(kF32Max, CanonMaxF32(a, b))
+      NSF_F32_BIN(kF32Copysign, std::copysign(a, b))
+#undef NSF_F32_BIN
+
+#define NSF_F64_UN(opname, expr)                                \
+  case Opcode::opname: {                                        \
+    double a = pop().f64;                                       \
+    push_f64(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_F64_UN(kF64Abs, std::fabs(a))
+      NSF_F64_UN(kF64Neg, -a)
+      NSF_F64_UN(kF64Ceil, std::ceil(a))
+      NSF_F64_UN(kF64Floor, std::floor(a))
+      NSF_F64_UN(kF64Trunc, std::trunc(a))
+      NSF_F64_UN(kF64Nearest, std::nearbyint(a))
+      NSF_F64_UN(kF64Sqrt, std::sqrt(a))
+#undef NSF_F64_UN
+
+#define NSF_F64_BIN(opname, expr)                               \
+  case Opcode::opname: {                                        \
+    double b = pop().f64;                                       \
+    double a = pop().f64;                                       \
+    push_f64(expr);                                             \
+    pc++;                                                       \
+    break;                                                      \
+  }
+      NSF_F64_BIN(kF64Add, a + b)
+      NSF_F64_BIN(kF64Sub, a - b)
+      NSF_F64_BIN(kF64Mul, a * b)
+      NSF_F64_BIN(kF64Div, a / b)
+      NSF_F64_BIN(kF64Min, CanonMinF64(a, b))
+      NSF_F64_BIN(kF64Max, CanonMaxF64(a, b))
+      NSF_F64_BIN(kF64Copysign, std::copysign(a, b))
+#undef NSF_F64_BIN
+
+      case Opcode::kI32WrapI64:
+        push_i32(static_cast<uint32_t>(pop().i64));
+        pc++;
+        break;
+      case Opcode::kI64ExtendI32S:
+        push_i64(static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(pop().i32))));
+        pc++;
+        break;
+      case Opcode::kI64ExtendI32U:
+        push_i64(uint64_t{pop().i32});
+        pc++;
+        break;
+
+      case Opcode::kI32TruncF32S:
+      case Opcode::kI32TruncF64S: {
+        double v = instr.op == Opcode::kI32TruncF32S ? static_cast<double>(pop().f32) : pop().f64;
+        uint32_t out;
+        TrapKind trap;
+        if (!F64ToI32S(v, &out, &trap)) {
+          return Trap(trap, "i32.trunc");
+        }
+        push_i32(out);
+        pc++;
+        break;
+      }
+      case Opcode::kI32TruncF32U:
+      case Opcode::kI32TruncF64U: {
+        double v = instr.op == Opcode::kI32TruncF32U ? static_cast<double>(pop().f32) : pop().f64;
+        uint32_t out;
+        TrapKind trap;
+        if (!F64ToI32U(v, &out, &trap)) {
+          return Trap(trap, "i32.trunc_u");
+        }
+        push_i32(out);
+        pc++;
+        break;
+      }
+      case Opcode::kI64TruncF32S:
+      case Opcode::kI64TruncF64S: {
+        double v = instr.op == Opcode::kI64TruncF32S ? static_cast<double>(pop().f32) : pop().f64;
+        uint64_t out;
+        TrapKind trap;
+        if (!F64ToI64S(v, &out, &trap)) {
+          return Trap(trap, "i64.trunc");
+        }
+        push_i64(out);
+        pc++;
+        break;
+      }
+      case Opcode::kI64TruncF32U:
+      case Opcode::kI64TruncF64U: {
+        double v = instr.op == Opcode::kI64TruncF32U ? static_cast<double>(pop().f32) : pop().f64;
+        uint64_t out;
+        TrapKind trap;
+        if (!F64ToI64U(v, &out, &trap)) {
+          return Trap(trap, "i64.trunc_u");
+        }
+        push_i64(out);
+        pc++;
+        break;
+      }
+
+      case Opcode::kF32ConvertI32S:
+        push_f32(static_cast<float>(static_cast<int32_t>(pop().i32)));
+        pc++;
+        break;
+      case Opcode::kF32ConvertI32U:
+        push_f32(static_cast<float>(pop().i32));
+        pc++;
+        break;
+      case Opcode::kF32ConvertI64S:
+        push_f32(static_cast<float>(static_cast<int64_t>(pop().i64)));
+        pc++;
+        break;
+      case Opcode::kF32ConvertI64U:
+        push_f32(static_cast<float>(pop().i64));
+        pc++;
+        break;
+      case Opcode::kF32DemoteF64:
+        push_f32(static_cast<float>(pop().f64));
+        pc++;
+        break;
+      case Opcode::kF64ConvertI32S:
+        push_f64(static_cast<double>(static_cast<int32_t>(pop().i32)));
+        pc++;
+        break;
+      case Opcode::kF64ConvertI32U:
+        push_f64(static_cast<double>(pop().i32));
+        pc++;
+        break;
+      case Opcode::kF64ConvertI64S:
+        push_f64(static_cast<double>(static_cast<int64_t>(pop().i64)));
+        pc++;
+        break;
+      case Opcode::kF64ConvertI64U:
+        push_f64(static_cast<double>(pop().i64));
+        pc++;
+        break;
+      case Opcode::kF64PromoteF32:
+        push_f64(static_cast<double>(pop().f32));
+        pc++;
+        break;
+      case Opcode::kI32ReinterpretF32: {
+        float f = pop().f32;
+        uint32_t bits;
+        std::memcpy(&bits, &f, 4);
+        push_i32(bits);
+        pc++;
+        break;
+      }
+      case Opcode::kI64ReinterpretF64: {
+        double d = pop().f64;
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        push_i64(bits);
+        pc++;
+        break;
+      }
+      case Opcode::kF32ReinterpretI32: {
+        uint32_t bits = pop().i32;
+        float f;
+        std::memcpy(&f, &bits, 4);
+        push_f32(f);
+        pc++;
+        break;
+      }
+      case Opcode::kF64ReinterpretI64: {
+        uint64_t bits = pop().i64;
+        double d;
+        std::memcpy(&d, &bits, 8);
+        push_f64(d);
+        pc++;
+        break;
+      }
+
+      default:
+        return Trap(TrapKind::kHostError,
+                    StrFormat("unhandled opcode %s", OpcodeName(instr.op)));
+    }
+  }
+
+  ExecResult result;
+  result.ok = true;
+  for (size_t i = 0; i < type.results.size(); i++) {
+    TypedValue v;
+    v.type = type.results[type.results.size() - 1 - i];
+    v.value = pop();
+    result.values.insert(result.values.begin(), v);
+  }
+  return result;
+}
+
+}  // namespace nsf

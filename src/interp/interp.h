@@ -1,0 +1,112 @@
+// Reference interpreter for validated Wasm modules. Used as the semantic
+// oracle in differential tests against the compiled (simulated-x64) path, and
+// as a convenient way to execute small modules in examples.
+#ifndef SRC_INTERP_INTERP_H_
+#define SRC_INTERP_INTERP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/wasm/module.h"
+#include "src/wasm/trap.h"
+#include "src/wasm/types.h"
+
+namespace nsf {
+
+struct ExecResult {
+  bool ok = false;
+  TrapKind trap = TrapKind::kNone;
+  std::string error;
+  std::vector<TypedValue> values;  // results when ok
+};
+
+// A host function callable from Wasm via imports. Receives argument values
+// and the instance (for memory access); returns results or a trap.
+class Instance;
+using HostFunc = std::function<ExecResult(Instance& instance, const std::vector<TypedValue>& args)>;
+
+// Resolves imports at instantiation time.
+class ImportResolver {
+ public:
+  virtual ~ImportResolver() = default;
+  // Returns nullptr if the import cannot be resolved.
+  virtual const HostFunc* ResolveFunc(const std::string& module, const std::string& name,
+                                      const FuncType& type) = 0;
+};
+
+// A simple map-backed resolver.
+class HostModule : public ImportResolver {
+ public:
+  void Register(const std::string& module, const std::string& name, HostFunc fn);
+  const HostFunc* ResolveFunc(const std::string& module, const std::string& name,
+                              const FuncType& type) override;
+
+ private:
+  struct Entry {
+    std::string module;
+    std::string name;
+    HostFunc fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+// An instantiated module: linear memory, globals, table, and execution state.
+class Instance {
+ public:
+  // Instantiates `module` (which must be valid). `resolver` may be null when
+  // the module has no function imports. Runs data/element segment
+  // initialization; does NOT run the start function (call RunStart()).
+  static std::unique_ptr<Instance> Create(const Module& module, ImportResolver* resolver,
+                                          std::string* error);
+
+  const Module& module() const { return module_; }
+
+  // Linear memory.
+  std::vector<uint8_t>& memory() { return memory_; }
+  const std::vector<uint8_t>& memory() const { return memory_; }
+  uint32_t memory_pages() const { return static_cast<uint32_t>(memory_.size() / kWasmPageSize); }
+
+  // Globals, in the joint (imports-first) index space.
+  std::vector<TypedValue>& globals() { return globals_; }
+
+  // Function table (element index -> function index, UINT32_MAX = null).
+  std::vector<uint32_t>& table() { return table_; }
+
+  // Executes the start function if the module declares one.
+  ExecResult RunStart();
+
+  // Calls exported function `name` with `args`.
+  ExecResult CallExport(const std::string& name, const std::vector<TypedValue>& args);
+
+  // Calls function `func_index` (joint index space) with `args`.
+  ExecResult CallFunction(uint32_t func_index, const std::vector<TypedValue>& args);
+
+  // Execution budget: total instructions an outermost call may retire before
+  // trapping with kFuelExhausted. 0 = unlimited.
+  void set_fuel(uint64_t fuel) { fuel_limit_ = fuel; }
+  uint64_t instructions_retired() const { return instr_count_; }
+
+ private:
+  Instance(const Module& module) : module_(module) {}
+
+  friend class Frame;
+
+  const Module& module_;
+  std::vector<uint8_t> memory_;
+  uint32_t max_pages_ = kMaxMemoryPages;
+  std::vector<TypedValue> globals_;
+  std::vector<uint32_t> table_;
+  std::vector<const HostFunc*> host_funcs_;  // one per imported function
+  // Pre-computed control-flow side tables (opaque; see interp.cc).
+  std::shared_ptr<void> side_tables_;
+  uint64_t fuel_limit_ = 0;
+  uint64_t instr_count_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_INTERP_INTERP_H_

@@ -1,0 +1,283 @@
+#include "src/kernel/kernel.h"
+
+#include <cstring>
+
+namespace nsf {
+
+BrowsixKernel::BrowsixKernel(GrowthPolicy policy) : fs_(policy) {}
+
+std::unique_ptr<Process> BrowsixKernel::CreateProcess(MemPort* mem,
+                                                      std::vector<std::string> argv) {
+  return std::make_unique<Process>(this, mem, std::move(argv), next_pid_++);
+}
+
+uint64_t BrowsixKernel::TransportCycles(uint64_t bytes) const {
+  // Each 64 MB chunk is a separate kernel message (§2).
+  uint64_t chunks = bytes == 0 ? 1 : (bytes + costs_.chunk_bytes - 1) / costs_.chunk_bytes;
+  return chunks * costs_.per_syscall + bytes * costs_.per_byte_num / costs_.per_byte_den;
+}
+
+Process::Process(BrowsixKernel* kernel, MemPort* mem, std::vector<std::string> argv, int pid)
+    : kernel_(kernel), fs_(&kernel->fs_), mem_(mem), argv_(std::move(argv)), pid_(pid) {
+  // fds 0/1/2.
+  auto mk = [this](OpenFile::Kind kind) {
+    auto f = std::make_unique<OpenFile>();
+    f->kind = kind;
+    fds_.push_back(std::move(f));
+  };
+  mk(OpenFile::Kind::kStdin);
+  mk(OpenFile::Kind::kStdout);
+  mk(OpenFile::Kind::kStderr);
+}
+
+void Process::Charge(uint64_t bytes) {
+  uint64_t cycles = kernel_->TransportCycles(bytes);
+  browsix_cycles_ += cycles;
+  syscall_count_++;
+  kernel_->Account(bytes);
+  if (mem_ != nullptr) {
+    mem_->ChargeCycles(cycles);
+  }
+}
+
+OpenFile* Process::GetFd(int fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
+    return nullptr;
+  }
+  return fds_[fd].get();
+}
+
+std::string Process::ReadCString(uint32_t addr, uint32_t max_len) {
+  std::string out;
+  for (uint32_t i = 0; i < max_len; i++) {
+    uint8_t c;
+    if (!mem_->Read(addr + i, &c, 1)) {
+      break;
+    }
+    if (c == 0) {
+      break;
+    }
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+int32_t Process::Open(const std::string& path, int flags) {
+  Charge(path.size());
+  int32_t inode;
+  if ((flags & kO_CREAT) != 0) {
+    inode = fs_->CreateFile(path);
+  } else {
+    inode = fs_->Lookup(path);
+  }
+  if (inode < 0) {
+    return inode;
+  }
+  if ((flags & kO_TRUNC) != 0 && !fs_->IsDir(inode)) {
+    fs_->Truncate(inode, 0);
+  }
+  auto f = std::make_unique<OpenFile>();
+  f->kind = OpenFile::Kind::kInode;
+  f->inode = static_cast<uint32_t>(inode);
+  f->flags = flags;
+  if ((flags & kO_APPEND) != 0) {
+    f->offset = fs_->SizeOf(inode);
+  }
+  // Lowest free slot.
+  for (size_t i = 0; i < fds_.size(); i++) {
+    if (fds_[i] == nullptr) {
+      fds_[i] = std::move(f);
+      return static_cast<int32_t>(i);
+    }
+  }
+  fds_.push_back(std::move(f));
+  return static_cast<int32_t>(fds_.size()) - 1;
+}
+
+int32_t Process::Close(int fd) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr) {
+    return kEBADF;
+  }
+  Charge(0);
+  if (f->kind == OpenFile::Kind::kPipeWrite && f->pipe) {
+    f->pipe->writer_closed = true;
+  }
+  if (f->kind == OpenFile::Kind::kPipeRead && f->pipe) {
+    f->pipe->reader_closed = true;
+  }
+  fds_[fd] = nullptr;
+  return 0;
+}
+
+int64_t Process::Read(int fd, uint32_t buf_addr, uint32_t len) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr) {
+    return kEBADF;
+  }
+  std::vector<uint8_t> tmp(len);
+  int64_t n = 0;
+  switch (f->kind) {
+    case OpenFile::Kind::kStdin: {
+      uint64_t avail = stdin_.size() - stdin_pos_;
+      n = static_cast<int64_t>(std::min<uint64_t>(len, avail));
+      std::memcpy(tmp.data(), stdin_.data() + stdin_pos_, n);
+      stdin_pos_ += n;
+      break;
+    }
+    case OpenFile::Kind::kPipeRead: {
+      uint64_t avail = f->pipe->buffer.size() - f->pipe->read_pos;
+      n = static_cast<int64_t>(std::min<uint64_t>(len, avail));
+      std::memcpy(tmp.data(), f->pipe->buffer.data() + f->pipe->read_pos, n);
+      f->pipe->read_pos += n;
+      break;
+    }
+    case OpenFile::Kind::kInode:
+      n = fs_->ReadAt(f->inode, f->offset, tmp.data(), len);
+      if (n > 0) {
+        f->offset += static_cast<uint64_t>(n);
+      }
+      break;
+    default:
+      return kEBADF;
+  }
+  Charge(n > 0 ? static_cast<uint64_t>(n) : 0);
+  if (n > 0 && !mem_->Write(buf_addr, tmp.data(), static_cast<uint32_t>(n))) {
+    return kEINVAL;
+  }
+  return n;
+}
+
+int64_t Process::Write(int fd, uint32_t buf_addr, uint32_t len) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr) {
+    return kEBADF;
+  }
+  std::vector<uint8_t> tmp(len);
+  if (!mem_->Read(buf_addr, tmp.data(), len)) {
+    return kEINVAL;
+  }
+  Charge(len);
+  switch (f->kind) {
+    case OpenFile::Kind::kStdout:
+      stdout_.insert(stdout_.end(), tmp.begin(), tmp.end());
+      return len;
+    case OpenFile::Kind::kStderr:
+      stderr_.insert(stderr_.end(), tmp.begin(), tmp.end());
+      return len;
+    case OpenFile::Kind::kPipeWrite:
+      f->pipe->buffer.insert(f->pipe->buffer.end(), tmp.begin(), tmp.end());
+      return len;
+    case OpenFile::Kind::kInode: {
+      int64_t n = fs_->WriteAt(f->inode, f->offset, tmp.data(), len);
+      if (n > 0) {
+        f->offset += static_cast<uint64_t>(n);
+      }
+      return n;
+    }
+    default:
+      return kEBADF;
+  }
+}
+
+int64_t Process::Seek(int fd, int64_t offset, int whence) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr) {
+    return kEBADF;
+  }
+  if (f->kind != OpenFile::Kind::kInode) {
+    return kESPIPE;
+  }
+  Charge(0);
+  int64_t base;
+  switch (whence) {
+    case kSeekSet:
+      base = 0;
+      break;
+    case kSeekCur:
+      base = static_cast<int64_t>(f->offset);
+      break;
+    case kSeekEnd:
+      base = static_cast<int64_t>(fs_->SizeOf(f->inode));
+      break;
+    default:
+      return kEINVAL;
+  }
+  int64_t pos = base + offset;
+  if (pos < 0) {
+    return kEINVAL;
+  }
+  f->offset = static_cast<uint64_t>(pos);
+  return pos;
+}
+
+int32_t Process::StatPath(const std::string& path, Stat* out) {
+  Charge(path.size() + sizeof(Stat));
+  int32_t inode = fs_->Lookup(path);
+  if (inode < 0) {
+    return inode;
+  }
+  out->inode = static_cast<uint32_t>(inode);
+  out->mode = fs_->IsDir(inode) ? 0x4000 : 0x8000;
+  out->size = fs_->SizeOf(inode);
+  out->nlink = fs_->inode(inode).nlink;
+  return 0;
+}
+
+int32_t Process::Fstat(int fd, Stat* out) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr) {
+    return kEBADF;
+  }
+  Charge(sizeof(Stat));
+  if (f->kind != OpenFile::Kind::kInode) {
+    out->mode = 0x1000;  // fifo-ish
+    out->size = 0;
+    return 0;
+  }
+  out->inode = f->inode;
+  out->mode = fs_->IsDir(f->inode) ? 0x4000 : 0x8000;
+  out->size = fs_->SizeOf(f->inode);
+  return 0;
+}
+
+int32_t Process::Dup2(int oldfd, int newfd) {
+  OpenFile* f = GetFd(oldfd);
+  if (f == nullptr || newfd < 0 || newfd > 1024) {
+    return kEBADF;
+  }
+  Charge(0);
+  if (static_cast<size_t>(newfd) >= fds_.size()) {
+    fds_.resize(newfd + 1);
+  }
+  auto copy = std::make_unique<OpenFile>(*f);
+  fds_[newfd] = std::move(copy);
+  return newfd;
+}
+
+int32_t Process::MakePipe(int* read_fd, int* write_fd) {
+  Charge(0);
+  auto pipe = std::make_shared<Pipe>();
+  auto r = std::make_unique<OpenFile>();
+  r->kind = OpenFile::Kind::kPipeRead;
+  r->pipe = pipe;
+  auto w = std::make_unique<OpenFile>();
+  w->kind = OpenFile::Kind::kPipeWrite;
+  w->pipe = pipe;
+  fds_.push_back(std::move(r));
+  *read_fd = static_cast<int>(fds_.size()) - 1;
+  fds_.push_back(std::move(w));
+  *write_fd = static_cast<int>(fds_.size()) - 1;
+  return 0;
+}
+
+int32_t Process::Ftruncate(int fd, uint64_t size) {
+  OpenFile* f = GetFd(fd);
+  if (f == nullptr || f->kind != OpenFile::Kind::kInode) {
+    return kEBADF;
+  }
+  Charge(0);
+  return fs_->Truncate(f->inode, size);
+}
+
+}  // namespace nsf

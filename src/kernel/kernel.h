@@ -1,0 +1,179 @@
+// BROWSIX-WASM kernel: processes, file descriptors, pipes, and the syscall
+// layer with auxiliary-buffer transport accounting.
+//
+// The paper's kernel lives in the browser's main JS context; processes are
+// WebWorkers that marshal syscall arguments through a 64 MB
+// SharedArrayBuffer. Here the kernel is an in-process object and "transport"
+// is a cost model: every syscall charges a fixed message cost plus a
+// per-byte copy cost, chunked at 64 MB — the same accounting §2 describes.
+// The charged cycles are tracked separately so the Figure 4 experiment can
+// report "% time in Browsix".
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/vfs.h"
+
+namespace nsf {
+
+// Open-file flags (subset of POSIX).
+inline constexpr int kO_RDONLY = 0x0;
+inline constexpr int kO_WRONLY = 0x1;
+inline constexpr int kO_RDWR = 0x2;
+inline constexpr int kO_CREAT = 0x40;
+inline constexpr int kO_TRUNC = 0x200;
+inline constexpr int kO_APPEND = 0x400;
+
+inline constexpr int kSeekSet = 0;
+inline constexpr int kSeekCur = 1;
+inline constexpr int kSeekEnd = 2;
+
+struct Pipe {
+  std::vector<uint8_t> buffer;
+  size_t read_pos = 0;
+  bool writer_closed = false;
+  bool reader_closed = false;
+};
+
+struct OpenFile {
+  enum class Kind { kInode, kPipeRead, kPipeWrite, kStdout, kStderr, kStdin } kind = Kind::kInode;
+  uint32_t inode = 0;
+  uint64_t offset = 0;
+  int flags = 0;
+  std::shared_ptr<Pipe> pipe;
+};
+
+struct Stat {
+  uint32_t inode = 0;
+  uint32_t mode = 0;  // 0x4000 dir | 0x8000 file
+  uint64_t size = 0;
+  uint32_t nlink = 1;
+};
+
+// Transport cost model (cycles); see DESIGN.md §5.
+struct TransportCosts {
+  uint64_t per_syscall = 4000;  // postMessage round trip between JS contexts
+  uint64_t per_byte_num = 1;    // copy in/out of the aux buffer: 1/4 cycle
+  uint64_t per_byte_den = 4;    //   per byte (memcpy at ~16B/cycle, 2 copies)
+  uint64_t chunk_bytes = 64ull << 20;  // aux buffer size (§2)
+};
+
+class Process;
+
+// Memory port: how the kernel reaches a process's linear memory. Adapters
+// exist for the simulated machine (counting transport cycles) and for the
+// reference interpreter (used in differential tests).
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+  virtual bool Read(uint32_t addr, void* out, uint32_t size) = 0;
+  virtual bool Write(uint32_t addr, const void* data, uint32_t size) = 0;
+  // Charges `cycles` of kernel time to the process (no-op for interp).
+  virtual void ChargeCycles(uint64_t cycles) {}
+};
+
+class BrowsixKernel {
+ public:
+  explicit BrowsixKernel(GrowthPolicy policy = GrowthPolicy::kChunked);
+
+  MemFs& fs() { return fs_; }
+  const TransportCosts& costs() const { return costs_; }
+  void set_costs(const TransportCosts& costs) { costs_ = costs; }
+
+  // Creates a process whose memory is reachable through `mem` (not owned).
+  // argv[0] is the program name.
+  std::unique_ptr<Process> CreateProcess(MemPort* mem, std::vector<std::string> argv);
+
+  // Cycle cost of transporting `bytes` payload bytes for one syscall,
+  // including 64 MB chunking.
+  uint64_t TransportCycles(uint64_t bytes) const;
+
+  // Aggregate accounting across all processes (Fig. 4).
+  uint64_t total_syscalls() const { return total_syscalls_; }
+  uint64_t total_transport_bytes() const { return total_transport_bytes_; }
+
+ private:
+  friend class Process;
+
+  void Account(uint64_t bytes) {
+    total_syscalls_++;
+    total_transport_bytes_ += bytes;
+  }
+
+  MemFs fs_;
+  TransportCosts costs_;
+  uint64_t total_syscalls_ = 0;
+  uint64_t total_transport_bytes_ = 0;
+  int next_pid_ = 1;
+};
+
+// One Browsix process: fd table + syscall implementations. Syscalls read and
+// write the process's Wasm heap through the machine, charging transport.
+class Process {
+ public:
+  Process(BrowsixKernel* kernel, MemPort* mem, std::vector<std::string> argv, int pid);
+
+  int pid() const { return pid_; }
+  const std::vector<std::string>& argv() const { return argv_; }
+  MemPort* mem() { return mem_; }
+
+  // --- Syscalls (return value or negative errno) ---
+  int32_t Open(const std::string& path, int flags);
+  int32_t Close(int fd);
+  int64_t Read(int fd, uint32_t buf_addr, uint32_t len);
+  int64_t Write(int fd, uint32_t buf_addr, uint32_t len);
+  int64_t Seek(int fd, int64_t offset, int whence);
+  int32_t StatPath(const std::string& path, Stat* out);
+  int32_t Fstat(int fd, Stat* out);
+  int32_t Dup2(int oldfd, int newfd);
+  int32_t MakePipe(int* read_fd, int* write_fd);
+  int32_t Ftruncate(int fd, uint64_t size);
+  int32_t Unlink(const std::string& path) { return fs_->Unlink(path); }
+  int32_t Mkdir(const std::string& path) {
+    int32_t r = fs_->Mkdir(path);
+    return r >= 0 ? 0 : r;
+  }
+
+  // Reads a NUL-terminated string out of the process heap (for path args).
+  std::string ReadCString(uint32_t addr, uint32_t max_len = 4096);
+
+  // Captured stdout/stderr bytes.
+  const std::vector<uint8_t>& stdout_bytes() const { return stdout_; }
+  const std::vector<uint8_t>& stderr_bytes() const { return stderr_; }
+  std::string StdoutString() const { return std::string(stdout_.begin(), stdout_.end()); }
+  void FeedStdin(const std::vector<uint8_t>& bytes) { stdin_ = bytes; }
+
+  // Time the kernel charged to this process (Fig. 4 numerator).
+  uint64_t browsix_cycles() const { return browsix_cycles_; }
+  uint64_t syscall_count() const { return syscall_count_; }
+
+  // Exit bookkeeping (set by the exit syscall hook).
+  bool exited = false;
+  int exit_code = 0;
+
+ private:
+  // Charges one syscall's transport for `bytes` of payload.
+  void Charge(uint64_t bytes);
+  OpenFile* GetFd(int fd);
+
+  BrowsixKernel* kernel_;
+  MemFs* fs_;
+  MemPort* mem_;
+  std::vector<std::string> argv_;
+  int pid_;
+  std::vector<std::unique_ptr<OpenFile>> fds_;
+  std::vector<uint8_t> stdout_;
+  std::vector<uint8_t> stderr_;
+  std::vector<uint8_t> stdin_;
+  uint64_t stdin_pos_ = 0;
+  uint64_t browsix_cycles_ = 0;
+  uint64_t syscall_count_ = 0;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,259 @@
+#include "src/kernel/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+MemFs::MemFs(GrowthPolicy policy) : policy_(policy) {
+  Inode root;
+  root.kind = InodeKind::kDir;
+  inodes_.push_back(std::move(root));
+}
+
+MemFs::Resolved MemFs::Resolve(const std::string& path) const {
+  Resolved r;
+  if (path.empty() || path[0] != '/') {
+    return r;
+  }
+  std::vector<std::string> parts;
+  for (const std::string& p : StrSplit(path.substr(1), '/')) {
+    if (p.empty() || p == ".") {
+      continue;
+    }
+    if (p == "..") {
+      if (!parts.empty()) {
+        parts.pop_back();
+      }
+      continue;
+    }
+    parts.push_back(p);
+  }
+  uint32_t cur = 0;  // root
+  if (parts.empty()) {
+    r.parent = 0;
+    r.node = 0;
+    r.leaf = "";
+    return r;
+  }
+  for (size_t i = 0; i + 1 < parts.size(); i++) {
+    const Inode& node = inodes_[cur];
+    if (node.kind != InodeKind::kDir) {
+      r.parent = kENOTDIR;
+      return r;
+    }
+    auto it = node.entries.find(parts[i]);
+    if (it == node.entries.end()) {
+      r.parent = kENOENT;
+      return r;
+    }
+    cur = it->second;
+  }
+  if (inodes_[cur].kind != InodeKind::kDir) {
+    r.parent = kENOTDIR;
+    return r;
+  }
+  r.parent = static_cast<int32_t>(cur);
+  r.leaf = parts.back();
+  auto it = inodes_[cur].entries.find(r.leaf);
+  r.node = it == inodes_[cur].entries.end() ? kENOENT : static_cast<int32_t>(it->second);
+  return r;
+}
+
+int32_t MemFs::Lookup(const std::string& path) const {
+  Resolved r = Resolve(path);
+  if (r.parent < 0) {
+    return r.parent;
+  }
+  return r.node;
+}
+
+int32_t MemFs::CreateFile(const std::string& path) {
+  Resolved r = Resolve(path);
+  if (r.parent < 0) {
+    return r.parent;
+  }
+  if (r.node >= 0) {
+    return inodes_[r.node].kind == InodeKind::kFile ? r.node : kEISDIR;
+  }
+  Inode node;
+  node.kind = InodeKind::kFile;
+  inodes_.push_back(std::move(node));
+  uint32_t id = static_cast<uint32_t>(inodes_.size()) - 1;
+  inodes_[r.parent].entries[r.leaf] = id;
+  return static_cast<int32_t>(id);
+}
+
+int32_t MemFs::Mkdir(const std::string& path) {
+  Resolved r = Resolve(path);
+  if (r.parent < 0) {
+    return r.parent;
+  }
+  if (r.node >= 0) {
+    return kEEXIST;
+  }
+  Inode node;
+  node.kind = InodeKind::kDir;
+  inodes_.push_back(std::move(node));
+  uint32_t id = static_cast<uint32_t>(inodes_.size()) - 1;
+  inodes_[r.parent].entries[r.leaf] = id;
+  return static_cast<int32_t>(id);
+}
+
+int32_t MemFs::Unlink(const std::string& path) {
+  Resolved r = Resolve(path);
+  if (r.parent < 0) {
+    return r.parent;
+  }
+  if (r.node < 0) {
+    return kENOENT;
+  }
+  if (inodes_[r.node].kind == InodeKind::kDir) {
+    return kEISDIR;
+  }
+  inodes_[r.parent].entries.erase(r.leaf);
+  return 0;
+}
+
+int32_t MemFs::Rmdir(const std::string& path) {
+  Resolved r = Resolve(path);
+  if (r.parent < 0) {
+    return r.parent;
+  }
+  if (r.node < 0) {
+    return kENOENT;
+  }
+  if (inodes_[r.node].kind != InodeKind::kDir) {
+    return kENOTDIR;
+  }
+  if (!inodes_[r.node].entries.empty()) {
+    return kENOTEMPTY;
+  }
+  inodes_[r.parent].entries.erase(r.leaf);
+  return 0;
+}
+
+int32_t MemFs::Rename(const std::string& from, const std::string& to) {
+  Resolved rf = Resolve(from);
+  if (rf.parent < 0 || rf.node < 0) {
+    return rf.parent < 0 ? rf.parent : kENOENT;
+  }
+  Resolved rt = Resolve(to);
+  if (rt.parent < 0) {
+    return rt.parent;
+  }
+  inodes_[rt.parent].entries[rt.leaf] = static_cast<uint32_t>(rf.node);
+  inodes_[rf.parent].entries.erase(rf.leaf);
+  return 0;
+}
+
+void MemFs::Grow(Inode& node, uint64_t needed) {
+  if (needed <= node.capacity) {
+    return;
+  }
+  uint64_t new_cap;
+  if (policy_ == GrowthPolicy::kExact) {
+    // Pre-fix BrowserFS: a fresh exact-size buffer and a full copy of the
+    // old contents on every extension.
+    new_cap = needed;
+    node.copy_bytes += node.data.size();
+  } else {
+    // Fixed behaviour: at least 4 KiB extra (we also double up to 1 MiB,
+    // matching amortized growth).
+    uint64_t bump = std::max<uint64_t>(4096, std::min<uint64_t>(node.capacity, 1 << 20));
+    new_cap = std::max(needed, node.capacity + bump);
+    node.copy_bytes += node.data.size();  // one copy per (rare) growth
+  }
+  node.capacity = new_cap;
+}
+
+int64_t MemFs::ReadAt(uint32_t inode_id, uint64_t offset, uint8_t* out, uint64_t len) const {
+  const Inode& node = inodes_[inode_id];
+  if (node.kind != InodeKind::kFile) {
+    return kEISDIR;
+  }
+  if (offset >= node.data.size()) {
+    return 0;
+  }
+  uint64_t n = std::min<uint64_t>(len, node.data.size() - offset);
+  std::memcpy(out, node.data.data() + offset, n);
+  return static_cast<int64_t>(n);
+}
+
+int64_t MemFs::WriteAt(uint32_t inode_id, uint64_t offset, const uint8_t* data, uint64_t len) {
+  Inode& node = inodes_[inode_id];
+  if (node.kind != InodeKind::kFile) {
+    return kEISDIR;
+  }
+  uint64_t end = offset + len;
+  if (end > node.data.size()) {
+    Grow(node, end);
+    node.data.resize(end);
+  }
+  std::memcpy(node.data.data() + offset, data, len);
+  return static_cast<int64_t>(len);
+}
+
+int32_t MemFs::Truncate(uint32_t inode_id, uint64_t size) {
+  Inode& node = inodes_[inode_id];
+  if (node.kind != InodeKind::kFile) {
+    return kEISDIR;
+  }
+  if (size > node.data.size()) {
+    Grow(node, size);
+  }
+  node.data.resize(size);
+  return 0;
+}
+
+std::vector<std::string> MemFs::List(uint32_t dir_inode) const {
+  std::vector<std::string> names;
+  for (const auto& [name, id] : inodes_[dir_inode].entries) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+bool MemFs::WriteFile(const std::string& path, const std::string& contents) {
+  return WriteFile(path, std::vector<uint8_t>(contents.begin(), contents.end()));
+}
+
+bool MemFs::WriteFile(const std::string& path, const std::vector<uint8_t>& contents) {
+  int32_t id = CreateFile(path);
+  if (id < 0) {
+    return false;
+  }
+  inodes_[id].data.clear();
+  inodes_[id].capacity = 0;
+  return WriteAt(static_cast<uint32_t>(id), 0, contents.data(), contents.size()) ==
+         static_cast<int64_t>(contents.size());
+}
+
+bool MemFs::ReadFile(const std::string& path, std::vector<uint8_t>* out) const {
+  int32_t id = Lookup(path);
+  if (id < 0 || inodes_[id].kind != InodeKind::kFile) {
+    return false;
+  }
+  *out = inodes_[id].data;
+  return true;
+}
+
+std::string MemFs::ReadFileString(const std::string& path) const {
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(path, &bytes)) {
+    return "";
+  }
+  return std::string(bytes.begin(), bytes.end());
+}
+
+uint64_t MemFs::total_copy_bytes() const {
+  uint64_t total = 0;
+  for (const Inode& node : inodes_) {
+    total += node.copy_bytes;
+  }
+  return total;
+}
+
+}  // namespace nsf

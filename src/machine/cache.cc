@@ -1,0 +1,67 @@
+#include "src/machine/cache.h"
+
+#include <cstddef>
+
+namespace nsf {
+
+namespace {
+uint32_t Log2(uint32_t v) {
+  uint32_t s = 0;
+  while ((1u << s) < v) {
+    s++;
+  }
+  return s;
+}
+}  // namespace
+
+CacheModel::CacheModel(uint32_t size_bytes, uint32_t line_size, uint32_t ways)
+    : line_size_(line_size),
+      ways_(ways),
+      num_sets_(size_bytes / (line_size * ways)),
+      line_shift_(Log2(line_size)),
+      sets_(size_t{num_sets_} * ways) {}
+
+bool CacheModel::Access(uint64_t addr) {
+  uint64_t line = addr >> line_shift_;
+  uint32_t set = static_cast<uint32_t>(line % num_sets_);
+  Way* base = &sets_[size_t{set} * ways_];
+  tick_++;
+  Way* victim = base;
+  for (uint32_t w = 0; w < ways_; w++) {
+    if (base[w].tag == line) {
+      base[w].lru = tick_;
+      hits_++;
+      return true;
+    }
+    if (base[w].lru < victim->lru) {
+      victim = &base[w];
+    }
+  }
+  victim->tag = line;
+  victim->lru = tick_;
+  misses_++;
+  return false;
+}
+
+uint32_t CacheModel::AccessRange(uint64_t addr, uint32_t size) {
+  uint32_t miss_count = 0;
+  uint64_t first = addr >> line_shift_;
+  uint64_t last = (addr + (size > 0 ? size - 1 : 0)) >> line_shift_;
+  for (uint64_t line = first; line <= last; line++) {
+    if (!Access(line << line_shift_)) {
+      miss_count++;
+    }
+  }
+  return miss_count;
+}
+
+void CacheModel::Reset() {
+  for (Way& w : sets_) {
+    w = Way{};
+  }
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace nsf

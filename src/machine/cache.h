@@ -1,0 +1,46 @@
+// Set-associative LRU cache model used for both L1i and L1d (with a shared
+// unified L2 behind them).
+#ifndef SRC_MACHINE_CACHE_H_
+#define SRC_MACHINE_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace nsf {
+
+class CacheModel {
+ public:
+  // size_bytes must be a multiple of line_size * ways.
+  CacheModel(uint32_t size_bytes, uint32_t line_size, uint32_t ways);
+
+  // Touches the line containing `addr`; returns true on hit.
+  bool Access(uint64_t addr);
+
+  // Touches every line in [addr, addr+size); returns the number of misses.
+  uint32_t AccessRange(uint64_t addr, uint32_t size);
+
+  void Reset();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint32_t line_size() const { return line_size_; }
+
+ private:
+  struct Way {
+    uint64_t tag = UINT64_MAX;
+    uint64_t lru = 0;
+  };
+
+  uint32_t line_size_;
+  uint32_t ways_;
+  uint32_t num_sets_;
+  uint32_t line_shift_;
+  std::vector<Way> sets_;  // num_sets_ * ways_
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_MACHINE_CACHE_H_

@@ -1,0 +1,1259 @@
+#include "src/machine/machine.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+namespace {
+
+constexpr uint64_t kDefaultFuel = 200ull * 1000 * 1000 * 1000;
+
+uint64_t TruncToWidth(uint64_t v, uint8_t width) {
+  switch (width) {
+    case 1:
+      return v & 0xff;
+    case 2:
+      return v & 0xffff;
+    case 4:
+      return v & 0xffffffffull;
+    default:
+      return v;
+  }
+}
+
+int64_t SignExtend(uint64_t v, uint8_t width) {
+  switch (width) {
+    case 1:
+      return static_cast<int8_t>(v);
+    case 2:
+      return static_cast<int16_t>(v);
+    case 4:
+      return static_cast<int32_t>(v);
+    default:
+      return static_cast<int64_t>(v);
+  }
+}
+
+float BitsToF32(uint64_t bits) {
+  float f;
+  uint32_t b32 = static_cast<uint32_t>(bits);
+  std::memcpy(&f, &b32, 4);
+  return f;
+}
+
+uint64_t F32ToBits(float f) {
+  uint32_t b32;
+  std::memcpy(&b32, &f, 4);
+  return b32;
+}
+
+double BitsToF64(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+uint64_t F64ToBits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, 8);
+  return b;
+}
+
+double CanonMin(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? a : b;
+  }
+  return a < b ? a : b;
+}
+
+double CanonMax(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (a == b) {
+    return std::signbit(a) ? b : a;
+  }
+  return a > b ? a : b;
+}
+
+double ApplyRounding(double v, int mode) {
+  switch (mode) {
+    case 0:
+      return std::nearbyint(v);
+    case 1:
+      return std::floor(v);
+    case 2:
+      return std::ceil(v);
+    default:
+      return std::trunc(v);
+  }
+}
+
+}  // namespace
+
+PerfCounters PerfCounters::operator-(const PerfCounters& other) const {
+  PerfCounters r = *this;
+  r.instructions_retired -= other.instructions_retired;
+  r.micro_cycles -= other.micro_cycles;
+  r.loads_retired -= other.loads_retired;
+  r.stores_retired -= other.stores_retired;
+  r.branches_retired -= other.branches_retired;
+  r.cond_branches_retired -= other.cond_branches_retired;
+  r.taken_branches -= other.taken_branches;
+  r.calls -= other.calls;
+  r.l1i_misses -= other.l1i_misses;
+  r.l1d_misses -= other.l1d_misses;
+  r.l2_misses -= other.l2_misses;
+  return r;
+}
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
+  instructions_retired += other.instructions_retired;
+  micro_cycles += other.micro_cycles;
+  loads_retired += other.loads_retired;
+  stores_retired += other.stores_retired;
+  branches_retired += other.branches_retired;
+  cond_branches_retired += other.cond_branches_retired;
+  taken_branches += other.taken_branches;
+  calls += other.calls;
+  l1i_misses += other.l1i_misses;
+  l1d_misses += other.l1d_misses;
+  l2_misses += other.l2_misses;
+  return *this;
+}
+
+SimMachine::SimMachine(const MProgram* program, CostModel cost)
+    : program_(program), cost_(cost), stack_(kStackSize) {
+  heap_.resize(size_t{program->memory_pages} * 65536);
+  max_heap_pages_ = program->max_memory_pages;
+  globals_.resize(program->num_globals + 8);  // slot 0 reserved: stack limit
+  globals_[MProgram::kStackLimitSlot] = kStackBase + 4096;  // red zone
+  for (const auto& [slot, bits] : program->global_inits) {
+    globals_[slot] = bits;
+  }
+  table_image_.resize(program->table.size() * 8);
+  for (size_t i = 0; i < program->table.size(); i++) {
+    uint32_t sig = program->table[i].sig_id;
+    uint32_t fn = program->table[i].func_index;
+    std::memcpy(&table_image_[i * 8], &sig, 4);
+    std::memcpy(&table_image_[i * 8 + 4], &fn, 4);
+  }
+  for (const auto& [offset, bytes] : program->data_segments) {
+    if (size_t{offset} + bytes.size() <= heap_.size()) {
+      std::memcpy(heap_.data() + offset, bytes.data(), bytes.size());
+    }
+  }
+}
+
+void SimMachine::RegisterHost(uint32_t idx, HostHook hook) {
+  if (hooks_.size() <= idx) {
+    hooks_.resize(idx + 1);
+  }
+  hooks_[idx] = std::move(hook);
+}
+
+double SimMachine::xmm_f64(Xmm r) const { return BitsToF64(xmms_[static_cast<uint8_t>(r)]); }
+void SimMachine::set_xmm_f64(Xmm r, double v) { xmms_[static_cast<uint8_t>(r)] = F64ToBits(v); }
+
+bool SimMachine::HeapRead(uint32_t addr, void* out, uint32_t size) const {
+  if (uint64_t{addr} + size > heap_.size()) {
+    return false;
+  }
+  std::memcpy(out, heap_.data() + addr, size);
+  return true;
+}
+
+bool SimMachine::HeapWrite(uint32_t addr, const void* data, uint32_t size) {
+  if (uint64_t{addr} + size > heap_.size()) {
+    return false;
+  }
+  std::memcpy(heap_.data() + addr, data, size);
+  return true;
+}
+
+void SimMachine::ResetCounters() {
+  counters_ = PerfCounters{};
+  host_micro_cycles_ = 0;
+  l1i_.Reset();
+  l1d_.Reset();
+  l2_.Reset();
+}
+
+void SimMachine::ChargeHostCycles(uint64_t cycles) {
+  counters_.micro_cycles += cycles * 4;
+  host_micro_cycles_ += cycles * 4;
+}
+
+uint8_t* SimMachine::MemPtr(uint64_t addr, uint32_t size) {
+  if (addr >= kHeapBase) {
+    uint64_t off = addr - kHeapBase;
+    if (off + size <= heap_.size()) {
+      return heap_.data() + off;
+    }
+    return nullptr;
+  }
+  if (addr >= kTableBase) {
+    uint64_t off = addr - kTableBase;
+    if (off + size <= table_image_.size()) {
+      return table_image_.data() + off;
+    }
+    return nullptr;
+  }
+  if (addr >= kGlobalsBase) {
+    uint64_t off = addr - kGlobalsBase;
+    if (off + size <= globals_.size() * 8) {
+      return reinterpret_cast<uint8_t*>(globals_.data()) + off;
+    }
+    return nullptr;
+  }
+  if (addr >= kStackBase) {
+    uint64_t off = addr - kStackBase;
+    if (off + size <= stack_.size()) {
+      return stack_.data() + off;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+uint64_t SimMachine::EffectiveAddr(const MemRef& m) const {
+  uint64_t addr = static_cast<uint64_t>(static_cast<int64_t>(m.disp));
+  if (m.base.has_value()) {
+    addr += gpr(*m.base);
+  }
+  if (m.index.has_value()) {
+    addr += gpr(*m.index) * m.scale;
+  }
+  return addr;
+}
+
+bool SimMachine::EvalCond(Cond c) const {
+  if (cmp_kind_ == CmpKind::kFloat) {
+    // ucomisd semantics: unordered sets ZF, PF, CF.
+    bool zf = fp_equal_ || fp_unordered_;
+    bool cf = fp_less_ || fp_unordered_;
+    bool pf = fp_unordered_;
+    switch (c) {
+      case Cond::kE: return zf;
+      case Cond::kNe: return !zf;
+      case Cond::kB: return cf;
+      case Cond::kBe: return cf || zf;
+      case Cond::kA: return !cf && !zf;
+      case Cond::kAe: return !cf;
+      case Cond::kP: return pf;
+      case Cond::kNp: return !pf;
+      default: return false;  // signed conds unused after FP compare
+    }
+  }
+  if (cmp_kind_ == CmpKind::kTest) {
+    bool zf = cmp_test_ == 0;
+    bool sf = cmp_test_sign_;
+    switch (c) {
+      case Cond::kE: return zf;
+      case Cond::kNe: return !zf;
+      case Cond::kS: return sf;
+      case Cond::kNs: return !sf;
+      case Cond::kL: return sf;        // OF=0 after test
+      case Cond::kGe: return !sf;
+      case Cond::kLe: return zf || sf;
+      case Cond::kG: return !zf && !sf;
+      default: return false;
+    }
+  }
+  switch (c) {
+    case Cond::kE: return cmp_ua_ == cmp_ub_;
+    case Cond::kNe: return cmp_ua_ != cmp_ub_;
+    case Cond::kL: return cmp_sa_ < cmp_sb_;
+    case Cond::kLe: return cmp_sa_ <= cmp_sb_;
+    case Cond::kG: return cmp_sa_ > cmp_sb_;
+    case Cond::kGe: return cmp_sa_ >= cmp_sb_;
+    case Cond::kB: return cmp_ua_ < cmp_ub_;
+    case Cond::kBe: return cmp_ua_ <= cmp_ub_;
+    case Cond::kA: return cmp_ua_ > cmp_ub_;
+    case Cond::kAe: return cmp_ua_ >= cmp_ub_;
+    case Cond::kS: return cmp_sa_ - cmp_sb_ < 0;
+    case Cond::kNs: return cmp_sa_ - cmp_sb_ >= 0;
+    default: return false;
+  }
+}
+
+void SimMachine::WriteStack(uint64_t addr, uint64_t bits) {
+  uint8_t* p = MemPtr(addr, 8);
+  if (p != nullptr) {
+    std::memcpy(p, &bits, 8);
+  }
+}
+
+MachineResult SimMachine::RunAt(uint32_t func_index, uint64_t args_base) {
+  MachineResult result;
+  if (func_index >= program_->funcs.size()) {
+    result.error = "function index out of range";
+    result.trap = TrapKind::kHostError;
+    return result;
+  }
+  set_gpr(Gpr::kRsp, args_base - 8);
+  set_gpr(Gpr::kRbx, kHeapBase);
+  set_gpr(Gpr::kR15, kHeapBase);
+  frames_.clear();
+  cur_func_ = func_index;
+  pc_ = 0;
+  pending_trap_ = TrapKind::kNone;
+  trap_msg_.clear();
+  TrapKind trap = Exec();
+  if (trap != TrapKind::kNone) {
+    result.ok = false;
+    result.trap = trap;
+    result.error = trap_msg_.empty() ? TrapKindName(trap) : trap_msg_;
+    return result;
+  }
+  result.ok = true;
+  result.ret_i = gpr(Gpr::kRax);
+  result.ret_f = xmm_f64(Xmm::kXmm0);
+  return result;
+}
+
+MachineResult SimMachine::Run(uint32_t func_index, const std::vector<uint64_t>& int_args) {
+  MachineResult result;
+  if (func_index >= program_->funcs.size()) {
+    result.error = "function index out of range";
+    result.trap = TrapKind::kHostError;
+    return result;
+  }
+  static const Gpr kArgRegs[6] = {Gpr::kRdi, Gpr::kRsi, Gpr::kRdx,
+                                  Gpr::kRcx, Gpr::kR8,  Gpr::kR9};
+  for (size_t i = 0; i < int_args.size() && i < 6; i++) {
+    set_gpr(kArgRegs[i], int_args[i]);
+  }
+  set_gpr(Gpr::kRsp, kStackBase + kStackSize);
+  set_gpr(Gpr::kRbx, kHeapBase);   // heap base for JIT-profile code
+  set_gpr(Gpr::kR15, kHeapBase);   // heap base for Firefox-profile code
+  frames_.clear();
+  cur_func_ = func_index;
+  pc_ = 0;
+  pending_trap_ = TrapKind::kNone;
+  trap_msg_.clear();
+
+  TrapKind trap = Exec();
+  if (trap != TrapKind::kNone) {
+    result.ok = false;
+    result.trap = trap;
+    result.error = trap_msg_.empty() ? TrapKindName(trap) : trap_msg_;
+    return result;
+  }
+  result.ok = true;
+  result.ret_i = gpr(Gpr::kRax);
+  result.ret_f = xmm_f64(Xmm::kXmm0);
+  return result;
+}
+
+TrapKind SimMachine::Exec() {
+  uint64_t fuel = fuel_ != 0 ? fuel_ : kDefaultFuel;
+
+  // Data access helper: routes, counts, charges cache penalties.
+  auto data_access = [&](uint64_t addr, uint32_t size, bool is_store,
+                         uint8_t** out) -> bool {
+    uint8_t* p = MemPtr(addr, size);
+    if (p == nullptr) {
+      pending_trap_ = TrapKind::kMemoryOutOfBounds;
+      trap_msg_ = StrFormat("data access at 0x%llx size %u", (unsigned long long)addr, size);
+      return false;
+    }
+    if (is_store) {
+      counters_.stores_retired++;
+      counters_.micro_cycles += cost_.store;
+    } else {
+      counters_.loads_retired++;
+      counters_.micro_cycles += cost_.load;
+    }
+    if (!l1d_.Access(addr)) {
+      counters_.l1d_misses++;
+      counters_.micro_cycles += cost_.l1_miss;
+      if (!l2_.Access(addr)) {
+        counters_.l2_misses++;
+        counters_.micro_cycles += cost_.l2_miss;
+      }
+    }
+    *out = p;
+    return true;
+  };
+
+  // Reads an integer operand value (width-truncated, optionally sign-extended
+  // by the caller). Returns false on memory trap.
+  auto read_int = [&](const Operand& o, uint8_t width, uint64_t* out) -> bool {
+    switch (o.kind) {
+      case OperandKind::kGpr:
+        *out = TruncToWidth(gpr(o.gpr), width);
+        return true;
+      case OperandKind::kImm:
+        *out = TruncToWidth(static_cast<uint64_t>(o.imm), width);
+        return true;
+      case OperandKind::kMem: {
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(o.mem), width, false, &p)) {
+          return false;
+        }
+        uint64_t v = 0;
+        std::memcpy(&v, p, width);
+        *out = v;
+        return true;
+      }
+      default:
+        pending_trap_ = TrapKind::kHostError;
+        trap_msg_ = "bad int operand";
+        return false;
+    }
+  };
+
+  // Writes an integer result. Width-4 register writes zero the upper half
+  // (x86 semantics); widths 1/2 to registers write the full value zero-based
+  // (we only use them via explicit Load/Setcc).
+  auto write_int = [&](const Operand& o, uint8_t width, uint64_t v) -> bool {
+    switch (o.kind) {
+      case OperandKind::kGpr:
+        set_gpr(o.gpr, width == 8 ? v : TruncToWidth(v, width));
+        return true;
+      case OperandKind::kMem: {
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(o.mem), width, true, &p)) {
+          return false;
+        }
+        uint64_t t = TruncToWidth(v, width);
+        std::memcpy(p, &t, width);
+        return true;
+      }
+      default:
+        pending_trap_ = TrapKind::kHostError;
+        trap_msg_ = "bad int dest";
+        return false;
+    }
+  };
+
+  auto read_fp_bits = [&](const Operand& o, uint8_t width, uint64_t* out) -> bool {
+    switch (o.kind) {
+      case OperandKind::kXmm:
+        *out = xmms_[static_cast<uint8_t>(o.xmm)];
+        return true;
+      case OperandKind::kImm:
+        *out = static_cast<uint64_t>(o.imm);
+        return true;
+      case OperandKind::kGpr:
+        *out = gpr(o.gpr);
+        return true;
+      case OperandKind::kMem: {
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(o.mem), width, false, &p)) {
+          return false;
+        }
+        uint64_t v = 0;
+        std::memcpy(&v, p, width);
+        *out = v;
+        return true;
+      }
+      default:
+        pending_trap_ = TrapKind::kHostError;
+        trap_msg_ = "bad fp operand";
+        return false;
+    }
+  };
+
+  auto write_fp_bits = [&](const Operand& o, uint8_t width, uint64_t v) -> bool {
+    switch (o.kind) {
+      case OperandKind::kXmm:
+        xmms_[static_cast<uint8_t>(o.xmm)] = width == 4 ? (v & 0xffffffffull) : v;
+        return true;
+      case OperandKind::kMem: {
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(o.mem), width, true, &p)) {
+          return false;
+        }
+        std::memcpy(p, &v, width);
+        return true;
+      }
+      default:
+        pending_trap_ = TrapKind::kHostError;
+        trap_msg_ = "bad fp dest";
+        return false;
+    }
+  };
+
+  while (true) {
+    const MFunction& func = program_->funcs[cur_func_];
+    if (pc_ >= func.code.size()) {
+      pending_trap_ = TrapKind::kHostError;
+      trap_msg_ = StrFormat("pc out of range in %s", func.name.c_str());
+      return pending_trap_;
+    }
+    const MInstr& instr = func.code[pc_];
+
+    // Instruction fetch through the L1i model.
+    uint64_t fetch_addr = func.code_base + func.instr_offsets[pc_];
+    uint32_t fetch_size = EncodedSize(instr);
+    uint32_t imiss = l1i_.AccessRange(fetch_addr, fetch_size);
+    if (imiss > 0) {
+      counters_.l1i_misses += imiss;
+      counters_.micro_cycles += cost_.l1_miss * imiss;
+      for (uint32_t k = 0; k < imiss; k++) {
+        if (!l2_.Access(fetch_addr + uint64_t{k} * 64)) {
+          counters_.l2_misses++;
+          counters_.micro_cycles += cost_.l2_miss;
+        }
+      }
+    }
+
+    counters_.instructions_retired++;
+    if (counters_.instructions_retired > fuel) {
+      pending_trap_ = TrapKind::kFuelExhausted;
+      trap_msg_ = "instruction budget exceeded";
+      return pending_trap_;
+    }
+
+    uint32_t next_pc = pc_ + 1;
+
+    switch (instr.op) {
+      case MOp::kNop:
+        counters_.micro_cycles += cost_.simple;
+        break;
+
+      case MOp::kMov:
+      case MOp::kMovImm64: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t v;
+        if (!read_int(instr.src, instr.width, &v)) {
+          return pending_trap_;
+        }
+        if (!write_int(instr.dst, instr.width, v)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kLoad: {
+        counters_.micro_cycles += cost_.simple;  // load cost added in data_access
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(instr.src.mem), instr.width, false, &p)) {
+          return pending_trap_;
+        }
+        uint64_t v = 0;
+        std::memcpy(&v, p, instr.width);
+        if (instr.sign_extend) {
+          v = static_cast<uint64_t>(SignExtend(v, instr.width));
+          if (instr.width != 8) {
+            // movsx to 64-bit register keeps full sign extension; 32-bit
+            // target forms are modeled by the codegen choosing width.
+          }
+        }
+        set_gpr(instr.dst.gpr, instr.sign_extend ? v : TruncToWidth(v, instr.width));
+        break;
+      }
+
+      case MOp::kStore: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t v;
+        if (!read_int(instr.src, instr.width, &v)) {
+          return pending_trap_;
+        }
+        uint8_t* p;
+        if (!data_access(EffectiveAddr(instr.dst.mem), instr.width, true, &p)) {
+          return pending_trap_;
+        }
+        std::memcpy(p, &v, instr.width);
+        break;
+      }
+
+      case MOp::kLea: {
+        counters_.micro_cycles += cost_.simple;
+        set_gpr(instr.dst.gpr,
+                instr.width == 8 ? EffectiveAddr(instr.src.mem)
+                                 : TruncToWidth(EffectiveAddr(instr.src.mem), 4));
+        break;
+      }
+
+      case MOp::kPush: {
+        counters_.micro_cycles += cost_.simple;
+        set_gpr(Gpr::kRsp, gpr(Gpr::kRsp) - 8);
+        uint8_t* p;
+        if (!data_access(gpr(Gpr::kRsp), 8, true, &p)) {
+          return pending_trap_;
+        }
+        uint64_t v = gpr(instr.dst.gpr);
+        std::memcpy(p, &v, 8);
+        break;
+      }
+
+      case MOp::kPop: {
+        counters_.micro_cycles += cost_.simple;
+        uint8_t* p;
+        if (!data_access(gpr(Gpr::kRsp), 8, false, &p)) {
+          return pending_trap_;
+        }
+        uint64_t v;
+        std::memcpy(&v, p, 8);
+        set_gpr(instr.dst.gpr, v);
+        set_gpr(Gpr::kRsp, gpr(Gpr::kRsp) + 8);
+        break;
+      }
+
+      case MOp::kXchg: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a = gpr(instr.dst.gpr);
+        set_gpr(instr.dst.gpr, gpr(instr.src.gpr));
+        set_gpr(instr.src.gpr, a);
+        break;
+      }
+
+      case MOp::kAdd:
+      case MOp::kSub:
+      case MOp::kAnd:
+      case MOp::kOr:
+      case MOp::kXor: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        uint64_t b;
+        if (!read_int(instr.dst, instr.width, &a) || !read_int(instr.src, instr.width, &b)) {
+          return pending_trap_;
+        }
+        uint64_t r = 0;
+        switch (instr.op) {
+          case MOp::kAdd: r = a + b; break;
+          case MOp::kSub: r = a - b; break;
+          case MOp::kAnd: r = a & b; break;
+          case MOp::kOr: r = a | b; break;
+          default: r = a ^ b; break;
+        }
+        if (!write_int(instr.dst, instr.width, r)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kImul: {
+        counters_.micro_cycles += cost_.imul;
+        uint64_t a;
+        uint64_t b;
+        if (!read_int(instr.dst, instr.width, &a) || !read_int(instr.src, instr.width, &b)) {
+          return pending_trap_;
+        }
+        if (!write_int(instr.dst, instr.width, a * b)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kNeg: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.dst, instr.width, &a)) {
+          return pending_trap_;
+        }
+        if (!write_int(instr.dst, instr.width, 0 - a)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kNot: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.dst, instr.width, &a)) {
+          return pending_trap_;
+        }
+        if (!write_int(instr.dst, instr.width, ~a)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kShl:
+      case MOp::kShr:
+      case MOp::kSar:
+      case MOp::kRol:
+      case MOp::kRor: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.dst, instr.width, &a)) {
+          return pending_trap_;
+        }
+        uint64_t count;
+        if (instr.src2.is_imm()) {
+          count = static_cast<uint64_t>(instr.src2.imm);
+        } else {
+          count = gpr(Gpr::kRcx);  // cl convention
+        }
+        uint32_t bits = instr.width * 8;
+        count &= bits - 1;
+        uint64_t r = 0;
+        switch (instr.op) {
+          case MOp::kShl:
+            r = a << count;
+            break;
+          case MOp::kShr:
+            r = a >> count;
+            break;
+          case MOp::kSar:
+            r = static_cast<uint64_t>(SignExtend(a, instr.width) >> count);
+            break;
+          case MOp::kRol:
+            r = count == 0 ? a : (a << count) | (a >> (bits - count));
+            break;
+          default:
+            r = count == 0 ? a : (a >> count) | (a << (bits - count));
+            break;
+        }
+        if (!write_int(instr.dst, instr.width, r)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kCmp: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        uint64_t b;
+        if (!read_int(instr.dst, instr.width, &a) || !read_int(instr.src, instr.width, &b)) {
+          return pending_trap_;
+        }
+        cmp_kind_ = CmpKind::kInt;
+        cmp_ua_ = a;
+        cmp_ub_ = b;
+        cmp_sa_ = SignExtend(a, instr.width);
+        cmp_sb_ = SignExtend(b, instr.width);
+        break;
+      }
+
+      case MOp::kTest: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        uint64_t b;
+        if (!read_int(instr.dst, instr.width, &a) || !read_int(instr.src, instr.width, &b)) {
+          return pending_trap_;
+        }
+        cmp_kind_ = CmpKind::kTest;
+        cmp_test_ = a & b;
+        cmp_test_sign_ = SignExtend(cmp_test_, instr.width) < 0;
+        break;
+      }
+
+      case MOp::kCdq: {
+        counters_.micro_cycles += cost_.simple;
+        if (instr.width == 8) {
+          set_gpr(Gpr::kRdx,
+                  static_cast<int64_t>(gpr(Gpr::kRax)) < 0 ? ~uint64_t{0} : 0);
+        } else {
+          uint32_t eax = static_cast<uint32_t>(gpr(Gpr::kRax));
+          set_gpr(Gpr::kRdx, static_cast<int32_t>(eax) < 0 ? 0xffffffffull : 0);
+        }
+        break;
+      }
+
+      case MOp::kIdiv:
+      case MOp::kDiv: {
+        counters_.micro_cycles += cost_.idiv;
+        uint64_t divisor;
+        if (!read_int(instr.src, instr.width, &divisor)) {
+          return pending_trap_;
+        }
+        if (divisor == 0) {
+          pending_trap_ = TrapKind::kDivByZero;
+          trap_msg_ = "division by zero";
+          return pending_trap_;
+        }
+        if (instr.width == 4) {
+          uint64_t dividend =
+              (TruncToWidth(gpr(Gpr::kRdx), 4) << 32) | TruncToWidth(gpr(Gpr::kRax), 4);
+          if (instr.op == MOp::kIdiv) {
+            int64_t sdividend = static_cast<int64_t>(dividend);
+            int64_t sdiv = SignExtend(divisor, 4);
+            int64_t q = sdividend / sdiv;
+            if (q > INT32_MAX || q < INT32_MIN) {
+              pending_trap_ = TrapKind::kIntegerOverflow;
+              trap_msg_ = "idiv overflow";
+              return pending_trap_;
+            }
+            set_gpr(Gpr::kRax, TruncToWidth(static_cast<uint64_t>(q), 4));
+            set_gpr(Gpr::kRdx, TruncToWidth(static_cast<uint64_t>(sdividend % sdiv), 4));
+          } else {
+            uint64_t q = dividend / divisor;
+            if (q > UINT32_MAX) {
+              pending_trap_ = TrapKind::kIntegerOverflow;
+              trap_msg_ = "div overflow";
+              return pending_trap_;
+            }
+            set_gpr(Gpr::kRax, q);
+            set_gpr(Gpr::kRdx, dividend % divisor);
+          }
+        } else {
+          // 64-bit: model the common cqo+idiv pair (dividend = rax).
+          if (instr.op == MOp::kIdiv) {
+            int64_t sdividend = static_cast<int64_t>(gpr(Gpr::kRax));
+            int64_t sdiv = static_cast<int64_t>(divisor);
+            if (sdividend == INT64_MIN && sdiv == -1) {
+              pending_trap_ = TrapKind::kIntegerOverflow;
+              trap_msg_ = "idiv overflow";
+              return pending_trap_;
+            }
+            set_gpr(Gpr::kRax, static_cast<uint64_t>(sdividend / sdiv));
+            set_gpr(Gpr::kRdx, static_cast<uint64_t>(sdividend % sdiv));
+          } else {
+            uint64_t dividend = gpr(Gpr::kRax);
+            set_gpr(Gpr::kRax, dividend / divisor);
+            set_gpr(Gpr::kRdx, dividend % divisor);
+          }
+        }
+        break;
+      }
+
+      case MOp::kSetcc: {
+        counters_.micro_cycles += cost_.simple;
+        set_gpr(instr.dst.gpr, EvalCond(instr.cond) ? 1 : 0);
+        break;
+      }
+
+      case MOp::kLzcnt: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.src, instr.width, &a)) {
+          return pending_trap_;
+        }
+        uint64_t r = instr.width == 8 ? static_cast<uint64_t>(std::countl_zero(a))
+                                      : std::countl_zero(static_cast<uint32_t>(a));
+        set_gpr(instr.dst.gpr, r);
+        break;
+      }
+
+      case MOp::kTzcnt: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.src, instr.width, &a)) {
+          return pending_trap_;
+        }
+        uint64_t r = instr.width == 8 ? static_cast<uint64_t>(std::countr_zero(a))
+                                      : std::countr_zero(static_cast<uint32_t>(a));
+        set_gpr(instr.dst.gpr, r);
+        break;
+      }
+
+      case MOp::kPopcnt: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.src, instr.width, &a)) {
+          return pending_trap_;
+        }
+        set_gpr(instr.dst.gpr, static_cast<uint64_t>(std::popcount(a)));
+        break;
+      }
+
+      case MOp::kMovsxd: {
+        counters_.micro_cycles += cost_.simple;
+        uint64_t a;
+        if (!read_int(instr.src, 4, &a)) {
+          return pending_trap_;
+        }
+        set_gpr(instr.dst.gpr, static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(a))));
+        break;
+      }
+
+      case MOp::kJmp: {
+        counters_.micro_cycles += cost_.branch + cost_.branch_taken_extra;
+        counters_.branches_retired++;
+        counters_.taken_branches++;
+        next_pc = instr.label;
+        break;
+      }
+
+      case MOp::kJcc: {
+        counters_.micro_cycles += cost_.branch;
+        counters_.branches_retired++;
+        counters_.cond_branches_retired++;
+        if (EvalCond(instr.cond)) {
+          counters_.taken_branches++;
+          counters_.micro_cycles += cost_.branch_taken_extra;
+          next_pc = instr.label;
+        }
+        break;
+      }
+
+      case MOp::kCall: {
+        counters_.micro_cycles += cost_.call;
+        counters_.branches_retired++;
+        counters_.calls++;
+        // Return-address push (architecturally a store).
+        set_gpr(Gpr::kRsp, gpr(Gpr::kRsp) - 8);
+        uint8_t* p;
+        if (!data_access(gpr(Gpr::kRsp), 8, true, &p)) {
+          return pending_trap_;
+        }
+        if (frames_.size() >= 4096) {
+          pending_trap_ = TrapKind::kCallStackExhausted;
+          return pending_trap_;
+        }
+        frames_.push_back(Frame{cur_func_, pc_ + 1});
+        cur_func_ = instr.func;
+        next_pc = 0;
+        break;
+      }
+
+      case MOp::kCallReg: {
+        counters_.micro_cycles += cost_.call;
+        counters_.branches_retired++;
+        counters_.calls++;
+        uint64_t target = gpr(instr.dst.gpr);
+        if (target >= program_->funcs.size()) {
+          pending_trap_ = TrapKind::kIndirectCallOutOfBounds;
+          trap_msg_ = "bad indirect target";
+          return pending_trap_;
+        }
+        set_gpr(Gpr::kRsp, gpr(Gpr::kRsp) - 8);
+        uint8_t* p;
+        if (!data_access(gpr(Gpr::kRsp), 8, true, &p)) {
+          return pending_trap_;
+        }
+        if (frames_.size() >= 4096) {
+          pending_trap_ = TrapKind::kCallStackExhausted;
+          return pending_trap_;
+        }
+        frames_.push_back(Frame{cur_func_, pc_ + 1});
+        cur_func_ = static_cast<uint32_t>(target);
+        next_pc = 0;
+        break;
+      }
+
+      case MOp::kCallHost: {
+        counters_.micro_cycles += cost_.host_call;
+        counters_.branches_retired++;
+        counters_.calls++;
+        if (instr.func == kBuiltinTrapUnreachable || instr.func == kBuiltinTrapStack ||
+            instr.func == kBuiltinTrapOob || instr.func == kBuiltinTrapNull ||
+            instr.func == kBuiltinTrapSig) {
+          switch (instr.func) {
+            case kBuiltinTrapStack:
+              pending_trap_ = TrapKind::kCallStackExhausted;
+              break;
+            case kBuiltinTrapOob:
+              pending_trap_ = TrapKind::kIndirectCallOutOfBounds;
+              break;
+            case kBuiltinTrapNull:
+              pending_trap_ = TrapKind::kIndirectCallNull;
+              break;
+            case kBuiltinTrapSig:
+              pending_trap_ = TrapKind::kIndirectCallTypeMismatch;
+              break;
+            default:
+              pending_trap_ = TrapKind::kUnreachable;
+              break;
+          }
+          trap_msg_ = "trap stub";
+          return pending_trap_;
+        } else if (instr.func == kBuiltinMemorySize) {
+          set_gpr(Gpr::kRax, heap_pages());
+        } else if (instr.func == kBuiltinMemoryGrow) {
+          uint64_t delta = TruncToWidth(gpr(Gpr::kRdi), 4);
+          uint64_t old_pages = heap_pages();
+          if (old_pages + delta > max_heap_pages_) {
+            set_gpr(Gpr::kRax, TruncToWidth(~uint64_t{0}, 4));
+          } else {
+            heap_.resize((old_pages + delta) * 65536);
+            set_gpr(Gpr::kRax, old_pages);
+          }
+        } else if (instr.func < hooks_.size() && hooks_[instr.func]) {
+          hooks_[instr.func](*this);
+          if (pending_trap_ != TrapKind::kNone) {
+            return pending_trap_;
+          }
+        } else {
+          pending_trap_ = TrapKind::kHostError;
+          trap_msg_ = StrFormat("no host hook %u", instr.func);
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kRet: {
+        counters_.micro_cycles += cost_.ret;
+        counters_.branches_retired++;
+        if (frames_.empty()) {
+          return TrapKind::kNone;  // outermost return: done
+        }
+        // Return-address pop (architecturally a load).
+        uint8_t* p;
+        if (!data_access(gpr(Gpr::kRsp), 8, false, &p)) {
+          return pending_trap_;
+        }
+        set_gpr(Gpr::kRsp, gpr(Gpr::kRsp) + 8);
+        Frame f = frames_.back();
+        frames_.pop_back();
+        cur_func_ = f.func;
+        next_pc = f.ret_pc;
+        break;
+      }
+
+      // ---------------- SSE double ----------------
+      case MOp::kMovsd:
+      case MOp::kMovss: {
+        uint8_t w = instr.op == MOp::kMovss ? 4 : 8;
+        counters_.micro_cycles += cost_.fp_mov;
+        uint64_t v;
+        if (!read_fp_bits(instr.src, w, &v)) {
+          return pending_trap_;
+        }
+        if (!write_fp_bits(instr.dst, w, v)) {
+          return pending_trap_;
+        }
+        break;
+      }
+
+      case MOp::kAddsd:
+      case MOp::kSubsd:
+      case MOp::kMulsd:
+      case MOp::kDivsd:
+      case MOp::kMinsd:
+      case MOp::kMaxsd: {
+        counters_.micro_cycles += instr.op == MOp::kDivsd ? cost_.fp_div : cost_.fp_simple;
+        uint64_t ab;
+        uint64_t bb;
+        if (!read_fp_bits(instr.dst, 8, &ab) || !read_fp_bits(instr.src, 8, &bb)) {
+          return pending_trap_;
+        }
+        double a = BitsToF64(ab);
+        double b = BitsToF64(bb);
+        double r = 0;
+        switch (instr.op) {
+          case MOp::kAddsd: r = a + b; break;
+          case MOp::kSubsd: r = a - b; break;
+          case MOp::kMulsd: r = a * b; break;
+          case MOp::kDivsd: r = a / b; break;
+          case MOp::kMinsd: r = CanonMin(a, b); break;
+          default: r = CanonMax(a, b); break;
+        }
+        write_fp_bits(instr.dst, 8, F64ToBits(r));
+        break;
+      }
+
+      case MOp::kSqrtsd: {
+        counters_.micro_cycles += cost_.fp_sqrt;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 8, &bb)) {
+          return pending_trap_;
+        }
+        write_fp_bits(instr.dst, 8, F64ToBits(std::sqrt(BitsToF64(bb))));
+        break;
+      }
+
+      case MOp::kAndpd:
+      case MOp::kXorpd:
+      case MOp::kOrpd: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t ab;
+        uint64_t bb;
+        if (!read_fp_bits(instr.dst, 8, &ab) || !read_fp_bits(instr.src, 8, &bb)) {
+          return pending_trap_;
+        }
+        uint64_t r = instr.op == MOp::kAndpd ? (ab & bb)
+                     : instr.op == MOp::kOrpd ? (ab | bb)
+                                              : (ab ^ bb);
+        write_fp_bits(instr.dst, 8, r);
+        break;
+      }
+
+      case MOp::kUcomisd:
+      case MOp::kUcomiss: {
+        counters_.micro_cycles += cost_.fp_simple / 2;
+        uint8_t w = instr.op == MOp::kUcomiss ? 4 : 8;
+        uint64_t ab;
+        uint64_t bb;
+        if (!read_fp_bits(instr.dst, w, &ab) || !read_fp_bits(instr.src, w, &bb)) {
+          return pending_trap_;
+        }
+        double a = w == 4 ? BitsToF32(ab) : BitsToF64(ab);
+        double b = w == 4 ? BitsToF32(bb) : BitsToF64(bb);
+        cmp_kind_ = CmpKind::kFloat;
+        fp_unordered_ = std::isnan(a) || std::isnan(b);
+        fp_equal_ = a == b;
+        fp_less_ = a < b;
+        break;
+      }
+
+      case MOp::kCvtsi2sd: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t v;
+        if (!read_int(instr.src, instr.width, &v)) {
+          return pending_trap_;
+        }
+        double r;
+        if (instr.sign_extend) {
+          r = static_cast<double>(SignExtend(v, instr.width));
+        } else {
+          r = static_cast<double>(v);
+        }
+        write_fp_bits(instr.dst, 8, F64ToBits(r));
+        break;
+      }
+
+      case MOp::kCvtsi2ss: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t v;
+        if (!read_int(instr.src, instr.width, &v)) {
+          return pending_trap_;
+        }
+        float r = instr.sign_extend ? static_cast<float>(SignExtend(v, instr.width))
+                                    : static_cast<float>(v);
+        write_fp_bits(instr.dst, 4, F32ToBits(r));
+        break;
+      }
+
+      case MOp::kCvttsd2si:
+      case MOp::kCvttss2si: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t bb;
+        uint8_t srcw = instr.op == MOp::kCvttss2si ? 4 : 8;
+        if (!read_fp_bits(instr.src, srcw, &bb)) {
+          return pending_trap_;
+        }
+        double v = srcw == 4 ? static_cast<double>(BitsToF32(bb)) : BitsToF64(bb);
+        if (std::isnan(v)) {
+          pending_trap_ = TrapKind::kInvalidConversion;
+          trap_msg_ = "NaN to integer";
+          return pending_trap_;
+        }
+        double t = std::trunc(v);
+        bool ok;
+        uint64_t r = 0;
+        if (instr.width == 4) {
+          if (instr.sign_extend) {
+            ok = t >= -2147483648.0 && t <= 2147483647.0;
+            if (ok) {
+              r = TruncToWidth(static_cast<uint64_t>(static_cast<int64_t>(t)), 4);
+            }
+          } else {
+            ok = t >= 0.0 && t <= 4294967295.0;
+            if (ok) {
+              r = static_cast<uint64_t>(t);
+            }
+          }
+        } else {
+          if (instr.sign_extend) {
+            ok = t >= -9223372036854775808.0 && t < 9223372036854775808.0;
+            if (ok) {
+              r = static_cast<uint64_t>(static_cast<int64_t>(t));
+            }
+          } else {
+            ok = t >= 0.0 && t < 18446744073709551616.0;
+            if (ok) {
+              r = static_cast<uint64_t>(t);
+            }
+          }
+        }
+        if (!ok) {
+          pending_trap_ = TrapKind::kIntegerOverflow;
+          trap_msg_ = "float to int overflow";
+          return pending_trap_;
+        }
+        set_gpr(instr.dst.gpr, r);
+        break;
+      }
+
+      case MOp::kRoundsd: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 8, &bb)) {
+          return pending_trap_;
+        }
+        write_fp_bits(instr.dst, 8,
+                      F64ToBits(ApplyRounding(BitsToF64(bb), static_cast<int>(instr.src2.imm))));
+        break;
+      }
+
+      case MOp::kRoundss: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 4, &bb)) {
+          return pending_trap_;
+        }
+        float r = static_cast<float>(
+            ApplyRounding(static_cast<double>(BitsToF32(bb)), static_cast<int>(instr.src2.imm)));
+        write_fp_bits(instr.dst, 4, F32ToBits(r));
+        break;
+      }
+
+      case MOp::kAddss:
+      case MOp::kSubss:
+      case MOp::kMulss:
+      case MOp::kDivss:
+      case MOp::kMinss:
+      case MOp::kMaxss: {
+        counters_.micro_cycles += instr.op == MOp::kDivss ? cost_.fp_div : cost_.fp_simple;
+        uint64_t ab;
+        uint64_t bb;
+        if (!read_fp_bits(instr.dst, 4, &ab) || !read_fp_bits(instr.src, 4, &bb)) {
+          return pending_trap_;
+        }
+        float a = BitsToF32(ab);
+        float b = BitsToF32(bb);
+        float r = 0;
+        switch (instr.op) {
+          case MOp::kAddss: r = a + b; break;
+          case MOp::kSubss: r = a - b; break;
+          case MOp::kMulss: r = a * b; break;
+          case MOp::kDivss: r = a / b; break;
+          case MOp::kMinss: r = static_cast<float>(CanonMin(a, b)); break;
+          default: r = static_cast<float>(CanonMax(a, b)); break;
+        }
+        write_fp_bits(instr.dst, 4, F32ToBits(r));
+        break;
+      }
+
+      case MOp::kSqrtss: {
+        counters_.micro_cycles += cost_.fp_sqrt;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 4, &bb)) {
+          return pending_trap_;
+        }
+        write_fp_bits(instr.dst, 4, F32ToBits(std::sqrt(BitsToF32(bb))));
+        break;
+      }
+
+      case MOp::kCvtss2sd: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 4, &bb)) {
+          return pending_trap_;
+        }
+        write_fp_bits(instr.dst, 8, F64ToBits(static_cast<double>(BitsToF32(bb))));
+        break;
+      }
+
+      case MOp::kCvtsd2ss: {
+        counters_.micro_cycles += cost_.fp_simple;
+        uint64_t bb;
+        if (!read_fp_bits(instr.src, 8, &bb)) {
+          return pending_trap_;
+        }
+        write_fp_bits(instr.dst, 4, F32ToBits(static_cast<float>(BitsToF64(bb))));
+        break;
+      }
+
+      case MOp::kMovqToXmm: {
+        counters_.micro_cycles += cost_.fp_mov;
+        xmms_[static_cast<uint8_t>(instr.dst.xmm)] = gpr(instr.src.gpr);
+        break;
+      }
+
+      case MOp::kMovqFromXmm: {
+        counters_.micro_cycles += cost_.fp_mov;
+        set_gpr(instr.dst.gpr, xmms_[static_cast<uint8_t>(instr.src.xmm)]);
+        break;
+      }
+    }
+
+    pc_ = next_pc;
+  }
+}
+
+}  // namespace nsf

@@ -1,0 +1,207 @@
+// The simulated CPU that executes MPrograms and maintains architectural
+// performance counters — the stand-in for the paper's Xeon + `perf` setup.
+//
+// Address-space layout (all code agrees on these):
+//   [kStackBase,  kStackBase + kStackSize)   native call stack (rsp herein)
+//   [kGlobalsBase, ...)                      Wasm globals, 8 bytes per slot
+//   [kTableBase,  ...)                       indirect-call table image,
+//                                            8 bytes per entry: sig_id,func
+//   [kHeapBase,   kHeapBase + memory)        Wasm linear memory
+#ifndef SRC_MACHINE_MACHINE_H_
+#define SRC_MACHINE_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/machine/cache.h"
+#include "src/wasm/trap.h"
+#include "src/x64/insts.h"
+
+namespace nsf {
+
+inline constexpr uint64_t kStackBase = 0x00100000;
+inline constexpr uint64_t kStackSize = 8 * 1024 * 1024;
+inline constexpr uint64_t kGlobalsBase = 0x04000000;
+inline constexpr uint64_t kTableBase = 0x05000000;
+inline constexpr uint64_t kHeapBase = 0x10000000;
+
+// Builtin host-hook ids handled by the machine itself.
+inline constexpr uint32_t kBuiltinMemorySize = 0xffff0000;
+inline constexpr uint32_t kBuiltinMemoryGrow = 0xffff0001;
+// Trap builtins: generated check sequences branch to stubs invoking these.
+inline constexpr uint32_t kBuiltinTrapUnreachable = 0xffff0002;
+inline constexpr uint32_t kBuiltinTrapStack = 0xffff0003;
+inline constexpr uint32_t kBuiltinTrapOob = 0xffff0004;
+inline constexpr uint32_t kBuiltinTrapNull = 0xffff0005;
+inline constexpr uint32_t kBuiltinTrapSig = 0xffff0006;
+
+// Cycle cost model, in quarter-cycle units (micro-units). The defaults model
+// a modest out-of-order core at ~2 IPC for simple ops; ablation benches
+// override individual entries.
+struct CostModel {
+  uint32_t simple = 2;        // mov/alu/lea/cmp/test/setcc/push/pop
+  uint32_t load = 4;          // L1-hit load
+  uint32_t store = 2;
+  uint32_t imul = 6;
+  uint32_t idiv = 80;
+  uint32_t fp_simple = 8;     // addsd/subsd/mulsd/cvt/min/max/round
+  uint32_t fp_div = 52;
+  uint32_t fp_sqrt = 64;
+  uint32_t fp_mov = 2;
+  uint32_t branch = 2;        // not-taken jcc / jmp issue
+  uint32_t branch_taken_extra = 4;  // front-end bubble for taken branches
+  uint32_t call = 10;
+  uint32_t ret = 10;
+  uint32_t host_call = 160;   // context switch into host (40 cycles)
+  uint32_t l1_miss = 48;      // +12 cycles to L2
+  uint32_t l2_miss = 132;     // further +33 cycles to memory
+  uint32_t clock_ghz = 35;    // *0.1 GHz: 35 => 3.5 GHz (paper's Xeon E5-1650v3)
+};
+
+// The counter set of the paper's Table 3.
+struct PerfCounters {
+  uint64_t instructions_retired = 0;
+  uint64_t micro_cycles = 0;  // quarter-cycles
+  uint64_t loads_retired = 0;
+  uint64_t stores_retired = 0;
+  uint64_t branches_retired = 0;       // jmp + jcc + call + ret
+  uint64_t cond_branches_retired = 0;  // jcc only
+  uint64_t taken_branches = 0;
+  uint64_t calls = 0;
+  uint64_t l1i_misses = 0;
+  uint64_t l1d_misses = 0;
+  uint64_t l2_misses = 0;
+
+  uint64_t cycles() const { return micro_cycles / 4; }
+
+  PerfCounters operator-(const PerfCounters& other) const;
+  PerfCounters& operator+=(const PerfCounters& other);
+};
+
+struct MachineResult {
+  bool ok = false;
+  TrapKind trap = TrapKind::kNone;
+  std::string error;
+  uint64_t ret_i = 0;   // rax on return
+  double ret_f = 0.0;   // xmm0 on return
+};
+
+class SimMachine;
+// A host hook reads arguments from registers/memory and writes results back.
+using HostHook = std::function<void(SimMachine&)>;
+
+class SimMachine {
+ public:
+  explicit SimMachine(const MProgram* program, CostModel cost = CostModel());
+
+  // Registers a host hook for kCallHost index `idx` (dense, small indices).
+  void RegisterHost(uint32_t idx, HostHook hook);
+
+  // Runs function `func_index` with up to 6 integer args (SysV order:
+  // rdi, rsi, rdx, rcx, r8, r9). FP args can be set through xmm() first.
+  MachineResult Run(uint32_t func_index, const std::vector<uint64_t>& int_args = {});
+
+  // Runs `func_index` under the compiled-code ABI: stack arguments staged by
+  // the caller at `args_base` (see WriteStack); rsp is set to args_base - 8,
+  // as if a call instruction had just pushed the return address.
+  MachineResult RunAt(uint32_t func_index, uint64_t args_base);
+
+  // Writes 8 bytes into the simulated stack region (not performance-counted);
+  // used to stage arguments for RunAt.
+  void WriteStack(uint64_t addr, uint64_t bits);
+
+  // --- Register access (for hooks and tests) ---
+  uint64_t gpr(Gpr r) const { return gprs_[static_cast<uint8_t>(r)]; }
+  void set_gpr(Gpr r, uint64_t v) { gprs_[static_cast<uint8_t>(r)] = v; }
+  uint64_t xmm_bits(Xmm r) const { return xmms_[static_cast<uint8_t>(r)]; }
+  void set_xmm_bits(Xmm r, uint64_t v) { xmms_[static_cast<uint8_t>(r)] = v; }
+  double xmm_f64(Xmm r) const;
+  void set_xmm_f64(Xmm r, double v);
+
+  // --- Memory access (modeled, but *not* counted — host/syscall side) ---
+  // Reads/writes the Wasm heap by Wasm address (0-based).
+  bool HeapRead(uint32_t addr, void* out, uint32_t size) const;
+  bool HeapWrite(uint32_t addr, const void* data, uint32_t size);
+  uint32_t heap_pages() const { return static_cast<uint32_t>(heap_.size() / 65536); }
+  std::vector<uint8_t>& heap() { return heap_; }
+
+  uint64_t global_bits(uint32_t slot) const { return globals_[slot]; }
+  void set_global_bits(uint32_t slot, uint64_t v) { globals_[slot] = v; }
+
+  const PerfCounters& counters() const { return counters_; }
+  void ResetCounters();
+
+  // Charges `cycles` full cycles to the run (used by the kernel to model
+  // syscall transport costs) and tracks them separately as "browsix time".
+  void ChargeHostCycles(uint64_t cycles);
+  uint64_t host_micro_cycles() const { return host_micro_cycles_; }
+
+  // Execution budget in retired instructions (0 = default 200G safety cap).
+  void set_fuel(uint64_t fuel) { fuel_ = fuel; }
+
+  // Wall-clock seconds implied by the cost model's clock.
+  double SecondsFromCycles(uint64_t cycles) const {
+    return static_cast<double>(cycles) / (static_cast<double>(cost_.clock_ghz) * 1e8);
+  }
+
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  struct Frame {
+    uint32_t func = 0;
+    uint32_t ret_pc = 0;
+  };
+
+  // Memory routing: translates a simulated address to a host pointer, or
+  // nullptr when out of range.
+  uint8_t* MemPtr(uint64_t addr, uint32_t size);
+
+  uint64_t EffectiveAddr(const MemRef& m) const;
+  bool EvalCond(Cond c) const;
+
+  TrapKind Exec();  // runs until outermost ret / trap
+
+  const MProgram* program_;
+  CostModel cost_;
+  uint64_t gprs_[16] = {};
+  uint64_t xmms_[16] = {};
+
+  // Compare state (set by cmp/test/ucomis*).
+  enum class CmpKind : uint8_t { kInt, kTest, kFloat };
+  CmpKind cmp_kind_ = CmpKind::kInt;
+  int64_t cmp_sa_ = 0, cmp_sb_ = 0;
+  uint64_t cmp_ua_ = 0, cmp_ub_ = 0;
+  uint64_t cmp_test_ = 0;
+  bool cmp_test_sign_ = false;
+  bool fp_unordered_ = false, fp_equal_ = false, fp_less_ = false;
+
+  std::vector<uint8_t> stack_;
+  std::vector<uint8_t> heap_;
+  uint32_t max_heap_pages_ = 65536;
+  std::vector<uint64_t> globals_;
+  std::vector<uint8_t> table_image_;
+  std::vector<HostHook> hooks_;
+
+  std::vector<Frame> frames_;
+  uint32_t cur_func_ = 0;
+  uint32_t pc_ = 0;
+
+  // L1i is scaled to 4 KB: our workloads are size-reduced SPEC equivalents,
+  // so the cache is shrunk proportionally to preserve the paper's
+  // code-size-vs-L1i pressure (Fig 10). L1d/L2 keep desktop sizes.
+  CacheModel l1i_{4 * 1024, 64, 8};
+  CacheModel l1d_{32 * 1024, 64, 8};
+  CacheModel l2_{512 * 1024, 64, 8};
+
+  PerfCounters counters_;
+  uint64_t host_micro_cycles_ = 0;
+  uint64_t fuel_ = 0;
+  TrapKind pending_trap_ = TrapKind::kNone;
+  std::string trap_msg_;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_MACHINE_MACHINE_H_

@@ -1,0 +1,145 @@
+// Shared emission context for PolyBench kernel generators: f64 matrices in
+// linear memory, deterministic initialization, and checksum output.
+#ifndef SRC_POLYBENCH_PBCTX_H_
+#define SRC_POLYBENCH_PBCTX_H_
+
+#include <string>
+
+#include "src/builder/builder.h"
+#include "src/runtime/wasmlib.h"
+
+namespace nsf {
+
+class PbCtx {
+ public:
+  // A row-major f64 matrix (cols == 1 for vectors).
+  struct Mat {
+    uint32_t base = 0;
+    uint32_t cols = 1;
+  };
+
+  explicit PbCtx(const std::string& name) : mb_(name) {
+    mb_.AddMemory(512, 4096);  // 32 MB initial
+    lib_ = AddWasmLib(&mb_, 24u << 20);  // bump heap after static arrays
+    mb_.AddData(256, std::string("/out.txt"));
+  }
+
+  ModuleBuilder& mb() { return mb_; }
+  const WasmLib& lib() const { return lib_; }
+  FunctionBuilder& f() { return *f_; }
+
+  // Starts the main function; returns local index holding the out fd.
+  void BeginMain() {
+    f_ = &mb_.AddFunction("main", {}, {ValType::kI32});
+    fd_ = f_->AddLocal(ValType::kI32);
+    sum_ = f_->AddLocal(ValType::kF64);
+    f_->I32Const(256).I32Const(0x241 /*O_WRONLY|O_CREAT|O_TRUNC*/).Call(lib_.sys.open);
+    f_->LocalSet(fd_);
+  }
+
+  // Finishes main: prints the checksum accumulator, closes, returns 0.
+  void EndMain() {
+    f_->LocalGet(fd_).LocalGet(sum_).I32Const(4).Call(lib_.print_f64);
+    f_->LocalGet(fd_).Call(lib_.newline);
+    f_->LocalGet(fd_).Call(lib_.sys.close).Drop();
+    f_->I32Const(0);
+  }
+
+  uint32_t fd_local() const { return fd_; }
+  uint32_t sum_local() const { return sum_; }
+
+  // Allocates a rows x cols f64 matrix in the static region.
+  Mat NewMat(uint32_t rows, uint32_t cols) {
+    Mat m;
+    m.base = next_addr_;
+    m.cols = cols;
+    next_addr_ += rows * cols * 8;
+    return m;
+  }
+  Mat NewVec(uint32_t n) { return NewMat(n, 1); }
+
+  // Pushes the address of m[i][j] (i, j are i32 locals).
+  void PushAddr(Mat m, uint32_t i, uint32_t j) {
+    f_->LocalGet(i);
+    f_->I32Const(static_cast<int32_t>(m.cols)).I32Mul();
+    f_->LocalGet(j).I32Add();
+    f_->I32Const(3).I32Shl();
+    f_->I32Const(static_cast<int32_t>(m.base)).I32Add();
+  }
+  // Pushes the address of v[i].
+  void PushAddr1(Mat v, uint32_t i) {
+    f_->LocalGet(i).I32Const(3).I32Shl();
+    f_->I32Const(static_cast<int32_t>(v.base)).I32Add();
+  }
+
+  // Pushes m[i][j] onto the stack.
+  void Ld(Mat m, uint32_t i, uint32_t j) {
+    PushAddr(m, i, j);
+    f_->F64Load(0);
+  }
+  void Ld1(Mat v, uint32_t i) {
+    PushAddr1(v, i);
+    f_->F64Load(0);
+  }
+
+  // Stores: push address via PushAddr/PushAddr1, push the value, then St().
+  void St() { f_->F64Store(0); }
+
+  // Emits loops storing a deterministic, strictly positive pattern into m:
+  //   m[i][j] = ((i*ka + j*kb + seed) % mod + mod + 1) / (2*mod + 2)
+  // which lies in (0.45, 0.92] — keeping divisions and sqrt well-defined.
+  void Init(Mat m, uint32_t rows, uint32_t cols, int ka, int kb, int seed, int mod = 97) {
+    uint32_t i = f_->AddLocal(ValType::kI32);
+    uint32_t j = f_->AddLocal(ValType::kI32);
+    f_->ForI32(i, 0, static_cast<int32_t>(rows), 1, [&] {
+      f_->ForI32(j, 0, static_cast<int32_t>(cols), 1, [&] {
+        PushAddr(m, i, j);
+        f_->LocalGet(i).I32Const(ka).I32Mul();
+        f_->LocalGet(j).I32Const(kb).I32Mul().I32Add();
+        f_->I32Const(seed).I32Add();
+        f_->I32Const(mod).I32RemS();
+        f_->I32Const(mod + 1).I32Add();
+        f_->F64ConvertI32S();
+        f_->F64Const(static_cast<double>(2 * mod + 2)).F64Div();
+        St();
+      });
+    });
+  }
+  // Adds `diag` to every diagonal element (diagonal dominance for the
+  // factorization kernels).
+  void BoostDiagonal(Mat m, uint32_t n, double diag) {
+    uint32_t i = f_->AddLocal(ValType::kI32);
+    f_->ForI32(i, 0, static_cast<int32_t>(n), 1, [&] {
+      PushAddr(m, i, i);
+      Ld(m, i, i);
+      f_->F64Const(diag).F64Add();
+      St();
+    });
+  }
+  void Init1(Mat v, uint32_t n, int ka, int seed, int mod = 97) { Init(v, n, 1, ka, 1, seed, mod); }
+
+  // Adds all elements of m into the checksum accumulator.
+  void Checksum(Mat m, uint32_t rows, uint32_t cols) {
+    uint32_t i = f_->AddLocal(ValType::kI32);
+    uint32_t j = f_->AddLocal(ValType::kI32);
+    f_->ForI32(i, 0, static_cast<int32_t>(rows), 1, [&] {
+      f_->ForI32(j, 0, static_cast<int32_t>(cols), 1, [&] {
+        f_->LocalGet(sum_);
+        Ld(m, i, j);
+        f_->F64Add().LocalSet(sum_);
+      });
+    });
+  }
+
+ private:
+  ModuleBuilder mb_;
+  WasmLib lib_;
+  FunctionBuilder* f_ = nullptr;
+  uint32_t fd_ = 0;
+  uint32_t sum_ = 0;
+  uint32_t next_addr_ = 1u << 16;  // static arrays from 64 KB
+};
+
+}  // namespace nsf
+
+#endif  // SRC_POLYBENCH_PBCTX_H_

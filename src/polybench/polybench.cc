@@ -1,0 +1,1362 @@
+// The 23 PolyBenchC kernels. Each Emit* function generates the kernel's loop
+// nests into the module's main function via PbCtx. Sizes are the MINI-like
+// defaults scaled by `s`.
+#include "src/polybench/polybench.h"
+
+#include <cmath>
+
+#include "src/polybench/pbctx.h"
+
+namespace nsf {
+
+namespace {
+
+using Mat = PbCtx::Mat;
+const auto kI32 = ValType::kI32;
+const auto kF64 = ValType::kF64;
+
+// C = alpha*A*B + beta*C.
+void EmitGemm(PbCtx& c, int s) {
+  int n = 36 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 11);
+  c.Init(B, n, n, 5, 2, 13);
+  c.Init(C, n, n, 1, 9, 17);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(C, i, j);
+      c.Ld(C, i, j);
+      f.F64Const(0.75).F64Mul();  // beta
+      c.St();
+    });
+    f.ForI32(k, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        c.PushAddr(C, i, j);
+        c.Ld(C, i, j);
+        f.F64Const(1.25);  // alpha
+        c.Ld(A, i, k);
+        f.F64Mul();
+        c.Ld(B, k, j);
+        f.F64Mul();
+        f.F64Add();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(C, n, n);
+}
+
+// tmp = alpha*A*B; D = tmp*C + beta*D.
+void Emit2mm(PbCtx& c, int s) {
+  int n = 30 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  Mat D = c.NewMat(n, n);
+  Mat tmp = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  c.Init(C, n, n, 1, 9, 3);
+  c.Init(D, n, n, 2, 3, 4);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(tmp, i, j);
+      f.F64Const(0.0);
+      c.St();
+      f.ForI32(k, 0, n, 1, [&] {
+        c.PushAddr(tmp, i, j);
+        c.Ld(tmp, i, j);
+        f.F64Const(1.5);
+        c.Ld(A, i, k);
+        f.F64Mul();
+        c.Ld(B, k, j);
+        f.F64Mul();
+        f.F64Add();
+        c.St();
+      });
+    });
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(D, i, j);
+      c.Ld(D, i, j);
+      f.F64Const(1.2).F64Mul();
+      c.St();
+      f.ForI32(k, 0, n, 1, [&] {
+        c.PushAddr(D, i, j);
+        c.Ld(D, i, j);
+        c.Ld(tmp, i, k);
+        c.Ld(C, k, j);
+        f.F64Mul().F64Add();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(D, n, n);
+}
+
+// E = A*B; F = C*D; G = E*F.
+void Emit3mm(PbCtx& c, int s) {
+  int n = 26 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  Mat D = c.NewMat(n, n);
+  Mat E = c.NewMat(n, n);
+  Mat F = c.NewMat(n, n);
+  Mat G = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  c.Init(C, n, n, 1, 9, 3);
+  c.Init(D, n, n, 2, 3, 4);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  auto mm = [&](Mat X, Mat Y, Mat Z) {
+    f.ForI32(i, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        c.PushAddr(Z, i, j);
+        f.F64Const(0.0);
+        c.St();
+        f.ForI32(k, 0, n, 1, [&] {
+          c.PushAddr(Z, i, j);
+          c.Ld(Z, i, j);
+          c.Ld(X, i, k);
+          c.Ld(Y, k, j);
+          f.F64Mul().F64Add();
+          c.St();
+        });
+      });
+    });
+  };
+  mm(A, B, E);
+  mm(C, D, F);
+  mm(E, F, G);
+  c.Checksum(G, n, n);
+}
+
+// ADI-style alternating sweeps.
+void EmitAdi(PbCtx& c, int s) {
+  int n = 80 * s;
+  int tsteps = 4;
+  Mat X = c.NewMat(n, n);
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  c.Init(X, n, n, 3, 7, 1);
+  c.Init(A, n, n, 5, 2, 2);
+  c.Init(B, n, n, 1, 9, 3);
+  auto& f = c.f();
+  uint32_t t = f.AddLocal(kI32);
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t jm1 = f.AddLocal(kI32);
+  uint32_t im1 = f.AddLocal(kI32);
+  f.ForI32(t, 0, tsteps, 1, [&] {
+    // Row sweep.
+    f.ForI32(i, 0, n, 1, [&] {
+      f.ForI32(j, 1, n, 1, [&] {
+        f.LocalGet(j).I32Const(1).I32Sub().LocalSet(jm1);
+        c.PushAddr(X, i, j);
+        c.Ld(X, i, j);
+        c.Ld(X, i, jm1);
+        c.Ld(A, i, j);
+        f.F64Mul();
+        c.Ld(B, i, jm1);
+        f.F64Div();
+        f.F64Sub();
+        c.St();
+        c.PushAddr(B, i, j);
+        c.Ld(B, i, j);
+        c.Ld(A, i, j);
+        c.Ld(A, i, j);
+        f.F64Mul();
+        c.Ld(B, i, jm1);
+        f.F64Div();
+        f.F64Sub();
+        c.St();
+      });
+    });
+    // Column sweep.
+    f.ForI32(i, 1, n, 1, [&] {
+      f.LocalGet(i).I32Const(1).I32Sub().LocalSet(im1);
+      f.ForI32(j, 0, n, 1, [&] {
+        c.PushAddr(X, i, j);
+        c.Ld(X, i, j);
+        c.Ld(X, im1, j);
+        c.Ld(A, i, j);
+        f.F64Mul();
+        c.Ld(B, im1, j);
+        f.F64Div();
+        f.F64Sub();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(X, n, n);
+}
+
+// s = A^T * r ; q = A * p.
+void EmitBicg(PbCtx& c, int sc) {
+  int n = 110 * sc;
+  Mat A = c.NewMat(n, n);
+  Mat r = c.NewVec(n);
+  Mat p = c.NewVec(n);
+  Mat s = c.NewVec(n);
+  Mat q = c.NewVec(n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init1(r, n, 5, 2);
+  c.Init1(p, n, 2, 3);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(s, i);
+    f.F64Const(0.0);
+    c.St();
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(q, i);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(s, j);
+      c.Ld1(s, j);
+      c.Ld1(r, i);
+      c.Ld(A, i, j);
+      f.F64Mul().F64Add();
+      c.St();
+      c.PushAddr1(q, i);
+      c.Ld1(q, i);
+      c.Ld(A, i, j);
+      c.Ld1(p, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+  });
+  c.Checksum(s, n, 1);
+  c.Checksum(q, n, 1);
+}
+
+// In-place Cholesky factorization (diagonally boosted SPD input).
+void EmitCholesky(PbCtx& c, int s) {
+  int n = 48 * s;
+  Mat A = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.BoostDiagonal(A, n, 2.0 * n);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32Dyn(j, 0, i, 1, [&] {
+      f.ForI32Dyn(k, 0, j, 1, [&] {
+        c.PushAddr(A, i, j);
+        c.Ld(A, i, j);
+        c.Ld(A, i, k);
+        c.Ld(A, j, k);
+        f.F64Mul().F64Sub();
+        c.St();
+      });
+      c.PushAddr(A, i, j);
+      c.Ld(A, i, j);
+      c.Ld(A, j, j);
+      f.F64Div();
+      c.St();
+    });
+    f.ForI32Dyn(k, 0, i, 1, [&] {
+      c.PushAddr(A, i, i);
+      c.Ld(A, i, i);
+      c.Ld(A, i, k);
+      c.Ld(A, i, k);
+      f.F64Mul().F64Sub();
+      c.St();
+    });
+    c.PushAddr(A, i, i);
+    c.Ld(A, i, i);
+    f.F64Sqrt();
+    c.St();
+  });
+  c.Checksum(A, n, n);
+}
+
+// Correlation matrix of an M x N data set.
+void EmitCorrelation(PbCtx& c, int s) {
+  int m = 40 * s;  // rows (observations)
+  int n = 40 * s;  // cols (variables)
+  Mat data = c.NewMat(m, n);
+  Mat mean = c.NewVec(n);
+  Mat stddev = c.NewVec(n);
+  Mat corr = c.NewMat(n, n);
+  c.Init(data, m, n, 3, 7, 1);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  // Means.
+  f.ForI32(j, 0, n, 1, [&] {
+    c.PushAddr1(mean, j);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(i, 0, m, 1, [&] {
+      c.PushAddr1(mean, j);
+      c.Ld1(mean, j);
+      c.Ld(data, i, j);
+      f.F64Add();
+      c.St();
+    });
+    c.PushAddr1(mean, j);
+    c.Ld1(mean, j);
+    f.F64Const(static_cast<double>(m)).F64Div();
+    c.St();
+  });
+  // Stddevs (guarded like PolyBench: tiny -> 1.0).
+  f.ForI32(j, 0, n, 1, [&] {
+    c.PushAddr1(stddev, j);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(i, 0, m, 1, [&] {
+      c.PushAddr1(stddev, j);
+      c.Ld1(stddev, j);
+      c.Ld(data, i, j);
+      c.Ld1(mean, j);
+      f.F64Sub();
+      c.Ld(data, i, j);
+      c.Ld1(mean, j);
+      f.F64Sub();
+      f.F64Mul().F64Add();
+      c.St();
+    });
+    c.PushAddr1(stddev, j);
+    c.Ld1(stddev, j);
+    f.F64Const(static_cast<double>(m)).F64Div().F64Sqrt();
+    c.St();
+    c.Ld1(stddev, j);
+    f.F64Const(0.005).F64Le();
+    f.If([&] {
+      c.PushAddr1(stddev, j);
+      f.F64Const(1.0);
+      c.St();
+    });
+  });
+  // Normalize.
+  f.ForI32(i, 0, m, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(data, i, j);
+      c.Ld(data, i, j);
+      c.Ld1(mean, j);
+      f.F64Sub();
+      c.Ld1(stddev, j);
+      f.F64Const(std::sqrt(static_cast<double>(m))).F64Mul();
+      f.F64Div();
+      c.St();
+    });
+  });
+  // Correlation.
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(corr, i, j);
+      f.F64Const(0.0);
+      c.St();
+      f.ForI32(k, 0, m, 1, [&] {
+        c.PushAddr(corr, i, j);
+        c.Ld(corr, i, j);
+        c.Ld(data, k, i);
+        c.Ld(data, k, j);
+        f.F64Mul().F64Add();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(corr, n, n);
+}
+
+// Covariance matrix.
+void EmitCovariance(PbCtx& c, int s) {
+  int m = 40 * s;
+  int n = 40 * s;
+  Mat data = c.NewMat(m, n);
+  Mat mean = c.NewVec(n);
+  Mat cov = c.NewMat(n, n);
+  c.Init(data, m, n, 3, 7, 5);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(j, 0, n, 1, [&] {
+    c.PushAddr1(mean, j);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(i, 0, m, 1, [&] {
+      c.PushAddr1(mean, j);
+      c.Ld1(mean, j);
+      c.Ld(data, i, j);
+      f.F64Add();
+      c.St();
+    });
+    c.PushAddr1(mean, j);
+    c.Ld1(mean, j);
+    f.F64Const(static_cast<double>(m)).F64Div();
+    c.St();
+  });
+  f.ForI32(i, 0, m, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(data, i, j);
+      c.Ld(data, i, j);
+      c.Ld1(mean, j);
+      f.F64Sub();
+      c.St();
+    });
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(cov, i, j);
+      f.F64Const(0.0);
+      c.St();
+      f.ForI32(k, 0, m, 1, [&] {
+        c.PushAddr(cov, i, j);
+        c.Ld(cov, i, j);
+        c.Ld(data, k, i);
+        c.Ld(data, k, j);
+        f.F64Mul().F64Add();
+        c.St();
+      });
+      c.PushAddr(cov, i, j);
+      c.Ld(cov, i, j);
+      f.F64Const(static_cast<double>(m - 1)).F64Div();
+      c.St();
+    });
+  });
+  c.Checksum(cov, n, n);
+}
+
+// A[r][q][*] = A[r][q][*] . C4 (tensor-matrix multiply).
+void EmitDoitgen(PbCtx& c, int s) {
+  int nr = 16 * s;
+  int nq = 16 * s;
+  int np = 16 * s;
+  // A is nr*nq rows by np cols (flattened 3D).
+  Mat A = c.NewMat(nr * nq, np);
+  Mat C4 = c.NewMat(np, np);
+  Mat sum = c.NewVec(np);
+  c.Init(A, nr * nq, np, 3, 7, 1);
+  c.Init(C4, np, np, 5, 2, 2);
+  auto& f = c.f();
+  uint32_t r = f.AddLocal(kI32);
+  uint32_t q = f.AddLocal(kI32);
+  uint32_t p = f.AddLocal(kI32);
+  uint32_t w = f.AddLocal(kI32);
+  uint32_t rq = f.AddLocal(kI32);
+  f.ForI32(r, 0, nr, 1, [&] {
+    f.ForI32(q, 0, nq, 1, [&] {
+      f.LocalGet(r).I32Const(nq).I32Mul().LocalGet(q).I32Add().LocalSet(rq);
+      f.ForI32(p, 0, np, 1, [&] {
+        c.PushAddr1(sum, p);
+        f.F64Const(0.0);
+        c.St();
+        f.ForI32(w, 0, np, 1, [&] {
+          c.PushAddr1(sum, p);
+          c.Ld1(sum, p);
+          c.Ld(A, rq, w);
+          c.Ld(C4, w, p);
+          f.F64Mul().F64Add();
+          c.St();
+        });
+      });
+      f.ForI32(p, 0, np, 1, [&] {
+        c.PushAddr(A, rq, p);
+        c.Ld1(sum, p);
+        c.St();
+      });
+    });
+  });
+  c.Checksum(A, nr * nq, np);
+}
+
+// Levinson-Durbin recursion.
+void EmitDurbin(PbCtx& c, int s) {
+  int n = 220 * s;
+  Mat r = c.NewVec(n);
+  Mat y = c.NewVec(n);
+  Mat z = c.NewVec(n);
+  c.Init1(r, n, 7, 3, 1009);
+  auto& f = c.f();
+  uint32_t k = f.AddLocal(kI32);
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t t = f.AddLocal(kI32);
+  uint32_t alpha = f.AddLocal(kF64);
+  uint32_t beta = f.AddLocal(kF64);
+  uint32_t acc = f.AddLocal(kF64);
+  // y[0] = -r[0]; alpha = -r[0]; beta = 1.
+  c.PushAddr1(y, k);  // k == 0
+  c.Ld1(r, k);
+  f.F64Neg();
+  c.St();
+  c.Ld1(r, k);
+  f.F64Neg().LocalSet(alpha);
+  f.F64Const(1.0).LocalSet(beta);
+  f.ForI32(k, 1, n, 1, [&] {
+    // beta = (1 - alpha*alpha) * beta
+    f.F64Const(1.0).LocalGet(alpha).LocalGet(alpha).F64Mul().F64Sub();
+    f.LocalGet(beta).F64Mul().LocalSet(beta);
+    // acc = sum_{i<k} r[k-i-1]*y[i]
+    f.F64Const(0.0).LocalSet(acc);
+    f.ForI32Dyn(i, 0, k, 1, [&] {
+      f.LocalGet(k).LocalGet(i).I32Sub().I32Const(1).I32Sub().LocalSet(t);
+      f.LocalGet(acc);
+      c.Ld1(r, t);
+      c.Ld1(y, i);
+      f.F64Mul().F64Add().LocalSet(acc);
+    });
+    // alpha = -(r[k] + acc) / beta
+    c.Ld1(r, k);
+    f.LocalGet(acc).F64Add().F64Neg().LocalGet(beta).F64Div().LocalSet(alpha);
+    // z[i] = y[i] + alpha*y[k-i-1]
+    f.ForI32Dyn(i, 0, k, 1, [&] {
+      f.LocalGet(k).LocalGet(i).I32Sub().I32Const(1).I32Sub().LocalSet(t);
+      c.PushAddr1(z, i);
+      c.Ld1(y, i);
+      f.LocalGet(alpha);
+      c.Ld1(y, t);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+    f.ForI32Dyn(i, 0, k, 1, [&] {
+      c.PushAddr1(y, i);
+      c.Ld1(z, i);
+      c.St();
+    });
+    c.PushAddr1(y, k);
+    f.LocalGet(alpha);
+    c.St();
+  });
+  c.Checksum(y, n, 1);
+}
+
+// 2D finite-difference time domain.
+void EmitFdtd2d(PbCtx& c, int s) {
+  int nx = 60 * s;
+  int ny = 60 * s;
+  int tsteps = 8;
+  Mat ex = c.NewMat(nx, ny);
+  Mat ey = c.NewMat(nx, ny);
+  Mat hz = c.NewMat(nx, ny);
+  c.Init(ex, nx, ny, 3, 7, 1);
+  c.Init(ey, nx, ny, 5, 2, 2);
+  c.Init(hz, nx, ny, 1, 9, 3);
+  auto& f = c.f();
+  uint32_t t = f.AddLocal(kI32);
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t im1 = f.AddLocal(kI32);
+  uint32_t jm1 = f.AddLocal(kI32);
+  uint32_t ip1 = f.AddLocal(kI32);
+  uint32_t jp1 = f.AddLocal(kI32);
+  uint32_t zero = f.AddLocal(kI32);
+  f.ForI32(t, 0, tsteps, 1, [&] {
+    // ey[0][j] = t
+    f.ForI32(j, 0, ny, 1, [&] {
+      c.PushAddr(ey, zero, j);
+      f.LocalGet(t).F64ConvertI32S();
+      c.St();
+    });
+    f.ForI32(i, 1, nx, 1, [&] {
+      f.LocalGet(i).I32Const(1).I32Sub().LocalSet(im1);
+      f.ForI32(j, 0, ny, 1, [&] {
+        c.PushAddr(ey, i, j);
+        c.Ld(ey, i, j);
+        f.F64Const(0.5);
+        c.Ld(hz, i, j);
+        c.Ld(hz, im1, j);
+        f.F64Sub().F64Mul().F64Sub();
+        c.St();
+      });
+    });
+    f.ForI32(i, 0, nx, 1, [&] {
+      f.ForI32(j, 1, ny, 1, [&] {
+        f.LocalGet(j).I32Const(1).I32Sub().LocalSet(jm1);
+        c.PushAddr(ex, i, j);
+        c.Ld(ex, i, j);
+        f.F64Const(0.5);
+        c.Ld(hz, i, j);
+        c.Ld(hz, i, jm1);
+        f.F64Sub().F64Mul().F64Sub();
+        c.St();
+      });
+    });
+    f.ForI32(i, 0, nx - 1, 1, [&] {
+      f.LocalGet(i).I32Const(1).I32Add().LocalSet(ip1);
+      f.ForI32(j, 0, ny - 1, 1, [&] {
+        f.LocalGet(j).I32Const(1).I32Add().LocalSet(jp1);
+        c.PushAddr(hz, i, j);
+        c.Ld(hz, i, j);
+        f.F64Const(0.7);
+        c.Ld(ex, i, jp1);
+        c.Ld(ex, i, j);
+        f.F64Sub();
+        c.Ld(ey, ip1, j);
+        f.F64Add();
+        c.Ld(ey, i, j);
+        f.F64Sub();
+        f.F64Mul().F64Sub();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(hz, nx, ny);
+}
+
+// gemver: rank-2 update + two matrix-vector products.
+void EmitGemver(PbCtx& c, int s) {
+  int n = 90 * s;
+  Mat A = c.NewMat(n, n);
+  Mat u1 = c.NewVec(n);
+  Mat v1 = c.NewVec(n);
+  Mat u2 = c.NewVec(n);
+  Mat v2 = c.NewVec(n);
+  Mat x = c.NewVec(n);
+  Mat y = c.NewVec(n);
+  Mat z = c.NewVec(n);
+  Mat w = c.NewVec(n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init1(u1, n, 5, 2);
+  c.Init1(v1, n, 2, 3);
+  c.Init1(u2, n, 7, 4);
+  c.Init1(v2, n, 3, 5);
+  c.Init1(y, n, 11, 6);
+  c.Init1(z, n, 13, 7);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(A, i, j);
+      c.Ld(A, i, j);
+      c.Ld1(u1, i);
+      c.Ld1(v1, j);
+      f.F64Mul().F64Add();
+      c.Ld1(u2, i);
+      c.Ld1(v2, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(x, i);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(x, i);
+      c.Ld1(x, i);
+      f.F64Const(1.2);
+      c.Ld(A, j, i);
+      f.F64Mul();
+      c.Ld1(y, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+    c.PushAddr1(x, i);
+    c.Ld1(x, i);
+    c.Ld1(z, i);
+    f.F64Add();
+    c.St();
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(w, i);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(w, i);
+      c.Ld1(w, i);
+      f.F64Const(1.5);
+      c.Ld(A, i, j);
+      f.F64Mul();
+      c.Ld1(x, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+  });
+  c.Checksum(w, n, 1);
+}
+
+// y = alpha*A*x + beta*B*x.
+void EmitGesummv(PbCtx& c, int s) {
+  int n = 110 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat x = c.NewVec(n);
+  Mat y = c.NewVec(n);
+  Mat tmp = c.NewVec(n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  c.Init1(x, n, 2, 3);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(tmp, i);
+    f.F64Const(0.0);
+    c.St();
+    c.PushAddr1(y, i);
+    f.F64Const(0.0);
+    c.St();
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(tmp, i);
+      c.Ld(A, i, j);
+      c.Ld1(x, j);
+      f.F64Mul();
+      c.Ld1(tmp, i);
+      f.F64Add();
+      c.St();
+      c.PushAddr1(y, i);
+      c.Ld(B, i, j);
+      c.Ld1(x, j);
+      f.F64Mul();
+      c.Ld1(y, i);
+      f.F64Add();
+      c.St();
+    });
+    c.PushAddr1(y, i);
+    f.F64Const(1.5);
+    c.Ld1(tmp, i);
+    f.F64Mul();
+    f.F64Const(1.2);
+    c.Ld1(y, i);
+    f.F64Mul();
+    f.F64Add();
+    c.St();
+  });
+  c.Checksum(y, n, 1);
+}
+
+// Gram-Schmidt QR.
+void EmitGramschmidt(PbCtx& c, int s) {
+  int m = 40 * s;
+  int n = 40 * s;
+  Mat A = c.NewMat(m, n);
+  Mat R = c.NewMat(n, n);
+  Mat Q = c.NewMat(m, n);
+  c.Init(A, m, n, 3, 7, 1);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  uint32_t nrm = f.AddLocal(kF64);
+  f.ForI32(k, 0, n, 1, [&] {
+    f.F64Const(0.0).LocalSet(nrm);
+    f.ForI32(i, 0, m, 1, [&] {
+      f.LocalGet(nrm);
+      c.Ld(A, i, k);
+      c.Ld(A, i, k);
+      f.F64Mul().F64Add().LocalSet(nrm);
+    });
+    c.PushAddr(R, k, k);
+    f.LocalGet(nrm).F64Sqrt();
+    c.St();
+    f.ForI32(i, 0, m, 1, [&] {
+      c.PushAddr(Q, i, k);
+      c.Ld(A, i, k);
+      c.Ld(R, k, k);
+      f.F64Div();
+      c.St();
+    });
+    uint32_t kp1 = f.AddLocal(kI32);
+    f.LocalGet(k).I32Const(1).I32Add().LocalSet(kp1);
+    f.LocalGet(kp1).LocalSet(j);
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(j).I32Const(n).I32GeS().BrIf(1);
+        c.PushAddr(R, k, j);
+        f.F64Const(0.0);
+        c.St();
+        f.ForI32(i, 0, m, 1, [&] {
+          c.PushAddr(R, k, j);
+          c.Ld(R, k, j);
+          c.Ld(Q, i, k);
+          c.Ld(A, i, j);
+          f.F64Mul().F64Add();
+          c.St();
+        });
+        f.ForI32(i, 0, m, 1, [&] {
+          c.PushAddr(A, i, j);
+          c.Ld(A, i, j);
+          c.Ld(Q, i, k);
+          c.Ld(R, k, j);
+          f.F64Mul().F64Sub();
+          c.St();
+        });
+        f.LocalGet(j).I32Const(1).I32Add().LocalSet(j);
+        f.Br(0);
+      });
+    });
+  });
+  c.Checksum(R, n, n);
+}
+
+// In-place LU (diagonally boosted).
+void EmitLu(PbCtx& c, int s) {
+  int n = 48 * s;
+  Mat A = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.BoostDiagonal(A, n, 2.0 * n);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32Dyn(j, 0, i, 1, [&] {
+      f.ForI32Dyn(k, 0, j, 1, [&] {
+        c.PushAddr(A, i, j);
+        c.Ld(A, i, j);
+        c.Ld(A, i, k);
+        c.Ld(A, k, j);
+        f.F64Mul().F64Sub();
+        c.St();
+      });
+      c.PushAddr(A, i, j);
+      c.Ld(A, i, j);
+      c.Ld(A, j, j);
+      f.F64Div();
+      c.St();
+    });
+    f.LocalGet(i).LocalSet(j);
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(j).I32Const(n).I32GeS().BrIf(1);
+        f.ForI32Dyn(k, 0, i, 1, [&] {
+          c.PushAddr(A, i, j);
+          c.Ld(A, i, j);
+          c.Ld(A, i, k);
+          c.Ld(A, k, j);
+          f.F64Mul().F64Sub();
+          c.St();
+        });
+        f.LocalGet(j).I32Const(1).I32Add().LocalSet(j);
+        f.Br(0);
+      });
+    });
+  });
+  c.Checksum(A, n, n);
+}
+
+// LU + forward/backward substitution.
+void EmitLudcmp(PbCtx& c, int s) {
+  int n = 44 * s;
+  Mat A = c.NewMat(n, n);
+  Mat b = c.NewVec(n);
+  Mat x = c.NewVec(n);
+  Mat y = c.NewVec(n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.BoostDiagonal(A, n, 2.0 * n);
+  c.Init1(b, n, 5, 2);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  // LU factorization (same as EmitLu).
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32Dyn(j, 0, i, 1, [&] {
+      f.ForI32Dyn(k, 0, j, 1, [&] {
+        c.PushAddr(A, i, j);
+        c.Ld(A, i, j);
+        c.Ld(A, i, k);
+        c.Ld(A, k, j);
+        f.F64Mul().F64Sub();
+        c.St();
+      });
+      c.PushAddr(A, i, j);
+      c.Ld(A, i, j);
+      c.Ld(A, j, j);
+      f.F64Div();
+      c.St();
+    });
+    f.LocalGet(i).LocalSet(j);
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(j).I32Const(n).I32GeS().BrIf(1);
+        f.ForI32Dyn(k, 0, i, 1, [&] {
+          c.PushAddr(A, i, j);
+          c.Ld(A, i, j);
+          c.Ld(A, i, k);
+          c.Ld(A, k, j);
+          f.F64Mul().F64Sub();
+          c.St();
+        });
+        f.LocalGet(j).I32Const(1).I32Add().LocalSet(j);
+        f.Br(0);
+      });
+    });
+  });
+  // Forward: y[i] = b[i] - sum_{j<i} A[i][j] y[j].
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(y, i);
+    c.Ld1(b, i);
+    c.St();
+    f.ForI32Dyn(j, 0, i, 1, [&] {
+      c.PushAddr1(y, i);
+      c.Ld1(y, i);
+      c.Ld(A, i, j);
+      c.Ld1(y, j);
+      f.F64Mul().F64Sub();
+      c.St();
+    });
+  });
+  // Backward: x[i] = (y[i] - sum_{j>i} A[i][j] x[j]) / A[i][i].
+  f.ForI32(i, n - 1, -1, -1, [&] {
+    c.PushAddr1(x, i);
+    c.Ld1(y, i);
+    c.St();
+    uint32_t jj = j;
+    f.LocalGet(i).I32Const(1).I32Add().LocalSet(jj);
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(jj).I32Const(n).I32GeS().BrIf(1);
+        c.PushAddr1(x, i);
+        c.Ld1(x, i);
+        c.Ld(A, i, jj);
+        c.Ld1(x, jj);
+        f.F64Mul().F64Sub();
+        c.St();
+        f.LocalGet(jj).I32Const(1).I32Add().LocalSet(jj);
+        f.Br(0);
+      });
+    });
+    c.PushAddr1(x, i);
+    c.Ld1(x, i);
+    c.Ld(A, i, i);
+    f.F64Div();
+    c.St();
+  });
+  c.Checksum(x, n, 1);
+}
+
+// x1 += A y1 ; x2 += A^T y2.
+void EmitMvt(PbCtx& c, int s) {
+  int n = 110 * s;
+  Mat A = c.NewMat(n, n);
+  Mat x1 = c.NewVec(n);
+  Mat x2 = c.NewVec(n);
+  Mat y1 = c.NewVec(n);
+  Mat y2 = c.NewVec(n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init1(x1, n, 5, 2);
+  c.Init1(x2, n, 2, 3);
+  c.Init1(y1, n, 7, 4);
+  c.Init1(y2, n, 3, 5);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(x1, i);
+      c.Ld1(x1, i);
+      c.Ld(A, i, j);
+      c.Ld1(y1, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+  });
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr1(x2, i);
+      c.Ld1(x2, i);
+      c.Ld(A, j, i);
+      c.Ld1(y2, j);
+      f.F64Mul().F64Add();
+      c.St();
+    });
+  });
+  c.Checksum(x1, n, 1);
+  c.Checksum(x2, n, 1);
+}
+
+// Gauss-Seidel 2D.
+void EmitSeidel2d(PbCtx& c, int s) {
+  int n = 70 * s;
+  int tsteps = 6;
+  Mat A = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  auto& f = c.f();
+  uint32_t t = f.AddLocal(kI32);
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t im1 = f.AddLocal(kI32);
+  uint32_t ip1 = f.AddLocal(kI32);
+  uint32_t jm1 = f.AddLocal(kI32);
+  uint32_t jp1 = f.AddLocal(kI32);
+  f.ForI32(t, 0, tsteps, 1, [&] {
+    f.ForI32(i, 1, n - 1, 1, [&] {
+      f.LocalGet(i).I32Const(1).I32Sub().LocalSet(im1);
+      f.LocalGet(i).I32Const(1).I32Add().LocalSet(ip1);
+      f.ForI32(j, 1, n - 1, 1, [&] {
+        f.LocalGet(j).I32Const(1).I32Sub().LocalSet(jm1);
+        f.LocalGet(j).I32Const(1).I32Add().LocalSet(jp1);
+        c.PushAddr(A, i, j);
+        c.Ld(A, im1, jm1);
+        c.Ld(A, im1, j);
+        f.F64Add();
+        c.Ld(A, im1, jp1);
+        f.F64Add();
+        c.Ld(A, i, jm1);
+        f.F64Add();
+        c.Ld(A, i, j);
+        f.F64Add();
+        c.Ld(A, i, jp1);
+        f.F64Add();
+        c.Ld(A, ip1, jm1);
+        f.F64Add();
+        c.Ld(A, ip1, j);
+        f.F64Add();
+        c.Ld(A, ip1, jp1);
+        f.F64Add();
+        f.F64Const(9.0).F64Div();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(A, n, n);
+}
+
+// symm: symmetric matrix multiply (PolyBench shape).
+void EmitSymm(PbCtx& c, int s) {
+  int n = 40 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  c.Init(C, n, n, 1, 9, 3);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  uint32_t temp = f.AddLocal(kF64);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      f.F64Const(0.0).LocalSet(temp);
+      f.ForI32Dyn(k, 0, i, 1, [&] {
+        c.PushAddr(C, k, j);
+        c.Ld(C, k, j);
+        f.F64Const(1.5);
+        c.Ld(B, i, j);
+        f.F64Mul();
+        c.Ld(A, i, k);
+        f.F64Mul().F64Add();
+        c.St();
+        f.LocalGet(temp);
+        c.Ld(B, k, j);
+        c.Ld(A, i, k);
+        f.F64Mul().F64Add().LocalSet(temp);
+      });
+      c.PushAddr(C, i, j);
+      f.F64Const(1.2);
+      c.Ld(C, i, j);
+      f.F64Mul();
+      f.F64Const(1.5);
+      c.Ld(B, i, j);
+      f.F64Mul();
+      c.Ld(A, i, i);
+      f.F64Mul();
+      f.F64Add();
+      f.F64Const(1.5).LocalGet(temp).F64Mul();
+      f.F64Add();
+      c.St();
+    });
+  });
+  c.Checksum(C, n, n);
+}
+
+// syr2k.
+void EmitSyr2k(PbCtx& c, int s) {
+  int n = 36 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  c.Init(C, n, n, 1, 9, 3);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(C, i, j);
+      c.Ld(C, i, j);
+      f.F64Const(1.2).F64Mul();
+      c.St();
+    });
+    f.ForI32(k, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        c.PushAddr(C, i, j);
+        c.Ld(C, i, j);
+        f.F64Const(1.5);
+        c.Ld(A, i, k);
+        f.F64Mul();
+        c.Ld(B, j, k);
+        f.F64Mul();
+        f.F64Add();
+        f.F64Const(1.5);
+        c.Ld(B, i, k);
+        f.F64Mul();
+        c.Ld(A, j, k);
+        f.F64Mul();
+        f.F64Add();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(C, n, n);
+}
+
+// syrk.
+void EmitSyrk(PbCtx& c, int s) {
+  int n = 40 * s;
+  Mat A = c.NewMat(n, n);
+  Mat C = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(C, n, n, 1, 9, 3);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      c.PushAddr(C, i, j);
+      c.Ld(C, i, j);
+      f.F64Const(1.2).F64Mul();
+      c.St();
+    });
+    f.ForI32(k, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        c.PushAddr(C, i, j);
+        c.Ld(C, i, j);
+        f.F64Const(1.5);
+        c.Ld(A, i, k);
+        f.F64Mul();
+        c.Ld(A, j, k);
+        f.F64Mul().F64Add();
+        c.St();
+      });
+    });
+  });
+  c.Checksum(C, n, n);
+}
+
+// Forward substitution.
+void EmitTrisolv(PbCtx& c, int s) {
+  int n = 150 * s;
+  Mat L = c.NewMat(n, n);
+  Mat b = c.NewVec(n);
+  Mat x = c.NewVec(n);
+  c.Init(L, n, n, 3, 7, 1);
+  c.BoostDiagonal(L, n, 2.0 * n);
+  c.Init1(b, n, 5, 2);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    c.PushAddr1(x, i);
+    c.Ld1(b, i);
+    c.St();
+    f.ForI32Dyn(j, 0, i, 1, [&] {
+      c.PushAddr1(x, i);
+      c.Ld1(x, i);
+      c.Ld(L, i, j);
+      c.Ld1(x, j);
+      f.F64Mul().F64Sub();
+      c.St();
+    });
+    c.PushAddr1(x, i);
+    c.Ld1(x, i);
+    c.Ld(L, i, i);
+    f.F64Div();
+    c.St();
+  });
+  c.Checksum(x, n, 1);
+}
+
+// trmm: B = alpha * A^T * B with A lower-triangular.
+void EmitTrmm(PbCtx& c, int s) {
+  int n = 40 * s;
+  Mat A = c.NewMat(n, n);
+  Mat B = c.NewMat(n, n);
+  c.Init(A, n, n, 3, 7, 1);
+  c.Init(B, n, n, 5, 2, 2);
+  auto& f = c.f();
+  uint32_t i = f.AddLocal(kI32);
+  uint32_t j = f.AddLocal(kI32);
+  uint32_t k = f.AddLocal(kI32);
+  f.ForI32(i, 0, n, 1, [&] {
+    f.ForI32(j, 0, n, 1, [&] {
+      f.LocalGet(i).I32Const(1).I32Add().LocalSet(k);
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(k).I32Const(n).I32GeS().BrIf(1);
+          c.PushAddr(B, i, j);
+          c.Ld(B, i, j);
+          c.Ld(A, k, i);
+          c.Ld(B, k, j);
+          f.F64Mul().F64Add();
+          c.St();
+          f.LocalGet(k).I32Const(1).I32Add().LocalSet(k);
+          f.Br(0);
+        });
+      });
+      c.PushAddr(B, i, j);
+      c.Ld(B, i, j);
+      f.F64Const(1.5).F64Mul();
+      c.St();
+    });
+  });
+  c.Checksum(B, n, n);
+}
+
+struct KernelEntry {
+  const char* name;
+  void (*emit)(PbCtx&, int);
+};
+
+const KernelEntry kKernels[] = {
+    {"2mm", Emit2mm},
+    {"3mm", Emit3mm},
+    {"adi", EmitAdi},
+    {"bicg", EmitBicg},
+    {"cholesky", EmitCholesky},
+    {"correlation", EmitCorrelation},
+    {"covariance", EmitCovariance},
+    {"doitgen", EmitDoitgen},
+    {"durbin", EmitDurbin},
+    {"fdtd-2d", EmitFdtd2d},
+    {"gemm", EmitGemm},
+    {"gemver", EmitGemver},
+    {"gesummv", EmitGesummv},
+    {"gramschmidt", EmitGramschmidt},
+    {"lu", EmitLu},
+    {"ludcmp", EmitLudcmp},
+    {"mvt", EmitMvt},
+    {"seidel-2d", EmitSeidel2d},
+    {"symm", EmitSymm},
+    {"syr2k", EmitSyr2k},
+    {"syrk", EmitSyrk},
+    {"trisolv", EmitTrisolv},
+    {"trmm", EmitTrmm},
+};
+
+}  // namespace
+
+std::vector<std::string> PolybenchKernelNames() {
+  std::vector<std::string> names;
+  for (const KernelEntry& k : kKernels) {
+    names.push_back(k.name);
+  }
+  return names;
+}
+
+WorkloadSpec PolybenchSpec(const std::string& name, int scale) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.output_files = {"/out.txt"};
+  spec.argv = {name};
+  const KernelEntry* entry = nullptr;
+  for (const KernelEntry& k : kKernels) {
+    if (name == k.name) {
+      entry = &k;
+    }
+  }
+  spec.build = [entry, name, scale]() {
+    PbCtx ctx(name);
+    ctx.BeginMain();
+    if (entry != nullptr) {
+      entry->emit(ctx, scale);
+    }
+    ctx.EndMain();
+    return ctx.mb().Build();
+  };
+  return spec;
+}
+
+WorkloadSpec MatmulSpec(int n) {
+  WorkloadSpec spec;
+  spec.name = "matmul-" + std::to_string(n);
+  spec.output_files = {"/out.txt"};
+  spec.build = [n]() {
+    // The §5 case study: int32 C = A*B, written exactly as Figure 7a —
+    // addresses held in locals so the native backend can fuse them.
+    PbCtx ctx("matmul");
+    ctx.BeginMain();
+    auto& f = ctx.f();
+    uint32_t base_a = 1u << 16;
+    uint32_t base_b = base_a + static_cast<uint32_t>(n) * n * 4;
+    uint32_t base_c = base_b + static_cast<uint32_t>(n) * n * 4;
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t j = f.AddLocal(kI32);
+    uint32_t k = f.AddLocal(kI32);
+    uint32_t addr = f.AddLocal(kI32);
+    uint32_t sum = f.AddLocal(kI32);
+    auto idx = [&](uint32_t base, uint32_t row, uint32_t col) {
+      f.LocalGet(row).I32Const(n).I32Mul().LocalGet(col).I32Add();
+      f.I32Const(2).I32Shl();
+      f.I32Const(static_cast<int32_t>(base)).I32Add();
+    };
+    // Init A, B; zero C.
+    f.ForI32(i, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        idx(base_a, i, j);
+        f.LocalGet(i).I32Const(3).I32Mul().LocalGet(j).I32Add().I32Const(101).I32RemS();
+        f.I32Store(0);
+        idx(base_b, i, j);
+        f.LocalGet(i).I32Const(7).I32Mul().LocalGet(j).I32Const(5).I32Mul().I32Add()
+            .I32Const(103).I32RemS();
+        f.I32Store(0);
+        idx(base_c, i, j);
+        f.I32Const(0);
+        f.I32Store(0);
+      });
+    });
+    // C[i][j] += A[i][k] * B[k][j]  (paper's loop order i,k,j).
+    f.ForI32(i, 0, n, 1, [&] {
+      f.ForI32(k, 0, n, 1, [&] {
+        f.ForI32(j, 0, n, 1, [&] {
+          idx(base_c, i, j);
+          f.LocalSet(addr);
+          f.LocalGet(addr);
+          f.LocalGet(addr).I32Load(0);
+          idx(base_a, i, k);
+          f.I32Load(0);
+          idx(base_b, k, j);
+          f.I32Load(0);
+          f.I32Mul();
+          f.I32Add();
+          f.I32Store(0);
+        });
+      });
+    });
+    // Checksum of C.
+    f.ForI32(i, 0, n, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        f.LocalGet(sum);
+        idx(base_c, i, j);
+        f.I32Load(0);
+        f.I32Add().LocalSet(sum);
+      });
+    });
+    f.LocalGet(ctx.fd_local()).LocalGet(sum).Call(ctx.lib().print_i32);
+    f.LocalGet(ctx.fd_local()).Call(ctx.lib().newline);
+    ctx.EndMain();
+    return ctx.mb().Build();
+  };
+  return spec;
+}
+
+}  // namespace nsf

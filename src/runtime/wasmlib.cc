@@ -1,0 +1,195 @@
+#include "src/runtime/wasmlib.h"
+
+namespace nsf {
+
+WasmLib AddWasmLib(ModuleBuilder* mb, uint32_t heap_start) {
+  WasmLib lib;
+  lib.sys = DeclareSyscallImports(mb);
+  lib.heap_ptr_global =
+      mb->AddGlobal(ValType::kI32, true, Instr::ConstI32(static_cast<int32_t>(heap_start)));
+  const auto i32 = ValType::kI32;
+  const auto f64 = ValType::kF64;
+
+  // memset(dst, val, len)
+  {
+    auto& f = mb->AddInternalFunction("lib_memset", {i32, i32, i32}, {});
+    uint32_t i = f.AddLocal(i32);
+    f.ForI32Dyn(i, 0, 2, 1, [&] {
+      f.LocalGet(0).LocalGet(i).I32Add();
+      f.LocalGet(1);
+      f.I32Store8(0);
+    });
+    lib.memset = f.index();
+  }
+  // memcpy(dst, src, len) — byte copy, forward.
+  {
+    auto& f = mb->AddInternalFunction("lib_memcpy", {i32, i32, i32}, {});
+    uint32_t i = f.AddLocal(i32);
+    f.ForI32Dyn(i, 0, 2, 1, [&] {
+      f.LocalGet(0).LocalGet(i).I32Add();
+      f.LocalGet(1).LocalGet(i).I32Add().I32Load8U(0);
+      f.I32Store8(0);
+    });
+    lib.memcpy = f.index();
+  }
+  // strlen(p)
+  {
+    auto& f = mb->AddInternalFunction("lib_strlen", {i32}, {i32});
+    uint32_t n = f.AddLocal(i32);
+    f.While([&] { f.LocalGet(0).LocalGet(n).I32Add().I32Load8U(0); },
+            [&] { f.LocalGet(n).I32Const(1).I32Add().LocalSet(n); });
+    f.LocalGet(n);
+    lib.strlen = f.index();
+  }
+  // malloc(n) -> 8-aligned pointer; grows memory when needed.
+  {
+    auto& f = mb->AddInternalFunction("lib_malloc", {i32}, {i32});
+    uint32_t old = f.AddLocal(i32);
+    uint32_t endp = f.AddLocal(i32);
+    // n = (n + 7) & ~7
+    f.LocalGet(0).I32Const(7).I32Add().I32Const(~7).I32And().LocalSet(0);
+    f.GlobalGet(lib.heap_ptr_global).LocalSet(old);
+    f.LocalGet(old).LocalGet(0).I32Add().LocalSet(endp);
+    // if (endp > memory.size << 16) grow((endp - size<<16 + 65535) >> 16)
+    f.LocalGet(endp);
+    f.Op(Opcode::kMemorySize).I32Const(16).I32Shl();
+    f.Op(Opcode::kI32GtU);
+    f.If([&] {
+      f.LocalGet(endp);
+      f.Op(Opcode::kMemorySize).I32Const(16).I32Shl();
+      f.I32Sub().I32Const(65535).I32Add().I32Const(16).I32ShrU();
+      f.Op(Opcode::kMemoryGrow).Drop();
+    });
+    f.GlobalGet(lib.heap_ptr_global).LocalSet(old);
+    f.LocalGet(endp).GlobalSet(lib.heap_ptr_global);
+    lib.malloc = f.index();
+    // Note: `old` reloaded after potential growth for clarity; the pointer
+    // value is unchanged by growth.
+    f.LocalGet(old);
+  }
+  // print_u32(fd, v): decimal digits, no sign.
+  {
+    auto& f = mb->AddInternalFunction("lib_print_u32", {i32, i32}, {});
+    uint32_t v = 1;  // param
+    uint32_t pos = f.AddLocal(i32);
+    // pos starts at scratch+32 and moves left.
+    f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 32)).LocalSet(pos);
+    // do { *--pos = '0' + v % 10; v /= 10; } while (v);
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(pos).I32Const(1).I32Sub().LocalSet(pos);
+        f.LocalGet(pos);
+        f.LocalGet(v).I32Const(10).I32RemU().I32Const('0').I32Add();
+        f.I32Store8(0);
+        f.LocalGet(v).I32Const(10).I32DivU().LocalSet(v);
+        f.LocalGet(v).Emit(Instr::Simple(Opcode::kI32Eqz)).BrIf(1);
+        f.Br(0);
+      });
+    });
+    // write(fd, pos, scratch+32 - pos)
+    f.LocalGet(0).LocalGet(pos);
+    f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 32)).LocalGet(pos).I32Sub();
+    f.Call(lib.sys.write).Drop();
+    lib.print_u32 = f.index();
+  }
+  // print_i32(fd, v)
+  {
+    auto& f = mb->AddInternalFunction("lib_print_i32", {i32, i32}, {});
+    f.LocalGet(1).I32Const(0).I32LtS();
+    f.If([&] {
+      // write '-'
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const('-').I32Store8(0);
+      f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const(1);
+      f.Call(lib.sys.write).Drop();
+      f.I32Const(0).LocalGet(1).I32Sub().LocalSet(1);
+    });
+    f.LocalGet(0).LocalGet(1).Call(lib.print_u32);
+    lib.print_i32 = f.index();
+  }
+  // print_f64(fd, v, decimals): fixed-point, rounded on the last digit.
+  // NaN prints "nan", |v| >= 1e9 prints "ovf" (keeps the i32 paths safe).
+  {
+    auto& f = mb->AddInternalFunction("lib_print_f64", {i32, f64, i32}, {});
+    uint32_t ip = f.AddLocal(i32);
+    uint32_t pow = f.AddLocal(i32);
+    uint32_t k = f.AddLocal(i32);
+    uint32_t frac = f.AddLocal(i32);
+    // NaN guard: v != v.
+    f.LocalGet(1).LocalGet(1).Op(Opcode::kF64Ne);
+    f.If([&] {
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 44)).I32Const('n').I32Store8(0);
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 45)).I32Const('a').I32Store8(0);
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 46)).I32Const('n').I32Store8(0);
+      f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 44)).I32Const(3);
+      f.Call(lib.sys.write).Drop();
+      f.Return();
+    });
+    // Overflow guard.
+    f.LocalGet(1).F64Abs().F64Const(1e9).F64Ge();
+    f.If([&] {
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 44)).I32Const('o').I32Store8(0);
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 45)).I32Const('v').I32Store8(0);
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 46)).I32Const('f').I32Store8(0);
+      f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 44)).I32Const(3);
+      f.Call(lib.sys.write).Drop();
+      f.Return();
+    });
+    // Sign.
+    f.LocalGet(1).F64Const(0.0).F64Lt();
+    f.If([&] {
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const('-').I32Store8(0);
+      f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const(1);
+      f.Call(lib.sys.write).Drop();
+      f.LocalGet(1).F64Neg().LocalSet(1);
+    });
+    // pow = 10^decimals
+    f.I32Const(1).LocalSet(pow);
+    f.ForI32Dyn(k, 0, 2, 1, [&] { f.LocalGet(pow).I32Const(10).I32Mul().LocalSet(pow); });
+    // ip = trunc(v); frac = round((v - ip) * pow), carrying into ip.
+    f.LocalGet(1).Op(Opcode::kF64Floor).I32TruncF64S().LocalSet(ip);
+    f.LocalGet(1).LocalGet(1).Op(Opcode::kF64Floor).F64Sub();
+    f.LocalGet(pow).F64ConvertI32S().F64Mul();
+    f.F64Const(0.5).F64Add().Op(Opcode::kF64Floor).I32TruncF64S().LocalSet(frac);
+    f.LocalGet(frac).LocalGet(pow).I32GeS();
+    f.If([&] {
+      f.LocalGet(ip).I32Const(1).I32Add().LocalSet(ip);
+      f.I32Const(0).LocalSet(frac);
+    });
+    f.LocalGet(0).LocalGet(ip).Call(lib.print_i32);
+    // '.'
+    f.LocalGet(2).I32Const(0).I32GtS();
+    f.If([&] {
+      f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const('.').I32Store8(0);
+      f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 40)).I32Const(1);
+      f.Call(lib.sys.write).Drop();
+      // Zero-padded fraction: repeatedly peel the most significant digit.
+      f.ForI32Dyn(k, 0, 2, 1, [&] {
+        f.LocalGet(pow).I32Const(10).I32DivU().LocalSet(pow);
+        f.LocalGet(0);
+        f.LocalGet(frac).LocalGet(pow).I32DivU().I32Const(10).I32RemU();
+        f.Call(lib.print_u32);
+        f.LocalGet(frac).LocalGet(pow).I32RemU().LocalSet(frac);
+      });
+    });
+    lib.print_f64 = f.index();
+  }
+  // write_cstr(fd, p)
+  {
+    auto& f = mb->AddInternalFunction("lib_write_cstr", {i32, i32}, {});
+    f.LocalGet(0).LocalGet(1);
+    f.LocalGet(1).Call(lib.strlen);
+    f.Call(lib.sys.write).Drop();
+    lib.write_cstr = f.index();
+  }
+  // newline(fd)
+  {
+    auto& f = mb->AddInternalFunction("lib_newline", {i32}, {});
+    f.I32Const(static_cast<int32_t>(kWasmScratchAddr + 41)).I32Const('\n').I32Store8(0);
+    f.LocalGet(0).I32Const(static_cast<int32_t>(kWasmScratchAddr + 41)).I32Const(1);
+    f.Call(lib.sys.write).Drop();
+    lib.newline = f.index();
+  }
+  return lib;
+}
+
+}  // namespace nsf

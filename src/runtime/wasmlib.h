@@ -1,0 +1,39 @@
+// A small Wasm-side "libc" generated with the builder DSL: bump allocator,
+// memcpy/memset, decimal printing, and string output through the bsx write
+// syscall. Workload generators add this library to their module and call the
+// returned function indices.
+#ifndef SRC_RUNTIME_WASMLIB_H_
+#define SRC_RUNTIME_WASMLIB_H_
+
+#include <cstdint>
+
+#include "src/builder/builder.h"
+#include "src/runtime/runtime.h"
+
+namespace nsf {
+
+// Scratch region used by the printing helpers (64 bytes).
+inline constexpr uint32_t kWasmScratchAddr = 64;
+
+struct WasmLib {
+  SyscallImports sys;
+  uint32_t heap_ptr_global = 0;  // bump pointer
+  uint32_t memset = 0;       // (dst, val, len) -> ()
+  uint32_t memcpy = 0;       // (dst, src, len) -> ()
+  uint32_t strlen = 0;       // (p) -> len
+  uint32_t malloc = 0;       // (n) -> ptr (8-aligned; grows memory on demand)
+  uint32_t print_u32 = 0;    // (fd, v) -> ()
+  uint32_t print_i32 = 0;    // (fd, v) -> ()
+  uint32_t print_f64 = 0;    // (fd, v, decimals) -> () fixed-point decimal
+  uint32_t write_cstr = 0;   // (fd, ptr) -> ()
+  uint32_t newline = 0;      // (fd) -> ()
+};
+
+// Declares syscall imports (must be called before any defined function) and
+// adds the library functions. `heap_start` is where the bump allocator
+// begins (data segments must end below it).
+WasmLib AddWasmLib(ModuleBuilder* mb, uint32_t heap_start);
+
+}  // namespace nsf
+
+#endif  // SRC_RUNTIME_WASMLIB_H_

@@ -1,0 +1,64 @@
+#include "src/spec/spec.h"
+
+#include "src/spec/spec_fp.h"
+#include "src/spec/spec_int.h"
+
+namespace nsf {
+
+std::vector<std::string> SpecWorkloadNames() {
+  return {"401.bzip2",  "429.mcf",        "433.milc",    "444.namd",   "445.gobmk",
+          "450.soplex", "453.povray",     "458.sjeng",   "462.libquantum",
+          "464.h264ref", "470.lbm",       "473.astar",   "482.sphinx3",
+          "641.leela_s", "644.nab_s"};
+}
+
+WorkloadSpec SpecWorkload(const std::string& name, int scale) {
+  if (name == "401.bzip2") {
+    return SpecBzip2(scale);
+  }
+  if (name == "429.mcf") {
+    return SpecMcf(scale);
+  }
+  if (name == "433.milc") {
+    return SpecMilc(scale);
+  }
+  if (name == "444.namd") {
+    return SpecNamd(scale);
+  }
+  if (name == "445.gobmk") {
+    return SpecGobmk(scale);
+  }
+  if (name == "450.soplex") {
+    return SpecSoplex(scale);
+  }
+  if (name == "453.povray") {
+    return SpecPovray(scale);
+  }
+  if (name == "458.sjeng") {
+    return SpecSjeng(scale);
+  }
+  if (name == "462.libquantum") {
+    return SpecLibquantum(scale);
+  }
+  if (name == "464.h264ref") {
+    return SpecH264ref(scale);
+  }
+  if (name == "470.lbm") {
+    return SpecLbm(scale);
+  }
+  if (name == "473.astar") {
+    return SpecAstar(scale);
+  }
+  if (name == "482.sphinx3") {
+    return SpecSphinx3(scale);
+  }
+  if (name == "641.leela_s") {
+    return SpecLeela(scale);
+  }
+  if (name == "644.nab_s") {
+    return SpecNab(scale);
+  }
+  return WorkloadSpec{};
+}
+
+}  // namespace nsf

@@ -1,0 +1,656 @@
+// SPEC-like floating-point workloads, part 1: 433.milc, 444.namd, 470.lbm,
+// 644.nab_s.
+#include "src/spec/spec_fp.h"
+
+#include "src/spec/specctx.h"
+
+namespace nsf {
+
+namespace {
+const auto kI32 = ValType::kI32;
+const auto kF64 = ValType::kF64;
+}  // namespace
+
+// 433.milc — lattice-QCD regime: complex 3x3 matrix products over a 4D
+// lattice (flattened); accumulates plaquette traces. Memory-streaming FP.
+WorkloadSpec SpecMilc(int scale) {
+  WorkloadSpec spec;
+  spec.name = "433.milc";
+  spec.output_files = {"/out.txt"};
+  int lattice = 6 + 2 * (scale - 1);  // L^4 sites
+  spec.build = [lattice]() {
+    SpecCtx c("milc", 1024);
+    const int L = lattice;
+    const int sites = L * L * L * L;
+    // Each site holds 4 links; each link is a complex 3x3 matrix = 18 f64.
+    const uint32_t kLinks = 1u << 20;
+    const uint32_t kScratch = kLinks + 8u * 18 * 4 * sites;
+
+    // cm3_mul(a_off, b_off, dst_off): complex 3x3 product.
+    auto& mul = c.mb().AddInternalFunction("cm3_mul", {kI32, kI32, kI32}, {});
+    {
+      auto& f = mul;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t j = f.AddLocal(kI32);
+      uint32_t k = f.AddLocal(kI32);
+      uint32_t re = f.AddLocal(kF64);
+      uint32_t im = f.AddLocal(kF64);
+      auto elem = [&](uint32_t base_param, uint32_t row, uint32_t col, int im_part) {
+        // addr = base + ((row*3 + col)*2 + im_part)*8
+        f.LocalGet(base_param);
+        f.LocalGet(row).I32Const(3).I32Mul().LocalGet(col).I32Add();
+        f.I32Const(1).I32Shl();
+        if (im_part != 0) {
+          f.I32Const(1).I32Add();
+        }
+        f.I32Const(3).I32Shl().I32Add();
+        f.F64Load(0);
+      };
+      f.ForI32(i, 0, 3, 1, [&] {
+        f.ForI32(j, 0, 3, 1, [&] {
+          f.F64Const(0.0).LocalSet(re);
+          f.F64Const(0.0).LocalSet(im);
+          f.ForI32(k, 0, 3, 1, [&] {
+            // re += a.re*b.re - a.im*b.im ; im += a.re*b.im + a.im*b.re
+            f.LocalGet(re);
+            elem(0, i, k, 0);
+            elem(1, k, j, 0);
+            f.F64Mul().F64Add();
+            elem(0, i, k, 1);
+            elem(1, k, j, 1);
+            f.F64Mul().F64Sub().LocalSet(re);
+            f.LocalGet(im);
+            elem(0, i, k, 0);
+            elem(1, k, j, 1);
+            f.F64Mul().F64Add();
+            elem(0, i, k, 1);
+            elem(1, k, j, 0);
+            f.F64Mul().F64Add().LocalSet(im);
+          });
+          // dst[i][j] = (re, im)
+          f.LocalGet(2);
+          f.LocalGet(i).I32Const(3).I32Mul().LocalGet(j).I32Add().I32Const(1).I32Shl();
+          f.I32Const(3).I32Shl().I32Add();
+          f.LocalGet(re);
+          f.F64Store(0);
+          f.LocalGet(2);
+          f.LocalGet(i).I32Const(3).I32Mul().LocalGet(j).I32Add().I32Const(1).I32Shl()
+              .I32Const(1).I32Add();
+          f.I32Const(3).I32Shl().I32Add();
+          f.LocalGet(im);
+          f.F64Store(0);
+        });
+      });
+    }
+    // trace_re(off) -> real part of the trace.
+    auto& tr = c.mb().AddInternalFunction("cm3_trace", {kI32}, {kF64});
+    {
+      auto& f = tr;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t t = f.AddLocal(kF64);
+      f.ForI32(i, 0, 3, 1, [&] {
+        f.LocalGet(t);
+        f.LocalGet(0);
+        f.LocalGet(i).I32Const(3).I32Mul().LocalGet(i).I32Add().I32Const(1).I32Shl();
+        f.I32Const(3).I32Shl().I32Add();
+        f.F64Load(0);
+        f.F64Add().LocalSet(t);
+      });
+      f.LocalGet(t);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t s = f.AddLocal(kI32);
+    uint32_t d = f.AddLocal(kI32);
+    uint32_t k = f.AddLocal(kI32);
+    uint32_t link = f.AddLocal(kI32);
+    uint32_t other = f.AddLocal(kI32);
+    uint32_t action = f.AddLocal(kF64);
+    // Initialize links deterministically (near-unit matrices).
+    f.ForI32(s, 0, sites, 1, [&] {
+      f.ForI32(d, 0, 4, 1, [&] {
+        f.ForI32(k, 0, 18, 1, [&] {
+          // addr = kLinks + ((s*4 + d)*18 + k)*8
+          f.LocalGet(s).I32Const(4).I32Mul().LocalGet(d).I32Add().I32Const(18).I32Mul()
+              .LocalGet(k).I32Add();
+          f.I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kLinks)).I32Add();
+          // diag real -> 1 + eps, else eps
+          f.LocalGet(k).I32Const(0).I32Eq();
+          f.LocalGet(k).I32Const(8).I32Eq().I32Or();
+          f.LocalGet(k).I32Const(16).I32Eq().I32Or();
+          f.IfElse(ValType::kF64,
+                   [&] { f.F64Const(1.0); },
+                   [&] {
+                     f.LocalGet(s).I32Const(7).I32Mul().LocalGet(k).I32Add().I32Const(97)
+                         .I32RemS().F64ConvertI32S().F64Const(970.0).F64Div();
+                   });
+          f.F64Store(0);
+        });
+      });
+    });
+    // Plaquette-ish sweep: for each site, multiply link(d) by link(d+1 mod 4)
+    // of the next site and accumulate the trace.
+    f.ForI32(s, 0, sites, 1, [&] {
+      f.ForI32(d, 0, 4, 1, [&] {
+        f.LocalGet(s).I32Const(4).I32Mul().LocalGet(d).I32Add().I32Const(18 * 8).I32Mul()
+            .I32Const(static_cast<int32_t>(kLinks)).I32Add().LocalSet(link);
+        // other = link of site (s+1) mod sites, direction (d+1)&3.
+        f.LocalGet(s).I32Const(1).I32Add().I32Const(sites).I32RemS().I32Const(4).I32Mul();
+        f.LocalGet(d).I32Const(1).I32Add().I32Const(3).I32And().I32Add();
+        f.I32Const(18 * 8).I32Mul().I32Const(static_cast<int32_t>(kLinks)).I32Add()
+            .LocalSet(other);
+        f.LocalGet(link).LocalGet(other).I32Const(static_cast<int32_t>(kScratch));
+        f.Call(mul.index());
+        f.LocalGet(action);
+        f.I32Const(static_cast<int32_t>(kScratch)).Call(tr.index());
+        f.F64Add().LocalSet(action);
+      });
+    });
+    uint32_t out = f.AddLocal(kF64);
+    f.LocalGet(action).LocalSet(out);
+    c.PrintResultF64("action", out);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 444.namd — molecular dynamics: O(N^2) Lennard-Jones forces with cutoff,
+// a few integration steps. Compute-bound FP inner loops.
+WorkloadSpec SpecNamd(int scale) {
+  WorkloadSpec spec;
+  spec.name = "444.namd";
+  spec.output_files = {"/out.txt"};
+  int atoms = 220 * scale;
+  spec.build = [atoms]() {
+    SpecCtx c("namd", 512);
+    const int n = atoms;
+    const uint32_t kPos = 1u << 20;           // x,y,z per atom
+    const uint32_t kVel = kPos + 24u * n;
+    const uint32_t kForce = kVel + 24u * n;
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t j = f.AddLocal(kI32);
+    uint32_t step = f.AddLocal(kI32);
+    uint32_t ax = f.AddLocal(kI32);  // byte offsets
+    uint32_t bx = f.AddLocal(kI32);
+    uint32_t dx = f.AddLocal(kF64);
+    uint32_t dy = f.AddLocal(kF64);
+    uint32_t dz = f.AddLocal(kF64);
+    uint32_t r2 = f.AddLocal(kF64);
+    uint32_t inv6 = f.AddLocal(kF64);
+    uint32_t fmag = f.AddLocal(kF64);
+    uint32_t energy = f.AddLocal(kF64);
+    // Init positions on a jittered line, zero velocities.
+    f.ForI32(i, 0, n, 1, [&] {
+      f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+          .LocalSet(ax);
+      f.LocalGet(ax);
+      f.LocalGet(i).F64ConvertI32S().F64Const(0.7).F64Mul();
+      f.F64Store(0);
+      f.LocalGet(ax);
+      f.LocalGet(i).I32Const(13).I32Mul().I32Const(89).I32RemS().F64ConvertI32S()
+          .F64Const(89.0).F64Div();
+      f.F64Store(8);
+      f.LocalGet(ax);
+      f.LocalGet(i).I32Const(29).I32Mul().I32Const(83).I32RemS().F64ConvertI32S()
+          .F64Const(83.0).F64Div();
+      f.F64Store(16);
+      f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+          .LocalSet(ax);
+      f.LocalGet(ax).F64Const(0.0).F64Store(0);
+      f.LocalGet(ax).F64Const(0.0).F64Store(8);
+      f.LocalGet(ax).F64Const(0.0).F64Store(16);
+    });
+    f.ForI32(step, 0, 3, 1, [&] {
+      // Zero forces.
+      f.ForI32(i, 0, n, 1, [&] {
+        f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce)).I32Add()
+            .LocalSet(ax);
+        f.LocalGet(ax).F64Const(0.0).F64Store(0);
+        f.LocalGet(ax).F64Const(0.0).F64Store(8);
+        f.LocalGet(ax).F64Const(0.0).F64Store(16);
+      });
+      // Pairwise LJ with cutoff r2 < 9.
+      f.ForI32(i, 0, n, 1, [&] {
+        f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+            .LocalSet(ax);
+        f.ForI32Dyn(j, 0, i, 1, [&] {
+          f.LocalGet(j).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+              .LocalSet(bx);
+          f.LocalGet(ax).F64Load(0);
+          f.LocalGet(bx).F64Load(0);
+          f.F64Sub().LocalSet(dx);
+          f.LocalGet(ax).F64Load(8);
+          f.LocalGet(bx).F64Load(8);
+          f.F64Sub().LocalSet(dy);
+          f.LocalGet(ax).F64Load(16);
+          f.LocalGet(bx).F64Load(16);
+          f.F64Sub().LocalSet(dz);
+          f.LocalGet(dx).LocalGet(dx).F64Mul();
+          f.LocalGet(dy).LocalGet(dy).F64Mul().F64Add();
+          f.LocalGet(dz).LocalGet(dz).F64Mul().F64Add().LocalSet(r2);
+          f.LocalGet(r2).F64Const(9.0).F64Lt();
+          f.LocalGet(r2).F64Const(0.01).F64Gt();
+          f.I32And();
+          f.If([&] {
+            // inv6 = 1/r2^3 ; energy += 4*(inv6^2 - inv6)
+            f.F64Const(1.0).LocalGet(r2).LocalGet(r2).F64Mul().LocalGet(r2).F64Mul().F64Div()
+                .LocalSet(inv6);
+            f.LocalGet(energy);
+            f.F64Const(4.0);
+            f.LocalGet(inv6).LocalGet(inv6).F64Mul().LocalGet(inv6).F64Sub();
+            f.F64Mul().F64Add().LocalSet(energy);
+            // fmag = 24*(2*inv6^2 - inv6)/r2
+            f.F64Const(24.0);
+            f.F64Const(2.0).LocalGet(inv6).F64Mul().LocalGet(inv6).F64Mul().LocalGet(inv6)
+                .F64Sub();
+            f.F64Mul().LocalGet(r2).F64Div().LocalSet(fmag);
+            // force[i] += fmag*d ; force[j] -= fmag*d (x component then y, z)
+            auto apply = [&](int off, uint32_t dloc) {
+              f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+                  .I32Add();
+              f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+                  .I32Add().F64Load(off);
+              f.LocalGet(fmag).LocalGet(dloc).F64Mul().F64Add();
+              f.F64Store(off);
+              f.LocalGet(j).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+                  .I32Add();
+              f.LocalGet(j).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+                  .I32Add().F64Load(off);
+              f.LocalGet(fmag).LocalGet(dloc).F64Mul().F64Sub();
+              f.F64Store(off);
+            };
+            apply(0, dx);
+            apply(8, dy);
+            apply(16, dz);
+          });
+        });
+      });
+      // Integrate (velocity Verlet, dt = 0.001).
+      f.ForI32(i, 0, n, 1, [&] {
+        auto integ = [&](int off) {
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add();
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+              .F64Load(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce)).I32Add()
+              .F64Load(off);
+          f.F64Const(0.001).F64Mul().F64Add();
+          f.F64Store(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add();
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+              .F64Load(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+              .F64Load(off);
+          f.F64Const(0.001).F64Mul().F64Add();
+          f.F64Store(off);
+        };
+        integ(0);
+        integ(8);
+        integ(16);
+      });
+    });
+    uint32_t out = f.AddLocal(kF64);
+    f.LocalGet(energy).LocalSet(out);
+    c.PrintResultF64("energy", out);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 470.lbm — D2Q9 lattice Boltzmann: stream + BGK collision over a 2D grid.
+// FP streaming stencil.
+WorkloadSpec SpecLbm(int scale) {
+  WorkloadSpec spec;
+  spec.name = "470.lbm";
+  spec.output_files = {"/out.txt"};
+  int dim = 48;
+  int steps = 6 * scale;
+  spec.build = [dim, steps]() {
+    SpecCtx c("lbm", 1024);
+    const int D = dim;
+    const int cells = D * D;
+    const uint32_t kF0 = 1u << 20;                 // 9 distributions, 2 buffers
+    const uint32_t kF1 = kF0 + 8u * 9 * cells;
+    // D2Q9 velocity set and weights.
+    static const int ex[9] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+    static const int ey[9] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+    static const double wt[9] = {4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9,
+                                 1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t x = f.AddLocal(kI32);
+    uint32_t y = f.AddLocal(kI32);
+    uint32_t q = f.AddLocal(kI32);
+    uint32_t t = f.AddLocal(kI32);
+    uint32_t cell = f.AddLocal(kI32);
+    uint32_t src = f.AddLocal(kI32);
+    uint32_t rho = f.AddLocal(kF64);
+    uint32_t ux = f.AddLocal(kF64);
+    uint32_t uy = f.AddLocal(kF64);
+    uint32_t eu = f.AddLocal(kF64);
+    uint32_t feq = f.AddLocal(kF64);
+    uint32_t cur = f.AddLocal(kI32);   // current buffer base
+    uint32_t nxt = f.AddLocal(kI32);
+    uint32_t tmpb = f.AddLocal(kI32);
+    // dist addr = base + (q*cells + cell)*8
+    auto dist_addr = [&](uint32_t base_local, uint32_t q_imm_local, uint32_t cell_local) {
+      f.LocalGet(q_imm_local).I32Const(cells).I32Mul().LocalGet(cell_local).I32Add();
+      f.I32Const(3).I32Shl();
+      f.LocalGet(base_local).I32Add();
+    };
+    // Init equilibrium at rest with a density bump.
+    f.I32Const(static_cast<int32_t>(kF0)).LocalSet(cur);
+    f.I32Const(static_cast<int32_t>(kF1)).LocalSet(nxt);
+    f.ForI32(q, 0, 9, 1, [&] {
+      f.ForI32(cell, 0, cells, 1, [&] {
+        dist_addr(cur, q, cell);
+        // rho = 1 + 0.05 * ((cell*13)%101)/101
+        f.LocalGet(cell).I32Const(13).I32Mul().I32Const(101).I32RemS().F64ConvertI32S();
+        f.F64Const(101.0).F64Div().F64Const(0.05).F64Mul().F64Const(1.0).F64Add();
+        // scaled by per-q weight (applied via multiply below)
+        f.F64Const(1.0).F64Mul();
+        f.F64Store(0);
+        // Apply weight: f = w[q] * rho  (done in a second store for clarity)
+        dist_addr(cur, q, cell);
+        dist_addr(cur, q, cell);
+        f.F64Load(0);
+        // multiply by weight constant chosen per q below
+        f.F64Const(0.0).F64Add();  // placeholder; weights applied next loop
+        f.F64Store(0);
+      });
+    });
+    // Apply weights (one pass per q with its constant).
+    for (int qi = 0; qi < 9; qi++) {
+      uint32_t qv = f.AddLocal(kI32);
+      f.I32Const(qi).LocalSet(qv);
+      f.ForI32(cell, 0, cells, 1, [&] {
+        dist_addr(cur, qv, cell);
+        dist_addr(cur, qv, cell);
+        f.F64Load(0);
+        f.F64Const(wt[qi]).F64Mul();
+        f.F64Store(0);
+      });
+    }
+    f.ForI32(t, 0, steps, 1, [&] {
+      // Stream: next[q][x,y] = cur[q][x-ex, y-ey] (periodic).
+      for (int qi = 0; qi < 9; qi++) {
+        uint32_t qv = f.AddLocal(kI32);
+        f.I32Const(qi).LocalSet(qv);
+        f.ForI32(y, 0, D, 1, [&] {
+          f.ForI32(x, 0, D, 1, [&] {
+            f.LocalGet(y).I32Const(D).I32Mul().LocalGet(x).I32Add().LocalSet(cell);
+            // src cell with periodic wrap.
+            f.LocalGet(x).I32Const(D - ex[qi]).I32Add().I32Const(D).I32RemS();
+            f.LocalGet(y).I32Const(D - ey[qi]).I32Add().I32Const(D).I32RemS();
+            f.I32Const(D).I32Mul().I32Add().LocalSet(src);
+            dist_addr(nxt, qv, cell);
+            dist_addr(cur, qv, src);
+            f.F64Load(0);
+            f.F64Store(0);
+          });
+        });
+      }
+      // Collide on next buffer.
+      f.ForI32(cell, 0, cells, 1, [&] {
+        f.F64Const(0.0).LocalSet(rho);
+        f.F64Const(0.0).LocalSet(ux);
+        f.F64Const(0.0).LocalSet(uy);
+        for (int qi = 0; qi < 9; qi++) {
+          uint32_t qv = f.AddLocal(kI32);
+          f.I32Const(qi).LocalSet(qv);
+          f.LocalGet(rho);
+          dist_addr(nxt, qv, cell);
+          f.F64Load(0);
+          f.F64Add().LocalSet(rho);
+          if (ex[qi] != 0) {
+            f.LocalGet(ux);
+            dist_addr(nxt, qv, cell);
+            f.F64Load(0);
+            f.F64Const(static_cast<double>(ex[qi])).F64Mul().F64Add().LocalSet(ux);
+          }
+          if (ey[qi] != 0) {
+            f.LocalGet(uy);
+            dist_addr(nxt, qv, cell);
+            f.F64Load(0);
+            f.F64Const(static_cast<double>(ey[qi])).F64Mul().F64Add().LocalSet(uy);
+          }
+        }
+        f.LocalGet(ux).LocalGet(rho).F64Div().LocalSet(ux);
+        f.LocalGet(uy).LocalGet(rho).F64Div().LocalSet(uy);
+        for (int qi = 0; qi < 9; qi++) {
+          uint32_t qv = f.AddLocal(kI32);
+          f.I32Const(qi).LocalSet(qv);
+          // eu = 3*(ex*ux + ey*uy)
+          f.F64Const(3.0);
+          f.F64Const(static_cast<double>(ex[qi])).LocalGet(ux).F64Mul();
+          f.F64Const(static_cast<double>(ey[qi])).LocalGet(uy).F64Mul().F64Add();
+          f.F64Mul().LocalSet(eu);
+          // feq = w*rho*(1 + eu + eu^2/2 - 1.5*(ux^2+uy^2))
+          f.F64Const(wt[qi]).LocalGet(rho).F64Mul();
+          f.F64Const(1.0).LocalGet(eu).F64Add();
+          f.LocalGet(eu).LocalGet(eu).F64Mul().F64Const(0.5).F64Mul().F64Add();
+          f.F64Const(1.5);
+          f.LocalGet(ux).LocalGet(ux).F64Mul().LocalGet(uy).LocalGet(uy).F64Mul().F64Add();
+          f.F64Mul().F64Sub();
+          f.F64Mul().LocalSet(feq);
+          // f = f + omega*(feq - f), omega = 1.2
+          dist_addr(nxt, qv, cell);
+          dist_addr(nxt, qv, cell);
+          f.F64Load(0);
+          f.F64Const(1.2);
+          f.LocalGet(feq);
+          dist_addr(nxt, qv, cell);
+          f.F64Load(0);
+          f.F64Sub();
+          f.F64Mul();
+          f.F64Add();
+          f.F64Store(0);
+        }
+      });
+      // Swap buffers.
+      f.LocalGet(cur).LocalSet(tmpb);
+      f.LocalGet(nxt).LocalSet(cur);
+      f.LocalGet(tmpb).LocalSet(nxt);
+    });
+    // Total mass (conserved-ish) as the checksum.
+    uint32_t mass = f.AddLocal(kF64);
+    f.ForI32(q, 0, 9, 1, [&] {
+      f.ForI32(cell, 0, cells, 1, [&] {
+        f.LocalGet(mass);
+        dist_addr(cur, q, cell);
+        f.F64Load(0);
+        f.F64Add().LocalSet(mass);
+      });
+    });
+    c.PrintResultF64("mass", mass);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 644.nab_s — nucleic-acid-builder regime: chain molecular dynamics with
+// bonded springs + nonbonded LJ within a window; the longest-running
+// benchmark as in Table 1.
+WorkloadSpec SpecNab(int scale) {
+  WorkloadSpec spec;
+  spec.name = "644.nab_s";
+  spec.output_files = {"/out.txt"};
+  int atoms = 420 * scale;
+  int steps = 5;
+  spec.build = [atoms, steps]() {
+    SpecCtx c("nab", 512);
+    const int n = atoms;
+    const uint32_t kPos = 1u << 20;
+    const uint32_t kVel = kPos + 24u * n;
+    const uint32_t kForce = kVel + 24u * n;
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t j = f.AddLocal(kI32);
+    uint32_t step = f.AddLocal(kI32);
+    uint32_t pa = f.AddLocal(kI32);
+    uint32_t pb = f.AddLocal(kI32);
+    uint32_t dx = f.AddLocal(kF64);
+    uint32_t dy = f.AddLocal(kF64);
+    uint32_t dz = f.AddLocal(kF64);
+    uint32_t r2 = f.AddLocal(kF64);
+    uint32_t r = f.AddLocal(kF64);
+    uint32_t fmag = f.AddLocal(kF64);
+    uint32_t energy = f.AddLocal(kF64);
+    auto pos_of = [&](uint32_t idx, uint32_t dst) {
+      f.LocalGet(idx).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+          .LocalSet(dst);
+    };
+    // Helix-ish initial chain.
+    f.ForI32(i, 0, n, 1, [&] {
+      pos_of(i, pa);
+      f.LocalGet(pa);
+      f.LocalGet(i).F64ConvertI32S().F64Const(0.34).F64Mul();
+      f.F64Store(0);
+      f.LocalGet(pa);
+      f.LocalGet(i).I32Const(17).I32Mul().I32Const(71).I32RemS().F64ConvertI32S()
+          .F64Const(71.0).F64Div();
+      f.F64Store(8);
+      f.LocalGet(pa);
+      f.LocalGet(i).I32Const(23).I32Mul().I32Const(73).I32RemS().F64ConvertI32S()
+          .F64Const(73.0).F64Div();
+      f.F64Store(16);
+      f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+          .LocalSet(pb);
+      f.LocalGet(pb).F64Const(0.0).F64Store(0);
+      f.LocalGet(pb).F64Const(0.0).F64Store(8);
+      f.LocalGet(pb).F64Const(0.0).F64Store(16);
+    });
+    f.ForI32(step, 0, steps, 1, [&] {
+      f.ForI32(i, 0, n, 1, [&] {
+        f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce)).I32Add()
+            .LocalSet(pa);
+        f.LocalGet(pa).F64Const(0.0).F64Store(0);
+        f.LocalGet(pa).F64Const(0.0).F64Store(8);
+        f.LocalGet(pa).F64Const(0.0).F64Store(16);
+      });
+      // Bonded springs along the chain: k*(r - r0)^2 with r0 = 0.35.
+      f.ForI32(i, 1, n, 1, [&] {
+        pos_of(i, pa);
+        uint32_t im1 = f.AddLocal(kI32);
+        f.LocalGet(i).I32Const(1).I32Sub().LocalSet(im1);
+        pos_of(im1, pb);
+        f.LocalGet(pa).F64Load(0);
+        f.LocalGet(pb).F64Load(0);
+        f.F64Sub().LocalSet(dx);
+        f.LocalGet(pa).F64Load(8);
+        f.LocalGet(pb).F64Load(8);
+        f.F64Sub().LocalSet(dy);
+        f.LocalGet(pa).F64Load(16);
+        f.LocalGet(pb).F64Load(16);
+        f.F64Sub().LocalSet(dz);
+        f.LocalGet(dx).LocalGet(dx).F64Mul();
+        f.LocalGet(dy).LocalGet(dy).F64Mul().F64Add();
+        f.LocalGet(dz).LocalGet(dz).F64Mul().F64Add().LocalSet(r2);
+        f.LocalGet(r2).F64Sqrt().LocalSet(r);
+        f.LocalGet(energy);
+        f.F64Const(50.0);
+        f.LocalGet(r).F64Const(0.35).F64Sub();
+        f.LocalGet(r).F64Const(0.35).F64Sub();
+        f.F64Mul().F64Mul().F64Add().LocalSet(energy);
+        // fmag = -100*(r - r0)/r
+        f.F64Const(-100.0).LocalGet(r).F64Const(0.35).F64Sub().F64Mul().LocalGet(r).F64Div()
+            .LocalSet(fmag);
+        auto apply = [&](int off, uint32_t dloc, uint32_t idxa, uint32_t idxb) {
+          f.LocalGet(idxa).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+              .I32Add();
+          f.LocalGet(idxa).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+              .I32Add().F64Load(off);
+          f.LocalGet(fmag).LocalGet(dloc).F64Mul().F64Add();
+          f.F64Store(off);
+          f.LocalGet(idxb).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+              .I32Add();
+          f.LocalGet(idxb).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce))
+              .I32Add().F64Load(off);
+          f.LocalGet(fmag).LocalGet(dloc).F64Mul().F64Sub();
+          f.F64Store(off);
+        };
+        apply(0, dx, i, im1);
+        apply(8, dy, i, im1);
+        apply(16, dz, i, im1);
+      });
+      // Nonbonded LJ within a +-24 neighbor window.
+      f.ForI32(i, 0, n, 1, [&] {
+        pos_of(i, pa);
+        uint32_t jmax = f.AddLocal(kI32);
+        f.LocalGet(i).I32Const(24).I32Add().LocalSet(jmax);
+        f.LocalGet(jmax).I32Const(n).I32GeS();
+        f.If([&] { f.I32Const(n - 1).LocalSet(jmax); });
+        f.LocalGet(i).I32Const(2).I32Add().LocalSet(j);
+        f.Block([&] {
+          f.LoopBlock([&] {
+            f.LocalGet(j).LocalGet(jmax).I32GtS().BrIf(1);
+            pos_of(j, pb);
+            f.LocalGet(pa).F64Load(0);
+            f.LocalGet(pb).F64Load(0);
+            f.F64Sub().LocalSet(dx);
+            f.LocalGet(pa).F64Load(8);
+            f.LocalGet(pb).F64Load(8);
+            f.F64Sub().LocalSet(dy);
+            f.LocalGet(pa).F64Load(16);
+            f.LocalGet(pb).F64Load(16);
+            f.F64Sub().LocalSet(dz);
+            f.LocalGet(dx).LocalGet(dx).F64Mul();
+            f.LocalGet(dy).LocalGet(dy).F64Mul().F64Add();
+            f.LocalGet(dz).LocalGet(dz).F64Mul().F64Add().LocalSet(r2);
+            f.LocalGet(r2).F64Const(0.01).F64Gt();
+            f.If([&] {
+              uint32_t inv6 = fmag;  // reuse
+              f.F64Const(1.0).LocalGet(r2).LocalGet(r2).F64Mul().LocalGet(r2).F64Mul()
+                  .F64Div().LocalSet(inv6);
+              f.LocalGet(energy);
+              f.F64Const(0.2);
+              f.LocalGet(inv6).LocalGet(inv6).F64Mul().LocalGet(inv6).F64Sub();
+              f.F64Mul().F64Add().LocalSet(energy);
+            });
+            f.LocalGet(j).I32Const(1).I32Add().LocalSet(j);
+            f.Br(0);
+          });
+        });
+      });
+      // Integrate.
+      f.ForI32(i, 0, n, 1, [&] {
+        auto integ = [&](int off) {
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add();
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+              .F64Load(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kForce)).I32Add()
+              .F64Load(off);
+          f.F64Const(0.0005).F64Mul().F64Add();
+          f.F64Store(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add();
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kPos)).I32Add()
+              .F64Load(off);
+          f.LocalGet(i).I32Const(24).I32Mul().I32Const(static_cast<int32_t>(kVel)).I32Add()
+              .F64Load(off);
+          f.F64Const(0.0005).F64Mul().F64Add();
+          f.F64Store(off);
+        };
+        integ(0);
+        integ(8);
+        integ(16);
+      });
+    });
+    uint32_t out = f.AddLocal(kF64);
+    f.LocalGet(energy).LocalSet(out);
+    c.PrintResultF64("energy", out);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+}  // namespace nsf

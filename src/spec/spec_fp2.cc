@@ -1,0 +1,567 @@
+// SPEC-like floating-point workloads, part 2: 450.soplex, 453.povray,
+// 482.sphinx3.
+#include "src/spec/spec_fp.h"
+
+#include "src/spec/specctx.h"
+
+namespace nsf {
+
+namespace {
+const auto kI32 = ValType::kI32;
+const auto kF64 = ValType::kF64;
+}  // namespace
+
+// 450.soplex — dense simplex: entering-column selection, ratio test, and
+// tableau pivots. FP with data-dependent control flow.
+WorkloadSpec SpecSoplex(int scale) {
+  WorkloadSpec spec;
+  spec.name = "450.soplex";
+  spec.output_files = {"/out.txt"};
+  int vars = 60 * scale;
+  int cons = 40 * scale;
+  spec.build = [vars, cons]() {
+    SpecCtx c("soplex", 512);
+    const int n = vars;   // columns (incl. slack below)
+    const int m = cons;   // rows
+    const int width = n + m + 1;  // + RHS column
+    const uint32_t kTab = 1u << 20;   // (m+1) x width tableau, row 0 = objective
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t j = f.AddLocal(kI32);
+    uint32_t it = f.AddLocal(kI32);
+    uint32_t piv_col = f.AddLocal(kI32);
+    uint32_t piv_row = f.AddLocal(kI32);
+    uint32_t best = f.AddLocal(kF64);
+    uint32_t ratio = f.AddLocal(kF64);
+    uint32_t pv = f.AddLocal(kF64);
+    uint32_t factor = f.AddLocal(kF64);
+    uint32_t iterations = f.AddLocal(kI32);
+    auto addr = [&](uint32_t row, uint32_t col) {
+      f.LocalGet(row).I32Const(width).I32Mul().LocalGet(col).I32Add();
+      f.I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kTab)).I32Add();
+    };
+    auto ld = [&](uint32_t row, uint32_t col) {
+      addr(row, col);
+      f.F64Load(0);
+    };
+    // Build a feasible LP: max c.x st A x <= b, x >= 0, slack basis.
+    f.ForI32(i, 0, m + 1, 1, [&] {
+      f.ForI32(j, 0, width, 1, [&] {
+        addr(i, j);
+        f.F64Const(0.0);
+        f.F64Store(0);
+      });
+    });
+    // Objective row: -c (simplex minimizes the reduced row).
+    f.ForI32(j, 0, n, 1, [&] {
+      addr(i, j);  // i == m+1? ensure i holds 0: use explicit zero local
+      f.Drop();
+      uint32_t zero = f.AddLocal(kI32);
+      f.I32Const(0).LocalSet(zero);
+      addr(zero, j);
+      f.LocalGet(j).I32Const(7).I32Mul().I32Const(23).I32RemS().I32Const(1).I32Add()
+          .F64ConvertI32S().F64Neg();
+      f.F64Store(0);
+    });
+    // Constraint rows: A entries, slack identity, positive RHS.
+    f.ForI32(i, 1, m + 1, 1, [&] {
+      f.ForI32(j, 0, n, 1, [&] {
+        addr(i, j);
+        f.LocalGet(i).I32Const(13).I32Mul().LocalGet(j).I32Const(7).I32Mul().I32Add()
+            .I32Const(19).I32RemS().I32Const(1).I32Add().F64ConvertI32S();
+        f.F64Store(0);
+      });
+      // Slack column n+i-1.
+      uint32_t sc = f.AddLocal(kI32);
+      f.LocalGet(i).I32Const(n - 1).I32Add().LocalSet(sc);
+      addr(i, sc);
+      f.F64Const(1.0);
+      f.F64Store(0);
+      // RHS.
+      uint32_t rhs = f.AddLocal(kI32);
+      f.I32Const(width - 1).LocalSet(rhs);
+      addr(i, rhs);
+      f.LocalGet(i).I32Const(29).I32Mul().I32Const(37).I32RemS().I32Const(40).I32Add()
+          .F64ConvertI32S();
+      f.F64Store(0);
+    });
+    // Simplex iterations (bounded).
+    uint32_t rhs_col = f.AddLocal(kI32);
+    f.I32Const(width - 1).LocalSet(rhs_col);
+    uint32_t zero_r = f.AddLocal(kI32);
+    f.I32Const(0).LocalSet(zero_r);
+    f.ForI32(it, 0, 2 * m, 1, [&] {
+      // Entering column: most negative objective entry.
+      f.I32Const(-1).LocalSet(piv_col);
+      f.F64Const(-1e-9).LocalSet(best);
+      f.ForI32(j, 0, width - 1, 1, [&] {
+        ld(zero_r, j);
+        f.LocalGet(best).F64Lt();
+        f.If([&] {
+          ld(zero_r, j);
+          f.LocalSet(best);
+          f.LocalGet(j).LocalSet(piv_col);
+        });
+      });
+      f.LocalGet(piv_col).I32Const(0).I32LtS();
+      f.If([&] { f.Br(2); });  // optimal: exit the iteration block
+      // Ratio test.
+      f.I32Const(-1).LocalSet(piv_row);
+      f.F64Const(1e30).LocalSet(ratio);
+      f.ForI32(i, 1, m + 1, 1, [&] {
+        ld(i, piv_col);
+        f.F64Const(1e-9).F64Gt();
+        f.If([&] {
+          ld(i, rhs_col);
+          ld(i, piv_col);
+          f.F64Div().LocalSet(pv);
+          f.LocalGet(pv).LocalGet(ratio).F64Lt();
+          f.If([&] {
+            f.LocalGet(pv).LocalSet(ratio);
+            f.LocalGet(i).LocalSet(piv_row);
+          });
+        });
+      });
+      f.LocalGet(piv_row).I32Const(0).I32LtS();
+      f.If([&] { f.Br(2); });  // unbounded: exit
+      // Pivot: normalize pivot row, eliminate the column elsewhere.
+      ld(piv_row, piv_col);
+      f.LocalSet(pv);
+      f.ForI32(j, 0, width, 1, [&] {
+        addr(piv_row, j);
+        ld(piv_row, j);
+        f.LocalGet(pv).F64Div();
+        f.F64Store(0);
+      });
+      f.ForI32(i, 0, m + 1, 1, [&] {
+        f.LocalGet(i).LocalGet(piv_row).I32Ne();
+        f.If([&] {
+          ld(i, piv_col);
+          f.LocalSet(factor);
+          f.LocalGet(factor).F64Abs().F64Const(1e-12).F64Gt();
+          f.If([&] {
+            f.ForI32(j, 0, width, 1, [&] {
+              addr(i, j);
+              ld(i, j);
+              f.LocalGet(factor);
+              ld(piv_row, j);
+              f.F64Mul().F64Sub();
+              f.F64Store(0);
+            });
+          });
+        });
+      });
+      f.LocalGet(iterations).I32Const(1).I32Add().LocalSet(iterations);
+    });
+    uint32_t objective = f.AddLocal(kF64);
+    ld(zero_r, rhs_col);
+    f.LocalSet(objective);
+    c.PrintResult("iterations", iterations);
+    c.PrintResultF64("objective", objective);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 453.povray — recursive ray tracer over spheres + ground plane, with
+// reflections. Call-dense FP with sqrt everywhere; writes a PGM image.
+WorkloadSpec SpecPovray(int scale) {
+  WorkloadSpec spec;
+  spec.name = "453.povray";
+  spec.output_files = {"/out.txt", "/image.pgm"};
+  int res = 40 * scale;
+  spec.build = [res]() {
+    SpecCtx c("povray", 512);
+    const int W = res;
+    const int H = res;
+    const int kNumSpheres = 5;
+    const uint32_t kSpheres = 1u << 20;   // cx,cy,cz,r,reflect per sphere (5 f64)
+    const uint32_t kImage = kSpheres + 8 * 5 * kNumSpheres;
+    c.mb().AddData(320, std::string("/image.pgm"));
+
+    // sphere_hit(ray 6 f64 via globals? pass via memory) — signature:
+    // hit_t(ox,oy,oz,dx,dy,dz, sphere_index) -> t (1e30 = miss).
+    auto& hit = c.mb().AddInternalFunction(
+        "sphere_hit", {kF64, kF64, kF64, kF64, kF64, kF64, kI32}, {kF64});
+    {
+      auto& f = hit;
+      uint32_t cx = f.AddLocal(kF64);
+      uint32_t cy = f.AddLocal(kF64);
+      uint32_t cz = f.AddLocal(kF64);
+      uint32_t rr = f.AddLocal(kF64);
+      uint32_t b = f.AddLocal(kF64);
+      uint32_t cc = f.AddLocal(kF64);
+      uint32_t disc = f.AddLocal(kF64);
+      uint32_t t = f.AddLocal(kF64);
+      auto sph = [&](int field) {
+        f.LocalGet(6).I32Const(40).I32Mul().I32Const(8 * field).I32Add()
+            .I32Const(static_cast<int32_t>(kSpheres)).I32Add();
+        f.F64Load(0);
+      };
+      sph(0);
+      f.LocalGet(0).F64Sub().LocalSet(cx);  // cx = sphere.x - ox
+      sph(1);
+      f.LocalGet(1).F64Sub().LocalSet(cy);
+      sph(2);
+      f.LocalGet(2).F64Sub().LocalSet(cz);
+      sph(3);
+      f.LocalSet(rr);
+      // b = dot(d, oc); cc = |oc|^2 - r^2; disc = b^2 - cc.
+      f.LocalGet(3).LocalGet(cx).F64Mul();
+      f.LocalGet(4).LocalGet(cy).F64Mul().F64Add();
+      f.LocalGet(5).LocalGet(cz).F64Mul().F64Add().LocalSet(b);
+      f.LocalGet(cx).LocalGet(cx).F64Mul();
+      f.LocalGet(cy).LocalGet(cy).F64Mul().F64Add();
+      f.LocalGet(cz).LocalGet(cz).F64Mul().F64Add();
+      f.LocalGet(rr).LocalGet(rr).F64Mul().F64Sub().LocalSet(cc);
+      f.LocalGet(b).LocalGet(b).F64Mul().LocalGet(cc).F64Sub().LocalSet(disc);
+      f.LocalGet(disc).F64Const(0.0).F64Lt();
+      f.If([&] { f.F64Const(1e30).Return(); });
+      f.LocalGet(b).LocalGet(disc).F64Sqrt().F64Sub().LocalSet(t);
+      f.LocalGet(t).F64Const(0.001).F64Lt();
+      f.If([&] { f.F64Const(1e30).Return(); });
+      f.LocalGet(t);
+    }
+
+    // trace(ox..dz, depth) -> brightness [0,1]: nearest sphere or plane,
+    // diffuse light + recursive reflection.
+    auto& trace = c.mb().AddInternalFunction(
+        "trace_ray", {kF64, kF64, kF64, kF64, kF64, kF64, kI32}, {kF64});
+    {
+      auto& f = trace;
+      uint32_t best_t = f.AddLocal(kF64);
+      uint32_t best_s = f.AddLocal(kI32);
+      uint32_t si = f.AddLocal(kI32);
+      uint32_t t = f.AddLocal(kF64);
+      uint32_t px = f.AddLocal(kF64);
+      uint32_t py = f.AddLocal(kF64);
+      uint32_t pz = f.AddLocal(kF64);
+      uint32_t nx = f.AddLocal(kF64);
+      uint32_t ny = f.AddLocal(kF64);
+      uint32_t nz = f.AddLocal(kF64);
+      uint32_t nl = f.AddLocal(kF64);
+      uint32_t diff = f.AddLocal(kF64);
+      uint32_t refl = f.AddLocal(kF64);
+      uint32_t dn = f.AddLocal(kF64);
+      f.F64Const(1e30).LocalSet(best_t);
+      f.I32Const(-1).LocalSet(best_s);
+      f.ForI32(si, 0, kNumSpheres, 1, [&] {
+        f.LocalGet(0).LocalGet(1).LocalGet(2).LocalGet(3).LocalGet(4).LocalGet(5);
+        f.LocalGet(si);
+        f.Call(hit.index()).LocalSet(t);
+        f.LocalGet(t).LocalGet(best_t).F64Lt();
+        f.If([&] {
+          f.LocalGet(t).LocalSet(best_t);
+          f.LocalGet(si).LocalSet(best_s);
+        });
+      });
+      // Ground plane y = -1 when dy < 0.
+      f.LocalGet(4).F64Const(-1e-6).F64Lt();
+      f.If([&] {
+        // t = (-1 - oy) / dy
+        f.F64Const(-1.0).LocalGet(1).F64Sub().LocalGet(4).F64Div().LocalSet(t);
+        f.LocalGet(t).F64Const(0.001).F64Gt();
+        f.LocalGet(t).LocalGet(best_t).F64Lt().I32And();
+        f.If([&] {
+          f.LocalGet(t).LocalSet(best_t);
+          f.I32Const(-2).LocalSet(best_s);  // plane marker
+        });
+      });
+      f.LocalGet(best_s).I32Const(-1).I32Eq();
+      f.If([&] {
+        // Sky gradient by dy.
+        f.F64Const(0.25).LocalGet(4).F64Const(0.25).F64Mul().F64Add().Return();
+      });
+      // Hit point.
+      f.LocalGet(0).LocalGet(3).LocalGet(best_t).F64Mul().F64Add().LocalSet(px);
+      f.LocalGet(1).LocalGet(4).LocalGet(best_t).F64Mul().F64Add().LocalSet(py);
+      f.LocalGet(2).LocalGet(5).LocalGet(best_t).F64Mul().F64Add().LocalSet(pz);
+      f.LocalGet(best_s).I32Const(-2).I32Eq();
+      f.IfElse(
+          [&] {
+            // Plane: checkerboard diffuse, normal up.
+            f.F64Const(0.0).LocalSet(nx);
+            f.F64Const(1.0).LocalSet(ny);
+            f.F64Const(0.0).LocalSet(nz);
+            // checker = (floor(px) + floor(pz)) & 1
+            f.LocalGet(px).Op(Opcode::kF64Floor).I32TruncF64S();
+            f.LocalGet(pz).Op(Opcode::kF64Floor).I32TruncF64S();
+            f.I32Add().I32Const(1).I32And();
+            f.IfElse(ValType::kF64, [&] { f.F64Const(0.85); }, [&] { f.F64Const(0.25); });
+            f.LocalSet(diff);
+            f.F64Const(0.15).LocalSet(refl);
+          },
+          [&] {
+            // Sphere: normal = (p - c)/r; diffuse 0.6; reflect from table.
+            auto sph = [&](int field) {
+              f.LocalGet(best_s).I32Const(40).I32Mul().I32Const(8 * field).I32Add()
+                  .I32Const(static_cast<int32_t>(kSpheres)).I32Add();
+              f.F64Load(0);
+            };
+            f.LocalGet(px);
+            sph(0);
+            f.F64Sub().LocalSet(nx);
+            f.LocalGet(py);
+            sph(1);
+            f.F64Sub().LocalSet(ny);
+            f.LocalGet(pz);
+            sph(2);
+            f.F64Sub().LocalSet(nz);
+            f.LocalGet(nx).LocalGet(nx).F64Mul();
+            f.LocalGet(ny).LocalGet(ny).F64Mul().F64Add();
+            f.LocalGet(nz).LocalGet(nz).F64Mul().F64Add().F64Sqrt().LocalSet(nl);
+            f.LocalGet(nx).LocalGet(nl).F64Div().LocalSet(nx);
+            f.LocalGet(ny).LocalGet(nl).F64Div().LocalSet(ny);
+            f.LocalGet(nz).LocalGet(nl).F64Div().LocalSet(nz);
+            f.F64Const(0.6).LocalSet(diff);
+            sph(4);
+            f.LocalSet(refl);
+          });
+      // Light from direction L = normalize(0.5, 1, -0.3) (precomputed).
+      const double lx = 0.4170288281141495;
+      const double ly = 0.834057656228299;
+      const double lz = -0.2502172968684897;
+      f.LocalGet(nx).F64Const(lx).F64Mul();
+      f.LocalGet(ny).F64Const(ly).F64Mul().F64Add();
+      f.LocalGet(nz).F64Const(lz).F64Mul().F64Add().LocalSet(nl);
+      f.LocalGet(nl).F64Const(0.0).F64Lt();
+      f.If([&] { f.F64Const(0.0).LocalSet(nl); });
+      f.LocalGet(diff).LocalGet(nl).F64Mul().LocalSet(diff);
+      // Reflection.
+      f.LocalGet(6).I32Const(0).I32GtS();
+      f.LocalGet(refl).F64Const(0.01).F64Gt().I32And();
+      f.If([&] {
+        // r = d - 2(d.n)n
+        f.LocalGet(3).LocalGet(nx).F64Mul();
+        f.LocalGet(4).LocalGet(ny).F64Mul().F64Add();
+        f.LocalGet(5).LocalGet(nz).F64Mul().F64Add().LocalSet(dn);
+        f.LocalGet(px).LocalGet(py).LocalGet(pz);
+        f.LocalGet(3).F64Const(2.0).LocalGet(dn).F64Mul().LocalGet(nx).F64Mul().F64Sub();
+        f.LocalGet(4).F64Const(2.0).LocalGet(dn).F64Mul().LocalGet(ny).F64Mul().F64Sub();
+        f.LocalGet(5).F64Const(2.0).LocalGet(dn).F64Mul().LocalGet(nz).F64Mul().F64Sub();
+        f.LocalGet(6).I32Const(1).I32Sub();
+        f.Call(trace.index());
+        f.LocalGet(refl).F64Mul();
+        f.LocalGet(diff).F64Add().LocalSet(diff);
+      });
+      f.LocalGet(diff);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t x = f.AddLocal(kI32);
+    uint32_t y = f.AddLocal(kI32);
+    uint32_t img_fd = f.AddLocal(kI32);
+    uint32_t bright = f.AddLocal(kF64);
+    uint32_t total = f.AddLocal(kI32);
+    uint32_t dxl = f.AddLocal(kF64);
+    uint32_t dyl = f.AddLocal(kF64);
+    uint32_t dl = f.AddLocal(kF64);
+    // Scene: 5 spheres with deterministic placement.
+    for (int si = 0; si < kNumSpheres; si++) {
+      double cx = -2.0 + si * 1.1;
+      double cy = 0.2 + 0.3 * ((si * 7) % 3);
+      double cz = 3.0 + 0.8 * si;
+      double r = 0.5 + 0.1 * (si % 3);
+      double refl = 0.2 + 0.12 * si;
+      double vals[5] = {cx, cy, cz, r, refl};
+      for (int k = 0; k < 5; k++) {
+        f.I32Const(static_cast<int32_t>(kSpheres + 40 * si + 8 * k));
+        f.F64Const(vals[k]);
+        f.F64Store(0);
+      }
+    }
+    f.I32Const(320).I32Const(0x241).Call(c.lib().sys.open).LocalSet(img_fd);
+    f.ForI32(y, 0, H, 1, [&] {
+      f.ForI32(x, 0, W, 1, [&] {
+        // Camera ray through pixel (normalized; camera at origin).
+        f.LocalGet(x).F64ConvertI32S().F64Const(static_cast<double>(W) / 2).F64Sub()
+            .F64Const(static_cast<double>(W)).F64Div().LocalSet(dxl);
+        f.F64Const(0.5).LocalGet(y).F64ConvertI32S().F64Const(static_cast<double>(H)).F64Div()
+            .F64Sub().LocalSet(dyl);
+        // normalize (dx, dy, 1)
+        f.LocalGet(dxl).LocalGet(dxl).F64Mul();
+        f.LocalGet(dyl).LocalGet(dyl).F64Mul().F64Add();
+        f.F64Const(1.0).F64Add().F64Sqrt().LocalSet(dl);
+        f.F64Const(0.0).F64Const(0.0).F64Const(0.0);
+        f.LocalGet(dxl).LocalGet(dl).F64Div();
+        f.LocalGet(dyl).LocalGet(dl).F64Div();
+        f.F64Const(1.0).LocalGet(dl).F64Div();
+        f.I32Const(3);  // reflection depth
+        f.Call(trace.index()).LocalSet(bright);
+        f.LocalGet(bright).F64Const(1.0).F64Gt();
+        f.If([&] { f.F64Const(1.0).LocalSet(bright); });
+        // Pixel byte.
+        uint32_t pix = f.AddLocal(kI32);
+        f.LocalGet(bright).F64Const(255.0).F64Mul().I32TruncF64S().LocalSet(pix);
+        f.I32Const(static_cast<int32_t>(kImage));
+        f.LocalGet(y).I32Const(W).I32Mul().LocalGet(x).I32Add().I32Add();
+        f.LocalGet(pix);
+        f.I32Store8(0);
+        f.LocalGet(total).LocalGet(pix).I32Add().LocalSet(total);
+      });
+    });
+    f.LocalGet(img_fd).I32Const(static_cast<int32_t>(kImage)).I32Const(W * H);
+    f.Call(c.lib().sys.write).Drop();
+    f.LocalGet(img_fd).Call(c.lib().sys.close).Drop();
+    c.PrintResult("brightness_sum", total);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 482.sphinx3 — speech-recognition regime: GMM log-likelihood evaluation
+// (dense dot products) followed by a Viterbi pass over an HMM.
+WorkloadSpec SpecSphinx3(int scale) {
+  WorkloadSpec spec;
+  spec.name = "482.sphinx3";
+  spec.output_files = {"/out.txt"};
+  int frames = 60 * scale;
+  spec.build = [frames]() {
+    SpecCtx c("sphinx3", 512);
+    const int T = frames;
+    const int S = 24;   // HMM states
+    const int M = 4;    // mixtures per state
+    const int D = 13;   // feature dimension
+    const uint32_t kFeat = 1u << 20;                    // T x D
+    const uint32_t kMean = kFeat + 8u * T * D;          // S*M x D
+    const uint32_t kVar = kMean + 8u * S * M * D;       // S*M x D (inverse vars)
+    const uint32_t kScore = kVar + 8u * S * M * D;      // T x S emission scores
+    const uint32_t kDp = kScore + 8u * T * S;           // Viterbi scores (2 rows)
+
+    // gmm_score(t, s) -> max-mixture log likelihood (negative quadratic).
+    auto& gmm = c.mb().AddInternalFunction("gmm_score", {kI32, kI32}, {kF64});
+    {
+      auto& f = gmm;
+      uint32_t mix = f.AddLocal(kI32);
+      uint32_t d = f.AddLocal(kI32);
+      uint32_t acc = f.AddLocal(kF64);
+      uint32_t bestv = f.AddLocal(kF64);
+      uint32_t diff = f.AddLocal(kF64);
+      f.F64Const(-1e30).LocalSet(bestv);
+      f.ForI32(mix, 0, M, 1, [&] {
+        f.F64Const(0.0).LocalSet(acc);
+        f.ForI32(d, 0, D, 1, [&] {
+          // diff = feat[t][d] - mean[(s*M+mix)][d]
+          f.LocalGet(0).I32Const(D).I32Mul().LocalGet(d).I32Add().I32Const(3).I32Shl()
+              .I32Const(static_cast<int32_t>(kFeat)).I32Add().F64Load(0);
+          f.LocalGet(1).I32Const(M).I32Mul().LocalGet(mix).I32Add().I32Const(D).I32Mul()
+              .LocalGet(d).I32Add().I32Const(3).I32Shl()
+              .I32Const(static_cast<int32_t>(kMean)).I32Add().F64Load(0);
+          f.F64Sub().LocalSet(diff);
+          // acc -= diff^2 * invvar
+          f.LocalGet(acc);
+          f.LocalGet(diff).LocalGet(diff).F64Mul();
+          f.LocalGet(1).I32Const(M).I32Mul().LocalGet(mix).I32Add().I32Const(D).I32Mul()
+              .LocalGet(d).I32Add().I32Const(3).I32Shl()
+              .I32Const(static_cast<int32_t>(kVar)).I32Add().F64Load(0);
+          f.F64Mul().F64Sub().LocalSet(acc);
+        });
+        f.LocalGet(acc).LocalGet(bestv).F64Gt();
+        f.If([&] { f.LocalGet(acc).LocalSet(bestv); });
+      });
+      f.LocalGet(bestv);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t t = f.AddLocal(kI32);
+    uint32_t s = f.AddLocal(kI32);
+    uint32_t d = f.AddLocal(kI32);
+    uint32_t prev = f.AddLocal(kI32);
+    uint32_t bestp = f.AddLocal(kF64);
+    uint32_t cand = f.AddLocal(kF64);
+    // Synthesize features / means / inverse variances.
+    f.ForI32(t, 0, T, 1, [&] {
+      f.ForI32(d, 0, D, 1, [&] {
+        f.LocalGet(t).I32Const(D).I32Mul().LocalGet(d).I32Add().I32Const(3).I32Shl()
+            .I32Const(static_cast<int32_t>(kFeat)).I32Add();
+        f.LocalGet(t).I32Const(17).I32Mul().LocalGet(d).I32Const(7).I32Mul().I32Add()
+            .I32Const(61).I32RemS().F64ConvertI32S().F64Const(61.0).F64Div();
+        f.F64Store(0);
+      });
+    });
+    f.ForI32(s, 0, S * M, 1, [&] {
+      f.ForI32(d, 0, D, 1, [&] {
+        f.LocalGet(s).I32Const(D).I32Mul().LocalGet(d).I32Add().I32Const(3).I32Shl()
+            .I32Const(static_cast<int32_t>(kMean)).I32Add();
+        f.LocalGet(s).I32Const(11).I32Mul().LocalGet(d).I32Const(5).I32Mul().I32Add()
+            .I32Const(53).I32RemS().F64ConvertI32S().F64Const(53.0).F64Div();
+        f.F64Store(0);
+        f.LocalGet(s).I32Const(D).I32Mul().LocalGet(d).I32Add().I32Const(3).I32Shl()
+            .I32Const(static_cast<int32_t>(kVar)).I32Add();
+        f.LocalGet(s).LocalGet(d).I32Add().I32Const(7).I32RemS().I32Const(1).I32Add()
+            .F64ConvertI32S().F64Const(4.0).F64Div();
+        f.F64Store(0);
+      });
+    });
+    // Emission scores.
+    f.ForI32(t, 0, T, 1, [&] {
+      f.ForI32(s, 0, S, 1, [&] {
+        f.LocalGet(t).I32Const(S).I32Mul().LocalGet(s).I32Add().I32Const(3).I32Shl()
+            .I32Const(static_cast<int32_t>(kScore)).I32Add();
+        f.LocalGet(t).LocalGet(s).Call(gmm.index());
+        f.F64Store(0);
+      });
+    });
+    // Viterbi: left-to-right HMM, transitions stay or advance.
+    auto dp_addr = [&](uint32_t row_imm, uint32_t col_local) {
+      f.LocalGet(col_local).I32Const(3).I32Shl()
+          .I32Const(static_cast<int32_t>(kDp + 8 * S * row_imm)).I32Add();
+    };
+    f.ForI32(s, 0, S, 1, [&] {
+      dp_addr(0, s);
+      f.F64Const(-1e30);
+      f.F64Store(0);
+    });
+    uint32_t z = f.AddLocal(kI32);
+    f.I32Const(0).LocalSet(z);
+    dp_addr(0, z);
+    f.I32Const(0).I32Const(S).I32Mul().I32Const(0).I32Add().I32Const(3).I32Shl()
+        .I32Const(static_cast<int32_t>(kScore)).I32Add().F64Load(0);
+    f.F64Store(0);
+    f.ForI32(t, 1, T, 1, [&] {
+      f.ForI32(s, 0, S, 1, [&] {
+        // best of stay / advance.
+        dp_addr(0, s);
+        f.F64Load(0).F64Const(-0.105).F64Add().LocalSet(bestp);  // stay penalty
+        f.LocalGet(s).I32Const(0).I32GtS();
+        f.If([&] {
+          f.LocalGet(s).I32Const(1).I32Sub().LocalSet(prev);
+          dp_addr(0, prev);
+          f.F64Load(0).F64Const(-0.223).F64Add().LocalSet(cand);  // advance
+          f.LocalGet(cand).LocalGet(bestp).F64Gt();
+          f.If([&] { f.LocalGet(cand).LocalSet(bestp); });
+        });
+        dp_addr(1, s);
+        f.LocalGet(bestp);
+        f.LocalGet(t).I32Const(S).I32Mul().LocalGet(s).I32Add().I32Const(3).I32Shl()
+            .I32Const(static_cast<int32_t>(kScore)).I32Add().F64Load(0);
+        f.F64Add();
+        f.F64Store(0);
+      });
+      // Copy row 1 -> row 0.
+      f.ForI32(s, 0, S, 1, [&] {
+        dp_addr(0, s);
+        dp_addr(1, s);
+        f.F64Load(0);
+        f.F64Store(0);
+      });
+    });
+    uint32_t final_score = f.AddLocal(kF64);
+    uint32_t last = f.AddLocal(kI32);
+    f.I32Const(S - 1).LocalSet(last);
+    dp_addr(0, last);
+    f.F64Load(0).LocalSet(final_score);
+    c.PrintResultF64("viterbi", final_score);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+}  // namespace nsf

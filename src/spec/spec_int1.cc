@@ -1,0 +1,595 @@
+// SPEC-like integer workloads, part 1: 401.bzip2, 429.mcf, 445.gobmk,
+// 458.sjeng.
+#include "src/spec/spec_int.h"
+
+#include "src/spec/specctx.h"
+#include "src/support/rng.h"
+
+namespace nsf {
+
+namespace {
+const auto kI32 = ValType::kI32;
+}  // namespace
+
+// 401.bzip2 — block compression: move-to-front transform + run-length
+// encoding + order-0 frequency "entropy" accounting, over an input file, in
+// multiple passes. Integer, table-driven, branchy.
+WorkloadSpec SpecBzip2(int scale) {
+  WorkloadSpec spec;
+  spec.name = "401.bzip2";
+  spec.output_files = {"/out.txt"};
+  int input_size = 48 * 1024 * scale;
+  spec.setup = [input_size](BrowsixKernel& kernel) {
+    // Compressible synthetic text: repeated words with drift.
+    Rng rng(42);
+    std::vector<uint8_t> data;
+    data.reserve(input_size);
+    const char* words[] = {"the ", "quick ", "brown ", "fox ", "jumps ", "over ", "lazy "};
+    while (data.size() < static_cast<size_t>(input_size)) {
+      const char* w = words[rng.NextBelow(7)];
+      for (const char* p = w; *p; p++) {
+        data.push_back(static_cast<uint8_t>(*p));
+      }
+      if (rng.NextBelow(13) == 0) {
+        data.push_back('\n');
+      }
+    }
+    data.resize(input_size);
+    kernel.fs().WriteFile("/input.txt", data);
+  };
+  spec.build = [input_size]() {
+    SpecCtx c("bzip2");
+    c.mb().AddData(300, std::string("/input.txt"));
+    const uint32_t kIn = 1u << 20;       // input buffer
+    const uint32_t kMtf = 3u << 20;      // MTF output
+    const uint32_t kRle = 5u << 20;      // RLE output
+    const uint32_t kTable = 9u << 20;    // MTF symbol table (256 entries)
+    const uint32_t kFreq = kTable + 2048;  // frequency table
+
+    // mtf_block(src, dst, n) -> dst bytes written (== n).
+    auto& mtf = c.mb().AddInternalFunction("mtf_block", {kI32, kI32, kI32}, {kI32});
+    {
+      auto& f = mtf;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t sym = f.AddLocal(kI32);
+      uint32_t j = f.AddLocal(kI32);
+      uint32_t prev = f.AddLocal(kI32);
+      uint32_t cur = f.AddLocal(kI32);
+      // Init table[k] = k.
+      f.ForI32(j, 0, 256, 1, [&] {
+        f.LocalGet(j).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kTable)).I32Add();
+        f.LocalGet(j);
+        f.I32Store(0);
+      });
+      f.ForI32Dyn(i, 0, 2, 1, [&] {
+        f.LocalGet(0).LocalGet(i).I32Add().I32Load8U(0).LocalSet(sym);
+        // Find rank j of sym; shift table entries down (the MTF inner loop —
+        // the branchy hot path).
+        f.I32Const(0).LocalSet(j);
+        f.LocalGet(sym).LocalSet(prev);
+        f.Block([&] {
+          f.LoopBlock([&] {
+            f.LocalGet(j).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kTable)).I32Add();
+            f.I32Load(0).LocalSet(cur);
+            // swap table[j] <- prev
+            f.LocalGet(j).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kTable)).I32Add();
+            f.LocalGet(prev);
+            f.I32Store(0);
+            f.LocalGet(cur).LocalGet(sym).I32Eq().BrIf(1);
+            f.LocalGet(cur).LocalSet(prev);
+            f.LocalGet(j).I32Const(1).I32Add().LocalSet(j);
+            f.Br(0);
+          });
+        });
+        // table[0] = sym; emit rank j.
+        f.I32Const(static_cast<int32_t>(kTable)).LocalGet(sym).I32Store(0);
+        f.LocalGet(1).LocalGet(i).I32Add().LocalGet(j).I32Store8(0);
+      });
+      f.LocalGet(2);
+    }
+
+    // rle_block(src, dst, n) -> bytes written.
+    auto& rle = c.mb().AddInternalFunction("rle_block", {kI32, kI32, kI32}, {kI32});
+    {
+      auto& f = rle;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t o = f.AddLocal(kI32);
+      uint32_t run = f.AddLocal(kI32);
+      uint32_t b = f.AddLocal(kI32);
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(i).LocalGet(2).I32GeS().BrIf(1);
+          f.LocalGet(0).LocalGet(i).I32Add().I32Load8U(0).LocalSet(b);
+          f.I32Const(1).LocalSet(run);
+          f.Block([&] {
+            f.LoopBlock([&] {
+              f.LocalGet(i).LocalGet(run).I32Add().LocalGet(2).I32GeS().BrIf(1);
+              f.LocalGet(run).I32Const(255).I32GeS().BrIf(1);
+              f.LocalGet(0).LocalGet(i).I32Add().LocalGet(run).I32Add().I32Load8U(0);
+              f.LocalGet(b).I32Ne().BrIf(1);
+              f.LocalGet(run).I32Const(1).I32Add().LocalSet(run);
+              f.Br(0);
+            });
+          });
+          f.LocalGet(1).LocalGet(o).I32Add().LocalGet(b).I32Store8(0);
+          f.LocalGet(1).LocalGet(o).I32Add().LocalGet(run).I32Store8(1);
+          f.LocalGet(o).I32Const(2).I32Add().LocalSet(o);
+          f.LocalGet(i).LocalGet(run).I32Add().LocalSet(i);
+          f.Br(0);
+        });
+      });
+      f.LocalGet(o);
+    }
+
+    // entropy_bits(src, n) -> approximate code length in bits: counts symbol
+    // frequencies, charges (32 - clz(freq_max/freq)) bits per symbol class.
+    auto& ent = c.mb().AddInternalFunction("entropy_bits", {kI32, kI32}, {kI32});
+    {
+      auto& f = ent;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t bits = f.AddLocal(kI32);
+      uint32_t fr = f.AddLocal(kI32);
+      f.ForI32(i, 0, 256, 1, [&] {
+        f.LocalGet(i).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kFreq)).I32Add();
+        f.I32Const(0);
+        f.I32Store(0);
+      });
+      f.ForI32Dyn(i, 0, 1, 1, [&] {
+        uint32_t sym = f.AddLocal(kI32);
+        f.LocalGet(0).LocalGet(i).I32Add().I32Load8U(0).LocalSet(sym);
+        f.LocalGet(sym).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kFreq)).I32Add();
+        f.LocalGet(sym).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kFreq)).I32Add();
+        f.I32Load(0).I32Const(1).I32Add();
+        f.I32Store(0);
+      });
+      f.ForI32(i, 0, 256, 1, [&] {
+        f.LocalGet(i).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kFreq)).I32Add();
+        f.I32Load(0).LocalSet(fr);
+        f.LocalGet(fr).If([&] {
+          // bits += freq * (33 - clz(freq))  (shorter codes for common syms)
+          f.LocalGet(bits);
+          f.LocalGet(fr);
+          f.I32Const(33).LocalGet(fr).Op(Opcode::kI32Clz).I32Sub();
+          f.I32Mul().I32Add().LocalSet(bits);
+        });
+      });
+      f.LocalGet(bits);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t in_fd = f.AddLocal(kI32);
+    uint32_t n = f.AddLocal(kI32);
+    uint32_t mlen = f.AddLocal(kI32);
+    uint32_t rlen = f.AddLocal(kI32);
+    uint32_t total_bits = f.AddLocal(kI32);
+    uint32_t pass = f.AddLocal(kI32);
+    f.I32Const(300).I32Const(0).Call(c.lib().sys.open).LocalSet(in_fd);
+    f.LocalGet(in_fd).I32Const(static_cast<int32_t>(kIn))
+        .I32Const(input_size).Call(c.lib().sys.read).LocalSet(n);
+    f.LocalGet(in_fd).Call(c.lib().sys.close).Drop();
+    f.ForI32(pass, 0, 3, 1, [&] {
+      f.I32Const(static_cast<int32_t>(kIn)).I32Const(static_cast<int32_t>(kMtf)).LocalGet(n);
+      f.Call(mtf.index()).LocalSet(mlen);
+      f.I32Const(static_cast<int32_t>(kMtf)).I32Const(static_cast<int32_t>(kRle)).LocalGet(mlen);
+      f.Call(rle.index()).LocalSet(rlen);
+      f.LocalGet(total_bits);
+      f.I32Const(static_cast<int32_t>(kRle)).LocalGet(rlen).Call(ent.index());
+      f.I32Add().LocalSet(total_bits);
+    });
+    c.PrintResult("input_bytes", n);
+    c.PrintResult("rle_bytes", rlen);
+    c.PrintResult("entropy_bits", total_bits);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 429.mcf — network-simplex-regime: SPFA/Bellman-Ford relaxation over a
+// sparse grid network stored as arrays of arcs. Pointer-chasing and
+// memory-bound with a small hot loop.
+WorkloadSpec SpecMcf(int scale) {
+  WorkloadSpec spec;
+  spec.name = "429.mcf";
+  spec.output_files = {"/out.txt"};
+  int grid = 110 * scale;  // grid x grid nodes, ~4 arcs each
+  spec.build = [grid]() {
+    SpecCtx c("mcf", 512);
+    const int n_nodes = grid * grid;
+    const uint32_t kDist = 1u << 20;
+    const uint32_t kHead = kDist + 4u * n_nodes;      // arc list heads
+    const uint32_t kNext = kHead + 4u * n_nodes;      // arc next pointers
+    const uint32_t kTo = kNext + 4u * n_nodes * 4;
+    const uint32_t kCost = kTo + 4u * n_nodes * 4;
+    const uint32_t kQueue = kCost + 4u * n_nodes * 4;
+    const uint32_t kInQ = kQueue + 4u * n_nodes * 2;
+
+    // build_graph(): grid arcs with deterministic costs.
+    auto& build = c.mb().AddInternalFunction("build_graph", {}, {});
+    {
+      auto& f = build;
+      c.SetFunc(&f);
+      uint32_t v = f.AddLocal(kI32);
+      uint32_t arc = f.AddLocal(kI32);
+      uint32_t x = f.AddLocal(kI32);
+      uint32_t y = f.AddLocal(kI32);
+      auto add_arc = [&](std::function<void()> push_to, int costk) {
+        // to = push_to(); arcs[arc] = {to, cost}; next[arc]=head[v]; head[v]=arc.
+        f.LocalGet(arc).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kTo)).I32Add();
+        push_to();
+        f.I32Store(0);
+        f.LocalGet(arc).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kCost)).I32Add();
+        f.LocalGet(v).I32Const(costk).I32Mul().I32Const(9973).I32RemS().I32Const(1).I32Add();
+        f.I32Store(0);
+        f.LocalGet(arc).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kNext)).I32Add();
+        c.AddrI32(kHead, v);
+        f.I32Load(0);
+        f.I32Store(0);
+        c.AddrI32(kHead, v);
+        f.LocalGet(arc);
+        f.I32Store(0);
+        f.LocalGet(arc).I32Const(1).I32Add().LocalSet(arc);
+      };
+      const int g = grid;
+      f.ForI32(v, 0, g * g, 1, [&] {
+        c.AddrI32(kHead, v);
+        f.I32Const(-1);
+        f.I32Store(0);
+      });
+      f.I32Const(0).LocalSet(arc);
+      f.ForI32(v, 0, g * g, 1, [&] {
+        f.LocalGet(v).I32Const(g).I32RemS().LocalSet(x);
+        f.LocalGet(v).I32Const(g).I32DivS().LocalSet(y);
+        // Right neighbor.
+        f.LocalGet(x).I32Const(g - 1).I32LtS();
+        f.If([&] { add_arc([&] { f.LocalGet(v).I32Const(1).I32Add(); }, 17); });
+        // Down neighbor.
+        f.LocalGet(y).I32Const(g - 1).I32LtS();
+        f.If([&] { add_arc([&] { f.LocalGet(v).I32Const(g).I32Add(); }, 31); });
+        // Left.
+        f.LocalGet(x).I32Const(0).I32GtS();
+        f.If([&] { add_arc([&] { f.LocalGet(v).I32Const(1).I32Sub(); }, 23); });
+        // Up.
+        f.LocalGet(y).I32Const(0).I32GtS();
+        f.If([&] { add_arc([&] { f.LocalGet(v).I32Const(g).I32Sub(); }, 41); });
+      });
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    const int g = grid;
+    const int inf = 0x3fffffff;
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t qh = f.AddLocal(kI32);
+    uint32_t qt = f.AddLocal(kI32);
+    uint32_t u = f.AddLocal(kI32);
+    uint32_t a = f.AddLocal(kI32);
+    uint32_t to = f.AddLocal(kI32);
+    uint32_t nd = f.AddLocal(kI32);
+    uint32_t relax = f.AddLocal(kI32);
+    f.Call(build.index());
+    f.ForI32(i, 0, g * g, 1, [&] {
+      c.AddrI32(kDist, i);
+      f.I32Const(inf);
+      f.I32Store(0);
+      c.AddrI32(kInQ, i);
+      f.I32Const(0);
+      f.I32Store(0);
+    });
+    // dist[0] = 0; queue = {0} (ring buffer of 2*n).
+    f.I32Const(static_cast<int32_t>(kDist)).I32Const(0).I32Store(0);
+    f.I32Const(static_cast<int32_t>(kQueue)).I32Const(0).I32Store(0);
+    f.I32Const(0).LocalSet(qh);
+    f.I32Const(1).LocalSet(qt);
+    // SPFA main loop.
+    f.Block([&] {
+      f.LoopBlock([&] {
+        f.LocalGet(qh).LocalGet(qt).I32Eq().BrIf(1);
+        // u = queue[qh % 2n]; qh++
+        f.LocalGet(qh).I32Const(2 * g * g).I32RemU().I32Const(2).I32Shl()
+            .I32Const(static_cast<int32_t>(kQueue)).I32Add().I32Load(0).LocalSet(u);
+        f.LocalGet(qh).I32Const(1).I32Add().LocalSet(qh);
+        c.AddrI32(kInQ, u);
+        f.I32Const(0);
+        f.I32Store(0);
+        // for (a = head[u]; a != -1; a = next[a]) relax.
+        c.LdI32(kHead, u);
+        f.LocalSet(a);
+        f.Block([&] {
+          f.LoopBlock([&] {
+            f.LocalGet(a).I32Const(-1).I32Eq().BrIf(1);
+            c.LdI32(kTo, a);
+            f.LocalSet(to);
+            c.LdI32(kDist, u);
+            c.LdI32(kCost, a);
+            f.I32Add().LocalSet(nd);
+            f.LocalGet(nd);
+            c.LdI32(kDist, to);
+            f.I32LtS();
+            f.If([&] {
+              c.AddrI32(kDist, to);
+              f.LocalGet(nd);
+              f.I32Store(0);
+              f.LocalGet(relax).I32Const(1).I32Add().LocalSet(relax);
+              c.LdI32(kInQ, to);
+              f.I32Eqz();
+              f.If([&] {
+                c.AddrI32(kInQ, to);
+                f.I32Const(1);
+                f.I32Store(0);
+                f.LocalGet(qt).I32Const(2 * g * g).I32RemU().I32Const(2).I32Shl()
+                    .I32Const(static_cast<int32_t>(kQueue)).I32Add();
+                f.LocalGet(to);
+                f.I32Store(0);
+                f.LocalGet(qt).I32Const(1).I32Add().LocalSet(qt);
+              });
+            });
+            c.LdI32(kNext, a);
+            f.LocalSet(a);
+            f.Br(0);
+          });
+        });
+        f.Br(0);
+      });
+    });
+    uint32_t corner = f.AddLocal(kI32);
+    f.I32Const(g * g - 1).LocalSet(i);
+    c.LdI32(kDist, i);
+    f.LocalSet(corner);
+    c.PrintResult("relaxations", relax);
+    c.PrintResult("dist_corner", corner);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 445.gobmk — Go board analysis: liberties counting via iterative flood
+// fill, deterministic move generation, capture detection. Branch- and
+// call-heavy integer code.
+WorkloadSpec SpecGobmk(int scale) {
+  WorkloadSpec spec;
+  spec.name = "445.gobmk";
+  spec.output_files = {"/out.txt"};
+  int moves = 260 * scale;
+  spec.build = [moves]() {
+    SpecCtx c("gobmk");
+    const int N = 19;
+    const uint32_t kBoard = 1u << 20;           // N*N cells: 0 empty, 1/2 stones
+    const uint32_t kMark = kBoard + 4 * N * N;  // flood-fill marks
+    const uint32_t kStack = kMark + 4 * N * N;  // explicit DFS stack
+
+    // liberties(pos, color) -> liberty count of the group at pos.
+    auto& libf = c.mb().AddInternalFunction("liberties", {kI32, kI32}, {kI32});
+    {
+      auto& f = libf;
+      c.SetFunc(&f);
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t sp = f.AddLocal(kI32);
+      uint32_t cur = f.AddLocal(kI32);
+      uint32_t nb = f.AddLocal(kI32);
+      uint32_t libs = f.AddLocal(kI32);
+      uint32_t x = f.AddLocal(kI32);
+      f.ForI32(i, 0, N * N, 1, [&] {
+        c.AddrI32(kMark, i);
+        f.I32Const(0);
+        f.I32Store(0);
+      });
+      // push pos; mark it.
+      f.I32Const(static_cast<int32_t>(kStack)).LocalGet(0).I32Store(0);
+      f.I32Const(1).LocalSet(sp);
+      f.LocalGet(0).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kMark)).I32Add();
+      f.I32Const(1);
+      f.I32Store(0);
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(sp).I32Eqz().BrIf(1);
+          f.LocalGet(sp).I32Const(1).I32Sub().LocalSet(sp);
+          f.LocalGet(sp).I32Const(2).I32Shl().I32Const(static_cast<int32_t>(kStack)).I32Add();
+          f.I32Load(0).LocalSet(cur);
+          // Visit the 4 neighbors (guard, then delta).
+          auto handle_nb = [&](std::function<void()> guard, int delta) {
+            guard();
+            f.If([&] {
+              f.LocalGet(cur).I32Const(delta).I32Add().LocalSet(nb);
+              c.LdI32(kBoard, nb);
+              f.LocalSet(x);
+              f.LocalGet(x).I32Eqz();
+              f.If([&] {
+                // Empty: count as liberty once per mark.
+                c.LdI32(kMark, nb);
+                f.I32Eqz();
+                f.If([&] {
+                  c.AddrI32(kMark, nb);
+                  f.I32Const(2);
+                  f.I32Store(0);
+                  f.LocalGet(libs).I32Const(1).I32Add().LocalSet(libs);
+                });
+              });
+              f.LocalGet(x).LocalGet(1).I32Eq();
+              f.If([&] {
+                c.LdI32(kMark, nb);
+                f.I32Eqz();
+                f.If([&] {
+                  c.AddrI32(kMark, nb);
+                  f.I32Const(1);
+                  f.I32Store(0);
+                  f.LocalGet(sp).I32Const(2).I32Shl()
+                      .I32Const(static_cast<int32_t>(kStack)).I32Add();
+                  f.LocalGet(nb);
+                  f.I32Store(0);
+                  f.LocalGet(sp).I32Const(1).I32Add().LocalSet(sp);
+                });
+              });
+            });
+          };
+          handle_nb([&] { f.LocalGet(cur).I32Const(N).I32RemS().I32Const(0).I32GtS(); }, -1);
+          handle_nb([&] { f.LocalGet(cur).I32Const(N).I32RemS().I32Const(N - 1).I32LtS(); }, 1);
+          handle_nb([&] { f.LocalGet(cur).I32Const(N).I32GeS(); }, -N);
+          handle_nb([&] { f.LocalGet(cur).I32Const(N * (N - 1)).I32LtS(); }, N);
+          f.Br(0);
+        });
+      });
+      f.LocalGet(libs);
+    }
+
+    // remove_group(pos) -> stones removed (marked group cells == 1).
+    auto& removef = c.mb().AddInternalFunction("remove_group", {}, {kI32});
+    {
+      auto& f = removef;
+      c.SetFunc(&f);
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t cnt = f.AddLocal(kI32);
+      f.ForI32(i, 0, N * N, 1, [&] {
+        c.LdI32(kMark, i);
+        f.I32Const(1).I32Eq();
+        f.If([&] {
+          c.AddrI32(kBoard, i);
+          f.I32Const(0);
+          f.I32Store(0);
+          f.LocalGet(cnt).I32Const(1).I32Add().LocalSet(cnt);
+        });
+      });
+      f.LocalGet(cnt);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t m = f.AddLocal(kI32);
+    uint32_t pos = f.AddLocal(kI32);
+    uint32_t color = f.AddLocal(kI32);
+    uint32_t captures = f.AddLocal(kI32);
+    uint32_t stones = f.AddLocal(kI32);
+    uint32_t tries = f.AddLocal(kI32);
+    f.ForI32(m, 0, moves, 1, [&] {
+      f.LocalGet(m).I32Const(1).I32And().I32Const(1).I32Add().LocalSet(color);
+      // Find an empty cell deterministically.
+      f.I32Const(0).LocalSet(tries);
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.Call(c.rng_fn()).I32Const(N * N).I32RemU().LocalSet(pos);
+          c.LdI32(kBoard, pos);
+          f.I32Eqz().BrIf(1);
+          f.LocalGet(tries).I32Const(1).I32Add().LocalTee(tries);
+          f.I32Const(60).I32GeS().BrIf(1);
+          f.Br(0);
+        });
+      });
+      c.LdI32(kBoard, pos);
+      f.I32Eqz();
+      f.If([&] {
+        c.AddrI32(kBoard, pos);
+        f.LocalGet(color);
+        f.I32Store(0);
+        f.LocalGet(stones).I32Const(1).I32Add().LocalSet(stones);
+        // Check opponent neighbors for captures.
+        auto check = [&](std::function<void()> guard, int delta) {
+          guard();
+          f.If([&] {
+            uint32_t nb = f.AddLocal(kI32);
+            f.LocalGet(pos).I32Const(delta).I32Add().LocalSet(nb);
+            c.LdI32(kBoard, nb);
+            f.I32Const(3).LocalGet(color).I32Sub().I32Eq();
+            f.If([&] {
+              f.LocalGet(nb).I32Const(3).LocalGet(color).I32Sub().Call(libf.index());
+              f.I32Eqz();
+              f.If([&] {
+                f.Call(removef.index());
+                f.LocalGet(captures).I32Add().LocalSet(captures);
+              });
+            });
+          });
+        };
+        check([&] { f.LocalGet(pos).I32Const(N).I32RemS().I32Const(0).I32GtS(); }, -1);
+        check([&] { f.LocalGet(pos).I32Const(N).I32RemS().I32Const(N - 1).I32LtS(); }, 1);
+        check([&] { f.LocalGet(pos).I32Const(N).I32GeS(); }, -N);
+        check([&] { f.LocalGet(pos).I32Const(N * (N - 1)).I32LtS(); }, N);
+      });
+    });
+    c.PrintResult("stones", stones);
+    c.PrintResult("captures", captures);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 458.sjeng — alpha-beta game-tree search with a hash-based evaluation.
+// Deep recursion, heavy branching, integer arithmetic.
+WorkloadSpec SpecSjeng(int scale) {
+  WorkloadSpec spec;
+  spec.name = "458.sjeng";
+  spec.output_files = {"/out.txt"};
+  int depth = 7;
+  int roots = 6 * scale;
+  spec.build = [depth, roots]() {
+    SpecCtx c("sjeng");
+    const auto i32 = kI32;
+    // eval(key) -> score in [-1000, 1000]: a few hash rounds.
+    auto& ev = c.mb().AddInternalFunction("eval_pos", {i32}, {i32});
+    {
+      auto& f = ev;
+      uint32_t h = f.AddLocal(i32);
+      f.LocalGet(0).I32Const(0x9e3779b9u).I32Mul().LocalSet(h);
+      f.LocalGet(h).LocalGet(h).I32Const(13).I32ShrU().I32Xor().LocalSet(h);
+      f.LocalGet(h).I32Const(0x85ebca6bu).I32Mul().LocalSet(h);
+      f.LocalGet(h).LocalGet(h).I32Const(16).I32ShrU().I32Xor().LocalSet(h);
+      f.LocalGet(h).I32Const(2001).I32RemU().I32Const(1000).I32Sub();
+    }
+    // search(key, depth, alpha, beta) -> score. 8 moves per node.
+    auto& se = c.mb().AddInternalFunction("search", {i32, i32, i32, i32}, {i32});
+    {
+      auto& f = se;
+      uint32_t best = f.AddLocal(i32);
+      uint32_t mv = f.AddLocal(i32);
+      uint32_t child = f.AddLocal(i32);
+      uint32_t score = f.AddLocal(i32);
+      uint32_t alpha = f.AddLocal(i32);
+      f.LocalGet(1).I32Eqz();
+      f.If([&] { f.LocalGet(0).Call(ev.index()).Return(); });
+      f.I32Const(-100000).LocalSet(best);
+      f.LocalGet(2).LocalSet(alpha);
+      f.Block([&] {
+        f.ForI32(mv, 0, 8, 1, [&] {
+          // child = key*8 + mv + depth (deterministic move hash).
+          f.LocalGet(0).I32Const(8).I32Mul().LocalGet(mv).I32Add().LocalGet(1).I32Add()
+              .LocalSet(child);
+          // score = -search(child, depth-1, -beta, -alpha)
+          f.LocalGet(child);
+          f.LocalGet(1).I32Const(1).I32Sub();
+          f.I32Const(0).LocalGet(3).I32Sub();
+          f.I32Const(0).LocalGet(alpha).I32Sub();
+          f.Call(se.index());
+          f.I32Const(-1).I32Mul().LocalSet(score);
+          f.LocalGet(score).LocalGet(best).I32GtS();
+          f.If([&] { f.LocalGet(score).LocalSet(best); });
+          f.LocalGet(score).LocalGet(alpha).I32GtS();
+          f.If([&] { f.LocalGet(score).LocalSet(alpha); });
+          // Beta cutoff.
+          f.LocalGet(alpha).LocalGet(3).I32GeS().BrIf(1);
+        });
+      });
+      f.LocalGet(best);
+    }
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t r = f.AddLocal(kI32);
+    uint32_t total = f.AddLocal(kI32);
+    f.ForI32(r, 0, roots, 1, [&] {
+      f.LocalGet(total);
+      f.LocalGet(r).I32Const(1).I32Add();
+      f.I32Const(depth);
+      f.I32Const(-100000);
+      f.I32Const(100000);
+      f.Call(se.index());
+      f.I32Add().LocalSet(total);
+    });
+    c.PrintResult("search_total", total);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+}  // namespace nsf

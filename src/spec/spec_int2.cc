@@ -1,0 +1,657 @@
+// SPEC-like integer workloads, part 2: 462.libquantum, 464.h264ref,
+// 473.astar, 641.leela_s.
+#include "src/spec/spec_int.h"
+
+#include "src/spec/specctx.h"
+
+namespace nsf {
+
+namespace {
+const auto kI32 = ValType::kI32;
+const auto kF64 = ValType::kF64;
+}  // namespace
+
+// 462.libquantum — quantum register simulation: Hadamard and CNOT gates over
+// a dense amplitude vector (re/im f64 pairs), plus bit-twiddling index math.
+WorkloadSpec SpecLibquantum(int scale) {
+  WorkloadSpec spec;
+  spec.name = "462.libquantum";
+  spec.output_files = {"/out.txt"};
+  int qubits = 12 + (scale > 1 ? 1 : 0);
+  spec.build = [qubits]() {
+    SpecCtx c("libquantum", 512);
+    const int n = 1 << qubits;
+    const uint32_t kRe = 1u << 20;
+    const uint32_t kIm = kRe + 8u * n;
+
+    // hadamard(target_bit): butterfly over pairs differing in the bit.
+    auto& had = c.mb().AddInternalFunction("hadamard", {kI32}, {});
+    {
+      auto& f = had;
+      c.SetFunc(&f);
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t j = f.AddLocal(kI32);
+      uint32_t ar = f.AddLocal(kF64);
+      uint32_t ai = f.AddLocal(kF64);
+      uint32_t br = f.AddLocal(kF64);
+      uint32_t bi = f.AddLocal(kF64);
+      const double inv_sqrt2 = 0.7071067811865476;
+      f.ForI32(i, 0, n, 1, [&] {
+        // Only process when bit is clear: j = i | (1<<t).
+        f.LocalGet(i).I32Const(1).LocalGet(0).I32Shl().I32And().I32Eqz();
+        f.If([&] {
+          f.LocalGet(i).I32Const(1).LocalGet(0).I32Shl().I32Or().LocalSet(j);
+          c.LdF64(kRe, i);
+          f.LocalSet(ar);
+          c.LdF64(kIm, i);
+          f.LocalSet(ai);
+          c.LdF64(kRe, j);
+          f.LocalSet(br);
+          c.LdF64(kIm, j);
+          f.LocalSet(bi);
+          c.AddrF64(kRe, i);
+          f.LocalGet(ar).LocalGet(br).F64Add().F64Const(inv_sqrt2).F64Mul();
+          f.F64Store(0);
+          c.AddrF64(kIm, i);
+          f.LocalGet(ai).LocalGet(bi).F64Add().F64Const(inv_sqrt2).F64Mul();
+          f.F64Store(0);
+          c.AddrF64(kRe, j);
+          f.LocalGet(ar).LocalGet(br).F64Sub().F64Const(inv_sqrt2).F64Mul();
+          f.F64Store(0);
+          c.AddrF64(kIm, j);
+          f.LocalGet(ai).LocalGet(bi).F64Sub().F64Const(inv_sqrt2).F64Mul();
+          f.F64Store(0);
+        });
+      });
+    }
+    // cnot(control, target): swap amplitudes where control bit set.
+    auto& cnot = c.mb().AddInternalFunction("cnot", {kI32, kI32}, {});
+    {
+      auto& f = cnot;
+      c.SetFunc(&f);
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t j = f.AddLocal(kI32);
+      uint32_t t = f.AddLocal(kF64);
+      f.ForI32(i, 0, n, 1, [&] {
+        f.LocalGet(i).I32Const(1).LocalGet(0).I32Shl().I32And();
+        f.If([&] {
+          f.LocalGet(i).I32Const(1).LocalGet(1).I32Shl().I32And().I32Eqz();
+          f.If([&] {
+            f.LocalGet(i).I32Const(1).LocalGet(1).I32Shl().I32Or().LocalSet(j);
+            // swap re
+            c.LdF64(kRe, i);
+            f.LocalSet(t);
+            c.AddrF64(kRe, i);
+            c.LdF64(kRe, j);
+            f.F64Store(0);
+            c.AddrF64(kRe, j);
+            f.LocalGet(t);
+            f.F64Store(0);
+            // swap im
+            c.LdF64(kIm, i);
+            f.LocalSet(t);
+            c.AddrF64(kIm, i);
+            c.LdF64(kIm, j);
+            f.F64Store(0);
+            c.AddrF64(kIm, j);
+            f.LocalGet(t);
+            f.F64Store(0);
+          });
+        });
+      });
+    }
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t round = f.AddLocal(kI32);
+    uint32_t prob = f.AddLocal(kF64);
+    // |0...0> initial state.
+    f.ForI32(i, 0, n, 1, [&] {
+      c.AddrF64(kRe, i);
+      f.F64Const(0.0);
+      f.F64Store(0);
+      c.AddrF64(kIm, i);
+      f.F64Const(0.0);
+      f.F64Store(0);
+    });
+    f.I32Const(static_cast<int32_t>(kRe)).F64Const(1.0).F64Store(0);
+    // Gate sequence (Grover-flavored rounds).
+    f.ForI32(round, 0, 4, 1, [&] {
+      f.ForI32(i, 0, qubits, 1, [&] { f.LocalGet(i).Call(had.index()); });
+      f.ForI32(i, 0, qubits - 1, 1, [&] {
+        f.LocalGet(i);
+        f.LocalGet(i).I32Const(1).I32Add();
+        f.Call(cnot.index());
+      });
+    });
+    // Probability mass of the lower half (sanity: should be ~deterministic).
+    f.F64Const(0.0).LocalSet(prob);
+    f.ForI32(i, 0, n / 2, 1, [&] {
+      f.LocalGet(prob);
+      c.LdF64(kRe, i);
+      c.LdF64(kRe, i);
+      f.F64Mul();
+      c.LdF64(kIm, i);
+      c.LdF64(kIm, i);
+      f.F64Mul();
+      f.F64Add().F64Add().LocalSet(prob);
+    });
+    uint32_t scaled = f.AddLocal(kI32);
+    f.LocalGet(prob).F64Const(1e6).F64Mul().I32TruncF64S().LocalSet(scaled);
+    c.PrintResult("prob_ppm", scaled);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 464.h264ref — video encoding inner loops: 16x16 SAD motion search over a
+// reference frame plus a 4x4 integer transform/quantization pass; emits a
+// byte stream to the filesystem (exercising the §2 append path).
+WorkloadSpec SpecH264ref(int scale) {
+  WorkloadSpec spec;
+  spec.name = "464.h264ref";
+  spec.output_files = {"/out.txt", "/bitstream.bin"};
+  int frames = 2 * scale;
+  spec.build = [frames]() {
+    SpecCtx c("h264ref", 512);
+    const int W = 64;
+    const int H = 64;
+    const uint32_t kCur = 1u << 20;   // current frame bytes
+    const uint32_t kRef = kCur + W * H;
+    const uint32_t kOut = kRef + W * H;  // bitstream staging
+    c.mb().AddData(320, std::string("/bitstream.bin"));
+
+    // sad16(cur_off, ref_off) -> sum abs diff over a 16x16 block.
+    auto& sad = c.mb().AddInternalFunction("sad16", {kI32, kI32}, {kI32});
+    {
+      auto& f = sad;
+      uint32_t y = f.AddLocal(kI32);
+      uint32_t x = f.AddLocal(kI32);
+      uint32_t acc = f.AddLocal(kI32);
+      uint32_t d = f.AddLocal(kI32);
+      f.ForI32(y, 0, 16, 1, [&] {
+        f.ForI32(x, 0, 16, 1, [&] {
+          f.LocalGet(0).LocalGet(y).I32Const(W).I32Mul().I32Add().LocalGet(x).I32Add();
+          f.I32Load8U(0);
+          f.LocalGet(1).LocalGet(y).I32Const(W).I32Mul().I32Add().LocalGet(x).I32Add();
+          f.I32Load8U(0);
+          f.I32Sub().LocalSet(d);
+          f.LocalGet(d).I32Const(0).I32LtS();
+          f.If([&] { f.I32Const(0).LocalGet(d).I32Sub().LocalSet(d); });
+          f.LocalGet(acc).LocalGet(d).I32Add().LocalSet(acc);
+        });
+      });
+      f.LocalGet(acc);
+    }
+    // dct4_quant(block_off) -> quantized energy of a 4x4 block (in-place-ish
+    // integer butterfly + shift quantization).
+    auto& dct = c.mb().AddInternalFunction("dct4_quant", {kI32}, {kI32});
+    {
+      auto& f = dct;
+      uint32_t y = f.AddLocal(kI32);
+      uint32_t a = f.AddLocal(kI32);
+      uint32_t b = f.AddLocal(kI32);
+      uint32_t s0 = f.AddLocal(kI32);
+      uint32_t s1 = f.AddLocal(kI32);
+      uint32_t energy = f.AddLocal(kI32);
+      f.ForI32(y, 0, 4, 1, [&] {
+        // Row butterfly on bytes (a±b pairs), accumulate quantized energy.
+        f.LocalGet(0).LocalGet(y).I32Const(W).I32Mul().I32Add().I32Load8U(0).LocalSet(a);
+        f.LocalGet(0).LocalGet(y).I32Const(W).I32Mul().I32Add().I32Load8U(1).LocalSet(b);
+        f.LocalGet(a).LocalGet(b).I32Add().LocalSet(s0);
+        f.LocalGet(a).LocalGet(b).I32Sub().LocalSet(s1);
+        f.LocalGet(0).LocalGet(y).I32Const(W).I32Mul().I32Add().I32Load8U(2).LocalSet(a);
+        f.LocalGet(0).LocalGet(y).I32Const(W).I32Mul().I32Add().I32Load8U(3).LocalSet(b);
+        f.LocalGet(energy);
+        f.LocalGet(s0).LocalGet(a).I32Add().LocalGet(b).I32Add().I32Const(3).I32ShrS();
+        f.I32Add();
+        f.LocalGet(s1).LocalGet(a).I32Sub().I32Const(2).I32ShrS();
+        f.I32Add().LocalSet(energy);
+      });
+      f.LocalGet(energy);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t bs_fd = f.AddLocal(kI32);
+    uint32_t frame = f.AddLocal(kI32);
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t bx = f.AddLocal(kI32);
+    uint32_t by = f.AddLocal(kI32);
+    uint32_t dx = f.AddLocal(kI32);
+    uint32_t dy = f.AddLocal(kI32);
+    uint32_t best = f.AddLocal(kI32);
+    uint32_t cost = f.AddLocal(kI32);
+    uint32_t total_sad = f.AddLocal(kI32);
+    uint32_t total_energy = f.AddLocal(kI32);
+    uint32_t out_len = f.AddLocal(kI32);
+    f.I32Const(320).I32Const(0x241).Call(c.lib().sys.open).LocalSet(bs_fd);
+    f.ForI32(frame, 0, frames, 1, [&] {
+      // Synthesize frame content: cur = pattern(frame), ref = pattern(frame-1).
+      f.ForI32(i, 0, W * H, 1, [&] {
+        f.I32Const(static_cast<int32_t>(kCur)).LocalGet(i).I32Add();
+        f.LocalGet(i).LocalGet(frame).I32Const(31).I32Mul().I32Add().I32Const(251).I32RemU();
+        f.I32Store8(0);
+        f.I32Const(static_cast<int32_t>(kRef)).LocalGet(i).I32Add();
+        f.LocalGet(i).LocalGet(frame).I32Const(1).I32Sub().I32Const(31).I32Mul().I32Add()
+            .I32Const(251).I32RemU();
+        f.I32Store8(0);
+      });
+      f.I32Const(0).LocalSet(out_len);
+      // Motion search: for each 16x16 block, search ±4 in the ref frame.
+      f.ForI32(by, 0, (H / 16), 1, [&] {
+        f.ForI32(bx, 0, (W / 16), 1, [&] {
+          f.I32Const(0x7fffffff).LocalSet(best);
+          f.ForI32(dy, -4, 5, 1, [&] {
+            f.ForI32(dx, -4, 5, 1, [&] {
+              // Bounds: block origin + motion must stay in frame.
+              uint32_t oy = f.AddLocal(kI32);
+              uint32_t ox = f.AddLocal(kI32);
+              f.LocalGet(by).I32Const(16).I32Mul().LocalGet(dy).I32Add().LocalSet(oy);
+              f.LocalGet(bx).I32Const(16).I32Mul().LocalGet(dx).I32Add().LocalSet(ox);
+              f.LocalGet(oy).I32Const(0).I32GeS();
+              f.LocalGet(oy).I32Const(H - 16).I32LeS().I32And();
+              f.LocalGet(ox).I32Const(0).I32GeS().I32And();
+              f.LocalGet(ox).I32Const(W - 16).I32LeS().I32And();
+              f.If([&] {
+                f.I32Const(static_cast<int32_t>(kCur));
+                f.LocalGet(by).I32Const(16 * W).I32Mul().I32Add();
+                f.LocalGet(bx).I32Const(16).I32Mul().I32Add();
+                f.I32Const(static_cast<int32_t>(kRef));
+                f.LocalGet(oy).I32Const(W).I32Mul().I32Add();
+                f.LocalGet(ox).I32Add();
+                f.Call(sad.index()).LocalSet(cost);
+                f.LocalGet(cost).LocalGet(best).I32LtS();
+                f.If([&] { f.LocalGet(cost).LocalSet(best); });
+              });
+            });
+          });
+          f.LocalGet(total_sad).LocalGet(best).I32Add().LocalSet(total_sad);
+          // Emit 2 bytes per block into the staging buffer.
+          f.I32Const(static_cast<int32_t>(kOut)).LocalGet(out_len).I32Add();
+          f.LocalGet(best).I32Const(255).I32And();
+          f.I32Store8(0);
+          f.I32Const(static_cast<int32_t>(kOut)).LocalGet(out_len).I32Add();
+          f.LocalGet(best).I32Const(8).I32ShrU().I32Const(255).I32And();
+          f.I32Store8(1);
+          f.LocalGet(out_len).I32Const(2).I32Add().LocalSet(out_len);
+        });
+      });
+      // Transform pass over 4x4 blocks of the current frame.
+      f.ForI32(by, 0, H / 4, 1, [&] {
+        f.ForI32(bx, 0, W / 4, 1, [&] {
+          f.I32Const(static_cast<int32_t>(kCur));
+          f.LocalGet(by).I32Const(4 * W).I32Mul().I32Add();
+          f.LocalGet(bx).I32Const(4).I32Mul().I32Add();
+          f.Call(dct.index());
+          f.LocalGet(total_energy).I32Add().LocalSet(total_energy);
+        });
+      });
+      // Append this frame's bytes to the bitstream (many small writes — the
+      // BrowserFS growth-policy path).
+      f.LocalGet(bs_fd).I32Const(static_cast<int32_t>(kOut)).LocalGet(out_len);
+      f.Call(c.lib().sys.write).Drop();
+    });
+    f.LocalGet(bs_fd).Call(c.lib().sys.close).Drop();
+    c.PrintResult("total_sad", total_sad);
+    c.PrintResult("total_energy", total_energy);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 473.astar — A* over a deterministic obstacle grid with an array-backed
+// binary heap. Pointer/heap manipulation, data-dependent branches.
+WorkloadSpec SpecAstar(int scale) {
+  WorkloadSpec spec;
+  spec.name = "473.astar";
+  spec.output_files = {"/out.txt"};
+  int grid = 96;
+  int queries = 18 * scale;
+  spec.build = [grid, queries]() {
+    SpecCtx c("astar", 512);
+    const int g = grid;
+    const uint32_t kGridA = 1u << 20;                 // blocked flags
+    const uint32_t kDist = kGridA + 4u * g * g;       // g-scores
+    const uint32_t kClosed = kDist + 4u * g * g;
+    const uint32_t kHeap = kClosed + 4u * g * g;      // (key,node) pairs
+    // heap_push(key, node, size) -> new size.
+    auto& push = c.mb().AddInternalFunction("heap_push", {kI32, kI32, kI32}, {kI32});
+    {
+      auto& f = push;
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t parent = f.AddLocal(kI32);
+      uint32_t tk = f.AddLocal(kI32);
+      uint32_t tn = f.AddLocal(kI32);
+      auto key_at = [&](uint32_t idx) {
+        f.LocalGet(idx).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+            .I32Load(0);
+      };
+      f.LocalGet(2).LocalSet(i);
+      // heap[i] = (key, node)
+      f.LocalGet(i).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+      f.LocalGet(0);
+      f.I32Store(0);
+      f.LocalGet(i).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+      f.LocalGet(1);
+      f.I32Store(4);
+      // Sift up.
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(i).I32Eqz().BrIf(1);
+          f.LocalGet(i).I32Const(1).I32Sub().I32Const(1).I32ShrS().LocalSet(parent);
+          key_at(parent);
+          key_at(i);
+          f.I32LeS().BrIf(1);
+          // swap heap[i] <-> heap[parent]
+          f.LocalGet(parent).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap))
+              .I32Add().I32Load(0).LocalSet(tk);
+          f.LocalGet(parent).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap))
+              .I32Add().I32Load(4).LocalSet(tn);
+          f.LocalGet(parent).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+          key_at(i);
+          f.I32Store(0);
+          f.LocalGet(parent).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+          f.LocalGet(i).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+              .I32Load(4);
+          f.I32Store(4);
+          f.LocalGet(i).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+          f.LocalGet(tk);
+          f.I32Store(0);
+          f.LocalGet(i).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+          f.LocalGet(tn);
+          f.I32Store(4);
+          f.LocalGet(parent).LocalSet(i);
+          f.Br(0);
+        });
+      });
+      f.LocalGet(2).I32Const(1).I32Add();
+    }
+    // heap_pop(size) -> new size; leaves popped (key,node) at heap[size-1].
+    auto& pop = c.mb().AddInternalFunction("heap_pop", {kI32}, {kI32});
+    {
+      auto& f = pop;
+      uint32_t last = f.AddLocal(kI32);
+      uint32_t i = f.AddLocal(kI32);
+      uint32_t child = f.AddLocal(kI32);
+      uint32_t tk = f.AddLocal(kI32);
+      uint32_t tn = f.AddLocal(kI32);
+      auto key_at = [&](uint32_t idx) {
+        f.LocalGet(idx).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+            .I32Load(0);
+      };
+      auto swap = [&](uint32_t xi, uint32_t yi) {
+        f.LocalGet(xi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+            .I32Load(0).LocalSet(tk);
+        f.LocalGet(xi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+            .I32Load(4).LocalSet(tn);
+        f.LocalGet(xi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+        key_at(yi);
+        f.I32Store(0);
+        f.LocalGet(xi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+        f.LocalGet(yi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+            .I32Load(4);
+        f.I32Store(4);
+        f.LocalGet(yi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+        f.LocalGet(tk);
+        f.I32Store(0);
+        f.LocalGet(yi).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add();
+        f.LocalGet(tn);
+        f.I32Store(4);
+      };
+      f.LocalGet(0).I32Const(1).I32Sub().LocalSet(last);
+      f.I32Const(0).LocalSet(i);
+      swap(i, last);
+      // Sift down within [0, last).
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(i).I32Const(1).I32Shl().I32Const(1).I32Add().LocalSet(child);
+          f.LocalGet(child).LocalGet(last).I32GeS().BrIf(1);
+          // Pick smaller child.
+          f.LocalGet(child).I32Const(1).I32Add().LocalGet(last).I32LtS();
+          f.If([&] {
+            uint32_t c2 = tn;  // reuse tn as scratch index? avoid: compute inline
+            (void)c2;
+            f.LocalGet(child).I32Const(1).I32Add().I32Const(3).I32Shl()
+                .I32Const(static_cast<int32_t>(kHeap)).I32Add().I32Load(0);
+            key_at(child);
+            f.I32LtS();
+            f.If([&] { f.LocalGet(child).I32Const(1).I32Add().LocalSet(child); });
+          });
+          key_at(i);
+          key_at(child);
+          f.I32LeS().BrIf(1);
+          swap(i, child);
+          f.LocalGet(child).LocalSet(i);
+          f.Br(0);
+        });
+      });
+      f.LocalGet(last);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t q = f.AddLocal(kI32);
+    uint32_t size = f.AddLocal(kI32);
+    uint32_t node = f.AddLocal(kI32);
+    uint32_t nd = f.AddLocal(kI32);
+    uint32_t goal = f.AddLocal(kI32);
+    uint32_t expanded = f.AddLocal(kI32);
+    uint32_t path_total = f.AddLocal(kI32);
+    const int inf = 0x3fffffff;
+    // Build obstacle grid: blocked when hash(i) % 4 == 0, but keep the
+    // border clear so paths exist.
+    f.ForI32(i, 0, g * g, 1, [&] {
+      c.AddrI32(kGridA, i);
+      f.LocalGet(i).I32Const(2654435761u).I32Mul().I32Const(26).I32ShrU().I32Const(4)
+          .I32RemU().I32Eqz();
+      f.I32Store(0);
+    });
+    f.ForI32(i, 0, g, 1, [&] {
+      c.AddrI32(kGridA, i);
+      f.I32Const(0);
+      f.I32Store(0);
+      uint32_t t = f.AddLocal(kI32);
+      f.LocalGet(i).I32Const(g).I32Mul().LocalSet(t);
+      c.AddrI32(kGridA, t);
+      f.I32Const(0);
+      f.I32Store(0);
+    });
+    f.ForI32(q, 0, queries, 1, [&] {
+      // start = q-th cell on top row; goal = opposite corner area.
+      uint32_t start = f.AddLocal(kI32);
+      f.LocalGet(q).I32Const(7).I32Mul().I32Const(g).I32RemU().LocalSet(start);
+      f.I32Const(g * g - 1).LocalGet(q).I32Const(13).I32Mul().I32Const(g).I32RemU().I32Sub()
+          .LocalSet(goal);
+      f.ForI32(i, 0, g * g, 1, [&] {
+        c.AddrI32(kDist, i);
+        f.I32Const(inf);
+        f.I32Store(0);
+        c.AddrI32(kClosed, i);
+        f.I32Const(0);
+        f.I32Store(0);
+      });
+      c.AddrI32(kDist, start);
+      f.I32Const(0);
+      f.I32Store(0);
+      f.I32Const(0).LocalGet(start).I32Const(0).Call(push.index()).LocalSet(size);
+      f.Block([&] {
+        f.LoopBlock([&] {
+          f.LocalGet(size).I32Eqz().BrIf(1);
+          f.LocalGet(size).Call(pop.index()).LocalSet(size);
+          // popped node at heap[size].
+          f.LocalGet(size).I32Const(3).I32Shl().I32Const(static_cast<int32_t>(kHeap)).I32Add()
+              .I32Load(4).LocalSet(node);
+          c.LdI32(kClosed, node);
+          f.If([&] { f.Br(1); });  // continue
+          c.AddrI32(kClosed, node);
+          f.I32Const(1);
+          f.I32Store(0);
+          f.LocalGet(expanded).I32Const(1).I32Add().LocalSet(expanded);
+          f.LocalGet(node).LocalGet(goal).I32Eq().BrIf(1);
+          // Relax 4 neighbors.
+          auto relax = [&](std::function<void()> guard, int delta) {
+            guard();
+            f.If([&] {
+              uint32_t nb = f.AddLocal(kI32);
+              f.LocalGet(node).I32Const(delta).I32Add().LocalSet(nb);
+              c.LdI32(kGridA, nb);
+              f.I32Eqz();
+              f.If([&] {
+                c.LdI32(kDist, node);
+                f.I32Const(1).I32Add().LocalSet(nd);
+                f.LocalGet(nd);
+                c.LdI32(kDist, nb);
+                f.I32LtS();
+                f.If([&] {
+                  c.AddrI32(kDist, nb);
+                  f.LocalGet(nd);
+                  f.I32Store(0);
+                  // f = g + manhattan(nb, goal)
+                  uint32_t hx = f.AddLocal(kI32);
+                  uint32_t hy = f.AddLocal(kI32);
+                  f.LocalGet(nb).I32Const(g).I32RemS().LocalGet(goal).I32Const(g).I32RemS()
+                      .I32Sub().LocalSet(hx);
+                  f.LocalGet(hx).I32Const(0).I32LtS();
+                  f.If([&] { f.I32Const(0).LocalGet(hx).I32Sub().LocalSet(hx); });
+                  f.LocalGet(nb).I32Const(g).I32DivS().LocalGet(goal).I32Const(g).I32DivS()
+                      .I32Sub().LocalSet(hy);
+                  f.LocalGet(hy).I32Const(0).I32LtS();
+                  f.If([&] { f.I32Const(0).LocalGet(hy).I32Sub().LocalSet(hy); });
+                  f.LocalGet(nd).LocalGet(hx).I32Add().LocalGet(hy).I32Add();
+                  f.LocalGet(nb);
+                  f.LocalGet(size);
+                  f.Call(push.index()).LocalSet(size);
+                });
+              });
+            });
+          };
+          relax([&] { f.LocalGet(node).I32Const(g).I32RemS().I32Const(0).I32GtS(); }, -1);
+          relax([&] { f.LocalGet(node).I32Const(g).I32RemS().I32Const(g - 1).I32LtS(); }, 1);
+          relax([&] { f.LocalGet(node).I32Const(g).I32GeS(); }, -g);
+          relax([&] { f.LocalGet(node).I32Const(g * (g - 1)).I32LtS(); }, g);
+          f.Br(0);
+        });
+      });
+      c.LdI32(kDist, goal);
+      f.LocalGet(path_total).I32Add().LocalSet(path_total);
+    });
+    c.PrintResult("expanded", expanded);
+    c.PrintResult("path_total", path_total);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+// 641.leela_s — Monte-Carlo playouts on a 9x9 board with capture logic and
+// AMAF statistics. RNG-driven, branch-heavy.
+WorkloadSpec SpecLeela(int scale) {
+  WorkloadSpec spec;
+  spec.name = "641.leela_s";
+  spec.output_files = {"/out.txt"};
+  int playouts = 110 * scale;
+  spec.build = [playouts]() {
+    SpecCtx c("leela");
+    const int N = 9;
+    const uint32_t kBoard = 1u << 20;
+    const uint32_t kAmaf = kBoard + 4 * N * N;
+
+    // count_neighbors(pos, color) -> 4-neighborhood count of `color`.
+    auto& cn = c.mb().AddInternalFunction("count_nb", {kI32, kI32}, {kI32});
+    {
+      auto& f = cn;
+      c.SetFunc(&f);
+      uint32_t cnt = f.AddLocal(kI32);
+      auto look = [&](std::function<void()> guard, int delta) {
+        guard();
+        f.If([&] {
+          uint32_t nb = f.AddLocal(kI32);
+          f.LocalGet(0).I32Const(delta).I32Add().LocalSet(nb);
+          c.LdI32(kBoard, nb);
+          f.LocalGet(1).I32Eq();
+          f.If([&] { f.LocalGet(cnt).I32Const(1).I32Add().LocalSet(cnt); });
+        });
+      };
+      look([&] { f.LocalGet(0).I32Const(N).I32RemS().I32Const(0).I32GtS(); }, -1);
+      look([&] { f.LocalGet(0).I32Const(N).I32RemS().I32Const(N - 1).I32LtS(); }, 1);
+      look([&] { f.LocalGet(0).I32Const(N).I32GeS(); }, -N);
+      look([&] { f.LocalGet(0).I32Const(N * (N - 1)).I32LtS(); }, N);
+      f.LocalGet(cnt);
+    }
+
+    c.BeginMain();
+    auto& f = c.f();
+    uint32_t p = f.AddLocal(kI32);
+    uint32_t mv = f.AddLocal(kI32);
+    uint32_t pos = f.AddLocal(kI32);
+    uint32_t color = f.AddLocal(kI32);
+    uint32_t i = f.AddLocal(kI32);
+    uint32_t wins = f.AddLocal(kI32);
+    uint32_t score = f.AddLocal(kI32);
+    uint32_t amaf_mass = f.AddLocal(kI32);
+    f.ForI32(i, 0, N * N, 1, [&] {
+      c.AddrI32(kAmaf, i);
+      f.I32Const(0);
+      f.I32Store(0);
+    });
+    f.ForI32(p, 0, playouts, 1, [&] {
+      // Clear board; play ~60 pseudo-random moves; surrounded stones flip.
+      f.ForI32(i, 0, N * N, 1, [&] {
+        c.AddrI32(kBoard, i);
+        f.I32Const(0);
+        f.I32Store(0);
+      });
+      f.ForI32(mv, 0, 60, 1, [&] {
+        f.Call(c.rng_fn()).I32Const(N * N).I32RemU().LocalSet(pos);
+        f.LocalGet(mv).I32Const(1).I32And().I32Const(1).I32Add().LocalSet(color);
+        c.LdI32(kBoard, pos);
+        f.I32Eqz();
+        f.If([&] {
+          c.AddrI32(kBoard, pos);
+          f.LocalGet(color);
+          f.I32Store(0);
+          // "Capture": if fully surrounded by opponent, flip.
+          f.LocalGet(pos).I32Const(3).LocalGet(color).I32Sub().Call(cn.index());
+          f.I32Const(3).I32GeS();
+          f.If([&] {
+            c.AddrI32(kBoard, pos);
+            f.I32Const(3).LocalGet(color).I32Sub();
+            f.I32Store(0);
+          });
+          c.AddrI32(kAmaf, pos);
+          c.LdI32(kAmaf, pos);
+          f.I32Const(1).I32Add();
+          f.I32Store(0);
+        });
+      });
+      // Score: black-minus-white stones; count a win for black if positive.
+      f.I32Const(0).LocalSet(score);
+      f.ForI32(i, 0, N * N, 1, [&] {
+        c.LdI32(kBoard, i);
+        f.I32Const(1).I32Eq();
+        f.If([&] { f.LocalGet(score).I32Const(1).I32Add().LocalSet(score); });
+        c.LdI32(kBoard, i);
+        f.I32Const(2).I32Eq();
+        f.If([&] { f.LocalGet(score).I32Const(1).I32Sub().LocalSet(score); });
+      });
+      f.LocalGet(score).I32Const(0).I32GtS();
+      f.If([&] { f.LocalGet(wins).I32Const(1).I32Add().LocalSet(wins); });
+    });
+    f.ForI32(i, 0, N * N, 1, [&] {
+      f.LocalGet(amaf_mass);
+      c.LdI32(kAmaf, i);
+      f.I32Add().LocalSet(amaf_mass);
+    });
+    c.PrintResult("wins", wins);
+    c.PrintResult("amaf_mass", amaf_mass);
+    c.EndMain();
+    return c.mb().Build();
+  };
+  return spec;
+}
+
+}  // namespace nsf

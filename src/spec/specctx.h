@@ -1,0 +1,106 @@
+// Shared emission context for the SPEC-like workload generators: integer
+// array addressing, an in-module xorshift32 RNG, and the main-function
+// scaffold (open /out.txt, run, print results, return 0).
+#ifndef SRC_SPEC_SPECCTX_H_
+#define SRC_SPEC_SPECCTX_H_
+
+#include <string>
+
+#include "src/builder/builder.h"
+#include "src/runtime/wasmlib.h"
+
+namespace nsf {
+
+class SpecCtx {
+ public:
+  explicit SpecCtx(const std::string& name, uint32_t pages = 256) : mb_(name) {
+    mb_.AddMemory(pages, 4096);
+    lib_ = AddWasmLib(&mb_, (pages - 16) * 65536u);
+    mb_.AddData(256, std::string("/out.txt"));
+    rng_state_ = mb_.AddGlobal(ValType::kI32, true, Instr::ConstI32(0x12345));
+    // xorshift32: s ^= s<<13; s ^= s>>17; s ^= s<<5.
+    auto& r = mb_.AddInternalFunction("rng", {}, {ValType::kI32});
+    uint32_t s = r.AddLocal(ValType::kI32);
+    r.GlobalGet(rng_state_).LocalSet(s);
+    r.LocalGet(s).LocalGet(s).I32Const(13).I32Shl().I32Xor().LocalSet(s);
+    r.LocalGet(s).LocalGet(s).I32Const(17).I32ShrU().I32Xor().LocalSet(s);
+    r.LocalGet(s).LocalGet(s).I32Const(5).I32Shl().I32Xor().LocalSet(s);
+    r.LocalGet(s).GlobalSet(rng_state_);
+    r.LocalGet(s);
+    rng_fn_ = r.index();
+  }
+
+  ModuleBuilder& mb() { return mb_; }
+  const WasmLib& lib() const { return lib_; }
+  FunctionBuilder& f() { return *f_; }
+  // Directs the emission helpers (AddrI32/LdI32/...) at `fb`; BeginMain
+  // re-targets them at main. Call this at the top of every internal-function
+  // emitter that uses the helpers.
+  void SetFunc(FunctionBuilder* fb) { f_ = fb; }
+  uint32_t rng_fn() const { return rng_fn_; }
+  uint32_t fd_local() const { return fd_; }
+
+  void BeginMain() {
+    f_ = &mb_.AddFunction("main", {}, {ValType::kI32});
+    fd_ = f_->AddLocal(ValType::kI32);
+    f_->I32Const(256).I32Const(0x241).Call(lib_.sys.open).LocalSet(fd_);
+  }
+
+  void EndMain() {
+    f_->LocalGet(fd_).Call(lib_.sys.close).Drop();
+    f_->I32Const(0);
+  }
+
+  // Prints "label=value\n" to the result file (i32 value on the Wasm stack
+  // must be pushed by the caller right before PrintResultTail).
+  void PrintLabel(const std::string& label) {
+    uint32_t addr = next_str_;
+    mb_.AddData(addr, label);
+    next_str_ += static_cast<uint32_t>(label.size()) + 1;  // NUL from zero mem
+    f_->LocalGet(fd_).I32Const(static_cast<int32_t>(addr)).Call(lib_.write_cstr);
+  }
+  // value must be in local `v`.
+  void PrintResult(const std::string& label, uint32_t v_local) {
+    PrintLabel(label + "=");
+    f_->LocalGet(fd_).LocalGet(v_local).Call(lib_.print_i32);
+    f_->LocalGet(fd_).Call(lib_.newline);
+  }
+  void PrintResultF64(const std::string& label, uint32_t v_local) {
+    PrintLabel(label + "=");
+    f_->LocalGet(fd_).LocalGet(v_local).I32Const(4).Call(lib_.print_f64);
+    f_->LocalGet(fd_).Call(lib_.newline);
+  }
+
+  // --- address helpers (i32 elements unless noted) ---
+  // Pushes base + idx_local*4.
+  void AddrI32(uint32_t base, uint32_t idx_local) {
+    f_->LocalGet(idx_local).I32Const(2).I32Shl();
+    f_->I32Const(static_cast<int32_t>(base)).I32Add();
+  }
+  void LdI32(uint32_t base, uint32_t idx_local) {
+    AddrI32(base, idx_local);
+    f_->I32Load(0);
+  }
+  // Pushes base + idx_local*8 (f64 elements).
+  void AddrF64(uint32_t base, uint32_t idx_local) {
+    f_->LocalGet(idx_local).I32Const(3).I32Shl();
+    f_->I32Const(static_cast<int32_t>(base)).I32Add();
+  }
+  void LdF64(uint32_t base, uint32_t idx_local) {
+    AddrF64(base, idx_local);
+    f_->F64Load(0);
+  }
+
+ private:
+  ModuleBuilder mb_;
+  WasmLib lib_;
+  FunctionBuilder* f_ = nullptr;
+  uint32_t fd_ = 0;
+  uint32_t rng_state_ = 0;
+  uint32_t rng_fn_ = 0;
+  uint32_t next_str_ = 512;  // string constants 512..4095
+};
+
+}  // namespace nsf
+
+#endif  // SRC_SPEC_SPECCTX_H_

@@ -1,0 +1,62 @@
+// LEB128 variable-length integer encoding, plus byte-stream reader/writer
+// helpers shared by the Wasm binary encoder and decoder.
+#ifndef SRC_SUPPORT_LEB128_H_
+#define SRC_SUPPORT_LEB128_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nsf {
+
+// Appends unsigned/signed LEB128 encodings of `value` to `out`.
+void WriteVarU32(std::vector<uint8_t>& out, uint32_t value);
+void WriteVarU64(std::vector<uint8_t>& out, uint64_t value);
+void WriteVarS32(std::vector<uint8_t>& out, int32_t value);
+void WriteVarS64(std::vector<uint8_t>& out, int64_t value);
+
+// A bounds-checked forward reader over a byte buffer. All Read* methods set
+// `ok()` to false (and return 0) on malformed or truncated input instead of
+// throwing; callers check `ok()` once at a convenient boundary.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf) : ByteReader(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t size() const { return size_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  uint8_t ReadByte();
+  uint8_t PeekByte();
+  uint32_t ReadVarU32();
+  uint64_t ReadVarU64();
+  int32_t ReadVarS32();
+  int64_t ReadVarS64();
+  // Block types are encoded as a signed 33-bit LEB; MVP only uses the
+  // single-byte negative forms, but we decode per spec.
+  int64_t ReadVarS33();
+  uint32_t ReadFixedU32();  // little-endian
+  uint64_t ReadFixedU64();  // little-endian
+  float ReadF32();
+  double ReadF64();
+  // Reads `n` raw bytes into `out`; fails if fewer remain.
+  bool ReadBytes(size_t n, std::vector<uint8_t>* out);
+  std::string ReadString(size_t n);
+  bool Skip(size_t n);
+
+ private:
+  void Fail() { ok_ = false; }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_SUPPORT_LEB128_H_

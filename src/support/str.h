@@ -1,0 +1,31 @@
+// Small string/formatting helpers used across the project.
+#ifndef SRC_SUPPORT_STR_H_
+#define SRC_SUPPORT_STR_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsf {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, const std::string& sep);
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// FNV-1a over a byte buffer; used for cheap content fingerprints in tests and
+// output validation.
+uint64_t Fnv1a(const uint8_t* data, size_t size);
+uint64_t Fnv1a(const std::string& s);
+
+}  // namespace nsf
+
+#endif  // SRC_SUPPORT_STR_H_

@@ -1,0 +1,541 @@
+#include "src/wasm/decoder.h"
+
+#include "src/support/leb128.h"
+#include "src/support/str.h"
+
+namespace nsf {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x6d736100;
+constexpr uint32_t kVersion = 1;
+
+class ModuleDecoder {
+ public:
+  ModuleDecoder(const uint8_t* data, size_t size) : r_(data, size) {}
+
+  DecodeResult Run() {
+    DecodeResult result;
+    if (r_.ReadFixedU32() != kMagic) {
+      return Error("bad magic number");
+    }
+    if (r_.ReadFixedU32() != kVersion) {
+      return Error("unsupported version");
+    }
+    int last_section = -1;
+    while (!r_.AtEnd()) {
+      uint8_t id = r_.ReadByte();
+      uint32_t size = r_.ReadVarU32();
+      if (!r_.ok()) {
+        return Error("truncated section header");
+      }
+      size_t end = r_.pos() + size;
+      if (end > r_.size()) {
+        return Error("section extends past end of module");
+      }
+      if (id != 0) {
+        if (static_cast<int>(id) <= last_section) {
+          return Error(StrFormat("section %u out of order", id));
+        }
+        last_section = id;
+      }
+      bool ok = true;
+      switch (id) {
+        case 0:
+          ok = DecodeCustomSection(end);
+          break;
+        case 1:
+          ok = DecodeTypeSection();
+          break;
+        case 2:
+          ok = DecodeImportSection();
+          break;
+        case 3:
+          ok = DecodeFunctionSection();
+          break;
+        case 4:
+          ok = DecodeTableSection();
+          break;
+        case 5:
+          ok = DecodeMemorySection();
+          break;
+        case 6:
+          ok = DecodeGlobalSection();
+          break;
+        case 7:
+          ok = DecodeExportSection();
+          break;
+        case 8:
+          module_.start = r_.ReadVarU32();
+          break;
+        case 9:
+          ok = DecodeElementSection();
+          break;
+        case 10:
+          ok = DecodeCodeSection();
+          break;
+        case 11:
+          ok = DecodeDataSection();
+          break;
+        default:
+          return Error(StrFormat("unknown section id %u", id));
+      }
+      if (!ok || !r_.ok()) {
+        if (error_.empty()) {
+          error_ = "malformed section";
+        }
+        return Error(error_);
+      }
+      if (r_.pos() != end) {
+        return Error(StrFormat("section %u size mismatch", id));
+      }
+    }
+    if (module_.functions.size() != num_declared_funcs_) {
+      return Error("function and code section counts disagree");
+    }
+    result.ok = true;
+    result.module = std::move(module_);
+    return result;
+  }
+
+ private:
+  DecodeResult Error(const std::string& msg) {
+    DecodeResult result;
+    result.ok = false;
+    result.error = StrFormat("offset %zu: %s", r_.pos(), msg.c_str());
+    return result;
+  }
+
+  bool Fail(const std::string& msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool ReadValType(ValType* out) {
+    uint8_t b = r_.ReadByte();
+    if (!IsValidValType(b)) {
+      return Fail(StrFormat("invalid value type 0x%02x", b));
+    }
+    *out = static_cast<ValType>(b);
+    return true;
+  }
+
+  bool ReadLimits(Limits* out) {
+    uint8_t flags = r_.ReadByte();
+    if (flags > 1) {
+      return Fail("invalid limits flags");
+    }
+    out->min = r_.ReadVarU32();
+    if (flags == 1) {
+      out->max = r_.ReadVarU32();
+      if (r_.ok() && *out->max < out->min) {
+        return Fail("limits: max < min");
+      }
+    } else {
+      out->max.reset();
+    }
+    return r_.ok();
+  }
+
+  bool DecodeTypeSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      if (r_.ReadByte() != 0x60) {
+        return Fail("expected func type (0x60)");
+      }
+      FuncType type;
+      uint32_t nparams = r_.ReadVarU32();
+      for (uint32_t p = 0; p < nparams && r_.ok(); p++) {
+        ValType t;
+        if (!ReadValType(&t)) {
+          return false;
+        }
+        type.params.push_back(t);
+      }
+      uint32_t nresults = r_.ReadVarU32();
+      if (nresults > 1) {
+        return Fail("MVP allows at most one result");
+      }
+      for (uint32_t q = 0; q < nresults && r_.ok(); q++) {
+        ValType t;
+        if (!ReadValType(&t)) {
+          return false;
+        }
+        type.results.push_back(t);
+      }
+      module_.types.push_back(std::move(type));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeImportSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      Import imp;
+      imp.module = r_.ReadString(r_.ReadVarU32());
+      imp.name = r_.ReadString(r_.ReadVarU32());
+      uint8_t kind = r_.ReadByte();
+      switch (kind) {
+        case 0:
+          imp.kind = ExternalKind::kFunc;
+          imp.type_index = r_.ReadVarU32();
+          break;
+        case 1:
+          imp.kind = ExternalKind::kTable;
+          if (r_.ReadByte() != 0x70) {
+            return Fail("imported table must be funcref");
+          }
+          if (!ReadLimits(&imp.limits)) {
+            return false;
+          }
+          break;
+        case 2:
+          imp.kind = ExternalKind::kMemory;
+          if (!ReadLimits(&imp.limits)) {
+            return false;
+          }
+          break;
+        case 3: {
+          imp.kind = ExternalKind::kGlobal;
+          ValType t;
+          if (!ReadValType(&t)) {
+            return false;
+          }
+          imp.global_type.type = t;
+          imp.global_type.mut = r_.ReadByte() != 0;
+          break;
+        }
+        default:
+          return Fail("invalid import kind");
+      }
+      module_.imports.push_back(std::move(imp));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeFunctionSection() {
+    uint32_t count = r_.ReadVarU32();
+    num_declared_funcs_ = count;
+    declared_types_.reserve(count);
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      declared_types_.push_back(r_.ReadVarU32());
+    }
+    return r_.ok();
+  }
+
+  bool DecodeTableSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      if (r_.ReadByte() != 0x70) {
+        return Fail("table element type must be funcref");
+      }
+      Table t;
+      if (!ReadLimits(&t.limits)) {
+        return false;
+      }
+      module_.tables.push_back(t);
+    }
+    return r_.ok();
+  }
+
+  bool DecodeMemorySection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      MemorySec m;
+      if (!ReadLimits(&m.limits)) {
+        return false;
+      }
+      module_.memories.push_back(m);
+    }
+    return r_.ok();
+  }
+
+  bool DecodeConstInstr(Instr* out) {
+    // MVP initializer: exactly one const / global.get followed by end.
+    uint8_t b = r_.ReadByte();
+    if (!IsValidOpcode(b)) {
+      return Fail("invalid opcode in initializer");
+    }
+    Instr instr;
+    instr.op = static_cast<Opcode>(b);
+    switch (instr.op) {
+      case Opcode::kI32Const:
+        instr.imm = static_cast<uint32_t>(r_.ReadVarS32());
+        break;
+      case Opcode::kI64Const:
+        instr.imm = static_cast<uint64_t>(r_.ReadVarS64());
+        break;
+      case Opcode::kF32Const:
+        instr.imm = r_.ReadFixedU32();
+        break;
+      case Opcode::kF64Const:
+        instr.imm = r_.ReadFixedU64();
+        break;
+      case Opcode::kGlobalGet:
+        instr.a = r_.ReadVarU32();
+        break;
+      default:
+        return Fail("unsupported initializer opcode");
+    }
+    if (r_.ReadByte() != static_cast<uint8_t>(Opcode::kEnd)) {
+      return Fail("initializer must end with `end`");
+    }
+    *out = instr;
+    return r_.ok();
+  }
+
+  bool DecodeGlobalSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      Global g;
+      ValType t;
+      if (!ReadValType(&t)) {
+        return false;
+      }
+      g.type.type = t;
+      g.type.mut = r_.ReadByte() != 0;
+      if (!DecodeConstInstr(&g.init)) {
+        return false;
+      }
+      module_.globals.push_back(g);
+    }
+    return r_.ok();
+  }
+
+  bool DecodeExportSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      Export e;
+      e.name = r_.ReadString(r_.ReadVarU32());
+      uint8_t kind = r_.ReadByte();
+      if (kind > 3) {
+        return Fail("invalid export kind");
+      }
+      e.kind = static_cast<ExternalKind>(kind);
+      e.index = r_.ReadVarU32();
+      module_.exports.push_back(std::move(e));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeElementSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      ElementSegment seg;
+      seg.table_index = r_.ReadVarU32();
+      if (!DecodeConstInstr(&seg.offset)) {
+        return false;
+      }
+      uint32_t n = r_.ReadVarU32();
+      for (uint32_t k = 0; k < n && r_.ok(); k++) {
+        seg.func_indices.push_back(r_.ReadVarU32());
+      }
+      module_.elements.push_back(std::move(seg));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeInstr(Instr* out) {
+    uint8_t b = r_.ReadByte();
+    if (!r_.ok()) {
+      return Fail("truncated function body");
+    }
+    if (!IsValidOpcode(b)) {
+      return Fail(StrFormat("invalid opcode 0x%02x", b));
+    }
+    Instr instr;
+    instr.op = static_cast<Opcode>(b);
+    switch (OpcodeImmKind(instr.op)) {
+      case ImmKind::kNone:
+        break;
+      case ImmKind::kBlockType: {
+        int64_t bt = r_.ReadVarS33();
+        if (bt != kVoidBlockType && !IsValidValType(static_cast<uint8_t>(bt & 0x7f))) {
+          return Fail("invalid block type");
+        }
+        instr.block_type = bt;
+        break;
+      }
+      case ImmKind::kLabel:
+      case ImmKind::kFunc:
+      case ImmKind::kLocal:
+      case ImmKind::kGlobal:
+        instr.a = r_.ReadVarU32();
+        break;
+      case ImmKind::kCallInd:
+        instr.a = r_.ReadVarU32();
+        if (r_.ReadByte() != 0) {
+          return Fail("call_indirect reserved byte must be 0");
+        }
+        break;
+      case ImmKind::kLabelTable: {
+        uint32_t n = r_.ReadVarU32();
+        if (n > 1u << 20) {
+          return Fail("br_table too large");
+        }
+        instr.table.reserve(n + 1);
+        for (uint32_t k = 0; k <= n && r_.ok(); k++) {
+          instr.table.push_back(r_.ReadVarU32());
+        }
+        break;
+      }
+      case ImmKind::kMem:
+        instr.a = r_.ReadVarU32();
+        instr.b = r_.ReadVarU32();
+        break;
+      case ImmKind::kMemIdx:
+        if (r_.ReadByte() != 0) {
+          return Fail("memory index byte must be 0");
+        }
+        break;
+      case ImmKind::kI32:
+        instr.imm = static_cast<uint32_t>(r_.ReadVarS32());
+        break;
+      case ImmKind::kI64:
+        instr.imm = static_cast<uint64_t>(r_.ReadVarS64());
+        break;
+      case ImmKind::kF32:
+        instr.imm = r_.ReadFixedU32();
+        break;
+      case ImmKind::kF64:
+        instr.imm = r_.ReadFixedU64();
+        break;
+    }
+    *out = std::move(instr);
+    return r_.ok();
+  }
+
+  bool DecodeCodeSection() {
+    uint32_t count = r_.ReadVarU32();
+    if (count != num_declared_funcs_) {
+      return Fail("code count != function count");
+    }
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      uint32_t body_size = r_.ReadVarU32();
+      size_t body_end = r_.pos() + body_size;
+      if (body_end > r_.size()) {
+        return Fail("code body extends past section");
+      }
+      Function f;
+      f.type_index = declared_types_[i];
+      uint32_t ngroups = r_.ReadVarU32();
+      uint64_t total_locals = 0;
+      for (uint32_t g = 0; g < ngroups && r_.ok(); g++) {
+        uint32_t n = r_.ReadVarU32();
+        ValType t;
+        if (!ReadValType(&t)) {
+          return false;
+        }
+        total_locals += n;
+        if (total_locals > 50000) {
+          return Fail("too many locals");
+        }
+        f.locals.insert(f.locals.end(), n, t);
+      }
+      // Decode instructions until the body's closing `end` balances out.
+      int depth = 1;
+      while (depth > 0 && r_.ok()) {
+        if (r_.pos() >= body_end) {
+          return Fail("function body not terminated");
+        }
+        Instr instr;
+        if (!DecodeInstr(&instr)) {
+          return false;
+        }
+        switch (instr.op) {
+          case Opcode::kBlock:
+          case Opcode::kLoop:
+          case Opcode::kIf:
+            depth++;
+            break;
+          case Opcode::kEnd:
+            depth--;
+            break;
+          default:
+            break;
+        }
+        f.body.push_back(std::move(instr));
+      }
+      if (r_.pos() != body_end) {
+        return Fail("code body size mismatch");
+      }
+      module_.functions.push_back(std::move(f));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeDataSection() {
+    uint32_t count = r_.ReadVarU32();
+    for (uint32_t i = 0; i < count && r_.ok(); i++) {
+      DataSegment seg;
+      seg.memory_index = r_.ReadVarU32();
+      if (!DecodeConstInstr(&seg.offset)) {
+        return false;
+      }
+      uint32_t n = r_.ReadVarU32();
+      if (!r_.ReadBytes(n, &seg.bytes)) {
+        return Fail("truncated data segment");
+      }
+      module_.data.push_back(std::move(seg));
+    }
+    return r_.ok();
+  }
+
+  bool DecodeCustomSection(size_t end) {
+    uint32_t name_len = r_.ReadVarU32();
+    std::string name = r_.ReadString(name_len);
+    if (name == "name") {
+      DecodeNameSection(end);
+      // Name-section errors are non-fatal per spec; skip whatever remains.
+    }
+    if (r_.pos() < end) {
+      r_.Skip(end - r_.pos());
+    }
+    return r_.ok();
+  }
+
+  void DecodeNameSection(size_t end) {
+    while (r_.pos() < end && r_.ok()) {
+      uint8_t sub_id = r_.ReadByte();
+      uint32_t sub_size = r_.ReadVarU32();
+      size_t sub_end = r_.pos() + sub_size;
+      if (sub_end > end) {
+        return;
+      }
+      if (sub_id == 0) {
+        module_.name = r_.ReadString(r_.ReadVarU32());
+      } else if (sub_id == 1) {
+        uint32_t count = r_.ReadVarU32();
+        uint32_t imported = module_.NumImportedFuncs();
+        for (uint32_t i = 0; i < count && r_.ok(); i++) {
+          uint32_t idx = r_.ReadVarU32();
+          std::string fname = r_.ReadString(r_.ReadVarU32());
+          if (idx >= imported && idx - imported < module_.functions.size()) {
+            module_.functions[idx - imported].debug_name = std::move(fname);
+          }
+        }
+      }
+      if (r_.pos() < sub_end) {
+        r_.Skip(sub_end - r_.pos());
+      }
+    }
+  }
+
+  ByteReader r_;
+  Module module_;
+  std::vector<uint32_t> declared_types_;
+  uint32_t num_declared_funcs_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+DecodeResult DecodeModule(const uint8_t* data, size_t size) {
+  return ModuleDecoder(data, size).Run();
+}
+
+DecodeResult DecodeModule(const std::vector<uint8_t>& bytes) {
+  return DecodeModule(bytes.data(), bytes.size());
+}
+
+}  // namespace nsf

@@ -1,0 +1,27 @@
+// Parses the WebAssembly MVP binary format into a Module.
+#ifndef SRC_WASM_DECODER_H_
+#define SRC_WASM_DECODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+struct DecodeResult {
+  bool ok = false;
+  std::string error;   // human-readable, with byte offset, when !ok
+  Module module;
+};
+
+// Decodes a binary module. Performs syntactic checks only (magic/version,
+// section ordering, LEB well-formedness, known opcodes); semantic checks are
+// the validator's job.
+DecodeResult DecodeModule(const uint8_t* data, size_t size);
+DecodeResult DecodeModule(const std::vector<uint8_t>& bytes);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_DECODER_H_

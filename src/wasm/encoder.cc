@@ -1,0 +1,329 @@
+#include "src/wasm/encoder.h"
+
+#include <cstring>
+
+#include "src/support/leb128.h"
+
+namespace nsf {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x6d736100;  // "\0asm"
+constexpr uint32_t kVersion = 1;
+
+enum SectionId : uint8_t {
+  kSecCustom = 0,
+  kSecType = 1,
+  kSecImport = 2,
+  kSecFunction = 3,
+  kSecTable = 4,
+  kSecMemory = 5,
+  kSecGlobal = 6,
+  kSecExport = 7,
+  kSecStart = 8,
+  kSecElement = 9,
+  kSecCode = 10,
+  kSecData = 11,
+};
+
+void WriteFixedU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; i++) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WriteName(std::vector<uint8_t>& out, const std::string& s) {
+  WriteVarU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void WriteLimits(std::vector<uint8_t>& out, const Limits& limits) {
+  out.push_back(limits.max.has_value() ? 1 : 0);
+  WriteVarU32(out, limits.min);
+  if (limits.max.has_value()) {
+    WriteVarU32(out, *limits.max);
+  }
+}
+
+void WriteSection(std::vector<uint8_t>& out, uint8_t id, const std::vector<uint8_t>& payload) {
+  if (payload.empty()) {
+    return;
+  }
+  out.push_back(id);
+  WriteVarU32(out, static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+}  // namespace
+
+void EncodeInstr(std::vector<uint8_t>& out, const Instr& instr) {
+  out.push_back(static_cast<uint8_t>(instr.op));
+  switch (OpcodeImmKind(instr.op)) {
+    case ImmKind::kNone:
+      break;
+    case ImmKind::kBlockType:
+      // MVP block types are single-byte s33 values.
+      WriteVarS64(out, instr.block_type);
+      break;
+    case ImmKind::kLabel:
+    case ImmKind::kFunc:
+    case ImmKind::kLocal:
+    case ImmKind::kGlobal:
+      WriteVarU32(out, instr.a);
+      break;
+    case ImmKind::kCallInd:
+      WriteVarU32(out, instr.a);
+      out.push_back(0x00);  // reserved table index
+      break;
+    case ImmKind::kLabelTable: {
+      // table holds N targets followed by the default.
+      WriteVarU32(out, static_cast<uint32_t>(instr.table.size()) - 1);
+      for (uint32_t t : instr.table) {
+        WriteVarU32(out, t);
+      }
+      break;
+    }
+    case ImmKind::kMem:
+      WriteVarU32(out, instr.a);
+      WriteVarU32(out, instr.b);
+      break;
+    case ImmKind::kMemIdx:
+      out.push_back(0x00);
+      break;
+    case ImmKind::kI32:
+      WriteVarS32(out, instr.AsI32());
+      break;
+    case ImmKind::kI64:
+      WriteVarS64(out, instr.AsI64());
+      break;
+    case ImmKind::kF32: {
+      uint32_t bits = static_cast<uint32_t>(instr.imm);
+      WriteFixedU32(out, bits);
+      break;
+    }
+    case ImmKind::kF64: {
+      uint64_t bits = instr.imm;
+      for (int i = 0; i < 8; i++) {
+        out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+      }
+      break;
+    }
+  }
+}
+
+std::vector<uint8_t> EncodeModule(const Module& module) {
+  std::vector<uint8_t> out;
+  WriteFixedU32(out, kMagic);
+  WriteFixedU32(out, kVersion);
+
+  // Type section.
+  if (!module.types.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.types.size()));
+    for (const FuncType& t : module.types) {
+      sec.push_back(0x60);
+      WriteVarU32(sec, static_cast<uint32_t>(t.params.size()));
+      for (ValType p : t.params) {
+        sec.push_back(static_cast<uint8_t>(p));
+      }
+      WriteVarU32(sec, static_cast<uint32_t>(t.results.size()));
+      for (ValType r : t.results) {
+        sec.push_back(static_cast<uint8_t>(r));
+      }
+    }
+    WriteSection(out, kSecType, sec);
+  }
+
+  // Import section.
+  if (!module.imports.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.imports.size()));
+    for (const Import& imp : module.imports) {
+      WriteName(sec, imp.module);
+      WriteName(sec, imp.name);
+      sec.push_back(static_cast<uint8_t>(imp.kind));
+      switch (imp.kind) {
+        case ExternalKind::kFunc:
+          WriteVarU32(sec, imp.type_index);
+          break;
+        case ExternalKind::kTable:
+          sec.push_back(0x70);  // funcref
+          WriteLimits(sec, imp.limits);
+          break;
+        case ExternalKind::kMemory:
+          WriteLimits(sec, imp.limits);
+          break;
+        case ExternalKind::kGlobal:
+          sec.push_back(static_cast<uint8_t>(imp.global_type.type));
+          sec.push_back(imp.global_type.mut ? 1 : 0);
+          break;
+      }
+    }
+    WriteSection(out, kSecImport, sec);
+  }
+
+  // Function section.
+  if (!module.functions.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.functions.size()));
+    for (const Function& f : module.functions) {
+      WriteVarU32(sec, f.type_index);
+    }
+    WriteSection(out, kSecFunction, sec);
+  }
+
+  // Table section.
+  if (!module.tables.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.tables.size()));
+    for (const Table& t : module.tables) {
+      sec.push_back(0x70);  // funcref
+      WriteLimits(sec, t.limits);
+    }
+    WriteSection(out, kSecTable, sec);
+  }
+
+  // Memory section.
+  if (!module.memories.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.memories.size()));
+    for (const MemorySec& m : module.memories) {
+      WriteLimits(sec, m.limits);
+    }
+    WriteSection(out, kSecMemory, sec);
+  }
+
+  // Global section.
+  if (!module.globals.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.globals.size()));
+    for (const Global& g : module.globals) {
+      sec.push_back(static_cast<uint8_t>(g.type.type));
+      sec.push_back(g.type.mut ? 1 : 0);
+      EncodeInstr(sec, g.init);
+      sec.push_back(static_cast<uint8_t>(Opcode::kEnd));
+    }
+    WriteSection(out, kSecGlobal, sec);
+  }
+
+  // Export section.
+  if (!module.exports.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.exports.size()));
+    for (const Export& e : module.exports) {
+      WriteName(sec, e.name);
+      sec.push_back(static_cast<uint8_t>(e.kind));
+      WriteVarU32(sec, e.index);
+    }
+    WriteSection(out, kSecExport, sec);
+  }
+
+  // Start section.
+  if (module.start.has_value()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, *module.start);
+    WriteSection(out, kSecStart, sec);
+  }
+
+  // Element section.
+  if (!module.elements.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.elements.size()));
+    for (const ElementSegment& e : module.elements) {
+      WriteVarU32(sec, e.table_index);
+      EncodeInstr(sec, e.offset);
+      sec.push_back(static_cast<uint8_t>(Opcode::kEnd));
+      WriteVarU32(sec, static_cast<uint32_t>(e.func_indices.size()));
+      for (uint32_t fi : e.func_indices) {
+        WriteVarU32(sec, fi);
+      }
+    }
+    WriteSection(out, kSecElement, sec);
+  }
+
+  // Code section.
+  if (!module.functions.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.functions.size()));
+    for (const Function& f : module.functions) {
+      std::vector<uint8_t> body;
+      // Compress locals into run-length groups.
+      std::vector<std::pair<uint32_t, ValType>> groups;
+      for (ValType t : f.locals) {
+        if (!groups.empty() && groups.back().second == t) {
+          groups.back().first++;
+        } else {
+          groups.push_back({1, t});
+        }
+      }
+      WriteVarU32(body, static_cast<uint32_t>(groups.size()));
+      for (const auto& [count, type] : groups) {
+        WriteVarU32(body, count);
+        body.push_back(static_cast<uint8_t>(type));
+      }
+      for (const Instr& instr : f.body) {
+        EncodeInstr(body, instr);
+      }
+      WriteVarU32(sec, static_cast<uint32_t>(body.size()));
+      sec.insert(sec.end(), body.begin(), body.end());
+    }
+    WriteSection(out, kSecCode, sec);
+  }
+
+  // Data section.
+  if (!module.data.empty()) {
+    std::vector<uint8_t> sec;
+    WriteVarU32(sec, static_cast<uint32_t>(module.data.size()));
+    for (const DataSegment& d : module.data) {
+      WriteVarU32(sec, d.memory_index);
+      EncodeInstr(sec, d.offset);
+      sec.push_back(static_cast<uint8_t>(Opcode::kEnd));
+      WriteVarU32(sec, static_cast<uint32_t>(d.bytes.size()));
+      sec.insert(sec.end(), d.bytes.begin(), d.bytes.end());
+    }
+    WriteSection(out, kSecData, sec);
+  }
+
+  // Name section (custom), if any names present.
+  bool has_names = !module.name.empty();
+  for (const Function& f : module.functions) {
+    has_names = has_names || !f.debug_name.empty();
+  }
+  if (has_names) {
+    std::vector<uint8_t> sec;
+    WriteName(sec, "name");
+    if (!module.name.empty()) {
+      std::vector<uint8_t> sub;
+      WriteName(sub, module.name);
+      sec.push_back(0);  // module name subsection
+      WriteVarU32(sec, static_cast<uint32_t>(sub.size()));
+      sec.insert(sec.end(), sub.begin(), sub.end());
+    }
+    // Function names subsection.
+    std::vector<uint8_t> assoc;
+    uint32_t named = 0;
+    uint32_t base = module.NumImportedFuncs();
+    for (size_t i = 0; i < module.functions.size(); i++) {
+      if (!module.functions[i].debug_name.empty()) {
+        named++;
+      }
+    }
+    if (named > 0) {
+      WriteVarU32(assoc, named);
+      for (size_t i = 0; i < module.functions.size(); i++) {
+        if (!module.functions[i].debug_name.empty()) {
+          WriteVarU32(assoc, base + static_cast<uint32_t>(i));
+          WriteName(assoc, module.functions[i].debug_name);
+        }
+      }
+      sec.push_back(1);  // function names subsection
+      WriteVarU32(sec, static_cast<uint32_t>(assoc.size()));
+      sec.insert(sec.end(), assoc.begin(), assoc.end());
+    }
+    WriteSection(out, kSecCustom, sec);
+  }
+
+  return out;
+}
+
+}  // namespace nsf

@@ -1,0 +1,22 @@
+// Serializes a Module to the WebAssembly MVP binary format.
+#ifndef SRC_WASM_ENCODER_H_
+#define SRC_WASM_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+// Encodes `module` into binary form. The module is assumed well-formed
+// (indices need not validate; the encoder is purely syntactic). Emits a name
+// section when the module or any function carries a debug name.
+std::vector<uint8_t> EncodeModule(const Module& module);
+
+// Encodes a single instruction (used by tests and by the module encoder).
+void EncodeInstr(std::vector<uint8_t>& out, const Instr& instr);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_ENCODER_H_

@@ -1,0 +1,104 @@
+#include "src/wasm/module.h"
+
+#include <cstring>
+
+namespace nsf {
+
+Instr Instr::ConstF32(float v) {
+  Instr i;
+  i.op = Opcode::kF32Const;
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  i.imm = bits;
+  return i;
+}
+
+Instr Instr::ConstF64(double v) {
+  Instr i;
+  i.op = Opcode::kF64Const;
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  i.imm = bits;
+  return i;
+}
+
+float Instr::AsF32() const {
+  uint32_t bits = static_cast<uint32_t>(imm);
+  float f;
+  std::memcpy(&f, &bits, 4);
+  return f;
+}
+
+double Instr::AsF64() const {
+  double d;
+  std::memcpy(&d, &imm, 8);
+  return d;
+}
+
+uint32_t Module::NumImportedFuncs() const {
+  uint32_t n = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind == ExternalKind::kFunc) {
+      n++;
+    }
+  }
+  return n;
+}
+
+uint32_t Module::NumImportedGlobals() const {
+  uint32_t n = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind == ExternalKind::kGlobal) {
+      n++;
+    }
+  }
+  return n;
+}
+
+const FuncType& Module::FuncTypeOf(uint32_t func_index) const {
+  uint32_t imported = NumImportedFuncs();
+  if (func_index < imported) {
+    return types[FuncImportOf(func_index).type_index];
+  }
+  return types[functions[func_index - imported].type_index];
+}
+
+const Import& Module::FuncImportOf(uint32_t func_index) const {
+  uint32_t n = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind == ExternalKind::kFunc) {
+      if (n == func_index) {
+        return imp;
+      }
+      n++;
+    }
+  }
+  // Callers must pass a valid imported function index; returning the last
+  // import would mask bugs, so fail loudly.
+  static const Import kBad{};
+  return kBad;
+}
+
+GlobalType Module::GlobalTypeOf(uint32_t global_index) const {
+  uint32_t n = 0;
+  for (const Import& imp : imports) {
+    if (imp.kind == ExternalKind::kGlobal) {
+      if (n == global_index) {
+        return imp.global_type;
+      }
+      n++;
+    }
+  }
+  return globals[global_index - n].type;
+}
+
+const Export* Module::FindExport(const std::string& name, ExternalKind kind) const {
+  for (const Export& e : exports) {
+    if (e.kind == kind && e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace nsf

@@ -1,0 +1,172 @@
+// In-memory representation of a WebAssembly MVP module, including fully
+// decoded instruction sequences. This is the interchange format between the
+// decoder/encoder, validator, interpreter, builder DSL, and codegen.
+#ifndef SRC_WASM_MODULE_H_
+#define SRC_WASM_MODULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/wasm/opcodes.h"
+#include "src/wasm/types.h"
+
+namespace nsf {
+
+// One decoded instruction. Immediate fields are interpreted per
+// OpcodeImmKind(op):
+//   kLabel/kFunc/kLocal/kGlobal : `a` holds the index
+//   kCallInd                    : `a` holds the type index
+//   kMem                        : `a` = log2(align), `b` = offset
+//   kI32/kI64/kF32/kF64         : `imm` holds the (bit-pattern) constant
+//   kBlockType                  : `block_type` holds s33 code (kVoidBlockType
+//                                 or a ValType byte)
+//   kLabelTable                 : `table` holds targets, last entry = default
+struct Instr {
+  Opcode op = Opcode::kNop;
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint64_t imm = 0;
+  int64_t block_type = kVoidBlockType;
+  std::vector<uint32_t> table;
+
+  static Instr Simple(Opcode op) {
+    Instr i;
+    i.op = op;
+    return i;
+  }
+  static Instr Idx(Opcode op, uint32_t idx) {
+    Instr i;
+    i.op = op;
+    i.a = idx;
+    return i;
+  }
+  static Instr Mem(Opcode op, uint32_t align_log2, uint32_t offset) {
+    Instr i;
+    i.op = op;
+    i.a = align_log2;
+    i.b = offset;
+    return i;
+  }
+  static Instr ConstI32(int32_t v) {
+    Instr i;
+    i.op = Opcode::kI32Const;
+    i.imm = static_cast<uint32_t>(v);
+    return i;
+  }
+  static Instr ConstI64(int64_t v) {
+    Instr i;
+    i.op = Opcode::kI64Const;
+    i.imm = static_cast<uint64_t>(v);
+    return i;
+  }
+  static Instr ConstF32(float v);
+  static Instr ConstF64(double v);
+
+  float AsF32() const;
+  double AsF64() const;
+  int32_t AsI32() const { return static_cast<int32_t>(static_cast<uint32_t>(imm)); }
+  int64_t AsI64() const { return static_cast<int64_t>(imm); }
+};
+
+enum class ExternalKind : uint8_t {
+  kFunc = 0,
+  kTable = 1,
+  kMemory = 2,
+  kGlobal = 3,
+};
+
+struct Import {
+  std::string module;
+  std::string name;
+  ExternalKind kind = ExternalKind::kFunc;
+  uint32_t type_index = 0;  // kind == kFunc
+  Limits limits;            // kind == kTable / kMemory
+  GlobalType global_type;   // kind == kGlobal
+};
+
+struct Export {
+  std::string name;
+  ExternalKind kind = ExternalKind::kFunc;
+  uint32_t index = 0;
+};
+
+// A function defined in this module (imports are tracked separately).
+struct Function {
+  uint32_t type_index = 0;
+  // Locals beyond the parameters, in declaration order (run-length groups are
+  // expanded on decode and re-compressed on encode).
+  std::vector<ValType> locals;
+  std::vector<Instr> body;  // terminated by kEnd
+  std::string debug_name;   // optional, from/for the name section
+};
+
+struct Table {
+  Limits limits;  // funcref elements
+};
+
+struct MemorySec {
+  Limits limits;  // pages
+};
+
+struct Global {
+  GlobalType type;
+  Instr init;  // a single const instruction (MVP initializer subset)
+};
+
+struct ElementSegment {
+  uint32_t table_index = 0;
+  Instr offset;  // i32.const (MVP subset)
+  std::vector<uint32_t> func_indices;
+};
+
+struct DataSegment {
+  uint32_t memory_index = 0;
+  Instr offset;  // i32.const (MVP subset)
+  std::vector<uint8_t> bytes;
+};
+
+struct Module {
+  std::vector<FuncType> types;
+  std::vector<Import> imports;
+  std::vector<Function> functions;  // defined functions only
+  std::vector<Table> tables;
+  std::vector<MemorySec> memories;
+  std::vector<Global> globals;
+  std::vector<Export> exports;
+  std::optional<uint32_t> start;
+  std::vector<ElementSegment> elements;
+  std::vector<DataSegment> data;
+  std::string name;  // module name (name section)
+
+  // --- Index-space helpers (imports precede defined entities). ---
+  uint32_t NumImportedFuncs() const;
+  uint32_t NumImportedGlobals() const;
+  uint32_t NumTotalFuncs() const {
+    return NumImportedFuncs() + static_cast<uint32_t>(functions.size());
+  }
+  uint32_t NumTotalGlobals() const {
+    return NumImportedGlobals() + static_cast<uint32_t>(globals.size());
+  }
+  bool IsImportedFunc(uint32_t func_index) const { return func_index < NumImportedFuncs(); }
+  // Type of function `func_index` in the joint import+defined index space.
+  // Precondition: index in range (checked by validator).
+  const FuncType& FuncTypeOf(uint32_t func_index) const;
+  // The import entry for imported function `func_index`.
+  const Import& FuncImportOf(uint32_t func_index) const;
+  // Defined function for a joint-space index >= NumImportedFuncs().
+  const Function& DefinedFunc(uint32_t func_index) const {
+    return functions[func_index - NumImportedFuncs()];
+  }
+  Function& DefinedFunc(uint32_t func_index) {
+    return functions[func_index - NumImportedFuncs()];
+  }
+  // Global type of global `global_index` in the joint index space.
+  GlobalType GlobalTypeOf(uint32_t global_index) const;
+  // Returns the export with `name` and `kind`, or nullptr.
+  const Export* FindExport(const std::string& name, ExternalKind kind) const;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_MODULE_H_

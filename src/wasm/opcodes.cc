@@ -1,0 +1,46 @@
+#include "src/wasm/opcodes.h"
+
+namespace nsf {
+
+namespace {
+
+struct OpcodeInfo {
+  const char* name;
+  ImmKind imm;
+  bool valid;
+};
+
+constexpr OpcodeInfo BuildTableEntry(uint8_t byte) {
+  OpcodeInfo info{"<invalid>", ImmKind::kNone, false};
+#define NSF_FILL_ENTRY(name, opbyte, text, immkind)            \
+  if (byte == (opbyte)) {                                      \
+    info = OpcodeInfo{text, ImmKind::immkind, true};           \
+  }
+  NSF_FOREACH_OPCODE(NSF_FILL_ENTRY)
+#undef NSF_FILL_ENTRY
+  return info;
+}
+
+struct OpcodeTable {
+  OpcodeInfo entries[256];
+};
+
+constexpr OpcodeTable BuildTable() {
+  OpcodeTable table{};
+  for (int i = 0; i < 256; i++) {
+    table.entries[i] = BuildTableEntry(static_cast<uint8_t>(i));
+  }
+  return table;
+}
+
+constexpr OpcodeTable kTable = BuildTable();
+
+}  // namespace
+
+const char* OpcodeName(Opcode op) { return kTable.entries[static_cast<uint8_t>(op)].name; }
+
+ImmKind OpcodeImmKind(Opcode op) { return kTable.entries[static_cast<uint8_t>(op)].imm; }
+
+bool IsValidOpcode(uint8_t byte) { return kTable.entries[byte].valid; }
+
+}  // namespace nsf

@@ -1,0 +1,222 @@
+// WebAssembly MVP opcode table. The X-macro NSF_FOREACH_OPCODE captures, for
+// every opcode: enum name, binary encoding byte, mnemonic, and immediate kind.
+// All components (decoder, encoder, validator, interpreter, codegen, WAT
+// printer) dispatch off this single table.
+#ifndef SRC_WASM_OPCODES_H_
+#define SRC_WASM_OPCODES_H_
+
+#include <cstdint>
+
+namespace nsf {
+
+// Kinds of immediate operand that follow an opcode in the binary encoding.
+enum class ImmKind : uint8_t {
+  kNone,        // no immediate
+  kBlockType,   // s33 block type (MVP: void or one value type)
+  kLabel,       // u32 relative depth (br, br_if)
+  kLabelTable,  // vector of u32 + default (br_table)
+  kFunc,        // u32 function index (call)
+  kCallInd,     // u32 type index + 0x00 table byte (call_indirect)
+  kLocal,       // u32 local index
+  kGlobal,      // u32 global index
+  kMem,         // memarg: u32 align, u32 offset
+  kMemIdx,      // 0x00 reserved byte (memory.size / memory.grow)
+  kI32,         // s32 LEB constant
+  kI64,         // s64 LEB constant
+  kF32,         // 4-byte IEEE754
+  kF64,         // 8-byte IEEE754
+};
+
+#define NSF_FOREACH_OPCODE(V)                      \
+  V(Unreachable, 0x00, "unreachable", kNone)       \
+  V(Nop, 0x01, "nop", kNone)                       \
+  V(Block, 0x02, "block", kBlockType)              \
+  V(Loop, 0x03, "loop", kBlockType)                \
+  V(If, 0x04, "if", kBlockType)                    \
+  V(Else, 0x05, "else", kNone)                     \
+  V(End, 0x0b, "end", kNone)                       \
+  V(Br, 0x0c, "br", kLabel)                        \
+  V(BrIf, 0x0d, "br_if", kLabel)                   \
+  V(BrTable, 0x0e, "br_table", kLabelTable)        \
+  V(Return, 0x0f, "return", kNone)                 \
+  V(Call, 0x10, "call", kFunc)                     \
+  V(CallIndirect, 0x11, "call_indirect", kCallInd) \
+  V(Drop, 0x1a, "drop", kNone)                     \
+  V(Select, 0x1b, "select", kNone)                 \
+  V(LocalGet, 0x20, "local.get", kLocal)           \
+  V(LocalSet, 0x21, "local.set", kLocal)           \
+  V(LocalTee, 0x22, "local.tee", kLocal)           \
+  V(GlobalGet, 0x23, "global.get", kGlobal)        \
+  V(GlobalSet, 0x24, "global.set", kGlobal)        \
+  V(I32Load, 0x28, "i32.load", kMem)               \
+  V(I64Load, 0x29, "i64.load", kMem)               \
+  V(F32Load, 0x2a, "f32.load", kMem)               \
+  V(F64Load, 0x2b, "f64.load", kMem)               \
+  V(I32Load8S, 0x2c, "i32.load8_s", kMem)          \
+  V(I32Load8U, 0x2d, "i32.load8_u", kMem)          \
+  V(I32Load16S, 0x2e, "i32.load16_s", kMem)        \
+  V(I32Load16U, 0x2f, "i32.load16_u", kMem)        \
+  V(I64Load8S, 0x30, "i64.load8_s", kMem)          \
+  V(I64Load8U, 0x31, "i64.load8_u", kMem)          \
+  V(I64Load16S, 0x32, "i64.load16_s", kMem)        \
+  V(I64Load16U, 0x33, "i64.load16_u", kMem)        \
+  V(I64Load32S, 0x34, "i64.load32_s", kMem)        \
+  V(I64Load32U, 0x35, "i64.load32_u", kMem)        \
+  V(I32Store, 0x36, "i32.store", kMem)             \
+  V(I64Store, 0x37, "i64.store", kMem)             \
+  V(F32Store, 0x38, "f32.store", kMem)             \
+  V(F64Store, 0x39, "f64.store", kMem)             \
+  V(I32Store8, 0x3a, "i32.store8", kMem)           \
+  V(I32Store16, 0x3b, "i32.store16", kMem)         \
+  V(I64Store8, 0x3c, "i64.store8", kMem)           \
+  V(I64Store16, 0x3d, "i64.store16", kMem)         \
+  V(I64Store32, 0x3e, "i64.store32", kMem)         \
+  V(MemorySize, 0x3f, "memory.size", kMemIdx)      \
+  V(MemoryGrow, 0x40, "memory.grow", kMemIdx)      \
+  V(I32Const, 0x41, "i32.const", kI32)             \
+  V(I64Const, 0x42, "i64.const", kI64)             \
+  V(F32Const, 0x43, "f32.const", kF32)             \
+  V(F64Const, 0x44, "f64.const", kF64)             \
+  V(I32Eqz, 0x45, "i32.eqz", kNone)                \
+  V(I32Eq, 0x46, "i32.eq", kNone)                  \
+  V(I32Ne, 0x47, "i32.ne", kNone)                  \
+  V(I32LtS, 0x48, "i32.lt_s", kNone)               \
+  V(I32LtU, 0x49, "i32.lt_u", kNone)               \
+  V(I32GtS, 0x4a, "i32.gt_s", kNone)               \
+  V(I32GtU, 0x4b, "i32.gt_u", kNone)               \
+  V(I32LeS, 0x4c, "i32.le_s", kNone)               \
+  V(I32LeU, 0x4d, "i32.le_u", kNone)               \
+  V(I32GeS, 0x4e, "i32.ge_s", kNone)               \
+  V(I32GeU, 0x4f, "i32.ge_u", kNone)               \
+  V(I64Eqz, 0x50, "i64.eqz", kNone)                \
+  V(I64Eq, 0x51, "i64.eq", kNone)                  \
+  V(I64Ne, 0x52, "i64.ne", kNone)                  \
+  V(I64LtS, 0x53, "i64.lt_s", kNone)               \
+  V(I64LtU, 0x54, "i64.lt_u", kNone)               \
+  V(I64GtS, 0x55, "i64.gt_s", kNone)               \
+  V(I64GtU, 0x56, "i64.gt_u", kNone)               \
+  V(I64LeS, 0x57, "i64.le_s", kNone)               \
+  V(I64LeU, 0x58, "i64.le_u", kNone)               \
+  V(I64GeS, 0x59, "i64.ge_s", kNone)               \
+  V(I64GeU, 0x5a, "i64.ge_u", kNone)               \
+  V(F32Eq, 0x5b, "f32.eq", kNone)                  \
+  V(F32Ne, 0x5c, "f32.ne", kNone)                  \
+  V(F32Lt, 0x5d, "f32.lt", kNone)                  \
+  V(F32Gt, 0x5e, "f32.gt", kNone)                  \
+  V(F32Le, 0x5f, "f32.le", kNone)                  \
+  V(F32Ge, 0x60, "f32.ge", kNone)                  \
+  V(F64Eq, 0x61, "f64.eq", kNone)                  \
+  V(F64Ne, 0x62, "f64.ne", kNone)                  \
+  V(F64Lt, 0x63, "f64.lt", kNone)                  \
+  V(F64Gt, 0x64, "f64.gt", kNone)                  \
+  V(F64Le, 0x65, "f64.le", kNone)                  \
+  V(F64Ge, 0x66, "f64.ge", kNone)                  \
+  V(I32Clz, 0x67, "i32.clz", kNone)                \
+  V(I32Ctz, 0x68, "i32.ctz", kNone)                \
+  V(I32Popcnt, 0x69, "i32.popcnt", kNone)          \
+  V(I32Add, 0x6a, "i32.add", kNone)                \
+  V(I32Sub, 0x6b, "i32.sub", kNone)                \
+  V(I32Mul, 0x6c, "i32.mul", kNone)                \
+  V(I32DivS, 0x6d, "i32.div_s", kNone)             \
+  V(I32DivU, 0x6e, "i32.div_u", kNone)             \
+  V(I32RemS, 0x6f, "i32.rem_s", kNone)             \
+  V(I32RemU, 0x70, "i32.rem_u", kNone)             \
+  V(I32And, 0x71, "i32.and", kNone)                \
+  V(I32Or, 0x72, "i32.or", kNone)                  \
+  V(I32Xor, 0x73, "i32.xor", kNone)                \
+  V(I32Shl, 0x74, "i32.shl", kNone)                \
+  V(I32ShrS, 0x75, "i32.shr_s", kNone)             \
+  V(I32ShrU, 0x76, "i32.shr_u", kNone)             \
+  V(I32Rotl, 0x77, "i32.rotl", kNone)              \
+  V(I32Rotr, 0x78, "i32.rotr", kNone)              \
+  V(I64Clz, 0x79, "i64.clz", kNone)                \
+  V(I64Ctz, 0x7a, "i64.ctz", kNone)                \
+  V(I64Popcnt, 0x7b, "i64.popcnt", kNone)          \
+  V(I64Add, 0x7c, "i64.add", kNone)                \
+  V(I64Sub, 0x7d, "i64.sub", kNone)                \
+  V(I64Mul, 0x7e, "i64.mul", kNone)                \
+  V(I64DivS, 0x7f, "i64.div_s", kNone)             \
+  V(I64DivU, 0x80, "i64.div_u", kNone)             \
+  V(I64RemS, 0x81, "i64.rem_s", kNone)             \
+  V(I64RemU, 0x82, "i64.rem_u", kNone)             \
+  V(I64And, 0x83, "i64.and", kNone)                \
+  V(I64Or, 0x84, "i64.or", kNone)                  \
+  V(I64Xor, 0x85, "i64.xor", kNone)                \
+  V(I64Shl, 0x86, "i64.shl", kNone)                \
+  V(I64ShrS, 0x87, "i64.shr_s", kNone)             \
+  V(I64ShrU, 0x88, "i64.shr_u", kNone)             \
+  V(I64Rotl, 0x89, "i64.rotl", kNone)              \
+  V(I64Rotr, 0x8a, "i64.rotr", kNone)              \
+  V(F32Abs, 0x8b, "f32.abs", kNone)                \
+  V(F32Neg, 0x8c, "f32.neg", kNone)                \
+  V(F32Ceil, 0x8d, "f32.ceil", kNone)              \
+  V(F32Floor, 0x8e, "f32.floor", kNone)            \
+  V(F32Trunc, 0x8f, "f32.trunc", kNone)            \
+  V(F32Nearest, 0x90, "f32.nearest", kNone)        \
+  V(F32Sqrt, 0x91, "f32.sqrt", kNone)              \
+  V(F32Add, 0x92, "f32.add", kNone)                \
+  V(F32Sub, 0x93, "f32.sub", kNone)                \
+  V(F32Mul, 0x94, "f32.mul", kNone)                \
+  V(F32Div, 0x95, "f32.div", kNone)                \
+  V(F32Min, 0x96, "f32.min", kNone)                \
+  V(F32Max, 0x97, "f32.max", kNone)                \
+  V(F32Copysign, 0x98, "f32.copysign", kNone)      \
+  V(F64Abs, 0x99, "f64.abs", kNone)                \
+  V(F64Neg, 0x9a, "f64.neg", kNone)                \
+  V(F64Ceil, 0x9b, "f64.ceil", kNone)              \
+  V(F64Floor, 0x9c, "f64.floor", kNone)            \
+  V(F64Trunc, 0x9d, "f64.trunc", kNone)            \
+  V(F64Nearest, 0x9e, "f64.nearest", kNone)        \
+  V(F64Sqrt, 0x9f, "f64.sqrt", kNone)              \
+  V(F64Add, 0xa0, "f64.add", kNone)                \
+  V(F64Sub, 0xa1, "f64.sub", kNone)                \
+  V(F64Mul, 0xa2, "f64.mul", kNone)                \
+  V(F64Div, 0xa3, "f64.div", kNone)                \
+  V(F64Min, 0xa4, "f64.min", kNone)                \
+  V(F64Max, 0xa5, "f64.max", kNone)                \
+  V(F64Copysign, 0xa6, "f64.copysign", kNone)      \
+  V(I32WrapI64, 0xa7, "i32.wrap_i64", kNone)       \
+  V(I32TruncF32S, 0xa8, "i32.trunc_f32_s", kNone)  \
+  V(I32TruncF32U, 0xa9, "i32.trunc_f32_u", kNone)  \
+  V(I32TruncF64S, 0xaa, "i32.trunc_f64_s", kNone)  \
+  V(I32TruncF64U, 0xab, "i32.trunc_f64_u", kNone)  \
+  V(I64ExtendI32S, 0xac, "i64.extend_i32_s", kNone)\
+  V(I64ExtendI32U, 0xad, "i64.extend_i32_u", kNone)\
+  V(I64TruncF32S, 0xae, "i64.trunc_f32_s", kNone)  \
+  V(I64TruncF32U, 0xaf, "i64.trunc_f32_u", kNone)  \
+  V(I64TruncF64S, 0xb0, "i64.trunc_f64_s", kNone)  \
+  V(I64TruncF64U, 0xb1, "i64.trunc_f64_u", kNone)  \
+  V(F32ConvertI32S, 0xb2, "f32.convert_i32_s", kNone) \
+  V(F32ConvertI32U, 0xb3, "f32.convert_i32_u", kNone) \
+  V(F32ConvertI64S, 0xb4, "f32.convert_i64_s", kNone) \
+  V(F32ConvertI64U, 0xb5, "f32.convert_i64_u", kNone) \
+  V(F32DemoteF64, 0xb6, "f32.demote_f64", kNone)   \
+  V(F64ConvertI32S, 0xb7, "f64.convert_i32_s", kNone) \
+  V(F64ConvertI32U, 0xb8, "f64.convert_i32_u", kNone) \
+  V(F64ConvertI64S, 0xb9, "f64.convert_i64_s", kNone) \
+  V(F64ConvertI64U, 0xba, "f64.convert_i64_u", kNone) \
+  V(F64PromoteF32, 0xbb, "f64.promote_f32", kNone) \
+  V(I32ReinterpretF32, 0xbc, "i32.reinterpret_f32", kNone) \
+  V(I64ReinterpretF64, 0xbd, "i64.reinterpret_f64", kNone) \
+  V(F32ReinterpretI32, 0xbe, "f32.reinterpret_i32", kNone) \
+  V(F64ReinterpretI64, 0xbf, "f64.reinterpret_i64", kNone)
+
+enum class Opcode : uint8_t {
+#define NSF_DECL_ENUM(name, byte, text, imm) k##name = byte,
+  NSF_FOREACH_OPCODE(NSF_DECL_ENUM)
+#undef NSF_DECL_ENUM
+};
+
+// Returns the mnemonic for `op`, or "<invalid>" for bytes outside the table.
+const char* OpcodeName(Opcode op);
+
+// Returns the immediate kind for `op`. Invalid opcodes report kNone; use
+// IsValidOpcode to distinguish.
+ImmKind OpcodeImmKind(Opcode op);
+
+// True if `byte` encodes an MVP opcode we support.
+bool IsValidOpcode(uint8_t byte);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_OPCODES_H_

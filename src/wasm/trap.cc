@@ -1,0 +1,35 @@
+#include "src/wasm/trap.h"
+
+namespace nsf {
+
+const char* TrapKindName(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kNone:
+      return "none";
+    case TrapKind::kUnreachable:
+      return "unreachable";
+    case TrapKind::kMemoryOutOfBounds:
+      return "memory access out of bounds";
+    case TrapKind::kDivByZero:
+      return "integer divide by zero";
+    case TrapKind::kIntegerOverflow:
+      return "integer overflow";
+    case TrapKind::kInvalidConversion:
+      return "invalid conversion to integer";
+    case TrapKind::kCallStackExhausted:
+      return "call stack exhausted";
+    case TrapKind::kIndirectCallNull:
+      return "uninitialized table element";
+    case TrapKind::kIndirectCallOutOfBounds:
+      return "undefined table element";
+    case TrapKind::kIndirectCallTypeMismatch:
+      return "indirect call type mismatch";
+    case TrapKind::kFuelExhausted:
+      return "fuel exhausted";
+    case TrapKind::kHostError:
+      return "host error";
+  }
+  return "<bad trap>";
+}
+
+}  // namespace nsf

@@ -1,0 +1,27 @@
+// Trap kinds shared by every executor of Wasm semantics (the reference
+// interpreter and the simulated-x64 machine).
+#ifndef SRC_WASM_TRAP_H_
+#define SRC_WASM_TRAP_H_
+
+namespace nsf {
+
+enum class TrapKind {
+  kNone,
+  kUnreachable,
+  kMemoryOutOfBounds,
+  kDivByZero,
+  kIntegerOverflow,    // INT_MIN / -1 and float->int out of range
+  kInvalidConversion,  // NaN -> int
+  kCallStackExhausted,
+  kIndirectCallNull,
+  kIndirectCallOutOfBounds,
+  kIndirectCallTypeMismatch,
+  kFuelExhausted,  // execution budget exceeded (not a Wasm trap)
+  kHostError,
+};
+
+const char* TrapKindName(TrapKind kind);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_TRAP_H_

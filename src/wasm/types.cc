@@ -1,0 +1,44 @@
+#include "src/wasm/types.h"
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+const char* ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kI32:
+      return "i32";
+    case ValType::kI64:
+      return "i64";
+    case ValType::kF32:
+      return "f32";
+    case ValType::kF64:
+      return "f64";
+  }
+  return "<bad>";
+}
+
+bool IsValidValType(uint8_t byte) {
+  return byte == 0x7f || byte == 0x7e || byte == 0x7d || byte == 0x7c;
+}
+
+std::string FuncTypeToString(const FuncType& type) {
+  std::string s = "(";
+  for (size_t i = 0; i < type.params.size(); i++) {
+    if (i != 0) {
+      s += ", ";
+    }
+    s += ValTypeName(type.params[i]);
+  }
+  s += ") -> (";
+  for (size_t i = 0; i < type.results.size(); i++) {
+    if (i != 0) {
+      s += ", ";
+    }
+    s += ValTypeName(type.results[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace nsf

@@ -1,0 +1,103 @@
+// Core WebAssembly value and composite types (MVP).
+#ifndef SRC_WASM_TYPES_H_
+#define SRC_WASM_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nsf {
+
+// Value types. The numeric values are the binary-format codes.
+enum class ValType : uint8_t {
+  kI32 = 0x7f,
+  kI64 = 0x7e,
+  kF32 = 0x7d,
+  kF64 = 0x7c,
+};
+
+// Block type code for "no result" in the binary format (s33 value -0x40).
+inline constexpr int64_t kVoidBlockType = -0x40;
+
+const char* ValTypeName(ValType t);
+bool IsValidValType(uint8_t byte);
+inline bool IsFloat(ValType t) { return t == ValType::kF32 || t == ValType::kF64; }
+inline bool Is64Bit(ValType t) { return t == ValType::kI64 || t == ValType::kF64; }
+
+// A function signature: parameter types and result types (MVP: <=1 result).
+struct FuncType {
+  std::vector<ValType> params;
+  std::vector<ValType> results;
+
+  bool operator==(const FuncType& other) const = default;
+};
+
+// Memory/table size limits in units of pages (memory) or elements (table).
+struct Limits {
+  uint32_t min = 0;
+  std::optional<uint32_t> max;
+
+  bool operator==(const Limits& other) const = default;
+};
+
+// Wasm page size: 64 KiB.
+inline constexpr uint32_t kWasmPageSize = 64 * 1024;
+// MVP limit: 4 GiB / 64 Ki pages.
+inline constexpr uint32_t kMaxMemoryPages = 65536;
+
+struct GlobalType {
+  ValType type = ValType::kI32;
+  bool mut = false;
+
+  bool operator==(const GlobalType& other) const = default;
+};
+
+// A runtime value; the active member is implied by context (typed stacks).
+union Value {
+  uint32_t i32;
+  uint64_t i64;
+  float f32;
+  double f64;
+
+  Value() : i64(0) {}
+  static Value I32(uint32_t v) {
+    Value x;
+    x.i64 = 0;
+    x.i32 = v;
+    return x;
+  }
+  static Value I64(uint64_t v) {
+    Value x;
+    x.i64 = v;
+    return x;
+  }
+  static Value F32(float v) {
+    Value x;
+    x.i64 = 0;
+    x.f32 = v;
+    return x;
+  }
+  static Value F64(double v) {
+    Value x;
+    x.f64 = v;
+    return x;
+  }
+};
+
+// A typed value, used at API boundaries (arguments, results, globals).
+struct TypedValue {
+  ValType type = ValType::kI32;
+  Value value;
+
+  static TypedValue I32(uint32_t v) { return {ValType::kI32, Value::I32(v)}; }
+  static TypedValue I64(uint64_t v) { return {ValType::kI64, Value::I64(v)}; }
+  static TypedValue F32(float v) { return {ValType::kF32, Value::F32(v)}; }
+  static TypedValue F64(double v) { return {ValType::kF64, Value::F64(v)}; }
+};
+
+std::string FuncTypeToString(const FuncType& type);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_TYPES_H_

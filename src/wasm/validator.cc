@@ -1,0 +1,707 @@
+#include "src/wasm/validator.h"
+
+#include <optional>
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+namespace {
+
+// Signature metadata for the fixed-arity numeric opcodes, derived from the
+// opcode value ranges of the MVP encoding.
+struct OpSig {
+  int arity = 0;               // number of popped operands
+  ValType in = ValType::kI32;  // operand type (both operands share it)
+  ValType out = ValType::kI32;
+  bool has_out = true;
+};
+
+std::optional<OpSig> NumericSig(Opcode op) {
+  uint8_t b = static_cast<uint8_t>(op);
+  auto sig = [](int arity, ValType in, ValType out) {
+    OpSig s;
+    s.arity = arity;
+    s.in = in;
+    s.out = out;
+    return s;
+  };
+  // Comparisons.
+  if (b == 0x45) return sig(1, ValType::kI32, ValType::kI32);                 // i32.eqz
+  if (b >= 0x46 && b <= 0x4f) return sig(2, ValType::kI32, ValType::kI32);    // i32 cmp
+  if (b == 0x50) return sig(1, ValType::kI64, ValType::kI32);                 // i64.eqz
+  if (b >= 0x51 && b <= 0x5a) return sig(2, ValType::kI64, ValType::kI32);    // i64 cmp
+  if (b >= 0x5b && b <= 0x60) return sig(2, ValType::kF32, ValType::kI32);    // f32 cmp
+  if (b >= 0x61 && b <= 0x66) return sig(2, ValType::kF64, ValType::kI32);    // f64 cmp
+  // Integer unary / binary.
+  if (b >= 0x67 && b <= 0x69) return sig(1, ValType::kI32, ValType::kI32);    // clz..popcnt
+  if (b >= 0x6a && b <= 0x78) return sig(2, ValType::kI32, ValType::kI32);
+  if (b >= 0x79 && b <= 0x7b) return sig(1, ValType::kI64, ValType::kI64);
+  if (b >= 0x7c && b <= 0x8a) return sig(2, ValType::kI64, ValType::kI64);
+  // Float unary / binary.
+  if (b >= 0x8b && b <= 0x91) return sig(1, ValType::kF32, ValType::kF32);
+  if (b >= 0x92 && b <= 0x98) return sig(2, ValType::kF32, ValType::kF32);
+  if (b >= 0x99 && b <= 0x9f) return sig(1, ValType::kF64, ValType::kF64);
+  if (b >= 0xa0 && b <= 0xa6) return sig(2, ValType::kF64, ValType::kF64);
+  // Conversions.
+  switch (op) {
+    case Opcode::kI32WrapI64:
+      return sig(1, ValType::kI64, ValType::kI32);
+    case Opcode::kI32TruncF32S:
+    case Opcode::kI32TruncF32U:
+      return sig(1, ValType::kF32, ValType::kI32);
+    case Opcode::kI32TruncF64S:
+    case Opcode::kI32TruncF64U:
+      return sig(1, ValType::kF64, ValType::kI32);
+    case Opcode::kI64ExtendI32S:
+    case Opcode::kI64ExtendI32U:
+      return sig(1, ValType::kI32, ValType::kI64);
+    case Opcode::kI64TruncF32S:
+    case Opcode::kI64TruncF32U:
+      return sig(1, ValType::kF32, ValType::kI64);
+    case Opcode::kI64TruncF64S:
+    case Opcode::kI64TruncF64U:
+      return sig(1, ValType::kF64, ValType::kI64);
+    case Opcode::kF32ConvertI32S:
+    case Opcode::kF32ConvertI32U:
+      return sig(1, ValType::kI32, ValType::kF32);
+    case Opcode::kF32ConvertI64S:
+    case Opcode::kF32ConvertI64U:
+      return sig(1, ValType::kI64, ValType::kF32);
+    case Opcode::kF32DemoteF64:
+      return sig(1, ValType::kF64, ValType::kF32);
+    case Opcode::kF64ConvertI32S:
+    case Opcode::kF64ConvertI32U:
+      return sig(1, ValType::kI32, ValType::kF64);
+    case Opcode::kF64ConvertI64S:
+    case Opcode::kF64ConvertI64U:
+      return sig(1, ValType::kI64, ValType::kF64);
+    case Opcode::kF64PromoteF32:
+      return sig(1, ValType::kF32, ValType::kF64);
+    case Opcode::kI32ReinterpretF32:
+      return sig(1, ValType::kF32, ValType::kI32);
+    case Opcode::kI64ReinterpretF64:
+      return sig(1, ValType::kF64, ValType::kI64);
+    case Opcode::kF32ReinterpretI32:
+      return sig(1, ValType::kI32, ValType::kF32);
+    case Opcode::kF64ReinterpretI64:
+      return sig(1, ValType::kI64, ValType::kF64);
+    default:
+      return std::nullopt;
+  }
+}
+
+// Memory-access metadata: value type and natural width (bytes).
+struct MemSig {
+  ValType type;
+  uint32_t width;
+  bool is_store;
+};
+
+std::optional<MemSig> MemAccessSig(Opcode op) {
+  switch (op) {
+    case Opcode::kI32Load: return MemSig{ValType::kI32, 4, false};
+    case Opcode::kI64Load: return MemSig{ValType::kI64, 8, false};
+    case Opcode::kF32Load: return MemSig{ValType::kF32, 4, false};
+    case Opcode::kF64Load: return MemSig{ValType::kF64, 8, false};
+    case Opcode::kI32Load8S:
+    case Opcode::kI32Load8U: return MemSig{ValType::kI32, 1, false};
+    case Opcode::kI32Load16S:
+    case Opcode::kI32Load16U: return MemSig{ValType::kI32, 2, false};
+    case Opcode::kI64Load8S:
+    case Opcode::kI64Load8U: return MemSig{ValType::kI64, 1, false};
+    case Opcode::kI64Load16S:
+    case Opcode::kI64Load16U: return MemSig{ValType::kI64, 2, false};
+    case Opcode::kI64Load32S:
+    case Opcode::kI64Load32U: return MemSig{ValType::kI64, 4, false};
+    case Opcode::kI32Store: return MemSig{ValType::kI32, 4, true};
+    case Opcode::kI64Store: return MemSig{ValType::kI64, 8, true};
+    case Opcode::kF32Store: return MemSig{ValType::kF32, 4, true};
+    case Opcode::kF64Store: return MemSig{ValType::kF64, 8, true};
+    case Opcode::kI32Store8: return MemSig{ValType::kI32, 1, true};
+    case Opcode::kI32Store16: return MemSig{ValType::kI32, 2, true};
+    case Opcode::kI64Store8: return MemSig{ValType::kI64, 1, true};
+    case Opcode::kI64Store16: return MemSig{ValType::kI64, 2, true};
+    case Opcode::kI64Store32: return MemSig{ValType::kI64, 4, true};
+    default:
+      return std::nullopt;
+  }
+}
+
+// The spec's abstract type-checking machine.
+class FuncValidator {
+ public:
+  FuncValidator(const Module& module, const Function& func)
+      : module_(module), func_(func), func_type_(module.types[func.type_index]) {
+    locals_ = func_type_.params;
+    locals_.insert(locals_.end(), func.locals.begin(), func.locals.end());
+  }
+
+  bool Run(std::string* error) {
+    // The implicit function block.
+    PushCtrl(Opcode::kBlock, {}, func_type_.results);
+    for (size_t pc = 0; pc < func_.body.size(); pc++) {
+      if (!Step(func_.body[pc])) {
+        *error = StrFormat("instr %zu (%s): %s", pc, OpcodeName(func_.body[pc].op),
+                           error_.c_str());
+        return false;
+      }
+      if (ctrl_.empty()) {
+        if (pc + 1 != func_.body.size()) {
+          *error = "instructions after final end";
+          return false;
+        }
+        return true;
+      }
+    }
+    *error = "function body missing final end";
+    return false;
+  }
+
+ private:
+  struct CtrlFrame {
+    Opcode op;
+    std::vector<ValType> start_types;  // label params (MVP: empty)
+    std::vector<ValType> end_types;    // result types
+    size_t height = 0;
+    bool unreachable = false;
+  };
+
+  bool Fail(const std::string& msg) {
+    error_ = msg;
+    return false;
+  }
+
+  void PushVal(ValType t) { vals_.push_back(t); }
+
+  bool PopVal(ValType expect, ValType* out = nullptr) {
+    CtrlFrame& frame = ctrl_.back();
+    if (vals_.size() == frame.height) {
+      if (frame.unreachable) {
+        if (out != nullptr) {
+          *out = expect;
+        }
+        return true;  // polymorphic stack
+      }
+      return Fail("value stack underflow");
+    }
+    ValType actual = vals_.back();
+    vals_.pop_back();
+    if (out != nullptr) {
+      *out = actual;
+    }
+    return true;
+  }
+
+  bool PopExpect(ValType expect) {
+    CtrlFrame& frame = ctrl_.back();
+    if (vals_.size() == frame.height) {
+      if (frame.unreachable) {
+        return true;
+      }
+      return Fail(StrFormat("value stack underflow (wanted %s)", ValTypeName(expect)));
+    }
+    ValType actual = vals_.back();
+    vals_.pop_back();
+    if (actual != expect) {
+      return Fail(StrFormat("type mismatch: expected %s, got %s", ValTypeName(expect),
+                            ValTypeName(actual)));
+    }
+    return true;
+  }
+
+  void PushCtrl(Opcode op, std::vector<ValType> in, std::vector<ValType> out) {
+    CtrlFrame frame;
+    frame.op = op;
+    frame.start_types = std::move(in);
+    frame.end_types = std::move(out);
+    frame.height = vals_.size();
+    ctrl_.push_back(std::move(frame));
+    for (ValType t : ctrl_.back().start_types) {
+      PushVal(t);
+    }
+  }
+
+  bool PopCtrl(CtrlFrame* out) {
+    if (ctrl_.empty()) {
+      return Fail("control stack underflow");
+    }
+    CtrlFrame frame = ctrl_.back();
+    // Result values must be on the stack exactly.
+    for (auto it = frame.end_types.rbegin(); it != frame.end_types.rend(); ++it) {
+      if (!PopExpect(*it)) {
+        return false;
+      }
+    }
+    if (vals_.size() != frame.height) {
+      return Fail("values remain on stack at end of block");
+    }
+    ctrl_.pop_back();
+    *out = std::move(frame);
+    return true;
+  }
+
+  void SetUnreachable() {
+    CtrlFrame& frame = ctrl_.back();
+    vals_.resize(frame.height);
+    frame.unreachable = true;
+  }
+
+  // Types a branch to relative depth `depth` must provide (MVP: loop labels
+  // take nothing; block/if labels take the result types).
+  bool LabelTypes(uint32_t depth, std::vector<ValType>* out) {
+    if (depth >= ctrl_.size()) {
+      return Fail(StrFormat("branch depth %u out of range", depth));
+    }
+    const CtrlFrame& frame = ctrl_[ctrl_.size() - 1 - depth];
+    *out = frame.op == Opcode::kLoop ? frame.start_types : frame.end_types;
+    return true;
+  }
+
+  bool PopLabelTypes(const std::vector<ValType>& types) {
+    for (auto it = types.rbegin(); it != types.rend(); ++it) {
+      if (!PopExpect(*it)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<ValType> BlockResults(int64_t block_type) {
+    if (block_type == kVoidBlockType) {
+      return {};
+    }
+    return {static_cast<ValType>(static_cast<uint8_t>(block_type & 0x7f))};
+  }
+
+  bool Step(const Instr& instr) {
+    // Fixed-signature numeric ops first.
+    if (auto sig = NumericSig(instr.op)) {
+      for (int i = 0; i < sig->arity; i++) {
+        if (!PopExpect(sig->in)) {
+          return false;
+        }
+      }
+      PushVal(sig->out);
+      return true;
+    }
+    if (auto mem = MemAccessSig(instr.op)) {
+      if (module_.memories.empty() && !HasImportedMemory()) {
+        return Fail("memory access without memory");
+      }
+      if ((1u << instr.a) > mem->width) {
+        return Fail("alignment larger than natural");
+      }
+      if (mem->is_store) {
+        if (!PopExpect(mem->type)) {
+          return false;
+        }
+        return PopExpect(ValType::kI32);
+      }
+      if (!PopExpect(ValType::kI32)) {
+        return false;
+      }
+      PushVal(mem->type);
+      return true;
+    }
+    switch (instr.op) {
+      case Opcode::kNop:
+        return true;
+      case Opcode::kUnreachable:
+        SetUnreachable();
+        return true;
+      case Opcode::kBlock:
+      case Opcode::kLoop:
+        PushCtrl(instr.op, {}, BlockResults(instr.block_type));
+        return true;
+      case Opcode::kIf:
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        PushCtrl(Opcode::kIf, {}, BlockResults(instr.block_type));
+        return true;
+      case Opcode::kElse: {
+        CtrlFrame frame;
+        if (!PopCtrl(&frame)) {
+          return false;
+        }
+        if (frame.op != Opcode::kIf) {
+          return Fail("else without if");
+        }
+        PushCtrl(Opcode::kElse, frame.start_types, frame.end_types);
+        return true;
+      }
+      case Opcode::kEnd: {
+        CtrlFrame frame;
+        if (!PopCtrl(&frame)) {
+          return false;
+        }
+        // An if without else must have empty result type (no value produced
+        // on the fall-through path).
+        if (frame.op == Opcode::kIf && !frame.end_types.empty()) {
+          return Fail("if without else cannot yield a value");
+        }
+        for (ValType t : frame.end_types) {
+          PushVal(t);
+        }
+        return true;
+      }
+      case Opcode::kBr: {
+        std::vector<ValType> types;
+        if (!LabelTypes(instr.a, &types) || !PopLabelTypes(types)) {
+          return false;
+        }
+        SetUnreachable();
+        return true;
+      }
+      case Opcode::kBrIf: {
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        std::vector<ValType> types;
+        if (!LabelTypes(instr.a, &types) || !PopLabelTypes(types)) {
+          return false;
+        }
+        for (ValType t : types) {
+          PushVal(t);
+        }
+        return true;
+      }
+      case Opcode::kBrTable: {
+        if (instr.table.empty()) {
+          return Fail("br_table without default");
+        }
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        std::vector<ValType> default_types;
+        if (!LabelTypes(instr.table.back(), &default_types)) {
+          return false;
+        }
+        for (size_t i = 0; i + 1 < instr.table.size(); i++) {
+          std::vector<ValType> types;
+          if (!LabelTypes(instr.table[i], &types)) {
+            return false;
+          }
+          if (types != default_types) {
+            return Fail("br_table label type mismatch");
+          }
+        }
+        if (!PopLabelTypes(default_types)) {
+          return false;
+        }
+        SetUnreachable();
+        return true;
+      }
+      case Opcode::kReturn: {
+        for (auto it = func_type_.results.rbegin(); it != func_type_.results.rend(); ++it) {
+          if (!PopExpect(*it)) {
+            return false;
+          }
+        }
+        SetUnreachable();
+        return true;
+      }
+      case Opcode::kCall: {
+        if (instr.a >= module_.NumTotalFuncs()) {
+          return Fail("call target out of range");
+        }
+        const FuncType& sig = module_.FuncTypeOf(instr.a);
+        for (auto it = sig.params.rbegin(); it != sig.params.rend(); ++it) {
+          if (!PopExpect(*it)) {
+            return false;
+          }
+        }
+        for (ValType t : sig.results) {
+          PushVal(t);
+        }
+        return true;
+      }
+      case Opcode::kCallIndirect: {
+        bool has_table = !module_.tables.empty();
+        for (const Import& imp : module_.imports) {
+          has_table = has_table || imp.kind == ExternalKind::kTable;
+        }
+        if (!has_table) {
+          return Fail("call_indirect without table");
+        }
+        if (instr.a >= module_.types.size()) {
+          return Fail("call_indirect type index out of range");
+        }
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        const FuncType& sig = module_.types[instr.a];
+        for (auto it = sig.params.rbegin(); it != sig.params.rend(); ++it) {
+          if (!PopExpect(*it)) {
+            return false;
+          }
+        }
+        for (ValType t : sig.results) {
+          PushVal(t);
+        }
+        return true;
+      }
+      case Opcode::kDrop: {
+        ValType t;
+        return PopVal(ValType::kI32, &t);
+      }
+      case Opcode::kSelect: {
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        ValType t1;
+        ValType t2;
+        if (!PopVal(ValType::kI32, &t1) || !PopVal(t1, &t2)) {
+          return false;
+        }
+        if (!ctrl_.back().unreachable && t1 != t2) {
+          return Fail("select operand types differ");
+        }
+        PushVal(t2);
+        return true;
+      }
+      case Opcode::kLocalGet:
+        if (instr.a >= locals_.size()) {
+          return Fail("local index out of range");
+        }
+        PushVal(locals_[instr.a]);
+        return true;
+      case Opcode::kLocalSet:
+        if (instr.a >= locals_.size()) {
+          return Fail("local index out of range");
+        }
+        return PopExpect(locals_[instr.a]);
+      case Opcode::kLocalTee:
+        if (instr.a >= locals_.size()) {
+          return Fail("local index out of range");
+        }
+        if (!PopExpect(locals_[instr.a])) {
+          return false;
+        }
+        PushVal(locals_[instr.a]);
+        return true;
+      case Opcode::kGlobalGet:
+        if (instr.a >= module_.NumTotalGlobals()) {
+          return Fail("global index out of range");
+        }
+        PushVal(module_.GlobalTypeOf(instr.a).type);
+        return true;
+      case Opcode::kGlobalSet: {
+        if (instr.a >= module_.NumTotalGlobals()) {
+          return Fail("global index out of range");
+        }
+        GlobalType gt = module_.GlobalTypeOf(instr.a);
+        if (!gt.mut) {
+          return Fail("assignment to immutable global");
+        }
+        return PopExpect(gt.type);
+      }
+      case Opcode::kMemorySize:
+        PushVal(ValType::kI32);
+        return true;
+      case Opcode::kMemoryGrow:
+        if (!PopExpect(ValType::kI32)) {
+          return false;
+        }
+        PushVal(ValType::kI32);
+        return true;
+      case Opcode::kI32Const:
+        PushVal(ValType::kI32);
+        return true;
+      case Opcode::kI64Const:
+        PushVal(ValType::kI64);
+        return true;
+      case Opcode::kF32Const:
+        PushVal(ValType::kF32);
+        return true;
+      case Opcode::kF64Const:
+        PushVal(ValType::kF64);
+        return true;
+      default:
+        return Fail("unhandled opcode");
+    }
+  }
+
+  bool HasImportedMemory() const {
+    for (const Import& imp : module_.imports) {
+      if (imp.kind == ExternalKind::kMemory) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Module& module_;
+  const Function& func_;
+  const FuncType& func_type_;
+  std::vector<ValType> locals_;
+  std::vector<ValType> vals_;
+  std::vector<CtrlFrame> ctrl_;
+  std::string error_;
+};
+
+ValidationResult Err(const std::string& msg) {
+  ValidationResult r;
+  r.ok = false;
+  r.error = msg;
+  return r;
+}
+
+}  // namespace
+
+ValidationResult ValidateModule(const Module& module) {
+  // Types referenced by imports and functions must exist.
+  for (const Import& imp : module.imports) {
+    if (imp.kind == ExternalKind::kFunc && imp.type_index >= module.types.size()) {
+      return Err(StrFormat("import %s.%s: type index out of range", imp.module.c_str(),
+                           imp.name.c_str()));
+    }
+  }
+  for (size_t i = 0; i < module.functions.size(); i++) {
+    if (module.functions[i].type_index >= module.types.size()) {
+      return Err(StrFormat("func %zu: type index out of range", i));
+    }
+  }
+  for (const FuncType& t : module.types) {
+    if (t.results.size() > 1) {
+      return Err("multi-value results not supported in MVP");
+    }
+  }
+  // At most one memory / table in MVP (imports included).
+  uint32_t memories = static_cast<uint32_t>(module.memories.size());
+  uint32_t tables = static_cast<uint32_t>(module.tables.size());
+  for (const Import& imp : module.imports) {
+    if (imp.kind == ExternalKind::kMemory) {
+      memories++;
+    }
+    if (imp.kind == ExternalKind::kTable) {
+      tables++;
+    }
+  }
+  if (memories > 1) {
+    return Err("multiple memories");
+  }
+  if (tables > 1) {
+    return Err("multiple tables");
+  }
+  for (const MemorySec& m : module.memories) {
+    if (m.limits.min > kMaxMemoryPages ||
+        (m.limits.max.has_value() && *m.limits.max > kMaxMemoryPages)) {
+      return Err("memory limits exceed 4 GiB");
+    }
+  }
+  // Globals: initializer type must match; global.get initializers must refer
+  // to imported immutable globals.
+  uint32_t imported_globals = module.NumImportedGlobals();
+  for (size_t i = 0; i < module.globals.size(); i++) {
+    const Global& g = module.globals[i];
+    ValType want = g.type.type;
+    switch (g.init.op) {
+      case Opcode::kI32Const:
+        if (want != ValType::kI32) {
+          return Err(StrFormat("global %zu: init type mismatch", i));
+        }
+        break;
+      case Opcode::kI64Const:
+        if (want != ValType::kI64) {
+          return Err(StrFormat("global %zu: init type mismatch", i));
+        }
+        break;
+      case Opcode::kF32Const:
+        if (want != ValType::kF32) {
+          return Err(StrFormat("global %zu: init type mismatch", i));
+        }
+        break;
+      case Opcode::kF64Const:
+        if (want != ValType::kF64) {
+          return Err(StrFormat("global %zu: init type mismatch", i));
+        }
+        break;
+      case Opcode::kGlobalGet:
+        if (g.init.a >= imported_globals) {
+          return Err(StrFormat("global %zu: init refers to non-imported global", i));
+        }
+        if (module.GlobalTypeOf(g.init.a).type != want) {
+          return Err(StrFormat("global %zu: init type mismatch", i));
+        }
+        break;
+      default:
+        return Err(StrFormat("global %zu: unsupported initializer", i));
+    }
+  }
+  // Exports: indices in range, names unique.
+  for (const Export& e : module.exports) {
+    uint32_t limit = 0;
+    switch (e.kind) {
+      case ExternalKind::kFunc:
+        limit = module.NumTotalFuncs();
+        break;
+      case ExternalKind::kTable:
+        limit = tables;
+        break;
+      case ExternalKind::kMemory:
+        limit = memories;
+        break;
+      case ExternalKind::kGlobal:
+        limit = module.NumTotalGlobals();
+        break;
+    }
+    if (e.index >= limit) {
+      return Err(StrFormat("export %s: index out of range", e.name.c_str()));
+    }
+  }
+  for (size_t i = 0; i < module.exports.size(); i++) {
+    for (size_t j = i + 1; j < module.exports.size(); j++) {
+      if (module.exports[i].name == module.exports[j].name) {
+        return Err(StrFormat("duplicate export name %s", module.exports[i].name.c_str()));
+      }
+    }
+  }
+  // Start function: must exist, type () -> ().
+  if (module.start.has_value()) {
+    if (*module.start >= module.NumTotalFuncs()) {
+      return Err("start function index out of range");
+    }
+    const FuncType& t = module.FuncTypeOf(*module.start);
+    if (!t.params.empty() || !t.results.empty()) {
+      return Err("start function must have type () -> ()");
+    }
+  }
+  // Element segments.
+  for (const ElementSegment& seg : module.elements) {
+    if (seg.table_index >= tables) {
+      return Err("element segment table index out of range");
+    }
+    if (seg.offset.op != Opcode::kI32Const && seg.offset.op != Opcode::kGlobalGet) {
+      return Err("element segment offset must be constant");
+    }
+    for (uint32_t fi : seg.func_indices) {
+      if (fi >= module.NumTotalFuncs()) {
+        return Err("element segment function index out of range");
+      }
+    }
+  }
+  // Data segments.
+  for (const DataSegment& seg : module.data) {
+    if (seg.memory_index >= memories) {
+      return Err("data segment memory index out of range");
+    }
+    if (seg.offset.op != Opcode::kI32Const && seg.offset.op != Opcode::kGlobalGet) {
+      return Err("data segment offset must be constant");
+    }
+  }
+  // Function bodies.
+  for (size_t i = 0; i < module.functions.size(); i++) {
+    FuncValidator fv(module, module.functions[i]);
+    std::string error;
+    if (!fv.Run(&error)) {
+      return Err(StrFormat("func %zu: %s", i, error.c_str()));
+    }
+  }
+  ValidationResult ok;
+  ok.ok = true;
+  return ok;
+}
+
+}  // namespace nsf

@@ -1,0 +1,22 @@
+// Semantic validation of a decoded Module per the WebAssembly MVP spec:
+// index bounds, import/export sanity, and full function-body type checking
+// using the typed control-stack algorithm (including unreachable-code typing).
+#ifndef SRC_WASM_VALIDATOR_H_
+#define SRC_WASM_VALIDATOR_H_
+
+#include <string>
+
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  // "func <i>: <message>" for body errors
+};
+
+ValidationResult ValidateModule(const Module& module);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_VALIDATOR_H_

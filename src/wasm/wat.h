@@ -1,0 +1,21 @@
+// Renders a Module in a WAT-style (WebAssembly text format) listing for
+// debugging, examples, and golden tests.
+#ifndef SRC_WASM_WAT_H_
+#define SRC_WASM_WAT_H_
+
+#include <string>
+
+#include "src/wasm/module.h"
+
+namespace nsf {
+
+// Prints the whole module. Instruction bodies are printed in linear (flat)
+// form with indentation tracking block structure.
+std::string ModuleToWat(const Module& module);
+
+// Prints a single instruction (no trailing newline).
+std::string InstrToWat(const Instr& instr);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_WAT_H_

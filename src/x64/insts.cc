@@ -1,0 +1,407 @@
+#include "src/x64/insts.h"
+
+#include "src/support/str.h"
+
+namespace nsf {
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kE: return "e";
+    case Cond::kNe: return "ne";
+    case Cond::kL: return "l";
+    case Cond::kLe: return "le";
+    case Cond::kG: return "g";
+    case Cond::kGe: return "ge";
+    case Cond::kB: return "b";
+    case Cond::kBe: return "be";
+    case Cond::kA: return "a";
+    case Cond::kAe: return "ae";
+    case Cond::kS: return "s";
+    case Cond::kNs: return "ns";
+    case Cond::kP: return "p";
+    case Cond::kNp: return "np";
+  }
+  return "?";
+}
+
+Cond NegateCond(Cond c) {
+  switch (c) {
+    case Cond::kE: return Cond::kNe;
+    case Cond::kNe: return Cond::kE;
+    case Cond::kL: return Cond::kGe;
+    case Cond::kLe: return Cond::kG;
+    case Cond::kG: return Cond::kLe;
+    case Cond::kGe: return Cond::kL;
+    case Cond::kB: return Cond::kAe;
+    case Cond::kBe: return Cond::kA;
+    case Cond::kA: return Cond::kBe;
+    case Cond::kAe: return Cond::kB;
+    case Cond::kS: return Cond::kNs;
+    case Cond::kNs: return Cond::kS;
+    case Cond::kP: return Cond::kNp;
+    case Cond::kNp: return Cond::kP;
+  }
+  return Cond::kE;
+}
+
+const char* MOpName(MOp op) {
+  switch (op) {
+    case MOp::kMov: return "mov";
+    case MOp::kMovImm64: return "movabs";
+    case MOp::kLoad: return "mov";
+    case MOp::kStore: return "mov";
+    case MOp::kLea: return "lea";
+    case MOp::kPush: return "push";
+    case MOp::kPop: return "pop";
+    case MOp::kXchg: return "xchg";
+    case MOp::kAdd: return "add";
+    case MOp::kSub: return "sub";
+    case MOp::kImul: return "imul";
+    case MOp::kAnd: return "and";
+    case MOp::kOr: return "or";
+    case MOp::kXor: return "xor";
+    case MOp::kNeg: return "neg";
+    case MOp::kNot: return "not";
+    case MOp::kShl: return "shl";
+    case MOp::kShr: return "shr";
+    case MOp::kSar: return "sar";
+    case MOp::kRol: return "rol";
+    case MOp::kRor: return "ror";
+    case MOp::kCmp: return "cmp";
+    case MOp::kTest: return "test";
+    case MOp::kCdq: return "cdq";
+    case MOp::kIdiv: return "idiv";
+    case MOp::kDiv: return "div";
+    case MOp::kSetcc: return "set";
+    case MOp::kLzcnt: return "lzcnt";
+    case MOp::kTzcnt: return "tzcnt";
+    case MOp::kPopcnt: return "popcnt";
+    case MOp::kMovsxd: return "movsxd";
+    case MOp::kJmp: return "jmp";
+    case MOp::kJcc: return "j";
+    case MOp::kCall: return "call";
+    case MOp::kCallReg: return "call";
+    case MOp::kCallHost: return "callhost";
+    case MOp::kRet: return "ret";
+    case MOp::kMovsd: return "movsd";
+    case MOp::kAddsd: return "addsd";
+    case MOp::kSubsd: return "subsd";
+    case MOp::kMulsd: return "mulsd";
+    case MOp::kDivsd: return "divsd";
+    case MOp::kSqrtsd: return "sqrtsd";
+    case MOp::kMinsd: return "minsd*";
+    case MOp::kMaxsd: return "maxsd*";
+    case MOp::kAndpd: return "andpd";
+    case MOp::kXorpd: return "xorpd";
+    case MOp::kOrpd: return "orpd";
+    case MOp::kUcomisd: return "ucomisd";
+    case MOp::kCvtsi2sd: return "cvtsi2sd";
+    case MOp::kCvttsd2si: return "cvttsd2si";
+    case MOp::kRoundsd: return "roundsd";
+    case MOp::kMovss: return "movss";
+    case MOp::kAddss: return "addss";
+    case MOp::kSubss: return "subss";
+    case MOp::kMulss: return "mulss";
+    case MOp::kDivss: return "divss";
+    case MOp::kSqrtss: return "sqrtss";
+    case MOp::kMinss: return "minss*";
+    case MOp::kMaxss: return "maxss*";
+    case MOp::kUcomiss: return "ucomiss";
+    case MOp::kCvtss2sd: return "cvtss2sd";
+    case MOp::kCvtsd2ss: return "cvtsd2ss";
+    case MOp::kCvtsi2ss: return "cvtsi2ss";
+    case MOp::kCvttss2si: return "cvttss2si";
+    case MOp::kRoundss: return "roundss";
+    case MOp::kMovqToXmm: return "movq";
+    case MOp::kMovqFromXmm: return "movq";
+    case MOp::kNop: return "nop";
+  }
+  return "?";
+}
+
+MInstr MInstr::RR(MOp op, Gpr dst, Gpr src, uint8_t width) {
+  MInstr i;
+  i.op = op;
+  i.dst = Operand::R(dst);
+  i.src = Operand::R(src);
+  i.width = width;
+  return i;
+}
+
+MInstr MInstr::RI(MOp op, Gpr dst, int64_t imm, uint8_t width) {
+  MInstr i;
+  i.op = op;
+  i.dst = Operand::R(dst);
+  i.src = Operand::Imm(imm);
+  i.width = width;
+  return i;
+}
+
+MInstr MInstr::RM(MOp op, Gpr dst, MemRef mem, uint8_t width) {
+  MInstr i;
+  i.op = op;
+  i.dst = Operand::R(dst);
+  i.src = Operand::M(mem);
+  i.width = width;
+  return i;
+}
+
+MInstr MInstr::MR(MOp op, MemRef mem, Gpr src, uint8_t width) {
+  MInstr i;
+  i.op = op;
+  i.dst = Operand::M(mem);
+  i.src = Operand::R(src);
+  i.width = width;
+  return i;
+}
+
+MInstr MInstr::Jump(uint32_t label) {
+  MInstr i;
+  i.op = MOp::kJmp;
+  i.label = label;
+  return i;
+}
+
+MInstr MInstr::JumpCc(Cond cond, uint32_t label) {
+  MInstr i;
+  i.op = MOp::kJcc;
+  i.cond = cond;
+  i.label = label;
+  return i;
+}
+
+namespace {
+
+uint32_t MemRefBytes(const MemRef& m) {
+  uint32_t bytes = 1;  // ModRM
+  if (m.index.has_value() || !m.base.has_value()) {
+    bytes += 1;  // SIB
+  }
+  if (m.disp == 0 && m.base.has_value() && *m.base != Gpr::kRbp) {
+    // no displacement
+  } else if (m.disp >= -128 && m.disp <= 127) {
+    bytes += 1;
+  } else {
+    bytes += 4;
+  }
+  return bytes;
+}
+
+uint32_t ImmBytes(int64_t v) { return v >= -128 && v <= 127 ? 1 : 4; }
+
+}  // namespace
+
+uint32_t EncodedSize(const MInstr& instr) {
+  switch (instr.op) {
+    case MOp::kNop:
+      return 1;
+    case MOp::kRet:
+      return 1;
+    case MOp::kPush:
+    case MOp::kPop:
+      return static_cast<uint8_t>(instr.dst.gpr) >= 8 ? 2 : 1;
+    case MOp::kJmp:
+      return 2;  // assume short form dominates intra-function
+    case MOp::kJcc:
+      return 3;
+    case MOp::kCall:
+    case MOp::kCallHost:
+      return 5;
+    case MOp::kCallReg:
+      return 3;
+    case MOp::kMovImm64:
+      return 10;
+    case MOp::kCdq:
+      return instr.width == 8 ? 2 : 1;
+    default:
+      break;
+  }
+  uint32_t bytes = 1;  // primary opcode
+  if (instr.width == 8) {
+    bytes += 1;  // REX.W
+  }
+  // Two-byte opcodes for SSE / movzx / setcc / popcnt families.
+  switch (instr.op) {
+    case MOp::kMovsd:
+    case MOp::kAddsd:
+    case MOp::kSubsd:
+    case MOp::kMulsd:
+    case MOp::kDivsd:
+    case MOp::kSqrtsd:
+    case MOp::kMinsd:
+    case MOp::kMaxsd:
+    case MOp::kAndpd:
+    case MOp::kXorpd:
+    case MOp::kOrpd:
+    case MOp::kUcomisd:
+    case MOp::kCvtsi2sd:
+    case MOp::kCvttsd2si:
+    case MOp::kMovss:
+    case MOp::kAddss:
+    case MOp::kSubss:
+    case MOp::kMulss:
+    case MOp::kDivss:
+    case MOp::kSqrtss:
+    case MOp::kMinss:
+    case MOp::kMaxss:
+    case MOp::kUcomiss:
+    case MOp::kCvtss2sd:
+    case MOp::kCvtsd2ss:
+    case MOp::kCvtsi2ss:
+    case MOp::kCvttss2si:
+    case MOp::kMovqToXmm:
+    case MOp::kMovqFromXmm:
+    case MOp::kSetcc:
+    case MOp::kLzcnt:
+    case MOp::kTzcnt:
+    case MOp::kPopcnt:
+      bytes += 2;  // prefix + 0x0F
+      break;
+    case MOp::kRoundsd:
+    case MOp::kRoundss:
+      bytes += 4;  // 66 0F 3A xx + imm8
+      break;
+    case MOp::kLoad:
+      if (instr.width < 4) {
+        bytes += 1;  // movzx/movsx are 0F-escaped
+      }
+      break;
+    default:
+      break;
+  }
+  if (instr.dst.is_mem()) {
+    bytes += MemRefBytes(instr.dst.mem);
+  } else if (instr.src.is_mem()) {
+    bytes += MemRefBytes(instr.src.mem);
+  } else if (instr.dst.is_reg() || instr.dst.is_xmm()) {
+    bytes += 1;  // ModRM reg-reg
+  }
+  if (instr.src.is_imm()) {
+    bytes += ImmBytes(instr.src.imm);
+  }
+  if (instr.src2.is_imm() && (instr.op == MOp::kShl || instr.op == MOp::kShr ||
+                              instr.op == MOp::kSar || instr.op == MOp::kRol ||
+                              instr.op == MOp::kRor)) {
+    bytes += 1;
+  }
+  return bytes;
+}
+
+namespace {
+
+std::string OperandToString(const Operand& o, uint8_t width) {
+  switch (o.kind) {
+    case OperandKind::kNone:
+      return "";
+    case OperandKind::kGpr:
+      return width == 8 ? GprName(o.gpr) : GprName32(o.gpr);
+    case OperandKind::kXmm:
+      return XmmName(o.xmm);
+    case OperandKind::kImm:
+      return StrFormat("%lld", static_cast<long long>(o.imm));
+    case OperandKind::kMem: {
+      std::string s = "[";
+      bool need_plus = false;
+      if (o.mem.base.has_value()) {
+        s += GprName(*o.mem.base);
+        need_plus = true;
+      }
+      if (o.mem.index.has_value()) {
+        if (need_plus) {
+          s += "+";
+        }
+        s += StrFormat("%s*%u", GprName(*o.mem.index), o.mem.scale);
+        need_plus = true;
+      }
+      if (o.mem.disp != 0 || !need_plus) {
+        if (need_plus && o.mem.disp >= 0) {
+          s += "+";
+        }
+        s += StrFormat("%d", o.mem.disp);
+      }
+      s += "]";
+      return s;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string MInstrToString(const MInstr& instr) {
+  std::string s;
+  switch (instr.op) {
+    case MOp::kJmp:
+      s = StrFormat("jmp L%u", instr.label);
+      break;
+    case MOp::kJcc:
+      s = StrFormat("j%s L%u", CondName(instr.cond), instr.label);
+      break;
+    case MOp::kCall:
+      s = StrFormat("call f%u", instr.func);
+      break;
+    case MOp::kCallHost:
+      s = StrFormat("call host%u", instr.func);
+      break;
+    case MOp::kCallReg:
+      s = StrFormat("call %s", GprName(instr.dst.gpr));
+      break;
+    case MOp::kSetcc:
+      s = StrFormat("set%s %s", CondName(instr.cond), OperandToString(instr.dst, 4).c_str());
+      break;
+    case MOp::kCdq:
+      s = instr.width == 8 ? "cqo" : "cdq";
+      break;
+    default: {
+      s = MOpName(instr.op);
+      std::string dst = OperandToString(instr.dst, instr.width);
+      std::string src = OperandToString(instr.src, instr.width);
+      std::string src2 = OperandToString(instr.src2, 4);
+      if (!dst.empty()) {
+        s += " " + dst;
+      }
+      if (!src.empty()) {
+        s += ", " + src;
+      }
+      if (!src2.empty()) {
+        s += ", " + src2;
+      }
+      break;
+    }
+  }
+  if (!instr.comment.empty()) {
+    while (s.size() < 36) {
+      s += ' ';
+    }
+    s += " # " + instr.comment;
+  }
+  return s;
+}
+
+std::string MFunctionToString(const MFunction& func) {
+  std::string out = func.name + ":\n";
+  for (size_t i = 0; i < func.code.size(); i++) {
+    out += StrFormat("  %4zu: %s\n", i, MInstrToString(func.code[i]).c_str());
+  }
+  return out;
+}
+
+void MProgram::Link() {
+  uint64_t base = 0;
+  for (MFunction& f : funcs) {
+    f.code_base = base;
+    f.instr_offsets.clear();
+    f.instr_offsets.reserve(f.code.size());
+    uint32_t off = 0;
+    for (const MInstr& instr : f.code) {
+      f.instr_offsets.push_back(off);
+      off += EncodedSize(instr);
+    }
+    base += off;
+    // Align functions to 16 bytes like real JITs/linkers.
+    base = (base + 15) & ~uint64_t{15};
+  }
+  total_code_bytes = base;
+}
+
+}  // namespace nsf

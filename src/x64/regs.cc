@@ -1,0 +1,19 @@
+#include "src/x64/regs.h"
+
+namespace nsf {
+
+namespace {
+const char* const kGprNames[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+                                   "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+const char* const kGprNames32[16] = {"eax", "ecx", "edx",  "ebx",  "esp",  "ebp",  "esi",  "edi",
+                                     "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"};
+const char* const kXmmNames[16] = {"xmm0",  "xmm1",  "xmm2",  "xmm3", "xmm4",  "xmm5",
+                                   "xmm6",  "xmm7",  "xmm8",  "xmm9", "xmm10", "xmm11",
+                                   "xmm12", "xmm13", "xmm14", "xmm15"};
+}  // namespace
+
+const char* GprName(Gpr r) { return kGprNames[static_cast<uint8_t>(r)]; }
+const char* GprName32(Gpr r) { return kGprNames32[static_cast<uint8_t>(r)]; }
+const char* XmmName(Xmm r) { return kXmmNames[static_cast<uint8_t>(r)]; }
+
+}  // namespace nsf

@@ -1,0 +1,58 @@
+// Register file of the simulated x86-64 target.
+#ifndef SRC_X64_REGS_H_
+#define SRC_X64_REGS_H_
+
+#include <cstdint>
+
+namespace nsf {
+
+// General-purpose registers, in x86-64 encoding order.
+enum class Gpr : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+};
+inline constexpr int kNumGprs = 16;
+
+// SSE registers (modeled as 64-bit scalar lanes; f32 values live in the low
+// 32 bits with the usual single-precision rounding applied by ops).
+enum class Xmm : uint8_t {
+  kXmm0 = 0,
+  kXmm1,
+  kXmm2,
+  kXmm3,
+  kXmm4,
+  kXmm5,
+  kXmm6,
+  kXmm7,
+  kXmm8,
+  kXmm9,
+  kXmm10,
+  kXmm11,
+  kXmm12,
+  kXmm13,
+  kXmm14,
+  kXmm15,
+};
+inline constexpr int kNumXmms = 16;
+
+const char* GprName(Gpr r);       // 64-bit name (rax)
+const char* GprName32(Gpr r);     // 32-bit name (eax)
+const char* XmmName(Xmm r);
+
+}  // namespace nsf
+
+#endif  // SRC_X64_REGS_H_

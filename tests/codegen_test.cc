@@ -1,0 +1,462 @@
+// Differential tests: every module is executed by the reference interpreter
+// and by the simulated machine under each codegen profile; results must
+// agree. This is the core correctness argument for the measurement study —
+// both "browsers" and "native" run the same semantics, differing only in
+// code quality.
+#include "src/codegen/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "src/builder/builder.h"
+#include "src/interp/interp.h"
+#include "src/machine/machine.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+namespace {
+
+std::vector<CodegenOptions> AllProfiles() {
+  return {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM(),
+          CodegenOptions::ChromeAsmJs(), CodegenOptions::FirefoxAsmJs()};
+}
+
+class DiffTest : public ::testing::Test {
+ protected:
+  // Runs `name(args)` through the interpreter and all compiled profiles;
+  // checks they all agree and returns the common result.
+  uint64_t RunAllI(Module& m, const std::string& name, const std::vector<TypedValue>& args) {
+    ValidationResult v = ValidateModule(m);
+    EXPECT_TRUE(v.ok) << v.error;
+    std::string error;
+    auto inst = Instance::Create(m, nullptr, &error);
+    EXPECT_NE(inst, nullptr) << error;
+    ExecResult ref = inst->CallExport(name, args);
+    EXPECT_TRUE(ref.ok) << ref.error;
+    uint64_t expect = ref.values.empty() ? 0
+                      : ref.values[0].type == ValType::kI32 ? ref.values[0].value.i32
+                                                            : ref.values[0].value.i64;
+    const Export* e = m.FindExport(name, ExternalKind::kFunc);
+    EXPECT_NE(e, nullptr);
+    for (const CodegenOptions& opts : AllProfiles()) {
+      CompileResult cr = CompileModule(m, opts);
+      EXPECT_TRUE(cr.ok) << opts.profile_name;
+      SimMachine machine(&cr.program);
+      // Stack-args ABI: Run()'s register args are ignored by generated code;
+      // push args manually by building a tiny driver? Instead call with the
+      // machine helper: write args to the stack the callee expects.
+      MachineResult r = CallCompiled(machine, cr, *e, args, m);
+      EXPECT_TRUE(r.ok) << opts.profile_name << ": " << r.error;
+      uint64_t got = ref.values.empty() ? 0
+                     : ref.values[0].type == ValType::kI32 ? (r.ret_i & 0xffffffffull)
+                                                           : r.ret_i;
+      EXPECT_EQ(got, expect) << opts.profile_name;
+    }
+    return expect;
+  }
+
+  // Calls a compiled function with our stack-argument ABI: stage the args
+  // where [rbp+16+8i] will find them.
+  static MachineResult CallCompiled(SimMachine& machine, const CompileResult& cr,
+                                    const Export& e, const std::vector<TypedValue>& args,
+                                    const Module& m) {
+    // Stage arguments at the top of the stack so the callee's ParamRef reads
+    // them: Run() sets rsp = stack top; the kCall pushes the return address.
+    // We emulate a caller by pre-writing args at [stack_top - 8*n .. ) and
+    // lowering rsp accordingly — done via a wrapper program would be cleaner,
+    // but the machine lets us set rsp directly.
+    uint64_t top = kStackBase + kStackSize;
+    uint64_t args_base = top - 8 * args.size();
+    for (size_t i = 0; i < args.size(); i++) {
+      uint64_t bits = args[i].type == ValType::kI32   ? args[i].value.i32
+                      : args[i].type == ValType::kF32 ? [&] {
+                        uint32_t b;
+                        float f = args[i].value.f32;
+                        std::memcpy(&b, &f, 4);
+                        return uint64_t{b};
+                      }()
+                      : args[i].type == ValType::kF64 ? [&] {
+                        uint64_t b;
+                        double d = args[i].value.f64;
+                        std::memcpy(&b, &d, 8);
+                        return b;
+                      }()
+                                                      : args[i].value.i64;
+      // Direct write into stack memory through the public heap API is not
+      // possible; use WriteStack below.
+      machine.WriteStack(args_base + 8 * i, bits);
+    }
+    return machine.RunAt(e.index, args_base);
+  }
+
+  ExecResult RunInterp(Module& m, const std::string& name, const std::vector<TypedValue>& args) {
+    std::string error;
+    auto inst = Instance::Create(m, nullptr, &error);
+    EXPECT_NE(inst, nullptr) << error;
+    return inst->CallExport(name, args);
+  }
+};
+
+TEST_F(DiffTest, Arithmetic) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  // ((a + b) * 7 - a) ^ (b >> 3) | (a & b)
+  uint32_t t = f.AddLocal(ValType::kI32);
+  f.LocalGet(0).LocalGet(1).I32Add().I32Const(7).I32Mul().LocalGet(0).I32Sub().LocalSet(t);
+  f.LocalGet(t).LocalGet(1).I32Const(3).I32ShrS().I32Xor();
+  f.LocalGet(0).LocalGet(1).I32And().I32Or();
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I32(12345), TypedValue::I32(67890)});
+}
+
+TEST_F(DiffTest, DivRem) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).LocalGet(1).I32DivS();
+  f.LocalGet(0).LocalGet(1).I32RemS();
+  f.I32Add();
+  f.LocalGet(0).LocalGet(1).I32DivU();
+  f.I32Add();
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I32(static_cast<uint32_t>(-1000)), TypedValue::I32(7)});
+  Module m2 = mb.module();  // already moved; rebuild
+}
+
+TEST_F(DiffTest, Loops) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t j = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 0, 0, 1, [&] {
+    f.ForI32(j, 0, 13, 1, [&] {
+      f.LocalGet(acc).LocalGet(i).I32Add().LocalGet(j).I32Xor().LocalSet(acc);
+    });
+  });
+  f.LocalGet(acc);
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I32(57)});
+}
+
+TEST_F(DiffTest, MemoryOps) {
+  ModuleBuilder mb;
+  mb.AddMemory(2);
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t addr = f.AddLocal(ValType::kI32);
+  // Fill arr[i] = i*i at base 1024, then sum with strided access.
+  f.ForI32(i, 0, 200, 1, [&] {
+    f.I32Const(1024).LocalGet(i).I32Const(2).I32Shl().I32Add().LocalSet(addr);
+    f.LocalGet(addr).LocalGet(i).LocalGet(i).I32Mul().I32Store(0);
+  });
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  f.ForI32(i, 0, 200, 3, [&] {
+    f.I32Const(1024).LocalGet(i).I32Const(2).I32Shl().I32Add().LocalSet(addr);
+    f.LocalGet(acc).LocalGet(addr).I32Load(0).I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I32(0)});
+}
+
+TEST_F(DiffTest, AluMemPattern) {
+  // C[i] += x pattern that the native profile fuses into add [mem], reg.
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t addr = f.AddLocal(ValType::kI32);
+  f.ForI32(i, 0, 50, 1, [&] {
+    f.I32Const(512).LocalGet(i).I32Const(2).I32Shl().I32Add().LocalSet(addr);
+    f.LocalGet(addr);
+    f.LocalGet(addr).I32Load(0).LocalGet(0).I32Add();
+    f.I32Store(0);
+  });
+  f.I32Const(512).I32Load(196);  // arr[49]
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I32(11)});
+}
+
+TEST_F(DiffTest, CallsAndRecursion) {
+  ModuleBuilder mb;
+  auto& fib = mb.AddFunction("fib", {ValType::kI32}, {ValType::kI32});
+  fib.LocalGet(0).I32Const(2).I32LtS();
+  fib.If([&] { fib.LocalGet(0).Return(); });
+  fib.LocalGet(0).I32Const(1).I32Sub().Call(fib.index());
+  fib.LocalGet(0).I32Const(2).I32Sub().Call(fib.index());
+  fib.I32Add();
+  Module m = mb.Build();
+  EXPECT_EQ(RunAllI(m, "fib", {TypedValue::I32(15)}), 610u);
+}
+
+TEST_F(DiffTest, IndirectCalls) {
+  ModuleBuilder mb;
+  auto& dbl = mb.AddInternalFunction("dbl", {ValType::kI32}, {ValType::kI32});
+  dbl.LocalGet(0).I32Const(2).I32Mul();
+  auto& sq = mb.AddInternalFunction("sq", {ValType::kI32}, {ValType::kI32});
+  sq.LocalGet(0).LocalGet(0).I32Mul();
+  mb.AddTable(4);
+  mb.AddElements(0, {dbl.index(), sq.index()});
+  uint32_t sig = mb.AddType(FuncType{{ValType::kI32}, {ValType::kI32}});
+  auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  f.LocalGet(1).LocalGet(0).CallIndirect(sig);
+  Module m = mb.Build();
+  EXPECT_EQ(RunAllI(m, "f", {TypedValue::I32(0), TypedValue::I32(21)}), 42u);
+  Module m2;
+  {
+    ModuleBuilder mb2;
+    auto& d2 = mb2.AddInternalFunction("dbl", {ValType::kI32}, {ValType::kI32});
+    d2.LocalGet(0).I32Const(2).I32Mul();
+    auto& s2 = mb2.AddInternalFunction("sq", {ValType::kI32}, {ValType::kI32});
+    s2.LocalGet(0).LocalGet(0).I32Mul();
+    mb2.AddTable(4);
+    mb2.AddElements(0, {d2.index(), s2.index()});
+    uint32_t sig2 = mb2.AddType(FuncType{{ValType::kI32}, {ValType::kI32}});
+    auto& g = mb2.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+    g.LocalGet(1).LocalGet(0).CallIndirect(sig2);
+    m2 = mb2.Build();
+  }
+  EXPECT_EQ(RunAllI(m2, "f", {TypedValue::I32(1), TypedValue::I32(5)}), 25u);
+}
+
+TEST_F(DiffTest, Globals) {
+  ModuleBuilder mb;
+  uint32_t g = mb.AddGlobal(ValType::kI32, true, Instr::ConstI32(100));
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.GlobalGet(g).LocalGet(0).I32Add().GlobalSet(g);
+  f.GlobalGet(g);
+  Module m = mb.Build();
+  EXPECT_EQ(RunAllI(m, "f", {TypedValue::I32(23)}), 123u);
+}
+
+TEST_F(DiffTest, FloatingPoint) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64, ValType::kF64}, {ValType::kF64});
+  f.LocalGet(0).LocalGet(1).F64Mul();
+  f.LocalGet(0).LocalGet(1).F64Add().F64Sqrt();
+  f.F64Div();
+  f.LocalGet(0).F64Sub().F64Abs();
+  Module m = mb.Build();
+  ValidationResult v = ValidateModule(m);
+  ASSERT_TRUE(v.ok) << v.error;
+  std::string error;
+  auto inst = Instance::Create(m, nullptr, &error);
+  ASSERT_NE(inst, nullptr);
+  std::vector<TypedValue> args = {TypedValue::F64(3.5), TypedValue::F64(1.25)};
+  ExecResult ref = inst->CallExport("f", args);
+  ASSERT_TRUE(ref.ok);
+  const Export* e = m.FindExport("f", ExternalKind::kFunc);
+  for (const CodegenOptions& opts : AllProfiles()) {
+    CompileResult cr = CompileModule(m, opts);
+    ASSERT_TRUE(cr.ok);
+    SimMachine machine(&cr.program);
+    MachineResult r = DiffTest::CallCompiled(machine, cr, *e, args, m);
+    ASSERT_TRUE(r.ok) << opts.profile_name << ": " << r.error;
+    EXPECT_DOUBLE_EQ(r.ret_f, ref.values[0].value.f64) << opts.profile_name;
+  }
+}
+
+TEST_F(DiffTest, FloatCompareNaN) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64, ValType::kF64}, {ValType::kI32});
+  // eq + 2*lt + 4*gt + 8*ne
+  f.LocalGet(0).LocalGet(1).F64Eq();
+  f.LocalGet(0).LocalGet(1).F64Lt().I32Const(1).I32Shl().I32Or();
+  f.LocalGet(0).LocalGet(1).F64Gt().I32Const(2).I32Shl().I32Or();
+  f.LocalGet(0).LocalGet(1).Op(Opcode::kF64Ne).I32Const(3).I32Shl().I32Or();
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::F64(1.0), TypedValue::F64(2.0)});
+  Module m2;
+  {
+    ModuleBuilder mb2;
+    auto& g = mb2.AddFunction("f", {ValType::kF64, ValType::kF64}, {ValType::kI32});
+    g.LocalGet(0).LocalGet(1).F64Eq();
+    g.LocalGet(0).LocalGet(1).F64Lt().I32Const(1).I32Shl().I32Or();
+    g.LocalGet(0).LocalGet(1).F64Gt().I32Const(2).I32Shl().I32Or();
+    g.LocalGet(0).LocalGet(1).Op(Opcode::kF64Ne).I32Const(3).I32Shl().I32Or();
+    m2 = mb2.Build();
+  }
+  RunAllI(m2, "f", {TypedValue::F64(std::nan("")), TypedValue::F64(2.0)});
+}
+
+TEST_F(DiffTest, Conversions) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64}, {ValType::kI32});
+  f.LocalGet(0).I32TruncF64S();
+  f.LocalGet(0).F64Neg().I32TruncF64S().I32Add();
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::F64(1234.75)});
+}
+
+TEST_F(DiffTest, I64Ops) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI64, ValType::kI64}, {ValType::kI64});
+  f.LocalGet(0).LocalGet(1).Op(Opcode::kI64Mul);
+  f.LocalGet(0).LocalGet(1).Op(Opcode::kI64Shl).Op(Opcode::kI64Add);
+  f.LocalGet(0).Op(Opcode::kI64Popcnt).Op(Opcode::kI64Xor);
+  Module m = mb.Build();
+  RunAllI(m, "f", {TypedValue::I64(0x123456789abcdefull), TypedValue::I64(13)});
+}
+
+TEST_F(DiffTest, SelectAndBrTable) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t r = f.AddLocal(ValType::kI32);
+  Instr bt;
+  bt.op = Opcode::kBrTable;
+  bt.table = {0, 1, 2};
+  f.Block([&] {
+    f.Block([&] {
+      f.Block([&] {
+        f.LocalGet(0);
+        f.Emit(bt);
+      });
+      f.I32Const(10).LocalSet(r);
+      f.Br(1);
+    });
+    f.I32Const(20).LocalSet(r);
+    f.Br(0);
+  });
+  f.LocalGet(r);
+  f.I32Const(5).I32Const(500).LocalGet(0).Select().I32Add();
+  Module m = mb.Build();
+  for (uint32_t x : {0u, 1u, 2u, 9u}) {
+    Module mc;
+    {
+      ModuleBuilder mbc;
+      auto& g = mbc.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+      uint32_t rr = g.AddLocal(ValType::kI32);
+      Instr bt2;
+      bt2.op = Opcode::kBrTable;
+      bt2.table = {0, 1, 2};
+      g.Block([&] {
+        g.Block([&] {
+          g.Block([&] {
+            g.LocalGet(0);
+            g.Emit(bt2);
+          });
+          g.I32Const(10).LocalSet(rr);
+          g.Br(1);
+        });
+        g.I32Const(20).LocalSet(rr);
+        g.Br(0);
+      });
+      g.LocalGet(rr);
+      g.I32Const(5).I32Const(500).LocalGet(0).Select().I32Add();
+      mc = mbc.Build();
+    }
+    RunAllI(mc, "f", {TypedValue::I32(x)});
+  }
+  (void)m;
+}
+
+TEST_F(DiffTest, HighRegisterPressure) {
+  // Many simultaneously-live locals force spills, especially under the JIT
+  // profiles' smaller pools.
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  std::vector<uint32_t> locals;
+  for (int i = 0; i < 24; i++) {
+    locals.push_back(f.AddLocal(ValType::kI32));
+  }
+  for (int i = 0; i < 24; i++) {
+    f.LocalGet(0).I32Const(i + 1).I32Mul().LocalSet(locals[i]);
+  }
+  // Combine in reverse so everything stays live.
+  f.I32Const(0);
+  for (int i = 23; i >= 0; i--) {
+    f.LocalGet(locals[i]).I32Add();
+  }
+  Module m = mb.Build();
+  EXPECT_EQ(RunAllI(m, "f", {TypedValue::I32(3)}), 3u * (24 * 25 / 2));
+}
+
+TEST_F(DiffTest, TrapsMatch) {
+  // Division by zero must trap under every backend.
+  for (const CodegenOptions& opts : AllProfiles()) {
+    ModuleBuilder mb;
+    auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+    f.I32Const(1).LocalGet(0).I32DivS();
+    Module m = mb.Build();
+    CompileResult cr = CompileModule(m, opts);
+    ASSERT_TRUE(cr.ok);
+    SimMachine machine(&cr.program);
+    const Export* e = m.FindExport("f", ExternalKind::kFunc);
+    uint64_t top = kStackBase + kStackSize;
+    machine.WriteStack(top - 8, 0);
+    MachineResult r = machine.RunAt(e->index, top - 8);
+    EXPECT_FALSE(r.ok) << opts.profile_name;
+    EXPECT_EQ(r.trap, TrapKind::kDivByZero) << opts.profile_name;
+  }
+}
+
+TEST_F(DiffTest, UnreachableTraps) {
+  for (const CodegenOptions& opts : AllProfiles()) {
+    ModuleBuilder mb;
+    auto& f = mb.AddFunction("f", {}, {});
+    f.Unreachable();
+    Module m = mb.Build();
+    CompileResult cr = CompileModule(m, opts);
+    SimMachine machine(&cr.program);
+    const Export* e = m.FindExport("f", ExternalKind::kFunc);
+    MachineResult r = machine.RunAt(e->index, kStackBase + kStackSize);
+    EXPECT_EQ(r.trap, TrapKind::kUnreachable) << opts.profile_name;
+  }
+}
+
+TEST_F(DiffTest, IndirectCallChecksTrap) {
+  CodegenOptions opts = CodegenOptions::ChromeV8();
+  ModuleBuilder mb;
+  auto& id = mb.AddInternalFunction("id", {ValType::kI32}, {ValType::kI32});
+  id.LocalGet(0);
+  auto& v = mb.AddInternalFunction("void_fn", {}, {});
+  v.Op(Opcode::kNop);
+  mb.AddTable(4);
+  mb.AddElements(0, {id.index()});
+  mb.AddElements(2, {v.index()});
+  uint32_t sig = mb.AddType(FuncType{{ValType::kI32}, {ValType::kI32}});
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.I32Const(7).LocalGet(0).CallIndirect(sig);
+  Module m = mb.Build();
+  CompileResult cr = CompileModule(m, opts);
+  ASSERT_TRUE(cr.ok);
+  const Export* e = m.FindExport("f", ExternalKind::kFunc);
+  auto run_with = [&](uint32_t idx) {
+    SimMachine machine(&cr.program);
+    uint64_t top = kStackBase + kStackSize;
+    machine.WriteStack(top - 8, idx);
+    return machine.RunAt(e->index, top - 8);
+  };
+  EXPECT_EQ(run_with(9).trap, TrapKind::kIndirectCallOutOfBounds);
+  EXPECT_EQ(run_with(1).trap, TrapKind::kIndirectCallNull);
+  EXPECT_EQ(run_with(2).trap, TrapKind::kIndirectCallTypeMismatch);
+  MachineResult ok = run_with(0);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.ret_i & 0xffffffffull, 7ull);  // id(7)
+}
+
+TEST_F(DiffTest, JitProfilesGenerateMoreCode) {
+  // The §6.3 effect: JIT-profile code is bigger than native-profile code.
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t addr = f.AddLocal(ValType::kI32);
+  f.ForI32(i, 0, 100, 1, [&] {
+    f.I32Const(0).LocalGet(i).I32Const(2).I32Shl().I32Add().LocalSet(addr);
+    f.LocalGet(addr);
+    f.LocalGet(addr).I32Load(0).LocalGet(i).I32Add();
+    f.I32Store(0);
+  });
+  f.I32Const(0).I32Load(0);
+  Module m = mb.Build();
+  CompileResult native = CompileModule(m, CodegenOptions::NativeClang());
+  CompileResult chrome = CompileModule(m, CodegenOptions::ChromeV8());
+  EXPECT_LT(native.stats.code_bytes, chrome.stats.code_bytes);
+  EXPECT_LT(native.stats.minstrs, chrome.stats.minstrs);
+}
+
+}  // namespace
+}  // namespace nsf

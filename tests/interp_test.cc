@@ -1,0 +1,458 @@
+// Interpreter semantics: arithmetic edge cases, traps, control flow, memory,
+// calls (direct/indirect/host), globals, and fuel accounting.
+#include "src/interp/interp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/builder/builder.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+namespace {
+
+// Builds, validates, and instantiates a single-function module, then calls it.
+class InterpTest : public ::testing::Test {
+ protected:
+  ExecResult RunI32Binop(Opcode op, uint32_t a, uint32_t b) {
+    ModuleBuilder mb;
+    auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+    f.LocalGet(0).LocalGet(1).Op(op);
+    return Run(mb, "f", {TypedValue::I32(a), TypedValue::I32(b)});
+  }
+
+  ExecResult RunI64Binop(Opcode op, uint64_t a, uint64_t b) {
+    ModuleBuilder mb;
+    auto& f = mb.AddFunction("f", {ValType::kI64, ValType::kI64}, {ValType::kI64});
+    f.LocalGet(0).LocalGet(1).Op(op);
+    return Run(mb, "f", {TypedValue::I64(a), TypedValue::I64(b)});
+  }
+
+  ExecResult RunF64Binop(Opcode op, double a, double b) {
+    ModuleBuilder mb;
+    auto& f = mb.AddFunction("f", {ValType::kF64, ValType::kF64}, {ValType::kF64});
+    f.LocalGet(0).LocalGet(1).Op(op);
+    return Run(mb, "f", {TypedValue::F64(a), TypedValue::F64(b)});
+  }
+
+  ExecResult Run(ModuleBuilder& mb, const std::string& name,
+                 const std::vector<TypedValue>& args) {
+    module_ = mb.Build();
+    ValidationResult v = ValidateModule(module_);
+    EXPECT_TRUE(v.ok) << v.error;
+    std::string error;
+    instance_ = Instance::Create(module_, resolver_, &error);
+    EXPECT_NE(instance_, nullptr) << error;
+    if (instance_ == nullptr) {
+      return ExecResult{};
+    }
+    return instance_->CallExport(name, args);
+  }
+
+  uint32_t I32(const ExecResult& r) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.values.size(), 1u);
+    return r.values.empty() ? 0 : r.values[0].value.i32;
+  }
+  uint64_t I64(const ExecResult& r) {
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.values.empty() ? 0 : r.values[0].value.i64;
+  }
+  double F64(const ExecResult& r) {
+    EXPECT_TRUE(r.ok) << r.error;
+    return r.values.empty() ? 0 : r.values[0].value.f64;
+  }
+
+  Module module_;
+  std::unique_ptr<Instance> instance_;
+  ImportResolver* resolver_ = nullptr;
+};
+
+TEST_F(InterpTest, I32Arithmetic) {
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Add, 2, 3)), 5u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Sub, 2, 3)), static_cast<uint32_t>(-1));
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Mul, 7, 6)), 42u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Add, 0xffffffffu, 1)), 0u);  // wraparound
+}
+
+TEST_F(InterpTest, I32Division) {
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32DivS, static_cast<uint32_t>(-7), 2)),
+            static_cast<uint32_t>(-3));  // trunc toward zero
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32DivU, 0xfffffffeu, 2)), 0x7fffffffu);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32RemS, static_cast<uint32_t>(-7), 2)),
+            static_cast<uint32_t>(-1));
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32RemU, 7, 2)), 1u);
+}
+
+TEST_F(InterpTest, I32DivTraps) {
+  EXPECT_EQ(RunI32Binop(Opcode::kI32DivS, 1, 0).trap, TrapKind::kDivByZero);
+  EXPECT_EQ(RunI32Binop(Opcode::kI32DivU, 1, 0).trap, TrapKind::kDivByZero);
+  EXPECT_EQ(RunI32Binop(Opcode::kI32DivS, 0x80000000u, static_cast<uint32_t>(-1)).trap,
+            TrapKind::kIntegerOverflow);
+  // rem_s INT_MIN % -1 == 0, not a trap.
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32RemS, 0x80000000u, static_cast<uint32_t>(-1))), 0u);
+}
+
+TEST_F(InterpTest, I32Shifts) {
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Shl, 1, 35)), 8u);  // count mod 32
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32ShrS, 0x80000000u, 1)), 0xc0000000u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32ShrU, 0x80000000u, 1)), 0x40000000u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Rotl, 0x80000001u, 1)), 0x00000003u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32Rotr, 0x00000003u, 1)), 0x80000001u);
+}
+
+TEST_F(InterpTest, I32Comparisons) {
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32LtS, static_cast<uint32_t>(-1), 1)), 1u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32LtU, static_cast<uint32_t>(-1), 1)), 0u);
+  EXPECT_EQ(I32(RunI32Binop(Opcode::kI32GeS, 5, 5)), 1u);
+}
+
+TEST_F(InterpTest, I64Arithmetic) {
+  EXPECT_EQ(I64(RunI64Binop(Opcode::kI64Add, ~0ull, 1)), 0ull);
+  // 2^40 * 2^30 = 2^70 wraps to 0 mod 2^64.
+  EXPECT_EQ(I64(RunI64Binop(Opcode::kI64Mul, 1ull << 40, 1ull << 30)), 0ull);
+  EXPECT_EQ(RunI64Binop(Opcode::kI64DivS, 1ull << 63, ~0ull).trap, TrapKind::kIntegerOverflow);
+}
+
+TEST_F(InterpTest, I64Counting) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI64}, {ValType::kI64});
+  f.LocalGet(0).Op(Opcode::kI64Popcnt);
+  EXPECT_EQ(I64(Run(mb, "f", {TypedValue::I64(0xf0f0ull)})), 8ull);
+}
+
+TEST_F(InterpTest, F64Arithmetic) {
+  EXPECT_DOUBLE_EQ(F64(RunF64Binop(Opcode::kF64Add, 1.5, 2.25)), 3.75);
+  EXPECT_DOUBLE_EQ(F64(RunF64Binop(Opcode::kF64Div, 1.0, 0.0)),
+                   std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(F64(RunF64Binop(Opcode::kF64Div, 0.0, 0.0))));
+}
+
+TEST_F(InterpTest, F64MinMaxNaNSemantics) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(F64(RunF64Binop(Opcode::kF64Min, nan, 1.0))));
+  EXPECT_TRUE(std::isnan(F64(RunF64Binop(Opcode::kF64Max, 1.0, nan))));
+  // min(-0, +0) must be -0.
+  double r = F64(RunF64Binop(Opcode::kF64Min, -0.0, 0.0));
+  EXPECT_TRUE(std::signbit(r));
+}
+
+TEST_F(InterpTest, TruncTraps) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64}, {ValType::kI32});
+  f.LocalGet(0).Op(Opcode::kI32TruncF64S);
+  EXPECT_EQ(Run(mb, "f", {TypedValue::F64(std::nan(""))}).trap, TrapKind::kInvalidConversion);
+  ModuleBuilder mb2;
+  auto& g = mb2.AddFunction("f", {ValType::kF64}, {ValType::kI32});
+  g.LocalGet(0).Op(Opcode::kI32TruncF64S);
+  EXPECT_EQ(Run(mb2, "f", {TypedValue::F64(3e10)}).trap, TrapKind::kIntegerOverflow);
+}
+
+TEST_F(InterpTest, TruncInRange) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64}, {ValType::kI32});
+  f.LocalGet(0).Op(Opcode::kI32TruncF64S);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::F64(-3.7)})), static_cast<uint32_t>(-3));
+}
+
+TEST_F(InterpTest, Conversions) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kF64});
+  f.LocalGet(0).Op(Opcode::kF64ConvertI32U);
+  EXPECT_DOUBLE_EQ(F64(Run(mb, "f", {TypedValue::I32(0xffffffffu)})), 4294967295.0);
+}
+
+TEST_F(InterpTest, Reinterpret) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kF64}, {ValType::kI64});
+  f.LocalGet(0).Op(Opcode::kI64ReinterpretF64);
+  EXPECT_EQ(I64(Run(mb, "f", {TypedValue::F64(1.0)})), 0x3ff0000000000000ull);
+}
+
+TEST_F(InterpTest, UnreachableTraps) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {}, {});
+  f.Unreachable();
+  EXPECT_EQ(Run(mb, "f", {}).trap, TrapKind::kUnreachable);
+}
+
+TEST_F(InterpTest, MemoryLoadStore) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).LocalGet(1).I32Store(0);
+  f.LocalGet(0).I32Load(0);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(100), TypedValue::I32(0xdeadbeef)})), 0xdeadbeefu);
+}
+
+TEST_F(InterpTest, MemorySubWordAccess) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("f", {}, {ValType::kI32});
+  // Store 0xific bytes and reload with sign extension.
+  f.I32Const(8).I32Const(0x80).I32Store8(0);
+  f.I32Const(8).Load(Opcode::kI32Load8S, 0);
+  EXPECT_EQ(I32(Run(mb, "f", {})), 0xffffff80u);
+}
+
+TEST_F(InterpTest, MemoryOutOfBoundsTraps) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);  // 64 KiB
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).I32Load(0);
+  EXPECT_EQ(Run(mb, "f", {TypedValue::I32(65533)}).trap, TrapKind::kMemoryOutOfBounds);
+}
+
+TEST_F(InterpTest, MemoryOffsetOverflowTraps) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).I32Load(0xffffffff);
+  EXPECT_EQ(Run(mb, "f", {TypedValue::I32(4)}).trap, TrapKind::kMemoryOutOfBounds);
+}
+
+TEST_F(InterpTest, MemoryGrowAndSize) {
+  ModuleBuilder mb;
+  mb.AddMemory(1, 4);
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).Op(Opcode::kMemoryGrow).Drop();
+  f.Op(Opcode::kMemorySize);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(2)})), 3u);
+}
+
+TEST_F(InterpTest, MemoryGrowBeyondMaxFails) {
+  ModuleBuilder mb;
+  mb.AddMemory(1, 2);
+  auto& f = mb.AddFunction("f", {}, {ValType::kI32});
+  f.I32Const(5).Op(Opcode::kMemoryGrow);
+  EXPECT_EQ(I32(Run(mb, "f", {})), 0xffffffffu);
+}
+
+TEST_F(InterpTest, DataSegmentsInitializeMemory) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  mb.AddData(16, std::string("AB"));
+  auto& f = mb.AddFunction("f", {}, {ValType::kI32});
+  f.I32Const(16).Load(Opcode::kI32Load16U, 0);
+  EXPECT_EQ(I32(Run(mb, "f", {})), 0x4241u);  // little endian "AB"
+}
+
+TEST_F(InterpTest, LoopComputesSum) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("sum", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 1, 0, 1, [&] { f.LocalGet(acc).LocalGet(i).I32Add().LocalSet(acc); });
+  f.LocalGet(acc);
+  // sum 1..99 (ForI32Dyn is exclusive of end=local 0 = 100)
+  EXPECT_EQ(I32(Run(mb, "sum", {TypedValue::I32(100)})), 4950u);
+}
+
+TEST_F(InterpTest, NestedLoops) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  uint32_t j = f.AddLocal(ValType::kI32);
+  f.ForI32(i, 0, 10, 1, [&] {
+    f.ForI32(j, 0, 10, 1, [&] { f.LocalGet(acc).I32Const(1).I32Add().LocalSet(acc); });
+  });
+  f.LocalGet(acc);
+  EXPECT_EQ(I32(Run(mb, "f", {})), 100u);
+}
+
+TEST_F(InterpTest, IfElseBothArms) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0);
+  f.IfElse(ValType::kI32, [&] { f.I32Const(111); }, [&] { f.I32Const(222); });
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(1)})), 111u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(0)}).values[0].value.i32, 222u);
+}
+
+TEST_F(InterpTest, IfWithoutElseFalseSkips) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t x = f.AddLocal(ValType::kI32);
+  f.I32Const(5).LocalSet(x);
+  f.LocalGet(0).If([&] { f.I32Const(9).LocalSet(x); });
+  f.LocalGet(x);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(0)})), 5u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(3)}).values[0].value.i32, 9u);
+}
+
+TEST_F(InterpTest, BrTableDispatch) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  uint32_t r = f.AddLocal(ValType::kI32);
+  Instr bt;
+  bt.op = Opcode::kBrTable;
+  bt.table = {0, 1, 2};  // case0 -> depth0, case1 -> depth1, default -> depth2
+  f.Block([&] {    // depth 2 at br_table
+    f.Block([&] {  // depth 1
+      f.Block([&] {  // depth 0
+        f.LocalGet(0);
+        f.Emit(bt);
+      });
+      f.I32Const(100).LocalSet(r);
+      f.Br(1);
+    });
+    f.I32Const(200).LocalSet(r);
+    f.Br(0);
+  });
+  f.LocalGet(r);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(0)})), 100u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(1)}).values[0].value.i32, 200u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(7)}).values[0].value.i32, 0u);
+}
+
+TEST_F(InterpTest, EarlyReturn) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).If([&] { f.I32Const(77).Return(); });
+  f.I32Const(88);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(1)})), 77u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(0)}).values[0].value.i32, 88u);
+}
+
+TEST_F(InterpTest, DirectCallsAndRecursion) {
+  ModuleBuilder mb;
+  auto& fib = mb.AddFunction("fib", {ValType::kI32}, {ValType::kI32});
+  fib.LocalGet(0).I32Const(2).I32LtS();
+  fib.If([&] { fib.LocalGet(0).Return(); });
+  fib.LocalGet(0).I32Const(1).I32Sub().Call(fib.index());
+  fib.LocalGet(0).I32Const(2).I32Sub().Call(fib.index());
+  fib.I32Add();
+  EXPECT_EQ(I32(Run(mb, "fib", {TypedValue::I32(10)})), 55u);
+}
+
+TEST_F(InterpTest, InfiniteRecursionTraps) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {}, {});
+  f.Call(f.index());
+  EXPECT_EQ(Run(mb, "f", {}).trap, TrapKind::kCallStackExhausted);
+}
+
+TEST_F(InterpTest, IndirectCalls) {
+  ModuleBuilder mb;
+  auto& dbl = mb.AddInternalFunction("dbl", {ValType::kI32}, {ValType::kI32});
+  dbl.LocalGet(0).I32Const(2).I32Mul();
+  auto& neg = mb.AddInternalFunction("neg", {ValType::kI32}, {ValType::kI32});
+  neg.I32Const(0).LocalGet(0).I32Sub();
+  mb.AddTable(2);
+  mb.AddElements(0, {dbl.index(), neg.index()});
+  uint32_t sig = mb.AddType(FuncType{{ValType::kI32}, {ValType::kI32}});
+  auto& f = mb.AddFunction("f", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  f.LocalGet(1).LocalGet(0).CallIndirect(sig);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(0), TypedValue::I32(21)})), 42u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(1), TypedValue::I32(21)})
+                .values[0]
+                .value.i32,
+            static_cast<uint32_t>(-21));
+}
+
+TEST_F(InterpTest, IndirectCallTraps) {
+  ModuleBuilder mb;
+  auto& id = mb.AddInternalFunction("id", {ValType::kI32}, {ValType::kI32});
+  id.LocalGet(0);
+  auto& v = mb.AddInternalFunction("void_fn", {}, {});
+  v.Op(Opcode::kNop);
+  mb.AddTable(4);
+  mb.AddElements(0, {id.index()});
+  mb.AddElements(2, {v.index()});
+  uint32_t sig = mb.AddType(FuncType{{ValType::kI32}, {ValType::kI32}});
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.I32Const(1).LocalGet(0).CallIndirect(sig);
+  // Index 9: out of table bounds.
+  EXPECT_EQ(Run(mb, "f", {TypedValue::I32(9)}).trap, TrapKind::kIndirectCallOutOfBounds);
+  // Index 1: null entry.
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(1)}).trap, TrapKind::kIndirectCallNull);
+  // Index 2: signature mismatch.
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(2)}).trap,
+            TrapKind::kIndirectCallTypeMismatch);
+}
+
+TEST_F(InterpTest, HostCalls) {
+  HostModule host;
+  int calls = 0;
+  host.Register("env", "add10", [&calls](Instance&, const std::vector<TypedValue>& args) {
+    calls++;
+    ExecResult r;
+    r.ok = true;
+    r.values.push_back(TypedValue::I32(args[0].value.i32 + 10));
+    return r;
+  });
+  resolver_ = &host;
+  ModuleBuilder mb;
+  uint32_t imp = mb.AddFuncImport("env", "add10", {ValType::kI32}, {ValType::kI32});
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.LocalGet(0).Call(imp).Call(imp);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(1)})), 21u);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(InterpTest, UnresolvedImportFailsInstantiation) {
+  ModuleBuilder mb;
+  mb.AddFuncImport("env", "missing", {}, {});
+  auto& f = mb.AddFunction("f", {}, {});
+  f.Op(Opcode::kNop);
+  Module m = mb.Build();
+  std::string error;
+  auto inst = Instance::Create(m, nullptr, &error);
+  EXPECT_EQ(inst, nullptr);
+  EXPECT_NE(error.find("missing"), std::string::npos);
+}
+
+TEST_F(InterpTest, GlobalsReadWrite) {
+  ModuleBuilder mb;
+  uint32_t g = mb.AddGlobal(ValType::kI32, true, Instr::ConstI32(5));
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.GlobalGet(g).LocalGet(0).I32Add().GlobalSet(g);
+  f.GlobalGet(g);
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(3)})), 8u);
+  // Global state persists across calls.
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(2)}).values[0].value.i32, 10u);
+}
+
+TEST_F(InterpTest, SelectPicksByCondition) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {ValType::kI32}, {ValType::kI32});
+  f.I32Const(100).I32Const(200).LocalGet(0).Select();
+  EXPECT_EQ(I32(Run(mb, "f", {TypedValue::I32(1)})), 100u);
+  EXPECT_EQ(instance_->CallExport("f", {TypedValue::I32(0)}).values[0].value.i32, 200u);
+}
+
+TEST_F(InterpTest, FuelLimitTraps) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("f", {}, {});
+  f.Block([&] { f.LoopBlock([&] { f.Br(0); }); });
+  Module m = mb.Build();
+  ASSERT_TRUE(ValidateModule(m).ok);
+  std::string error;
+  auto inst = Instance::Create(m, nullptr, &error);
+  ASSERT_NE(inst, nullptr);
+  inst->set_fuel(10000);
+  EXPECT_EQ(inst->CallExport("f", {}).trap, TrapKind::kFuelExhausted);
+}
+
+TEST_F(InterpTest, StartFunctionRuns) {
+  ModuleBuilder mb;
+  uint32_t g = mb.AddGlobal(ValType::kI32, true, Instr::ConstI32(0));
+  auto& init = mb.AddInternalFunction("init", {}, {});
+  init.I32Const(123).GlobalSet(g);
+  mb.SetStart(init.index());
+  auto& f = mb.AddFunction("get", {}, {ValType::kI32});
+  f.GlobalGet(g);
+  Module m = mb.Build();
+  ASSERT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+  std::string error;
+  auto inst = Instance::Create(m, nullptr, &error);
+  ASSERT_NE(inst, nullptr) << error;
+  ASSERT_TRUE(inst->RunStart().ok);
+  EXPECT_EQ(inst->CallExport("get", {}).values[0].value.i32, 123u);
+}
+
+}  // namespace
+}  // namespace nsf

@@ -1,0 +1,145 @@
+#include "src/support/leb128.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace nsf {
+namespace {
+
+TEST(Leb128, U32RoundTripSmall) {
+  for (uint32_t v : {0u, 1u, 63u, 64u, 127u, 128u, 300u, 16384u}) {
+    std::vector<uint8_t> buf;
+    WriteVarU32(buf, v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarU32(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Leb128, U32RoundTripBoundaries) {
+  for (uint32_t v : {0x7fu, 0x80u, 0x3fffu, 0x4000u, 0x1fffffu, 0x200000u, 0xfffffffu,
+                     0x10000000u, std::numeric_limits<uint32_t>::max()}) {
+    std::vector<uint8_t> buf;
+    WriteVarU32(buf, v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarU32(), v) << v;
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Leb128, S32RoundTrip) {
+  for (int32_t v : {0, 1, -1, 63, 64, -64, -65, 127, 128, -128, 8191, -8192,
+                    std::numeric_limits<int32_t>::max(), std::numeric_limits<int32_t>::min()}) {
+    std::vector<uint8_t> buf;
+    WriteVarS32(buf, v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarS32(), v) << v;
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Leb128, S64RoundTrip) {
+  for (int64_t v :
+       {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-0x40}, int64_t{0x3f}, int64_t{-0x41},
+        int64_t{1} << 40, -(int64_t{1} << 40), std::numeric_limits<int64_t>::max(),
+        std::numeric_limits<int64_t>::min()}) {
+    std::vector<uint8_t> buf;
+    WriteVarS64(buf, v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarS64(), v) << v;
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Leb128, U64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{1} << 35,
+                     std::numeric_limits<uint64_t>::max()}) {
+    std::vector<uint8_t> buf;
+    WriteVarU64(buf, v);
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarU64(), v) << v;
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Leb128, KnownEncodings) {
+  // 624485 encodes as E5 8E 26 (classic LEB example value).
+  std::vector<uint8_t> buf;
+  WriteVarU32(buf, 624485);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], 0xe5);
+  EXPECT_EQ(buf[1], 0x8e);
+  EXPECT_EQ(buf[2], 0x26);
+  // -1 as s32 is a single 0x7f byte.
+  buf.clear();
+  WriteVarS32(buf, -1);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0x7f);
+}
+
+TEST(Leb128, TruncatedInputFails) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation bits but no end
+  ByteReader r(buf);
+  r.ReadVarU32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Leb128, OverlongU32Fails) {
+  // 6 bytes of continuation is malformed for u32.
+  std::vector<uint8_t> buf = {0x80, 0x80, 0x80, 0x80, 0x80, 0x00};
+  ByteReader r(buf);
+  r.ReadVarU32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Leb128, NonCanonicalHighBitsRejected) {
+  // Final byte carries bits beyond bit 31.
+  std::vector<uint8_t> buf = {0x80, 0x80, 0x80, 0x80, 0x70};
+  ByteReader r(buf);
+  r.ReadVarU32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, FixedReads) {
+  std::vector<uint8_t> buf = {0x78, 0x56, 0x34, 0x12, 0xff};
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadFixedU32(), 0x12345678u);
+  EXPECT_EQ(r.ReadByte(), 0xff);
+  EXPECT_TRUE(r.AtEnd());
+  r.ReadByte();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, ReadBytesBeyondEndFails) {
+  std::vector<uint8_t> buf = {1, 2, 3};
+  ByteReader r(buf);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(r.ReadBytes(4, &out));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, S33VoidBlockType) {
+  std::vector<uint8_t> buf = {0x40};
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadVarS33(), -0x40);
+}
+
+TEST(ByteReader, S33ValTypes) {
+  // i32 block type 0x7f decodes to -1, f64 0x7c to -4.
+  {
+    std::vector<uint8_t> buf = {0x7f};
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarS33(), -1);
+  }
+  {
+    std::vector<uint8_t> buf = {0x7c};
+    ByteReader r(buf);
+    EXPECT_EQ(r.ReadVarS33(), -4);
+  }
+}
+
+}  // namespace
+}  // namespace nsf

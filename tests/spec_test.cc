@@ -1,0 +1,64 @@
+// SPEC-like workload validation: every benchmark compiles, runs under the
+// JIT profiles, and produces byte-identical output to the native reference.
+#include "src/spec/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/harness/harness.h"
+
+namespace nsf {
+namespace {
+
+class SpecTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpecTest, ValidatesAcrossProfiles) {
+  BenchHarness harness;
+  WorkloadSpec spec = SpecWorkload(GetParam());
+  ASSERT_TRUE(static_cast<bool>(spec.build)) << "unknown workload";
+  for (const auto& opts : {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()}) {
+    RunResult r = harness.RunValidated(spec, opts);
+    ASSERT_TRUE(r.ok) << spec.name << " under " << opts.profile_name << ": " << r.error;
+    EXPECT_TRUE(r.validated) << spec.name << " under " << opts.profile_name;
+    // Must be a real workload (not an empty stub) and exercise syscalls.
+    EXPECT_GT(r.counters.instructions_retired, 100000u) << spec.name;
+    EXPECT_GT(r.syscalls, 0u) << spec.name;
+  }
+}
+
+TEST_P(SpecTest, NativeOutputNonTrivial) {
+  BenchHarness harness;
+  WorkloadSpec spec = SpecWorkload(GetParam());
+  RunResult r = harness.RunOnce(spec, CodegenOptions::NativeClang());
+  ASSERT_TRUE(r.ok) << spec.name << ": " << r.error;
+  ASSERT_FALSE(r.outputs.empty());
+  EXPECT_FALSE(r.outputs[0].second.empty()) << spec.name << " produced no output";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SpecTest, ::testing::ValuesIn(SpecWorkloadNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '.' || ch == '-') {
+                               ch = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(SpecSuite, JitSlowerInAggregate) {
+  // The paper's headline: Wasm runs slower than native on SPEC-class code.
+  BenchHarness harness;
+  std::vector<double> ratios;
+  for (const std::string& name : {"429.mcf", "458.sjeng", "444.namd"}) {
+    WorkloadSpec spec = SpecWorkload(name);
+    RunResult native = harness.RunOnce(spec, CodegenOptions::NativeClang());
+    RunResult chrome = harness.RunOnce(spec, CodegenOptions::ChromeV8());
+    ASSERT_TRUE(native.ok) << name << ": " << native.error;
+    ASSERT_TRUE(chrome.ok) << name << ": " << chrome.error;
+    ratios.push_back(chrome.seconds / native.seconds);
+  }
+  EXPECT_GT(GeoMean(ratios), 1.1);
+}
+
+}  // namespace
+}  // namespace nsf

@@ -1,0 +1,291 @@
+// Validator coverage: positive cases plus a battery of negative cases for
+// type errors, index errors, and structural rules.
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+namespace {
+
+Module SingleFunc(std::vector<ValType> params, std::vector<ValType> results,
+                  std::vector<Instr> body, std::vector<ValType> locals = {},
+                  bool with_memory = false) {
+  Module m;
+  m.types.push_back(FuncType{std::move(params), std::move(results)});
+  Function f;
+  f.type_index = 0;
+  f.locals = std::move(locals);
+  f.body = std::move(body);
+  f.body.push_back(Instr::Simple(Opcode::kEnd));
+  m.functions.push_back(std::move(f));
+  if (with_memory) {
+    MemorySec mem;
+    mem.limits.min = 1;
+    m.memories.push_back(mem);
+  }
+  return m;
+}
+
+TEST(Validator, AcceptsSimpleAdd) {
+  Module m = SingleFunc({ValType::kI32, ValType::kI32}, {ValType::kI32},
+                        {Instr::Idx(Opcode::kLocalGet, 0), Instr::Idx(Opcode::kLocalGet, 1),
+                         Instr::Simple(Opcode::kI32Add)});
+  EXPECT_TRUE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsStackUnderflow) {
+  Module m = SingleFunc({}, {ValType::kI32}, {Instr::Simple(Opcode::kI32Add)});
+  ValidationResult v = ValidateModule(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("underflow"), std::string::npos) << v.error;
+}
+
+TEST(Validator, RejectsTypeMismatch) {
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::ConstF64(1.0), Instr::ConstI32(1), Instr::Simple(Opcode::kI32Add)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsWrongResultType) {
+  Module m = SingleFunc({}, {ValType::kF64}, {Instr::ConstI32(1)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsLeftoverValues) {
+  Module m = SingleFunc({}, {}, {Instr::ConstI32(1)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsBadLocalIndex) {
+  Module m = SingleFunc({ValType::kI32}, {},
+                        {Instr::Idx(Opcode::kLocalGet, 3), Instr::Simple(Opcode::kDrop)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, LocalIndexCountsParamsAndLocals) {
+  Module m = SingleFunc({ValType::kI32}, {},
+                        {Instr::Idx(Opcode::kLocalGet, 1), Instr::Simple(Opcode::kDrop)},
+                        {ValType::kF64});
+  // local 1 is the declared f64; drop accepts any type.
+  EXPECT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+}
+
+TEST(Validator, RejectsBranchDepthOutOfRange) {
+  Module m = SingleFunc({}, {}, {Instr::Idx(Opcode::kBr, 5)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, AcceptsBranchToFunctionLabel) {
+  Module m = SingleFunc({}, {ValType::kI32}, {Instr::ConstI32(7), Instr::Idx(Opcode::kBr, 0)});
+  EXPECT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+}
+
+TEST(Validator, UnreachableCodeIsPolymorphic) {
+  // After unreachable, anything type-checks until the block ends.
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::Simple(Opcode::kUnreachable), Instr::Simple(Opcode::kI32Add)});
+  EXPECT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+}
+
+TEST(Validator, RejectsMemoryAccessWithoutMemory) {
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::ConstI32(0), Instr::Mem(Opcode::kI32Load, 2, 0)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, AcceptsMemoryAccessWithMemory) {
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::ConstI32(0), Instr::Mem(Opcode::kI32Load, 2, 0)}, {}, true);
+  EXPECT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+}
+
+TEST(Validator, RejectsOveralignedAccess) {
+  // align log2 = 3 (8 bytes) on a 4-byte load is invalid.
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::ConstI32(0), Instr::Mem(Opcode::kI32Load, 3, 0)}, {}, true);
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsSetImmutableGlobal) {
+  Module m;
+  m.types.push_back(FuncType{{}, {}});
+  Global g;
+  g.type = GlobalType{ValType::kI32, false};
+  g.init = Instr::ConstI32(0);
+  m.globals.push_back(g);
+  Function f;
+  f.type_index = 0;
+  f.body = {Instr::ConstI32(1), Instr::Idx(Opcode::kGlobalSet, 0), Instr::Simple(Opcode::kEnd)};
+  m.functions.push_back(std::move(f));
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsGlobalInitTypeMismatch) {
+  Module m;
+  Global g;
+  g.type = GlobalType{ValType::kF64, false};
+  g.init = Instr::ConstI32(0);
+  m.globals.push_back(g);
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsDuplicateExports) {
+  ModuleBuilder mb;
+  auto& f1 = mb.AddFunction("f", {}, {});
+  (void)f1;
+  auto& f2 = mb.AddFunction("f", {}, {});
+  (void)f2;
+  Module m = mb.Build();
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsExportIndexOutOfRange) {
+  Module m;
+  Export e;
+  e.name = "f";
+  e.kind = ExternalKind::kFunc;
+  e.index = 3;
+  m.exports.push_back(e);
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsCallIndexOutOfRange) {
+  Module m = SingleFunc({}, {}, {Instr::Idx(Opcode::kCall, 9)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsCallArgMismatch) {
+  ModuleBuilder mb;
+  auto& callee = mb.AddFunction("callee", {ValType::kF64}, {});
+  callee.LocalGet(0).Drop();
+  auto& caller = mb.AddFunction("caller", {}, {});
+  caller.I32Const(1).Call(callee.index());
+  Module m = mb.Build();
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsStartWithParams) {
+  Module m = SingleFunc({ValType::kI32}, {}, {});
+  m.start = 0;
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsIfWithResultButNoElse) {
+  Module m = SingleFunc({}, {ValType::kI32}, [] {
+    std::vector<Instr> body;
+    body.push_back(Instr::ConstI32(1));
+    Instr if_instr;
+    if_instr.op = Opcode::kIf;
+    if_instr.block_type = -1;  // i32 result
+    body.push_back(if_instr);
+    body.push_back(Instr::ConstI32(2));
+    body.push_back(Instr::Simple(Opcode::kEnd));
+    return body;
+  }());
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, AcceptsIfElseWithResult) {
+  Module m = SingleFunc({ValType::kI32}, {ValType::kI32}, [] {
+    std::vector<Instr> body;
+    body.push_back(Instr::Idx(Opcode::kLocalGet, 0));
+    Instr if_instr;
+    if_instr.op = Opcode::kIf;
+    if_instr.block_type = -1;
+    body.push_back(if_instr);
+    body.push_back(Instr::ConstI32(10));
+    body.push_back(Instr::Simple(Opcode::kElse));
+    body.push_back(Instr::ConstI32(20));
+    body.push_back(Instr::Simple(Opcode::kEnd));
+    return body;
+  }());
+  EXPECT_TRUE(ValidateModule(m).ok) << ValidateModule(m).error;
+}
+
+TEST(Validator, RejectsSelectTypeMismatch) {
+  Module m = SingleFunc({}, {ValType::kI32},
+                        {Instr::ConstI32(1), Instr::ConstF64(2.0), Instr::ConstI32(0),
+                         Instr::Simple(Opcode::kSelect)});
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsBrTableLabelMismatch) {
+  // Outer block yields i32, inner loop label yields nothing: mixing them in
+  // one br_table must fail.
+  Module m;
+  m.types.push_back(FuncType{{}, {}});
+  Function f;
+  f.type_index = 0;
+  Instr blk;
+  blk.op = Opcode::kBlock;
+  blk.block_type = -1;  // i32
+  Instr lp;
+  lp.op = Opcode::kLoop;
+  Instr bt;
+  bt.op = Opcode::kBrTable;
+  bt.table = {0, 1, 1};  // targets loop(0), block(1); default block
+  f.body = {blk,
+            lp,
+            Instr::ConstI32(0),
+            Instr::ConstI32(0),
+            bt,
+            Instr::Simple(Opcode::kEnd),
+            Instr::Simple(Opcode::kEnd),
+            Instr::Simple(Opcode::kDrop),
+            Instr::Simple(Opcode::kEnd)};
+  m.functions.push_back(std::move(f));
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsMultipleMemories) {
+  Module m;
+  MemorySec a;
+  a.limits.min = 1;
+  m.memories.push_back(a);
+  m.memories.push_back(a);
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, RejectsHugeMemory) {
+  Module m;
+  MemorySec a;
+  a.limits.min = kMaxMemoryPages + 1;
+  m.memories.push_back(a);
+  EXPECT_FALSE(ValidateModule(m).ok);
+}
+
+TEST(Validator, BuilderLoopsValidate) {
+  ModuleBuilder mb;
+  mb.AddMemory(1);
+  auto& f = mb.AddFunction("sum", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32Dyn(i, 0, 0, 1, [&] { f.LocalGet(acc).LocalGet(i).I32Add().LocalSet(acc); });
+  f.LocalGet(acc);
+  Module m = mb.Build();
+  ValidationResult v = ValidateModule(m);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(Validator, NestedControlValidates) {
+  ModuleBuilder mb;
+  auto& f = mb.AddFunction("nest", {ValType::kI32}, {ValType::kI32});
+  uint32_t x = f.AddLocal(ValType::kI32);
+  f.LocalGet(0).If([&] {
+    f.LocalGet(0).I32Const(2).I32Mul().LocalSet(x);
+  });
+  f.Block([&] {
+    f.Block([&] {
+      f.LocalGet(x).BrIf(1);
+      f.I32Const(99).LocalSet(x);
+    });
+  });
+  f.LocalGet(x);
+  Module m = mb.Build();
+  ValidationResult v = ValidateModule(m);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+}  // namespace
+}  // namespace nsf

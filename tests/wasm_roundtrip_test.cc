@@ -1,0 +1,170 @@
+// Encode -> decode -> re-encode round-trip tests over modules produced with
+// the builder DSL, plus WAT printing smoke tests.
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/wasm/decoder.h"
+#include "src/wasm/encoder.h"
+#include "src/wasm/validator.h"
+#include "src/wasm/wat.h"
+
+namespace nsf {
+namespace {
+
+// Builds a module exercising most section kinds and instruction shapes.
+Module BuildRichModule() {
+  ModuleBuilder mb("rich");
+  mb.AddMemory(2, 16);
+  uint32_t imp = mb.AddFuncImport("env", "tick", {ValType::kI32}, {ValType::kI32});
+  uint32_t g = mb.AddGlobal(ValType::kI32, true, Instr::ConstI32(42));
+
+  auto& add = mb.AddFunction("add", {ValType::kI32, ValType::kI32}, {ValType::kI32});
+  add.LocalGet(0).LocalGet(1).I32Add();
+
+  auto& fancy = mb.AddFunction("fancy", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = fancy.AddLocal(ValType::kI32);
+  uint32_t i = fancy.AddLocal(ValType::kI32);
+  fancy.ForI32(i, 0, 10, 1, [&] {
+    fancy.LocalGet(acc).LocalGet(i).I32Add().LocalSet(acc);
+  });
+  fancy.LocalGet(acc)
+      .LocalGet(0)
+      .Call(imp)
+      .I32Add();
+  fancy.GlobalGet(g).I32Add();
+
+  auto& fp = mb.AddFunction("fp", {ValType::kF64}, {ValType::kF64});
+  fp.LocalGet(0).F64Const(2.5).F64Mul().F64Sqrt();
+
+  auto& memops = mb.AddFunction("memops", {ValType::kI32}, {ValType::kI32});
+  memops.LocalGet(0).I32Const(7).I32Store(4);
+  memops.LocalGet(0).I32Load(4);
+
+  mb.AddTable(4);
+  mb.AddElements(1, {mb.module().NumImportedFuncs()});  // "add"
+  mb.AddData(64, std::string("hello"));
+  mb.ExportMemory("memory");
+  return mb.Build();
+}
+
+TEST(RoundTrip, RichModuleValidates) {
+  Module m = BuildRichModule();
+  ValidationResult v = ValidateModule(m);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(RoundTrip, EncodeDecodeReEncodeIsStable) {
+  Module m = BuildRichModule();
+  std::vector<uint8_t> bytes1 = EncodeModule(m);
+  DecodeResult d = DecodeModule(bytes1);
+  ASSERT_TRUE(d.ok) << d.error;
+  std::vector<uint8_t> bytes2 = EncodeModule(d.module);
+  EXPECT_EQ(bytes1, bytes2);
+}
+
+TEST(RoundTrip, DecodedModulePreservesStructure) {
+  Module m = BuildRichModule();
+  DecodeResult d = DecodeModule(EncodeModule(m));
+  ASSERT_TRUE(d.ok) << d.error;
+  const Module& m2 = d.module;
+  EXPECT_EQ(m2.types.size(), m.types.size());
+  EXPECT_EQ(m2.imports.size(), 1u);
+  EXPECT_EQ(m2.functions.size(), 4u);
+  EXPECT_EQ(m2.globals.size(), 1u);
+  EXPECT_EQ(m2.exports.size(), m.exports.size());
+  EXPECT_EQ(m2.data.size(), 1u);
+  EXPECT_EQ(m2.data[0].bytes.size(), 5u);
+  EXPECT_EQ(m2.elements.size(), 1u);
+  EXPECT_EQ(m2.name, "rich");
+  // Function bodies decode to the same instruction count.
+  for (size_t i = 0; i < m.functions.size(); i++) {
+    EXPECT_EQ(m2.functions[i].body.size(), m.functions[i].body.size()) << "func " << i;
+  }
+  // Debug names survive via the name section.
+  EXPECT_EQ(m2.functions[0].debug_name, "add");
+}
+
+TEST(RoundTrip, DecodedModuleValidates) {
+  DecodeResult d = DecodeModule(EncodeModule(BuildRichModule()));
+  ASSERT_TRUE(d.ok) << d.error;
+  ValidationResult v = ValidateModule(d.module);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(Decode, RejectsBadMagic) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x00, 0x01, 0x00, 0x00, 0x00};
+  DecodeResult d = DecodeModule(bytes);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decode, RejectsBadVersion) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x02, 0x00, 0x00, 0x00};
+  DecodeResult d = DecodeModule(bytes);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decode, EmptyModule) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00};
+  DecodeResult d = DecodeModule(bytes);
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_TRUE(d.module.functions.empty());
+}
+
+TEST(Decode, RejectsOutOfOrderSections) {
+  // Code section (10) followed by type section (1).
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00,
+                                10,   1,    0,    1,    1,    0x60, 0, 0};
+  DecodeResult d = DecodeModule(bytes);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Decode, RejectsTruncatedSection) {
+  std::vector<uint8_t> bytes = {0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 1, 100};
+  DecodeResult d = DecodeModule(bytes);
+  EXPECT_FALSE(d.ok);
+}
+
+TEST(Wat, PrintsModule) {
+  Module m = BuildRichModule();
+  std::string wat = ModuleToWat(m);
+  EXPECT_NE(wat.find("(module $rich"), std::string::npos);
+  EXPECT_NE(wat.find("i32.add"), std::string::npos);
+  EXPECT_NE(wat.find("(export \"add\""), std::string::npos);
+  EXPECT_NE(wat.find("f64.sqrt"), std::string::npos);
+  EXPECT_NE(wat.find("(memory 2 16)"), std::string::npos);
+}
+
+TEST(Wat, InstrFormatting) {
+  EXPECT_EQ(InstrToWat(Instr::ConstI32(-3)), "i32.const -3");
+  EXPECT_EQ(InstrToWat(Instr::Idx(Opcode::kLocalGet, 2)), "local.get 2");
+  EXPECT_EQ(InstrToWat(Instr::Mem(Opcode::kI32Load, 2, 8)), "i32.load offset=8");
+  EXPECT_EQ(InstrToWat(Instr::Simple(Opcode::kI32Add)), "i32.add");
+}
+
+TEST(Encoder, InstrEncodings) {
+  std::vector<uint8_t> out;
+  EncodeInstr(out, Instr::ConstI32(5));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0x41);
+  EXPECT_EQ(out[1], 0x05);
+  out.clear();
+  EncodeInstr(out, Instr::Mem(Opcode::kI32Load, 2, 16));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 0x28);
+  EXPECT_EQ(out[1], 0x02);
+  EXPECT_EQ(out[2], 0x10);
+}
+
+TEST(Opcodes, TableSanity) {
+  EXPECT_STREQ(OpcodeName(Opcode::kI32Add), "i32.add");
+  EXPECT_STREQ(OpcodeName(Opcode::kF64PromoteF32), "f64.promote_f32");
+  EXPECT_EQ(OpcodeImmKind(Opcode::kBr), ImmKind::kLabel);
+  EXPECT_EQ(OpcodeImmKind(Opcode::kI32Load), ImmKind::kMem);
+  EXPECT_EQ(OpcodeImmKind(Opcode::kCallIndirect), ImmKind::kCallInd);
+  EXPECT_TRUE(IsValidOpcode(0x41));
+  EXPECT_FALSE(IsValidOpcode(0x06));
+  EXPECT_FALSE(IsValidOpcode(0xc0));  // sign-extension ops are post-MVP
+}
+
+}  // namespace
+}  // namespace nsf
