@@ -64,6 +64,98 @@ inline std::vector<WorkloadSpec> AllSpec(int scale = 1) {
   return out;
 }
 
+// --- Machine-readable JSON mirrors of the table output ---
+// Benches write BENCH_<name>.json next to their ASCII tables so results can
+// be diffed across PRs (and consumed by trajectory tooling).
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One run's counters as a JSON object.
+inline std::string RunResultJson(const RunResult& r) {
+  return StrFormat(
+      "{\"ok\":%s,\"validated\":%s,\"seconds\":%.9f,\"cycles\":%llu,"
+      "\"instructions\":%llu,\"loads\":%llu,\"stores\":%llu,\"branches\":%llu,"
+      "\"cond_branches\":%llu,\"taken_branches\":%llu,\"l1i_misses\":%llu,"
+      "\"l1d_misses\":%llu,\"l2_misses\":%llu,\"code_bytes\":%llu}",
+      r.ok ? "true" : "false", r.validated ? "true" : "false", r.seconds,
+      static_cast<unsigned long long>(r.counters.cycles()),
+      static_cast<unsigned long long>(r.counters.instructions_retired),
+      static_cast<unsigned long long>(r.counters.loads_retired),
+      static_cast<unsigned long long>(r.counters.stores_retired),
+      static_cast<unsigned long long>(r.counters.branches_retired),
+      static_cast<unsigned long long>(r.counters.cond_branches_retired),
+      static_cast<unsigned long long>(r.counters.taken_branches),
+      static_cast<unsigned long long>(r.counters.l1i_misses),
+      static_cast<unsigned long long>(r.counters.l1d_misses),
+      static_cast<unsigned long long>(r.counters.l2_misses),
+      static_cast<unsigned long long>(r.compile.code_bytes));
+}
+
+// Serializes a whole suite run: {"workloads": {name: {profile: counters}}}.
+inline std::string SuiteRowsJson(const std::vector<SuiteRow>& rows) {
+  std::string out = "{\"workloads\":{";
+  bool first_row = true;
+  for (const SuiteRow& row : rows) {
+    if (!first_row) {
+      out += ",";
+    }
+    first_row = false;
+    out += "\"" + JsonEscape(row.name) + "\":{";
+    bool first_profile = true;
+    for (const auto& [profile, result] : row.by_profile) {
+      if (!first_profile) {
+        out += ",";
+      }
+      first_profile = false;
+      out += "\"" + JsonEscape(profile) + "\":" + RunResultJson(result);
+    }
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+// Writes BENCH_<name>.json in the working directory.
+inline bool WriteBenchJson(const std::string& bench_name, const std::string& json) {
+  std::string path = "BENCH_" + bench_name + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "!! cannot write %s\n", path.c_str());
+    return false;
+  }
+  fputs(json.c_str(), f);
+  fputc('\n', f);
+  fclose(f);
+  fprintf(stderr, "  wrote %s\n", path.c_str());
+  return true;
+}
+
 inline double Ratio(const SuiteRow& row, const std::string& profile, const std::string& base,
                     double (*metric)(const RunResult&)) {
   auto it = row.by_profile.find(profile);

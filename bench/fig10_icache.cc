@@ -34,5 +34,6 @@ int main() {
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 10): geomean 2.83x (Chrome) / 2.04x (Firefox); 458.sjeng is the\n");
   printf("outlier (26.5x / 18.6x) because its larger generated code overflows L1i.\n");
+  WriteBenchJson("fig10_icache", SuiteRowsJson(rows));
   return 0;
 }

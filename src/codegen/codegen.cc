@@ -6,6 +6,7 @@
 #include "src/codegen/emit.h"
 #include "src/codegen/opt.h"
 #include "src/codegen/regalloc.h"
+#include "src/profile/profile.h"
 #include "src/support/str.h"
 
 namespace nsf {
@@ -158,10 +159,54 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
     import_seen++;
   }
 
+  // Table image, built before the function loop so PGO devirtualization can
+  // resolve profiled table elements to direct call targets.
+  if (!module.tables.empty()) {
+    prog.table.assign(env.table_size, MProgram::TableEntry{});
+    for (const ElementSegment& seg : module.elements) {
+      uint32_t offset = static_cast<uint32_t>(seg.offset.imm);
+      for (size_t i = 0; i < seg.func_indices.size(); i++) {
+        uint32_t fi = seg.func_indices[i];
+        if (offset + i < prog.table.size()) {
+          uint32_t type_index;
+          if (fi < imported) {
+            type_index = module.FuncImportOf(fi).type_index;
+          } else {
+            type_index = module.functions[fi - imported].type_index;
+          }
+          prog.table[offset + i] = MProgram::TableEntry{type_index, fi};
+        }
+      }
+    }
+  }
+  auto resolve_elem = [&prog, &env](uint32_t elem, uint32_t sig) -> int64_t {
+    if (elem >= prog.table.size()) {
+      return -1;
+    }
+    const MProgram::TableEntry& e = prog.table[elem];
+    auto it = env.sig_ids.find(sig);
+    if (e.func_index == UINT32_MAX || it == env.sig_ids.end() || e.sig_id != it->second) {
+      return -1;
+    }
+    return e.func_index;
+  };
+
+  // Back-edge count above which a profiled loop is worth rotating.
+  constexpr uint64_t kHotLoopMinTrips = 64;
+
   CompileStats& stats = result.stats;
   for (uint32_t d = 0; d < module.functions.size(); d++) {
+    const FuncProfile* fprof = nullptr;
+    if (options.profile != nullptr && imported + d < options.profile->num_funcs()) {
+      fprof = &options.profile->func(imported + d);
+    }
     VFunc vf = LowerFunction(module, d, options);
     stats.vops += vf.ops.size();
+    // Devirtualization first: it matches kCallInd sites by their profile
+    // ordinal, which later passes are free to shuffle.
+    if (options.devirtualize_monomorphic && fprof != nullptr) {
+      PgoDevirtualize(&vf, *fprof, resolve_elem);
+    }
     // Copy propagation models the move coalescing a graph-coloring allocator
     // performs; the linear-scan JIT profiles keep their moves (§6.1.2).
     if (options.regalloc == RegAllocKind::kGraphColor) {
@@ -169,6 +214,19 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
     }
     if (options.rotate_loops) {
       RotateLoops(&vf);
+    } else if (options.pgo_rotate_hot_loops && fprof != nullptr) {
+      RotateLoopsIf(&vf, [&vf, fprof](uint32_t header) {
+        for (size_t i = 0; i < vf.loop_headers.size(); i++) {
+          if (vf.loop_headers[i] == header) {
+            return i < fprof->loop_trips.size() &&
+                   fprof->loop_trips[i] >= kHotLoopMinTrips;
+          }
+        }
+        return false;
+      });
+    }
+    if (options.pgo_layout && fprof != nullptr) {
+      PgoSinkColdBlocks(&vf, *fprof);
     }
     if (options.fuse_addressing) {
       FuseAddressing(&vf);
@@ -190,24 +248,13 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
     stats.minstrs += prog.funcs.back().code.size();
   }
 
-  // Table image.
-  if (!module.tables.empty()) {
-    prog.table.assign(env.table_size, MProgram::TableEntry{});
-    for (const ElementSegment& seg : module.elements) {
-      uint32_t offset = static_cast<uint32_t>(seg.offset.imm);
-      for (size_t i = 0; i < seg.func_indices.size(); i++) {
-        uint32_t fi = seg.func_indices[i];
-        if (offset + i < prog.table.size()) {
-          uint32_t type_index;
-          if (fi < imported) {
-            type_index = module.FuncImportOf(fi).type_index;
-          } else {
-            type_index = module.functions[fi - imported].type_index;
-          }
-          prog.table[offset + i] = MProgram::TableEntry{type_index, fi};
-        }
-      }
-    }
+  // PGO code layout: place functions hottest-first so the hot working set
+  // shares L1i lines (extends the Figure 10 experiment with the fix). A
+  // profile collected for a different module shape (size mismatch) keeps
+  // the identity layout.
+  if (options.pgo_layout && options.profile != nullptr &&
+      options.profile->num_funcs() == prog.funcs.size()) {
+    prog.layout_order = options.profile->FunctionsByHotness();
   }
 
   // Memory + data.

@@ -28,6 +28,8 @@
 
 namespace nsf {
 
+class Profile;
+
 enum class RegAllocKind : uint8_t { kLinearScan, kGraphColor };
 
 struct CodegenOptions {
@@ -58,6 +60,21 @@ struct CodegenOptions {
   // Extra optimization passes, modeling offline-compiler compile time
   // (Table 2); each pass re-runs fusion + DCE.
   uint32_t extra_opt_passes = 0;
+
+  // --- Profile-guided optimization (src/profile/) ---
+  // Execution profile from a warm-up run (not owned; must outlive the
+  // compile). Null disables every pgo_* flag below.
+  const Profile* profile = nullptr;
+  // Hotness-ordered function layout (hot code packed first, cutting L1i
+  // misses) plus cold if-arm sinking with branch inversion.
+  bool pgo_layout = false;
+  // Rotate profiled-hot loops into bottom-test form even when rotate_loops
+  // is off — recovers the §5.1.3 extra-branch cost for the JIT profiles
+  // without paying rotation's code growth on cold loops.
+  bool pgo_rotate_hot_loops = false;
+  // Guarded direct calls for monomorphic indirect-call sites, skipping the
+  // bounds/null/signature checks (§6.2.3) on the hot path.
+  bool devirtualize_monomorphic = false;
 
   static CodegenOptions NativeClang();
   static CodegenOptions ChromeV8();

@@ -72,6 +72,10 @@ struct VOp {
   // when scale != 0, a kLoad address is a + b*scale + offset and a kStore
   // address is a + c*scale + offset.
   uint8_t fuse_scale = 0;
+  // Profile-site ordinal (src/profile/): which Wasm-level branch site
+  // (kBrIf/kBrCmp lowered from `if`/`br_if`) or indirect-call site this op
+  // came from; UINT32_MAX when unprofiled (e.g. br_table compare chains).
+  uint32_t psite = UINT32_MAX;
   // Register-memory ALU fusion (kStore only): when not kNop, the store is
   // actually `alu_op [addr], b` — a load-modify-store in one instruction.
   Opcode alu_op = Opcode::kNop;

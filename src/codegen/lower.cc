@@ -319,6 +319,7 @@ class Lowerer {
         br.a = cond;
         br.negate = true;  // branch when condition is zero
         br.label = else_label;
+        br.psite = next_branch_site_++;
         Emit(br);
         break;
       }
@@ -387,6 +388,7 @@ class Lowerer {
       }
       case Opcode::kBrIf: {
         uint32_t cond = Pop();
+        uint32_t psite = next_branch_site_++;
         BlockCtx& target = BlockAt(instr.a);
         EmitBranchValueMove(target);
         // Fuse a preceding compare into a compare-and-branch when the
@@ -401,6 +403,7 @@ class Lowerer {
             br.cond = prev.cond;
             br.width = prev.width;
             br.label = target.br_label;
+            br.psite = psite;
             vf_.ops.back() = br;
             break;
           }
@@ -409,6 +412,7 @@ class Lowerer {
         br.k = VOp::K::kBrIf;
         br.a = cond;
         br.label = target.br_label;
+        br.psite = psite;
         Emit(br);
         break;
       }
@@ -477,6 +481,7 @@ class Lowerer {
         VOp call;
         call.k = VOp::K::kCallInd;
         call.sig = instr.a;
+        call.psite = next_indirect_site_++;
         call.a = Pop();  // table index
         call.args.resize(sig.params.size());
         for (size_t i = sig.params.size(); i > 0; i--) {
@@ -887,6 +892,11 @@ class Lowerer {
   std::vector<ValEntry> stack_;
   std::vector<BlockCtx> blocks_;
   std::vector<uint32_t> else_labels_;
+  // Profile-site ordinals, counted in body order exactly as the interpreter's
+  // ProfileCollector counts them (see src/profile/profile.h). Loop sites need
+  // no counter: vf_.loop_headers[i] is the i-th kLoop by construction.
+  uint32_t next_branch_site_ = 0;
+  uint32_t next_indirect_site_ = 0;
 };
 
 }  // namespace

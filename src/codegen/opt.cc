@@ -89,6 +89,10 @@ void CopyPropagate(VFunc* vf) {
 }
 
 void RotateLoops(VFunc* vf) {
+  RotateLoopsIf(vf, [](uint32_t) { return true; });
+}
+
+void RotateLoopsIf(VFunc* vf, const std::function<bool(uint32_t)>& pred) {
   // Pattern:
   //   Label(H) ; <pure test region> ; BrCmp(E,...) ; body ; Br(H) ; Label(E)
   // becomes
@@ -109,6 +113,9 @@ void RotateLoops(VFunc* vf) {
       continue;
     }
     uint32_t header = ops[h].label;
+    if (!pred(header)) {
+      continue;
+    }
     // Collect the pure test region.
     size_t t = h + 1;
     while (t < ops.size() && IsPure(ops[t])) {
@@ -150,6 +157,58 @@ void RotateLoops(VFunc* vf) {
     bottom_br.cond = NegateCond(exit_br.cond);
     bottom_br.label = header;
 
+    // The bottom copy of the test region re-defines the same vregs as the
+    // entry copy, which turns short SSA-ish intervals into multi-def live
+    // ranges spanning the whole loop — pressure a linear-scan allocator
+    // answers with hot-loop spills. When every test-region def is consumed
+    // only inside the region (plus the branch itself), rename the bottom
+    // copy's defs to fresh vregs so both copies stay short-lived.
+    std::vector<VOp> bottom_region = test_region;
+    {
+      std::vector<uint32_t> total_uses(vf->vregs.size(), 0);
+      for (const VOp& op : ops) {
+        ForEachUse(op, [&total_uses](uint32_t v) { total_uses[v]++; });
+      }
+      std::vector<uint32_t> local_uses(vf->vregs.size(), 0);
+      for (const VOp& op : test_region) {
+        ForEachUse(op, [&local_uses](uint32_t v) { local_uses[v]++; });
+      }
+      ForEachUse(exit_br, [&local_uses](uint32_t v) { local_uses[v]++; });
+      bool renameable = true;
+      for (const VOp& op : test_region) {
+        uint32_t d = DefOf(op);
+        if (d != kNoVReg && total_uses[d] != local_uses[d]) {
+          renameable = false;
+          break;
+        }
+      }
+      if (renameable) {
+        std::unordered_map<uint32_t, uint32_t> rename;
+        auto fix = [&rename](uint32_t& v) {
+          auto it = rename.find(v);
+          if (it != rename.end()) {
+            v = it->second;
+          }
+        };
+        for (VOp& op : bottom_region) {
+          if (op.a != kNoVReg) fix(op.a);
+          if (op.b != kNoVReg) fix(op.b);
+          if (op.c != kNoVReg) fix(op.c);
+          for (uint32_t& v : op.args) {
+            fix(v);
+          }
+          uint32_t d = DefOf(op);
+          if (d != kNoVReg) {
+            uint32_t nd = vf->NewVReg(vf->vregs[d].is_fp, vf->vregs[d].width);
+            rename[d] = nd;
+            op.d = nd;
+          }
+        }
+        if (bottom_br.a != kNoVReg) fix(bottom_br.a);
+        if (bottom_br.b != kNoVReg) fix(bottom_br.b);
+      }
+    }
+
     std::vector<VOp> rotated;
     rotated.reserve(ops.size() + test_region.size() + 2);
     // Prefix.
@@ -164,7 +223,7 @@ void RotateLoops(VFunc* vf) {
     rotated.push_back(lbl);
     rotated.insert(rotated.end(), ops.begin() + t + 1, ops.begin() + back);
     // Bottom test.
-    rotated.insert(rotated.end(), test_region.begin(), test_region.end());
+    rotated.insert(rotated.end(), bottom_region.begin(), bottom_region.end());
     rotated.push_back(bottom_br);
     // Exit label and suffix.
     rotated.insert(rotated.end(), ops.begin() + back + 1, ops.end());
@@ -172,6 +231,130 @@ void RotateLoops(VFunc* vf) {
     // Restart scanning after this loop (indices shifted).
     h += test_region.size() + 1;
   }
+}
+
+void PgoSinkColdBlocks(VFunc* vf, const FuncProfile& fp) {
+  // An `if` lowers to `BrIf(!cond) -> else_label ; <then arm> ; ... ;
+  // Label(else_label)`. When the profile says the branch-to-else fires
+  // (essentially) always, the then-arm is cold: sink it to the function
+  // tail behind a fresh label and invert the branch, so the common path
+  // falls through without a taken branch and without fetching cold bytes.
+  // Only straight-line arms (no internal labels) are moved; arms ending in
+  // a fallthrough get an explicit jump back to the join point.
+  constexpr uint64_t kMinExecutions = 16;
+  constexpr double kMinTakenFraction = 0.9995;
+  std::vector<VOp>& ops = vf->ops;
+  std::vector<VOp> cold_tail;
+  for (size_t i = 0; i < ops.size(); i++) {
+    VOp& br = ops[i];
+    if (br.k != VOp::K::kBrIf || !br.negate || br.psite == UINT32_MAX ||
+        br.psite >= fp.branches.size()) {
+      continue;
+    }
+    const BranchSiteProfile& site = fp.branches[br.psite];
+    if (site.total() < kMinExecutions ||
+        static_cast<double>(site.taken) <
+            kMinTakenFraction * static_cast<double>(site.total())) {
+      continue;
+    }
+    // The then-arm extends to the first label, which must be the branch
+    // target (arms containing labels — nested control flow — stay put).
+    size_t j = i + 1;
+    while (j < ops.size() && ops[j].k != VOp::K::kLabel) {
+      j++;
+    }
+    if (j >= ops.size() || ops[j].label != br.label || j == i + 1) {
+      continue;
+    }
+    uint32_t cold_label = vf->NewLabel();
+    VOp lbl;
+    lbl.k = VOp::K::kLabel;
+    lbl.label = cold_label;
+    cold_tail.push_back(lbl);
+    for (size_t k = i + 1; k < j; k++) {
+      cold_tail.push_back(std::move(ops[k]));
+    }
+    const VOp& last = cold_tail.back();
+    if (last.k != VOp::K::kBr && last.k != VOp::K::kRet && last.k != VOp::K::kTrap) {
+      VOp back;
+      back.k = VOp::K::kBr;
+      back.label = br.label;
+      cold_tail.push_back(back);
+    }
+    br.negate = false;
+    br.label = cold_label;
+    ops.erase(ops.begin() + i + 1, ops.begin() + j);
+  }
+  ops.insert(ops.end(), cold_tail.begin(), cold_tail.end());
+}
+
+void PgoDevirtualize(VFunc* vf, const FuncProfile& fp,
+                     const std::function<int64_t(uint32_t, uint32_t)>& resolve) {
+  bool any = false;
+  for (const VOp& op : vf->ops) {
+    if (op.k == VOp::K::kCallInd) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return;
+  }
+  std::vector<VOp> out;
+  out.reserve(vf->ops.size() + 8);
+  for (VOp& op : vf->ops) {
+    uint32_t elem = 0;
+    if (op.k != VOp::K::kCallInd || op.psite == UINT32_MAX ||
+        op.psite >= fp.indirect_sites.size() ||
+        !fp.indirect_sites[op.psite].Monomorphic(&elem)) {
+      out.push_back(std::move(op));
+      continue;
+    }
+    int64_t target = resolve(elem, op.sig);
+    if (target < 0) {
+      out.push_back(std::move(op));
+      continue;
+    }
+    uint32_t kreg = vf->NewVReg(false, 4);
+    uint32_t slow = vf->NewLabel();
+    uint32_t join = vf->NewLabel();
+    VOp c;
+    c.k = VOp::K::kConst;
+    c.d = kreg;
+    c.imm = elem;
+    c.width = 4;
+    out.push_back(c);
+    VOp guard;
+    guard.k = VOp::K::kBrCmp;
+    guard.a = op.a;
+    guard.b = kreg;
+    guard.cond = Cond::kNe;
+    guard.width = 4;
+    guard.label = slow;
+    out.push_back(guard);
+    VOp direct;
+    direct.k = VOp::K::kCall;
+    direct.func = static_cast<uint32_t>(target);
+    direct.d = op.d;
+    direct.args = op.args;
+    direct.is_fp = op.is_fp;
+    direct.width = op.width;
+    out.push_back(direct);
+    VOp br;
+    br.k = VOp::K::kBr;
+    br.label = join;
+    out.push_back(br);
+    VOp slbl;
+    slbl.k = VOp::K::kLabel;
+    slbl.label = slow;
+    out.push_back(slbl);
+    out.push_back(std::move(op));  // the polymorphic fallback
+    VOp jlbl;
+    jlbl.k = VOp::K::kLabel;
+    jlbl.label = join;
+    out.push_back(jlbl);
+  }
+  vf->ops = std::move(out);
 }
 
 void FuseAddressing(VFunc* vf) {

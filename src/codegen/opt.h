@@ -2,7 +2,10 @@
 #ifndef SRC_CODEGEN_OPT_H_
 #define SRC_CODEGEN_OPT_H_
 
+#include <functional>
+
 #include "src/codegen/ir.h"
+#include "src/profile/profile.h"
 
 namespace nsf {
 
@@ -14,6 +17,24 @@ void CopyPropagate(VFunc* vf);
 
 // Rotates top-test loops into bottom-test form (native profile).
 void RotateLoops(VFunc* vf);
+
+// PGO variant: rotates only loops whose header label satisfies `pred`
+// (hotness gating; RotateLoops is this with an always-true predicate).
+void RotateLoopsIf(VFunc* vf, const std::function<bool(uint32_t header_label)>& pred);
+
+// PGO block placement: if-arms the profile says (almost) never execute are
+// moved to the function tail and the guarding branch is inverted, so the hot
+// path falls through straight-line (fewer taken branches, cold bytes out of
+// the hot icache lines).
+void PgoSinkColdBlocks(VFunc* vf, const FuncProfile& fp);
+
+// PGO devirtualization: rewrites a monomorphic call_indirect site into
+//   if (table_index == hot_elem) call hot_func; else call_indirect ...
+// skipping the bounds/null/signature checking sequence on the hot path.
+// `resolve(elem, sig)` returns the joint function index baked into table
+// element `elem` when it exists and matches signature `sig`, else -1.
+void PgoDevirtualize(VFunc* vf, const FuncProfile& fp,
+                     const std::function<int64_t(uint32_t elem, uint32_t sig)>& resolve);
 
 // Folds add/shl address chains into [base+index*scale+disp] operands.
 void FuseAddressing(VFunc* vf);

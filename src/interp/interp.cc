@@ -6,6 +6,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "src/profile/profile.h"
 #include "src/support/str.h"
 
 namespace nsf {
@@ -335,6 +336,8 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
     return Trap(TrapKind::kHostError, "argument count mismatch");
   }
 
+  FuncProfile* fprof = collector_ != nullptr ? collector_->OnFuncEntry(func_index) : nullptr;
+
   if (module_.IsImportedFunc(func_index)) {
     return (*host_funcs_[func_index])(*this, args);
   }
@@ -343,6 +346,9 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
   const Function& func = module_.functions[defined_index];
   const SideTable& side =
       static_cast<const InstanceSideTables*>(side_tables_.get())->tables[defined_index];
+  // pc -> profile-site ordinal (loops / branches / indirect calls).
+  const uint32_t* site_map =
+      fprof != nullptr ? collector_->site_map(defined_index).data() : nullptr;
 
   // Locals: params then zero-initialized declared locals.
   std::vector<Value> locals(type.params.size() + func.locals.size());
@@ -384,6 +390,9 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
     size_t idx = labels.size() - 1 - d;
     Label target = labels[idx];
     if (target.op == Opcode::kLoop) {
+      if (fprof != nullptr) {
+        fprof->loop_trips[site_map[target.start_pc]]++;
+      }
       // Re-enter the loop: keep the loop label, drop inner labels.
       labels.resize(idx + 1);
       stack.resize(target.height);
@@ -405,6 +414,9 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
   while (pc < body_size) {
     const Instr& instr = func.body[pc];
     instr_count_++;
+    if (fprof != nullptr) {
+      fprof->instrs_retired++;
+    }
     if (fuel_limit_ != 0 && instr_count_ > fuel_limit_) {
       return Trap(TrapKind::kFuelExhausted, "execution budget exceeded");
     }
@@ -429,6 +441,11 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
       }
       case Opcode::kIf: {
         uint32_t cond = pop().i32;
+        if (fprof != nullptr) {
+          // "Taken" = the lowered branch-to-else fires, i.e. condition zero.
+          BranchSiteProfile& b = fprof->branches[site_map[pc]];
+          (cond == 0 ? b.taken : b.not_taken)++;
+        }
         uint32_t arity = instr.block_type == kVoidBlockType ? 0 : 1;
         uint32_t end_pc = side.end_of.at(pc);
         uint32_t else_pc = side.else_of.at(pc);
@@ -463,6 +480,10 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
         break;
       case Opcode::kBrIf: {
         uint32_t cond = pop().i32;
+        if (fprof != nullptr) {
+          BranchSiteProfile& b = fprof->branches[site_map[pc]];
+          (cond != 0 ? b.taken : b.not_taken)++;
+        }
         pc = cond != 0 ? do_branch(instr.a) : pc + 1;
         break;
       }
@@ -505,6 +526,9 @@ ExecResult Instance::CallFunction(uint32_t func_index, const std::vector<TypedVa
         const FuncType& expect = module_.types[instr.a];
         if (!(module_.FuncTypeOf(target) == expect)) {
           return Trap(TrapKind::kIndirectCallTypeMismatch, "signature mismatch");
+        }
+        if (fprof != nullptr) {
+          fprof->indirect_sites[site_map[pc]].targets[elem]++;
         }
         std::vector<TypedValue> call_args(expect.params.size());
         for (size_t i = call_args.size(); i > 0; i--) {

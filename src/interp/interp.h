@@ -16,6 +16,8 @@
 
 namespace nsf {
 
+class ProfileCollector;
+
 struct ExecResult {
   bool ok = false;
   TrapKind trap = TrapKind::kNone;
@@ -89,6 +91,12 @@ class Instance {
   void set_fuel(uint64_t fuel) { fuel_limit_ = fuel; }
   uint64_t instructions_retired() const { return instr_count_; }
 
+  // Profile-guided-optimization hook (src/profile/): while set, execution
+  // populates the collector with call counts, loop back-edge counts, branch
+  // directions, and indirect-call target histograms. Null disables
+  // instrumentation (the default; no overhead beyond one pointer test).
+  void set_profile_collector(ProfileCollector* collector) { collector_ = collector; }
+
  private:
   Instance(const Module& module) : module_(module) {}
 
@@ -105,6 +113,7 @@ class Instance {
   uint64_t fuel_limit_ = 0;
   uint64_t instr_count_ = 0;
   int call_depth_ = 0;
+  ProfileCollector* collector_ = nullptr;
 };
 
 }  // namespace nsf

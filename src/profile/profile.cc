@@ -1,0 +1,447 @@
+#include "src/profile/profile.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/support/leb128.h"
+#include "src/support/str.h"
+
+namespace nsf {
+
+uint64_t IndirectSiteProfile::total() const {
+  uint64_t n = 0;
+  for (const auto& [elem, count] : targets) {
+    n += count;
+  }
+  return n;
+}
+
+bool IndirectSiteProfile::Monomorphic(uint32_t* elem, double min_fraction,
+                                      uint64_t min_calls) const {
+  uint64_t sum = total();
+  if (sum < min_calls) {
+    return false;
+  }
+  uint32_t best_elem = 0;
+  uint64_t best = 0;
+  for (const auto& [e, count] : targets) {
+    if (count > best) {
+      best = count;
+      best_elem = e;
+    }
+  }
+  if (static_cast<double>(best) < min_fraction * static_cast<double>(sum)) {
+    return false;
+  }
+  *elem = best_elem;
+  return true;
+}
+
+std::vector<uint32_t> BuildSiteMap(const Function& func) {
+  std::vector<uint32_t> map(func.body.size(), kNoProfileSite);
+  uint32_t loops = 0, branches = 0, indirects = 0;
+  for (size_t pc = 0; pc < func.body.size(); pc++) {
+    switch (func.body[pc].op) {
+      case Opcode::kLoop:
+        map[pc] = loops++;
+        break;
+      case Opcode::kIf:
+      case Opcode::kBrIf:
+        map[pc] = branches++;
+        break;
+      case Opcode::kCallIndirect:
+        map[pc] = indirects++;
+        break;
+      default:
+        break;
+    }
+  }
+  return map;
+}
+
+Profile Profile::ForModule(const Module& module) {
+  Profile p(module.NumTotalFuncs());
+  uint32_t imported = module.NumImportedFuncs();
+  for (uint32_t d = 0; d < module.functions.size(); d++) {
+    const Function& f = module.functions[d];
+    uint32_t loops = 0, branches = 0, indirects = 0;
+    for (const Instr& instr : f.body) {
+      switch (instr.op) {
+        case Opcode::kLoop:
+          loops++;
+          break;
+        case Opcode::kIf:
+        case Opcode::kBrIf:
+          branches++;
+          break;
+        case Opcode::kCallIndirect:
+          indirects++;
+          break;
+        default:
+          break;
+      }
+    }
+    FuncProfile& fp = p.func(imported + d);
+    fp.loop_trips.assign(loops, 0);
+    fp.branches.assign(branches, BranchSiteProfile{});
+    fp.indirect_sites.assign(indirects, IndirectSiteProfile{});
+  }
+  return p;
+}
+
+uint64_t Profile::total_instrs() const {
+  uint64_t n = 0;
+  for (const FuncProfile& fp : funcs_) {
+    n += fp.instrs_retired;
+  }
+  return n;
+}
+
+uint64_t Profile::Weight(uint32_t joint_index) const {
+  const FuncProfile& fp = funcs_[joint_index];
+  // The per-entry charge keeps hot import stubs (no body instructions) ahead
+  // of cold defined code.
+  return fp.instrs_retired + 8 * fp.entry_count;
+}
+
+std::vector<uint32_t> Profile::FunctionsByHotness() const {
+  std::vector<uint32_t> order(funcs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return Weight(a) > Weight(b);
+  });
+  return order;
+}
+
+std::vector<uint32_t> Profile::HotFunctions(double coverage) const {
+  std::vector<uint32_t> order = FunctionsByHotness();
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < num_funcs(); i++) {
+    total += Weight(i);
+  }
+  std::vector<uint32_t> hot;
+  uint64_t acc = 0;
+  for (uint32_t f : order) {
+    uint64_t w = Weight(f);
+    if (w == 0 || (total > 0 && static_cast<double>(acc) >= coverage * static_cast<double>(total))) {
+      break;
+    }
+    hot.push_back(f);
+    acc += w;
+  }
+  return hot;
+}
+
+void Profile::Merge(const Profile& other) {
+  if (funcs_.size() < other.funcs_.size()) {
+    funcs_.resize(other.funcs_.size());
+  }
+  for (uint32_t i = 0; i < other.num_funcs(); i++) {
+    const FuncProfile& src = other.funcs_[i];
+    FuncProfile& dst = funcs_[i];
+    dst.entry_count += src.entry_count;
+    dst.instrs_retired += src.instrs_retired;
+    if (dst.loop_trips.size() < src.loop_trips.size()) {
+      dst.loop_trips.resize(src.loop_trips.size(), 0);
+    }
+    for (size_t s = 0; s < src.loop_trips.size(); s++) {
+      dst.loop_trips[s] += src.loop_trips[s];
+    }
+    if (dst.branches.size() < src.branches.size()) {
+      dst.branches.resize(src.branches.size());
+    }
+    for (size_t s = 0; s < src.branches.size(); s++) {
+      dst.branches[s].taken += src.branches[s].taken;
+      dst.branches[s].not_taken += src.branches[s].not_taken;
+    }
+    if (dst.indirect_sites.size() < src.indirect_sites.size()) {
+      dst.indirect_sites.resize(src.indirect_sites.size());
+    }
+    for (size_t s = 0; s < src.indirect_sites.size(); s++) {
+      for (const auto& [elem, count] : src.indirect_sites[s].targets) {
+        dst.indirect_sites[s].targets[elem] += count;
+      }
+    }
+  }
+}
+
+// --- Binary serialization ---
+
+namespace {
+constexpr uint8_t kMagic[4] = {'N', 'S', 'F', 'P'};
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> Profile::SerializeBinary() const {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  WriteVarU32(out, kVersion);
+  WriteVarU32(out, num_funcs());
+  for (const FuncProfile& fp : funcs_) {
+    WriteVarU64(out, fp.entry_count);
+    WriteVarU64(out, fp.instrs_retired);
+    WriteVarU32(out, static_cast<uint32_t>(fp.loop_trips.size()));
+    for (uint64_t t : fp.loop_trips) {
+      WriteVarU64(out, t);
+    }
+    WriteVarU32(out, static_cast<uint32_t>(fp.branches.size()));
+    for (const BranchSiteProfile& b : fp.branches) {
+      WriteVarU64(out, b.taken);
+      WriteVarU64(out, b.not_taken);
+    }
+    WriteVarU32(out, static_cast<uint32_t>(fp.indirect_sites.size()));
+    for (const IndirectSiteProfile& site : fp.indirect_sites) {
+      WriteVarU32(out, static_cast<uint32_t>(site.targets.size()));
+      for (const auto& [elem, count] : site.targets) {
+        WriteVarU32(out, elem);
+        WriteVarU64(out, count);
+      }
+    }
+  }
+  return out;
+}
+
+bool Profile::ParseBinary(const std::vector<uint8_t>& bytes, Profile* out,
+                          std::string* error) {
+  ByteReader r(bytes);
+  for (uint8_t m : kMagic) {
+    if (r.ReadByte() != m) {
+      *error = "bad profile magic";
+      return false;
+    }
+  }
+  if (r.ReadVarU32() != kVersion) {
+    *error = "unsupported profile version";
+    return false;
+  }
+  uint32_t n = r.ReadVarU32();
+  // Each function record needs at least 5 bytes (two counts + three site
+  // lengths), so bound the up-front allocation by what the payload could
+  // actually hold — a truncated header must not force a huge resize.
+  if (!r.ok() || n > (1u << 24) || static_cast<size_t>(n) > r.remaining() / 5 + 1) {
+    *error = "malformed profile header";
+    return false;
+  }
+  Profile p(n);
+  for (uint32_t i = 0; i < n; i++) {
+    FuncProfile& fp = p.func(i);
+    fp.entry_count = r.ReadVarU64();
+    fp.instrs_retired = r.ReadVarU64();
+    uint32_t loops = r.ReadVarU32();
+    if (!r.ok() || loops > (1u << 24)) {
+      *error = StrFormat("malformed loop sites in func %u", i);
+      return false;
+    }
+    fp.loop_trips.resize(loops);
+    for (uint32_t s = 0; s < loops; s++) {
+      fp.loop_trips[s] = r.ReadVarU64();
+    }
+    uint32_t branches = r.ReadVarU32();
+    if (!r.ok() || branches > (1u << 24)) {
+      *error = StrFormat("malformed branch sites in func %u", i);
+      return false;
+    }
+    fp.branches.resize(branches);
+    for (uint32_t s = 0; s < branches; s++) {
+      fp.branches[s].taken = r.ReadVarU64();
+      fp.branches[s].not_taken = r.ReadVarU64();
+    }
+    uint32_t indirects = r.ReadVarU32();
+    if (!r.ok() || indirects > (1u << 24)) {
+      *error = StrFormat("malformed indirect sites in func %u", i);
+      return false;
+    }
+    fp.indirect_sites.resize(indirects);
+    for (uint32_t s = 0; s < indirects; s++) {
+      uint32_t targets = r.ReadVarU32();
+      if (!r.ok() || targets > (1u << 24)) {
+        *error = StrFormat("malformed histogram in func %u", i);
+        return false;
+      }
+      for (uint32_t t = 0; t < targets; t++) {
+        uint32_t elem = r.ReadVarU32();
+        uint64_t count = r.ReadVarU64();
+        fp.indirect_sites[s].targets[elem] = count;
+      }
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    *error = "trailing or truncated profile bytes";
+    return false;
+  }
+  *out = std::move(p);
+  return true;
+}
+
+// --- Text serialization ---
+
+std::string Profile::SerializeText() const {
+  std::string out = StrFormat("nsfprofile v%u funcs %u\n", kVersion, num_funcs());
+  for (uint32_t i = 0; i < num_funcs(); i++) {
+    const FuncProfile& fp = funcs_[i];
+    out += StrFormat("func %u entries %llu instrs %llu\n", i,
+                     static_cast<unsigned long long>(fp.entry_count),
+                     static_cast<unsigned long long>(fp.instrs_retired));
+    for (size_t s = 0; s < fp.loop_trips.size(); s++) {
+      out += StrFormat("  loop %zu %llu\n", s,
+                       static_cast<unsigned long long>(fp.loop_trips[s]));
+    }
+    for (size_t s = 0; s < fp.branches.size(); s++) {
+      out += StrFormat("  branch %zu %llu %llu\n", s,
+                       static_cast<unsigned long long>(fp.branches[s].taken),
+                       static_cast<unsigned long long>(fp.branches[s].not_taken));
+    }
+    for (size_t s = 0; s < fp.indirect_sites.size(); s++) {
+      out += StrFormat("  indirect %zu", s);
+      for (const auto& [elem, count] : fp.indirect_sites[s].targets) {
+        out += StrFormat(" %u:%llu", elem, static_cast<unsigned long long>(count));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Strict decimal u64 parse: the whole string must be digits and fit. Avoids
+// std::stoull, which throws on garbage instead of honoring the bool+error
+// contract.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseU32(const std::string& s, uint32_t* out) {
+  uint64_t v = 0;
+  if (!ParseU64(s, &v) || v > UINT32_MAX) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+// Site indices in text profiles are bounded like the binary form, so one bad
+// line cannot force a multi-gigabyte resize.
+constexpr uint32_t kMaxTextSite = 1u << 24;
+
+}  // namespace
+
+bool Profile::ParseText(const std::string& text, Profile* out, std::string* error) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  auto fields = [](const std::string& line) {
+    std::vector<std::string> raw = StrSplit(line, ' ');
+    std::vector<std::string> kept;
+    for (std::string& f : raw) {
+      if (!f.empty()) {
+        kept.push_back(std::move(f));
+      }
+    }
+    return kept;
+  };
+  size_t ln = 0;
+  auto fail = [&](const char* msg) {
+    *error = StrFormat("profile text line %zu: %s", ln + 1, msg);
+    return false;
+  };
+  if (lines.empty()) {
+    return fail("empty input");
+  }
+  std::vector<std::string> header = fields(lines[0]);
+  uint32_t num_funcs = 0;
+  if (header.size() != 4 || header[0] != "nsfprofile" ||
+      header[1] != StrFormat("v%u", kVersion) || header[2] != "funcs" ||
+      !ParseU32(header[3], &num_funcs) || num_funcs > kMaxTextSite) {
+    return fail("bad header");
+  }
+  Profile p(num_funcs);
+  FuncProfile* cur = nullptr;
+  for (ln = 1; ln < lines.size(); ln++) {
+    std::vector<std::string> f = fields(lines[ln]);
+    if (f.empty()) {
+      continue;
+    }
+    if (f[0] == "func") {
+      uint32_t idx = 0;
+      if (f.size() != 6 || f[2] != "entries" || f[4] != "instrs" || !ParseU32(f[1], &idx)) {
+        return fail("bad func line");
+      }
+      if (idx >= p.num_funcs()) {
+        return fail("func index out of range");
+      }
+      cur = &p.func(idx);
+      if (!ParseU64(f[3], &cur->entry_count) || !ParseU64(f[5], &cur->instrs_retired)) {
+        return fail("bad func counts");
+      }
+    } else if (f[0] == "loop") {
+      uint32_t site = 0;
+      if (cur == nullptr || f.size() != 3 || !ParseU32(f[1], &site) || site > kMaxTextSite) {
+        return fail("bad loop line");
+      }
+      if (cur->loop_trips.size() <= site) {
+        cur->loop_trips.resize(site + 1, 0);
+      }
+      if (!ParseU64(f[2], &cur->loop_trips[site])) {
+        return fail("bad loop count");
+      }
+    } else if (f[0] == "branch") {
+      uint32_t site = 0;
+      if (cur == nullptr || f.size() != 4 || !ParseU32(f[1], &site) || site > kMaxTextSite) {
+        return fail("bad branch line");
+      }
+      if (cur->branches.size() <= site) {
+        cur->branches.resize(site + 1);
+      }
+      if (!ParseU64(f[2], &cur->branches[site].taken) ||
+          !ParseU64(f[3], &cur->branches[site].not_taken)) {
+        return fail("bad branch counts");
+      }
+    } else if (f[0] == "indirect") {
+      uint32_t site = 0;
+      if (cur == nullptr || f.size() < 2 || !ParseU32(f[1], &site) || site > kMaxTextSite) {
+        return fail("bad indirect line");
+      }
+      if (cur->indirect_sites.size() <= site) {
+        cur->indirect_sites.resize(site + 1);
+      }
+      for (size_t i = 2; i < f.size(); i++) {
+        size_t colon = f[i].find(':');
+        uint32_t elem = 0;
+        uint64_t count = 0;
+        if (colon == std::string::npos || !ParseU32(f[i].substr(0, colon), &elem) ||
+            !ParseU64(f[i].substr(colon + 1), &count)) {
+          return fail("bad histogram entry");
+        }
+        cur->indirect_sites[site].targets[elem] = count;
+      }
+    } else {
+      return fail("unknown directive");
+    }
+  }
+  *out = std::move(p);
+  return true;
+}
+
+ProfileCollector::ProfileCollector(const Module& module)
+    : profile_(Profile::ForModule(module)) {
+  site_maps_.reserve(module.functions.size());
+  for (const Function& f : module.functions) {
+    site_maps_.push_back(BuildSiteMap(f));
+  }
+}
+
+}  // namespace nsf

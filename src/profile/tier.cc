@@ -1,0 +1,96 @@
+#include "src/profile/tier.h"
+
+#include <memory>
+
+#include "src/interp/interp.h"
+#include "src/kernel/kernel.h"
+#include "src/runtime/runtime.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+
+namespace {
+
+// Imports must resolve before the Instance exists, but the syscall layer's
+// memory port needs the Instance — the same two-phase bind the differential
+// tests use.
+class ForwardingResolver : public ImportResolver {
+ public:
+  ImportResolver* inner = nullptr;
+  const HostFunc* ResolveFunc(const std::string& module, const std::string& name,
+                              const FuncType& type) override {
+    return inner == nullptr ? nullptr : inner->ResolveFunc(module, name, type);
+  }
+};
+
+}  // namespace
+
+const Profile* TierManager::ProfileFor(const WorkloadSpec& spec, std::string* error) {
+  auto it = cache_.find(spec.name);
+  if (it != cache_.end()) {
+    return &it->second;
+  }
+
+  Module module = spec.build();
+  ValidationResult vr = ValidateModule(module);
+  if (!vr.ok) {
+    *error = spec.name + ": module invalid: " + vr.error;
+    return nullptr;
+  }
+
+  BrowsixKernel kernel;
+  if (spec.setup) {
+    spec.setup(kernel);
+  }
+  auto port = std::make_unique<InstanceMemPort>(nullptr);
+  auto process = kernel.CreateProcess(port.get(), spec.argv);
+  auto host = MakeInterpSyscalls(process.get());
+  ForwardingResolver resolver;
+  resolver.inner = host.get();
+
+  std::string err;
+  auto instance = Instance::Create(module, &resolver, &err);
+  if (instance == nullptr) {
+    *error = spec.name + ": instantiation failed: " + err;
+    return nullptr;
+  }
+  *port = InstanceMemPort(instance.get());
+
+  ProfileCollector collector(module);
+  instance->set_profile_collector(&collector);
+  if (config_.profile_fuel != 0) {
+    instance->set_fuel(config_.profile_fuel);
+  }
+  ExecResult r = instance->CallExport(spec.entry, {});
+  // A fuel-capped warm-up that runs out of budget is the expected way to
+  // bound profiling cost: the truncated profile is exactly the artifact we
+  // wanted. Any other trap means the profile is untrustworthy.
+  if (!r.ok && !(config_.profile_fuel != 0 && r.trap == TrapKind::kFuelExhausted)) {
+    *error = spec.name + ": warm-up run trapped: " + r.error;
+    return nullptr;
+  }
+
+  auto inserted = cache_.emplace(spec.name, std::move(collector.profile()));
+  return &inserted.first->second;
+}
+
+CodegenOptions TierManager::TierUp(const CodegenOptions& base, const Profile* profile) const {
+  CodegenOptions tiered = base;
+  tiered.profile_name = base.profile_name + "+pgo";
+  tiered.profile = profile;
+  tiered.pgo_layout = config_.layout;
+  tiered.pgo_rotate_hot_loops = config_.rotate_hot_loops;
+  tiered.devirtualize_monomorphic = config_.devirtualize;
+  return tiered;
+}
+
+CodegenOptions TierManager::TierUpFor(const WorkloadSpec& spec, const CodegenOptions& base,
+                                      std::string* error) {
+  const Profile* profile = ProfileFor(spec, error);
+  if (profile == nullptr) {
+    return base;
+  }
+  return TierUp(base, profile);
+}
+
+}  // namespace nsf

@@ -1,0 +1,50 @@
+// Tier-up driver for the PGO subsystem: runs a workload once under the
+// instrumented reference interpreter (tier 0, the warm-up run), then hands
+// the collected Profile to profile-guided codegen (tier 1 recompilation).
+#ifndef SRC_PROFILE_TIER_H_
+#define SRC_PROFILE_TIER_H_
+
+#include <map>
+#include <string>
+
+#include "src/codegen/codegen.h"
+#include "src/harness/harness.h"
+#include "src/profile/profile.h"
+
+namespace nsf {
+
+// Which PGO transforms the tier-up recompilation enables.
+struct TierConfig {
+  bool layout = true;            // CodegenOptions::pgo_layout
+  bool rotate_hot_loops = true;  // CodegenOptions::pgo_rotate_hot_loops
+  bool devirtualize = true;      // CodegenOptions::devirtualize_monomorphic
+  uint64_t profile_fuel = 0;     // interpreter budget for the warm-up (0 = unlimited)
+};
+
+class TierManager {
+ public:
+  explicit TierManager(TierConfig config = TierConfig()) : config_(config) {}
+
+  // Runs `spec` once under the interpreter with Browsix syscalls bound (the
+  // same setup the machine path uses), collecting its profile. Results are
+  // cached by spec.name; the returned pointer stays valid for the
+  // TierManager's lifetime. Returns null and sets *error on failure.
+  const Profile* ProfileFor(const WorkloadSpec& spec, std::string* error);
+
+  // Returns `base` with PGO flags enabled per the config and `profile`
+  // attached. The profile must outlive every compile using the result.
+  CodegenOptions TierUp(const CodegenOptions& base, const Profile* profile) const;
+
+  // ProfileFor + TierUp. Returns `base` unchanged (and sets *error) when the
+  // warm-up run fails.
+  CodegenOptions TierUpFor(const WorkloadSpec& spec, const CodegenOptions& base,
+                           std::string* error);
+
+ private:
+  TierConfig config_;
+  std::map<std::string, Profile> cache_;
+};
+
+}  // namespace nsf
+
+#endif  // SRC_PROFILE_TIER_H_

@@ -387,8 +387,18 @@ std::string MFunctionToString(const MFunction& func) {
 }
 
 void MProgram::Link() {
+  std::vector<uint32_t> order;
+  if (layout_order.size() == funcs.size()) {
+    order = layout_order;
+  } else {
+    order.resize(funcs.size());
+    for (uint32_t i = 0; i < funcs.size(); i++) {
+      order[i] = i;
+    }
+  }
   uint64_t base = 0;
-  for (MFunction& f : funcs) {
+  for (uint32_t fi : order) {
+    MFunction& f = funcs[fi];
     f.code_base = base;
     f.instr_offsets.clear();
     f.instr_offsets.reserve(f.code.size());

@@ -244,6 +244,11 @@ struct MProgram {
   std::vector<TableEntry> table;
   uint32_t entry_func = 0;
   uint64_t total_code_bytes = 0;
+  // Code-layout order: function indices in the order their code is placed in
+  // memory (PGO packs hot functions first to cut L1i misses). Must be a
+  // permutation of [0, funcs.size()); empty = identity. Function *indices*
+  // (call targets) are unaffected — only code_base assignment changes.
+  std::vector<uint32_t> layout_order;
   uint32_t memory_pages = 0;          // initial wasm memory size
   uint32_t max_memory_pages = 65536;
   std::vector<std::pair<uint32_t, std::vector<uint8_t>>> data_segments;
