@@ -62,9 +62,11 @@ int main() {
   sample.push_back(SpecWorkload("473.astar"));
   sample.push_back(SpecWorkload("444.namd"));
 
-  BenchHarness harness;
+  BenchHarness& harness = SharedHarness();
   std::vector<std::vector<std::string>> table = {
       {"configuration", "geomean-vs-native", "instr-ratio", "load-ratio"}};
+  std::string json = "{\"configurations\":{";
+  bool first_config = true;
   std::vector<double> base_secs;
   std::vector<double> base_instr;
   std::vector<double> base_loads;
@@ -73,7 +75,7 @@ int main() {
     std::vector<double> instr;
     std::vector<double> loads;
     for (const WorkloadSpec& spec : sample) {
-      RunResult r = harness.RunOnce(spec, opts);
+      RunResult r = harness.Measure(spec, opts);
       if (!r.ok) {
         fprintf(stderr, "!! %s under %s: %s\n", spec.name.c_str(), opts.profile_name.c_str(),
                 r.error.c_str());
@@ -98,9 +100,15 @@ int main() {
     }
     table.push_back({opts.profile_name, StrFormat("%.2fx", GeoMean(sr)),
                      StrFormat("%.2fx", GeoMean(ir)), StrFormat("%.2fx", GeoMean(lr))});
+    json += StrFormat("%s\"%s\":{\"seconds_ratio\":%.4f,\"instr_ratio\":%.4f,\"load_ratio\":%.4f}",
+                      first_config ? "" : ",", JsonEscape(opts.profile_name).c_str(),
+                      GeoMean(sr), GeoMean(ir), GeoMean(lr));
+    first_config = false;
   }
+  json += "}}";
   printf("%s\n", RenderTable(table).c_str());
   printf("Each row adds one cause from §6 on top of the previous row; the last row\n");
   printf("is the full Chrome-like configuration.\n");
+  WriteBenchJson("ablation_codegen_causes", json);
   return 0;
 }

@@ -1,18 +1,18 @@
 // PGO ablation: PolyBench under the two JIT profiles with and without the
-// profile-guided tier-up (src/profile/). For each workload, a warm-up run
-// under the instrumented interpreter collects a Profile; the workload is
-// then recompiled with hotness-ordered code layout, hot-loop rotation, cold
-// if-arm sinking, and monomorphic devirtualization. Outputs stay validated
-// against the native reference, so any PGO miscompile shows up here.
+// profile-guided tier-up, driven through the Engine's TieringPolicy. For
+// each workload, a warm-up run under the instrumented interpreter collects a
+// Profile; the workload is then recompiled with hotness-ordered code layout,
+// hot-loop rotation, cold if-arm sinking, and monomorphic devirtualization.
+// Outputs stay validated against the native reference, so any PGO miscompile
+// shows up here. Every (module, options) pair compiles exactly once — the
+// engine's code cache serves the reference and repeat compiles.
 #include "bench/bench_util.h"
-#include "src/profile/tier.h"
 
 using namespace nsf;
 
 int main() {
   printf("== PGO ablation: PolyBench cycles, tier-up off vs on ==\n\n");
-  BenchHarness harness;
-  TierManager tiers;
+  BenchHarness& harness = SharedHarness();
   std::vector<CodegenOptions> bases = {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()};
 
   std::vector<std::vector<std::string>> table = {
@@ -31,13 +31,13 @@ int main() {
     std::map<std::string, double> row_cycle_ratio;
     std::map<std::string, double> row_icache_ratio;
     for (const CodegenOptions& base : bases) {
-      RunResult off = harness.RunValidated(spec, base);
+      RunResult off = harness.MeasureValidated(spec, base);
       std::string err;
-      CodegenOptions tiered = tiers.TierUpFor(spec, base, &err);
+      CodegenOptions tiered = SharedEngine().TierUp(spec, base, &err);
       if (!err.empty()) {
         fprintf(stderr, "!! %s: %s\n", spec.name.c_str(), err.c_str());
       }
-      RunResult on = harness.RunValidated(spec, tiered);
+      RunResult on = harness.MeasureValidated(spec, tiered);
       if (!off.ok || !on.ok || !off.validated || !on.validated) {
         fprintf(stderr, "!! %s under %s: off(%s) on(%s)\n", spec.name.c_str(),
                 base.profile_name.c_str(), off.ok ? "ok" : off.error.c_str(),
@@ -97,6 +97,10 @@ int main() {
   }
   printf("\nPGO on/off < 1.0x means the tier-up recovered part of the Wasm-vs-native\n");
   printf("gap the paper attributes to extra branches, checks, and icache pressure.\n");
+  engine::EngineStats es = SharedEngine().Stats();
+  printf("engine: %llu compiles, %llu cache hits, %llu tier warm-ups, %.3fs compile saved\n",
+         (unsigned long long)es.compiles, (unsigned long long)es.cache_hits,
+         (unsigned long long)es.tier_warmups, es.compile_seconds_saved);
   WriteBenchJson("ablation_pgo", json);
 
   bool regressed = false;

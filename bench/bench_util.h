@@ -7,12 +7,27 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/engine.h"
 #include "src/harness/harness.h"
 #include "src/polybench/polybench.h"
 #include "src/spec/spec.h"
 #include "src/support/str.h"
 
 namespace nsf {
+
+// One Engine per bench binary: every compile in the process goes through its
+// content-addressed code cache, and WriteBenchJson reports its stats as the
+// engine_stats block of every BENCH_<name>.json.
+inline engine::Engine& SharedEngine() {
+  static engine::Engine instance;
+  return instance;
+}
+
+// Harness over the shared engine (reference-output cache included).
+inline BenchHarness& SharedHarness() {
+  static BenchHarness instance(&SharedEngine());
+  return instance;
+}
 
 struct SuiteRow {
   std::string name;
@@ -24,13 +39,13 @@ struct SuiteRow {
 inline std::vector<SuiteRow> RunSuite(const std::vector<WorkloadSpec>& specs,
                                       const std::vector<CodegenOptions>& profiles,
                                       bool verbose = true) {
-  BenchHarness harness;
+  BenchHarness& harness = SharedHarness();
   std::vector<SuiteRow> rows;
   for (const WorkloadSpec& spec : specs) {
     SuiteRow row;
     row.name = spec.name;
     for (const CodegenOptions& opts : profiles) {
-      RunResult r = harness.RunValidated(spec, opts);
+      RunResult r = harness.MeasureValidated(spec, opts);
       if (!r.ok) {
         fprintf(stderr, "!! %s under %s: %s\n", spec.name.c_str(), opts.profile_name.c_str(),
                 r.error.c_str());
@@ -99,11 +114,12 @@ inline std::string JsonEscape(const std::string& s) {
 // One run's counters as a JSON object.
 inline std::string RunResultJson(const RunResult& r) {
   return StrFormat(
-      "{\"ok\":%s,\"validated\":%s,\"seconds\":%.9f,\"cycles\":%llu,"
+      "{\"ok\":%s,\"validated\":%s,\"cache_hit\":%s,\"seconds\":%.9f,\"cycles\":%llu,"
       "\"instructions\":%llu,\"loads\":%llu,\"stores\":%llu,\"branches\":%llu,"
       "\"cond_branches\":%llu,\"taken_branches\":%llu,\"l1i_misses\":%llu,"
       "\"l1d_misses\":%llu,\"l2_misses\":%llu,\"code_bytes\":%llu}",
-      r.ok ? "true" : "false", r.validated ? "true" : "false", r.seconds,
+      r.ok ? "true" : "false", r.validated ? "true" : "false",
+      r.cache_hit ? "true" : "false", r.seconds,
       static_cast<unsigned long long>(r.counters.cycles()),
       static_cast<unsigned long long>(r.counters.instructions_retired),
       static_cast<unsigned long long>(r.counters.loads_retired),
@@ -141,15 +157,39 @@ inline std::string SuiteRowsJson(const std::vector<SuiteRow>& rows) {
   return out;
 }
 
-// Writes BENCH_<name>.json in the working directory.
-inline bool WriteBenchJson(const std::string& bench_name, const std::string& json) {
+// The shared engine's aggregate counters as a JSON object.
+inline std::string EngineStatsJson(const engine::EngineStats& s) {
+  return StrFormat(
+      "{\"cache_hits\":%llu,\"cache_misses\":%llu,\"compiles\":%llu,"
+      "\"tier_warmups\":%llu,\"compile_seconds\":%.6f,"
+      "\"compile_seconds_saved\":%.6f}",
+      static_cast<unsigned long long>(s.cache_hits),
+      static_cast<unsigned long long>(s.cache_misses),
+      static_cast<unsigned long long>(s.compiles),
+      static_cast<unsigned long long>(s.tier_warmups), s.compile_seconds,
+      s.compile_seconds_saved);
+}
+
+// Writes BENCH_<name>.json in the working directory. `json` must be a JSON
+// object; the engine's stats (shared engine by default) are injected as its
+// engine_stats key so every bench JSON reports cache hits/misses and compile
+// seconds saved.
+inline bool WriteBenchJson(const std::string& bench_name, const std::string& json,
+                           const engine::Engine* eng = nullptr) {
+  std::string payload = json;
+  if (!payload.empty() && payload.front() == '{') {
+    std::string stats =
+        "\"engine_stats\":" + EngineStatsJson((eng != nullptr ? *eng : SharedEngine()).Stats());
+    bool empty_object = payload.find_first_not_of(" \t\n", 1) == payload.find('}');
+    payload = "{" + stats + (empty_object ? "" : ",") + payload.substr(1);
+  }
   std::string path = "BENCH_" + bench_name + ".json";
   FILE* f = fopen(path.c_str(), "w");
   if (f == nullptr) {
     fprintf(stderr, "!! cannot write %s\n", path.c_str());
     return false;
   }
-  fputs(json.c_str(), f);
+  fputs(payload.c_str(), f);
   fputc('\n', f);
   fclose(f);
   fprintf(stderr, "  wrote %s\n", path.c_str());

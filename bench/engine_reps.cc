@@ -1,0 +1,77 @@
+// Repeated-rep benchmark for the Engine's compile-once-run-many pipeline:
+// runs each PolyBench workload several times under both JIT profiles (plus
+// the tiered +pgo configuration) through one shared Engine. After the first
+// compile of each (module, options) pair, every further rep is a code-cache
+// hit — the win RunOnce-era benches paid for on every repetition.
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+int main() {
+  const int kReps = 5;
+  printf("== Engine cache: %d reps per (workload, profile), compile once ==\n\n", kReps);
+  BenchHarness& harness = SharedHarness();
+  std::vector<CodegenOptions> profiles = {CodegenOptions::ChromeV8(),
+                                          CodegenOptions::FirefoxSM()};
+  std::vector<std::vector<std::string>> table = {
+      {"benchmark", "profile", "cycles/rep", "rep compiles", "rep cache hits"}};
+  std::string json = "{\"reps\":" + StrFormat("%d", kReps) + ",\"workloads\":{";
+  bool first_workload = true;
+  bool all_cached = true;
+
+  for (const WorkloadSpec& spec : AllPolybench()) {
+    std::string json_row;
+    for (const CodegenOptions& base : profiles) {
+      std::string err;
+      CodegenOptions tiered = SharedEngine().TierUp(spec, base, &err);
+      if (!err.empty()) {
+        fprintf(stderr, "!! %s: %s\n", spec.name.c_str(), err.c_str());
+      }
+      for (const CodegenOptions& opts : {base, tiered}) {
+        engine::EngineStats before = SharedEngine().Stats();
+        RunResult r;
+        for (int rep = 0; rep < kReps; rep++) {
+          r = harness.MeasureValidated(spec, opts);
+          if (!r.ok || !r.validated) {
+            fprintf(stderr, "!! %s under %s rep %d: %s\n", spec.name.c_str(),
+                    opts.profile_name.c_str(), rep, r.error.c_str());
+            break;
+          }
+        }
+        engine::EngineStats after = SharedEngine().Stats();
+        // The validation reference (native) compiles once per workload; the
+        // measured profile itself must compile at most once across all reps.
+        uint64_t compiles = after.compiles - before.compiles;
+        uint64_t hits = after.cache_hits - before.cache_hits;
+        if (hits < static_cast<uint64_t>(kReps - 1)) {
+          all_cached = false;
+        }
+        table.push_back({spec.name, opts.profile_name,
+                         StrFormat("%.2fM", r.counters.cycles() / 1e6),
+                         StrFormat("%llu", (unsigned long long)compiles),
+                         StrFormat("%llu", (unsigned long long)hits)});
+        json_row += StrFormat("%s\"%s\":{\"compiles\":%llu,\"cache_hits\":%llu,\"run\":%s}",
+                              json_row.empty() ? "" : ",",
+                              JsonEscape(opts.profile_name).c_str(),
+                              (unsigned long long)compiles, (unsigned long long)hits,
+                              RunResultJson(r).c_str());
+      }
+    }
+    json += StrFormat("%s\"%s\":{%s}", first_workload ? "" : ",", JsonEscape(spec.name).c_str(),
+                      json_row.c_str());
+    first_workload = false;
+    fprintf(stderr, "  ran %s\n", spec.name.c_str());
+  }
+  json += "}}";
+
+  printf("%s\n", RenderTable(table).c_str());
+  engine::EngineStats es = SharedEngine().Stats();
+  printf("engine totals: %llu compiles, %llu cache hits, %llu misses, "
+         "%.3fs compiling, %.3fs saved by the cache\n",
+         (unsigned long long)es.compiles, (unsigned long long)es.cache_hits,
+         (unsigned long long)es.cache_misses, es.compile_seconds, es.compile_seconds_saved);
+  printf("%s\n", all_cached ? "OK: every rep after the first was a cache hit."
+                            : "FAIL: some repetition recompiled cached code.");
+  WriteBenchJson("engine_reps", json);
+  return all_cached ? 0 : 1;
+}

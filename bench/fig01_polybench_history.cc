@@ -30,5 +30,6 @@ int main() {
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 1): newer engines move kernels into tighter buckets\n");
   printf("(7 -> 11 -> 13 within 1.1x of native, out of 23/24 kernels).\n");
+  WriteBenchJson("fig01_polybench_history", SuiteRowsJson(rows));
   return 0;
 }

@@ -23,5 +23,6 @@ int main() {
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 3a): PolyBenchC shows modest overhead; most kernels fall well\n");
   printf("below the SPEC-suite slowdowns of Fig 3b.\n");
+  WriteBenchJson("fig03a_polybench_relative", SuiteRowsJson(rows));
   return 0;
 }

@@ -27,5 +27,6 @@ int main() {
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 3b): geomean 1.55x (Chrome), 1.45x (Firefox); peaks 2.5x / 2.08x;\n");
   printf("SPEC overheads exceed PolyBenchC overheads.\n");
+  WriteBenchJson("fig03b_spec_relative", SuiteRowsJson(rows));
   return 0;
 }

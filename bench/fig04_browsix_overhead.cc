@@ -6,24 +6,30 @@ using namespace nsf;
 
 int main() {
   printf("== Figure 4: %% of time spent in Browsix-Wasm (Firefox profile) ==\n\n");
-  BenchHarness harness;
+  BenchHarness& harness = SharedHarness();
   std::vector<std::pair<std::string, double>> bars;
   double total = 0;
+  std::string json = "{\"workloads\":{";
   for (const std::string& name : SpecWorkloadNames()) {
     WorkloadSpec spec = SpecWorkload(name);
-    RunResult r = harness.RunOnce(spec, CodegenOptions::FirefoxSM());
+    RunResult r = harness.Measure(spec, CodegenOptions::FirefoxSM());
     if (!r.ok) {
       fprintf(stderr, "!! %s: %s\n", name.c_str(), r.error.c_str());
       continue;
     }
     double pct = r.seconds > 0 ? 100.0 * r.browsix_seconds / r.seconds : 0;
+    json += StrFormat("%s\"%s\":{\"browsix_pct\":%.4f,\"syscalls\":%llu}",
+                      bars.empty() ? "" : ",", JsonEscape(name).c_str(), pct,
+                      (unsigned long long)r.syscalls);
     bars.push_back({name, pct});
     total += pct;
   }
   double avg = bars.empty() ? 0 : total / bars.size();
   bars.push_back({"average", avg});
+  json += StrFormat("},\"average_pct\":%.4f}", avg);
   printf("%s\n", RenderBars(bars, 0, "%").c_str());
   printf("Paper (Fig 4): <= 1.2%% per benchmark, mean 0.2%% — Browsix overhead is\n");
   printf("negligible, so slowdowns are attributable to code generation.\n");
+  WriteBenchJson("fig04_browsix_overhead", json);
   return 0;
 }

@@ -23,5 +23,6 @@ int main() {
                    StrFormat("%.2fx", GeoMean(firefox_speedups))});
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 5): Wasm beats asm.js — 1.54x (Chrome), 1.39x (Firefox).\n");
+  WriteBenchJson("fig05_asmjs_relative", SuiteRowsJson(rows));
   return 0;
 }

@@ -25,5 +25,6 @@ int main() {
   table.push_back({"geomean", StrFormat("%.2fx", GeoMean(ratios))});
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 6): best-asm.js is 1.3x slower than best-Wasm on average.\n");
+  WriteBenchJson("fig06_asmjs_best", SuiteRowsJson(rows));
   return 0;
 }

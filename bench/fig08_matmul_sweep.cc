@@ -7,13 +7,15 @@ using namespace nsf;
 
 int main() {
   printf("== Figure 8: matmul relative time across sizes (native = 1.0) ==\n\n");
-  BenchHarness harness;
+  BenchHarness& harness = SharedHarness();
   std::vector<std::vector<std::string>> table = {{"size", "chrome", "firefox"}};
+  std::string json = "{\"sizes\":{";
+  bool first = true;
   for (int n : {32, 48, 64, 96, 128, 160, 192, 224}) {
     WorkloadSpec spec = MatmulSpec(n);
-    RunResult nat = harness.RunOnce(spec, CodegenOptions::NativeClang());
-    RunResult ch = harness.RunOnce(spec, CodegenOptions::ChromeV8());
-    RunResult fx = harness.RunOnce(spec, CodegenOptions::FirefoxSM());
+    RunResult nat = harness.Measure(spec, CodegenOptions::NativeClang());
+    RunResult ch = harness.Measure(spec, CodegenOptions::ChromeV8());
+    RunResult fx = harness.Measure(spec, CodegenOptions::FirefoxSM());
     if (!nat.ok || !ch.ok || !fx.ok) {
       fprintf(stderr, "!! size %d failed\n", n);
       continue;
@@ -21,8 +23,13 @@ int main() {
     table.push_back({StrFormat("%dx%dx%d", n, n, n),
                      StrFormat("%.2fx", ch.seconds / nat.seconds),
                      StrFormat("%.2fx", fx.seconds / nat.seconds)});
+    json += StrFormat("%s\"%d\":{\"chrome\":%.4f,\"firefox\":%.4f}", first ? "" : ",", n,
+                      ch.seconds / nat.seconds, fx.seconds / nat.seconds);
+    first = false;
   }
+  json += "}}";
   printf("%s\n", RenderTable(table).c_str());
   printf("Paper (Fig 8): Wasm stays 2.0-3.4x slower than native across all sizes.\n");
+  WriteBenchJson("fig08_matmul_sweep", json);
   return 0;
 }

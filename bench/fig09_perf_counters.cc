@@ -54,5 +54,6 @@ int main() {
   printf("Paper (Table 4 geomeans): loads 2.02/1.92, stores 2.30/2.16, branches\n");
   printf("1.75/1.65, cond-branches 1.65/1.62, instructions 1.80/1.75, cycles 1.54/1.38\n");
   printf("(Chrome/Firefox).\n");
+  WriteBenchJson("fig09_perf_counters", SuiteRowsJson(rows));
   return 0;
 }

@@ -52,5 +52,6 @@ int main() {
                      r.paper_chrome, r.paper_firefox});
   }
   printf("%s\n", RenderTable(table).c_str());
+  WriteBenchJson("table4_counter_geomeans", SuiteRowsJson(rows));
   return 0;
 }

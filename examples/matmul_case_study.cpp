@@ -6,9 +6,8 @@
 #include <set>
 
 #include "src/builder/builder.h"
-#include "src/codegen/codegen.h"
 #include "src/codegen/regalloc.h"
-#include "src/machine/machine.h"
+#include "src/engine/engine.h"
 #include "src/polybench/polybench.h"
 #include "src/wasm/validator.h"
 
@@ -62,15 +61,16 @@ int main() {
   }
 
   printf("== Section 5 case study: matmul code generation ==\n\n");
+  engine::Engine eng;
   for (const CodegenOptions& opts :
        {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8()}) {
-    CompileResult compiled = CompileModule(module, opts);
+    engine::CompiledModuleRef compiled = eng.Compile(module, opts);
     // main is the last function (after the wasmlib helpers).
-    const MFunction& mf = compiled.program.funcs.back();
+    const MFunction& mf = compiled->program().funcs.back();
     printf("---- %s ----\n", opts.profile_name.c_str());
     printf("instructions: %zu   code bytes: %llu   spill slots: %llu\n",
-           mf.code.size(), (unsigned long long)compiled.stats.code_bytes,
-           (unsigned long long)compiled.stats.spill_slots);
+           mf.code.size(), (unsigned long long)compiled->stats().code_bytes,
+           (unsigned long long)compiled->stats().spill_slots);
     printf("distinct GPRs used: %d   branch instructions: %d\n\n", CountRegsUsed(mf),
            CountBranches(mf));
   }
@@ -98,9 +98,9 @@ int main() {
   Module inner = mb.Build();
   for (const CodegenOptions& opts :
        {CodegenOptions::NativeClang(), CodegenOptions::ChromeV8()}) {
-    CompileResult compiled = CompileModule(inner, opts);
+    engine::CompiledModuleRef compiled = eng.Compile(inner, opts);
     printf("---- inner loop, %s ----\n%s\n", opts.profile_name.c_str(),
-           MFunctionToString(compiled.program.funcs[0]).c_str());
+           MFunctionToString(compiled->program().funcs[0]).c_str());
   }
   printf("Native: bottom-test loop (one conditional branch per iteration), fused\n");
   printf("[base+index*scale+disp] operands, register-memory add. Chrome: top-test\n");

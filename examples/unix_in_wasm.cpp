@@ -5,10 +5,8 @@
 #include <cstdio>
 
 #include "src/builder/builder.h"
-#include "src/codegen/codegen.h"
+#include "src/engine/engine.h"
 #include "src/kernel/kernel.h"
-#include "src/machine/machine.h"
-#include "src/runtime/runtime.h"
 #include "src/runtime/wasmlib.h"
 #include "src/wasm/validator.h"
 
@@ -69,31 +67,40 @@ int main() {
     return 1;
   }
 
-  // Stage the filesystem, run under the Firefox profile, inspect results.
-  BrowsixKernel kernel;
-  kernel.fs().Mkdir("/data");
-  kernel.fs().WriteFile("/data/input.txt",
-                        "the quick brown fox\njumps over the lazy dog\nwasm is not so fast\n");
-  CompileResult compiled = CompileModule(module, CodegenOptions::FirefoxSM());
-  SimMachine machine(&compiled.program);
-  MachineMemPort port(&machine);
-  auto process = kernel.CreateProcess(&port, {"wc", "/data/input.txt"});
-  BindSyscalls(&machine, compiled, module, process.get());
-  MachineResult r =
-      machine.RunAt(module.FindExport("main", ExternalKind::kFunc)->index,
-                    kStackBase + kStackSize);
+  // Compile through the Engine, stage the session filesystem, run under the
+  // Firefox profile, inspect results.
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(module, CodegenOptions::FirefoxSM());
+  if (!code->ok) {
+    fprintf(stderr, "compile failed: %s\n", code->error.c_str());
+    return 1;
+  }
+  engine::Session session(&eng);
+  session.fs().Mkdir("/data");
+  session.fs().WriteFile("/data/input.txt",
+                         "the quick brown fox\njumps over the lazy dog\nwasm is not so fast\n");
+  engine::InstanceOptions opts;
+  opts.argv = {"wc", "/data/input.txt"};
+  std::string err;
+  auto instance = session.Instantiate(code, opts, &err);
+  if (instance == nullptr) {
+    fprintf(stderr, "instantiate failed: %s\n", err.c_str());
+    return 1;
+  }
+  engine::RunOutcome r = instance->Run();
   if (!r.ok) {
     fprintf(stderr, "run failed: %s\n", r.error.c_str());
     return 1;
   }
-  printf("exit ok; /data/counts.txt:\n%s\n", kernel.fs().ReadFileString("/data/counts.txt").c_str());
-  printf("syscalls issued: %llu\n", (unsigned long long)process->syscall_count());
+  printf("exit ok; /data/counts.txt:\n%s\n",
+         session.fs().ReadFileString("/data/counts.txt").c_str());
+  printf("syscalls issued: %llu\n", (unsigned long long)r.syscalls);
   printf("kernel transport bytes: %llu\n",
-         (unsigned long long)kernel.total_transport_bytes());
+         (unsigned long long)session.kernel().total_transport_bytes());
   printf("time in Browsix: %.4f%% of run\n",
-         100.0 * (machine.host_micro_cycles() / 4.0) / machine.counters().cycles());
+         r.seconds > 0 ? 100.0 * r.browsix_seconds / r.seconds : 0.0);
   printf("\nFilesystem after the run:\n");
-  for (const std::string& name : kernel.fs().List(0)) {
+  for (const std::string& name : session.fs().List(0)) {
     printf("  /%s\n", name.c_str());
   }
   return 0;

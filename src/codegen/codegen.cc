@@ -11,6 +11,51 @@
 
 namespace nsf {
 
+uint64_t CodegenOptions::Fingerprint() const {
+  // Canonical byte serialization of every semantic field, hashed with
+  // FNV-1a. Fields are length-prefixed or fixed-width so no two distinct
+  // option values can serialize to the same byte string.
+  std::vector<uint8_t> bytes;
+  auto put8 = [&bytes](uint8_t v) { bytes.push_back(v); };
+  auto put32 = [&bytes](uint32_t v) {
+    for (int i = 0; i < 4; i++) {
+      bytes.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  put8(static_cast<uint8_t>(regalloc));
+  put8(fuse_addressing);
+  put8(heap_base_in_disp);
+  put8(static_cast<uint8_t>(heap_base_reg));
+  put32(static_cast<uint32_t>(reserved_gprs.size()));
+  for (Gpr r : reserved_gprs) {
+    put8(static_cast<uint8_t>(r));
+  }
+  put32(static_cast<uint32_t>(reserved_xmms.size()));
+  for (Xmm r : reserved_xmms) {
+    put8(static_cast<uint8_t>(r));
+  }
+  put8(rotate_loops);
+  put8(loop_entry_jump);
+  put8(stack_check);
+  put8(indirect_check);
+  put8(asmjs_coercions);
+  put32(extra_opt_passes);
+  // PGO flags only matter when a profile is attached, and the profile only
+  // matters when a flag consumes it — hash the *effective* configuration.
+  bool pgo_active =
+      profile != nullptr && (pgo_layout || pgo_rotate_hot_loops || devirtualize_monomorphic);
+  put8(pgo_active);
+  if (pgo_active) {
+    put8(pgo_layout);
+    put8(pgo_rotate_hot_loops);
+    put8(devirtualize_monomorphic);
+    std::vector<uint8_t> pbytes = profile->SerializeBinary();
+    put32(static_cast<uint32_t>(pbytes.size()));
+    bytes.insert(bytes.end(), pbytes.begin(), pbytes.end());
+  }
+  return Fnv1a(bytes.data(), bytes.size());
+}
+
 CodegenOptions CodegenOptions::NativeClang() {
   CodegenOptions o;
   o.profile_name = "native-clang";

@@ -76,6 +76,14 @@ struct CodegenOptions {
   // bounds/null/signature checks (§6.2.3) on the hot path.
   bool devirtualize_monomorphic = false;
 
+  // Content fingerprint over every field that affects generated code,
+  // including the attached profile's serialized contents. `profile_name` is
+  // cosmetic and deliberately excluded: two options values that generate
+  // identical code fingerprint equal, which is what a content-addressed
+  // code cache wants. Unused PGO state (a profile attached with every pgo
+  // flag off, or flags set with no profile) does not perturb the result.
+  uint64_t Fingerprint() const;
+
   static CodegenOptions NativeClang();
   static CodegenOptions ChromeV8();
   static CodegenOptions FirefoxSM();

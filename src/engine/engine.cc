@@ -1,0 +1,171 @@
+#include "src/engine/engine.h"
+
+#include <utility>
+
+#include "src/runtime/runtime.h"
+#include "src/support/str.h"
+#include "src/wasm/encoder.h"
+#include "src/wasm/validator.h"
+
+namespace nsf {
+namespace engine {
+
+// --- CodeCache ---
+
+CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) const {
+  auto it = entries_.find({module_hash, fingerprint});
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void CodeCache::Insert(CompiledModuleRef code) {
+  entries_[{code->module_hash, code->fingerprint}] = std::move(code);
+}
+
+// --- TieringPolicy ---
+
+CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
+                                     std::string* error) {
+  // No cached profile means TierUpFor executes the warm-up interpreter run —
+  // count it whether or not it succeeds (failures are not cached and will
+  // run again on the next request).
+  if (!manager_.HasProfileFor(spec.name)) {
+    warmup_runs_++;
+  }
+  return manager_.TierUpFor(spec, base, error);
+}
+
+// --- Engine ---
+
+Engine::Engine(EngineConfig config) : config_(config), tiering_(config.tiering) {}
+
+CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& options) {
+  uint64_t module_hash = HashModule(module);
+  uint64_t fingerprint = options.Fingerprint();
+  if (config_.cache_enabled) {
+    CompiledModuleRef cached = cache_.Lookup(module_hash, fingerprint);
+    if (cached != nullptr) {
+      stats_.cache_hits++;
+      stats_.compile_seconds_saved += cached->compiled.stats.seconds;
+      return cached;
+    }
+  }
+  stats_.cache_misses++;
+
+  auto result = std::make_shared<CompiledModule>();
+  result->module_hash = module_hash;
+  result->fingerprint = fingerprint;
+  result->profile_name = options.profile_name;
+  result->module = module;
+  ValidationResult vr = ValidateModule(result->module);
+  if (!vr.ok) {
+    result->error = "module invalid: " + vr.error;
+    return result;
+  }
+  stats_.compiles++;
+  result->compiled = CompileModule(result->module, options);
+  stats_.compile_seconds += result->compiled.stats.seconds;
+  if (!result->compiled.ok) {
+    result->error = "compile failed: " + result->compiled.error;
+    return result;
+  }
+  result->ok = true;
+  if (config_.cache_enabled) {
+    cache_.Insert(result);
+  }
+  return result;
+}
+
+CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
+                                          const CodegenOptions& options) {
+  return Compile(spec.build(), options);
+}
+
+CodegenOptions Engine::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
+                              std::string* error) {
+  return tiering_.TierUp(spec, base, error);
+}
+
+EngineStats Engine::Stats() const {
+  EngineStats s = stats_;
+  s.tier_warmups = tiering_.warmup_runs();
+  return s;
+}
+
+// --- Session ---
+
+Session::Session(Engine* engine)
+    : engine_(engine), kernel_(std::make_unique<BrowsixKernel>()) {}
+
+MemFs& Session::fs() { return kernel_->fs(); }
+
+void Session::Reset() { kernel_ = std::make_unique<BrowsixKernel>(); }
+
+std::unique_ptr<Instance> Session::Instantiate(CompiledModuleRef code,
+                                               InstanceOptions options, std::string* error) {
+  if (code == nullptr || !code->ok) {
+    if (error != nullptr) {
+      *error = code == nullptr ? "null compiled module" : code->error;
+    }
+    return nullptr;
+  }
+  const Export* entry = code->module.FindExport(options.entry, ExternalKind::kFunc);
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      *error = "no entry export " + options.entry;
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<Instance>(
+      new Instance(this, std::move(code), std::move(options), entry->index));
+}
+
+// --- Instance ---
+
+RunOutcome Instance::Run() { return RunAtIndex(entry_index_, {}); }
+
+RunOutcome Instance::RunExport(const std::string& name, const std::vector<uint64_t>& args) {
+  const Export* e = code_->module.FindExport(name, ExternalKind::kFunc);
+  if (e == nullptr) {
+    RunOutcome out;
+    out.error = "no entry export " + name;
+    return out;
+  }
+  return RunAtIndex(e->index, args);
+}
+
+RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>& args) {
+  RunOutcome out;
+  // Fresh machine and process per run: repeated runs of one Instance must not
+  // see each other's heap, only the session's shared filesystem.
+  SimMachine machine(&code_->compiled.program);
+  if (options_.fuel != 0) {
+    machine.set_fuel(options_.fuel);
+  }
+  MachineMemPort port(&machine);
+  auto process = session_->kernel().CreateProcess(&port, options_.argv);
+  BindSyscalls(&machine, code_->compiled, code_->module, process.get());
+
+  // Stack-args ABI: args staged below the stack top, rsp as if just called.
+  uint64_t args_base = kStackBase + kStackSize - 8 * args.size();
+  for (size_t i = 0; i < args.size(); i++) {
+    machine.WriteStack(args_base + 8 * i, args[i]);
+  }
+  machine.ResetCounters();
+  MachineResult mr = machine.RunAt(func_index, args_base);
+  runs_++;
+  if (!mr.ok) {
+    out.error = mr.error;
+    return out;
+  }
+  out.ok = true;
+  out.exit_code = mr.ret_i;
+  out.counters = machine.counters();
+  out.seconds = machine.SecondsFromCycles(out.counters.cycles());
+  out.browsix_seconds = machine.SecondsFromCycles(machine.host_micro_cycles() / 4);
+  out.syscalls = process->syscall_count();
+  out.stdout_text = process->StdoutString();
+  return out;
+}
+
+}  // namespace engine
+}  // namespace nsf

@@ -1,0 +1,238 @@
+// Embedder-style engine API — the single way code runs in this repo.
+//
+// Modeled on the Engine/Store/Module/Instance shape real Wasm engines expose
+// (V8, SpiderMonkey — the toolchains the paper measures):
+//
+//   Engine   — process-wide: owns a content-addressed CodeCache keyed by
+//              (module hash via the encoder, CodegenOptions fingerprint) and
+//              a TieringPolicy wrapping the PGO TierManager. Compilation is
+//              compile-once-run-many: repeated compiles of the same
+//              (module, options) pair return the cached CompiledModule.
+//   Session  — one BrowsixKernel + VFS staging area. Many modules can be
+//              instantiated into one session; they share the filesystem.
+//              Reset() drops all staged state.
+//   Instance — a CompiledModule bound into a Session with argv/entry/fuel,
+//              reusable across repeated runs (each Run() gets a fresh
+//              machine and process; the compiled code is shared).
+//
+// Typical embedding:
+//
+//   engine::Engine eng;
+//   auto code = eng.Compile(BuildModule(), CodegenOptions::ChromeV8());
+//   engine::Session session(&eng);
+//   session.fs().WriteFile("/data/input.txt", "...");
+//   auto inst = session.Instantiate(code, {.argv = {"prog"}}, &err);
+//   engine::RunOutcome out = inst->Run();   // re-running never recompiles
+#ifndef SRC_ENGINE_ENGINE_H_
+#define SRC_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/codegen/codegen.h"
+#include "src/engine/workload.h"
+#include "src/kernel/kernel.h"
+#include "src/machine/machine.h"
+#include "src/profile/tier.h"
+#include "src/wasm/module.h"
+
+namespace nsf {
+namespace engine {
+
+// A compiled (module, options) pair, shared by every caller that requests
+// the same content. Immutable once published by the Engine.
+struct CompiledModule {
+  bool ok = false;
+  std::string error;            // "module invalid: ..." / "compile failed: ..."
+  Module module;                // retained for import binding + export lookup
+  uint64_t module_hash = 0;     // HashModule(module)
+  uint64_t fingerprint = 0;     // options.Fingerprint()
+  std::string profile_name;     // options.profile_name at compile time
+  CompileResult compiled;       // program, stats, func_map, import_hooks
+
+  const MProgram& program() const { return compiled.program; }
+  const CompileStats& stats() const { return compiled.stats; }
+};
+
+using CompiledModuleRef = std::shared_ptr<const CompiledModule>;
+
+// Content-addressed cache of successful compiles.
+class CodeCache {
+ public:
+  CompiledModuleRef Lookup(uint64_t module_hash, uint64_t fingerprint) const;
+  void Insert(CompiledModuleRef code);
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::map<std::pair<uint64_t, uint64_t>, CompiledModuleRef> entries_;
+};
+
+// Engine-owned tier-up policy: wraps the PGO TierManager so profiling and
+// profile-guided recompilation are an engine concern, not a caller concern.
+class TieringPolicy {
+ public:
+  explicit TieringPolicy(TierConfig config = TierConfig()) : manager_(config) {}
+
+  // Profile-guided options for `spec` over `base`. The warm-up interpreter
+  // run happens at most once per workload name (TierManager caches the
+  // profile). On warm-up failure returns `base` unchanged and sets *error.
+  CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
+                        std::string* error);
+
+  TierManager& manager() { return manager_; }
+  uint64_t warmup_runs() const { return warmup_runs_; }
+  void ResetWarmupCount() { warmup_runs_ = 0; }
+
+ private:
+  TierManager manager_;
+  uint64_t warmup_runs_ = 0;  // interpreter warm-ups actually executed
+};
+
+struct EngineConfig {
+  bool cache_enabled = true;   // table2-style compile-time benches disable it
+  TierConfig tiering;
+};
+
+// Aggregate counters surfaced into every BENCH_*.json (engine_stats block).
+struct EngineStats {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;         // includes compile failures
+  uint64_t compiles = 0;             // actual backend invocations
+  uint64_t tier_warmups = 0;         // interpreter profiling runs
+  double compile_seconds = 0;        // wall clock spent compiling
+  double compile_seconds_saved = 0;  // sum of cached-entry compile times on hits
+};
+
+class Session;
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = EngineConfig());
+
+  // Compile-or-fetch. On a miss the CompiledModule retains a copy of the
+  // module for import binding and export lookup; a hit copies nothing.
+  // Never returns null — check (*result).ok. Failed compiles are not cached.
+  CompiledModuleRef Compile(const Module& module, const CodegenOptions& options);
+
+  // Builds spec.build() and compiles it.
+  CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options);
+
+  // Profile-guided options for `spec` via the engine's TieringPolicy.
+  CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
+                        std::string* error);
+
+  EngineStats Stats() const;
+  void ResetStats() {
+    stats_ = EngineStats();
+    tiering_.ResetWarmupCount();
+  }
+  size_t CacheSize() const { return cache_.size(); }
+  void ClearCache() { cache_.Clear(); }
+
+  const EngineConfig& config() const { return config_; }
+  TieringPolicy& tiering() { return tiering_; }
+
+ private:
+  EngineConfig config_;
+  TieringPolicy tiering_;
+  CodeCache cache_;
+  EngineStats stats_;
+};
+
+// Per-instance execution parameters.
+struct InstanceOptions {
+  std::vector<std::string> argv = {"prog"};
+  std::string entry = "main";
+  uint64_t fuel = 0;  // 0 = machine default cap
+};
+
+// One run's observable result (the harness layers validation and statistics
+// on top of this).
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  uint64_t exit_code = 0;
+  PerfCounters counters;
+  double seconds = 0;          // simulated wall clock (cycles / clock)
+  double browsix_seconds = 0;  // time charged to the Browsix kernel
+  uint64_t syscalls = 0;
+  std::string stdout_text;
+};
+
+class Instance;
+
+// One Browsix kernel + VFS. Instances created from the same Session share
+// the filesystem; Reset() replaces the kernel so no staged file survives.
+class Session {
+ public:
+  explicit Session(Engine* engine);
+
+  BrowsixKernel& kernel() { return *kernel_; }
+  MemFs& fs();
+
+  // Drops every staged file and all kernel accounting. References previously
+  // returned by kernel()/fs() are invalidated; live Instances pick up the
+  // fresh kernel on their next Run().
+  void Reset();
+
+  // Binds compiled code into this session. Returns null and sets *error when
+  // the compile failed or the entry export is missing. The Instance holds a
+  // reference to `code` and a pointer to this Session (which must outlive it).
+  std::unique_ptr<Instance> Instantiate(CompiledModuleRef code,
+                                        InstanceOptions options = InstanceOptions(),
+                                        std::string* error = nullptr);
+
+  Engine* engine() { return engine_; }
+
+ private:
+  Engine* engine_;
+  std::unique_ptr<BrowsixKernel> kernel_;
+};
+
+// Compiled code bound to a session with fixed argv/entry/fuel. Run() executes
+// the entry on a fresh machine and process each time — repeated runs share
+// the compiled program (never recompiling) and the session's filesystem.
+class Instance {
+ public:
+  // Executes the entry function once. The measurement window covers
+  // execution only, mirroring the paper ("after WebAssembly JIT compilation
+  // concludes"): compilation happened at Engine::Compile time.
+  RunOutcome Run();
+
+  // Executes an arbitrary exported function with integer stack args (the
+  // compiled-code ABI), on a fresh machine and process like Run(). exit_code
+  // carries the function's return register. Used by tests and micro-benches.
+  RunOutcome RunExport(const std::string& name, const std::vector<uint64_t>& args);
+
+  const CompiledModule& code() const { return *code_; }
+  const InstanceOptions& options() const { return options_; }
+  Session* session() { return session_; }
+  uint32_t entry_index() const { return entry_index_; }
+  uint64_t runs() const { return runs_; }
+
+ private:
+  friend class Session;
+  Instance(Session* session, CompiledModuleRef code, InstanceOptions options,
+           uint32_t entry_index)
+      : session_(session),
+        code_(std::move(code)),
+        options_(std::move(options)),
+        entry_index_(entry_index) {}
+
+  RunOutcome RunAtIndex(uint32_t func_index, const std::vector<uint64_t>& args);
+
+  Session* session_;
+  CompiledModuleRef code_;
+  InstanceOptions options_;
+  uint32_t entry_index_;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace engine
+}  // namespace nsf
+
+#endif  // SRC_ENGINE_ENGINE_H_

@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/runtime/runtime.h"
 #include "src/support/rng.h"
 #include "src/support/str.h"
-#include "src/wasm/validator.h"
 
 namespace nsf {
 
@@ -30,66 +28,63 @@ double Median(std::vector<double> xs) {
   return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
 }
 
-RunResult BenchHarness::RunOnce(const WorkloadSpec& spec, const CodegenOptions& options) {
+BenchHarness::BenchHarness()
+    : owned_engine_(std::make_unique<engine::Engine>()), engine_(owned_engine_.get()) {}
+
+BenchHarness::BenchHarness(engine::Engine* engine) : engine_(engine) {}
+
+RunResult BenchHarness::Measure(const WorkloadSpec& spec, const CodegenOptions& options) {
   RunResult result;
-  Module module = spec.build();
-  ValidationResult vr = ValidateModule(module);
-  if (!vr.ok) {
-    result.error = "module invalid: " + vr.error;
+  uint64_t hits_before = engine_->Stats().cache_hits;
+  engine::CompiledModuleRef code = engine_->CompileWorkload(spec, options);
+  if (!code->ok) {
+    result.error = code->error;
     return result;
   }
-  CompileResult compiled = CompileModule(module, options);
-  if (!compiled.ok) {
-    result.error = "compile failed: " + compiled.error;
-    return result;
-  }
-  result.compile = compiled.stats;
+  result.compile = code->stats();
+  result.cache_hit = engine_->Stats().cache_hits > hits_before;
 
-  BrowsixKernel kernel;
+  engine::Session session(engine_);
   if (spec.setup) {
-    spec.setup(kernel);
+    spec.setup(session.kernel());
   }
-  SimMachine machine(&compiled.program);
-  if (spec.fuel != 0) {
-    machine.set_fuel(spec.fuel);
-  }
-  MachineMemPort port(&machine);
-  auto process = kernel.CreateProcess(&port, spec.argv);
-  BindSyscalls(&machine, compiled, module, process.get());
-
-  const Export* entry = module.FindExport(spec.entry, ExternalKind::kFunc);
-  if (entry == nullptr) {
-    result.error = "no entry export " + spec.entry;
+  engine::InstanceOptions iopts;
+  iopts.argv = spec.argv;
+  iopts.entry = spec.entry;
+  iopts.fuel = spec.fuel;
+  std::string err;
+  std::unique_ptr<engine::Instance> instance =
+      session.Instantiate(code, std::move(iopts), &err);
+  if (instance == nullptr) {
+    result.error = err;
     return result;
   }
-  // The measurement window starts after compilation, as in the paper
-  // ("after WebAssembly JIT compilation concludes").
-  machine.ResetCounters();
-  MachineResult mr = machine.RunAt(entry->index, kStackBase + kStackSize);
-  if (!mr.ok) {
-    result.error = StrFormat("%s trapped: %s", spec.name.c_str(), mr.error.c_str());
+  engine::RunOutcome out = instance->Run();
+  if (!out.ok) {
+    result.error = StrFormat("%s trapped: %s", spec.name.c_str(), out.error.c_str());
     return result;
   }
   result.ok = true;
-  result.exit_code = mr.ret_i;
-  result.counters = machine.counters();
-  result.seconds = machine.SecondsFromCycles(result.counters.cycles());
-  result.browsix_seconds = machine.SecondsFromCycles(machine.host_micro_cycles() / 4);
-  result.syscalls = process->syscall_count();
-  result.stdout_text = process->StdoutString();
+  result.exit_code = out.exit_code;
+  result.counters = out.counters;
+  result.seconds = out.seconds;
+  result.browsix_seconds = out.browsix_seconds;
+  result.syscalls = out.syscalls;
+  result.stdout_text = std::move(out.stdout_text);
   for (const std::string& path : spec.output_files) {
     std::vector<uint8_t> bytes;
-    kernel.fs().ReadFile(path, &bytes);
+    session.fs().ReadFile(path, &bytes);
     result.outputs.push_back({path, std::move(bytes)});
   }
   return result;
 }
 
-RunResult BenchHarness::RunValidated(const WorkloadSpec& spec, const CodegenOptions& options) {
+RunResult BenchHarness::MeasureValidated(const WorkloadSpec& spec,
+                                         const CodegenOptions& options) {
   // Reference outputs come from the native profile (SPEC's reference run).
   auto it = reference_outputs_.find(spec.name);
   if (it == reference_outputs_.end()) {
-    RunResult ref = RunOnce(spec, CodegenOptions::NativeClang());
+    RunResult ref = Measure(spec, CodegenOptions::NativeClang());
     if (!ref.ok) {
       RunResult fail;
       fail.error = "reference run failed: " + ref.error;
@@ -97,7 +92,7 @@ RunResult BenchHarness::RunValidated(const WorkloadSpec& spec, const CodegenOpti
     }
     it = reference_outputs_.emplace(spec.name, std::move(ref.outputs)).first;
   }
-  RunResult r = RunOnce(spec, options);
+  RunResult r = Measure(spec, options);
   if (!r.ok) {
     return r;
   }

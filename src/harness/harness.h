@@ -1,36 +1,26 @@
-// BROWSIX-SPEC: the benchmark harness. Registers workloads, runs them under
-// each toolchain profile on the simulated machine, captures performance
-// counters, validates outputs (`cmp` against the native-profile reference,
-// exactly as SPEC validates against reference outputs), and aggregates
-// statistics for the paper's tables and figures.
+// BROWSIX-SPEC: the benchmark harness — a thin statistics/validation layer
+// over the embedder Engine (src/engine/). The harness no longer wires the
+// pipeline itself: it compiles through the Engine's content-addressed code
+// cache (so repeated reps and A/B ablations never recompile an identical
+// (module, options) pair), runs through Session/Instance, captures
+// performance counters, validates outputs (`cmp` against the native-profile
+// reference, exactly as SPEC validates against reference outputs), and
+// aggregates statistics for the paper's tables and figures.
 #ifndef SRC_HARNESS_HARNESS_H_
 #define SRC_HARNESS_HARNESS_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/codegen/codegen.h"
-#include "src/kernel/kernel.h"
+#include "src/engine/engine.h"
+#include "src/engine/workload.h"
 #include "src/machine/machine.h"
-#include "src/wasm/module.h"
 
 namespace nsf {
-
-// A benchmark program: how to build its module, stage its inputs, and which
-// output files constitute its result.
-struct WorkloadSpec {
-  std::string name;                         // e.g. "401.bzip2"
-  std::function<Module()> build;            // builds the Wasm module
-  std::function<void(BrowsixKernel&)> setup;  // stages input files
-  std::vector<std::string> argv = {"prog"};
-  std::string entry = "main";
-  std::vector<std::string> output_files;    // validated via cmp
-  uint64_t fuel = 0;                        // 0 = machine default cap
-};
 
 struct RunResult {
   bool ok = false;
@@ -43,6 +33,7 @@ struct RunResult {
   std::string stdout_text;
   std::vector<std::pair<std::string, std::vector<uint8_t>>> outputs;
   CompileStats compile;
+  bool cache_hit = false;       // compiled code came from the engine cache
   bool validated = false;       // outputs matched the reference run
 };
 
@@ -57,28 +48,49 @@ double Median(std::vector<double> xs);
 
 class BenchHarness {
  public:
-  BenchHarness() = default;
+  // Owns a private Engine.
+  BenchHarness();
+  // Shares `engine` (not owned) so several harnesses — or a bench binary and
+  // its harness — aggregate one code cache and one stats block.
+  explicit BenchHarness(engine::Engine* engine);
 
-  // Executes `spec` once under `options`. The module is compiled, loaded
-  // onto a fresh machine + kernel, inputs staged, and the entry function
-  // run. Counters cover only the program's execution (compilation excluded),
-  // mirroring the paper's measurement window.
-  RunResult RunOnce(const WorkloadSpec& spec, const CodegenOptions& options);
+  // Executes `spec` once under `options` via Engine/Session/Instance. The
+  // compile is served from the engine's code cache when an identical
+  // (module, options) pair was compiled before. Counters cover only the
+  // program's execution (compilation excluded), mirroring the paper's
+  // measurement window.
+  RunResult Measure(const WorkloadSpec& spec, const CodegenOptions& options);
 
-  // Runs `spec` under `options`, validating outputs against the reference
-  // (native-profile) run. `reps` simulated repetitions produce the reported
-  // mean ± stderr through a documented, seeded ±0.5% jitter model (the
-  // simulator itself is deterministic).
-  RunResult RunValidated(const WorkloadSpec& spec, const CodegenOptions& options);
+  // Measure + output validation against the reference (native-profile) run.
+  RunResult MeasureValidated(const WorkloadSpec& spec, const CodegenOptions& options);
 
-  // Seconds with jitter samples for table rendering.
+  // Seconds with jitter samples for table rendering: a documented, seeded
+  // ±0.5% jitter model produces the reported mean ± stderr (the simulator
+  // itself is deterministic).
   Sample JitteredSeconds(const WorkloadSpec& spec, const CodegenOptions& options, double seconds,
                          int reps = 5) const;
 
   // The reference (native) outputs are cached per workload name.
   void ClearReferenceCache() { reference_outputs_.clear(); }
 
+  engine::Engine& engine() { return *engine_; }
+
+#ifdef NSF_DEPRECATED_HARNESS_API
+  // Pre-Engine names, kept as shims for one PR. Configure with
+  // -DNSF_DEPRECATED_HARNESS_API=OFF to prove no caller remains.
+  [[deprecated("use Measure()")]] RunResult RunOnce(const WorkloadSpec& spec,
+                                                    const CodegenOptions& options) {
+    return Measure(spec, options);
+  }
+  [[deprecated("use MeasureValidated()")]] RunResult RunValidated(
+      const WorkloadSpec& spec, const CodegenOptions& options) {
+    return MeasureValidated(spec, options);
+  }
+#endif
+
  private:
+  std::unique_ptr<engine::Engine> owned_engine_;
+  engine::Engine* engine_;
   std::map<std::string, std::vector<std::pair<std::string, std::vector<uint8_t>>>>
       reference_outputs_;
 };

@@ -8,7 +8,7 @@
 #include <string>
 
 #include "src/codegen/codegen.h"
-#include "src/harness/harness.h"
+#include "src/engine/workload.h"
 #include "src/profile/profile.h"
 
 namespace nsf {
@@ -39,6 +39,9 @@ class TierManager {
   // warm-up run fails.
   CodegenOptions TierUpFor(const WorkloadSpec& spec, const CodegenOptions& base,
                            std::string* error);
+
+  // True when a profile for `name` is already cached (no warm-up needed).
+  bool HasProfileFor(const std::string& name) const { return cache_.count(name) != 0; }
 
  private:
   TierConfig config_;

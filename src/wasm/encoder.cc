@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/support/leb128.h"
+#include "src/support/str.h"
 
 namespace nsf {
 
@@ -324,6 +325,11 @@ std::vector<uint8_t> EncodeModule(const Module& module) {
   }
 
   return out;
+}
+
+uint64_t HashModule(const Module& module) {
+  std::vector<uint8_t> bytes = EncodeModule(module);
+  return Fnv1a(bytes.data(), bytes.size());
 }
 
 }  // namespace nsf

@@ -17,6 +17,11 @@ std::vector<uint8_t> EncodeModule(const Module& module);
 // Encodes a single instruction (used by tests and by the module encoder).
 void EncodeInstr(std::vector<uint8_t>& out, const Instr& instr);
 
+// Content hash of `module`: FNV-1a over its binary encoding. Two modules
+// hash equal iff they encode to identical bytes (debug names included), so
+// the hash is a sound content-address for compiled-code caching.
+uint64_t HashModule(const Module& module);
+
 }  // namespace nsf
 
 #endif  // SRC_WASM_ENCODER_H_

@@ -1,0 +1,284 @@
+// Engine/Session/Instance embedder API: content-addressed code-cache
+// semantics (hit on identical content, miss on any semantic difference,
+// byte-identical programs across engines), session-level VFS sharing and
+// Reset() isolation, and engine statistics.
+#include "src/engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/kernel/kernel.h"
+#include "src/polybench/polybench.h"
+#include "src/runtime/wasmlib.h"
+#include "src/wasm/encoder.h"
+
+namespace nsf {
+namespace {
+
+// sum_squares(n): the quickstart kernel — small, pure, deterministic.
+Module SumSquaresModule(int32_t bias = 0) {
+  ModuleBuilder mb("sum_squares");
+  auto& f = mb.AddFunction("sum_squares", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.I32Const(bias).LocalSet(acc);
+  f.ForI32Dyn(i, 1, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).LocalGet(i).I32Mul().I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  return mb.Build();
+}
+
+// main(): creates /msg.txt and writes a fixed string into it.
+Module WriterModule(const std::string& text) {
+  ModuleBuilder mb("writer");
+  mb.AddMemory(16);
+  WasmLib lib = AddWasmLib(&mb, 1 << 20);
+  mb.AddData(256, std::string("/msg.txt"));
+  mb.AddData(320, text);
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t fd = f.AddLocal(ValType::kI32);
+  f.I32Const(256).I32Const(kO_WRONLY | kO_CREAT | kO_TRUNC).Call(lib.sys.open).LocalSet(fd);
+  f.LocalGet(fd).I32Const(320).Call(lib.write_cstr);
+  f.LocalGet(fd).Call(lib.sys.close).Drop();
+  f.I32Const(0);
+  return mb.Build();
+}
+
+// main(): opens /msg.txt and returns its size, or -1 when absent.
+Module ReaderModule() {
+  ModuleBuilder mb("reader");
+  mb.AddMemory(16);
+  WasmLib lib = AddWasmLib(&mb, 1 << 20);
+  mb.AddData(256, std::string("/msg.txt"));
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t fd = f.AddLocal(ValType::kI32);
+  uint32_t n = f.AddLocal(ValType::kI32);
+  f.I32Const(256).I32Const(kO_RDONLY).Call(lib.sys.open).LocalSet(fd);
+  f.LocalGet(fd).I32Const(0).I32LtS();
+  f.If([&] { f.I32Const(-1).Return(); });
+  f.LocalGet(fd).Call(lib.sys.fsize).LocalSet(n);
+  f.LocalGet(fd).Call(lib.sys.close).Drop();
+  f.LocalGet(n);
+  return mb.Build();
+}
+
+std::string ProgramListing(const MProgram& program) {
+  std::string out;
+  for (const MFunction& f : program.funcs) {
+    out += MFunctionToString(f);
+  }
+  return out;
+}
+
+TEST(CodeCache, SameModuleSameOptionsIsAHit) {
+  engine::Engine eng;
+  Module m = SumSquaresModule();
+  engine::CompiledModuleRef a = eng.Compile(m, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(a->ok) << a->error;
+  engine::CompiledModuleRef b = eng.Compile(m, CodegenOptions::ChromeV8());
+  // The hit returns the very same compiled module — trivially byte-identical.
+  EXPECT_EQ(a.get(), b.get());
+  engine::EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GE(stats.compile_seconds_saved, 0.0);
+  EXPECT_EQ(eng.CacheSize(), 1u);
+}
+
+TEST(CodeCache, IndependentEnginesProduceByteIdenticalPrograms) {
+  // Compilation is deterministic, so the cache could even be shared across
+  // processes: two engines given the same content emit the same program.
+  engine::Engine eng1;
+  engine::Engine eng2;
+  Module m = SumSquaresModule();
+  engine::CompiledModuleRef a = eng1.Compile(m, CodegenOptions::FirefoxSM());
+  engine::CompiledModuleRef b = eng2.Compile(m, CodegenOptions::FirefoxSM());
+  ASSERT_TRUE(a->ok && b->ok);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->module_hash, b->module_hash);
+  EXPECT_EQ(a->fingerprint, b->fingerprint);
+  EXPECT_EQ(a->program().total_code_bytes, b->program().total_code_bytes);
+  EXPECT_EQ(ProgramListing(a->program()), ProgramListing(b->program()));
+}
+
+TEST(CodeCache, DifferingOptionsOrModuleBytesMiss) {
+  engine::Engine eng;
+  Module m = SumSquaresModule();
+  engine::CompiledModuleRef chrome = eng.Compile(m, CodegenOptions::ChromeV8());
+  engine::CompiledModuleRef firefox = eng.Compile(m, CodegenOptions::FirefoxSM());
+  EXPECT_NE(chrome.get(), firefox.get());
+  EXPECT_NE(chrome->fingerprint, firefox->fingerprint);
+  // A module whose encoded bytes differ (different constant) also misses.
+  engine::CompiledModuleRef biased = eng.Compile(SumSquaresModule(7), CodegenOptions::ChromeV8());
+  EXPECT_NE(biased.get(), chrome.get());
+  EXPECT_NE(biased->module_hash, chrome->module_hash);
+  EXPECT_EQ(eng.Stats().cache_hits, 0u);
+  EXPECT_EQ(eng.Stats().compiles, 3u);
+}
+
+TEST(CodeCache, FingerprintIsContentAddressedNotNameAddressed) {
+  CodegenOptions a = CodegenOptions::ChromeV8();
+  CodegenOptions b = CodegenOptions::ChromeV8();
+  b.profile_name = "chrome-renamed";  // cosmetic only
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.stack_check = !b.stack_check;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+
+  // Two engines' worth of proof at the cache level: a rename still hits.
+  engine::Engine eng;
+  Module m = SumSquaresModule();
+  engine::CompiledModuleRef first = eng.Compile(m, a);
+  CodegenOptions renamed = CodegenOptions::ChromeV8();
+  renamed.profile_name = "same-codegen-different-label";
+  engine::CompiledModuleRef second = eng.Compile(m, renamed);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(eng.Stats().cache_hits, 1u);
+}
+
+TEST(CodeCache, ProfileContentsFeedTheFingerprint) {
+  Module m = SumSquaresModule();
+  Profile hot = Profile::ForModule(m);
+  hot.func(0).instrs_retired = 100000;
+  Profile cold = Profile::ForModule(m);
+
+  CodegenOptions base = CodegenOptions::ChromeV8();
+  CodegenOptions with_hot = base;
+  with_hot.profile = &hot;
+  with_hot.pgo_layout = true;
+  CodegenOptions with_cold = base;
+  with_cold.profile = &cold;
+  with_cold.pgo_layout = true;
+  EXPECT_NE(with_hot.Fingerprint(), with_cold.Fingerprint());
+  EXPECT_NE(with_hot.Fingerprint(), base.Fingerprint());
+
+  // A profile nothing consumes (no pgo flag set) must not perturb caching.
+  CodegenOptions inert = base;
+  inert.profile = &hot;
+  EXPECT_EQ(inert.Fingerprint(), base.Fingerprint());
+}
+
+TEST(CodeCache, FailedCompilesAreNotCached) {
+  engine::Engine eng;
+  // An invalid module: body leaves the wrong result type (no body at all).
+  Module broken;
+  broken.types.push_back(FuncType{{}, {ValType::kI32}});
+  Function f;
+  f.type_index = 0;
+  broken.functions.push_back(f);
+  engine::CompiledModuleRef r = eng.Compile(broken, CodegenOptions::ChromeV8());
+  EXPECT_FALSE(r->ok);
+  EXPECT_NE(r->error.find("module invalid"), std::string::npos) << r->error;
+  EXPECT_EQ(eng.CacheSize(), 0u);
+}
+
+TEST(Session, InstancesShareTheVfs) {
+  engine::Engine eng;
+  const std::string text = "hello from instance A";
+  engine::CompiledModuleRef writer = eng.Compile(WriterModule(text), CodegenOptions::ChromeV8());
+  engine::CompiledModuleRef reader = eng.Compile(ReaderModule(), CodegenOptions::FirefoxSM());
+  ASSERT_TRUE(writer->ok) << writer->error;
+  ASSERT_TRUE(reader->ok) << reader->error;
+
+  engine::Session session(&eng);
+  std::string err;
+  auto wi = session.Instantiate(writer, {}, &err);
+  ASSERT_NE(wi, nullptr) << err;
+  auto ri = session.Instantiate(reader, {}, &err);
+  ASSERT_NE(ri, nullptr) << err;
+
+  engine::RunOutcome w = wi->Run();
+  ASSERT_TRUE(w.ok) << w.error;
+  // Instance B sees the file instance A wrote — one filesystem per session.
+  engine::RunOutcome r = ri->Run();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(static_cast<int32_t>(r.exit_code), static_cast<int32_t>(text.size()));
+  EXPECT_EQ(session.fs().ReadFileString("/msg.txt"), text);
+}
+
+TEST(Session, ResetDropsStagedFiles) {
+  engine::Engine eng;
+  engine::CompiledModuleRef reader = eng.Compile(ReaderModule(), CodegenOptions::ChromeV8());
+  ASSERT_TRUE(reader->ok) << reader->error;
+
+  engine::Session session(&eng);
+  session.fs().WriteFile("/msg.txt", "workload A input");
+  std::string err;
+  auto instance = session.Instantiate(reader, {}, &err);
+  ASSERT_NE(instance, nullptr) << err;
+  engine::RunOutcome before = instance->Run();
+  ASSERT_TRUE(before.ok) << before.error;
+  EXPECT_EQ(static_cast<int32_t>(before.exit_code), 16);
+
+  session.Reset();
+  // Workload A's staged input is gone; the instance keeps working against
+  // the fresh kernel.
+  engine::RunOutcome after = instance->Run();
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(static_cast<int32_t>(after.exit_code), -1);
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(session.fs().ReadFile("/msg.txt", &bytes));
+}
+
+TEST(Session, InstantiateRejectsMissingEntry) {
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(SumSquaresModule(), CodegenOptions::ChromeV8());
+  ASSERT_TRUE(code->ok);
+  engine::Session session(&eng);
+  std::string err;
+  engine::InstanceOptions opts;
+  opts.entry = "nonexistent";
+  EXPECT_EQ(session.Instantiate(code, opts, &err), nullptr);
+  EXPECT_EQ(err, "no entry export nonexistent");
+}
+
+TEST(Instance, RepeatedRunsAreDeterministicAndCountRuns) {
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(SumSquaresModule(), CodegenOptions::NativeClang());
+  ASSERT_TRUE(code->ok);
+  engine::Session session(&eng);
+  engine::InstanceOptions opts;
+  opts.entry = "sum_squares";
+  std::string err;
+  auto instance = session.Instantiate(code, opts, &err);
+  ASSERT_NE(instance, nullptr) << err;
+  engine::RunOutcome a = instance->RunExport("sum_squares", {11});
+  engine::RunOutcome b = instance->RunExport("sum_squares", {11});
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.exit_code & 0xffffffffull, 385u);  // 1^2 + ... + 10^2
+  EXPECT_EQ(a.counters.cycles(), b.counters.cycles());
+  EXPECT_EQ(instance->runs(), 2u);
+  // One compile total, no matter how many runs.
+  EXPECT_EQ(eng.Stats().compiles, 1u);
+}
+
+TEST(Engine, PolybenchWorkloadEndToEnd) {
+  // The harness path, hand-rolled at the embedder level: compile a real
+  // workload once, instantiate in a session, run, inspect outputs.
+  engine::Engine eng;
+  WorkloadSpec spec = PolybenchSpec("trisolv");
+  engine::CompiledModuleRef code = eng.CompileWorkload(spec, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(code->ok) << code->error;
+  engine::Session session(&eng);
+  if (spec.setup) {
+    spec.setup(session.kernel());
+  }
+  engine::InstanceOptions opts;
+  opts.argv = spec.argv;
+  opts.entry = spec.entry;
+  std::string err;
+  auto instance = session.Instantiate(code, opts, &err);
+  ASSERT_NE(instance, nullptr) << err;
+  engine::RunOutcome out = instance->Run();
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_GT(out.counters.instructions_retired, 0u);
+  for (const std::string& path : spec.output_files) {
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(session.fs().ReadFile(path, &bytes)) << path;
+    EXPECT_FALSE(bytes.empty()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace nsf

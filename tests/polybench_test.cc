@@ -20,7 +20,7 @@ TEST_P(PolybenchTest, ValidatesAcrossProfiles) {
   BenchHarness harness;
   WorkloadSpec spec = PolybenchSpec(GetParam());
   for (const auto& opts : {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()}) {
-    RunResult r = harness.RunValidated(spec, opts);
+    RunResult r = harness.MeasureValidated(spec, opts);
     ASSERT_TRUE(r.ok) << spec.name << " under " << opts.profile_name << ": " << r.error;
     EXPECT_TRUE(r.validated) << spec.name << " under " << opts.profile_name;
     EXPECT_GT(r.counters.instructions_retired, 1000u);
@@ -85,7 +85,7 @@ TEST(PolybenchReference, GemmChecksumMatchesCpp) {
     sum += v;
   }
   BenchHarness harness;
-  RunResult r = harness.RunOnce(PolybenchSpec("gemm"), CodegenOptions::NativeClang());
+  RunResult r = harness.Measure(PolybenchSpec("gemm"), CodegenOptions::NativeClang());
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(std::string(r.outputs[0].second.begin(), r.outputs[0].second.end()),
             FormatChecksum(sum));
@@ -115,7 +115,7 @@ TEST(PolybenchReference, TrisolvChecksumMatchesCpp) {
     sum += v;
   }
   BenchHarness harness;
-  RunResult r = harness.RunOnce(PolybenchSpec("trisolv"), CodegenOptions::NativeClang());
+  RunResult r = harness.Measure(PolybenchSpec("trisolv"), CodegenOptions::NativeClang());
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(std::string(r.outputs[0].second.begin(), r.outputs[0].second.end()),
             FormatChecksum(sum));
@@ -152,7 +152,7 @@ TEST(PolybenchReference, MvtChecksumMatchesCpp) {
     sum += x1[i] + x2[i];
   }
   BenchHarness harness;
-  RunResult r = harness.RunOnce(PolybenchSpec("mvt"), CodegenOptions::NativeClang());
+  RunResult r = harness.Measure(PolybenchSpec("mvt"), CodegenOptions::NativeClang());
   ASSERT_TRUE(r.ok) << r.error;
   EXPECT_EQ(std::string(r.outputs[0].second.begin(), r.outputs[0].second.end()),
             FormatChecksum(sum));
@@ -181,12 +181,12 @@ TEST(Matmul, ChecksumMatchesCpp) {
     sum += static_cast<int32_t>(v);
   }
   BenchHarness harness;
-  RunResult r = harness.RunOnce(MatmulSpec(n), CodegenOptions::NativeClang());
+  RunResult r = harness.Measure(MatmulSpec(n), CodegenOptions::NativeClang());
   ASSERT_TRUE(r.ok) << r.error;
   std::string out(r.outputs[0].second.begin(), r.outputs[0].second.end());
   EXPECT_EQ(out, StrFormat("%d\n0.0000\n", sum));
   // And the JIT profiles agree.
-  RunResult rc = harness.RunValidated(MatmulSpec(n), CodegenOptions::ChromeV8());
+  RunResult rc = harness.MeasureValidated(MatmulSpec(n), CodegenOptions::ChromeV8());
   ASSERT_TRUE(rc.ok) << rc.error;
   EXPECT_TRUE(rc.validated);
 }
@@ -195,8 +195,8 @@ TEST(Matmul, JitSlowdownInExpectedBand) {
   // Figure 8's claim at small sizes: Wasm 2.0-3.4x slower than native for
   // matmul. Our band is looser but must show a clear slowdown.
   BenchHarness harness;
-  RunResult native = harness.RunOnce(MatmulSpec(48), CodegenOptions::NativeClang());
-  RunResult chrome = harness.RunOnce(MatmulSpec(48), CodegenOptions::ChromeV8());
+  RunResult native = harness.Measure(MatmulSpec(48), CodegenOptions::NativeClang());
+  RunResult chrome = harness.Measure(MatmulSpec(48), CodegenOptions::ChromeV8());
   ASSERT_TRUE(native.ok && chrome.ok);
   double ratio = chrome.seconds / native.seconds;
   EXPECT_GT(ratio, 1.2) << "chrome should be clearly slower on matmul";

@@ -12,15 +12,26 @@
 #include "src/builder/builder.h"
 #include "src/codegen/codegen.h"
 #include "src/codegen/opt.h"
+#include "src/engine/engine.h"
 #include "src/harness/harness.h"
 #include "src/interp/interp.h"
-#include "src/machine/machine.h"
 #include "src/polybench/polybench.h"
 #include "src/profile/tier.h"
 #include "src/wasm/validator.h"
 
 namespace nsf {
 namespace {
+
+// All compiles go through one Engine: PGO variants fingerprint differently
+// (the profile contents are hashed), so they never collide in its cache.
+engine::Engine& TestEngine() {
+  static engine::Engine instance;
+  return instance;
+}
+
+engine::CompiledModuleRef Compile(const Module& m, const CodegenOptions& options) {
+  return TestEngine().Compile(m, options);
+}
 
 // f(n): i = 0; loop { i++; br_if (i < n) -> loop }; return i
 // (Bottom-test by construction; used for exact back-edge counting.)
@@ -92,18 +103,16 @@ Profile Collect(const Module& m, const std::string& name,
   return collector.profile();
 }
 
-// Stages stack args and runs a compiled export (the compiled-code ABI).
-MachineResult RunCompiled(const CompileResult& cr, const Module& m, const std::string& name,
-                          const std::vector<uint32_t>& args) {
-  SimMachine machine(&cr.program);
-  const Export* e = m.FindExport(name, ExternalKind::kFunc);
-  EXPECT_NE(e, nullptr);
-  uint64_t top = kStackBase + kStackSize;
-  uint64_t args_base = top - 8 * args.size();
-  for (size_t i = 0; i < args.size(); i++) {
-    machine.WriteStack(args_base + 8 * i, args[i]);
-  }
-  return machine.RunAt(e->index, args_base);
+// Runs a compiled export through a fresh Session (the compiled-code ABI).
+engine::RunOutcome RunCompiled(const engine::CompiledModuleRef& code, const std::string& name,
+                               const std::vector<uint64_t>& args) {
+  engine::Session session(&TestEngine());
+  engine::InstanceOptions opts;
+  opts.entry = name;
+  std::string err;
+  std::unique_ptr<engine::Instance> instance = session.Instantiate(code, opts, &err);
+  EXPECT_NE(instance, nullptr) << err;
+  return instance->RunExport(name, args);
 }
 
 TEST(ProfileCollection, ExactSiteCounts) {
@@ -220,19 +229,19 @@ TEST(PgoCodegen, LayoutPlacesHotFunctionFirst) {
   p.func(1).instrs_retired = 100000;  // make t2 the hot function
 
   CodegenOptions base = CodegenOptions::ChromeV8();
-  CompileResult plain = CompileModule(m, base);
-  ASSERT_TRUE(plain.ok);
-  EXPECT_EQ(plain.program.funcs[0].code_base, 0u);  // identity layout
+  engine::CompiledModuleRef plain = Compile(m, base);
+  ASSERT_TRUE(plain->ok);
+  EXPECT_EQ(plain->program().funcs[0].code_base, 0u);  // identity layout
 
   CodegenOptions pgo = base;
   pgo.profile = &p;
   pgo.pgo_layout = true;
-  CompileResult laid = CompileModule(m, pgo);
-  ASSERT_TRUE(laid.ok);
-  EXPECT_EQ(laid.program.funcs[1].code_base, 0u);  // hot function placed first
-  EXPECT_GT(laid.program.funcs[0].code_base, 0u);
+  engine::CompiledModuleRef laid = Compile(m, pgo);
+  ASSERT_TRUE(laid->ok);
+  EXPECT_EQ(laid->program().funcs[1].code_base, 0u);  // hot function placed first
+  EXPECT_GT(laid->program().funcs[0].code_base, 0u);
   // Same function bodies, different placement only.
-  EXPECT_EQ(laid.program.funcs[1].code.size(), plain.program.funcs[1].code.size());
+  EXPECT_EQ(laid->program().funcs[1].code.size(), plain->program().funcs[1].code.size());
 }
 
 TEST(PgoCodegen, ColdArmSinkingChangesBlockOrderNotSemantics) {
@@ -246,28 +255,24 @@ TEST(PgoCodegen, ColdArmSinkingChangesBlockOrderNotSemantics) {
   CodegenOptions pgo = base;
   pgo.profile = &p;
   pgo.pgo_layout = true;
-  CompileResult plain = CompileModule(m, base);
-  CompileResult sunk = CompileModule(m, pgo);
-  ASSERT_TRUE(plain.ok);
-  ASSERT_TRUE(sunk.ok);
+  engine::CompiledModuleRef plain = Compile(m, base);
+  engine::CompiledModuleRef sunk = Compile(m, pgo);
+  ASSERT_TRUE(plain->ok);
+  ASSERT_TRUE(sunk->ok);
   // The emitted block order changed...
-  EXPECT_NE(MFunctionToString(plain.program.funcs[0]), MFunctionToString(sunk.program.funcs[0]));
+  EXPECT_NE(MFunctionToString(plain->program().funcs[0]),
+            MFunctionToString(sunk->program().funcs[0]));
   // ...but semantics did not, on both the hot and the cold path.
   for (uint32_t x : {0u, 1u, 9u}) {
-    MachineResult r = RunCompiled(sunk, m, "g", {x});
+    engine::RunOutcome r = RunCompiled(sunk, "g", {x});
     ASSERT_TRUE(r.ok) << r.error;
-    EXPECT_EQ(r.ret_i & 0xffffffffull, x != 0 ? 22u : 7u);
+    EXPECT_EQ(r.exit_code & 0xffffffffull, x != 0 ? 22u : 7u);
   }
   // The hot path takes strictly fewer taken-branches than before.
-  SimMachine mp(&plain.program);
-  SimMachine ms(&sunk.program);
-  const Export* e = m.FindExport("g", ExternalKind::kFunc);
-  uint64_t args_base = kStackBase + kStackSize - 8;
-  mp.WriteStack(args_base, 0);
-  ms.WriteStack(args_base, 0);
-  ASSERT_TRUE(mp.RunAt(e->index, args_base).ok);
-  ASSERT_TRUE(ms.RunAt(e->index, args_base).ok);
-  EXPECT_LT(ms.counters().taken_branches, mp.counters().taken_branches);
+  engine::RunOutcome before = RunCompiled(plain, "g", {0});
+  engine::RunOutcome after = RunCompiled(sunk, "g", {0});
+  ASSERT_TRUE(before.ok && after.ok);
+  EXPECT_LT(after.counters.taken_branches, before.counters.taken_branches);
 }
 
 TEST(PgoCodegen, DevirtualizesMonomorphicIndirectCall) {
@@ -279,10 +284,10 @@ TEST(PgoCodegen, DevirtualizesMonomorphicIndirectCall) {
   CodegenOptions pgo = base;
   pgo.profile = &p;
   pgo.devirtualize_monomorphic = true;
-  CompileResult plain = CompileModule(m, base);
-  CompileResult devirt = CompileModule(m, pgo);
-  ASSERT_TRUE(plain.ok);
-  ASSERT_TRUE(devirt.ok);
+  engine::CompiledModuleRef plain = Compile(m, base);
+  engine::CompiledModuleRef devirt = Compile(m, pgo);
+  ASSERT_TRUE(plain->ok);
+  ASSERT_TRUE(devirt->ok);
 
   auto count_direct_calls = [](const MFunction& f, uint32_t target) {
     int n = 0;
@@ -294,28 +299,22 @@ TEST(PgoCodegen, DevirtualizesMonomorphicIndirectCall) {
     return n;
   };
   // caller is joint index 2; the hot target t1 is joint index 0.
-  EXPECT_EQ(count_direct_calls(plain.program.funcs[2], 0), 0);
-  EXPECT_EQ(count_direct_calls(devirt.program.funcs[2], 0), 1);
+  EXPECT_EQ(count_direct_calls(plain->program().funcs[2], 0), 0);
+  EXPECT_EQ(count_direct_calls(devirt->program().funcs[2], 0), 1);
 
   // Fast path and fallback both still correct.
-  MachineResult fast = RunCompiled(devirt, m, "caller", {0});
+  engine::RunOutcome fast = RunCompiled(devirt, "caller", {0});
   ASSERT_TRUE(fast.ok) << fast.error;
-  EXPECT_EQ(fast.ret_i & 0xffffffffull, 11u);
-  MachineResult slow = RunCompiled(devirt, m, "caller", {1});
+  EXPECT_EQ(fast.exit_code & 0xffffffffull, 11u);
+  engine::RunOutcome slow = RunCompiled(devirt, "caller", {1});
   ASSERT_TRUE(slow.ok) << slow.error;
-  EXPECT_EQ(slow.ret_i & 0xffffffffull, 22u);
+  EXPECT_EQ(slow.exit_code & 0xffffffffull, 22u);
 
   // The guarded direct call retires fewer instructions than the checked
   // indirect sequence.
-  SimMachine mp(&plain.program);
-  SimMachine md(&devirt.program);
-  const Export* e = m.FindExport("caller", ExternalKind::kFunc);
-  uint64_t args_base = kStackBase + kStackSize - 8;
-  mp.WriteStack(args_base, 0);
-  md.WriteStack(args_base, 0);
-  ASSERT_TRUE(mp.RunAt(e->index, args_base).ok);
-  ASSERT_TRUE(md.RunAt(e->index, args_base).ok);
-  EXPECT_LT(md.counters().instructions_retired, mp.counters().instructions_retired);
+  engine::RunOutcome checked = RunCompiled(plain, "caller", {0});
+  ASSERT_TRUE(checked.ok && fast.ok);
+  EXPECT_LT(fast.counters.instructions_retired, checked.counters.instructions_retired);
 }
 
 TEST(PgoCodegen, HotLoopRotationCutsBranches) {
@@ -327,20 +326,16 @@ TEST(PgoCodegen, HotLoopRotationCutsBranches) {
   CodegenOptions pgo = base;
   pgo.profile = &p;
   pgo.pgo_rotate_hot_loops = true;
-  CompileResult plain = CompileModule(m, base);
-  CompileResult rotated = CompileModule(m, pgo);
-  ASSERT_TRUE(plain.ok);
-  ASSERT_TRUE(rotated.ok);
+  engine::CompiledModuleRef plain = Compile(m, base);
+  engine::CompiledModuleRef rotated = Compile(m, pgo);
+  ASSERT_TRUE(plain->ok);
+  ASSERT_TRUE(rotated->ok);
 
-  auto run_counting = [&](const CompileResult& cr) {
-    SimMachine machine(&cr.program);
-    const Export* e = m.FindExport("f", ExternalKind::kFunc);
-    uint64_t args_base = kStackBase + kStackSize - 8;
-    machine.WriteStack(args_base, 5000);
-    MachineResult r = machine.RunAt(e->index, args_base);
+  auto run_counting = [&](const engine::CompiledModuleRef& code) {
+    engine::RunOutcome r = RunCompiled(code, "f", {5000});
     EXPECT_TRUE(r.ok) << r.error;
-    EXPECT_EQ(r.ret_i & 0xffffffffull, 12497500u);  // sum 0..4999
-    return machine.counters();
+    EXPECT_EQ(r.exit_code & 0xffffffffull, 12497500u);  // sum 0..4999
+    return r.counters;
   };
   PerfCounters before = run_counting(plain);
   PerfCounters after = run_counting(rotated);
@@ -382,20 +377,28 @@ TEST(TierManagerTest, FuelCappedWarmUpStillYieldsAProfile) {
 }
 
 TEST(TierManagerTest, TieredRunValidatesAndDoesNotRegress) {
+  // Tier-up through the Engine's TieringPolicy: the warm-up profile is
+  // engine-owned, so the tiered options outlive this scope safely.
   BenchHarness harness;
-  TierManager tiers;
   WorkloadSpec spec = PolybenchSpec("gemm");
   CodegenOptions base = CodegenOptions::ChromeV8();
-  RunResult off = harness.RunValidated(spec, base);
+  RunResult off = harness.MeasureValidated(spec, base);
   ASSERT_TRUE(off.ok) << off.error;
   ASSERT_TRUE(off.validated);
   std::string error;
-  CodegenOptions tiered = tiers.TierUpFor(spec, base, &error);
+  CodegenOptions tiered = harness.engine().TierUp(spec, base, &error);
   ASSERT_TRUE(error.empty()) << error;
-  RunResult on = harness.RunValidated(spec, tiered);
+  EXPECT_EQ(harness.engine().Stats().tier_warmups, 1u);
+  RunResult on = harness.MeasureValidated(spec, tiered);
   ASSERT_TRUE(on.ok) << on.error;
   ASSERT_TRUE(on.validated);
   EXPECT_LE(on.counters.cycles(), off.counters.cycles());
+  // The tiered recompile is itself cached: measuring again recompiles nothing.
+  uint64_t compiles = harness.engine().Stats().compiles;
+  RunResult again = harness.MeasureValidated(spec, tiered);
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(harness.engine().Stats().compiles, compiles);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ TEST_P(SpecTest, ValidatesAcrossProfiles) {
   WorkloadSpec spec = SpecWorkload(GetParam());
   ASSERT_TRUE(static_cast<bool>(spec.build)) << "unknown workload";
   for (const auto& opts : {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()}) {
-    RunResult r = harness.RunValidated(spec, opts);
+    RunResult r = harness.MeasureValidated(spec, opts);
     ASSERT_TRUE(r.ok) << spec.name << " under " << opts.profile_name << ": " << r.error;
     EXPECT_TRUE(r.validated) << spec.name << " under " << opts.profile_name;
     // Must be a real workload (not an empty stub) and exercise syscalls.
@@ -28,7 +28,7 @@ TEST_P(SpecTest, ValidatesAcrossProfiles) {
 TEST_P(SpecTest, NativeOutputNonTrivial) {
   BenchHarness harness;
   WorkloadSpec spec = SpecWorkload(GetParam());
-  RunResult r = harness.RunOnce(spec, CodegenOptions::NativeClang());
+  RunResult r = harness.Measure(spec, CodegenOptions::NativeClang());
   ASSERT_TRUE(r.ok) << spec.name << ": " << r.error;
   ASSERT_FALSE(r.outputs.empty());
   EXPECT_FALSE(r.outputs[0].second.empty()) << spec.name << " produced no output";
@@ -51,8 +51,8 @@ TEST(SpecSuite, JitSlowerInAggregate) {
   std::vector<double> ratios;
   for (const std::string& name : {"429.mcf", "458.sjeng", "444.namd"}) {
     WorkloadSpec spec = SpecWorkload(name);
-    RunResult native = harness.RunOnce(spec, CodegenOptions::NativeClang());
-    RunResult chrome = harness.RunOnce(spec, CodegenOptions::ChromeV8());
+    RunResult native = harness.Measure(spec, CodegenOptions::NativeClang());
+    RunResult chrome = harness.Measure(spec, CodegenOptions::ChromeV8());
     ASSERT_TRUE(native.ok) << name << ": " << native.error;
     ASSERT_TRUE(chrome.ok) << name << ": " << chrome.error;
     ratios.push_back(chrome.seconds / native.seconds);
