@@ -161,12 +161,15 @@ inline std::string SuiteRowsJson(const std::vector<SuiteRow>& rows) {
 inline std::string EngineStatsJson(const engine::EngineStats& s) {
   return StrFormat(
       "{\"cache_hits\":%llu,\"cache_misses\":%llu,\"compiles\":%llu,"
-      "\"tier_warmups\":%llu,\"compile_seconds\":%.6f,"
+      "\"compile_joins\":%llu,\"tier_warmups\":%llu,\"lock_waits\":%llu,"
+      "\"lock_wait_seconds\":%.6f,\"compile_seconds\":%.6f,"
       "\"compile_seconds_saved\":%.6f}",
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.compiles),
-      static_cast<unsigned long long>(s.tier_warmups), s.compile_seconds,
+      static_cast<unsigned long long>(s.compile_joins),
+      static_cast<unsigned long long>(s.tier_warmups),
+      static_cast<unsigned long long>(s.lock_waits), s.lock_wait_seconds, s.compile_seconds,
       s.compile_seconds_saved);
 }
 

@@ -1,0 +1,166 @@
+// Parallel-session throughput benchmark for the thread-safe Engine: sweeps
+// 1/2/4/8 ExecutorPool workers over the PolyBench suite (both JIT profiles)
+// sharing ONE engine and its sharded code cache.
+//
+// Two phases:
+//   cold  — 8 workers race 2 reps of every (workload, profile) pair against
+//           an empty cache: the per-entry compile latches must collapse all
+//           concurrent requests for a key onto exactly one backend compile.
+//   sweep — with the cache warm, each worker count runs the whole suite once;
+//           throughput is reported in the simulator's own time domain
+//           (runs per simulated second, from the schedule's makespan = max
+//           over workers of simulated seconds executed), next to host wall
+//           clock. Simulated throughput is the hardware-independent number:
+//           host wall clock only scales with physical cores.
+//
+// Exit status asserts the PR's acceptance criteria: no duplicate compiles for
+// shared keys, and >1.5x suite throughput at 4 workers vs 1.
+#include "bench/bench_util.h"
+
+#include "src/engine/executor.h"
+
+using namespace nsf;
+
+namespace {
+
+struct SweepLeg {
+  int workers = 0;
+  engine::BatchReport report;
+};
+
+}  // namespace
+
+int main() {
+  printf("== Engine parallel sessions: PolyBench suite across worker pools ==\n\n");
+  engine::Engine& eng = SharedEngine();
+
+  std::vector<engine::RunRequest> requests;
+  for (const WorkloadSpec& spec : AllPolybench()) {
+    for (const CodegenOptions& profile :
+         {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()}) {
+      engine::RunRequest req;
+      req.spec = spec;
+      req.options = profile;
+      req.reps = 1;
+      req.collect_outputs = false;
+      requests.push_back(std::move(req));
+    }
+  }
+  const size_t pairs = requests.size();
+  bool failed = false;
+
+  // --- Phase 1: cold cache, 8 workers, 2 reps per pair ---
+  std::vector<engine::RunRequest> cold_requests = requests;
+  for (engine::RunRequest& r : cold_requests) {
+    r.reps = 2;
+  }
+  fprintf(stderr, "cold phase: 8 workers x %zu pairs x 2 reps...\n", pairs);
+  engine::BatchReport cold;
+  {
+    engine::ExecutorPool pool(&eng, 8);
+    cold = pool.Run(cold_requests);
+  }
+  engine::EngineStats cs = cold.stats_after;  // engine was fresh before this
+  uint64_t cold_runs = cold.runs.size();
+  printf("cold (8 workers, %llu runs): %llu compiles, %llu hits, %llu misses, "
+         "%llu joins, %llu lock waits (%.6fs blocked)\n",
+         (unsigned long long)cold_runs, (unsigned long long)cs.compiles,
+         (unsigned long long)cs.cache_hits, (unsigned long long)cs.cache_misses,
+         (unsigned long long)cs.compile_joins, (unsigned long long)cs.lock_waits,
+         cs.lock_wait_seconds);
+  if (!cold.all_ok()) {
+    fprintf(stderr, "!! cold phase: %llu runs failed\n",
+            (unsigned long long)cold.failed_runs);
+    failed = true;
+  }
+  if (cs.compiles != pairs) {
+    fprintf(stderr, "!! duplicate or missing compiles: %llu backend compiles for %zu keys\n",
+            (unsigned long long)cs.compiles, pairs);
+    failed = true;
+  }
+  if (cs.cache_hits + cs.cache_misses != cold_runs) {
+    fprintf(stderr, "!! hit/miss counters do not sum: %llu + %llu != %llu\n",
+            (unsigned long long)cs.cache_hits, (unsigned long long)cs.cache_misses,
+            (unsigned long long)cold_runs);
+    failed = true;
+  }
+
+  // --- Phase 2: warm-cache throughput sweep ---
+  std::vector<SweepLeg> legs;
+  for (int workers : {1, 2, 4, 8}) {
+    fprintf(stderr, "sweep: %d worker%s x %zu runs...\n", workers, workers == 1 ? "" : "s",
+            pairs);
+    engine::ExecutorPool pool(&eng, workers);
+    SweepLeg leg;
+    leg.workers = workers;
+    leg.report = pool.Run(requests);
+    if (!leg.report.all_ok()) {
+      fprintf(stderr, "!! %d-worker leg: %llu runs failed\n", workers,
+              (unsigned long long)leg.report.failed_runs);
+      failed = true;
+    }
+    uint64_t leg_compiles =
+        leg.report.stats_after.compiles - leg.report.stats_before.compiles;
+    if (leg_compiles != 0) {
+      fprintf(stderr, "!! %d-worker leg recompiled %llu cached keys\n", workers,
+              (unsigned long long)leg_compiles);
+      failed = true;
+    }
+    legs.push_back(std::move(leg));
+  }
+
+  double makespan_1 = legs[0].report.sim_makespan_seconds;
+  std::vector<std::vector<std::string>> table = {{"workers", "runs", "sim makespan", "sim runs/s",
+                                                  "speedup", "wall s", "lock waits"}};
+  std::string sweep_json;
+  double speedup_4 = 0;
+  for (const SweepLeg& leg : legs) {
+    const engine::BatchReport& r = leg.report;
+    double throughput = r.sim_makespan_seconds > 0 ? r.runs.size() / r.sim_makespan_seconds : 0;
+    double speedup = r.sim_makespan_seconds > 0 ? makespan_1 / r.sim_makespan_seconds : 0;
+    if (leg.workers == 4) {
+      speedup_4 = speedup;
+    }
+    uint64_t leg_lock_waits = r.stats_after.lock_waits - r.stats_before.lock_waits;
+    table.push_back({StrFormat("%d", leg.workers), StrFormat("%zu", r.runs.size()),
+                     StrFormat("%.6fs", r.sim_makespan_seconds), StrFormat("%.1f", throughput),
+                     StrFormat("%.2fx", speedup), StrFormat("%.2f", r.wall_seconds),
+                     StrFormat("%llu", (unsigned long long)leg_lock_waits)});
+    sweep_json += StrFormat(
+        "%s\"%d\":{\"runs\":%zu,\"ok_runs\":%llu,\"wall_seconds\":%.6f,"
+        "\"sim_seconds_total\":%.9f,\"sim_makespan_seconds\":%.9f,"
+        "\"throughput_runs_per_sim_second\":%.3f,\"speedup_vs_1worker\":%.3f,"
+        "\"lock_waits\":%llu}",
+        sweep_json.empty() ? "" : ",", leg.workers, r.runs.size(),
+        (unsigned long long)r.ok_runs, r.wall_seconds, r.sim_seconds_total,
+        r.sim_makespan_seconds, throughput, speedup, (unsigned long long)leg_lock_waits);
+  }
+  printf("\n%s\n", RenderTable(table).c_str());
+
+  if (speedup_4 <= 1.5) {
+    fprintf(stderr, "!! 4-worker suite throughput only %.2fx of 1 worker (need >1.5x)\n",
+            speedup_4);
+    failed = true;
+  }
+
+  std::string json = StrFormat(
+      "\"suite\":\"polybench\",\"pairs\":%zu,"
+      "\"cold\":{\"workers\":8,\"runs\":%llu,\"compiles\":%llu,\"cache_hits\":%llu,"
+      "\"cache_misses\":%llu,\"compile_joins\":%llu,\"lock_waits\":%llu,"
+      "\"lock_wait_seconds\":%.6f,\"duplicate_compiles\":%llu},"
+      "\"sweep\":{%s},\"speedup_4_vs_1\":%.3f",
+      pairs, (unsigned long long)cold_runs, (unsigned long long)cs.compiles,
+      (unsigned long long)cs.cache_hits, (unsigned long long)cs.cache_misses,
+      (unsigned long long)cs.compile_joins, (unsigned long long)cs.lock_waits,
+      cs.lock_wait_seconds,
+      (unsigned long long)(cs.compiles > pairs ? cs.compiles - pairs : 0), sweep_json.c_str(),
+      speedup_4);
+  WriteBenchJson("engine_parallel", "{" + json + "}");
+
+  printf("%s\n", failed ? "FAIL: see messages above."
+                        : StrFormat("OK: %zu keys compiled once under 8-way contention; "
+                                    "4-worker suite throughput %.2fx of 1 worker.",
+                                    pairs, speedup_4)
+                              .c_str());
+  return failed ? 1 : 0;
+}

@@ -1,26 +1,31 @@
-// Repeated-rep benchmark for the Engine's compile-once-run-many pipeline:
-// runs each PolyBench workload several times under both JIT profiles (plus
-// the tiered +pgo configuration) through one shared Engine. After the first
-// compile of each (module, options) pair, every further rep is a code-cache
-// hit — the win RunOnce-era benches paid for on every repetition.
+// Repeated-rep benchmark for the Engine's compile-once-run-many pipeline,
+// driven through the batch path: every (workload, profile, tiered) request
+// carries its reps into one BenchHarness::MeasureBatch call, which executes
+// them across a 4-worker ExecutorPool sharing the engine's sharded code
+// cache. After the first compile of each (module, options) key — wherever in
+// the pool it happens — every further rep must be a code-cache hit, and the
+// engine must report exactly one backend compile per unique key.
+#include <set>
+
 #include "bench/bench_util.h"
 
 using namespace nsf;
 
 int main() {
   const int kReps = 5;
-  printf("== Engine cache: %d reps per (workload, profile), compile once ==\n\n", kReps);
+  const int kWorkers = 4;
+  printf("== Engine cache: %d reps per (workload, profile) via a %d-worker batch ==\n\n",
+         kReps, kWorkers);
   BenchHarness& harness = SharedHarness();
   std::vector<CodegenOptions> profiles = {CodegenOptions::ChromeV8(),
                                           CodegenOptions::FirefoxSM()};
-  std::vector<std::vector<std::string>> table = {
-      {"benchmark", "profile", "cycles/rep", "rep compiles", "rep cache hits"}};
-  std::string json = "{\"reps\":" + StrFormat("%d", kReps) + ",\"workloads\":{";
-  bool first_workload = true;
-  bool all_cached = true;
 
+  // One request per (workload, profile) and per tiered profile; TierUp runs
+  // serially here so every warm-up interpreter run happens exactly once
+  // before the parallel phase.
+  std::vector<engine::RunRequest> requests;
+  std::set<std::pair<std::string, uint64_t>> unique_keys;  // (workload, options fingerprint)
   for (const WorkloadSpec& spec : AllPolybench()) {
-    std::string json_row;
     for (const CodegenOptions& base : profiles) {
       std::string err;
       CodegenOptions tiered = SharedEngine().TierUp(spec, base, &err);
@@ -28,50 +33,108 @@ int main() {
         fprintf(stderr, "!! %s: %s\n", spec.name.c_str(), err.c_str());
       }
       for (const CodegenOptions& opts : {base, tiered}) {
-        engine::EngineStats before = SharedEngine().Stats();
-        RunResult r;
-        for (int rep = 0; rep < kReps; rep++) {
-          r = harness.MeasureValidated(spec, opts);
-          if (!r.ok || !r.validated) {
-            fprintf(stderr, "!! %s under %s rep %d: %s\n", spec.name.c_str(),
-                    opts.profile_name.c_str(), rep, r.error.c_str());
-            break;
-          }
-        }
-        engine::EngineStats after = SharedEngine().Stats();
-        // The validation reference (native) compiles once per workload; the
-        // measured profile itself must compile at most once across all reps.
-        uint64_t compiles = after.compiles - before.compiles;
-        uint64_t hits = after.cache_hits - before.cache_hits;
-        if (hits < static_cast<uint64_t>(kReps - 1)) {
-          all_cached = false;
-        }
-        table.push_back({spec.name, opts.profile_name,
-                         StrFormat("%.2fM", r.counters.cycles() / 1e6),
-                         StrFormat("%llu", (unsigned long long)compiles),
-                         StrFormat("%llu", (unsigned long long)hits)});
-        json_row += StrFormat("%s\"%s\":{\"compiles\":%llu,\"cache_hits\":%llu,\"run\":%s}",
-                              json_row.empty() ? "" : ",",
-                              JsonEscape(opts.profile_name).c_str(),
-                              (unsigned long long)compiles, (unsigned long long)hits,
-                              RunResultJson(r).c_str());
+        engine::RunRequest req;
+        req.spec = spec;
+        req.options = opts;
+        req.reps = kReps;
+        requests.push_back(std::move(req));
+        unique_keys.insert({spec.name, opts.Fingerprint()});
       }
     }
-    json += StrFormat("%s\"%s\":{%s}", first_workload ? "" : ",", JsonEscape(spec.name).c_str(),
-                      json_row.c_str());
-    first_workload = false;
-    fprintf(stderr, "  ran %s\n", spec.name.c_str());
+    // The validation reference (native profile) compiles once per workload.
+    unique_keys.insert({spec.name, CodegenOptions::NativeClang().Fingerprint()});
+  }
+
+  fprintf(stderr, "batch: %zu requests x %d reps on %d workers...\n", requests.size(), kReps,
+          kWorkers);
+  BenchHarness::BatchMeasure batch = harness.MeasureBatch(requests, kWorkers);
+  bool all_ok = batch.all_ok;
+  if (!all_ok) {
+    for (const RunResult& r : batch.results) {
+      if (!r.ok || !r.validated) {
+        fprintf(stderr, "!! %s\n", r.error.c_str());
+      }
+    }
+  }
+
+  // Per-request tallies from the per-run cache_hit flags (request-major order).
+  std::vector<uint64_t> hits_per_request(requests.size(), 0);
+  std::vector<const RunResult*> last_run(requests.size(), nullptr);
+  for (size_t i = 0; i < batch.report.runs.size(); i++) {
+    size_t req = batch.report.runs[i].request_index;
+    hits_per_request[req] += batch.results[i].cache_hit ? 1 : 0;
+    last_run[req] = &batch.results[i];
+  }
+
+  std::vector<std::vector<std::string>> table = {
+      {"benchmark", "profile", "cycles/rep", "rep compiles", "rep cache hits"}};
+  std::string json = "{\"reps\":" + StrFormat("%d", kReps) +
+                     ",\"workers\":" + StrFormat("%d", kWorkers) + ",\"workloads\":{";
+  bool all_cached = true;
+  std::string current_workload;
+  std::string json_row;
+  bool first_workload = true;
+  for (size_t i = 0; i < requests.size(); i++) {
+    const engine::RunRequest& req = requests[i];
+    if (req.spec.name != current_workload) {
+      if (!current_workload.empty()) {
+        json += StrFormat("%s\"%s\":{%s}", first_workload ? "" : ",",
+                          JsonEscape(current_workload).c_str(), json_row.c_str());
+        first_workload = false;
+      }
+      current_workload = req.spec.name;
+      json_row.clear();
+    }
+    // Every rep after the key's first-anywhere compile must hit: each request
+    // may miss at most once, and only when it was the key's first toucher.
+    uint64_t hits = hits_per_request[i];
+    uint64_t misses = static_cast<uint64_t>(kReps) - hits;
+    if (hits < static_cast<uint64_t>(kReps - 1)) {
+      all_cached = false;
+    }
+    const RunResult* r = last_run[i];
+    table.push_back({req.spec.name, req.options.profile_name,
+                     r != nullptr ? StrFormat("%.2fM", r->counters.cycles() / 1e6) : "-",
+                     StrFormat("%llu", (unsigned long long)misses),
+                     StrFormat("%llu", (unsigned long long)hits)});
+    if (r != nullptr) {
+      json_row += StrFormat("%s\"%s\":{\"compiles\":%llu,\"cache_hits\":%llu,\"run\":%s}",
+                            json_row.empty() ? "" : ",",
+                            JsonEscape(req.options.profile_name).c_str(),
+                            (unsigned long long)misses, (unsigned long long)hits,
+                            RunResultJson(*r).c_str());
+    }
+  }
+  if (!current_workload.empty()) {
+    json += StrFormat("%s\"%s\":{%s}", first_workload ? "" : ",",
+                      JsonEscape(current_workload).c_str(), json_row.c_str());
   }
   json += "}}";
 
   printf("%s\n", RenderTable(table).c_str());
   engine::EngineStats es = SharedEngine().Stats();
-  printf("engine totals: %llu compiles, %llu cache hits, %llu misses, "
+  printf("engine totals: %llu compiles, %llu cache hits, %llu misses, %llu joins, "
          "%.3fs compiling, %.3fs saved by the cache\n",
          (unsigned long long)es.compiles, (unsigned long long)es.cache_hits,
-         (unsigned long long)es.cache_misses, es.compile_seconds, es.compile_seconds_saved);
-  printf("%s\n", all_cached ? "OK: every rep after the first was a cache hit."
-                            : "FAIL: some repetition recompiled cached code.");
+         (unsigned long long)es.cache_misses, (unsigned long long)es.compile_joins,
+         es.compile_seconds, es.compile_seconds_saved);
+  bool one_compile_per_key = es.compiles == unique_keys.size();
+  if (!one_compile_per_key) {
+    fprintf(stderr, "!! %llu backend compiles for %zu unique (module, options) keys\n",
+            (unsigned long long)es.compiles, unique_keys.size());
+  }
+  // Every Compile() call increments exactly one of hits/misses: one call per
+  // batch run plus one per native reference run (one per distinct workload).
+  uint64_t compile_calls = batch.report.runs.size() + AllPolybench().size();
+  bool counters_sum = es.cache_hits + es.cache_misses == compile_calls;
+  if (!counters_sum) {
+    fprintf(stderr, "!! hit/miss counters do not sum to compile calls: %llu + %llu != %llu\n",
+            (unsigned long long)es.cache_hits, (unsigned long long)es.cache_misses,
+            (unsigned long long)compile_calls);
+  }
+  bool ok = all_ok && all_cached && one_compile_per_key && counters_sum;
+  printf("%s\n", ok ? "OK: one compile per unique key; every further rep hit the cache."
+                    : "FAIL: cache or validation regression, see messages above.");
   WriteBenchJson("engine_reps", json);
-  return all_cached ? 0 : 1;
+  return ok ? 0 : 1;
 }

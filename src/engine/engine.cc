@@ -1,5 +1,6 @@
 #include "src/engine/engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "src/runtime/runtime.h"
@@ -10,47 +11,182 @@
 namespace nsf {
 namespace engine {
 
-// --- CodeCache ---
+namespace {
 
-CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) const {
-  auto it = entries_.find({module_hash, fingerprint});
-  return it == entries_.end() ? nullptr : it->second;
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
 }
 
-void CodeCache::Insert(CompiledModuleRef code) {
-  entries_[{code->module_hash, code->fingerprint}] = std::move(code);
+}  // namespace
+
+// --- CodeCache ---
+
+CodeCache::CodeCache(size_t shard_count) {
+  size_t n = RoundUpPow2(shard_count == 0 ? 1 : shard_count);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::unique_lock<std::mutex> CodeCache::LockShard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    auto t0 = std::chrono::steady_clock::now();
+    lock.lock();
+    auto waited = std::chrono::steady_clock::now() - t0;
+    lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    lock_wait_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count(),
+        std::memory_order_relaxed);
+  }
+  return lock;
+}
+
+CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) const {
+  const Shard& shard = ShardFor(module_hash);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  auto it = shard.entries.find({module_hash, fingerprint});
+  return it == shard.entries.end() ? nullptr : it->second.code;
+}
+
+CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
+                                          const std::function<CompiledModuleRef()>& compile,
+                                          bool* was_hit, bool* joined) {
+  *was_hit = false;
+  *joined = false;
+  Shard& shard = ShardFor(module_hash);
+  std::pair<uint64_t, uint64_t> key{module_hash, fingerprint};
+
+  std::shared_ptr<Latch> latch;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    Entry& entry = shard.entries[key];
+    if (entry.code != nullptr) {
+      *was_hit = true;
+      return entry.code;
+    }
+    if (entry.latch != nullptr) {
+      latch = entry.latch;  // someone else is compiling this key right now
+    } else {
+      entry.latch = latch = std::make_shared<Latch>();  // we are the leader
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Join the in-flight compile: block until the leader publishes, then
+    // share its result (which may be a failure — the caller sees the same
+    // error the leader saw, and the key stays uncached for retries).
+    *joined = true;
+    std::unique_lock<std::mutex> lk(latch->mu);
+    latch->cv.wait(lk, [&] { return latch->ready; });
+    return latch->result;
+  }
+
+  // Leader: compile OUTSIDE the shard lock so other keys in this shard stay
+  // serviceable, then publish under the lock and release the waiters. If the
+  // compile callback throws (bad_alloc is the realistic case), waiters must
+  // still be released and the placeholder dropped — a dead latch would wedge
+  // the key forever — so publish a failed result before propagating.
+  CompiledModuleRef result;
+  try {
+    result = compile();
+  } catch (...) {
+    auto aborted = std::make_shared<CompiledModule>();
+    aborted->module_hash = module_hash;
+    aborted->fingerprint = fingerprint;
+    aborted->error = "compile failed: exception during compilation";
+    {
+      std::unique_lock<std::mutex> lock = LockShard(shard);
+      shard.entries.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lk(latch->mu);
+      latch->result = std::move(aborted);
+      latch->ready = true;
+    }
+    latch->cv.notify_all();
+    throw;
+  }
+  {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      if (result != nullptr && result->ok) {
+        it->second.code = result;
+        it->second.latch = nullptr;
+      } else {
+        // Failed compiles are not cached: drop the placeholder entry entirely.
+        shard.entries.erase(it);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(latch->mu);
+    latch->result = result;
+    latch->ready = true;
+  }
+  latch->cv.notify_all();
+  return result;
+}
+
+size_t CodeCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(*shard);
+    for (const auto& [key, entry] : shard->entries) {
+      n += entry.code != nullptr ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+void CodeCache::Clear() {
+  // Only completed entries are dropped; an entry with an in-flight compile
+  // keeps its latch so the leader's publish still finds it.
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(*shard);
+    for (auto it = shard->entries.begin(); it != shard->entries.end();) {
+      if (it->second.latch == nullptr) {
+        it = shard->entries.erase(it);
+      } else {
+        it->second.code = nullptr;
+        ++it;
+      }
+    }
+  }
 }
 
 // --- TieringPolicy ---
 
 CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
                                      std::string* error) {
+  // Serialize warm-ups: the first caller for a name runs the interpreter
+  // warm-up while later callers wait, then find the cached profile. Profile
+  // pointers stay valid because TierManager's cache is node-stable.
+  std::lock_guard<std::mutex> lock(mu_);
   // No cached profile means TierUpFor executes the warm-up interpreter run —
   // count it whether or not it succeeds (failures are not cached and will
   // run again on the next request).
   if (!manager_.HasProfileFor(spec.name)) {
-    warmup_runs_++;
+    warmup_runs_.fetch_add(1, std::memory_order_relaxed);
   }
   return manager_.TierUpFor(spec, base, error);
 }
 
 // --- Engine ---
 
-Engine::Engine(EngineConfig config) : config_(config), tiering_(config.tiering) {}
+Engine::Engine(EngineConfig config)
+    : config_(config), tiering_(config.tiering), cache_(config.cache_shards) {}
 
-CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& options) {
-  uint64_t module_hash = HashModule(module);
-  uint64_t fingerprint = options.Fingerprint();
-  if (config_.cache_enabled) {
-    CompiledModuleRef cached = cache_.Lookup(module_hash, fingerprint);
-    if (cached != nullptr) {
-      stats_.cache_hits++;
-      stats_.compile_seconds_saved += cached->compiled.stats.seconds;
-      return cached;
-    }
-  }
-  stats_.cache_misses++;
-
+CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_hash,
+                                          const CodegenOptions& options, uint64_t fingerprint) {
   auto result = std::make_shared<CompiledModule>();
   result->module_hash = module_hash;
   result->fingerprint = fingerprint;
@@ -61,23 +197,55 @@ CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& op
     result->error = "module invalid: " + vr.error;
     return result;
   }
-  stats_.compiles++;
+  compiles_.fetch_add(1, std::memory_order_relaxed);
   result->compiled = CompileModule(result->module, options);
-  stats_.compile_seconds += result->compiled.stats.seconds;
+  AddSeconds(&compile_nanos_, result->compiled.stats.seconds);
   if (!result->compiled.ok) {
     result->error = "compile failed: " + result->compiled.error;
     return result;
   }
   result->ok = true;
-  if (config_.cache_enabled) {
-    cache_.Insert(result);
+  return result;
+}
+
+CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& options,
+                                  bool* was_hit) {
+  uint64_t module_hash = HashModule(module);
+  uint64_t fingerprint = options.Fingerprint();
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+  if (!config_.cache_enabled) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return CompileUncached(module, module_hash, options, fingerprint);
+  }
+
+  bool hit = false;
+  bool joined = false;
+  CompiledModuleRef result = cache_.GetOrCompile(
+      module_hash, fingerprint,
+      [&] { return CompileUncached(module, module_hash, options, fingerprint); }, &hit,
+      &joined);
+
+  if (joined) {
+    compile_joins_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool served_from_cache = hit || (joined && result != nullptr && result->ok);
+  if (served_from_cache) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    AddSeconds(&saved_nanos_, result->compiled.stats.seconds);
+  } else {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (was_hit != nullptr) {
+    *was_hit = served_from_cache;
   }
   return result;
 }
 
 CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
-                                          const CodegenOptions& options) {
-  return Compile(spec.build(), options);
+                                          const CodegenOptions& options, bool* was_hit) {
+  return Compile(spec.build(), options, was_hit);
 }
 
 CodegenOptions Engine::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
@@ -86,9 +254,29 @@ CodegenOptions Engine::TierUp(const WorkloadSpec& spec, const CodegenOptions& ba
 }
 
 EngineStats Engine::Stats() const {
-  EngineStats s = stats_;
+  EngineStats s;
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.compile_joins = compile_joins_.load(std::memory_order_relaxed);
   s.tier_warmups = tiering_.warmup_runs();
+  s.lock_waits = cache_.lock_waits();
+  s.lock_wait_seconds = cache_.lock_wait_seconds();
+  s.compile_seconds = static_cast<double>(compile_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.compile_seconds_saved =
+      static_cast<double>(saved_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   return s;
+}
+
+void Engine::ResetStats() {
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+  compiles_.store(0, std::memory_order_relaxed);
+  compile_joins_.store(0, std::memory_order_relaxed);
+  compile_nanos_.store(0, std::memory_order_relaxed);
+  saved_nanos_.store(0, std::memory_order_relaxed);
+  cache_.ResetTelemetry();  // keep lock_waits consistent with the other zeros
+  tiering_.ResetWarmupCount();
 }
 
 // --- Session ---

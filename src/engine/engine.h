@@ -3,32 +3,43 @@
 // Modeled on the Engine/Store/Module/Instance shape real Wasm engines expose
 // (V8, SpiderMonkey — the toolchains the paper measures):
 //
-//   Engine   — process-wide: owns a content-addressed CodeCache keyed by
-//              (module hash via the encoder, CodegenOptions fingerprint) and
-//              a TieringPolicy wrapping the PGO TierManager. Compilation is
-//              compile-once-run-many: repeated compiles of the same
-//              (module, options) pair return the cached CompiledModule.
-//   Session  — one BrowsixKernel + VFS staging area. Many modules can be
-//              instantiated into one session; they share the filesystem.
-//              Reset() drops all staged state.
+//   Engine   — process-wide and THREAD-SAFE: owns a content-addressed
+//              CodeCache keyed by (module hash via the encoder, CodegenOptions
+//              fingerprint) and a TieringPolicy wrapping the PGO TierManager.
+//              Compilation is compile-once-run-many even under concurrency:
+//              the cache is sharded into mutex-guarded shards (selected by
+//              module-hash prefix) and each entry carries a "compiling" latch,
+//              so two threads requesting the same (module, options) pair block
+//              on one compile instead of duplicating the work.
+//   Session  — one BrowsixKernel + VFS staging area, single-threaded by
+//              design: each worker thread owns its own Session. Many modules
+//              can be instantiated into one session; they share the
+//              filesystem. Reset() drops all staged state.
 //   Instance — a CompiledModule bound into a Session with argv/entry/fuel,
 //              reusable across repeated runs (each Run() gets a fresh
 //              machine and process; the compiled code is shared).
 //
 // Typical embedding:
 //
-//   engine::Engine eng;
+//   engine::Engine eng;                       // share freely across threads
 //   auto code = eng.Compile(BuildModule(), CodegenOptions::ChromeV8());
-//   engine::Session session(&eng);
+//   engine::Session session(&eng);            // one per thread
 //   session.fs().WriteFile("/data/input.txt", "...");
 //   auto inst = session.Instantiate(code, {.argv = {"prog"}}, &err);
 //   engine::RunOutcome out = inst->Run();   // re-running never recompiles
+//
+// For parallel batch execution over a pool of Sessions, see
+// src/engine/executor.h (ExecutorPool / Session::RunBatch).
 #ifndef SRC_ENGINE_ENGINE_H_
 #define SRC_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,20 +70,80 @@ struct CompiledModule {
 
 using CompiledModuleRef = std::shared_ptr<const CompiledModule>;
 
-// Content-addressed cache of successful compiles.
+// Content-addressed cache of successful compiles, safe for concurrent use.
+// The key space is split across `shard_count` independently-locked shards
+// selected by the top bits of the module hash, so unrelated compiles never
+// contend on one mutex. Each in-flight compile parks a latch in its entry:
+// the first requester of a key becomes the leader and compiles; every
+// concurrent requester of the same key blocks on the latch and shares the
+// leader's result (exactly one backend invocation per unique key).
 class CodeCache {
  public:
+  explicit CodeCache(size_t shard_count = kDefaultShards);
+
+  // Returns the cached module for (module_hash, fingerprint) or invokes
+  // `compile` to produce it. Failed compiles are delivered to every waiter
+  // but not retained, so a later request retries. Outputs:
+  //   *was_hit — a completed entry was found (no waiting, no compiling)
+  //   *joined  — blocked on another thread's in-flight compile of this key
+  CompiledModuleRef GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
+                                 const std::function<CompiledModuleRef()>& compile,
+                                 bool* was_hit, bool* joined);
+
+  // Read-only probe (no latch interaction): the completed entry or null.
   CompiledModuleRef Lookup(uint64_t module_hash, uint64_t fingerprint) const;
-  void Insert(CompiledModuleRef code);
-  size_t size() const { return entries_.size(); }
-  void Clear() { entries_.clear(); }
+
+  size_t size() const;
+  void Clear();
+  size_t shard_count() const { return shards_.size(); }
+
+  // Contention telemetry: how often a shard lock was found held, and the
+  // total wall time spent blocked on shard locks.
+  uint64_t lock_waits() const { return lock_waits_.load(std::memory_order_relaxed); }
+  double lock_wait_seconds() const {
+    return static_cast<double>(lock_wait_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  void ResetTelemetry() {
+    lock_waits_.store(0, std::memory_order_relaxed);
+    lock_wait_nanos_.store(0, std::memory_order_relaxed);
+  }
+
+  static constexpr size_t kDefaultShards = 16;  // rounded up to a power of two
 
  private:
-  std::map<std::pair<uint64_t, uint64_t>, CompiledModuleRef> entries_;
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    CompiledModuleRef result;
+  };
+  struct Entry {
+    CompiledModuleRef code;        // published once a compile succeeded
+    std::shared_ptr<Latch> latch;  // present while a compile is in flight
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::pair<uint64_t, uint64_t>, Entry> entries;
+  };
+
+  Shard& ShardFor(uint64_t module_hash) const {
+    // Prefix (top bits) of the content hash selects the shard; shard count is
+    // a power of two so the mask is exact.
+    return *shards_[(module_hash >> 48) & (shards_.size() - 1)];
+  }
+  // Locks `shard.mu`, accounting blocked time into the contention counters.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<uint64_t> lock_waits_{0};
+  mutable std::atomic<uint64_t> lock_wait_nanos_{0};
 };
 
 // Engine-owned tier-up policy: wraps the PGO TierManager so profiling and
 // profile-guided recompilation are an engine concern, not a caller concern.
+// Thread-safe: warm-up runs for one engine are serialized under a mutex, so
+// concurrent TierUp calls for the same workload name execute exactly one
+// interpreter warm-up (the second caller finds the cached profile).
 class TieringPolicy {
  public:
   explicit TieringPolicy(TierConfig config = TierConfig()) : manager_(config) {}
@@ -83,32 +154,44 @@ class TieringPolicy {
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
                         std::string* error);
 
+  // Not synchronized — only touch the raw manager from one thread.
   TierManager& manager() { return manager_; }
-  uint64_t warmup_runs() const { return warmup_runs_; }
-  void ResetWarmupCount() { warmup_runs_ = 0; }
+  uint64_t warmup_runs() const { return warmup_runs_.load(std::memory_order_relaxed); }
+  void ResetWarmupCount() { warmup_runs_.store(0, std::memory_order_relaxed); }
 
  private:
+  std::mutex mu_;
   TierManager manager_;
-  uint64_t warmup_runs_ = 0;  // interpreter warm-ups actually executed
+  std::atomic<uint64_t> warmup_runs_{0};  // interpreter warm-ups actually executed
 };
 
 struct EngineConfig {
   bool cache_enabled = true;   // table2-style compile-time benches disable it
+  size_t cache_shards = CodeCache::kDefaultShards;
   TierConfig tiering;
 };
 
 // Aggregate counters surfaced into every BENCH_*.json (engine_stats block).
+// Snapshot of the engine's internal atomics; under concurrency the totals
+// obey hits + misses == Compile() calls and compiles == unique successful
+// keys (joiners of an in-flight compile count as hits, tracked separately
+// in compile_joins).
 struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;         // includes compile failures
   uint64_t compiles = 0;             // actual backend invocations
+  uint64_t compile_joins = 0;        // waited on another thread's compile
   uint64_t tier_warmups = 0;         // interpreter profiling runs
+  uint64_t lock_waits = 0;           // shard-lock acquisitions that blocked
+  double lock_wait_seconds = 0;      // wall time blocked on shard locks
   double compile_seconds = 0;        // wall clock spent compiling
   double compile_seconds_saved = 0;  // sum of cached-entry compile times on hits
 };
 
 class Session;
 
+// Thread-safe: Compile/CompileWorkload/TierUp/Stats may be called from any
+// number of threads sharing one Engine.
 class Engine {
  public:
   explicit Engine(EngineConfig config = EngineConfig());
@@ -116,20 +199,22 @@ class Engine {
   // Compile-or-fetch. On a miss the CompiledModule retains a copy of the
   // module for import binding and export lookup; a hit copies nothing.
   // Never returns null — check (*result).ok. Failed compiles are not cached.
-  CompiledModuleRef Compile(const Module& module, const CodegenOptions& options);
+  // *was_hit (optional) reports whether this call was served from the cache
+  // (including joining another thread's in-flight compile) — per-call truth,
+  // unlike diffing Stats() which races under concurrency.
+  CompiledModuleRef Compile(const Module& module, const CodegenOptions& options,
+                            bool* was_hit = nullptr);
 
   // Builds spec.build() and compiles it.
-  CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options);
+  CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options,
+                                    bool* was_hit = nullptr);
 
   // Profile-guided options for `spec` via the engine's TieringPolicy.
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
                         std::string* error);
 
   EngineStats Stats() const;
-  void ResetStats() {
-    stats_ = EngineStats();
-    tiering_.ResetWarmupCount();
-  }
+  void ResetStats();
   size_t CacheSize() const { return cache_.size(); }
   void ClearCache() { cache_.Clear(); }
 
@@ -137,10 +222,23 @@ class Engine {
   TieringPolicy& tiering() { return tiering_; }
 
  private:
+  // One compile, bypassing the cache: validation + backend + stats.
+  CompiledModuleRef CompileUncached(const Module& module, uint64_t module_hash,
+                                    const CodegenOptions& options, uint64_t fingerprint);
+  static void AddSeconds(std::atomic<uint64_t>* nanos, double seconds) {
+    nanos->fetch_add(static_cast<uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+  }
+
   EngineConfig config_;
   TieringPolicy tiering_;
   CodeCache cache_;
-  EngineStats stats_;
+
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> compiles_{0};
+  std::atomic<uint64_t> compile_joins_{0};
+  std::atomic<uint64_t> compile_nanos_{0};
+  std::atomic<uint64_t> saved_nanos_{0};
 };
 
 // Per-instance execution parameters.
@@ -164,9 +262,14 @@ struct RunOutcome {
 };
 
 class Instance;
+struct RunRequest;
+struct BatchReport;
 
 // One Browsix kernel + VFS. Instances created from the same Session share
 // the filesystem; Reset() replaces the kernel so no staged file survives.
+// A Session is deliberately NOT thread-safe: it is the unit of per-worker
+// state. Give each thread its own Session (ExecutorPool does exactly that);
+// the Engine behind them is safely shared.
 class Session {
  public:
   explicit Session(Engine* engine);
@@ -185,6 +288,11 @@ class Session {
   std::unique_ptr<Instance> Instantiate(CompiledModuleRef code,
                                         InstanceOptions options = InstanceOptions(),
                                         std::string* error = nullptr);
+
+  // Executes `requests` on THIS session, serially, with Reset() isolation
+  // between runs, and aggregates per-run counters into a BatchReport — the
+  // single-worker degenerate case of ExecutorPool::Run (src/engine/executor.h).
+  BatchReport RunBatch(const std::vector<RunRequest>& requests);
 
   Engine* engine() { return engine_; }
 

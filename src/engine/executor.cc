@@ -1,0 +1,209 @@
+#include "src/engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace nsf {
+namespace engine {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
+                              size_t request_index, int rep, int worker,
+                              bool reset_first) {
+  BatchRunResult r;
+  r.request_index = request_index;
+  r.rep = rep;
+  r.worker = worker;
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Isolation: every run starts from a fresh kernel + VFS, so nothing staged
+  // by a previous run on this worker is visible.
+  if (reset_first) {
+    session->Reset();
+  }
+
+  bool was_hit = false;
+  CompiledModuleRef code = session->engine()->CompileWorkload(request.spec, request.options,
+                                                              &was_hit);
+  r.cache_hit = was_hit;
+  if (!code->ok) {
+    r.error = code->error;
+    r.wall_seconds = SecondsSince(t0);
+    return r;
+  }
+  r.compile = code->stats();
+
+  if (request.spec.setup) {
+    request.spec.setup(session->kernel());
+  }
+  InstanceOptions iopts;
+  iopts.argv = request.spec.argv;
+  iopts.entry = request.spec.entry;
+  iopts.fuel = request.spec.fuel;
+  std::string err;
+  std::unique_ptr<Instance> instance = session->Instantiate(code, std::move(iopts), &err);
+  if (instance == nullptr) {
+    r.error = err;
+    r.wall_seconds = SecondsSince(t0);
+    return r;
+  }
+  r.outcome = instance->Run();
+  if (!r.outcome.ok) {
+    r.error = request.spec.name + " trapped: " + r.outcome.error;
+    r.wall_seconds = SecondsSince(t0);
+    return r;
+  }
+  if (request.collect_outputs) {
+    for (const std::string& path : request.spec.output_files) {
+      std::vector<uint8_t> bytes;
+      session->fs().ReadFile(path, &bytes);
+      r.outputs.push_back({path, std::move(bytes)});
+    }
+  }
+  r.ok = true;
+  r.wall_seconds = SecondsSince(t0);
+  return r;
+}
+
+void FinalizeBatchReport(BatchReport* report) {
+  report->ok_runs = 0;
+  report->failed_runs = 0;
+  report->sim_seconds_total = 0;
+  report->worker_sim_seconds.assign(std::max(report->workers, 1), 0.0);
+  for (const BatchRunResult& r : report->runs) {
+    if (r.ok) {
+      report->ok_runs++;
+    } else {
+      report->failed_runs++;
+    }
+    report->sim_seconds_total += r.outcome.seconds;
+    if (r.worker >= 0 && r.worker < static_cast<int>(report->worker_sim_seconds.size())) {
+      report->worker_sim_seconds[r.worker] += r.outcome.seconds;
+    }
+  }
+  report->sim_makespan_seconds = 0;
+  for (double s : report->worker_sim_seconds) {
+    report->sim_makespan_seconds = std::max(report->sim_makespan_seconds, s);
+  }
+}
+
+// --- Session::RunBatch (declared in engine.h) ---
+
+BatchReport Session::RunBatch(const std::vector<RunRequest>& requests) {
+  BatchReport report;
+  report.workers = 1;
+  report.stats_before = engine_->Stats();
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests.size(); i++) {
+    for (int rep = 0; rep < requests[i].reps; rep++) {
+      report.runs.push_back(ExecuteRequest(this, requests[i], i, rep, 0));
+    }
+  }
+  report.wall_seconds = SecondsSince(t0);
+  report.stats_after = engine_->Stats();
+  FinalizeBatchReport(&report);
+  return report;
+}
+
+// --- ExecutorPool ---
+
+ExecutorPool::ExecutorPool(Engine* engine, int workers) : engine_(engine) {
+  int n = std::max(1, workers);
+  threads_.reserve(n);
+  for (int i = 0; i < n; i++) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ExecutorPool::~ExecutorPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ExecutorPool::WorkerMain(int worker_index) {
+  // The worker's Session lives on its own thread for the pool's lifetime;
+  // ExecuteRequest Reset()s it before every job.
+  Session session(engine_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return shutdown_ || next_job_ < jobs_.size(); });
+      if (shutdown_ && next_job_ >= jobs_.size()) {
+        return;
+      }
+      job = jobs_[next_job_++];
+    }
+    BatchRunResult result =
+        ExecuteRequest(&session, *job.request, job.request_index, job.rep, worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      (*results_)[job.slot] = std::move(result);
+      jobs_done_++;
+      if (jobs_done_ == jobs_.size()) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  BatchReport report;
+  report.workers = workers();
+  report.stats_before = engine_->Stats();
+
+  size_t total_jobs = 0;
+  for (const RunRequest& r : requests) {
+    total_jobs += static_cast<size_t>(std::max(0, r.reps));
+  }
+  report.runs.resize(total_jobs);
+
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.clear();
+    jobs_.reserve(total_jobs);
+    size_t slot = 0;
+    for (size_t i = 0; i < requests.size(); i++) {
+      for (int rep = 0; rep < requests[i].reps; rep++) {
+        jobs_.push_back(Job{&requests[i], i, rep, slot++});
+      }
+    }
+    next_job_ = 0;
+    jobs_done_ = 0;
+    results_ = &report.runs;
+  }
+  cv_work_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return jobs_done_ == jobs_.size(); });
+    results_ = nullptr;
+    jobs_.clear();
+    next_job_ = 0;
+    jobs_done_ = 0;
+  }
+  report.wall_seconds = SecondsSince(t0);
+  report.stats_after = engine_->Stats();
+  FinalizeBatchReport(&report);
+  return report;
+}
+
+}  // namespace engine
+}  // namespace nsf

@@ -1,0 +1,142 @@
+// Parallel batch execution over one shared Engine: the "serving-style"
+// layer the ROADMAP's heavy-traffic north star asks for.
+//
+//   RunRequest   — one (workload, options) pair to execute `reps` times.
+//   ExecutorPool — a fixed pool of worker threads, each owning its own
+//                  Session (kernel + VFS), pulling jobs off a shared queue.
+//                  The Engine behind the pool is shared, so every compile
+//                  goes through the sharded code cache: N workers requesting
+//                  the same (module, options) key trigger exactly one
+//                  backend compile.
+//   BatchReport  — per-run outcomes plus aggregates: ok/failed counts,
+//                  total simulated seconds, the schedule's simulated
+//                  makespan (max over workers), and engine-stats snapshots
+//                  bracketing the batch.
+//
+// Isolation contract: a worker Reset()s its Session before every run, so no
+// staged file, fd, or kernel accounting leaks between runs — whether two
+// runs land on the same worker or different ones. Machine/heap state is
+// fresh per run by Instance construction.
+#ifndef SRC_ENGINE_EXECUTOR_H_
+#define SRC_ENGINE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/workload.h"
+
+namespace nsf {
+namespace engine {
+
+// One unit of batch work: run `spec` under `options`, `reps` times.
+struct RunRequest {
+  WorkloadSpec spec;
+  CodegenOptions options;
+  int reps = 1;
+  bool collect_outputs = true;  // read spec.output_files back after each run
+};
+
+// One run's result inside a batch (request `request_index`, repetition `rep`,
+// executed by worker `worker`).
+struct BatchRunResult {
+  size_t request_index = 0;
+  int rep = 0;
+  int worker = 0;
+  bool ok = false;
+  bool cache_hit = false;  // compile was served from the engine's code cache
+  std::string error;
+  RunOutcome outcome;
+  CompileStats compile;  // stats of the (possibly cached) compiled module
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> outputs;
+  double wall_seconds = 0;  // host wall clock for this run (incl. cache fetch)
+};
+
+// Aggregated result of a batch. `sim_makespan_seconds` is the simulated
+// finish time of the schedule the pool actually produced: the max over
+// workers of the simulated seconds each worker executed. Throughput in the
+// simulation's time domain is runs / sim_makespan_seconds; with one worker
+// the makespan equals sim_seconds_total.
+struct BatchReport {
+  int workers = 0;
+  std::vector<BatchRunResult> runs;  // ordered by (request_index, rep)
+  uint64_t ok_runs = 0;
+  uint64_t failed_runs = 0;
+  double wall_seconds = 0;        // host wall clock for the whole batch
+  double sim_seconds_total = 0;   // sum of simulated seconds across runs
+  double sim_makespan_seconds = 0;
+  std::vector<double> worker_sim_seconds;  // indexed by worker
+  EngineStats stats_before;  // engine snapshot when the batch started
+  EngineStats stats_after;   // engine snapshot when the batch finished
+
+  bool all_ok() const { return failed_runs == 0; }
+};
+
+// Executes one request-rep on `session`: Reset() for isolation, stage the
+// workload's inputs, compile-or-fetch through the session's engine,
+// instantiate, run, and optionally read the output files back. Shared by
+// Session::RunBatch (serial) and ExecutorPool (parallel). Pass
+// reset_first=false only when `session` is freshly constructed (its kernel
+// is already pristine, so the Reset would just rebuild it).
+BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
+                              size_t request_index, int rep, int worker,
+                              bool reset_first = true);
+
+// Fixed-size worker pool over one Engine. Construction spawns the workers;
+// each builds its Session on its own thread and keeps it across batches.
+// Run() may be called repeatedly (batches are serialized); the pool shuts
+// down on destruction.
+class ExecutorPool {
+ public:
+  ExecutorPool(Engine* engine, int workers);
+  ~ExecutorPool();
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  // Expands `requests` into request×rep jobs, executes them across the
+  // workers (greedy queue order: a free worker takes the next job), blocks
+  // until every job finished, and aggregates the report.
+  BatchReport Run(const std::vector<RunRequest>& requests);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+  Engine* engine() { return engine_; }
+
+ private:
+  struct Job {
+    const RunRequest* request = nullptr;
+    size_t request_index = 0;
+    int rep = 0;
+    size_t slot = 0;  // index into the results vector
+  };
+
+  void WorkerMain(int worker_index);
+
+  Engine* engine_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;  // workers: "a job or shutdown is ready"
+  std::condition_variable cv_done_;  // Run(): "all jobs of this batch done"
+  std::vector<Job> jobs_;
+  size_t next_job_ = 0;
+  size_t jobs_done_ = 0;
+  bool shutdown_ = false;
+  std::vector<BatchRunResult>* results_ = nullptr;  // slot-indexed, preallocated
+
+  std::mutex run_mu_;  // serializes concurrent Run() callers
+  std::vector<std::thread> threads_;
+};
+
+// Fills the aggregate fields of `report` (ok/failed counts, sim totals,
+// per-worker sim seconds, makespan) from report->runs and report->workers.
+void FinalizeBatchReport(BatchReport* report);
+
+}  // namespace engine
+}  // namespace nsf
+
+#endif  // SRC_ENGINE_EXECUTOR_H_

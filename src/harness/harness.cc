@@ -33,79 +33,144 @@ BenchHarness::BenchHarness()
 
 BenchHarness::BenchHarness(engine::Engine* engine) : engine_(engine) {}
 
-RunResult BenchHarness::Measure(const WorkloadSpec& spec, const CodegenOptions& options) {
-  RunResult result;
-  uint64_t hits_before = engine_->Stats().cache_hits;
-  engine::CompiledModuleRef code = engine_->CompileWorkload(spec, options);
-  if (!code->ok) {
-    result.error = code->error;
-    return result;
-  }
-  result.compile = code->stats();
-  result.cache_hit = engine_->Stats().cache_hits > hits_before;
+namespace {
 
-  engine::Session session(engine_);
-  if (spec.setup) {
-    spec.setup(session.kernel());
+// Converts an engine-level batch run into the harness's RunResult shape.
+// The single place outcome fields are copied — Measure and MeasureBatch both
+// funnel through it.
+RunResult FromBatchRun(const engine::BatchRunResult& run) {
+  RunResult r;
+  r.ok = run.ok;
+  r.error = run.error;
+  r.cache_hit = run.cache_hit;
+  r.compile = run.compile;
+  if (run.ok) {
+    r.exit_code = run.outcome.exit_code;
+    r.counters = run.outcome.counters;
+    r.seconds = run.outcome.seconds;
+    r.browsix_seconds = run.outcome.browsix_seconds;
+    r.syscalls = run.outcome.syscalls;
+    r.stdout_text = run.outcome.stdout_text;
+    r.outputs = run.outputs;
   }
-  engine::InstanceOptions iopts;
-  iopts.argv = spec.argv;
-  iopts.entry = spec.entry;
-  iopts.fuel = spec.fuel;
-  std::string err;
-  std::unique_ptr<engine::Instance> instance =
-      session.Instantiate(code, std::move(iopts), &err);
-  if (instance == nullptr) {
-    result.error = err;
-    return result;
-  }
-  engine::RunOutcome out = instance->Run();
-  if (!out.ok) {
-    result.error = StrFormat("%s trapped: %s", spec.name.c_str(), out.error.c_str());
-    return result;
-  }
-  result.ok = true;
-  result.exit_code = out.exit_code;
-  result.counters = out.counters;
-  result.seconds = out.seconds;
-  result.browsix_seconds = out.browsix_seconds;
-  result.syscalls = out.syscalls;
-  result.stdout_text = std::move(out.stdout_text);
-  for (const std::string& path : spec.output_files) {
-    std::vector<uint8_t> bytes;
-    session.fs().ReadFile(path, &bytes);
-    result.outputs.push_back({path, std::move(bytes)});
-  }
-  return result;
+  return r;
 }
 
-RunResult BenchHarness::MeasureValidated(const WorkloadSpec& spec,
-                                         const CodegenOptions& options) {
+}  // namespace
+
+RunResult BenchHarness::Measure(const WorkloadSpec& spec, const CodegenOptions& options) {
+  // One run through the engine-level pipeline (the same ExecuteRequest the
+  // batch path uses) on a throwaway single-use Session.
+  engine::RunRequest request;
+  request.spec = spec;
+  request.options = options;
+  engine::Session session(engine_);
+  return FromBatchRun(
+      engine::ExecuteRequest(&session, request, 0, 0, 0, /*reset_first=*/false));
+}
+
+const BenchHarness::Outputs* BenchHarness::EnsureReference(const WorkloadSpec& spec,
+                                                           std::string* error) {
   // Reference outputs come from the native profile (SPEC's reference run).
+  // The lock spans the reference run so concurrent callers compute it once;
+  // map nodes are stable, so returned pointers survive later insertions.
+  std::lock_guard<std::mutex> lock(reference_mu_);
   auto it = reference_outputs_.find(spec.name);
   if (it == reference_outputs_.end()) {
     RunResult ref = Measure(spec, CodegenOptions::NativeClang());
     if (!ref.ok) {
-      RunResult fail;
-      fail.error = "reference run failed: " + ref.error;
-      return fail;
+      *error = "reference run failed: " + ref.error;
+      return nullptr;
     }
     it = reference_outputs_.emplace(spec.name, std::move(ref.outputs)).first;
+  }
+  return &it->second;
+}
+
+namespace {
+
+// cmp `outputs` against the reference bytes, path by path.
+bool OutputsMatch(const std::vector<std::pair<std::string, std::vector<uint8_t>>>& outputs,
+                  const std::vector<std::pair<std::string, std::vector<uint8_t>>>& reference) {
+  if (outputs.size() != reference.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < outputs.size(); i++) {
+    if (outputs[i].first != reference[i].first || outputs[i].second != reference[i].second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RunResult BenchHarness::MeasureValidated(const WorkloadSpec& spec,
+                                         const CodegenOptions& options) {
+  std::string ref_error;
+  const Outputs* reference = EnsureReference(spec, &ref_error);
+  if (reference == nullptr) {
+    RunResult fail;
+    fail.error = ref_error;
+    return fail;
   }
   RunResult r = Measure(spec, options);
   if (!r.ok) {
     return r;
   }
-  // cmp each output file against the reference bytes.
-  r.validated = r.outputs.size() == it->second.size();
-  for (size_t i = 0; r.validated && i < r.outputs.size(); i++) {
-    r.validated = r.outputs[i].first == it->second[i].first &&
-                  r.outputs[i].second == it->second[i].second;
-  }
+  r.validated = OutputsMatch(r.outputs, *reference);
   if (!r.validated) {
     r.error = spec.name + ": output mismatch vs reference";
   }
   return r;
+}
+
+BenchHarness::BatchMeasure BenchHarness::MeasureBatch(
+    const std::vector<engine::RunRequest>& requests, int workers, bool validate) {
+  BatchMeasure out;
+  // References first, serially: the parallel phase then only reads the cache.
+  std::vector<const Outputs*> references(requests.size(), nullptr);
+  if (validate) {
+    for (size_t i = 0; i < requests.size(); i++) {
+      std::string ref_error;
+      references[i] = EnsureReference(requests[i].spec, &ref_error);
+      if (references[i] == nullptr) {
+        RunResult fail;
+        fail.error = ref_error;
+        out.results.assign(1, std::move(fail));
+        return out;
+      }
+    }
+  }
+
+  // Validation needs the output files back regardless of what the caller set
+  // on the requests — otherwise every run would "mismatch" an empty vector.
+  std::vector<engine::RunRequest> to_run = requests;
+  if (validate) {
+    for (engine::RunRequest& r : to_run) {
+      r.collect_outputs = true;
+    }
+  }
+
+  engine::ExecutorPool pool(engine_, workers);
+  out.report = pool.Run(to_run);
+
+  out.all_ok = true;
+  out.results.reserve(out.report.runs.size());
+  for (const engine::BatchRunResult& run : out.report.runs) {
+    RunResult r = FromBatchRun(run);
+    if (r.ok && validate) {
+      r.validated = OutputsMatch(run.outputs, *references[run.request_index]);
+      if (!r.validated) {
+        r.error = requests[run.request_index].spec.name + ": output mismatch vs reference";
+      }
+    }
+    if (!r.ok || (validate && !r.validated)) {
+      out.all_ok = false;
+    }
+    out.results.push_back(std::move(r));
+  }
+  return out;
 }
 
 Sample BenchHarness::JitteredSeconds(const WorkloadSpec& spec, const CodegenOptions& options,

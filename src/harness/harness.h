@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/codegen/codegen.h"
 #include "src/engine/engine.h"
+#include "src/engine/executor.h"
 #include "src/engine/workload.h"
 #include "src/machine/machine.h"
 
@@ -64,35 +66,53 @@ class BenchHarness {
   // Measure + output validation against the reference (native-profile) run.
   RunResult MeasureValidated(const WorkloadSpec& spec, const CodegenOptions& options);
 
+  // Result of MeasureBatch: the engine-level report plus one RunResult per
+  // run in report.runs order (request-index major, then rep). Exception: when
+  // a reference run fails during validation, the batch never executes —
+  // all_ok is false, report is empty (workers=0, no runs), and results holds
+  // a single RunResult whose error names the failed reference.
+  struct BatchMeasure {
+    engine::BatchReport report;
+    std::vector<RunResult> results;
+    bool all_ok = false;  // every run ok (and validated, when validating)
+  };
+
+  // Executes `requests` across `workers` parallel Sessions (ExecutorPool over
+  // this harness's engine) and converts every run into a RunResult. With
+  // `validate`, reference (native-profile) outputs are computed serially
+  // first — once per distinct workload name, cached like MeasureValidated —
+  // and every parallel run's outputs are cmp'd against them.
+  BatchMeasure MeasureBatch(const std::vector<engine::RunRequest>& requests, int workers,
+                            bool validate = true);
+
   // Seconds with jitter samples for table rendering: a documented, seeded
   // ±0.5% jitter model produces the reported mean ± stderr (the simulator
   // itself is deterministic).
   Sample JitteredSeconds(const WorkloadSpec& spec, const CodegenOptions& options, double seconds,
                          int reps = 5) const;
 
-  // The reference (native) outputs are cached per workload name.
-  void ClearReferenceCache() { reference_outputs_.clear(); }
+  // The reference (native) outputs are cached per workload name. Must not be
+  // called while a Measure*/MeasureBatch on another thread is in flight: the
+  // batch path holds pointers into the cache for its duration.
+  void ClearReferenceCache() {
+    std::lock_guard<std::mutex> lock(reference_mu_);
+    reference_outputs_.clear();
+  }
 
   engine::Engine& engine() { return *engine_; }
 
-#ifdef NSF_DEPRECATED_HARNESS_API
-  // Pre-Engine names, kept as shims for one PR. Configure with
-  // -DNSF_DEPRECATED_HARNESS_API=OFF to prove no caller remains.
-  [[deprecated("use Measure()")]] RunResult RunOnce(const WorkloadSpec& spec,
-                                                    const CodegenOptions& options) {
-    return Measure(spec, options);
-  }
-  [[deprecated("use MeasureValidated()")]] RunResult RunValidated(
-      const WorkloadSpec& spec, const CodegenOptions& options) {
-    return MeasureValidated(spec, options);
-  }
-#endif
-
  private:
+  using Outputs = std::vector<std::pair<std::string, std::vector<uint8_t>>>;
+
+  // Computes (or fetches) the cached reference outputs for `spec`. Returns
+  // null and sets *error when the reference run fails. The returned pointer
+  // stays valid for the harness's lifetime (node-stable map).
+  const Outputs* EnsureReference(const WorkloadSpec& spec, std::string* error);
+
   std::unique_ptr<engine::Engine> owned_engine_;
   engine::Engine* engine_;
-  std::map<std::string, std::vector<std::pair<std::string, std::vector<uint8_t>>>>
-      reference_outputs_;
+  std::mutex reference_mu_;  // guards reference_outputs_
+  std::map<std::string, Outputs> reference_outputs_;
 };
 
 // --- Rendering helpers shared by the bench binaries ---

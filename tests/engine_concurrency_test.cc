@@ -1,0 +1,387 @@
+// Concurrency suite for the thread-safe Engine and the ExecutorPool batch
+// layer: many threads hammering one Engine's sharded code cache (identical
+// and distinct modules), counter coherence (hits + misses == Compile calls,
+// exactly one backend compile per unique key), tier-up warm-up dedup, and
+// Session::Reset isolation when instances run on different pool workers
+// (no file, fd, or heap state may leak between runs).
+//
+// Runs under the CI ThreadSanitizer job (-DNSF_TSAN=ON): a data race in any
+// of these paths fails the pipeline.
+#include "src/engine/engine.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/engine/executor.h"
+#include "src/kernel/kernel.h"
+#include "src/runtime/wasmlib.h"
+#include "src/support/rng.h"
+#include "src/wasm/encoder.h"
+
+namespace nsf {
+namespace {
+
+constexpr int kThreads = 8;
+
+// sum_squares(n) with an additive bias: bias-distinct modules have distinct
+// encoded bytes, hence distinct content hashes.
+Module SumSquaresModule(int32_t bias = 0) {
+  ModuleBuilder mb("sum_squares");
+  auto& f = mb.AddFunction("sum_squares", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.I32Const(bias).LocalSet(acc);
+  f.ForI32Dyn(i, 1, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).LocalGet(i).I32Mul().I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  return mb.Build();
+}
+
+// main(): creates /msg.txt and writes `text` into it.
+Module WriterModule(const std::string& text) {
+  ModuleBuilder mb("writer");
+  mb.AddMemory(16);
+  WasmLib lib = AddWasmLib(&mb, 1 << 20);
+  mb.AddData(256, std::string("/msg.txt"));
+  mb.AddData(320, text);
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t fd = f.AddLocal(ValType::kI32);
+  f.I32Const(256).I32Const(kO_WRONLY | kO_CREAT | kO_TRUNC).Call(lib.sys.open).LocalSet(fd);
+  f.LocalGet(fd).I32Const(320).Call(lib.write_cstr);
+  f.LocalGet(fd).Call(lib.sys.close).Drop();
+  f.I32Const(0);
+  return mb.Build();
+}
+
+// main(): opens /msg.txt and returns its size, or -1 when absent. A reader
+// scheduled after a writer must return -1 if and only if isolation holds.
+Module ReaderModule() {
+  ModuleBuilder mb("reader");
+  mb.AddMemory(16);
+  WasmLib lib = AddWasmLib(&mb, 1 << 20);
+  mb.AddData(256, std::string("/msg.txt"));
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t fd = f.AddLocal(ValType::kI32);
+  uint32_t n = f.AddLocal(ValType::kI32);
+  f.I32Const(256).I32Const(kO_RDONLY).Call(lib.sys.open).LocalSet(fd);
+  f.LocalGet(fd).I32Const(0).I32LtS();
+  f.If([&] { f.I32Const(-1).Return(); });
+  f.LocalGet(fd).Call(lib.sys.fsize).LocalSet(n);
+  f.LocalGet(fd).Call(lib.sys.close).Drop();
+  f.LocalGet(n);
+  return mb.Build();
+}
+
+// main(): returns the heap word at a fixed address, then stores 42 there.
+// On a fresh machine the load is always 0; any nonzero return means a
+// previous run's heap leaked into this one.
+Module HeapProbeModule() {
+  ModuleBuilder mb("heap_probe");
+  mb.AddMemory(16);
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t old = f.AddLocal(ValType::kI32);
+  f.I32Const(4096).I32Load().LocalSet(old);
+  f.I32Const(4096).I32Const(42).I32Store();
+  f.LocalGet(old);
+  return mb.Build();
+}
+
+WorkloadSpec SpecOf(const std::string& name, Module (*build)()) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.build = build;
+  return spec;
+}
+
+TEST(EngineConcurrency, IdenticalModuleCompilesOnce) {
+  engine::Engine eng;
+  Module m = SumSquaresModule();
+  const int kItersPerThread = 16;
+  std::vector<engine::CompiledModuleRef> first_ref(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; i++) {
+        engine::CompiledModuleRef code = eng.Compile(m, CodegenOptions::ChromeV8());
+        if (code == nullptr || !code->ok) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (first_ref[t] == nullptr) {
+          first_ref[t] = code;
+        } else if (first_ref[t].get() != code.get()) {
+          failures.fetch_add(1);  // cache must keep returning the one object
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  // Every thread got the same published CompiledModule.
+  for (int t = 1; t < kThreads; t++) {
+    EXPECT_EQ(first_ref[0].get(), first_ref[t].get());
+  }
+  engine::EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.compiles, 1u);  // exactly one backend compile for the key
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses,
+            static_cast<uint64_t>(kThreads * kItersPerThread));
+  // One leader took the miss; latch joiners and later calls are all hits.
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(eng.CacheSize(), 1u);
+}
+
+TEST(EngineConcurrency, DistinctModulesCompileIndependently) {
+  engine::Engine eng;
+  const int kItersPerThread = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Module m = SumSquaresModule(t + 1);  // one unique module per thread
+      for (int i = 0; i < kItersPerThread; i++) {
+        engine::CompiledModuleRef code = eng.Compile(m, CodegenOptions::FirefoxSM());
+        if (code == nullptr || !code->ok) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  engine::EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.compiles, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.cache_hits, static_cast<uint64_t>(kThreads * (kItersPerThread - 1)));
+  EXPECT_EQ(eng.CacheSize(), static_cast<size_t>(kThreads));
+}
+
+TEST(EngineConcurrency, MixedSharedAndDistinctKeysSumCorrectly) {
+  engine::Engine eng;
+  // A pool of 6 modules x 2 option sets = 12 unique keys, hammered in a
+  // per-thread pseudorandom order.
+  const int kModules = 6;
+  const int kItersPerThread = 48;
+  std::vector<Module> modules;
+  for (int i = 0; i < kModules; i++) {
+    modules.push_back(SumSquaresModule(i * 11));
+  }
+  std::vector<CodegenOptions> options = {CodegenOptions::ChromeV8(),
+                                         CodegenOptions::FirefoxSM()};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x9e3779b9u + t);
+      for (int i = 0; i < kItersPerThread; i++) {
+        const Module& m = modules[rng.Next() % kModules];
+        const CodegenOptions& opts = options[rng.Next() % options.size()];
+        engine::CompiledModuleRef code = eng.Compile(m, opts);
+        if (code == nullptr || !code->ok) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  engine::EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.compiles, static_cast<uint64_t>(kModules * 2));
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses,
+            static_cast<uint64_t>(kThreads * kItersPerThread));
+  // Misses = leaders only; every leader's compile succeeded and was cached.
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(kModules * 2));
+  EXPECT_EQ(eng.CacheSize(), static_cast<size_t>(kModules * 2));
+}
+
+TEST(EngineConcurrency, FailedCompilesAreSharedButNeverCached) {
+  engine::Engine eng;
+  // Invalid module: function body missing entirely.
+  Module broken;
+  broken.types.push_back(FuncType{{}, {ValType::kI32}});
+  Function f;
+  f.type_index = 0;
+  broken.functions.push_back(f);
+
+  const int kItersPerThread = 8;
+  std::atomic<int> wrong_results{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; i++) {
+        engine::CompiledModuleRef code = eng.Compile(broken, CodegenOptions::ChromeV8());
+        if (code == nullptr || code->ok ||
+            code->error.find("module invalid") == std::string::npos) {
+          wrong_results.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(wrong_results.load(), 0);
+  engine::EngineStats stats = eng.Stats();
+  EXPECT_EQ(stats.compiles, 0u);  // validation rejects before the backend
+  EXPECT_EQ(stats.cache_hits, 0u);  // failures never count as cache service
+  EXPECT_EQ(stats.cache_misses, static_cast<uint64_t>(kThreads * kItersPerThread));
+  EXPECT_EQ(eng.CacheSize(), 0u);
+}
+
+TEST(EngineConcurrency, ConcurrentTierUpWarmsUpOnce) {
+  engine::Engine eng;
+  WorkloadSpec spec = SpecOf("warmup_once", [] { return WriterModule("tier"); });
+  std::vector<uint64_t> fingerprints(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::string err;
+      CodegenOptions tiered = eng.TierUp(spec, CodegenOptions::ChromeV8(), &err);
+      fingerprints[t] = tiered.Fingerprint();
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // One interpreter warm-up total: the first caller profiled, the rest found
+  // the cached profile, and everyone derived identical tiered options.
+  EXPECT_EQ(eng.Stats().tier_warmups, 1u);
+  for (int t = 1; t < kThreads; t++) {
+    EXPECT_EQ(fingerprints[0], fingerprints[t]);
+  }
+}
+
+TEST(ExecutorPool, WorkerIsolationNoFileLeaksAcrossRuns) {
+  engine::Engine eng;
+  // Writers stage /msg.txt; readers probe for it. With Reset() before every
+  // run, no reader — same worker or different — may ever observe the file.
+  engine::RunRequest writer;
+  writer.spec = SpecOf("writer", [] { return WriterModule("leak?"); });
+  writer.reps = 8;
+  writer.collect_outputs = false;
+  engine::RunRequest reader;
+  reader.spec = SpecOf("reader", ReaderModule);
+  reader.reps = 8;
+  reader.collect_outputs = false;
+  for (engine::RunRequest* r : {&writer, &reader}) {
+    r->options = CodegenOptions::ChromeV8();
+  }
+
+  engine::ExecutorPool pool(&eng, 4);
+  engine::BatchReport report = pool.Run({writer, reader, writer, reader});
+  ASSERT_TRUE(report.all_ok()) << report.failed_runs << " runs failed";
+  ASSERT_EQ(report.runs.size(), 32u);
+  int readers_seen = 0;
+  for (const engine::BatchRunResult& run : report.runs) {
+    if (run.request_index == 1 || run.request_index == 3) {
+      readers_seen++;
+      EXPECT_EQ(static_cast<int32_t>(run.outcome.exit_code), -1)
+          << "reader on worker " << run.worker << " saw a leaked /msg.txt";
+    }
+  }
+  EXPECT_EQ(readers_seen, 16);
+}
+
+TEST(ExecutorPool, WorkerIsolationNoHeapLeaksAcrossRuns) {
+  engine::Engine eng;
+  engine::RunRequest probe;
+  probe.spec = SpecOf("heap_probe", HeapProbeModule);
+  probe.options = CodegenOptions::ChromeV8();
+  probe.reps = 24;
+  probe.collect_outputs = false;
+
+  engine::ExecutorPool pool(&eng, 4);
+  engine::BatchReport report = pool.Run({probe});
+  ASSERT_TRUE(report.all_ok());
+  ASSERT_EQ(report.runs.size(), 24u);
+  for (const engine::BatchRunResult& run : report.runs) {
+    // Every run gets a zeroed fresh machine: the probe's pre-store load must
+    // never observe the 42 a previous run wrote.
+    EXPECT_EQ(run.outcome.exit_code, 0u) << "heap state leaked into a later run";
+  }
+}
+
+TEST(ExecutorPool, BatchReportAggregatesCountersAndSchedule) {
+  engine::Engine eng;
+  engine::RunRequest writer;
+  writer.spec = SpecOf("writer", [] { return WriterModule("report"); });
+  writer.spec.output_files = {"/msg.txt"};
+  writer.options = CodegenOptions::ChromeV8();
+  writer.reps = 6;
+
+  engine::ExecutorPool pool(&eng, 3);
+  engine::BatchReport report = pool.Run({writer});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.workers, 3);
+  EXPECT_EQ(report.ok_runs, 6u);
+  EXPECT_EQ(report.failed_runs, 0u);
+  EXPECT_EQ(report.worker_sim_seconds.size(), 3u);
+
+  double sum = 0;
+  double max_worker = 0;
+  for (double s : report.worker_sim_seconds) {
+    sum += s;
+    max_worker = std::max(max_worker, s);
+  }
+  EXPECT_NEAR(sum, report.sim_seconds_total, 1e-12);
+  EXPECT_NEAR(max_worker, report.sim_makespan_seconds, 1e-12);
+  EXPECT_GT(report.sim_seconds_total, 0.0);
+  EXPECT_GE(report.wall_seconds, 0.0);
+
+  // Output collection worked on worker sessions: every run captured /msg.txt.
+  for (const engine::BatchRunResult& run : report.runs) {
+    ASSERT_EQ(run.outputs.size(), 1u);
+    EXPECT_EQ(run.outputs[0].first, "/msg.txt");
+    EXPECT_EQ(std::string(run.outputs[0].second.begin(), run.outputs[0].second.end()),
+              "report");
+  }
+
+  // Engine-side accounting across the batch: one compile, the rest hits.
+  engine::EngineStats delta = report.stats_after;  // engine was fresh
+  EXPECT_EQ(delta.compiles, 1u);
+  EXPECT_EQ(delta.cache_hits + delta.cache_misses, 6u);
+}
+
+TEST(Session, RunBatchSerialMatchesPoolSemantics) {
+  engine::Engine eng;
+  engine::RunRequest writer;
+  writer.spec = SpecOf("writer", [] { return WriterModule("serial"); });
+  writer.options = CodegenOptions::ChromeV8();
+  writer.reps = 2;
+  engine::RunRequest reader;
+  reader.spec = SpecOf("reader", ReaderModule);
+  reader.options = CodegenOptions::ChromeV8();
+  reader.reps = 2;
+
+  engine::Session session(&eng);
+  engine::BatchReport report = session.RunBatch({writer, reader});
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.workers, 1);
+  ASSERT_EQ(report.runs.size(), 4u);
+  ASSERT_EQ(report.worker_sim_seconds.size(), 1u);
+  EXPECT_NEAR(report.sim_makespan_seconds, report.sim_seconds_total, 1e-12);
+  // Reset() isolation between serial runs: the readers never see /msg.txt.
+  for (const engine::BatchRunResult& run : report.runs) {
+    EXPECT_EQ(run.worker, 0);
+    if (run.request_index == 1) {
+      EXPECT_EQ(static_cast<int32_t>(run.outcome.exit_code), -1);
+    }
+  }
+  // RunBatch's Reset() also dropped anything staged before the batch.
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(session.fs().ReadFile("/msg.txt", &bytes));
+}
+
+}  // namespace
+}  // namespace nsf
