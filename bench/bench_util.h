@@ -163,14 +163,22 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       "{\"cache_hits\":%llu,\"cache_misses\":%llu,\"compiles\":%llu,"
       "\"compile_joins\":%llu,\"tier_warmups\":%llu,\"lock_waits\":%llu,"
       "\"lock_wait_seconds\":%.6f,\"compile_seconds\":%.6f,"
-      "\"compile_seconds_saved\":%.6f}",
+      "\"compile_seconds_saved\":%.6f,"
+      "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_evictions\":%llu,"
+      "\"disk_load_failures\":%llu,\"disk_stores\":%llu,"
+      "\"deserialize_seconds\":%.6f,\"serialize_seconds\":%.6f}",
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.compiles),
       static_cast<unsigned long long>(s.compile_joins),
       static_cast<unsigned long long>(s.tier_warmups),
       static_cast<unsigned long long>(s.lock_waits), s.lock_wait_seconds, s.compile_seconds,
-      s.compile_seconds_saved);
+      s.compile_seconds_saved, static_cast<unsigned long long>(s.disk_hits),
+      static_cast<unsigned long long>(s.disk_misses),
+      static_cast<unsigned long long>(s.disk_evictions),
+      static_cast<unsigned long long>(s.disk_load_failures),
+      static_cast<unsigned long long>(s.disk_stores), s.deserialize_seconds,
+      s.serialize_seconds);
 }
 
 // Writes BENCH_<name>.json in the working directory. `json` must be a JSON

@@ -1,0 +1,201 @@
+// Persistence benchmark for the two-level code cache: quantifies the
+// warm-start win of serialized CompiledModule artifacts.
+//
+// Three phases against one cache directory (NSF_CACHE_DIR if exported, else a
+// private directory under the working dir, wiped first for a true cold start):
+//
+//   cold  — a fresh Engine compiles the PolyBench suite under both JIT
+//           profiles: every key is a backend compile plus a disk store.
+//   warm  — a SECOND fresh Engine (fresh memory tier — the stand-in for a new
+//           process; the CI warm-cache job proves the literal second process)
+//           runs the same suite: every key must deserialize from disk with
+//           ZERO backend compiles, and deserialization must be cheaper than
+//           the compiles it replaced.
+//   evict — a third Engine with a deliberately tiny disk budget compiles the
+//           suite; the LRU bound must hold and evictions must be reported.
+//
+// Exit status asserts the warm-start acceptance criteria: warm compiles == 0,
+// warm disk_hits == unique keys, identical run results cold vs warm, and
+// deserialize_seconds < the compile seconds saved.
+#include <filesystem>
+
+#include "bench/bench_util.h"
+
+using namespace nsf;
+
+namespace {
+
+struct PhaseResult {
+  engine::EngineStats stats;
+  double sim_seconds_total = 0;
+  uint64_t ok_runs = 0;
+  uint64_t runs = 0;
+};
+
+PhaseResult RunSuiteOnce(engine::Engine& eng, const std::vector<engine::RunRequest>& requests,
+                         std::vector<double>* per_run_seconds) {
+  PhaseResult out;
+  engine::Session session(&eng);
+  engine::BatchReport report = session.RunBatch(requests);
+  out.stats = eng.Stats();
+  out.sim_seconds_total = report.sim_seconds_total;
+  out.ok_runs = report.ok_runs;
+  out.runs = report.runs.size();
+  if (per_run_seconds != nullptr) {
+    for (const engine::BatchRunResult& r : report.runs) {
+      per_run_seconds->push_back(r.outcome.seconds);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printf("== Engine persistence: artifact serialization + disk code cache ==\n\n");
+
+  const char* env_dir = std::getenv("NSF_CACHE_DIR");
+  std::string dir = env_dir != nullptr ? std::string(env_dir) : "nsf-persist-cache";
+  if (env_dir == nullptr) {
+    // Private directory: wipe for a genuinely cold first phase. An exported
+    // NSF_CACHE_DIR is left intact — then "cold" may itself be warm, which
+    // the CI warm-cache job exploits on its second invocation.
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  std::vector<engine::RunRequest> requests;
+  for (const WorkloadSpec& spec : AllPolybench()) {
+    for (const CodegenOptions& profile :
+         {CodegenOptions::ChromeV8(), CodegenOptions::FirefoxSM()}) {
+      engine::RunRequest req;
+      req.spec = spec;
+      req.options = profile;
+      req.reps = 1;
+      req.collect_outputs = false;
+      requests.push_back(std::move(req));
+    }
+  }
+  const size_t keys = requests.size();
+  bool failed = false;
+
+  engine::EngineConfig config;
+  config.cache_dir = dir;
+
+  // --- Phase 1: cold (fresh engine, empty or ambient dir) ---
+  fprintf(stderr, "cold phase: %zu keys into %s...\n", keys, dir.c_str());
+  std::vector<double> cold_seconds;
+  engine::Engine cold_engine(config);
+  PhaseResult cold = RunSuiteOnce(cold_engine, requests, &cold_seconds);
+  if (cold.ok_runs != cold.runs) {
+    fprintf(stderr, "!! cold phase: %llu/%llu runs failed\n",
+            (unsigned long long)(cold.runs - cold.ok_runs), (unsigned long long)cold.runs);
+    failed = true;
+  }
+
+  // --- Phase 2: warm (fresh engine + memory tier, same dir) ---
+  fprintf(stderr, "warm phase: fresh engine over the same cache dir...\n");
+  std::vector<double> warm_seconds;
+  engine::Engine warm_engine(config);
+  PhaseResult warm = RunSuiteOnce(warm_engine, requests, &warm_seconds);
+  if (warm.ok_runs != warm.runs) {
+    fprintf(stderr, "!! warm phase: %llu/%llu runs failed\n",
+            (unsigned long long)(warm.runs - warm.ok_runs), (unsigned long long)warm.runs);
+    failed = true;
+  }
+  if (warm.stats.compiles != 0) {
+    fprintf(stderr, "!! warm engine still performed %llu backend compiles\n",
+            (unsigned long long)warm.stats.compiles);
+    failed = true;
+  }
+  if (warm.stats.disk_hits != keys) {
+    fprintf(stderr, "!! warm engine loaded %llu artifacts for %zu keys\n",
+            (unsigned long long)warm.stats.disk_hits, keys);
+    failed = true;
+  }
+  // Simulated results must be bit-identical whether code was compiled or
+  // deserialized — the artifact really is the compile's product.
+  if (warm_seconds != cold_seconds) {
+    fprintf(stderr, "!! deserialized code produced different simulated timings\n");
+    failed = true;
+  }
+  double compile_cost = cold.stats.compile_seconds;
+  double warm_cost = warm.stats.deserialize_seconds;
+  if (warm_cost >= compile_cost && compile_cost > 0) {
+    fprintf(stderr, "!! warm start not cheaper: %.3fs deserializing vs %.3fs compiling\n",
+            warm_cost, compile_cost);
+    failed = true;
+  }
+  double warm_speedup = warm_cost > 0 ? compile_cost / warm_cost : 0;
+
+  // --- Phase 3: eviction under a tiny disk budget ---
+  // Budget for roughly a quarter of the artifacts: stores must evict LRU
+  // files to fit and the directory must respect the bound afterwards.
+  uint64_t dir_bytes_unbounded = cold_engine.cache().disk().DirSizeBytes();
+  engine::EngineConfig tiny = config;
+  tiny.cache_dir = dir + "-evict";
+  tiny.disk_cache_max_bytes = dir_bytes_unbounded / 4 + 1;
+  std::error_code ec;
+  std::filesystem::remove_all(tiny.cache_dir, ec);
+  fprintf(stderr, "evict phase: %zu keys into a %llu-byte budget...\n", keys,
+          (unsigned long long)tiny.disk_cache_max_bytes);
+  engine::Engine tiny_engine(tiny);
+  PhaseResult evict = RunSuiteOnce(tiny_engine, requests, nullptr);
+  uint64_t evict_dir_bytes = tiny_engine.cache().disk().DirSizeBytes();
+  if (evict.stats.disk_evictions == 0) {
+    fprintf(stderr, "!! tiny-budget engine reported no evictions\n");
+    failed = true;
+  }
+  if (evict_dir_bytes > tiny.disk_cache_max_bytes) {
+    fprintf(stderr, "!! eviction failed to enforce the bound: %llu bytes > %llu budget\n",
+            (unsigned long long)evict_dir_bytes,
+            (unsigned long long)tiny.disk_cache_max_bytes);
+    failed = true;
+  }
+  std::filesystem::remove_all(tiny.cache_dir, ec);
+
+  std::vector<std::vector<std::string>> table = {
+      {"phase", "backend compiles", "disk hits", "disk stores", "evictions", "startup cost"}};
+  table.push_back({"cold", StrFormat("%llu", (unsigned long long)cold.stats.compiles),
+                   StrFormat("%llu", (unsigned long long)cold.stats.disk_hits),
+                   StrFormat("%llu", (unsigned long long)cold.stats.disk_stores), "0",
+                   StrFormat("%.3fs compile", compile_cost)});
+  table.push_back({"warm", StrFormat("%llu", (unsigned long long)warm.stats.compiles),
+                   StrFormat("%llu", (unsigned long long)warm.stats.disk_hits),
+                   StrFormat("%llu", (unsigned long long)warm.stats.disk_stores), "0",
+                   StrFormat("%.3fs deserialize", warm_cost)});
+  table.push_back({"evict", StrFormat("%llu", (unsigned long long)evict.stats.compiles),
+                   StrFormat("%llu", (unsigned long long)evict.stats.disk_hits),
+                   StrFormat("%llu", (unsigned long long)evict.stats.disk_stores),
+                   StrFormat("%llu", (unsigned long long)evict.stats.disk_evictions),
+                   StrFormat("%.3fs compile", evict.stats.compile_seconds)});
+  printf("%s\n", RenderTable(table).c_str());
+  printf("warm start: %.3fs of backend compilation replaced by %.3fs of artifact "
+         "deserialization (%.1fx cheaper)\n",
+         compile_cost, warm_cost, warm_speedup);
+
+  std::string json = StrFormat(
+      "\"suite\":\"polybench\",\"keys\":%zu,\"cache_dir_bytes\":%llu,"
+      "\"cold\":{\"compiles\":%llu,\"disk_hits\":%llu,\"disk_stores\":%llu,"
+      "\"compile_seconds\":%.6f},"
+      "\"warm\":{\"compiles\":%llu,\"disk_hits\":%llu,\"deserialize_seconds\":%.6f,"
+      "\"warm_start_speedup\":%.3f,\"results_identical\":%s},"
+      "\"evict\":{\"budget_bytes\":%llu,\"dir_bytes_after\":%llu,\"evictions\":%llu,"
+      "\"disk_hits\":%llu}",
+      keys, (unsigned long long)dir_bytes_unbounded,
+      (unsigned long long)cold.stats.compiles, (unsigned long long)cold.stats.disk_hits,
+      (unsigned long long)cold.stats.disk_stores, compile_cost,
+      (unsigned long long)warm.stats.compiles, (unsigned long long)warm.stats.disk_hits,
+      warm_cost, warm_speedup, warm_seconds == cold_seconds ? "true" : "false",
+      (unsigned long long)tiny.disk_cache_max_bytes, (unsigned long long)evict_dir_bytes,
+      (unsigned long long)evict.stats.disk_evictions,
+      (unsigned long long)evict.stats.disk_hits);
+  WriteBenchJson("engine_persist", "{" + json + "}", &warm_engine);
+
+  printf("%s\n", failed ? "FAIL: see messages above."
+                        : StrFormat("OK: warm engine served %zu keys with 0 backend "
+                                    "compiles; eviction held the size bound.",
+                                    keys)
+                              .c_str());
+  return failed ? 1 : 0;
+}

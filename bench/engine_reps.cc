@@ -4,7 +4,10 @@
 // them across a 4-worker ExecutorPool sharing the engine's sharded code
 // cache. After the first compile of each (module, options) key — wherever in
 // the pool it happens — every further rep must be a code-cache hit, and the
-// engine must report exactly one backend compile per unique key.
+// engine must report exactly one backend compile OR one disk-tier artifact
+// load per unique key. With NSF_CACHE_DIR exported, a second invocation of
+// this binary reports 0 backend compiles: every key deserializes from the
+// persistent cache (the CI warm-cache job asserts exactly that).
 #include <set>
 
 #include "bench/bench_util.h"
@@ -118,10 +121,23 @@ int main() {
          (unsigned long long)es.compiles, (unsigned long long)es.cache_hits,
          (unsigned long long)es.cache_misses, (unsigned long long)es.compile_joins,
          es.compile_seconds, es.compile_seconds_saved);
-  bool one_compile_per_key = es.compiles == unique_keys.size();
+  if (es.disk_hits + es.disk_misses > 0) {
+    printf("disk tier (%s): %llu artifact loads, %llu misses, %llu stores, "
+           "%.3fs deserializing vs %.3fs compiling avoided\n",
+           SharedEngine().config().cache_dir.c_str(), (unsigned long long)es.disk_hits,
+           (unsigned long long)es.disk_misses, (unsigned long long)es.disk_stores,
+           es.deserialize_seconds, es.compile_seconds_saved);
+  }
+  // Each unique key is produced exactly once — by a backend compile (cold
+  // key) or by deserializing its artifact from the disk tier (warm key). A
+  // second invocation against a persistent NSF_CACHE_DIR must therefore
+  // report compiles == 0 and disk_hits == unique keys.
+  bool one_compile_per_key = es.compiles + es.disk_hits == unique_keys.size();
   if (!one_compile_per_key) {
-    fprintf(stderr, "!! %llu backend compiles for %zu unique (module, options) keys\n",
-            (unsigned long long)es.compiles, unique_keys.size());
+    fprintf(stderr,
+            "!! %llu backend compiles + %llu disk loads for %zu unique (module, options) keys\n",
+            (unsigned long long)es.compiles, (unsigned long long)es.disk_hits,
+            unique_keys.size());
   }
   // Every Compile() call increments exactly one of hits/misses: one call per
   // batch run plus one per native reference run (one per distinct workload).
@@ -133,7 +149,10 @@ int main() {
             (unsigned long long)compile_calls);
   }
   bool ok = all_ok && all_cached && one_compile_per_key && counters_sum;
-  printf("%s\n", ok ? "OK: one compile per unique key; every further rep hit the cache."
+  printf("%s\n", ok ? (es.disk_hits > 0
+                           ? "OK: every unique key compiled once or loaded from the disk "
+                             "tier; every further rep hit the cache."
+                           : "OK: one compile per unique key; every further rep hit the cache.")
                     : "FAIL: cache or validation regression, see messages above.");
   WriteBenchJson("engine_reps", json);
   return ok ? 0 : 1;

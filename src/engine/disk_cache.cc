@@ -1,0 +1,285 @@
+#include "src/engine/disk_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "src/support/str.h"
+#include "src/wasm/artifact_codec.h"
+
+namespace nsf {
+namespace engine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kFilePrefix = "nsfa-";
+constexpr const char* kFileSuffix = ".bin";
+// Orphaned .tmp files (a writer died between write and rename) older than
+// this are reclaimed by the next eviction walk; younger ones may still be
+// in flight and are left alone.
+constexpr auto kStaleTmpAge = std::chrono::minutes(10);
+
+// A published artifact file: "nsfa-<key>.bin" exactly — not an in-flight or
+// orphaned "nsfa-<key>.bin.tmp.N". The single filter every size/eviction
+// walk uses, so the enforced bound and DirSizeBytes() always agree.
+bool IsArtifactFile(const std::string& name) {
+  return name.rfind(kFilePrefix, 0) == 0 && name.size() >= 4 &&
+         name.compare(name.size() - 4, 4, kFileSuffix) == 0;
+}
+
+bool IsTmpFile(const std::string& name) {
+  return name.rfind(kFilePrefix, 0) == 0 && name.find(".tmp.") != std::string::npos;
+}
+
+uint64_t NanosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
+}
+
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  return read == out->size();
+}
+
+bool WriteWholeFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = std::fclose(f) == 0 && written == bytes.size();
+  return ok;
+}
+
+}  // namespace
+
+DiskCodeCache::DiskCodeCache(std::string dir, uint64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {}
+
+std::string DiskCodeCache::PathForKey(uint64_t module_hash, uint64_t fingerprint) const {
+  return dir_ + "/" + kFilePrefix +
+         StrFormat("%016llx-%016llx", static_cast<unsigned long long>(module_hash),
+                   static_cast<unsigned long long>(fingerprint)) +
+         kFileSuffix;
+}
+
+bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArtifact* out) {
+  if (!enabled()) {
+    return false;
+  }
+  std::string path = PathForKey(module_hash, fingerprint);
+  std::vector<uint8_t> bytes;
+  auto t0 = std::chrono::steady_clock::now();
+  if (!ReadWholeFile(path, &bytes)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::string error;
+  bool accepted = DeserializeArtifact(bytes, out, &error) &&
+                  out->module_hash == module_hash && out->options_fingerprint == fingerprint;
+  if (!accepted) {
+    // Corrupt, truncated, version-mismatched, or mis-keyed: delete so the
+    // recompile that follows can repopulate a clean entry.
+    std::error_code ec;
+    fs::remove(path, ec);
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  deserialize_nanos_.fetch_add(NanosSince(t0), std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // LRU touch: a hit makes this entry the newest. Failure is harmless (the
+  // file may have been evicted by another process between read and touch).
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return true;
+}
+
+void DiskCodeCache::Store(const CompiledArtifact& artifact) {
+  if (!enabled() || !artifact.ok()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!dir_ready_) {
+      std::error_code ec;
+      fs::create_directories(dir_, ec);
+      if (ec && !fs::is_directory(dir_, ec)) {
+        return;  // cannot create the cache dir; skip persistence quietly
+      }
+      dir_ready_ = true;
+    }
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<uint8_t> bytes = SerializeArtifact(artifact);
+  std::string path = PathForKey(artifact.module_hash, artifact.options_fingerprint);
+  // Unique tmp name per (thread, store): two racing writers of one key both
+  // rename complete files; last rename wins and both are valid.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = path + StrFormat(".tmp.%llu", static_cast<unsigned long long>(
+                                                      tmp_counter.fetch_add(1)));
+  if (!WriteWholeFile(tmp, bytes)) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  serialize_nanos_.fetch_add(NanosSince(t0), std::memory_order_relaxed);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  if (max_bytes_ != 0) {
+    // Track the directory's size with a running counter instead of walking
+    // it on every store: seed once from a real scan, add what we write, and
+    // resync from the exact walk whenever eviction runs. The bound is
+    // enforced per-writer: other writers' stores (and our own re-stores of
+    // an existing key, which double-count here) go unseen until the next
+    // resync — both errors only delay or hasten a walk, never corrupt it,
+    // and any writer's next over-budget store converges the whole directory.
+    bool over_budget;
+    {
+      std::lock_guard<std::mutex> lock(dir_mu_);
+      if (!size_seeded_) {
+        approx_bytes_ = DirSizeBytes();  // includes the file just renamed
+        size_seeded_ = true;
+      } else {
+        approx_bytes_ += bytes.size();
+      }
+      over_budget = approx_bytes_ > max_bytes_;
+    }
+    if (over_budget) {
+      EvictToFit();
+    }
+  }
+}
+
+uint64_t DiskCodeCache::DirSizeBytes() const {
+  if (!enabled()) {
+    return 0;
+  }
+  uint64_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (!IsArtifactFile(entry.path().filename().string())) {
+      continue;
+    }
+    std::error_code size_ec;
+    uint64_t size = entry.file_size(size_ec);
+    if (!size_ec) {
+      total += size;
+    }
+  }
+  return total;
+}
+
+void DiskCodeCache::EvictToFit() {
+  // One evictor at a time in this process; cross-process races only cause
+  // redundant/failed removals, which are ignored.
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  struct FileInfo {
+    fs::path path;
+    uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<FileInfo> files;
+  uint64_t total = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    std::error_code stat_ec;
+    if (IsTmpFile(name)) {
+      // Reclaim orphans from writers that died mid-store; recent .tmp files
+      // may still be in flight (about to be renamed) and are left alone.
+      fs::file_time_type mtime = entry.last_write_time(stat_ec);
+      if (!stat_ec && now - mtime > kStaleTmpAge) {
+        fs::remove(entry.path(), stat_ec);
+      }
+      continue;
+    }
+    if (!IsArtifactFile(name)) {
+      continue;
+    }
+    FileInfo info;
+    info.path = entry.path();
+    info.size = entry.file_size(stat_ec);
+    if (stat_ec) {
+      continue;
+    }
+    info.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) {
+      continue;
+    }
+    total += info.size;
+    files.push_back(std::move(info));
+  }
+  if (total > max_bytes_) {
+    std::sort(files.begin(), files.end(),
+              [](const FileInfo& a, const FileInfo& b) { return a.mtime < b.mtime; });
+    for (const FileInfo& f : files) {
+      if (total <= max_bytes_) {
+        break;
+      }
+      std::error_code rm_ec;
+      if (fs::remove(f.path, rm_ec) && !rm_ec) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Count the bytes as gone either way: if removal failed because another
+      // process already evicted it, the space is reclaimed all the same.
+      total -= std::min(total, f.size);
+    }
+  }
+  // Resync the running counter from the exact walk (also folds in anything
+  // other processes stored since the last resync).
+  approx_bytes_ = total;
+}
+
+DiskCacheStats DiskCodeCache::stats() const {
+  DiskCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.load_failures = load_failures_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.deserialize_seconds =
+      static_cast<double>(deserialize_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.serialize_seconds =
+      static_cast<double>(serialize_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  return s;
+}
+
+void DiskCodeCache::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  load_failures_.store(0, std::memory_order_relaxed);
+  stores_.store(0, std::memory_order_relaxed);
+  deserialize_nanos_.store(0, std::memory_order_relaxed);
+  serialize_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace engine
+}  // namespace nsf

@@ -1,0 +1,106 @@
+// On-disk tier of the Engine's two-level code cache: serialized
+// CompiledArtifact files under one cache directory, keyed by
+// (module_hash, CodegenOptions::Fingerprint()).
+//
+//   nsfa-<module_hash:016x>-<fingerprint:016x>.bin
+//
+// Safety properties (the disk is shared state — other threads, other
+// processes, and stray editors all touch it):
+//   - Writes are atomic: serialize to a uniquely named .tmp file in the same
+//     directory, then rename() over the final name. Readers never observe a
+//     half-written artifact.
+//   - Loads reject anything the codec rejects (bad magic/version/checksum,
+//     truncation) AND any artifact whose stored key disagrees with the file
+//     name's key; rejected files are deleted and the caller recompiles.
+//     A load failure is never fatal.
+//   - Eviction is LRU by file modification time, bounded by max_bytes: every
+//     load hit touches its file's mtime, and a store that pushes the
+//     directory over budget evicts oldest-first until it fits (tracked by a
+//     running size counter so in-budget stores never pay a directory walk;
+//     eviction walks resync it and also reclaim stale orphaned .tmp files).
+//     Concurrent eviction from another process just makes some loads miss,
+//     which is safe.
+//
+// Thread-safe. All counters are atomics; eviction is serialized in-process
+// by a mutex so two stores don't double-delete.
+#ifndef SRC_ENGINE_DISK_CACHE_H_
+#define SRC_ENGINE_DISK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/codegen/artifact.h"
+
+namespace nsf {
+namespace engine {
+
+struct DiskCacheStats {
+  uint64_t hits = 0;           // artifact loaded and accepted
+  uint64_t misses = 0;         // no usable artifact (absent or rejected)
+  uint64_t evictions = 0;      // files removed by the LRU size bound
+  uint64_t load_failures = 0;  // present-but-rejected files (corruption, version)
+  uint64_t stores = 0;         // artifacts written
+  double deserialize_seconds = 0;  // wall time decoding accepted artifacts
+  double serialize_seconds = 0;    // wall time encoding + writing artifacts
+};
+
+class DiskCodeCache {
+ public:
+  // An empty `dir` disables the tier (every call becomes a cheap no-op).
+  // The directory is created on first use. max_bytes == 0 means unbounded.
+  DiskCodeCache(std::string dir, uint64_t max_bytes);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  // Loads and decodes the artifact for the key. True on an accepted artifact
+  // (counted as a hit; the file's mtime is refreshed for LRU). False on a
+  // miss or any rejection — rejected files are deleted so they are not
+  // re-parsed on every future miss.
+  bool Load(uint64_t module_hash, uint64_t fingerprint, CompiledArtifact* out);
+
+  // Serializes and atomically publishes the artifact, then enforces the size
+  // bound. Failures (disk full, permissions) are swallowed: the disk tier is
+  // an optimization, never a correctness dependency.
+  void Store(const CompiledArtifact& artifact);
+
+  // Sum of artifact file sizes currently in the directory.
+  uint64_t DirSizeBytes() const;
+
+  // Full path of the artifact file for a key (exposed for tests that corrupt
+  // or truncate cache entries on purpose).
+  std::string PathForKey(uint64_t module_hash, uint64_t fingerprint) const;
+
+  DiskCacheStats stats() const;
+  void ResetStats();
+
+ private:
+  void EvictToFit();
+
+  std::string dir_;
+  uint64_t max_bytes_;
+  bool dir_ready_ = false;      // directory creation attempted and succeeded
+  std::mutex dir_mu_;           // guards dir_ready_, the size counter, and eviction walks
+  // Running estimate of the directory's artifact bytes, so stores only pay a
+  // directory walk when the budget is actually crossed: seeded from one scan
+  // on the first store, incremented per store, resynced to the exact total by
+  // every eviction walk. Guarded by dir_mu_.
+  bool size_seeded_ = false;
+  uint64_t approx_bytes_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> load_failures_{0};
+  std::atomic<uint64_t> stores_{0};
+  std::atomic<uint64_t> deserialize_nanos_{0};
+  std::atomic<uint64_t> serialize_nanos_{0};
+};
+
+}  // namespace engine
+}  // namespace nsf
+
+#endif  // SRC_ENGINE_DISK_CACHE_H_

@@ -1,6 +1,7 @@
 #include "src/engine/engine.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "src/runtime/runtime.h"
@@ -23,9 +24,23 @@ size_t RoundUpPow2(size_t n) {
 
 }  // namespace
 
+std::string DefaultCacheDir() {
+  const char* dir = std::getenv("NSF_CACHE_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+uint64_t DefaultDiskCacheMaxBytes() {
+  const char* v = std::getenv("NSF_CACHE_MAX_BYTES");
+  if (v != nullptr) {
+    return static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+  }
+  return 256ull << 20;  // 256 MiB default budget for the disk tier
+}
+
 // --- CodeCache ---
 
-CodeCache::CodeCache(size_t shard_count) {
+CodeCache::CodeCache(size_t shard_count, std::string disk_dir, uint64_t disk_max_bytes)
+    : disk_(std::move(disk_dir), disk_max_bytes) {
   size_t n = RoundUpPow2(shard_count == 0 ? 1 : shard_count);
   shards_.reserve(n);
   for (size_t i = 0; i < n; i++) {
@@ -52,6 +67,29 @@ CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) 
   std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.entries.find({module_hash, fingerprint});
   return it == shard.entries.end() ? nullptr : it->second.code;
+}
+
+void CodeCache::Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
+                        const std::shared_ptr<Latch>& latch, const CompiledModuleRef& result) {
+  {
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      if (result != nullptr && result->ok) {
+        it->second.code = result;
+        it->second.latch = nullptr;
+      } else {
+        // Failed compiles are not cached: drop the placeholder entry entirely.
+        shard.entries.erase(it);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(latch->mu);
+    latch->result = result;
+    latch->ready = true;
+  }
+  latch->cv.notify_all();
 }
 
 CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
@@ -89,50 +127,44 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     return latch->result;
   }
 
-  // Leader: compile OUTSIDE the shard lock so other keys in this shard stay
-  // serviceable, then publish under the lock and release the waiters. If the
+  // Leader: everything from here to Publish() runs OUTSIDE the shard lock so
+  // other keys in this shard stay serviceable. If the disk probe or the
   // compile callback throws (bad_alloc is the realistic case), waiters must
   // still be released and the placeholder dropped — a dead latch would wedge
   // the key forever — so publish a failed result before propagating.
   CompiledModuleRef result;
+  bool compiled_here = false;
   try {
-    result = compile();
-  } catch (...) {
-    auto aborted = std::make_shared<CompiledModule>();
-    aborted->module_hash = module_hash;
-    aborted->fingerprint = fingerprint;
-    aborted->error = "compile failed: exception during compilation";
-    {
-      std::unique_lock<std::mutex> lock = LockShard(shard);
-      shard.entries.erase(key);
-    }
-    {
-      std::lock_guard<std::mutex> lk(latch->mu);
-      latch->result = std::move(aborted);
-      latch->ready = true;
-    }
-    latch->cv.notify_all();
-    throw;
-  }
-  {
-    std::unique_lock<std::mutex> lock = LockShard(shard);
-    auto it = shard.entries.find(key);
-    if (it != shard.entries.end()) {
-      if (result != nullptr && result->ok) {
-        it->second.code = result;
-        it->second.latch = nullptr;
-      } else {
-        // Failed compiles are not cached: drop the placeholder entry entirely.
-        shard.entries.erase(it);
+    // Level 2: probe the disk tier before paying a backend compile. An
+    // accepted artifact is published exactly like a compile result; anything
+    // unusable (absent, truncated, version drift, checksum mismatch) falls
+    // through to the compiler.
+    if (disk_.enabled()) {
+      auto loaded = std::make_shared<CompiledModule>();
+      if (disk_.Load(module_hash, fingerprint, &loaded->artifact)) {
+        loaded->ok = true;
+        loaded->from_disk = true;
+        result = std::move(loaded);
+        *was_hit = true;  // served from the cache — just the slower tier
       }
     }
+    if (result == nullptr) {
+      result = compile();
+      compiled_here = true;
+    }
+  } catch (...) {
+    auto aborted = std::make_shared<CompiledModule>();
+    aborted->artifact.module_hash = module_hash;
+    aborted->artifact.options_fingerprint = fingerprint;
+    aborted->error = "compile failed: exception during compilation";
+    Publish(shard, key, latch, std::move(aborted));
+    throw;
   }
-  {
-    std::lock_guard<std::mutex> lk(latch->mu);
-    latch->result = result;
-    latch->ready = true;
+  Publish(shard, key, latch, result);
+  // Persist AFTER publishing so waiters are never blocked on file I/O.
+  if (compiled_here && result != nullptr && result->ok) {
+    disk_.Store(result->artifact);
   }
-  latch->cv.notify_all();
   return result;
 }
 
@@ -167,41 +199,115 @@ void CodeCache::Clear() {
 
 CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
                                      std::string* error) {
-  // Serialize warm-ups: the first caller for a name runs the interpreter
-  // warm-up while later callers wait, then find the cached profile. Profile
-  // pointers stay valid because TierManager's cache is node-stable.
-  std::lock_guard<std::mutex> lock(mu_);
-  // No cached profile means TierUpFor executes the warm-up interpreter run —
-  // count it whether or not it succeeds (failures are not cached and will
-  // run again on the next request).
-  if (!manager_.HasProfileFor(spec.name)) {
-    warmup_runs_.fetch_add(1, std::memory_order_relaxed);
+  // Per-workload leader/latch (mirroring CodeCache::GetOrCompile): only
+  // same-name requests share one warm-up; distinct workloads profile in
+  // parallel. Profile pointers stay valid because TierManager's cache is
+  // node-stable.
+  std::shared_ptr<WarmupLatch> latch;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Profile* cached = manager_.CachedProfile(spec.name);
+    if (cached != nullptr) {
+      return manager_.TierUp(base, cached);
+    }
+    auto it = inflight_.find(spec.name);
+    if (it != inflight_.end()) {
+      latch = it->second;  // another thread is warming this workload up
+    } else {
+      latch = std::make_shared<WarmupLatch>();
+      inflight_[spec.name] = latch;
+      leader = true;
+    }
   }
-  return manager_.TierUpFor(spec, base, error);
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lk(latch->mu);
+    latch->cv.wait(lk, [&] { return latch->ready; });
+    if (latch->profile == nullptr) {
+      *error = latch->error;
+      return base;
+    }
+    return manager_.TierUp(base, latch->profile);
+  }
+
+  // Leader: run the interpreter warm-up OUTSIDE the policy lock so other
+  // workloads' warm-ups (and cached-profile fast paths) proceed concurrently.
+  // Counted whether or not it succeeds — failures are not cached and will
+  // run again on the next request.
+  warmup_runs_.fetch_add(1, std::memory_order_relaxed);
+  Profile profile;
+  std::string warmup_error;
+  bool collected = false;
+  try {
+    collected = manager_.Collect(spec, &profile, &warmup_error);
+  } catch (...) {
+    // Release waiters before propagating: a dead latch would wedge the name.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(spec.name);
+    }
+    {
+      std::lock_guard<std::mutex> lk(latch->mu);
+      latch->error = spec.name + ": exception during warm-up";
+      latch->ready = true;
+    }
+    latch->cv.notify_all();
+    throw;
+  }
+
+  const Profile* published = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (collected) {
+      published = manager_.Insert(spec.name, std::move(profile));
+    }
+    inflight_.erase(spec.name);
+  }
+  {
+    std::lock_guard<std::mutex> lk(latch->mu);
+    latch->profile = published;
+    latch->error = warmup_error;
+    latch->ready = true;
+  }
+  latch->cv.notify_all();
+
+  if (published == nullptr) {
+    *error = warmup_error;
+    return base;
+  }
+  return manager_.TierUp(base, published);
+}
+
+uint64_t TieringPolicy::ProfiledWork(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Profile* p = manager_.CachedProfile(name);
+  return p != nullptr ? p->total_instrs() : 0;
 }
 
 // --- Engine ---
 
 Engine::Engine(EngineConfig config)
-    : config_(config), tiering_(config.tiering), cache_(config.cache_shards) {}
+    : config_(config),
+      tiering_(config.tiering),
+      cache_(config.cache_shards, config.cache_dir, config.disk_cache_max_bytes) {}
 
 CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_hash,
                                           const CodegenOptions& options, uint64_t fingerprint) {
   auto result = std::make_shared<CompiledModule>();
-  result->module_hash = module_hash;
-  result->fingerprint = fingerprint;
-  result->profile_name = options.profile_name;
-  result->module = module;
-  ValidationResult vr = ValidateModule(result->module);
+  ValidationResult vr = ValidateModule(module);
   if (!vr.ok) {
+    result->artifact.module_hash = module_hash;
+    result->artifact.options_fingerprint = fingerprint;
+    result->artifact.profile_name = options.profile_name;
     result->error = "module invalid: " + vr.error;
     return result;
   }
   compiles_.fetch_add(1, std::memory_order_relaxed);
-  result->compiled = CompileModule(result->module, options);
-  AddSeconds(&compile_nanos_, result->compiled.stats.seconds);
-  if (!result->compiled.ok) {
-    result->error = "compile failed: " + result->compiled.error;
+  result->artifact = BuildArtifact(module, options, module_hash, fingerprint);
+  AddSeconds(&compile_nanos_, result->stats().seconds);
+  if (!result->artifact.ok()) {
+    result->error = "compile failed: " + result->artifact.compiled.error;
     return result;
   }
   result->ok = true;
@@ -233,7 +339,9 @@ CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& op
   bool served_from_cache = hit || (joined && result != nullptr && result->ok);
   if (served_from_cache) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    AddSeconds(&saved_nanos_, result->compiled.stats.seconds);
+    // A disk-tier hit still saves the artifact's original backend compile
+    // time — that is exactly the warm-start win the stats quantify.
+    AddSeconds(&saved_nanos_, result->stats().seconds);
   } else {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -265,6 +373,14 @@ EngineStats Engine::Stats() const {
   s.compile_seconds = static_cast<double>(compile_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   s.compile_seconds_saved =
       static_cast<double>(saved_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  DiskCacheStats d = cache_.disk().stats();
+  s.disk_hits = d.hits;
+  s.disk_misses = d.misses;
+  s.disk_evictions = d.evictions;
+  s.disk_load_failures = d.load_failures;
+  s.disk_stores = d.stores;
+  s.deserialize_seconds = d.deserialize_seconds;
+  s.serialize_seconds = d.serialize_seconds;
   return s;
 }
 
@@ -275,7 +391,7 @@ void Engine::ResetStats() {
   compile_joins_.store(0, std::memory_order_relaxed);
   compile_nanos_.store(0, std::memory_order_relaxed);
   saved_nanos_.store(0, std::memory_order_relaxed);
-  cache_.ResetTelemetry();  // keep lock_waits consistent with the other zeros
+  cache_.ResetTelemetry();  // keep lock_waits + disk stats consistent with the zeros
   tiering_.ResetWarmupCount();
 }
 
@@ -296,7 +412,7 @@ std::unique_ptr<Instance> Session::Instantiate(CompiledModuleRef code,
     }
     return nullptr;
   }
-  const Export* entry = code->module.FindExport(options.entry, ExternalKind::kFunc);
+  const Export* entry = code->module().FindExport(options.entry, ExternalKind::kFunc);
   if (entry == nullptr) {
     if (error != nullptr) {
       *error = "no entry export " + options.entry;
@@ -312,7 +428,7 @@ std::unique_ptr<Instance> Session::Instantiate(CompiledModuleRef code,
 RunOutcome Instance::Run() { return RunAtIndex(entry_index_, {}); }
 
 RunOutcome Instance::RunExport(const std::string& name, const std::vector<uint64_t>& args) {
-  const Export* e = code_->module.FindExport(name, ExternalKind::kFunc);
+  const Export* e = code_->module().FindExport(name, ExternalKind::kFunc);
   if (e == nullptr) {
     RunOutcome out;
     out.error = "no entry export " + name;
@@ -325,13 +441,13 @@ RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>
   RunOutcome out;
   // Fresh machine and process per run: repeated runs of one Instance must not
   // see each other's heap, only the session's shared filesystem.
-  SimMachine machine(&code_->compiled.program);
+  SimMachine machine(&code_->program());
   if (options_.fuel != 0) {
     machine.set_fuel(options_.fuel);
   }
   MachineMemPort port(&machine);
   auto process = session_->kernel().CreateProcess(&port, options_.argv);
-  BindSyscalls(&machine, code_->compiled, code_->module, process.get());
+  BindSyscalls(&machine, code_->compiled(), code_->module(), process.get());
 
   // Stack-args ABI: args staged below the stack top, rsp as if just called.
   uint64_t args_base = kStackBase + kStackSize - 8 * args.size();

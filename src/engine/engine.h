@@ -3,14 +3,16 @@
 // Modeled on the Engine/Store/Module/Instance shape real Wasm engines expose
 // (V8, SpiderMonkey — the toolchains the paper measures):
 //
-//   Engine   — process-wide and THREAD-SAFE: owns a content-addressed
-//              CodeCache keyed by (module hash via the encoder, CodegenOptions
-//              fingerprint) and a TieringPolicy wrapping the PGO TierManager.
-//              Compilation is compile-once-run-many even under concurrency:
-//              the cache is sharded into mutex-guarded shards (selected by
-//              module-hash prefix) and each entry carries a "compiling" latch,
-//              so two threads requesting the same (module, options) pair block
-//              on one compile instead of duplicating the work.
+//   Engine   — process-wide and THREAD-SAFE: owns a content-addressed,
+//              TWO-LEVEL CodeCache keyed by (module hash via the encoder,
+//              CodegenOptions fingerprint) and a TieringPolicy wrapping the
+//              PGO TierManager. Compilation is compile-once-run-many even
+//              under concurrency AND across processes: the in-memory tier is
+//              sharded into mutex-guarded shards (selected by module-hash
+//              prefix) with a per-entry "compiling" latch, and behind it sits
+//              an optional on-disk tier (src/engine/disk_cache.h) of
+//              serialized CompiledArtifact files — a warm cache directory
+//              makes a fresh process skip every backend compile.
 //   Session  — one BrowsixKernel + VFS staging area, single-threaded by
 //              design: each worker thread owns its own Session. Many modules
 //              can be instantiated into one session; they share the
@@ -28,6 +30,10 @@
 //   auto inst = session.Instantiate(code, {.argv = {"prog"}}, &err);
 //   engine::RunOutcome out = inst->Run();   // re-running never recompiles
 //
+// Set NSF_CACHE_DIR (or EngineConfig::cache_dir) to persist compiled
+// artifacts across processes; NSF_CACHE_MAX_BYTES bounds the directory with
+// LRU eviction.
+//
 // For parallel batch execution over a pool of Sessions, see
 // src/engine/executor.h (ExecutorPool / Session::RunBatch).
 #ifndef SRC_ENGINE_ENGINE_H_
@@ -43,7 +49,9 @@
 #include <string>
 #include <vector>
 
+#include "src/codegen/artifact.h"
 #include "src/codegen/codegen.h"
+#include "src/engine/disk_cache.h"
 #include "src/engine/workload.h"
 #include "src/kernel/kernel.h"
 #include "src/machine/machine.h"
@@ -54,48 +62,68 @@ namespace nsf {
 namespace engine {
 
 // A compiled (module, options) pair, shared by every caller that requests
-// the same content. Immutable once published by the Engine.
+// the same content. Immutable once published by the Engine. The payload is a
+// self-contained CompiledArtifact (src/codegen/artifact.h) — exactly what
+// the disk tier serializes — plus the engine-level outcome envelope.
 struct CompiledModule {
   bool ok = false;
-  std::string error;            // "module invalid: ..." / "compile failed: ..."
-  Module module;                // retained for import binding + export lookup
-  uint64_t module_hash = 0;     // HashModule(module)
-  uint64_t fingerprint = 0;     // options.Fingerprint()
-  std::string profile_name;     // options.profile_name at compile time
-  CompileResult compiled;       // program, stats, func_map, import_hooks
+  std::string error;      // "module invalid: ..." / "compile failed: ..."
+  bool from_disk = false; // deserialized from the disk tier, not compiled
+  CompiledArtifact artifact;
 
-  const MProgram& program() const { return compiled.program; }
-  const CompileStats& stats() const { return compiled.stats; }
+  const Module& module() const { return artifact.module; }
+  uint64_t module_hash() const { return artifact.module_hash; }
+  uint64_t fingerprint() const { return artifact.options_fingerprint; }
+  const std::string& profile_name() const { return artifact.profile_name; }
+  CompileTier tier() const { return artifact.tier; }
+  const CompileResult& compiled() const { return artifact.compiled; }
+  const MProgram& program() const { return artifact.compiled.program; }
+  const CompileStats& stats() const { return artifact.compiled.stats; }
 };
 
 using CompiledModuleRef = std::shared_ptr<const CompiledModule>;
 
-// Content-addressed cache of successful compiles, safe for concurrent use.
-// The key space is split across `shard_count` independently-locked shards
-// selected by the top bits of the module hash, so unrelated compiles never
-// contend on one mutex. Each in-flight compile parks a latch in its entry:
-// the first requester of a key becomes the leader and compiles; every
-// concurrent requester of the same key blocks on the latch and shares the
-// leader's result (exactly one backend invocation per unique key).
+// Content-addressed, two-level cache of successful compiles, safe for
+// concurrent use.
+//
+// Level 1 (memory): the key space is split across `shard_count`
+// independently-locked shards selected by the top bits of the module hash,
+// so unrelated compiles never contend on one mutex. Each in-flight compile
+// parks a latch in its entry: the first requester of a key becomes the
+// leader; every concurrent requester of the same key blocks on the latch and
+// shares the leader's result (exactly one backend invocation per key).
+//
+// Level 2 (disk, optional): before compiling, the leader probes the disk
+// tier for a serialized artifact of the key and — on an accepted load —
+// publishes it exactly like a compile result. After a successful backend
+// compile the leader persists the artifact. Corrupt/version-mismatched disk
+// entries are rejected and recompiled; they can never wedge or crash a
+// caller.
 class CodeCache {
  public:
-  explicit CodeCache(size_t shard_count = kDefaultShards);
+  explicit CodeCache(size_t shard_count = kDefaultShards, std::string disk_dir = "",
+                     uint64_t disk_max_bytes = 0);
 
   // Returns the cached module for (module_hash, fingerprint) or invokes
   // `compile` to produce it. Failed compiles are delivered to every waiter
   // but not retained, so a later request retries. Outputs:
-  //   *was_hit — a completed entry was found (no waiting, no compiling)
+  //   *was_hit — served from the cache: a completed memory entry, or the
+  //              leader loading the key's artifact from the disk tier
   //   *joined  — blocked on another thread's in-flight compile of this key
   CompiledModuleRef GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
                                  const std::function<CompiledModuleRef()>& compile,
                                  bool* was_hit, bool* joined);
 
-  // Read-only probe (no latch interaction): the completed entry or null.
+  // Read-only probe of the MEMORY tier (no latch or disk interaction): the
+  // completed entry or null.
   CompiledModuleRef Lookup(uint64_t module_hash, uint64_t fingerprint) const;
 
   size_t size() const;
-  void Clear();
+  void Clear();  // memory tier only; the disk tier persists by design
   size_t shard_count() const { return shards_.size(); }
+
+  DiskCodeCache& disk() { return disk_; }
+  const DiskCodeCache& disk() const { return disk_; }
 
   // Contention telemetry: how often a shard lock was found held, and the
   // total wall time spent blocked on shard locks.
@@ -106,6 +134,7 @@ class CodeCache {
   void ResetTelemetry() {
     lock_waits_.store(0, std::memory_order_relaxed);
     lock_wait_nanos_.store(0, std::memory_order_relaxed);
+    disk_.ResetStats();
   }
 
   static constexpr size_t kDefaultShards = 16;  // rounded up to a power of two
@@ -133,17 +162,25 @@ class CodeCache {
   }
   // Locks `shard.mu`, accounting blocked time into the contention counters.
   std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+  // Publishes `result` for `key` under the shard lock and releases `latch`
+  // waiters. Successful results are retained; failures drop the entry.
+  void Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
+               const std::shared_ptr<Latch>& latch, const CompiledModuleRef& result);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  DiskCodeCache disk_;
   mutable std::atomic<uint64_t> lock_waits_{0};
   mutable std::atomic<uint64_t> lock_wait_nanos_{0};
 };
 
 // Engine-owned tier-up policy: wraps the PGO TierManager so profiling and
 // profile-guided recompilation are an engine concern, not a caller concern.
-// Thread-safe: warm-up runs for one engine are serialized under a mutex, so
-// concurrent TierUp calls for the same workload name execute exactly one
-// interpreter warm-up (the second caller finds the cached profile).
+//
+// Thread-safe with per-workload warm-up latches (the same leader/joiner
+// pattern CodeCache::GetOrCompile uses): the first caller for a workload
+// name becomes the leader and runs the interpreter warm-up while concurrent
+// callers for the SAME name wait on its latch — but warm-ups of DIFFERENT
+// names proceed in parallel instead of serializing behind one global mutex.
 class TieringPolicy {
  public:
   explicit TieringPolicy(TierConfig config = TierConfig()) : manager_(config) {}
@@ -154,28 +191,52 @@ class TieringPolicy {
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
                         std::string* error);
 
+  // Profiled work estimate for LPT batch scheduling: the warm-up profile's
+  // total interpreted instruction count (monotone in simulated seconds), or
+  // 0 when the workload was never profiled. Thread-safe, never profiles.
+  uint64_t ProfiledWork(const std::string& name) const;
+
   // Not synchronized — only touch the raw manager from one thread.
   TierManager& manager() { return manager_; }
   uint64_t warmup_runs() const { return warmup_runs_.load(std::memory_order_relaxed); }
   void ResetWarmupCount() { warmup_runs_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::mutex mu_;
+  struct WarmupLatch {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    const Profile* profile = nullptr;  // null = warm-up failed
+    std::string error;
+  };
+
+  mutable std::mutex mu_;  // guards manager_'s cache and inflight_
   TierManager manager_;
+  std::map<std::string, std::shared_ptr<WarmupLatch>> inflight_;
   std::atomic<uint64_t> warmup_runs_{0};  // interpreter warm-ups actually executed
 };
+
+// Reads NSF_CACHE_DIR: the disk tier's directory ("" = disabled).
+std::string DefaultCacheDir();
+// Reads NSF_CACHE_MAX_BYTES; defaults to 256 MiB. 0 = unbounded.
+uint64_t DefaultDiskCacheMaxBytes();
 
 struct EngineConfig {
   bool cache_enabled = true;   // table2-style compile-time benches disable it
   size_t cache_shards = CodeCache::kDefaultShards;
+  // Disk tier: empty disables persistence. Defaults honor the NSF_CACHE_DIR /
+  // NSF_CACHE_MAX_BYTES environment so every bench binary persists compiles
+  // when the caller exports a cache directory.
+  std::string cache_dir = DefaultCacheDir();
+  uint64_t disk_cache_max_bytes = DefaultDiskCacheMaxBytes();
   TierConfig tiering;
 };
 
 // Aggregate counters surfaced into every BENCH_*.json (engine_stats block).
 // Snapshot of the engine's internal atomics; under concurrency the totals
-// obey hits + misses == Compile() calls and compiles == unique successful
-// keys (joiners of an in-flight compile count as hits, tracked separately
-// in compile_joins).
+// obey hits + misses == Compile() calls and compiles + disk_hits == unique
+// successful keys (joiners of an in-flight compile count as hits, tracked
+// separately in compile_joins).
 struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;         // includes compile failures
@@ -186,6 +247,14 @@ struct EngineStats {
   double lock_wait_seconds = 0;      // wall time blocked on shard locks
   double compile_seconds = 0;        // wall clock spent compiling
   double compile_seconds_saved = 0;  // sum of cached-entry compile times on hits
+  // Disk tier (zero when no cache_dir is configured):
+  uint64_t disk_hits = 0;            // artifacts deserialized from disk
+  uint64_t disk_misses = 0;          // leader probes that found no usable file
+  uint64_t disk_evictions = 0;       // files removed by the LRU size bound
+  uint64_t disk_load_failures = 0;   // corrupt/mismatched files rejected
+  uint64_t disk_stores = 0;          // artifacts persisted
+  double deserialize_seconds = 0;    // wall time decoding disk artifacts
+  double serialize_seconds = 0;      // wall time encoding + writing artifacts
 };
 
 class Session;
@@ -200,8 +269,8 @@ class Engine {
   // module for import binding and export lookup; a hit copies nothing.
   // Never returns null — check (*result).ok. Failed compiles are not cached.
   // *was_hit (optional) reports whether this call was served from the cache
-  // (including joining another thread's in-flight compile) — per-call truth,
-  // unlike diffing Stats() which races under concurrency.
+  // (either tier, including joining another thread's in-flight compile) —
+  // per-call truth, unlike diffing Stats() which races under concurrency.
   CompiledModuleRef Compile(const Module& module, const CodegenOptions& options,
                             bool* was_hit = nullptr);
 
@@ -220,6 +289,8 @@ class Engine {
 
   const EngineConfig& config() const { return config_; }
   TieringPolicy& tiering() { return tiering_; }
+  const TieringPolicy& tiering() const { return tiering_; }
+  CodeCache& cache() { return cache_; }
 
  private:
   // One compile, bypassing the cache: validation + backend + stats.

@@ -100,6 +100,7 @@ void FinalizeBatchReport(BatchReport* report) {
 BatchReport Session::RunBatch(const std::vector<RunRequest>& requests) {
   BatchReport report;
   report.workers = 1;
+  report.schedule = SchedulePolicy::kFifo;  // serial: order is the schedule
   report.stats_before = engine_->Stats();
   auto t0 = std::chrono::steady_clock::now();
   for (size_t i = 0; i < requests.size(); i++) {
@@ -161,11 +162,17 @@ void ExecutorPool::WorkerMain(int worker_index) {
   }
 }
 
-BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests) {
+const char* SchedulePolicyName(SchedulePolicy policy) {
+  return policy == SchedulePolicy::kLpt ? "lpt" : "fifo";
+}
+
+BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests,
+                              SchedulePolicy schedule) {
   std::lock_guard<std::mutex> run_lock(run_mu_);
 
   BatchReport report;
   report.workers = workers();
+  report.schedule = schedule;
   report.stats_before = engine_->Stats();
 
   size_t total_jobs = 0;
@@ -173,6 +180,16 @@ BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests) {
     total_jobs += static_cast<size_t>(std::max(0, r.reps));
   }
   report.runs.resize(total_jobs);
+
+  // LPT: one profiled-work estimate per request (all reps of a request share
+  // it). 0 for never-profiled workloads, so a batch with no profiles keeps
+  // its queue order under the stable sort — the documented FIFO fallback.
+  std::vector<uint64_t> request_work(requests.size(), 0);
+  if (schedule == SchedulePolicy::kLpt) {
+    for (size_t i = 0; i < requests.size(); i++) {
+      request_work[i] = engine_->tiering().ProfiledWork(requests[i].spec.name);
+    }
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   {
@@ -184,6 +201,13 @@ BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests) {
       for (int rep = 0; rep < requests[i].reps; rep++) {
         jobs_.push_back(Job{&requests[i], i, rep, slot++});
       }
+    }
+    if (schedule == SchedulePolicy::kLpt) {
+      // Result slots are fixed by (request_index, rep); only the dispatch
+      // order changes, so reordering jobs_ never perturbs report.runs order.
+      std::stable_sort(jobs_.begin(), jobs_.end(), [&](const Job& a, const Job& b) {
+        return request_work[a.request_index] > request_work[b.request_index];
+      });
     }
     next_job_ = 0;
     jobs_done_ = 0;

@@ -42,6 +42,19 @@ struct RunRequest {
   bool collect_outputs = true;  // read spec.output_files back after each run
 };
 
+// How ExecutorPool orders jobs onto free workers.
+//   kLpt  — longest-processing-time-first by each request's profiled work
+//           estimate (TieringPolicy::ProfiledWork: the warm-up profile's
+//           interpreted-instruction count, monotone in simulated seconds).
+//           Classic greedy makespan heuristic: big jobs can't land last and
+//           leave one worker running alone. Requests with no profile carry
+//           estimate 0, so an entirely unprofiled batch degrades to exactly
+//           kFifo (the sort is stable).
+//   kFifo — pure queue order (request-major, then rep), the pre-LPT behavior.
+enum class SchedulePolicy : uint8_t { kLpt, kFifo };
+
+const char* SchedulePolicyName(SchedulePolicy policy);
+
 // One run's result inside a batch (request `request_index`, repetition `rep`,
 // executed by worker `worker`).
 struct BatchRunResult {
@@ -64,6 +77,7 @@ struct BatchRunResult {
 // the makespan equals sim_seconds_total.
 struct BatchReport {
   int workers = 0;
+  SchedulePolicy schedule = SchedulePolicy::kLpt;  // policy the pool applied
   std::vector<BatchRunResult> runs;  // ordered by (request_index, rep)
   uint64_t ok_runs = 0;
   uint64_t failed_runs = 0;
@@ -99,10 +113,13 @@ class ExecutorPool {
   ExecutorPool(const ExecutorPool&) = delete;
   ExecutorPool& operator=(const ExecutorPool&) = delete;
 
-  // Expands `requests` into request×rep jobs, executes them across the
-  // workers (greedy queue order: a free worker takes the next job), blocks
-  // until every job finished, and aggregates the report.
-  BatchReport Run(const std::vector<RunRequest>& requests);
+  // Expands `requests` into request×rep jobs, orders them by `schedule`
+  // (LPT by profiled work by default, FIFO when nothing is profiled),
+  // executes them across the workers (a free worker takes the next job),
+  // blocks until every job finished, and aggregates the report. Results in
+  // the report stay in (request_index, rep) order regardless of schedule.
+  BatchReport Run(const std::vector<RunRequest>& requests,
+                  SchedulePolicy schedule = SchedulePolicy::kLpt);
 
   int workers() const { return static_cast<int>(threads_.size()); }
   Engine* engine() { return engine_; }

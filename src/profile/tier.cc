@@ -26,16 +26,23 @@ class ForwardingResolver : public ImportResolver {
 }  // namespace
 
 const Profile* TierManager::ProfileFor(const WorkloadSpec& spec, std::string* error) {
-  auto it = cache_.find(spec.name);
-  if (it != cache_.end()) {
-    return &it->second;
+  const Profile* cached = CachedProfile(spec.name);
+  if (cached != nullptr) {
+    return cached;
   }
+  Profile profile;
+  if (!Collect(spec, &profile, error)) {
+    return nullptr;
+  }
+  return Insert(spec.name, std::move(profile));
+}
 
+bool TierManager::Collect(const WorkloadSpec& spec, Profile* out, std::string* error) const {
   Module module = spec.build();
   ValidationResult vr = ValidateModule(module);
   if (!vr.ok) {
     *error = spec.name + ": module invalid: " + vr.error;
-    return nullptr;
+    return false;
   }
 
   BrowsixKernel kernel;
@@ -52,7 +59,7 @@ const Profile* TierManager::ProfileFor(const WorkloadSpec& spec, std::string* er
   auto instance = Instance::Create(module, &resolver, &err);
   if (instance == nullptr) {
     *error = spec.name + ": instantiation failed: " + err;
-    return nullptr;
+    return false;
   }
   *port = InstanceMemPort(instance.get());
 
@@ -67,10 +74,15 @@ const Profile* TierManager::ProfileFor(const WorkloadSpec& spec, std::string* er
   // wanted. Any other trap means the profile is untrustworthy.
   if (!r.ok && !(config_.profile_fuel != 0 && r.trap == TrapKind::kFuelExhausted)) {
     *error = spec.name + ": warm-up run trapped: " + r.error;
-    return nullptr;
+    return false;
   }
 
-  auto inserted = cache_.emplace(spec.name, std::move(collector.profile()));
+  *out = std::move(collector.profile());
+  return true;
+}
+
+const Profile* TierManager::Insert(const std::string& name, Profile profile) {
+  auto inserted = cache_.emplace(name, std::move(profile));
   return &inserted.first->second;
 }
 

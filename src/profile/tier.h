@@ -31,6 +31,22 @@ class TierManager {
   // TierManager's lifetime. Returns null and sets *error on failure.
   const Profile* ProfileFor(const WorkloadSpec& spec, std::string* error);
 
+  // The warm-up run alone, without touching the cache: collects `spec`'s
+  // profile into *out. const because it mutates no manager state — callers
+  // that serialize cache access themselves (engine::TieringPolicy's per-key
+  // latches) run Collect outside their lock so unrelated warm-ups overlap.
+  bool Collect(const WorkloadSpec& spec, Profile* out, std::string* error) const;
+
+  // Caches `profile` under `name` and returns the node-stable pointer. If an
+  // entry already exists it is kept and returned (first writer wins).
+  const Profile* Insert(const std::string& name, Profile profile);
+
+  // The cached profile for `name`, or null. Pointer is node-stable.
+  const Profile* CachedProfile(const std::string& name) const {
+    auto it = cache_.find(name);
+    return it == cache_.end() ? nullptr : &it->second;
+  }
+
   // Returns `base` with PGO flags enabled per the config and `profile`
   // attached. The profile must outlive every compile using the result.
   CodegenOptions TierUp(const CodegenOptions& base, const Profile* profile) const;

@@ -52,6 +52,34 @@ void WriteVarS64(std::vector<uint8_t>& out, int64_t value) {
   }
 }
 
+void WriteFixedU32(std::vector<uint8_t>& out, uint32_t value) {
+  for (int i = 0; i < 4; i++) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void WriteFixedU64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int i = 0; i < 8; i++) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void WriteF64(std::vector<uint8_t>& out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteFixedU64(out, bits);
+}
+
+void WriteString(std::vector<uint8_t>& out, const std::string& s) {
+  WriteVarU32(out, static_cast<uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void WriteBytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& bytes) {
+  WriteVarU32(out, static_cast<uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
 uint8_t ByteReader::ReadByte() {
   if (pos_ >= size_) {
     Fail();

@@ -16,6 +16,18 @@ void WriteVarU64(std::vector<uint8_t>& out, uint64_t value);
 void WriteVarS32(std::vector<uint8_t>& out, int32_t value);
 void WriteVarS64(std::vector<uint8_t>& out, int64_t value);
 
+// Fixed-width little-endian writers (the inverses of ByteReader's
+// ReadFixedU32/ReadFixedU64/ReadF64), used by binary container formats that
+// need positionally stable header fields (e.g. the compiled-artifact codec).
+void WriteFixedU32(std::vector<uint8_t>& out, uint32_t value);
+void WriteFixedU64(std::vector<uint8_t>& out, uint64_t value);
+void WriteF64(std::vector<uint8_t>& out, double value);
+
+// VarU32-length-prefixed string/bytes, the convention both the Wasm encoder
+// (name/section payloads) and the artifact codec use.
+void WriteString(std::vector<uint8_t>& out, const std::string& s);
+void WriteBytes(std::vector<uint8_t>& out, const std::vector<uint8_t>& bytes);
+
 // A bounds-checked forward reader over a byte buffer. All Read* methods set
 // `ok()` to false (and return 0) on malformed or truncated input instead of
 // throwing; callers check `ok()` once at a convenient boundary.

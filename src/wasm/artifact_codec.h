@@ -1,0 +1,52 @@
+// Versioned binary serialization for CompiledArtifact (src/codegen/artifact.h)
+// — the wire format of the Engine's disk code-cache tier.
+//
+// Container layout:
+//
+//   "NSFA"            magic (4 bytes)
+//   version           fixed u32 (kArtifactFormatVersion)
+//   source_fp         fixed u64: build-time fingerprint of src/ (generated
+//                     by cmake/nsf_build_id.cmake) — artifacts from a
+//                     binary built from different compiler sources are
+//                     rejected, so a persistent cache can never serve stale
+//                     machine code after a codegen change that nobody
+//                     version-bumped
+//   payload_checksum  fixed u64: FNV-1a over every byte after this field
+//   payload           module bytes (the Wasm binary encoding), provenance,
+//                     compile stats/maps, and the MProgram in structured form
+//
+// Deserialize rejects (returns false, never crashes) on: short input, bad
+// magic, version or source-fingerprint mismatch, checksum mismatch,
+// truncated or malformed payload, a payload whose embedded module fails to
+// decode, and decoded index fields that would write out of bounds at machine
+// construction (layout permutation, global-init slots, entry/table function
+// indices). The artifact is relocatable: code_base / instr_offsets /
+// total_code_bytes are not stored; DeserializeArtifact re-runs
+// MProgram::Link(), which is deterministic, so a round-tripped artifact is
+// byte-identical when serialized again.
+#ifndef SRC_WASM_ARTIFACT_CODEC_H_
+#define SRC_WASM_ARTIFACT_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/codegen/artifact.h"
+
+namespace nsf {
+
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+// Encodes `artifact` (which must be ok(): failed compiles are not artifacts).
+std::vector<uint8_t> SerializeArtifact(const CompiledArtifact& artifact);
+
+// Decodes `bytes` into *out. On failure returns false and sets *error to a
+// human-readable reason; *out is left in an unspecified but destructible
+// state. Tolerant of arbitrary garbage input by construction: every read is
+// bounds-checked and the checksum gates the structured decode.
+bool DeserializeArtifact(const std::vector<uint8_t>& bytes, CompiledArtifact* out,
+                         std::string* error);
+
+}  // namespace nsf
+
+#endif  // SRC_WASM_ARTIFACT_CODEC_H_

@@ -27,17 +27,6 @@ enum SectionId : uint8_t {
   kSecData = 11,
 };
 
-void WriteFixedU32(std::vector<uint8_t>& out, uint32_t v) {
-  for (int i = 0; i < 4; i++) {
-    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-void WriteName(std::vector<uint8_t>& out, const std::string& s) {
-  WriteVarU32(out, static_cast<uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
-}
-
 void WriteLimits(std::vector<uint8_t>& out, const Limits& limits) {
   out.push_back(limits.max.has_value() ? 1 : 0);
   WriteVarU32(out, limits.min);
@@ -140,8 +129,8 @@ std::vector<uint8_t> EncodeModule(const Module& module) {
     std::vector<uint8_t> sec;
     WriteVarU32(sec, static_cast<uint32_t>(module.imports.size()));
     for (const Import& imp : module.imports) {
-      WriteName(sec, imp.module);
-      WriteName(sec, imp.name);
+      WriteString(sec, imp.module);
+      WriteString(sec, imp.name);
       sec.push_back(static_cast<uint8_t>(imp.kind));
       switch (imp.kind) {
         case ExternalKind::kFunc:
@@ -212,7 +201,7 @@ std::vector<uint8_t> EncodeModule(const Module& module) {
     std::vector<uint8_t> sec;
     WriteVarU32(sec, static_cast<uint32_t>(module.exports.size()));
     for (const Export& e : module.exports) {
-      WriteName(sec, e.name);
+      WriteString(sec, e.name);
       sec.push_back(static_cast<uint8_t>(e.kind));
       WriteVarU32(sec, e.index);
     }
@@ -292,10 +281,10 @@ std::vector<uint8_t> EncodeModule(const Module& module) {
   }
   if (has_names) {
     std::vector<uint8_t> sec;
-    WriteName(sec, "name");
+    WriteString(sec, "name");
     if (!module.name.empty()) {
       std::vector<uint8_t> sub;
-      WriteName(sub, module.name);
+      WriteString(sub, module.name);
       sec.push_back(0);  // module name subsection
       WriteVarU32(sec, static_cast<uint32_t>(sub.size()));
       sec.insert(sec.end(), sub.begin(), sub.end());
@@ -314,7 +303,7 @@ std::vector<uint8_t> EncodeModule(const Module& module) {
       for (size_t i = 0; i < module.functions.size(); i++) {
         if (!module.functions[i].debug_name.empty()) {
           WriteVarU32(assoc, base + static_cast<uint32_t>(i));
-          WriteName(assoc, module.functions[i].debug_name);
+          WriteString(assoc, module.functions[i].debug_name);
         }
       }
       sec.push_back(1);  // function names subsection

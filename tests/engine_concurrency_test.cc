@@ -9,7 +9,11 @@
 // of these paths fails the pipeline.
 #include "src/engine/engine.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -26,6 +30,14 @@ namespace nsf {
 namespace {
 
 constexpr int kThreads = 8;
+
+// Exact compile-count assertions require engines without an ambient disk
+// tier; disk-tier tests below configure their cache dir explicitly.
+[[maybe_unused]] const bool kEnvScrubbed = [] {
+  unsetenv("NSF_CACHE_DIR");
+  unsetenv("NSF_CACHE_MAX_BYTES");
+  return true;
+}();
 
 // sum_squares(n) with an additive bias: bias-distinct modules have distinct
 // encoded bytes, hence distinct content hashes.
@@ -260,6 +272,214 @@ TEST(EngineConcurrency, ConcurrentTierUpWarmsUpOnce) {
   for (int t = 1; t < kThreads; t++) {
     EXPECT_EQ(fingerprints[0], fingerprints[t]);
   }
+}
+
+TEST(EngineConcurrency, ConcurrentDistinctTierUpsAllWarmUpInParallel) {
+  // Per-key warm-up latches: N threads tiering N DISTINCT workloads must all
+  // profile (one warm-up each) without serializing behind a global lock —
+  // and concurrently tiering the SAME names from a second wave of threads
+  // must add no warm-ups. Correctness checks only; the parallelism itself is
+  // exercised by racing, not timed.
+  engine::Engine eng;
+  std::vector<WorkloadSpec> specs;
+  for (int t = 0; t < kThreads; t++) {
+    std::string name = "distinct_warmup_" + std::to_string(t);
+    std::string text = "tier" + std::to_string(t);
+    specs.push_back(WorkloadSpec{});
+    specs.back().name = name;
+    specs.back().build = [text] { return WriterModule(text); };
+  }
+  std::vector<uint64_t> fingerprints(2 * kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2 * kThreads; t++) {
+    threads.emplace_back([&, t] {
+      std::string err;
+      CodegenOptions tiered = eng.TierUp(specs[t % kThreads], CodegenOptions::ChromeV8(), &err);
+      fingerprints[t] = tiered.Fingerprint();
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Exactly one warm-up per distinct name, no matter how many racers.
+  EXPECT_EQ(eng.Stats().tier_warmups, static_cast<uint64_t>(kThreads));
+  uint64_t base_fp = CodegenOptions::ChromeV8().Fingerprint();
+  for (int t = 0; t < 2 * kThreads; t++) {
+    // Every caller got profiled options (a failed warm-up returns base).
+    EXPECT_NE(fingerprints[t], base_fp) << "caller " << t;
+    // Same name => same profile => same tiered fingerprint.
+    EXPECT_EQ(fingerprints[t], fingerprints[t % kThreads]);
+  }
+}
+
+TEST(EngineConcurrency, ManyEnginesRacingOnOneCacheDirStayCorrect) {
+  // The disk tier is cross-engine (and cross-process) shared state: kThreads
+  // engines hammer one cache directory with overlapping keys — every result
+  // must be valid and byte-identical to a reference compile, regardless of
+  // who stored, loaded, or evicted what.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("nsf-conc-cache-" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  engine::EngineConfig config;
+  config.cache_dir = dir;
+
+  const int kModules = 4;
+  const int kItersPerThread = 12;
+  // Reference listings from a diskless engine.
+  std::vector<std::string> reference;
+  {
+    engine::Engine ref_eng;
+    for (int i = 0; i < kModules; i++) {
+      engine::CompiledModuleRef r =
+          ref_eng.Compile(SumSquaresModule(i * 3), CodegenOptions::ChromeV8());
+      ASSERT_TRUE(r->ok);
+      std::string listing;
+      for (const MFunction& f : r->program().funcs) {
+        listing += MFunctionToString(f);
+      }
+      reference.push_back(std::move(listing));
+    }
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      engine::Engine eng(config);  // each thread: its own engine, shared dir
+      Rng rng(0x51ca9e + t);
+      for (int i = 0; i < kItersPerThread; i++) {
+        int which = static_cast<int>(rng.Next() % kModules);
+        engine::CompiledModuleRef code =
+            eng.Compile(SumSquaresModule(which * 3), CodegenOptions::ChromeV8());
+        if (code == nullptr || !code->ok) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::string listing;
+        for (const MFunction& f : code->program().funcs) {
+          listing += MFunctionToString(f);
+        }
+        if (listing != reference[which]) {
+          failures.fetch_add(1);  // disk round-trip altered the program
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the dust settles, a fresh engine warm-starts every key from disk.
+  engine::Engine warm(config);
+  for (int i = 0; i < kModules; i++) {
+    engine::CompiledModuleRef code =
+        warm.Compile(SumSquaresModule(i * 3), CodegenOptions::ChromeV8());
+    ASSERT_TRUE(code->ok);
+    EXPECT_TRUE(code->from_disk) << "module " << i;
+  }
+  EXPECT_EQ(warm.Stats().compiles, 0u);
+  EXPECT_EQ(warm.Stats().disk_hits, static_cast<uint64_t>(kModules));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EngineConcurrency, RacingStoresWithTinyBudgetNeverBreakResults) {
+  // Concurrent stores + LRU eviction racing on one directory: artifacts may
+  // be evicted between another engine's probe and load — that must only ever
+  // cause recompiles, never failures or wrong code.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("nsf-conc-evict-" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  engine::EngineConfig config;
+  config.cache_dir = dir;
+  config.disk_cache_max_bytes = 16 << 10;  // a few artifacts at most
+
+  const int kModules = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      engine::Engine eng(config);
+      for (int i = 0; i < 8; i++) {
+        int which = (t + i) % kModules;
+        engine::CompiledModuleRef code =
+            eng.Compile(SumSquaresModule(which * 7), CodegenOptions::FirefoxSM());
+        if (code == nullptr || !code->ok) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  // The size bound is enforced per-writer (each engine's counter sees its own
+  // stores between eviction resyncs), so files another engine renamed after
+  // the last racer's eviction walk can leave the directory transiently over
+  // budget. One more store from a fresh engine seeds its counter from an
+  // exact scan of EVERYTHING and must converge the directory to the bound.
+  engine::Engine closer(config);
+  ASSERT_TRUE(closer.Compile(SumSquaresModule(999), CodegenOptions::FirefoxSM())->ok);
+  EXPECT_LE(closer.cache().disk().DirSizeBytes(), config.disk_cache_max_bytes);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExecutorPool, LptSchedulesByProfiledWorkFifoKeepsOrder) {
+  engine::Engine eng;
+  // Three workloads with very different profiled work: writer_big interprets
+  // far more instructions than writer_small during warm-up.
+  auto spec_of = [](const std::string& name, int reps) {
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.build = [reps] {
+      ModuleBuilder mb("w");
+      auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+      uint32_t acc = f.AddLocal(ValType::kI32);
+      uint32_t i = f.AddLocal(ValType::kI32);
+      f.ForI32(i, 0, reps, 1, [&] { f.LocalGet(acc).I32Const(1).I32Add().LocalSet(acc); });
+      f.LocalGet(acc);
+      return mb.Build();
+    };
+    return spec;
+  };
+  WorkloadSpec small = spec_of("lpt_small", 10);
+  WorkloadSpec big = spec_of("lpt_big", 5000);
+  std::string err;
+  eng.TierUp(small, CodegenOptions::ChromeV8(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  eng.TierUp(big, CodegenOptions::ChromeV8(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_GT(eng.tiering().ProfiledWork("lpt_big"), eng.tiering().ProfiledWork("lpt_small"));
+  EXPECT_EQ(eng.tiering().ProfiledWork("never_profiled"), 0u);
+
+  // Queue order: small first. Under LPT with ONE worker, the big job must
+  // execute first (its run finishes earlier in the worker's timeline); under
+  // FIFO the small job does. Wall-clock start order is observable through
+  // per-worker accumulation: with 1 worker, runs execute in dispatch order.
+  engine::RunRequest small_req;
+  small_req.spec = small;
+  small_req.options = CodegenOptions::ChromeV8();
+  small_req.collect_outputs = false;
+  engine::RunRequest big_req = small_req;
+  big_req.spec = big;
+
+  engine::ExecutorPool pool(&eng, 1);
+  engine::BatchReport lpt = pool.Run({small_req, big_req}, engine::SchedulePolicy::kLpt);
+  ASSERT_TRUE(lpt.all_ok());
+  EXPECT_EQ(lpt.schedule, engine::SchedulePolicy::kLpt);
+  // Results stay (request_index, rep)-ordered even though dispatch reordered.
+  ASSERT_EQ(lpt.runs.size(), 2u);
+  EXPECT_EQ(lpt.runs[0].request_index, 0u);
+  EXPECT_EQ(lpt.runs[1].request_index, 1u);
+
+  engine::BatchReport fifo = pool.Run({small_req, big_req}, engine::SchedulePolicy::kFifo);
+  ASSERT_TRUE(fifo.all_ok());
+  EXPECT_EQ(fifo.schedule, engine::SchedulePolicy::kFifo);
+  // Identical work either way: scheduling must not change WHAT ran.
+  EXPECT_NEAR(fifo.sim_seconds_total, lpt.sim_seconds_total, 1e-12);
 }
 
 TEST(ExecutorPool, WorkerIsolationNoFileLeaksAcrossRuns) {

@@ -1,8 +1,15 @@
 // Engine/Session/Instance embedder API: content-addressed code-cache
 // semantics (hit on identical content, miss on any semantic difference,
 // byte-identical programs across engines), session-level VFS sharing and
-// Reset() isolation, and engine statistics.
+// Reset() isolation, engine statistics, CompiledArtifact round-trips, and
+// the disk tier (persistence, corruption rejection, LRU eviction).
 #include "src/engine/engine.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
@@ -10,10 +17,43 @@
 #include "src/kernel/kernel.h"
 #include "src/polybench/polybench.h"
 #include "src/runtime/wasmlib.h"
+#include "src/support/str.h"
+#include "src/wasm/artifact_codec.h"
 #include "src/wasm/encoder.h"
 
 namespace nsf {
 namespace {
+
+// The compile-count assertions below assume engines have no ambient disk
+// tier; a developer's exported NSF_CACHE_DIR must not leak into them. Tests
+// that want the disk tier set EngineConfig::cache_dir explicitly.
+[[maybe_unused]] const bool kEnvScrubbed = [] {
+  unsetenv("NSF_CACHE_DIR");
+  unsetenv("NSF_CACHE_MAX_BYTES");
+  return true;
+}();
+
+// Fresh private directory for one disk-cache test; removed by the guard.
+struct TempCacheDir {
+  explicit TempCacheDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("nsf-engine-test-" + tag + "-" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+engine::EngineConfig DiskConfig(const std::string& dir, uint64_t max_bytes = 0) {
+  engine::EngineConfig config;
+  config.cache_dir = dir;
+  config.disk_cache_max_bytes = max_bytes;
+  return config;
+}
 
 // sum_squares(n): the quickstart kernel — small, pure, deterministic.
 Module SumSquaresModule(int32_t bias = 0) {
@@ -97,8 +137,8 @@ TEST(CodeCache, IndependentEnginesProduceByteIdenticalPrograms) {
   engine::CompiledModuleRef b = eng2.Compile(m, CodegenOptions::FirefoxSM());
   ASSERT_TRUE(a->ok && b->ok);
   EXPECT_NE(a.get(), b.get());
-  EXPECT_EQ(a->module_hash, b->module_hash);
-  EXPECT_EQ(a->fingerprint, b->fingerprint);
+  EXPECT_EQ(a->module_hash(), b->module_hash());
+  EXPECT_EQ(a->fingerprint(), b->fingerprint());
   EXPECT_EQ(a->program().total_code_bytes, b->program().total_code_bytes);
   EXPECT_EQ(ProgramListing(a->program()), ProgramListing(b->program()));
 }
@@ -109,11 +149,11 @@ TEST(CodeCache, DifferingOptionsOrModuleBytesMiss) {
   engine::CompiledModuleRef chrome = eng.Compile(m, CodegenOptions::ChromeV8());
   engine::CompiledModuleRef firefox = eng.Compile(m, CodegenOptions::FirefoxSM());
   EXPECT_NE(chrome.get(), firefox.get());
-  EXPECT_NE(chrome->fingerprint, firefox->fingerprint);
+  EXPECT_NE(chrome->fingerprint(), firefox->fingerprint());
   // A module whose encoded bytes differ (different constant) also misses.
   engine::CompiledModuleRef biased = eng.Compile(SumSquaresModule(7), CodegenOptions::ChromeV8());
   EXPECT_NE(biased.get(), chrome.get());
-  EXPECT_NE(biased->module_hash, chrome->module_hash);
+  EXPECT_NE(biased->module_hash(), chrome->module_hash());
   EXPECT_EQ(eng.Stats().cache_hits, 0u);
   EXPECT_EQ(eng.Stats().compiles, 3u);
 }
@@ -251,6 +291,305 @@ TEST(Instance, RepeatedRunsAreDeterministicAndCountRuns) {
   EXPECT_EQ(instance->runs(), 2u);
   // One compile total, no matter how many runs.
   EXPECT_EQ(eng.Stats().compiles, 1u);
+}
+
+TEST(Artifact, SerializeDeserializeRoundTrip) {
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(SumSquaresModule(3), CodegenOptions::ChromeV8());
+  ASSERT_TRUE(code->ok) << code->error;
+
+  std::vector<uint8_t> bytes = SerializeArtifact(code->artifact);
+  ASSERT_FALSE(bytes.empty());
+  CompiledArtifact restored;
+  std::string error;
+  ASSERT_TRUE(DeserializeArtifact(bytes, &restored, &error)) << error;
+
+  // Provenance survives.
+  EXPECT_EQ(restored.module_hash, code->module_hash());
+  EXPECT_EQ(restored.options_fingerprint, code->fingerprint());
+  EXPECT_EQ(restored.profile_name, code->profile_name());
+  EXPECT_EQ(restored.tier, CompileTier::kBaseline);
+  EXPECT_TRUE(restored.ok());
+
+  // The module round-trips content-identically (same hash => same bytes).
+  EXPECT_EQ(HashModule(restored.module), code->module_hash());
+
+  // The program relinks to the identical listing, addresses included.
+  EXPECT_EQ(restored.compiled.program.total_code_bytes, code->program().total_code_bytes);
+  EXPECT_EQ(ProgramListing(restored.compiled.program), ProgramListing(code->program()));
+  EXPECT_EQ(restored.compiled.func_map, code->compiled().func_map);
+  EXPECT_EQ(restored.compiled.import_hooks, code->compiled().import_hooks);
+  EXPECT_DOUBLE_EQ(restored.stats().seconds, code->stats().seconds);
+
+  // Serialization is a fixed point: encode(decode(encode(a))) == encode(a).
+  EXPECT_EQ(SerializeArtifact(restored), bytes);
+
+  // And the deserialized code RUNS identically to the compiled original.
+  auto wrapped = std::make_shared<engine::CompiledModule>();
+  wrapped->ok = true;
+  wrapped->artifact = std::move(restored);
+  engine::Session session(&eng);
+  engine::InstanceOptions opts;
+  opts.entry = "sum_squares";
+  std::string err;
+  auto original = session.Instantiate(code, opts, &err);
+  ASSERT_NE(original, nullptr) << err;
+  auto reloaded = session.Instantiate(wrapped, opts, &err);
+  ASSERT_NE(reloaded, nullptr) << err;
+  engine::RunOutcome a = original->RunExport("sum_squares", {11});
+  engine::RunOutcome b = reloaded->RunExport("sum_squares", {11});
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.counters.cycles(), b.counters.cycles());
+  EXPECT_EQ(a.counters.instructions_retired, b.counters.instructions_retired);
+}
+
+TEST(Artifact, TieredArtifactCarriesTierTagAndProfileFingerprint) {
+  Module m = SumSquaresModule();
+  Profile profile = Profile::ForModule(m);
+  profile.func(0).entry_count = 1;
+  profile.func(0).instrs_retired = 12345;
+  CodegenOptions tiered = CodegenOptions::ChromeV8();
+  tiered.profile = &profile;
+  tiered.pgo_layout = true;
+
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(m, tiered);
+  ASSERT_TRUE(code->ok) << code->error;
+  EXPECT_EQ(code->tier(), CompileTier::kProfiled);
+  std::vector<uint8_t> pbytes = profile.SerializeBinary();
+  EXPECT_EQ(code->artifact.profile_fingerprint, Fnv1a(pbytes.data(), pbytes.size()));
+
+  std::vector<uint8_t> bytes = SerializeArtifact(code->artifact);
+  CompiledArtifact restored;
+  std::string error;
+  ASSERT_TRUE(DeserializeArtifact(bytes, &restored, &error)) << error;
+  EXPECT_EQ(restored.tier, CompileTier::kProfiled);
+  EXPECT_EQ(restored.profile_fingerprint, code->artifact.profile_fingerprint);
+}
+
+TEST(Artifact, RejectsCorruptTruncatedAndVersionMismatchedBytes) {
+  engine::Engine eng;
+  engine::CompiledModuleRef code = eng.Compile(SumSquaresModule(), CodegenOptions::FirefoxSM());
+  ASSERT_TRUE(code->ok);
+  std::vector<uint8_t> good = SerializeArtifact(code->artifact);
+  CompiledArtifact out;
+  std::string error;
+
+  // Empty and short-header inputs.
+  EXPECT_FALSE(DeserializeArtifact({}, &out, &error));
+  EXPECT_FALSE(DeserializeArtifact({'N', 'S', 'F'}, &out, &error));
+
+  // Bad magic.
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeArtifact(bad_magic, &out, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  // Version drift: the version field sits right after the magic.
+  std::vector<uint8_t> bad_version = good;
+  bad_version[4] = static_cast<uint8_t>(kArtifactFormatVersion + 1);
+  EXPECT_FALSE(DeserializeArtifact(bad_version, &out, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+
+  // Source-fingerprint drift (an artifact written by a binary built from
+  // different compiler sources): the u64 after the version field.
+  std::vector<uint8_t> other_build = good;
+  other_build[8] ^= 0x01;
+  EXPECT_FALSE(DeserializeArtifact(other_build, &out, &error));
+  EXPECT_NE(error.find("different compiler sources"), std::string::npos) << error;
+
+  // Truncation at every region: header, early payload, mid-program.
+  for (size_t keep : {size_t{10}, size_t{40}, good.size() / 2, good.size() - 1}) {
+    std::vector<uint8_t> truncated(good.begin(), good.begin() + keep);
+    EXPECT_FALSE(DeserializeArtifact(truncated, &out, &error)) << "kept " << keep;
+  }
+
+  // Single-byte payload corruption: caught by the checksum.
+  std::vector<uint8_t> flipped = good;
+  flipped[good.size() / 2] ^= 0x40;
+  EXPECT_FALSE(DeserializeArtifact(flipped, &out, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+
+  // Trailing garbage is rejected too (the checksum covers it).
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializeArtifact(padded, &out, &error));
+
+  // The pristine bytes still decode after all that.
+  EXPECT_TRUE(DeserializeArtifact(good, &out, &error)) << error;
+}
+
+TEST(DiskCache, SecondEngineLoadsArtifactInsteadOfCompiling) {
+  TempCacheDir dir("reload");
+  Module m = SumSquaresModule(5);
+
+  engine::Engine first(DiskConfig(dir.path));
+  engine::CompiledModuleRef a = first.Compile(m, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(a->ok) << a->error;
+  EXPECT_FALSE(a->from_disk);
+  engine::EngineStats fs = first.Stats();
+  EXPECT_EQ(fs.compiles, 1u);
+  EXPECT_EQ(fs.disk_misses, 1u);  // cold probe before the compile
+  EXPECT_EQ(fs.disk_stores, 1u);
+
+  // A second engine (fresh memory tier — a new process, morally) must serve
+  // the key from disk: zero backend compiles, and the call counts as a hit.
+  engine::Engine second(DiskConfig(dir.path));
+  bool was_hit = false;
+  engine::CompiledModuleRef b = second.Compile(m, CodegenOptions::ChromeV8(), &was_hit);
+  ASSERT_TRUE(b->ok) << b->error;
+  EXPECT_TRUE(was_hit);
+  EXPECT_TRUE(b->from_disk);
+  engine::EngineStats ss = second.Stats();
+  EXPECT_EQ(ss.compiles, 0u);
+  EXPECT_EQ(ss.disk_hits, 1u);
+  EXPECT_GT(ss.deserialize_seconds, 0.0);
+  EXPECT_EQ(ss.cache_hits, 1u);  // the disk tier is still "the cache"
+
+  // Byte-identical program either way.
+  EXPECT_EQ(ProgramListing(a->program()), ProgramListing(b->program()));
+  EXPECT_EQ(a->program().total_code_bytes, b->program().total_code_bytes);
+
+  // Within the second engine, the next request is a MEMORY hit (no new disk
+  // traffic): level 1 fronts level 2.
+  engine::CompiledModuleRef c = second.Compile(m, CodegenOptions::ChromeV8());
+  EXPECT_EQ(c.get(), b.get());
+  EXPECT_EQ(second.Stats().disk_hits, 1u);
+}
+
+TEST(DiskCache, CorruptAndTruncatedFilesRecompileCleanly) {
+  TempCacheDir dir("corrupt");
+  Module m = SumSquaresModule(9);
+  std::string path;
+  {
+    engine::Engine writer(DiskConfig(dir.path));
+    ASSERT_TRUE(writer.Compile(m, CodegenOptions::ChromeV8())->ok);
+    path = writer.cache().disk().PathForKey(HashModule(m),
+                                            CodegenOptions::ChromeV8().Fingerprint());
+    ASSERT_TRUE(std::filesystem::exists(path));
+  }
+
+  // Flip a payload byte on disk: the next engine must reject the file,
+  // recompile, and leave a healthy entry behind.
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 64, SEEK_SET);
+    int byte = fgetc(f);
+    fseek(f, 64, SEEK_SET);
+    fputc(byte ^ 0xff, f);
+    fclose(f);
+  }
+  engine::Engine after_corruption(DiskConfig(dir.path));
+  engine::CompiledModuleRef a = after_corruption.Compile(m, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(a->ok) << a->error;
+  EXPECT_FALSE(a->from_disk);
+  engine::EngineStats cs = after_corruption.Stats();
+  EXPECT_EQ(cs.disk_load_failures, 1u);
+  EXPECT_EQ(cs.compiles, 1u);
+  EXPECT_EQ(cs.disk_stores, 1u);  // repopulated
+
+  // Truncate the repopulated file: same story.
+  std::filesystem::resize_file(path, 16);
+  engine::Engine after_truncation(DiskConfig(dir.path));
+  engine::CompiledModuleRef b = after_truncation.Compile(m, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(b->ok) << b->error;
+  EXPECT_EQ(after_truncation.Stats().disk_load_failures, 1u);
+  EXPECT_EQ(after_truncation.Stats().compiles, 1u);
+
+  // And a third engine now loads the twice-repaired entry from disk.
+  engine::Engine healthy(DiskConfig(dir.path));
+  engine::CompiledModuleRef c = healthy.Compile(m, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(c->ok);
+  EXPECT_TRUE(c->from_disk);
+  EXPECT_EQ(ProgramListing(a->program()), ProgramListing(c->program()));
+}
+
+TEST(DiskCache, EvictionRespectsSizeBoundLruFirst) {
+  TempCacheDir dir("evict");
+  // Measure one artifact's footprint, then budget for about three of them.
+  uint64_t one_artifact_bytes = 0;
+  {
+    TempCacheDir probe_dir("evict-probe");
+    engine::Engine probe(DiskConfig(probe_dir.path));
+    ASSERT_TRUE(probe.Compile(SumSquaresModule(0), CodegenOptions::ChromeV8())->ok);
+    one_artifact_bytes = probe.cache().disk().DirSizeBytes();
+    ASSERT_GT(one_artifact_bytes, 0u);
+  }
+  const uint64_t budget = one_artifact_bytes * 3 + one_artifact_bytes / 2;
+  engine::Engine eng(DiskConfig(dir.path, budget));
+  const int kModules = 8;
+  for (int i = 0; i < kModules; i++) {
+    ASSERT_TRUE(eng.Compile(SumSquaresModule(i), CodegenOptions::ChromeV8())->ok);
+    // The bound holds after EVERY store, not just at the end.
+    EXPECT_LE(eng.cache().disk().DirSizeBytes(), budget) << "after module " << i;
+  }
+  engine::EngineStats s = eng.Stats();
+  EXPECT_GT(s.disk_evictions, 0u);
+  EXPECT_EQ(s.disk_stores, static_cast<uint64_t>(kModules));
+
+  // LRU: the newest keys survive, the oldest were evicted. Probe with fresh
+  // engines so the memory tier can't answer.
+  engine::Engine probe_new(DiskConfig(dir.path, budget));
+  engine::CompiledModuleRef newest =
+      probe_new.Compile(SumSquaresModule(kModules - 1), CodegenOptions::ChromeV8());
+  ASSERT_TRUE(newest->ok);
+  EXPECT_TRUE(newest->from_disk) << "most recently stored artifact was evicted";
+
+  engine::Engine probe_old(DiskConfig(dir.path, budget));
+  engine::CompiledModuleRef oldest =
+      probe_old.Compile(SumSquaresModule(0), CodegenOptions::ChromeV8());
+  ASSERT_TRUE(oldest->ok);
+  EXPECT_FALSE(oldest->from_disk) << "least recently used artifact should have been evicted";
+}
+
+TEST(DiskCache, LoadRefreshesLruRecency) {
+  TempCacheDir dir("lru-touch");
+  uint64_t one_artifact_bytes = 0;
+  {
+    engine::Engine probe(DiskConfig(dir.path));
+    ASSERT_TRUE(probe.Compile(SumSquaresModule(100), CodegenOptions::ChromeV8())->ok);
+    one_artifact_bytes = probe.cache().disk().DirSizeBytes();
+    std::filesystem::remove_all(dir.path);
+  }
+  const uint64_t budget = one_artifact_bytes * 2 + one_artifact_bytes / 2;  // fits 2
+
+  engine::Engine eng(DiskConfig(dir.path, budget));
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(100), CodegenOptions::ChromeV8())->ok);
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(101), CodegenOptions::ChromeV8())->ok);
+  // Touch key 100 from a fresh engine: its mtime becomes the newest.
+  {
+    engine::Engine toucher(DiskConfig(dir.path, budget));
+    engine::CompiledModuleRef r =
+        toucher.Compile(SumSquaresModule(100), CodegenOptions::ChromeV8());
+    ASSERT_TRUE(r->ok);
+    ASSERT_TRUE(r->from_disk);
+  }
+  // A third store must now evict 101 (least recently used), not 100.
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(102), CodegenOptions::ChromeV8())->ok);
+  engine::Engine probe100(DiskConfig(dir.path, budget));
+  EXPECT_TRUE(probe100.Compile(SumSquaresModule(100), CodegenOptions::ChromeV8())->from_disk);
+  engine::Engine probe101(DiskConfig(dir.path, budget));
+  EXPECT_FALSE(probe101.Compile(SumSquaresModule(101), CodegenOptions::ChromeV8())->from_disk);
+}
+
+TEST(DiskCache, MiskeyedFileIsRejected) {
+  TempCacheDir dir("miskey");
+  Module m1 = SumSquaresModule(1);
+  Module m2 = SumSquaresModule(2);
+  engine::Engine writer(DiskConfig(dir.path));
+  ASSERT_TRUE(writer.Compile(m1, CodegenOptions::ChromeV8())->ok);
+  // Rename m1's artifact over m2's key: a filename/content key disagreement,
+  // as a stray copy or collision would produce.
+  uint64_t fp = CodegenOptions::ChromeV8().Fingerprint();
+  std::filesystem::rename(writer.cache().disk().PathForKey(HashModule(m1), fp),
+                          writer.cache().disk().PathForKey(HashModule(m2), fp));
+  engine::Engine reader(DiskConfig(dir.path));
+  engine::CompiledModuleRef r = reader.Compile(m2, CodegenOptions::ChromeV8());
+  ASSERT_TRUE(r->ok);
+  EXPECT_FALSE(r->from_disk);  // rejected the mis-keyed file, recompiled
+  EXPECT_EQ(reader.Stats().disk_load_failures, 1u);
 }
 
 TEST(Engine, PolybenchWorkloadEndToEnd) {
