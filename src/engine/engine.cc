@@ -144,6 +144,10 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
       if (disk_.Load(module_hash, fingerprint, &loaded->artifact)) {
         loaded->ok = true;
         loaded->from_disk = true;
+        // Predecode is part of publishing a cache entry regardless of which
+        // tier produced it: a warm-disk process pays it once per key here,
+        // never per Instance or per run.
+        loaded->BuildDecoded();
         result = std::move(loaded);
         *was_hit = true;  // served from the cache — just the slower tier
       }
@@ -285,6 +289,42 @@ uint64_t TieringPolicy::ProfiledWork(const std::string& name) const {
   return p != nullptr ? p->total_instrs() : 0;
 }
 
+void TieringPolicy::RecordRun(const std::string& name, double sim_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RunHistory& h = history_[name];
+  h.runs++;
+  h.total_sim_seconds += sim_seconds;
+}
+
+double TieringPolicy::ObservedSeconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(name);
+  return it != history_.end() && it->second.runs > 0
+             ? it->second.total_sim_seconds / static_cast<double>(it->second.runs)
+             : 0.0;
+}
+
+uint64_t TieringPolicy::ObservedRuns(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(name);
+  return it != history_.end() ? it->second.runs : 0;
+}
+
+double TieringPolicy::EstimateSeconds(const std::string& name, uint64_t* observed_runs) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = history_.find(name);
+  uint64_t runs = it != history_.end() ? it->second.runs : 0;
+  if (observed_runs != nullptr) {
+    *observed_runs = runs;
+  }
+  if (runs > 0) {
+    return it->second.total_sim_seconds / static_cast<double>(runs);
+  }
+  const Profile* p = manager_.CachedProfile(name);
+  // Nominal instructions/second bridge; only the relative order matters.
+  return p != nullptr ? static_cast<double>(p->total_instrs()) / 3.5e9 : 0.0;
+}
+
 // --- Engine ---
 
 Engine::Engine(EngineConfig config)
@@ -311,6 +351,7 @@ CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_
     return result;
   }
   result->ok = true;
+  result->BuildDecoded();
   return result;
 }
 
@@ -440,8 +481,12 @@ RunOutcome Instance::RunExport(const std::string& name, const std::vector<uint64
 RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>& args) {
   RunOutcome out;
   // Fresh machine and process per run: repeated runs of one Instance must not
-  // see each other's heap, only the session's shared filesystem.
-  SimMachine machine(&code_->program());
+  // see each other's heap, only the session's shared filesystem. The machine
+  // executes the module's shared DecodedProgram (predecoded once at cache
+  // publish) and borrows its big buffers from the session's pool — both are
+  // invisible to results, they only remove per-run setup cost.
+  SimMachine machine(&code_->program(), code_->decoded_program(), &session_->buffer_pool());
+  machine.set_dispatch(options_.dispatch);
   if (options_.fuel != 0) {
     machine.set_fuel(options_.fuel);
   }

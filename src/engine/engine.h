@@ -54,6 +54,7 @@
 #include "src/engine/disk_cache.h"
 #include "src/engine/workload.h"
 #include "src/kernel/kernel.h"
+#include "src/machine/decode.h"
 #include "src/machine/machine.h"
 #include "src/profile/tier.h"
 #include "src/wasm/module.h"
@@ -70,6 +71,20 @@ struct CompiledModule {
   std::string error;      // "module invalid: ..." / "compile failed: ..."
   bool from_disk = false; // deserialized from the disk tier, not compiled
   CompiledArtifact artifact;
+  // Predecoded simulator stream (src/machine/decode.h) over artifact's
+  // program. Built exactly once per code-cache entry — after a backend
+  // compile AND after a disk-tier artifact load — so every Instance and every
+  // run shares it; references `artifact`, which this struct owns.
+  std::shared_ptr<const DecodedProgram> decoded;
+
+  // Builds `decoded` from the (linked) compiled program. Called by the
+  // Engine at publish time; idempotent.
+  void BuildDecoded() {
+    if (decoded == nullptr && ok) {
+      decoded = std::make_shared<DecodedProgram>(Predecode(artifact.program()));
+    }
+  }
+  const DecodedProgram* decoded_program() const { return decoded.get(); }
 
   const Module& module() const { return artifact.module; }
   uint64_t module_hash() const { return artifact.module_hash; }
@@ -196,6 +211,25 @@ class TieringPolicy {
   // 0 when the workload was never profiled. Thread-safe, never profiles.
   uint64_t ProfiledWork(const std::string& name) const;
 
+  // --- Run-history table (observed per-key simulated seconds) ---
+  // Every batch run records its workload's simulated seconds here;
+  // ExecutorPool's LPT schedule prefers these observed means over the
+  // warm-up instruction counts, which misestimate whenever interpreted and
+  // compiled instruction mixes diverge. Thread-safe.
+  void RecordRun(const std::string& name, double sim_seconds);
+  // Mean observed simulated seconds for `name`; 0 when never recorded.
+  double ObservedSeconds(const std::string& name) const;
+  uint64_t ObservedRuns(const std::string& name) const;
+  // The LPT work estimate, in (approximate) seconds: the observed mean when
+  // the run history has this key, else the warm-up profile's instruction
+  // count at a nominal 3.5e9 instructions/second (the cost model's clock —
+  // only the ORDER matters, so a rough bridge between the two unit systems
+  // is fine), else 0 — an all-zero batch keeps queue order under the stable
+  // sort, which is the documented FIFO fallback. `observed_runs` (optional)
+  // receives the key's run-history depth under the same lock acquisition,
+  // so schedulers don't pay a second lock round-trip per request.
+  double EstimateSeconds(const std::string& name, uint64_t* observed_runs = nullptr) const;
+
   // Not synchronized — only touch the raw manager from one thread.
   TierManager& manager() { return manager_; }
   uint64_t warmup_runs() const { return warmup_runs_.load(std::memory_order_relaxed); }
@@ -210,9 +244,15 @@ class TieringPolicy {
     std::string error;
   };
 
-  mutable std::mutex mu_;  // guards manager_'s cache and inflight_
+  struct RunHistory {
+    uint64_t runs = 0;
+    double total_sim_seconds = 0;
+  };
+
+  mutable std::mutex mu_;  // guards manager_'s cache, inflight_, history_
   TierManager manager_;
   std::map<std::string, std::shared_ptr<WarmupLatch>> inflight_;
+  std::map<std::string, RunHistory> history_;
   std::atomic<uint64_t> warmup_runs_{0};  // interpreter warm-ups actually executed
 };
 
@@ -317,6 +357,9 @@ struct InstanceOptions {
   std::vector<std::string> argv = {"prog"};
   std::string entry = "main";
   uint64_t fuel = 0;  // 0 = machine default cap
+  // Interpreter core. kPredecoded is the production path; kLegacy selects
+  // the reference switch interpreter (differential tests, perf baselines).
+  SimDispatch dispatch = SimDispatch::kPredecoded;
 };
 
 // One run's observable result (the harness layers validation and statistics
@@ -350,8 +393,15 @@ class Session {
 
   // Drops every staged file and all kernel accounting. References previously
   // returned by kernel()/fs() are invalidated; live Instances pick up the
-  // fresh kernel on their next Run().
+  // fresh kernel on their next Run(). The machine-buffer pool deliberately
+  // SURVIVES Reset: recycled buffers are scrubbed back to zero by the
+  // machine that used them, so reuse is invisible to isolation — only the
+  // 8 MB-per-run allocation cost disappears.
   void Reset();
+
+  // Pool of simulated stack/heap/table buffers recycled across this
+  // session's runs (SimMachine scrubs dirtied ranges on release).
+  SimBufferPool& buffer_pool() { return buffer_pool_; }
 
   // Binds compiled code into this session. Returns null and sets *error when
   // the compile failed or the entry export is missing. The Instance holds a
@@ -370,6 +420,7 @@ class Session {
  private:
   Engine* engine_;
   std::unique_ptr<BrowsixKernel> kernel_;
+  SimBufferPool buffer_pool_;
 };
 
 // Compiled code bound to a session with fixed argv/entry/fuel. Run() executes

@@ -70,6 +70,9 @@ BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
   }
   r.ok = true;
   r.wall_seconds = SecondsSince(t0);
+  // Feed the run-history table: future LPT schedules order by this key's
+  // observed simulated seconds instead of warm-up instruction counts.
+  session->engine()->tiering().RecordRun(request.spec.name, r.outcome.seconds);
   return r;
 }
 
@@ -181,13 +184,19 @@ BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests,
   }
   report.runs.resize(total_jobs);
 
-  // LPT: one profiled-work estimate per request (all reps of a request share
-  // it). 0 for never-profiled workloads, so a batch with no profiles keeps
-  // its queue order under the stable sort — the documented FIFO fallback.
-  std::vector<uint64_t> request_work(requests.size(), 0);
+  // LPT: one work estimate per request (all reps of a request share it) —
+  // the observed mean simulated seconds when the run-history table has the
+  // key, else the profiled-work fallback. 0 for cold workloads, so a batch
+  // with no history or profiles keeps its queue order under the stable sort
+  // — the documented FIFO fallback.
+  std::vector<double> request_work(requests.size(), 0.0);
   if (schedule == SchedulePolicy::kLpt) {
     for (size_t i = 0; i < requests.size(); i++) {
-      request_work[i] = engine_->tiering().ProfiledWork(requests[i].spec.name);
+      uint64_t observed_runs = 0;
+      request_work[i] = engine_->tiering().EstimateSeconds(requests[i].spec.name, &observed_runs);
+      if (observed_runs > 0) {
+        report.lpt_observed_requests++;
+      }
     }
   }
 

@@ -43,14 +43,18 @@ struct RunRequest {
 };
 
 // How ExecutorPool orders jobs onto free workers.
-//   kLpt  — longest-processing-time-first by each request's profiled work
-//           estimate (TieringPolicy::ProfiledWork: the warm-up profile's
-//           interpreted-instruction count, monotone in simulated seconds).
-//           Classic greedy makespan heuristic: big jobs can't land last and
-//           leave one worker running alone. Requests with no profile carry
-//           estimate 0, so an entirely unprofiled batch degrades to exactly
-//           kFifo (the sort is stable).
+//   kLpt  — longest-processing-time-first by each request's work estimate
+//           (TieringPolicy::EstimateSeconds): the OBSERVED mean simulated
+//           seconds from the run-history table when the key has run before,
+//           else the warm-up profile's instruction count scaled to nominal
+//           seconds. Classic greedy makespan heuristic: big jobs can't land
+//           last and leave one worker running alone. Requests with neither
+//           history nor profile carry estimate 0, so an entirely cold batch
+//           degrades to exactly kFifo (the sort is stable).
 //   kFifo — pure queue order (request-major, then rep), the pre-LPT behavior.
+//
+// Every completed run feeds the run-history table (TieringPolicy::RecordRun),
+// so LPT estimates sharpen as batches repeat.
 enum class SchedulePolicy : uint8_t { kLpt, kFifo };
 
 const char* SchedulePolicyName(SchedulePolicy policy);
@@ -85,6 +89,9 @@ struct BatchReport {
   double sim_seconds_total = 0;   // sum of simulated seconds across runs
   double sim_makespan_seconds = 0;
   std::vector<double> worker_sim_seconds;  // indexed by worker
+  // Under kLpt: how many requests carried an observed run-history estimate
+  // (vs the profiled-work fallback or none). 0 under kFifo.
+  uint64_t lpt_observed_requests = 0;
   EngineStats stats_before;  // engine snapshot when the batch started
   EngineStats stats_after;   // engine snapshot when the batch finished
 

@@ -1,6 +1,15 @@
 // The simulated CPU that executes MPrograms and maintains architectural
 // performance counters — the stand-in for the paper's Xeon + `perf` setup.
 //
+// Two dispatch paths execute the same ISA with bit-identical PerfCounters:
+//   - kPredecoded (default): a DecodedProgram (src/machine/decode.h) run
+//     under threaded dispatch — computed goto where available, a portable
+//     switch behind NSF_NO_COMPUTED_GOTO. This is the fast path every
+//     engine::Instance uses.
+//   - kLegacy: the original giant-switch interpreter over raw MInstrs, kept
+//     as the reference semantics for the differential suite
+//     (tests/decode_test.cc) and the bench/sim_throughput speedup baseline.
+//
 // Address-space layout (all code agrees on these):
 //   [kStackBase,  kStackBase + kStackSize)   native call stack (rsp herein)
 //   [kGlobalsBase, ...)                      Wasm globals, 8 bytes per slot
@@ -11,21 +20,30 @@
 #define SRC_MACHINE_MACHINE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/machine/cache.h"
+#include "src/support/str.h"
 #include "src/wasm/trap.h"
 #include "src/x64/insts.h"
 
 namespace nsf {
+
+struct DecodedProgram;
+struct DInstr;
 
 inline constexpr uint64_t kStackBase = 0x00100000;
 inline constexpr uint64_t kStackSize = 8 * 1024 * 1024;
 inline constexpr uint64_t kGlobalsBase = 0x04000000;
 inline constexpr uint64_t kTableBase = 0x05000000;
 inline constexpr uint64_t kHeapBase = 0x10000000;
+
+// Default execution budget when set_fuel was never called (see SimMachine).
+inline constexpr uint64_t kSimDefaultFuel = 200ull * 1000 * 1000 * 1000;
 
 // Builtin host-hook ids handled by the machine itself.
 inline constexpr uint32_t kBuiltinMemorySize = 0xffff0000;
@@ -78,6 +96,7 @@ struct PerfCounters {
 
   PerfCounters operator-(const PerfCounters& other) const;
   PerfCounters& operator+=(const PerfCounters& other);
+  bool operator==(const PerfCounters& other) const = default;
 };
 
 struct MachineResult {
@@ -88,13 +107,54 @@ struct MachineResult {
   double ret_f = 0.0;   // xmm0 on return
 };
 
+// Which interpreter core executes the program.
+enum class SimDispatch : uint8_t {
+  kPredecoded,  // decoded stream, threaded dispatch (default)
+  kLegacy,      // pre-predecode switch interpreter (reference semantics)
+};
+
 class SimMachine;
 // A host hook reads arguments from registers/memory and writes results back.
 using HostHook = std::function<void(SimMachine&)>;
 
+// Recycles the big simulated-memory buffers (the 8 MB stack, the Wasm heap,
+// globals, and the table image) across SimMachine constructions: a machine
+// built from a pool takes the previous run's buffers — already scrubbed back
+// to zero on release, and only over the ranges that run actually dirtied —
+// instead of page-faulting fresh allocations every run. Single-slot and
+// deliberately not thread-safe: the Session that owns it runs one machine at
+// a time (each ExecutorPool worker has its own Session, hence its own pool).
+class SimBufferPool {
+ public:
+  uint64_t acquires() const { return acquires_; }
+  // Acquisitions that found recycled buffers (0 on the first run).
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  friend class SimMachine;
+  std::vector<uint8_t> stack_;
+  std::vector<uint8_t> heap_;
+  std::vector<uint8_t> table_;
+  std::vector<uint64_t> globals_;
+  bool has_buffers_ = false;
+  uint64_t acquires_ = 0;
+  uint64_t reuses_ = 0;
+};
+
 class SimMachine {
  public:
   explicit SimMachine(const MProgram* program, CostModel cost = CostModel());
+
+  // Engine path: executes `decoded` (which references its MProgram; both must
+  // outlive the machine), borrowing buffers from `pool` when non-null.
+  // Either argument may be null: a null `decoded` predecodes lazily on the
+  // first non-legacy Run, a null `pool` allocates fresh buffers.
+  SimMachine(const MProgram* program, const DecodedProgram* decoded, SimBufferPool* pool,
+             CostModel cost = CostModel());
+
+  ~SimMachine();
+  SimMachine(const SimMachine&) = delete;
+  SimMachine& operator=(const SimMachine&) = delete;
 
   // Registers a host hook for kCallHost index `idx` (dense, small indices).
   void RegisterHost(uint32_t idx, HostHook hook);
@@ -112,6 +172,12 @@ class SimMachine {
   // used to stage arguments for RunAt.
   void WriteStack(uint64_t addr, uint64_t bits);
 
+  // Selects the interpreter core for subsequent Run/RunAt calls. Both modes
+  // produce bit-identical PerfCounters; kLegacy exists as the differential
+  // reference and perf baseline.
+  void set_dispatch(SimDispatch dispatch) { dispatch_ = dispatch; }
+  SimDispatch dispatch() const { return dispatch_; }
+
   // --- Register access (for hooks and tests) ---
   uint64_t gpr(Gpr r) const { return gprs_[static_cast<uint8_t>(r)]; }
   void set_gpr(Gpr r, uint64_t v) { gprs_[static_cast<uint8_t>(r)] = v; }
@@ -125,7 +191,12 @@ class SimMachine {
   bool HeapRead(uint32_t addr, void* out, uint32_t size) const;
   bool HeapWrite(uint32_t addr, const void* data, uint32_t size);
   uint32_t heap_pages() const { return static_cast<uint32_t>(heap_.size() / 65536); }
-  std::vector<uint8_t>& heap() { return heap_; }
+  std::vector<uint8_t>& heap() {
+    // The caller can now write anywhere, any time: the pool scrub must treat
+    // the whole heap as dirtied.
+    heap_exposed_ = true;
+    return heap_;
+  }
 
   uint64_t global_bits(uint32_t slot) const { return globals_[slot]; }
   void set_global_bits(uint32_t slot, uint64_t v) { globals_[slot] = v; }
@@ -151,19 +222,127 @@ class SimMachine {
  private:
   struct Frame {
     uint32_t func = 0;
-    uint32_t ret_pc = 0;
+    uint32_t ret_pc = 0;  // original pc (legacy) or decoded index (predecoded)
   };
 
   // Memory routing: translates a simulated address to a host pointer, or
   // nullptr when out of range.
-  uint8_t* MemPtr(uint64_t addr, uint32_t size);
+  uint8_t* MemPtr(uint64_t addr, uint32_t size) {
+    if (addr >= kHeapBase) {
+      uint64_t off = addr - kHeapBase;
+      if (off + size <= heap_.size()) {
+        return heap_.data() + off;
+      }
+      return nullptr;
+    }
+    if (addr >= kTableBase) {
+      uint64_t off = addr - kTableBase;
+      if (off + size <= table_image_.size()) {
+        return table_image_.data() + off;
+      }
+      return nullptr;
+    }
+    if (addr >= kGlobalsBase) {
+      uint64_t off = addr - kGlobalsBase;
+      if (off + size <= globals_.size() * 8) {
+        return reinterpret_cast<uint8_t*>(globals_.data()) + off;
+      }
+      return nullptr;
+    }
+    if (addr >= kStackBase) {
+      uint64_t off = addr - kStackBase;
+      if (off + size <= stack_.size()) {
+        return stack_.data() + off;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  // Pool-scrub bookkeeping: remembers which byte ranges a run dirtied so the
+  // destructor only memsets those, not the whole 8 MB + heap.
+  void NoteStore(uint64_t addr, uint32_t size) {
+    if (addr >= kHeapBase) {
+      uint64_t off = addr - kHeapBase;
+      if (off < heap_dirty_lo_) {
+        heap_dirty_lo_ = off;
+      }
+      if (off + size > heap_dirty_hi_) {
+        heap_dirty_hi_ = off + size;
+      }
+    } else if (addr < kGlobalsBase) {
+      uint64_t off = addr - kStackBase;
+      if (off < stack_dirty_lo_) {
+        stack_dirty_lo_ = off;
+      }
+    }
+  }
+
+  // Data access shared by both dispatch paths: routes, counts, charges cache
+  // penalties. Inline — this is the hottest helper in the simulator.
+  bool DataAccess(uint64_t addr, uint32_t size, bool is_store, uint8_t** out) {
+    uint8_t* p = MemPtr(addr, size);
+    if (p == nullptr) {
+      pending_trap_ = TrapKind::kMemoryOutOfBounds;
+      trap_msg_ = StrFormat("data access at 0x%llx size %u", (unsigned long long)addr, size);
+      return false;
+    }
+    if (is_store) {
+      counters_.stores_retired++;
+      counters_.micro_cycles += cost_.store;
+      NoteStore(addr, size);
+    } else {
+      counters_.loads_retired++;
+      counters_.micro_cycles += cost_.load;
+    }
+    if (!l1d_.Access(addr)) {
+      counters_.l1d_misses++;
+      counters_.micro_cycles += cost_.l1_miss;
+      if (!l2_.Access(addr)) {
+        counters_.l2_misses++;
+        counters_.micro_cycles += cost_.l2_miss;
+      }
+    }
+    *out = p;
+    return true;
+  }
 
   uint64_t EffectiveAddr(const MemRef& m) const;
   bool EvalCond(Cond c) const;
 
-  TrapKind Exec();  // runs until outermost ret / trap
+  // Operand accessors for the legacy/generic bodies (operand-kind switches).
+  bool ReadInt(const Operand& o, uint8_t width, uint64_t* out);
+  bool WriteInt(const Operand& o, uint8_t width, uint64_t v);
+  bool ReadFpBits(const Operand& o, uint8_t width, uint64_t* out);
+  bool WriteFpBits(const Operand& o, uint8_t width, uint64_t v);
+
+  // Instruction fetch through the L1i model for a possibly multi-line span
+  // (the predecoded path inlines the common single-line case).
+  void FetchL1i(uint64_t addr, uint32_t size);
+
+  // rdx:rax division convention shared by both paths. False on trap.
+  bool DivOp(bool is_signed, uint8_t width, uint64_t divisor);
+  // Truncating float->int with Wasm trap semantics. False on trap.
+  bool TruncFloatToInt(double v, uint8_t width, bool sign_extend, uint64_t* out);
+
+  // Executes one NON-control-flow instruction's legacy body (cost charge +
+  // semantics; fetch/retire/fuel are the caller's). False on trap. This is
+  // the single source of truth the predecoded kGeneric handler and the
+  // legacy loop share for every un-specialized shape.
+  bool ExecGenericOp(const MInstr& instr);
+
+  TrapKind ExecLegacy();    // pre-predecode switch interpreter
+  TrapKind ExecDecoded();   // threaded dispatch over decoded_ (decode.cc)
+  void EnsureDecoded();
+
+  void InitMemory(SimBufferPool* pool);
+  void ReleaseBuffers();  // scrub dirtied ranges, hand buffers back to pool_
 
   const MProgram* program_;
+  const DecodedProgram* decoded_ = nullptr;
+  std::unique_ptr<DecodedProgram> owned_decoded_;
+  SimBufferPool* pool_ = nullptr;
+  SimDispatch dispatch_ = SimDispatch::kPredecoded;
   CostModel cost_;
   uint64_t gprs_[16] = {};
   uint64_t xmms_[16] = {};
@@ -183,6 +362,12 @@ class SimMachine {
   std::vector<uint64_t> globals_;
   std::vector<uint8_t> table_image_;
   std::vector<HostHook> hooks_;
+
+  // Dirty tracking for the pool scrub (see NoteStore / ReleaseBuffers).
+  uint64_t stack_dirty_lo_ = kStackSize;
+  uint64_t heap_dirty_lo_ = UINT64_MAX;
+  uint64_t heap_dirty_hi_ = 0;
+  bool heap_exposed_ = false;
 
   std::vector<Frame> frames_;
   uint32_t cur_func_ = 0;
