@@ -106,11 +106,11 @@ int main() {
               (unsigned long long)leg.report.failed_runs);
       failed = true;
     }
-    uint64_t leg_compiles =
-        leg.report.stats_after.compiles - leg.report.stats_before.compiles;
-    if (leg_compiles != 0) {
+    engine::EngineStats leg_stats =
+        EngineStatsDelta(leg.report.stats_after, leg.report.stats_before);
+    if (leg_stats.compiles != 0) {
       fprintf(stderr, "!! %d-worker leg recompiled %llu cached keys\n", workers,
-              (unsigned long long)leg_compiles);
+              (unsigned long long)leg_stats.compiles);
       failed = true;
     }
     legs.push_back(std::move(leg));
@@ -128,7 +128,7 @@ int main() {
     if (leg.workers == 4) {
       speedup_4 = speedup;
     }
-    uint64_t leg_lock_waits = r.stats_after.lock_waits - r.stats_before.lock_waits;
+    uint64_t leg_lock_waits = EngineStatsDelta(r.stats_after, r.stats_before).lock_waits;
     table.push_back({StrFormat("%d", leg.workers), StrFormat("%zu", r.runs.size()),
                      StrFormat("%.6fs", r.sim_makespan_seconds), StrFormat("%.1f", throughput),
                      StrFormat("%.2fx", speedup), StrFormat("%.2f", r.wall_seconds),
@@ -199,24 +199,27 @@ int main() {
          engine::SchedulePolicyName(lpt_leg.schedule), lpt_makespan, makespan_delta,
          lpt_speedup, (unsigned long long)lpt_leg.lpt_observed_requests, requests.size());
 
+  // The cold block shares the one EngineStats emission path (bench_util.h);
+  // the engine was fresh before the cold phase, so cs is the phase delta.
   std::string json = StrFormat(
       "\"suite\":\"polybench\",\"pairs\":%zu,"
-      "\"cold\":{\"workers\":8,\"runs\":%llu,\"compiles\":%llu,\"cache_hits\":%llu,"
-      "\"cache_misses\":%llu,\"compile_joins\":%llu,\"lock_waits\":%llu,"
-      "\"lock_wait_seconds\":%.6f,\"duplicate_compiles\":%llu},"
+      "\"cold\":%s,"
       "\"sweep\":{%s},\"speedup_4_vs_1\":%.3f,"
       "\"scheduling\":{\"workers\":4,\"%s_makespan_seconds\":%.9f,"
       "\"%s_makespan_seconds\":%.9f,\"makespan_delta_seconds\":%.9f,"
       "\"lpt_speedup\":%.3f,\"lpt_estimator\":\"observed-sim-seconds\","
       "\"lpt_observed_requests\":%llu,\"observed_keys\":%llu}",
-      pairs, (unsigned long long)cold_runs, (unsigned long long)cs.compiles,
-      (unsigned long long)cs.cache_hits, (unsigned long long)cs.cache_misses,
-      (unsigned long long)cs.compile_joins, (unsigned long long)cs.lock_waits,
-      cs.lock_wait_seconds,
-      (unsigned long long)(cs.compiles > pairs ? cs.compiles - pairs : 0), sweep_json.c_str(),
-      speedup_4, engine::SchedulePolicyName(fifo_leg.schedule), fifo_makespan,
-      engine::SchedulePolicyName(lpt_leg.schedule), lpt_makespan, makespan_delta,
-      lpt_speedup, (unsigned long long)lpt_leg.lpt_observed_requests,
+      pairs,
+      EngineStatsJsonWith(cs, StrFormat("\"workers\":8,\"runs\":%llu,"
+                                        "\"duplicate_compiles\":%llu",
+                                        (unsigned long long)cold_runs,
+                                        (unsigned long long)(cs.compiles > pairs
+                                                                 ? cs.compiles - pairs
+                                                                 : 0)))
+          .c_str(),
+      sweep_json.c_str(), speedup_4, engine::SchedulePolicyName(fifo_leg.schedule),
+      fifo_makespan, engine::SchedulePolicyName(lpt_leg.schedule), lpt_makespan,
+      makespan_delta, lpt_speedup, (unsigned long long)lpt_leg.lpt_observed_requests,
       (unsigned long long)observed_keys);
   WriteBenchJson("engine_parallel", "{" + json + "}");
 

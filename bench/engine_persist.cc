@@ -139,9 +139,15 @@ int main() {
   std::filesystem::remove_all(tiny.cache_dir, ec);
   fprintf(stderr, "evict phase: %zu keys into a %llu-byte budget...\n", keys,
           (unsigned long long)tiny.disk_cache_max_bytes);
-  engine::Engine tiny_engine(tiny);
-  PhaseResult evict = RunSuiteOnce(tiny_engine, requests, nullptr);
-  uint64_t evict_dir_bytes = tiny_engine.cache().disk().DirSizeBytes();
+  PhaseResult evict;
+  uint64_t evict_dir_bytes = 0;
+  {
+    // Scoped so the engine's destructor (which persists the run-history
+    // table into the cache dir) runs before the directory is removed.
+    engine::Engine tiny_engine(tiny);
+    evict = RunSuiteOnce(tiny_engine, requests, nullptr);
+    evict_dir_bytes = tiny_engine.cache().disk().DirSizeBytes();
+  }
   if (evict.stats.disk_evictions == 0) {
     fprintf(stderr, "!! tiny-budget engine reported no evictions\n");
     failed = true;
@@ -174,22 +180,23 @@ int main() {
          "deserialization (%.1fx cheaper)\n",
          compile_cost, warm_cost, warm_speedup);
 
+  // Per-phase blocks share the one EngineStats emission path (bench_util.h);
+  // each engine was fresh for its phase, so its snapshot IS the phase delta.
   std::string json = StrFormat(
       "\"suite\":\"polybench\",\"keys\":%zu,\"cache_dir_bytes\":%llu,"
-      "\"cold\":{\"compiles\":%llu,\"disk_hits\":%llu,\"disk_stores\":%llu,"
-      "\"compile_seconds\":%.6f},"
-      "\"warm\":{\"compiles\":%llu,\"disk_hits\":%llu,\"deserialize_seconds\":%.6f,"
-      "\"warm_start_speedup\":%.3f,\"results_identical\":%s},"
-      "\"evict\":{\"budget_bytes\":%llu,\"dir_bytes_after\":%llu,\"evictions\":%llu,"
-      "\"disk_hits\":%llu}",
+      "\"cold\":%s,\"warm\":%s,\"evict\":%s",
       keys, (unsigned long long)dir_bytes_unbounded,
-      (unsigned long long)cold.stats.compiles, (unsigned long long)cold.stats.disk_hits,
-      (unsigned long long)cold.stats.disk_stores, compile_cost,
-      (unsigned long long)warm.stats.compiles, (unsigned long long)warm.stats.disk_hits,
-      warm_cost, warm_speedup, warm_seconds == cold_seconds ? "true" : "false",
-      (unsigned long long)tiny.disk_cache_max_bytes, (unsigned long long)evict_dir_bytes,
-      (unsigned long long)evict.stats.disk_evictions,
-      (unsigned long long)evict.stats.disk_hits);
+      EngineStatsJsonWith(cold.stats, "").c_str(),
+      EngineStatsJsonWith(warm.stats,
+                          StrFormat("\"warm_start_speedup\":%.3f,\"results_identical\":%s",
+                                    warm_speedup,
+                                    warm_seconds == cold_seconds ? "true" : "false"))
+          .c_str(),
+      EngineStatsJsonWith(evict.stats,
+                          StrFormat("\"budget_bytes\":%llu,\"dir_bytes_after\":%llu",
+                                    (unsigned long long)tiny.disk_cache_max_bytes,
+                                    (unsigned long long)evict_dir_bytes))
+          .c_str());
   WriteBenchJson("engine_persist", "{" + json + "}", &warm_engine);
 
   printf("%s\n", failed ? "FAIL: see messages above."

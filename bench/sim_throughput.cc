@@ -21,6 +21,7 @@
 //     the geomean. Exit status enforces >= 2x and counter identity.
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -166,6 +167,39 @@ int main() {
          (unsigned long long)session.buffer_pool().acquires(),
          (unsigned long long)session.buffer_pool().reuses());
 
+  // -DNSF_DISPATCH_STATS=ON builds: rank handlers by dynamic retire count —
+  // the shortlist for the next specialization/fusion to build. (Machines fold
+  // their counts on destruction; every run above has completed, so the table
+  // is whole.)
+  std::string dispatch_json;
+  if (DispatchStatsEnabled()) {
+    std::vector<DispatchStat> dstats = DispatchStatsSnapshot();
+    uint64_t dispatch_total = 0;
+    for (const DispatchStat& s : dstats) {
+      dispatch_total += s.retires;
+    }
+    constexpr size_t kTopN = 16;
+    std::vector<std::vector<std::string>> dtable = {{"handler", "retires", "share", "cumulative"}};
+    double cumulative = 0;
+    for (size_t i = 0; i < dstats.size() && i < kTopN; i++) {
+      double share = dispatch_total > 0 ? 100.0 * static_cast<double>(dstats[i].retires) /
+                                              static_cast<double>(dispatch_total)
+                                        : 0.0;
+      cumulative += share;
+      dtable.push_back({dstats[i].name, StrFormat("%llu", (unsigned long long)dstats[i].retires),
+                        StrFormat("%.1f%%", share), StrFormat("%.1f%%", cumulative)});
+    }
+    printf("\ndispatch stats: %llu dispatches over %zu live handlers (top %zu)\n%s\n",
+           (unsigned long long)dispatch_total, dstats.size(),
+           std::min(kTopN, dstats.size()), RenderTable(dtable).c_str());
+    for (const DispatchStat& s : dstats) {
+      dispatch_json += StrFormat("%s\"%s\":%llu", dispatch_json.empty() ? "" : ",", s.name,
+                                 (unsigned long long)s.retires);
+    }
+    dispatch_json = StrFormat(",\"dispatch_stats\":{\"total\":%llu,\"handlers\":{%s}}",
+                              (unsigned long long)dispatch_total, dispatch_json.c_str());
+  }
+
   // Counter identity is a hard failure on every backend (asserted above per
   // workload). The wall-clock bar is backend-aware — the acceptance target
   // of 2x applies to the production computed-goto dispatch, the portable
@@ -195,7 +229,7 @@ int main() {
       (unsigned long long)decode_total.generic,
       (unsigned long long)session.buffer_pool().acquires(),
       (unsigned long long)session.buffer_pool().reuses(), rows_json.c_str());
-  WriteBenchJson("sim_throughput", "{" + json + "}");
+  WriteBenchJson("sim_throughput", "{" + json + dispatch_json + "}");
 
   printf("%s\n",
          failed ? "FAIL: see messages above."

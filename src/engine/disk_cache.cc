@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "src/support/str.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/wasm/artifact_codec.h"
 
 namespace nsf {
@@ -87,11 +89,13 @@ bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArt
   if (!enabled()) {
     return false;
   }
+  telemetry::Span span("disk.load", "engine");
   std::string path = PathForKey(module_hash, fingerprint);
   std::vector<uint8_t> bytes;
   auto t0 = std::chrono::steady_clock::now();
   if (!ReadWholeFile(path, &bytes)) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("outcome", "miss");
     return false;
   }
   std::string error;
@@ -104,10 +108,19 @@ bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArt
     fs::remove(path, ec);
     load_failures_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("outcome", "rejected");
     return false;
   }
-  deserialize_nanos_.fetch_add(NanosSince(t0), std::memory_order_relaxed);
+  uint64_t deser_ns = NanosSince(t0);
+  deserialize_nanos_.fetch_add(deser_ns, std::memory_order_relaxed);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Histogram& deserialize_ns =
+      *telemetry::MetricsRegistry::Global().GetHistogram("engine.disk.deserialize_ns");
+  deserialize_ns.Record(deser_ns);
+  if (span.active()) {
+    span.arg("outcome", "hit");
+    span.arg("bytes", static_cast<uint64_t>(bytes.size()));
+  }
   // LRU touch: a hit makes this entry the newest. Failure is harmless (the
   // file may have been evicted by another process between read and touch).
   std::error_code ec;
@@ -130,8 +143,12 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
       dir_ready_ = true;
     }
   }
+  telemetry::Span span("disk.store", "engine");
   auto t0 = std::chrono::steady_clock::now();
   std::vector<uint8_t> bytes = SerializeArtifact(artifact);
+  if (span.active()) {
+    span.arg("bytes", static_cast<uint64_t>(bytes.size()));
+  }
   std::string path = PathForKey(artifact.module_hash, artifact.options_fingerprint);
   // Unique tmp name per (thread, store): two racing writers of one key both
   // rename complete files; last rename wins and both are valid.
@@ -149,8 +166,12 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
     fs::remove(tmp, ec);
     return;
   }
-  serialize_nanos_.fetch_add(NanosSince(t0), std::memory_order_relaxed);
+  uint64_t ser_ns = NanosSince(t0);
+  serialize_nanos_.fetch_add(ser_ns, std::memory_order_relaxed);
   stores_.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Histogram& serialize_ns =
+      *telemetry::MetricsRegistry::Global().GetHistogram("engine.disk.serialize_ns");
+  serialize_ns.Record(ser_ns);
   if (max_bytes_ != 0) {
     // Track the directory's size with a running counter instead of walking
     // it on every store: seed once from a real scan, add what we write, and
@@ -198,6 +219,8 @@ uint64_t DiskCodeCache::DirSizeBytes() const {
 void DiskCodeCache::EvictToFit() {
   // One evictor at a time in this process; cross-process races only cause
   // redundant/failed removals, which are ignored.
+  telemetry::Span span("disk.evict", "engine");
+  uint64_t evicted_before = evictions_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(dir_mu_);
   struct FileInfo {
     fs::path path;
@@ -255,6 +278,10 @@ void DiskCodeCache::EvictToFit() {
   // Resync the running counter from the exact walk (also folds in anything
   // other processes stored since the last resync).
   approx_bytes_ = total;
+  if (span.active()) {
+    span.arg("evicted", evictions_.load(std::memory_order_relaxed) - evicted_before);
+    span.arg("dir_bytes", total);
+  }
 }
 
 DiskCacheStats DiskCodeCache::stats() const {

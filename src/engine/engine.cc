@@ -1,11 +1,16 @@
 #include "src/engine/engine.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "src/runtime/runtime.h"
 #include "src/support/str.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/wasm/encoder.h"
 #include "src/wasm/validator.h"
 
@@ -20,6 +25,21 @@ size_t RoundUpPow2(size_t n) {
     p <<= 1;
   }
   return p;
+}
+
+// Instrumentation handles, resolved once. Time histograms are nanoseconds
+// (`_ns` convention, src/telemetry/metrics.h).
+telemetry::Histogram& Hist(const char* name) {
+  return *telemetry::MetricsRegistry::Global().GetHistogram(name);
+}
+telemetry::Counter& Count(const char* name) {
+  return *telemetry::MetricsRegistry::Global().GetCounter(name);
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
 }
 
 }  // namespace
@@ -53,11 +73,13 @@ std::unique_lock<std::mutex> CodeCache::LockShard(const Shard& shard) const {
   if (!lock.owns_lock()) {
     auto t0 = std::chrono::steady_clock::now();
     lock.lock();
-    auto waited = std::chrono::steady_clock::now() - t0;
+    uint64_t waited_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+            .count());
     lock_waits_.fetch_add(1, std::memory_order_relaxed);
-    lock_wait_nanos_.fetch_add(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count(),
-        std::memory_order_relaxed);
+    lock_wait_nanos_.fetch_add(waited_ns, std::memory_order_relaxed);
+    static telemetry::Histogram& wait_ns = Hist("engine.cache.lock_wait_ns");
+    wait_ns.Record(waited_ns);
   }
   return lock;
 }
@@ -107,8 +129,12 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     Entry& entry = shard.entries[key];
     if (entry.code != nullptr) {
       *was_hit = true;
+      static telemetry::Counter& mem_hits = Count("engine.cache.mem_hit");
+      mem_hits.Add();
       return entry.code;
     }
+    static telemetry::Counter& mem_misses = Count("engine.cache.mem_miss");
+    mem_misses.Add();
     if (entry.latch != nullptr) {
       latch = entry.latch;  // someone else is compiling this key right now
     } else {
@@ -122,8 +148,12 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     // share its result (which may be a failure — the caller sees the same
     // error the leader saw, and the key stays uncached for retries).
     *joined = true;
+    telemetry::Span span("cache.join", "engine");
+    const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lk(latch->mu);
     latch->cv.wait(lk, [&] { return latch->ready; });
+    static telemetry::Histogram& join_wait_ns = Hist("engine.cache.join_wait_ns");
+    join_wait_ns.Record(ElapsedNs(t0));
     return latch->result;
   }
 
@@ -240,11 +270,16 @@ CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOpti
   // Counted whether or not it succeeds — failures are not cached and will
   // run again on the next request.
   warmup_runs_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::Span span("tier.warmup", "engine");
+  span.arg("workload", spec.name);
+  const auto warmup_t0 = std::chrono::steady_clock::now();
   Profile profile;
   std::string warmup_error;
   bool collected = false;
   try {
     collected = manager_.Collect(spec, &profile, &warmup_error);
+    static telemetry::Histogram& warmup_ns = Hist("engine.tier.warmup_ns");
+    warmup_ns.Record(ElapsedNs(warmup_t0));
   } catch (...) {
     // Release waiters before propagating: a dead latch would wedge the name.
     {
@@ -310,6 +345,88 @@ uint64_t TieringPolicy::ObservedRuns(const std::string& name) const {
   return it != history_.end() ? it->second.runs : 0;
 }
 
+bool TieringPolicy::LoadHistory(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  telemetry::Span span("history.load", "engine");
+  std::map<std::string, RunHistory> loaded;
+  char line[1024];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "<runs> <total_sim_seconds> <name>" — the name last so it may contain
+    // spaces; anything that doesn't parse is skipped, never fatal.
+    char* end = nullptr;
+    unsigned long long runs = std::strtoull(line, &end, 10);
+    if (end == line || *end != ' ') {
+      continue;
+    }
+    char* end2 = nullptr;
+    double seconds = std::strtod(end + 1, &end2);
+    if (end2 == end + 1 || *end2 != ' ') {
+      continue;
+    }
+    std::string name(end2 + 1);
+    while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+      name.pop_back();
+    }
+    if (name.empty() || runs == 0) {
+      continue;
+    }
+    RunHistory& h = loaded[name];
+    h.runs += runs;
+    h.total_sim_seconds += seconds;
+  }
+  std::fclose(f);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : loaded) {
+    RunHistory& dst = history_[name];
+    dst.runs += h.runs;
+    dst.total_sim_seconds += h.total_sim_seconds;
+  }
+  span.arg("keys", static_cast<uint64_t>(loaded.size()));
+  return true;
+}
+
+bool TieringPolicy::SaveHistory(const std::string& path) const {
+  std::map<std::string, RunHistory> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = history_;
+  }
+  if (snapshot.empty()) {
+    return false;  // nothing observed; leave any previous file untouched
+  }
+  telemetry::Span span("history.save", "engine");
+  // Atomic publish, mirroring DiskCodeCache::Store: readers (and a racing
+  // saver in another process) only ever see a complete table.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = path + StrFormat(".tmp.%llu", static_cast<unsigned long long>(
+                                                      tmp_counter.fetch_add(1)));
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (const auto& [name, h] : snapshot) {
+    std::fprintf(f, "%llu %.9g %s\n", static_cast<unsigned long long>(h.runs),
+                 h.total_sim_seconds, name.c_str());
+  }
+  bool ok = std::fclose(f) == 0;
+  if (ok) {
+    ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  }
+  if (!ok) {
+    std::remove(tmp.c_str());
+  }
+  span.arg("keys", static_cast<uint64_t>(snapshot.size()));
+  return ok;
+}
+
+size_t TieringPolicy::HistorySize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
 double TieringPolicy::EstimateSeconds(const std::string& name, uint64_t* observed_runs) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = history_.find(name);
@@ -330,22 +447,54 @@ double TieringPolicy::EstimateSeconds(const std::string& name, uint64_t* observe
 Engine::Engine(EngineConfig config)
     : config_(config),
       tiering_(config.tiering),
-      cache_(config.cache_shards, config.cache_dir, config.disk_cache_max_bytes) {}
+      cache_(config.cache_shards, config.cache_dir, config.disk_cache_max_bytes) {
+  if (!config_.cache_dir.empty()) {
+    tiering_.LoadHistory(RunHistoryPath());
+  }
+}
+
+Engine::~Engine() { SaveRunHistory(); }
+
+std::string Engine::RunHistoryPath() const {
+  return config_.cache_dir.empty() ? std::string() : config_.cache_dir + "/run_history";
+}
+
+bool Engine::SaveRunHistory() const {
+  std::string path = RunHistoryPath();
+  if (path.empty()) {
+    return false;
+  }
+  // The cache dir may not exist yet (disk stores create it lazily; a
+  // run-history-only session may never store an artifact).
+  std::error_code ec;
+  std::filesystem::create_directories(config_.cache_dir, ec);
+  return tiering_.SaveHistory(path);
+}
 
 CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_hash,
                                           const CodegenOptions& options, uint64_t fingerprint) {
+  telemetry::Span span("compile", "engine");
+  span.arg("profile", options.profile_name.c_str());
   auto result = std::make_shared<CompiledModule>();
-  ValidationResult vr = ValidateModule(module);
-  if (!vr.ok) {
-    result->artifact.module_hash = module_hash;
-    result->artifact.options_fingerprint = fingerprint;
-    result->artifact.profile_name = options.profile_name;
-    result->error = "module invalid: " + vr.error;
-    return result;
+  {
+    telemetry::Span vspan("validate", "engine");
+    const auto t0 = std::chrono::steady_clock::now();
+    ValidationResult vr = ValidateModule(module);
+    static telemetry::Histogram& validate_ns = Hist("engine.validate_ns");
+    validate_ns.Record(ElapsedNs(t0));
+    if (!vr.ok) {
+      result->artifact.module_hash = module_hash;
+      result->artifact.options_fingerprint = fingerprint;
+      result->artifact.profile_name = options.profile_name;
+      result->error = "module invalid: " + vr.error;
+      return result;
+    }
   }
   compiles_.fetch_add(1, std::memory_order_relaxed);
   result->artifact = BuildArtifact(module, options, module_hash, fingerprint);
   AddSeconds(&compile_nanos_, result->stats().seconds);
+  static telemetry::Histogram& compile_ns = Hist("engine.compile_ns");
+  compile_ns.RecordSeconds(result->stats().seconds);
   if (!result->artifact.ok()) {
     result->error = "compile failed: " + result->artifact.compiled.error;
     return result;
@@ -480,6 +629,9 @@ RunOutcome Instance::RunExport(const std::string& name, const std::vector<uint64
 
 RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>& args) {
   RunOutcome out;
+  telemetry::Span span("run", "engine");
+  span.arg("profile", code_->profile_name());
+  const auto run_t0 = std::chrono::steady_clock::now();
   // Fresh machine and process per run: repeated runs of one Instance must not
   // see each other's heap, only the session's shared filesystem. The machine
   // executes the module's shared DecodedProgram (predecoded once at cache
@@ -502,8 +654,11 @@ RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>
   machine.ResetCounters();
   MachineResult mr = machine.RunAt(func_index, args_base);
   runs_++;
+  static telemetry::Histogram& run_ns = Hist("engine.run_ns");
+  run_ns.Record(ElapsedNs(run_t0));
   if (!mr.ok) {
     out.error = mr.error;
+    span.arg("error", mr.error);
     return out;
   }
   out.ok = true;
@@ -513,6 +668,13 @@ RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>
   out.browsix_seconds = machine.SecondsFromCycles(machine.host_micro_cycles() / 4);
   out.syscalls = process->syscall_count();
   out.stdout_text = process->StdoutString();
+  static telemetry::Histogram& run_sim_ns = Hist("engine.run_sim_ns");
+  run_sim_ns.RecordSeconds(out.seconds);
+  if (span.active()) {
+    span.arg("instructions", out.counters.instructions_retired);
+    span.arg("sim_seconds", out.seconds);
+    span.arg("syscalls", out.syscalls);
+  }
   return out;
 }
 

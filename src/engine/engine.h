@@ -217,6 +217,17 @@ class TieringPolicy {
   // warm-up instruction counts, which misestimate whenever interpreted and
   // compiled instruction mixes diverge. Thread-safe.
   void RecordRun(const std::string& name, double sim_seconds);
+
+  // Persistence (NSF_CACHE_DIR/run_history via the Engine): a fresh process
+  // starts with the previous process's observed means, so its FIRST LPT
+  // batch already schedules by history instead of falling back to warm-up
+  // estimates. Text lines "<runs> <total_sim_seconds> <name>"; unparsable
+  // lines are skipped, a missing file is a clean empty table. Load MERGES
+  // into the current table (summing runs/seconds per key); Save writes
+  // atomically (tmp + rename) and reports success. Thread-safe.
+  bool LoadHistory(const std::string& path);
+  bool SaveHistory(const std::string& path) const;
+  size_t HistorySize() const;
   // Mean observed simulated seconds for `name`; 0 when never recorded.
   double ObservedSeconds(const std::string& name) const;
   uint64_t ObservedRuns(const std::string& name) const;
@@ -303,7 +314,18 @@ class Session;
 // number of threads sharing one Engine.
 class Engine {
  public:
+  // With a cache_dir configured, construction loads the persisted run-history
+  // table (cache_dir/run_history) and destruction saves it — the tiering
+  // policy's observed-seconds estimates survive process restarts alongside
+  // the compiled artifacts themselves.
   explicit Engine(EngineConfig config = EngineConfig());
+  ~Engine();
+
+  // Saves the run-history table to cache_dir/run_history now (also done by
+  // the destructor). No-op without a cache_dir; true on a successful write.
+  bool SaveRunHistory() const;
+  // The run_history file path for this engine's cache_dir ("" when disabled).
+  std::string RunHistoryPath() const;
 
   // Compile-or-fetch. On a miss the CompiledModule retains a copy of the
   // module for import binding and export lookup; a hit copies nothing.

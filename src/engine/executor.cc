@@ -4,6 +4,10 @@
 #include <chrono>
 #include <utility>
 
+#include "src/support/str.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
 namespace nsf {
 namespace engine {
 
@@ -22,6 +26,11 @@ BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
   r.request_index = request_index;
   r.rep = rep;
   r.worker = worker;
+  telemetry::Span span("request", "executor");
+  if (span.active()) {
+    span.arg("workload", request.spec.name);
+    span.arg("rep", rep);
+  }
   auto t0 = std::chrono::steady_clock::now();
 
   // Isolation: every run starts from a fresh kernel + VFS, so nothing staged
@@ -73,6 +82,13 @@ BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
   // Feed the run-history table: future LPT schedules order by this key's
   // observed simulated seconds instead of warm-up instruction counts.
   session->engine()->tiering().RecordRun(request.spec.name, r.outcome.seconds);
+  static telemetry::Histogram& request_ns =
+      *telemetry::MetricsRegistry::Global().GetHistogram("executor.request_ns");
+  request_ns.RecordSeconds(r.wall_seconds);
+  if (span.active()) {
+    span.arg("cache_hit", r.cache_hit ? "true" : "false");
+    span.arg("sim_seconds", r.outcome.seconds);
+  }
   return r;
 }
 
@@ -101,6 +117,8 @@ void FinalizeBatchReport(BatchReport* report) {
 // --- Session::RunBatch (declared in engine.h) ---
 
 BatchReport Session::RunBatch(const std::vector<RunRequest>& requests) {
+  telemetry::Span span("batch", "executor");
+  span.arg("requests", static_cast<uint64_t>(requests.size()));
   BatchReport report;
   report.workers = 1;
   report.schedule = SchedulePolicy::kFifo;  // serial: order is the schedule
@@ -141,6 +159,9 @@ ExecutorPool::~ExecutorPool() {
 void ExecutorPool::WorkerMain(int worker_index) {
   // The worker's Session lives on its own thread for the pool's lifetime;
   // ExecuteRequest Reset()s it before every job.
+  if (telemetry::TraceEnabled()) {
+    telemetry::TraceRecorder::Global().SetThreadName(StrFormat("worker-%d", worker_index));
+  }
   Session session(engine_);
   for (;;) {
     Job job;
@@ -172,6 +193,12 @@ const char* SchedulePolicyName(SchedulePolicy policy) {
 BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests,
                               SchedulePolicy schedule) {
   std::lock_guard<std::mutex> run_lock(run_mu_);
+  telemetry::Span span("batch", "executor");
+  if (span.active()) {
+    span.arg("requests", static_cast<uint64_t>(requests.size()));
+    span.arg("schedule", SchedulePolicyName(schedule));
+    span.arg("workers", workers());
+  }
 
   BatchReport report;
   report.workers = workers();

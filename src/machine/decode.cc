@@ -6,13 +6,78 @@
 // paths. tests/decode_test.cc enforces this differentially.
 #include "src/machine/decode.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 
 #include "src/machine/bits.h"
 #include "src/machine/machine.h"
 #include "src/support/str.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace nsf {
+
+static_assert(static_cast<size_t>(HOp::kCount) <= kMaxDispatchHandlers,
+              "grow kMaxDispatchHandlers (and SimMachine::dispatch_retires_)");
+
+// --- Dynamic dispatch statistics (see decode.h) ---
+//
+// Machines count into a plain per-machine array (no atomics in the dispatch
+// loop); ~SimMachine folds it into this process-wide table.
+
+#ifdef NSF_DISPATCH_STATS
+namespace {
+std::atomic<uint64_t> g_dispatch_retires[kMaxDispatchHandlers] = {};
+}  // namespace
+#endif
+
+bool DispatchStatsEnabled() {
+#ifdef NSF_DISPATCH_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void AccumulateDispatchStats(const uint64_t* counts) {
+#ifdef NSF_DISPATCH_STATS
+  for (size_t i = 0; i < static_cast<size_t>(HOp::kCount); i++) {
+    if (counts[i] != 0) {
+      g_dispatch_retires[i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+#else
+  (void)counts;
+#endif
+}
+
+std::vector<DispatchStat> DispatchStatsSnapshot() {
+  std::vector<DispatchStat> out;
+#ifdef NSF_DISPATCH_STATS
+  for (size_t i = 0; i < static_cast<size_t>(HOp::kCount); i++) {
+    uint64_t n = g_dispatch_retires[i].load(std::memory_order_relaxed);
+    if (n != 0) {
+      HOp h = static_cast<HOp>(i);
+      out.push_back(DispatchStat{h, HOpName(h), n});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const DispatchStat& a, const DispatchStat& b) {
+    if (a.retires != b.retires) return a.retires > b.retires;
+    return a.handler < b.handler;
+  });
+#endif
+  return out;
+}
+
+void ResetDispatchStats() {
+#ifdef NSF_DISPATCH_STATS
+  for (auto& c : g_dispatch_retires) {
+    c.store(0, std::memory_order_relaxed);
+  }
+#endif
+}
 
 const char* SimDispatchBackend() {
 #if NSF_COMPUTED_GOTO
@@ -515,6 +580,8 @@ void LowerOne(const MInstr& in, DInstr* d, const MapLabel& map_label) {
 }  // namespace
 
 DecodedProgram Predecode(const MProgram& program) {
+  telemetry::Span span("predecode", "machine");
+  const auto t0 = std::chrono::steady_clock::now();
   DecodedProgram dp;
   dp.program = &program;
   dp.funcs.resize(program.funcs.size());
@@ -590,6 +657,14 @@ DecodedProgram Predecode(const MProgram& program) {
     end.handler = static_cast<uint16_t>(HOp::kEndOfCode);
     df.code.push_back(end);
   }
+  static telemetry::Histogram* predecode_ns =
+      telemetry::MetricsRegistry::Global().GetHistogram("machine.predecode_ns");
+  predecode_ns->Record(static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                 std::chrono::steady_clock::now() - t0)
+                                                 .count()));
+  span.arg("instrs", dp.stats.instrs);
+  span.arg("records", dp.stats.records);
+  span.arg("fused_pairs", dp.stats.fused_pairs);
   return dp;
 }
 
@@ -630,6 +705,16 @@ TrapKind SimMachine::ExecDecoded() {
     }                                                       \
   } while (0)
 
+// Per-handler retire counting (-DNSF_DISPATCH_STATS=ON only): lives in
+// NSF_CASE, not NSF_PROLOGUE, so a fused macro-op — whose jcc tail runs the
+// prologue a second time — counts ONCE for its fused handler. kEndOfCode
+// (NSF_CASE_RAW) is a trap sentinel, not a retirement, and is not counted.
+#ifdef NSF_DISPATCH_STATS
+#define NSF_COUNT_DISPATCH() dispatch_retires_[d->handler]++
+#else
+#define NSF_COUNT_DISPATCH() ((void)0)
+#endif
+
 #if NSF_COMPUTED_GOTO
   static const void* const kLabels[] = {
 #define NSF_H(name) &&L_##name,
@@ -638,6 +723,7 @@ TrapKind SimMachine::ExecDecoded() {
   };
 #define NSF_CASE(name) \
   L_##name:            \
+  NSF_COUNT_DISPATCH(); \
   NSF_PROLOGUE(d->fetch_addr, d->fetch_size, d->fetch_lines);
 #define NSF_CASE_RAW(name) L_##name:
 #define NSF_NEXT(n)              \
@@ -650,6 +736,7 @@ TrapKind SimMachine::ExecDecoded() {
 #else
 #define NSF_CASE(name)  \
   case HOp::k##name:    \
+    NSF_COUNT_DISPATCH(); \
     NSF_PROLOGUE(d->fetch_addr, d->fetch_size, d->fetch_lines);
 #define NSF_CASE_RAW(name) case HOp::k##name:
 #define NSF_NEXT(n)     \
@@ -1373,6 +1460,7 @@ nsf_dispatch:
 #undef NSF_CASE_RAW
 #undef NSF_NEXT
 #undef NSF_PROLOGUE
+#undef NSF_COUNT_DISPATCH
 }
 
 }  // namespace nsf

@@ -162,6 +162,40 @@ struct DecodedProgram {
 // built (immutable afterwards).
 DecodedProgram Predecode(const MProgram& program);
 
+// --- Dynamic dispatch statistics (-DNSF_DISPATCH_STATS=ON) ---
+//
+// Per-handler retire counts in the threaded interpreter, for ranking which
+// specializations/fusions to build next (bench/sim_throughput prints the
+// top-N table). Compiled OUT by default: the dispatch loop's prologue gains
+// one non-atomic array increment only under the build flag, and a
+// differential test holds PerfCounters bit-identical either way. Each
+// SimMachine counts locally and folds into a process-wide atomic table on
+// destruction; a fused macro-op counts once for its fused handler.
+
+// True when this binary was built with -DNSF_DISPATCH_STATS=ON.
+bool DispatchStatsEnabled();
+
+// One handler's aggregate across all destroyed machines in this process.
+struct DispatchStat {
+  HOp handler = HOp::kCount;
+  const char* name = "?";
+  uint64_t retires = 0;
+};
+
+// All handlers with a nonzero count, sorted by retires descending. Empty
+// when the flag is off or nothing ran.
+std::vector<DispatchStat> DispatchStatsSnapshot();
+void ResetDispatchStats();
+
+// Folds one machine's local counts (indexed by HOp) into the global table.
+// No-op when the flag is off.
+void AccumulateDispatchStats(const uint64_t* counts);
+
+// Upper bound on handler ids, for embedding a fixed-size local count array
+// without pulling HOp::kCount into machine.h (decode.cc static_asserts that
+// kCount fits).
+inline constexpr size_t kMaxDispatchHandlers = 128;
+
 }  // namespace nsf
 
 #endif  // SRC_MACHINE_DECODE_H_

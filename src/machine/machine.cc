@@ -8,6 +8,7 @@
 #include "src/machine/bits.h"
 #include "src/machine/decode.h"
 #include "src/support/str.h"
+#include "src/telemetry/trace.h"
 
 namespace nsf {
 
@@ -94,12 +95,20 @@ void SimMachine::InitMemory(SimBufferPool* pool) {
   }
 }
 
-SimMachine::~SimMachine() { ReleaseBuffers(); }
+SimMachine::~SimMachine() {
+#ifdef NSF_DISPATCH_STATS
+  static_assert(sizeof(dispatch_retires_) / sizeof(dispatch_retires_[0]) == kMaxDispatchHandlers,
+                "machine.h's array size must mirror decode.h's kMaxDispatchHandlers");
+  AccumulateDispatchStats(dispatch_retires_);
+#endif
+  ReleaseBuffers();
+}
 
 void SimMachine::ReleaseBuffers() {
   if (pool_ == nullptr) {
     return;
   }
+  telemetry::Span span("pool.scrub", "machine");
   // Restore the all-zero invariant over exactly the ranges this run dirtied.
   if (stack_dirty_lo_ < stack_.size()) {
     std::memset(stack_.data() + stack_dirty_lo_, 0, stack_.size() - stack_dirty_lo_);
@@ -110,6 +119,10 @@ void SimMachine::ReleaseBuffers() {
   uint64_t heap_lo = heap_exposed_ ? 0 : heap_dirty_lo_;
   if (heap_lo < heap_hi) {
     std::memset(heap_.data() + heap_lo, 0, heap_hi - heap_lo);
+  }
+  if (span.active()) {
+    span.arg("stack_bytes", stack_dirty_lo_ < stack_.size() ? stack_.size() - stack_dirty_lo_ : 0);
+    span.arg("heap_bytes", heap_lo < heap_hi ? heap_hi - heap_lo : 0);
   }
   std::fill(globals_.begin(), globals_.end(), 0);
   // The table image is fully overwritten at construction, so it needs no

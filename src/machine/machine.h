@@ -385,6 +385,14 @@ class SimMachine {
   uint64_t fuel_ = 0;
   TrapKind pending_trap_ = TrapKind::kNone;
   std::string trap_msg_;
+
+#ifdef NSF_DISPATCH_STATS
+  // Per-handler retire counts, indexed by HOp (decode.h). 128 mirrors
+  // decode.h's kMaxDispatchHandlers (machine.h only forward-declares the
+  // decode types; decode.cc static_asserts the two agree). Non-atomic —
+  // folded into the process-wide table by the destructor.
+  uint64_t dispatch_retires_[128] = {};
+#endif
 };
 
 }  // namespace nsf

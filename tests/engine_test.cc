@@ -592,6 +592,97 @@ TEST(DiskCache, MiskeyedFileIsRejected) {
   EXPECT_EQ(reader.Stats().disk_load_failures, 1u);
 }
 
+TEST(RunHistory, PersistsAcrossEnginesViaCacheDir) {
+  TempCacheDir dir("runhistory");
+  {
+    engine::Engine eng(DiskConfig(dir.path));
+    eng.tiering().RecordRun("trisolv", 2.0);
+    eng.tiering().RecordRun("trisolv", 4.0);
+    eng.tiering().RecordRun("atax", 1.0);
+    // Destructor saves cache_dir/run_history.
+  }
+  engine::Engine fresh(DiskConfig(dir.path));
+  EXPECT_EQ(fresh.tiering().ObservedRuns("trisolv"), 2u);
+  EXPECT_DOUBLE_EQ(fresh.tiering().ObservedSeconds("trisolv"), 3.0);
+  EXPECT_EQ(fresh.tiering().ObservedRuns("atax"), 1u);
+  // The estimator that LPT scheduling consults sees the loaded history too.
+  uint64_t observed = 0;
+  EXPECT_DOUBLE_EQ(fresh.tiering().EstimateSeconds("trisolv", &observed), 3.0);
+  EXPECT_EQ(observed, 2u);
+}
+
+TEST(RunHistory, LoadMergesAndResavesAccumulatedTotals) {
+  TempCacheDir dir("runhistory-merge");
+  {
+    engine::Engine first(DiskConfig(dir.path));
+    first.tiering().RecordRun("gemm", 1.0);
+  }
+  {
+    // Second process: starts from the saved table, adds its own runs, and
+    // saves the merged totals on destruction.
+    engine::Engine second(DiskConfig(dir.path));
+    EXPECT_EQ(second.tiering().ObservedRuns("gemm"), 1u);
+    second.tiering().RecordRun("gemm", 3.0);
+  }
+  engine::Engine third(DiskConfig(dir.path));
+  EXPECT_EQ(third.tiering().ObservedRuns("gemm"), 2u);
+  EXPECT_DOUBLE_EQ(third.tiering().ObservedSeconds("gemm"), 2.0);
+}
+
+TEST(RunHistory, ExplicitSaveAndNamesWithSpacesRoundTrip) {
+  TempCacheDir dir("runhistory-names");
+  engine::Engine eng(DiskConfig(dir.path));
+  eng.tiering().RecordRun("name with spaces", 0.5);
+  ASSERT_TRUE(eng.SaveRunHistory());
+  engine::TieringPolicy fresh;
+  ASSERT_TRUE(fresh.LoadHistory(eng.RunHistoryPath()));
+  EXPECT_EQ(fresh.ObservedRuns("name with spaces"), 1u);
+  EXPECT_DOUBLE_EQ(fresh.ObservedSeconds("name with spaces"), 0.5);
+}
+
+TEST(RunHistory, UnparsableLinesAreSkippedNeverFatal) {
+  TempCacheDir dir("runhistory-corrupt");
+  std::filesystem::create_directories(dir.path);
+  std::string path = dir.path + "/run_history";
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("not a number at all\n", f);
+  fputs("3 0.75 lu\n", f);           // the one valid line
+  fputs("12\n", f);                  // truncated
+  fputs("0 1.0 zero-runs-key\n", f); // zero runs: skipped
+  fputs("5 nan-ish\n", f);           // no name field
+  fclose(f);
+  engine::TieringPolicy policy;
+  EXPECT_TRUE(policy.LoadHistory(path));
+  EXPECT_EQ(policy.HistorySize(), 1u);
+  EXPECT_EQ(policy.ObservedRuns("lu"), 3u);
+  EXPECT_DOUBLE_EQ(policy.ObservedSeconds("lu"), 0.25);
+}
+
+TEST(RunHistory, DisabledWithoutCacheDir) {
+  engine::Engine eng;  // NSF_CACHE_DIR scrubbed above: no disk tier
+  eng.tiering().RecordRun("trisolv", 1.0);
+  EXPECT_EQ(eng.RunHistoryPath(), "");
+  EXPECT_FALSE(eng.SaveRunHistory());
+}
+
+TEST(RunHistory, EmptyTableLeavesPreviousFileUntouched) {
+  TempCacheDir dir("runhistory-empty");
+  {
+    engine::Engine eng(DiskConfig(dir.path));
+    eng.tiering().RecordRun("trisolv", 2.0);
+  }
+  {
+    engine::Engine idle(DiskConfig(dir.path));
+    // Loaded history counts as content, so an idle engine re-saves it — but
+    // a TieringPolicy that never observed anything must not clobber a file.
+    engine::TieringPolicy empty;
+    EXPECT_FALSE(empty.SaveHistory(idle.RunHistoryPath()));
+  }
+  engine::Engine check(DiskConfig(dir.path));
+  EXPECT_EQ(check.tiering().ObservedRuns("trisolv"), 1u);
+}
+
 TEST(Engine, PolybenchWorkloadEndToEnd) {
   // The harness path, hand-rolled at the embedder level: compile a real
   // workload once, instantiate in a session, run, inspect outputs.
