@@ -7,12 +7,6 @@ using namespace nsf;
 
 namespace {
 
-CodegenOptions WithStackChecks(CodegenOptions o, const char* name) {
-  o.profile_name = name;
-  o.stack_check = true;
-  return o;
-}
-
 }  // namespace
 
 int main() {

@@ -167,7 +167,8 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       "\"compile_seconds_saved\":%.6f,"
       "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_evictions\":%llu,"
       "\"disk_load_failures\":%llu,\"disk_stores\":%llu,"
-      "\"deserialize_seconds\":%.6f,\"serialize_seconds\":%.6f}",
+      "\"deserialize_seconds\":%.6f,\"serialize_seconds\":%.6f,"
+      "\"verify_rejects\":%llu}",
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.compiles),
@@ -179,7 +180,7 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       static_cast<unsigned long long>(s.disk_evictions),
       static_cast<unsigned long long>(s.disk_load_failures),
       static_cast<unsigned long long>(s.disk_stores), s.deserialize_seconds,
-      s.serialize_seconds);
+      s.serialize_seconds, static_cast<unsigned long long>(s.verify_rejects));
 }
 
 // after - before, field by field: the one subtraction path for scoping a
@@ -204,6 +205,7 @@ inline engine::EngineStats EngineStatsDelta(const engine::EngineStats& after,
   d.disk_stores = after.disk_stores - before.disk_stores;
   d.deserialize_seconds = after.deserialize_seconds - before.deserialize_seconds;
   d.serialize_seconds = after.serialize_seconds - before.serialize_seconds;
+  d.verify_rejects = after.verify_rejects - before.verify_rejects;
   return d;
 }
 

@@ -6,8 +6,10 @@
 #include "src/codegen/emit.h"
 #include "src/codegen/opt.h"
 #include "src/codegen/regalloc.h"
+#include "src/codegen/verify.h"
 #include "src/profile/profile.h"
 #include "src/support/str.h"
+#include "src/telemetry/metrics.h"
 
 namespace nsf {
 
@@ -240,25 +242,61 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
   constexpr uint64_t kHotLoopMinTrips = 64;
 
   CompileStats& stats = result.stats;
+  // Pass-boundary IR verification (CodegenOptions::verify_ir): `verify_after`
+  // runs the verifier after the named pass and turns the first violation into
+  // a failed compile. Timing feeds the codegen.verify_ir_ns histogram; the
+  // total is accumulated across functions and passes.
+  uint64_t verify_ns = 0;
+  VFunc* verify_vf = nullptr;
+  auto verify_after = [&](const char* pass) -> bool {
+    if (!options.verify_ir) {
+      return true;
+    }
+    auto v0 = std::chrono::steady_clock::now();
+    std::string diag = VerifyIR(*verify_vf, module);
+    verify_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             v0)
+            .count());
+    if (!diag.empty()) {
+      result.ok = false;
+      result.error = StrFormat("IR verify failed after pass '%s': %s", pass, diag.c_str());
+      return false;
+    }
+    return true;
+  };
   for (uint32_t d = 0; d < module.functions.size(); d++) {
     const FuncProfile* fprof = nullptr;
     if (options.profile != nullptr && imported + d < options.profile->num_funcs()) {
       fprof = &options.profile->func(imported + d);
     }
     VFunc vf = LowerFunction(module, d, options);
+    verify_vf = &vf;
     stats.vops += vf.ops.size();
+    if (!verify_after("lower")) {
+      return result;
+    }
     // Devirtualization first: it matches kCallInd sites by their profile
     // ordinal, which later passes are free to shuffle.
     if (options.devirtualize_monomorphic && fprof != nullptr) {
       PgoDevirtualize(&vf, *fprof, resolve_elem);
+      if (!verify_after("pgo_devirtualize")) {
+        return result;
+      }
     }
     // Copy propagation models the move coalescing a graph-coloring allocator
     // performs; the linear-scan JIT profiles keep their moves (§6.1.2).
     if (options.regalloc == RegAllocKind::kGraphColor) {
       CopyPropagate(&vf);
+      if (!verify_after("copy_propagate")) {
+        return result;
+      }
     }
     if (options.rotate_loops) {
       RotateLoops(&vf);
+      if (!verify_after("rotate_loops")) {
+        return result;
+      }
     } else if (options.pgo_rotate_hot_loops && fprof != nullptr) {
       RotateLoopsIf(&vf, [&vf, fprof](uint32_t header) {
         for (size_t i = 0; i < vf.loop_headers.size(); i++) {
@@ -269,13 +307,22 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
         }
         return false;
       });
+      if (!verify_after("pgo_rotate_hot_loops")) {
+        return result;
+      }
     }
     if (options.pgo_layout && fprof != nullptr) {
       PgoSinkColdBlocks(&vf, *fprof);
+      if (!verify_after("pgo_sink_cold_blocks")) {
+        return result;
+      }
     }
     if (options.fuse_addressing) {
       FuseAddressing(&vf);
       FuseAluMem(&vf);
+      if (!verify_after("fuse_addressing")) {
+        return result;
+      }
     }
     // Extra passes model offline-compiler optimization budgets; the passes
     // are idempotent, so they cost time without changing the output.
@@ -286,11 +333,17 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
         FuseAluMem(&vf);
       }
       ComputeLiveness(vf);
+      if (!verify_after(StrFormat("extra_opt_pass_%u", p).c_str())) {
+        return result;
+      }
     }
     Allocation alloc = AllocateRegisters(vf, options);
     stats.spill_slots += alloc.num_slots;
     prog.funcs.push_back(EmitFunction(vf, alloc, options, env));
     stats.minstrs += prog.funcs.back().code.size();
+  }
+  if (options.verify_ir && verify_ns > 0) {
+    telemetry::MetricsRegistry::Global().GetHistogram("codegen.verify_ir_ns")->Record(verify_ns);
   }
 
   // PGO code layout: place functions hottest-first so the hot working set
@@ -340,6 +393,23 @@ CompileResult CompileModule(const Module& module, const CodegenOptions& options)
 
   prog.Link();
   stats.code_bytes = prog.total_code_bytes;
+
+  // Whole-program machine verification after linking: emission and layout
+  // are pass boundaries too.
+  if (options.verify_ir) {
+    auto v0 = std::chrono::steady_clock::now();
+    std::string diag = VerifyMachine(prog);
+    telemetry::MetricsRegistry::Global()
+        .GetHistogram("codegen.verify_machine_ns")
+        ->Record(static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                           std::chrono::steady_clock::now() - v0)
+                                           .count()));
+    if (!diag.empty()) {
+      result.ok = false;
+      result.error = StrFormat("machine verify failed after 'emit+link': %s", diag.c_str());
+      return result;
+    }
+  }
 
   result.func_map.resize(module.NumTotalFuncs());
   for (uint32_t i = 0; i < result.func_map.size(); i++) {

@@ -76,6 +76,19 @@ struct CodegenOptions {
   // bounds/null/signature checks (§6.2.3) on the hot path.
   bool devirtualize_monomorphic = false;
 
+  // Run the IR verifier (src/codegen/verify.h) after lowering and between
+  // every optimization pass, and the MProgram verifier after linking. A
+  // failure aborts the compile with result.error naming the offending pass,
+  // function, and instruction. On by default in Debug builds; force on
+  // anywhere with -DNSF_VERIFY_IR=ON. Deliberately EXCLUDED from
+  // Fingerprint() below — verification never changes generated code, so a
+  // cache entry produced with it off is still valid with it on.
+#if defined(NSF_VERIFY_IR) || !defined(NDEBUG)
+  bool verify_ir = true;
+#else
+  bool verify_ir = false;
+#endif
+
   // Content fingerprint over every field that affects generated code,
   // including the attached profile's serialized contents. `profile_name` is
   // cosmetic and deliberately excluded: two options values that generate

@@ -1,0 +1,55 @@
+// Pipeline verifiers (the LLVM -verify-machineinstrs idea for this repo):
+// machine-checkable invariants over the two compiler-owned representations,
+// run between optimization passes (CodegenOptions::verify_ir) and over every
+// artifact the engine is about to trust (disk-cache loads, always).
+//
+//   VerifyIR      — the VOp IR between LowerFunction and AllocateRegisters:
+//                   CFG well-formedness (unique labels, every branch target
+//                   exists), forward def-before-use dataflow over vregs
+//                   (intersection meet across predecessors, so a value must
+//                   be defined on EVERY path reaching a use), class/width
+//                   consistency against VRegInfo, and call arity + argument
+//                   classes against the module's signatures.
+//   VerifyMachine — the emitted MProgram: branch targets inside the
+//                   function, rbp frame discipline (spill/save slots within
+//                   frame_slots, parameter slots at [rbp+16+8i]), physical-
+//                   register def-before-use under the machine's entry
+//                   convention (rsp, heap-base rbx/r15 and the six arg
+//                   registers are live-in; callee-saves of untouched
+//                   registers are recognized; calls clobber the scratch
+//                   registers and the compare state), a flags dataflow
+//                   (every jcc/setcc must see a cmp/test/ucomis on all
+//                   paths — the MProgram-side half of fused-pair legality),
+//                   layout_order being a permutation, and table/global/data
+//                   bounds.
+//
+// Every checker returns "" when the input is valid, else one diagnostic
+// naming the function, the instruction index, and the violated invariant.
+// The caller prepends pass context (src/codegen/codegen.cc does).
+#ifndef SRC_CODEGEN_VERIFY_H_
+#define SRC_CODEGEN_VERIFY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/codegen/ir.h"
+#include "src/wasm/module.h"
+#include "src/x64/insts.h"
+
+namespace nsf {
+
+// Verifies one function's IR against `module` (signatures for call arity and
+// argument classes, global/function index bounds).
+std::string VerifyIR(const VFunc& vf, const Module& module);
+
+// Verifies one emitted function. `prog` provides call-target and table
+// bounds; the function need not be linked (no code_base use).
+std::string VerifyMachineFunction(const MProgram& prog, size_t func_index);
+
+// Whole-program check: every function plus program-level invariants
+// (layout_order permutation, entry/table/global/data bounds).
+std::string VerifyMachine(const MProgram& prog);
+
+}  // namespace nsf
+
+#endif  // SRC_CODEGEN_VERIFY_H_

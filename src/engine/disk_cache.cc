@@ -128,6 +128,15 @@ bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArt
   return true;
 }
 
+void DiskCodeCache::Discard(uint64_t module_hash, uint64_t fingerprint) {
+  if (!enabled()) {
+    return;
+  }
+  std::error_code ec;
+  fs::remove(PathForKey(module_hash, fingerprint), ec);
+  load_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void DiskCodeCache::Store(const CompiledArtifact& artifact) {
   if (!enabled() || !artifact.ok()) {
     return;

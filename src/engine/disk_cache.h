@@ -67,6 +67,13 @@ class DiskCodeCache {
   // an optimization, never a correctness dependency.
   void Store(const CompiledArtifact& artifact);
 
+  // Deletes the key's file, counting a load failure — for artifacts the
+  // caller loaded successfully but rejected AFTER Load() accepted them
+  // (semantic verification, src/codegen/verify.h). The running size counter
+  // deliberately isn't adjusted; the next eviction walk resyncs it, exactly
+  // as for Load()'s own rejects.
+  void Discard(uint64_t module_hash, uint64_t fingerprint);
+
   // Sum of artifact file sizes currently in the directory.
   uint64_t DirSizeBytes() const;
 

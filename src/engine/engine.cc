@@ -7,6 +7,8 @@
 #include <system_error>
 #include <utility>
 
+#include "src/codegen/verify.h"
+#include "src/machine/verify_decoded.h"
 #include "src/runtime/runtime.h"
 #include "src/support/str.h"
 #include "src/telemetry/metrics.h"
@@ -172,14 +174,36 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     if (disk_.enabled()) {
       auto loaded = std::make_shared<CompiledModule>();
       if (disk_.Load(module_hash, fingerprint, &loaded->artifact)) {
-        loaded->ok = true;
-        loaded->from_disk = true;
-        // Predecode is part of publishing a cache entry regardless of which
-        // tier produced it: a warm-disk process pays it once per key here,
-        // never per Instance or per run.
-        loaded->BuildDecoded();
-        result = std::move(loaded);
-        *was_hit = true;  // served from the cache — just the slower tier
+        // Semantic verification of every loaded program, unconditionally:
+        // the codec's checksum catches torn bytes; this catches an artifact
+        // whose bytes are internally consistent but whose *program* is not
+        // (a stale encoder, a hostile edit with a repaired checksum, a codec
+        // bug). A failing artifact is treated exactly like a corrupt file —
+        // deleted, counted, recompiled — and is never executed.
+        const auto v0 = std::chrono::steady_clock::now();
+        std::string diag = VerifyMachine(loaded->artifact.program());
+        if (diag.empty()) {
+          loaded->ok = true;
+          loaded->from_disk = true;
+          // Predecode is part of publishing a cache entry regardless of which
+          // tier produced it: a warm-disk process pays it once per key here,
+          // never per Instance or per run.
+          loaded->BuildDecoded();
+#if defined(NSF_VERIFY_IR) || !defined(NDEBUG)
+          diag = VerifyDecodedProgram(loaded->artifact.program(), *loaded->decoded);
+#endif
+        }
+        static telemetry::Histogram& verify_ns = Hist("engine.disk.verify_ns");
+        verify_ns.Record(ElapsedNs(v0));
+        if (!diag.empty()) {
+          disk_.Discard(module_hash, fingerprint);
+          verify_rejects_.fetch_add(1, std::memory_order_relaxed);
+          static telemetry::Counter& rejects = Count("engine.verify_reject");
+          rejects.Add();
+        } else {
+          result = std::move(loaded);
+          *was_hit = true;  // served from the cache — just the slower tier
+        }
       }
     }
     if (result == nullptr) {
@@ -501,6 +525,21 @@ CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_
   }
   result->ok = true;
   result->BuildDecoded();
+  // Decoded cross-check at the compile boundary (the pass pipeline's IR and
+  // machine verification already ran inside CompileModule when verify_ir):
+  // every decoded record must round-trip to the MInstr it came from before
+  // the entry is published.
+  if (options.verify_ir) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string diag = VerifyDecodedProgram(result->artifact.program(), *result->decoded);
+    static telemetry::Histogram& verify_ns = Hist("engine.decode.verify_ns");
+    verify_ns.Record(ElapsedNs(t0));
+    if (!diag.empty()) {
+      result->ok = false;
+      result->decoded = nullptr;
+      result->error = "decode verify failed: " + diag;
+    }
+  }
   return result;
 }
 
@@ -571,6 +610,7 @@ EngineStats Engine::Stats() const {
   s.disk_stores = d.stores;
   s.deserialize_seconds = d.deserialize_seconds;
   s.serialize_seconds = d.serialize_seconds;
+  s.verify_rejects = cache_.verify_rejects();
   return s;
 }
 

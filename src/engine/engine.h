@@ -146,9 +146,14 @@ class CodeCache {
   double lock_wait_seconds() const {
     return static_cast<double>(lock_wait_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   }
+  // Disk artifacts that decoded cleanly (checksum passed) but failed the
+  // semantic MProgram/DecodedProgram verifiers — deleted and recompiled,
+  // exactly like corrupt files.
+  uint64_t verify_rejects() const { return verify_rejects_.load(std::memory_order_relaxed); }
   void ResetTelemetry() {
     lock_waits_.store(0, std::memory_order_relaxed);
     lock_wait_nanos_.store(0, std::memory_order_relaxed);
+    verify_rejects_.store(0, std::memory_order_relaxed);
     disk_.ResetStats();
   }
 
@@ -186,6 +191,7 @@ class CodeCache {
   DiskCodeCache disk_;
   mutable std::atomic<uint64_t> lock_waits_{0};
   mutable std::atomic<uint64_t> lock_wait_nanos_{0};
+  std::atomic<uint64_t> verify_rejects_{0};
 };
 
 // Engine-owned tier-up policy: wraps the PGO TierManager so profiling and
@@ -306,6 +312,9 @@ struct EngineStats {
   uint64_t disk_stores = 0;          // artifacts persisted
   double deserialize_seconds = 0;    // wall time decoding disk artifacts
   double serialize_seconds = 0;      // wall time encoding + writing artifacts
+  // Disk artifacts that passed the codec's checksum but failed semantic
+  // verification (src/codegen/verify.h) — deleted + recompiled, never run.
+  uint64_t verify_rejects = 0;
 };
 
 class Session;

@@ -14,7 +14,24 @@ namespace nsf {
 namespace {
 
 constexpr uint32_t kNullFunc = UINT32_MAX;
+
+// Guest recursion rides the host stack (CallFunction recurses), so the limit
+// must keep max-depth native usage under the 8 MB host stack. ASan pads every
+// frame with redzones — CallFunction grows from a few KB to tens of KB — so
+// the sanitizer build needs a proportionally lower limit to trap cleanly
+// (kCallStackExhausted) instead of overflowing the real stack.
+#if defined(__SANITIZE_ADDRESS__)
+#define NSF_ASAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NSF_ASAN_BUILD 1
+#endif
+#endif
+#ifdef NSF_ASAN_BUILD
+constexpr int kMaxCallDepth = 128;
+#else
 constexpr int kMaxCallDepth = 512;
+#endif
 
 // Pre-computed structured-control-flow targets for one function body.
 struct SideTable {
@@ -184,7 +201,7 @@ void HostModule::Register(const std::string& module, const std::string& name, Ho
 }
 
 const HostFunc* HostModule::ResolveFunc(const std::string& module, const std::string& name,
-                                        const FuncType& type) {
+                                        const FuncType& /*type*/) {
   for (const Entry& e : entries_) {
     if (e.module == module && e.name == name) {
       return &e.fn;

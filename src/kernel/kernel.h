@@ -73,7 +73,7 @@ class MemPort {
   virtual bool Read(uint32_t addr, void* out, uint32_t size) = 0;
   virtual bool Write(uint32_t addr, const void* data, uint32_t size) = 0;
   // Charges `cycles` of kernel time to the process (no-op for interp).
-  virtual void ChargeCycles(uint64_t cycles) {}
+  virtual void ChargeCycles(uint64_t /*cycles*/) {}
 };
 
 class BrowsixKernel {

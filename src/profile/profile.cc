@@ -174,7 +174,11 @@ constexpr uint32_t kVersion = 1;
 
 std::vector<uint8_t> Profile::SerializeBinary() const {
   std::vector<uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
+  // push_back, not insert(range): GCC 12's -Wstringop-overflow false-fires
+  // on the memmove the range insert lowers to when the vector starts empty.
+  for (uint8_t b : kMagic) {
+    out.push_back(b);
+  }
   WriteVarU32(out, kVersion);
   WriteVarU32(out, num_funcs());
   for (const FuncProfile& fp : funcs_) {

@@ -104,8 +104,8 @@ uint64_t Dispatch(Process* p, const std::string& name, uint64_t a0, uint64_t a1,
 
 }  // namespace
 
-void BindSyscalls(SimMachine* machine, const CompileResult& compiled, const Module& module,
-                  Process* process) {
+void BindSyscalls(SimMachine* machine, const CompileResult& /*compiled*/,
+                  const Module& module, Process* process) {
   uint32_t import_index = 0;
   for (const Import& imp : module.imports) {
     if (imp.kind != ExternalKind::kFunc) {
@@ -133,7 +133,7 @@ std::unique_ptr<HostModule> MakeInterpSyscalls(Process* process) {
   for (const char* n : kNames) {
     std::string name = n;
     host->Register("bsx", name,
-                   [name, process](Instance& inst, const std::vector<TypedValue>& args) {
+                   [name, process](Instance& /*inst*/, const std::vector<TypedValue>& args) {
                      auto get = [&args](size_t i) -> uint64_t {
                        return i < args.size() ? args[i].value.i32 : 0;
                      };

@@ -59,9 +59,9 @@ class DiffTest : public ::testing::Test {
 
   // Calls a compiled function with our stack-argument ABI: stage the args
   // where [rbp+16+8i] will find them.
-  static MachineResult CallCompiled(SimMachine& machine, const CompileResult& cr,
+  static MachineResult CallCompiled(SimMachine& machine, const CompileResult& /*cr*/,
                                     const Export& e, const std::vector<TypedValue>& args,
-                                    const Module& m) {
+                                    const Module& /*m*/) {
     // Stage arguments at the top of the stack so the callee's ParamRef reads
     // them: Run() sets rsp = stack top; the kCall pushes the return address.
     // We emulate a caller by pre-writing args at [stack_top - 8*n .. ) and

@@ -49,7 +49,7 @@ TEST(SpecSuite, JitSlowerInAggregate) {
   // The paper's headline: Wasm runs slower than native on SPEC-class code.
   BenchHarness harness;
   std::vector<double> ratios;
-  for (const std::string& name : {"429.mcf", "458.sjeng", "444.namd"}) {
+  for (const char* name : {"429.mcf", "458.sjeng", "444.namd"}) {
     WorkloadSpec spec = SpecWorkload(name);
     RunResult native = harness.Measure(spec, CodegenOptions::NativeClang());
     RunResult chrome = harness.Measure(spec, CodegenOptions::ChromeV8());
