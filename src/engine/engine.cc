@@ -118,9 +118,8 @@ void CodeCache::Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
 
 CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
                                           const std::function<CompiledModuleRef()>& compile,
-                                          bool* was_hit, bool* joined) {
-  *was_hit = false;
-  *joined = false;
+                                          CompileInfo* info) {
+  *info = CompileInfo();
   Shard& shard = ShardFor(module_hash);
   std::pair<uint64_t, uint64_t> key{module_hash, fingerprint};
 
@@ -130,7 +129,7 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     std::unique_lock<std::mutex> lock = LockShard(shard);
     Entry& entry = shard.entries[key];
     if (entry.code != nullptr) {
-      *was_hit = true;
+      info->hit = true;
       static telemetry::Counter& mem_hits = Count("engine.cache.mem_hit");
       mem_hits.Add();
       return entry.code;
@@ -149,7 +148,7 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     // Join the in-flight compile: block until the leader publishes, then
     // share its result (which may be a failure — the caller sees the same
     // error the leader saw, and the key stays uncached for retries).
-    *joined = true;
+    info->joined = true;
     telemetry::Span span("cache.join", "engine");
     const auto t0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lk(latch->mu);
@@ -202,13 +201,15 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
           rejects.Add();
         } else {
           result = std::move(loaded);
-          *was_hit = true;  // served from the cache — just the slower tier
+          info->hit = true;  // served from the cache — just the slower tier
+          info->disk_loaded = true;
         }
       }
     }
     if (result == nullptr) {
       result = compile();
       compiled_here = true;
+      info->compiled = true;
     }
   } catch (...) {
     auto aborted = std::make_shared<CompiledModule>();
@@ -353,6 +354,7 @@ void TieringPolicy::RecordRun(const std::string& name, double sim_seconds) {
   RunHistory& h = history_[name];
   h.runs++;
   h.total_sim_seconds += sim_seconds;
+  history_dirty_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double TieringPolicy::ObservedSeconds(const std::string& name) const {
@@ -414,9 +416,11 @@ bool TieringPolicy::LoadHistory(const std::string& path) {
 
 bool TieringPolicy::SaveHistory(const std::string& path) const {
   std::map<std::string, RunHistory> snapshot;
+  uint64_t dirty_at_snapshot = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot = history_;
+    dirty_at_snapshot = history_dirty_.load(std::memory_order_relaxed);
   }
   if (snapshot.empty()) {
     return false;  // nothing observed; leave any previous file untouched
@@ -441,6 +445,11 @@ bool TieringPolicy::SaveHistory(const std::string& path) const {
   }
   if (!ok) {
     std::remove(tmp.c_str());
+  }
+  if (ok) {
+    // Only the runs captured in the snapshot are durable; recordings that
+    // raced in since stay dirty for the next flush.
+    history_dirty_.fetch_sub(dirty_at_snapshot, std::memory_order_relaxed);
   }
   span.arg("keys", static_cast<uint64_t>(snapshot.size()));
   return ok;
@@ -495,6 +504,13 @@ bool Engine::SaveRunHistory() const {
   return tiering_.SaveHistory(path);
 }
 
+bool Engine::FlushRunHistory() const {
+  if (config_.cache_dir.empty() || tiering_.HistoryDirty() == 0) {
+    return false;
+  }
+  return SaveRunHistory();
+}
+
 CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_hash,
                                           const CodegenOptions& options, uint64_t fingerprint) {
   telemetry::Span span("compile", "engine");
@@ -544,29 +560,29 @@ CompiledModuleRef Engine::CompileUncached(const Module& module, uint64_t module_
 }
 
 CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& options,
-                                  bool* was_hit) {
+                                  CompileInfo* info) {
   uint64_t module_hash = HashModule(module);
   uint64_t fingerprint = options.Fingerprint();
-  if (was_hit != nullptr) {
-    *was_hit = false;
-  }
+  *info = CompileInfo();
   if (!config_.cache_enabled) {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    info->compiled = true;
     return CompileUncached(module, module_hash, options, fingerprint);
   }
 
-  bool hit = false;
-  bool joined = false;
   CompiledModuleRef result = cache_.GetOrCompile(
       module_hash, fingerprint,
-      [&] { return CompileUncached(module, module_hash, options, fingerprint); }, &hit,
-      &joined);
+      [&] { return CompileUncached(module, module_hash, options, fingerprint); }, info);
 
-  if (joined) {
+  if (info->joined) {
     compile_joins_.fetch_add(1, std::memory_order_relaxed);
   }
-  bool served_from_cache = hit || (joined && result != nullptr && result->ok);
-  if (served_from_cache) {
+  // Joining another thread's successful compile counts as a hit: the caller
+  // was served without paying a backend compile of its own.
+  if (info->joined && result != nullptr && result->ok) {
+    info->hit = true;
+  }
+  if (info->hit) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     // A disk-tier hit still saves the artifact's original backend compile
     // time — that is exactly the warm-start win the stats quantify.
@@ -574,8 +590,15 @@ CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& op
   } else {
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
   }
+  return result;
+}
+
+CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& options,
+                                  bool* was_hit) {
+  CompileInfo info;
+  CompiledModuleRef result = Compile(module, options, &info);
   if (was_hit != nullptr) {
-    *was_hit = served_from_cache;
+    *was_hit = info.hit;
   }
   return result;
 }
@@ -583,6 +606,11 @@ CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& op
 CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
                                           const CodegenOptions& options, bool* was_hit) {
   return Compile(spec.build(), options, was_hit);
+}
+
+CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
+                                          const CodegenOptions& options, CompileInfo* info) {
+  return Compile(spec.build(), options, info);
 }
 
 CodegenOptions Engine::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,

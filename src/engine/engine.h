@@ -114,6 +114,19 @@ using CompiledModuleRef = std::shared_ptr<const CompiledModule>;
 // compile the leader persists the artifact. Corrupt/version-mismatched disk
 // entries are rejected and recompiled; they can never wedge or crash a
 // caller.
+// Where one Compile() call's result came from — per-call truth for the
+// caller that wants to attribute latency to the machinery that produced it
+// (the serving loop tags requests stalled by cold compiles and disk loads
+// with exactly this). Diffing EngineStats cannot provide it: under
+// concurrency another thread's compile lands between any two snapshots.
+struct CompileInfo {
+  bool hit = false;          // served from either cache tier (incl. joining
+                             // another thread's successful in-flight compile)
+  bool joined = false;       // blocked on another thread's in-flight compile
+  bool compiled = false;     // this call ran the backend compiler
+  bool disk_loaded = false;  // this call deserialized the artifact from disk
+};
+
 class CodeCache {
  public:
   explicit CodeCache(size_t shard_count = kDefaultShards, std::string disk_dir = "",
@@ -121,13 +134,15 @@ class CodeCache {
 
   // Returns the cached module for (module_hash, fingerprint) or invokes
   // `compile` to produce it. Failed compiles are delivered to every waiter
-  // but not retained, so a later request retries. Outputs:
-  //   *was_hit — served from the cache: a completed memory entry, or the
-  //              leader loading the key's artifact from the disk tier
-  //   *joined  — blocked on another thread's in-flight compile of this key
+  // but not retained, so a later request retries. `*info` reports where the
+  // result came from: info->hit — served from the cache (a completed memory
+  // entry, or the leader loading the key's artifact from the disk tier);
+  // info->joined — blocked on another thread's in-flight compile;
+  // info->compiled / info->disk_loaded — this call was the leader and paid
+  // the backend compile / the disk deserialization itself.
   CompiledModuleRef GetOrCompile(uint64_t module_hash, uint64_t fingerprint,
                                  const std::function<CompiledModuleRef()>& compile,
-                                 bool* was_hit, bool* joined);
+                                 CompileInfo* info);
 
   // Read-only probe of the MEMORY tier (no latch or disk interaction): the
   // completed entry or null.
@@ -224,6 +239,10 @@ class TieringPolicy {
   // compiled instruction mixes diverge. Thread-safe.
   void RecordRun(const std::string& name, double sim_seconds);
 
+  // Runs recorded since the last successful SaveHistory: the cheap "is there
+  // anything new to persist" check behind Engine::FlushRunHistory.
+  uint64_t HistoryDirty() const { return history_dirty_.load(std::memory_order_relaxed); }
+
   // Persistence (NSF_CACHE_DIR/run_history via the Engine): a fresh process
   // starts with the previous process's observed means, so its FIRST LPT
   // batch already schedules by history instead of falling back to warm-up
@@ -271,6 +290,9 @@ class TieringPolicy {
   std::map<std::string, std::shared_ptr<WarmupLatch>> inflight_;
   std::map<std::string, RunHistory> history_;
   std::atomic<uint64_t> warmup_runs_{0};  // interpreter warm-ups actually executed
+  // Runs recorded since the last successful save; mutable because SaveHistory
+  // (const) clears it once the table is durably on disk.
+  mutable std::atomic<uint64_t> history_dirty_{0};
 };
 
 // Reads NSF_CACHE_DIR: the disk tier's directory ("" = disabled).
@@ -333,6 +355,14 @@ class Engine {
   // Saves the run-history table to cache_dir/run_history now (also done by
   // the destructor). No-op without a cache_dir; true on a successful write.
   bool SaveRunHistory() const;
+  // Persists the run-history table only if runs were recorded since the last
+  // save — the crash-safety valve for long-lived processes: ~Engine is the
+  // only other save point, and a killed process loses everything it observed.
+  // ExecutorPool::Run flushes after every batch and the serving loop flushes
+  // on a period, so at most one batch / one flush window of history is ever
+  // at risk. Cheap when clean or when no cache_dir is configured (one
+  // relaxed atomic load). True when a write happened and succeeded.
+  bool FlushRunHistory() const;
   // The run_history file path for this engine's cache_dir ("" when disabled).
   std::string RunHistoryPath() const;
 
@@ -345,9 +375,16 @@ class Engine {
   CompiledModuleRef Compile(const Module& module, const CodegenOptions& options,
                             bool* was_hit = nullptr);
 
+  // As above, with full per-call attribution: whether THIS call hit, joined,
+  // ran the backend compiler, or deserialized the artifact from disk.
+  CompiledModuleRef Compile(const Module& module, const CodegenOptions& options,
+                            CompileInfo* info);
+
   // Builds spec.build() and compiles it.
   CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options,
                                     bool* was_hit = nullptr);
+  CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options,
+                                    CompileInfo* info);
 
   // Profile-guided options for `spec` via the engine's TieringPolicy.
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,

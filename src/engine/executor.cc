@@ -19,6 +19,67 @@ double SecondsSince(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+namespace {
+
+// The body of one request-rep, early-returning on each failure path.
+// ExecuteRequest wraps it so wall clock and latency telemetry are recorded
+// exactly once on EVERY path — compile errors, instantiate failures, and
+// traps used to vanish from the executor.request_ns histogram entirely,
+// biasing its percentiles toward the (typically faster) successes.
+void ExecuteRequestBody(Session* session, const RunRequest& request, BatchRunResult* r,
+                        bool reset_first) {
+  // Isolation: every run starts from a fresh kernel + VFS, so nothing staged
+  // by a previous run on this worker is visible.
+  if (reset_first) {
+    session->Reset();
+  }
+
+  CompileInfo cinfo;
+  CompiledModuleRef code =
+      session->engine()->CompileWorkload(request.spec, request.options, &cinfo);
+  r->cache_hit = cinfo.hit;
+  r->compiled_backend = cinfo.compiled;
+  r->disk_loaded = cinfo.disk_loaded;
+  r->compile_joined = cinfo.joined;
+  if (!code->ok) {
+    r->error = code->error;
+    return;
+  }
+  r->compile = code->stats();
+
+  if (request.spec.setup) {
+    request.spec.setup(session->kernel());
+  }
+  InstanceOptions iopts;
+  iopts.argv = request.spec.argv;
+  iopts.entry = request.spec.entry;
+  iopts.fuel = request.spec.fuel;
+  std::string err;
+  std::unique_ptr<Instance> instance = session->Instantiate(code, std::move(iopts), &err);
+  if (instance == nullptr) {
+    r->error = err;
+    return;
+  }
+  r->outcome = instance->Run();
+  if (!r->outcome.ok) {
+    r->error = request.spec.name + " trapped: " + r->outcome.error;
+    return;
+  }
+  if (request.collect_outputs) {
+    for (const std::string& path : request.spec.output_files) {
+      std::vector<uint8_t> bytes;
+      session->fs().ReadFile(path, &bytes);
+      r->outputs.push_back({path, std::move(bytes)});
+    }
+  }
+  r->ok = true;
+  // Feed the run-history table: future LPT schedules order by this key's
+  // observed simulated seconds instead of warm-up instruction counts.
+  session->engine()->tiering().RecordRun(request.spec.name, r->outcome.seconds);
+}
+
+}  // namespace
+
 BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
                               size_t request_index, int rep, int worker,
                               bool reset_first) {
@@ -32,61 +93,24 @@ BatchRunResult ExecuteRequest(Session* session, const RunRequest& request,
     span.arg("rep", rep);
   }
   auto t0 = std::chrono::steady_clock::now();
-
-  // Isolation: every run starts from a fresh kernel + VFS, so nothing staged
-  // by a previous run on this worker is visible.
-  if (reset_first) {
-    session->Reset();
-  }
-
-  bool was_hit = false;
-  CompiledModuleRef code = session->engine()->CompileWorkload(request.spec, request.options,
-                                                              &was_hit);
-  r.cache_hit = was_hit;
-  if (!code->ok) {
-    r.error = code->error;
-    r.wall_seconds = SecondsSince(t0);
-    return r;
-  }
-  r.compile = code->stats();
-
-  if (request.spec.setup) {
-    request.spec.setup(session->kernel());
-  }
-  InstanceOptions iopts;
-  iopts.argv = request.spec.argv;
-  iopts.entry = request.spec.entry;
-  iopts.fuel = request.spec.fuel;
-  std::string err;
-  std::unique_ptr<Instance> instance = session->Instantiate(code, std::move(iopts), &err);
-  if (instance == nullptr) {
-    r.error = err;
-    r.wall_seconds = SecondsSince(t0);
-    return r;
-  }
-  r.outcome = instance->Run();
-  if (!r.outcome.ok) {
-    r.error = request.spec.name + " trapped: " + r.outcome.error;
-    r.wall_seconds = SecondsSince(t0);
-    return r;
-  }
-  if (request.collect_outputs) {
-    for (const std::string& path : request.spec.output_files) {
-      std::vector<uint8_t> bytes;
-      session->fs().ReadFile(path, &bytes);
-      r.outputs.push_back({path, std::move(bytes)});
-    }
-  }
-  r.ok = true;
+  ExecuteRequestBody(session, request, &r, reset_first);
   r.wall_seconds = SecondsSince(t0);
-  // Feed the run-history table: future LPT schedules order by this key's
-  // observed simulated seconds instead of warm-up instruction counts.
-  session->engine()->tiering().RecordRun(request.spec.name, r.outcome.seconds);
+
+  // Request latency, tagged by outcome: executor.request_ns holds every
+  // request (percentiles INCLUDING failures), the _ok/_failed pair splits the
+  // population so either side can be read in isolation.
   static telemetry::Histogram& request_ns =
       *telemetry::MetricsRegistry::Global().GetHistogram("executor.request_ns");
+  static telemetry::Histogram& request_ok_ns =
+      *telemetry::MetricsRegistry::Global().GetHistogram("executor.request_ok_ns");
+  static telemetry::Histogram& request_failed_ns =
+      *telemetry::MetricsRegistry::Global().GetHistogram("executor.request_failed_ns");
   request_ns.RecordSeconds(r.wall_seconds);
+  (r.ok ? request_ok_ns : request_failed_ns).RecordSeconds(r.wall_seconds);
+
   if (span.active()) {
     span.arg("cache_hit", r.cache_hit ? "true" : "false");
+    span.arg("ok", r.ok ? "true" : "false");
     span.arg("sim_seconds", r.outcome.seconds);
   }
   return r;
@@ -96,16 +120,21 @@ void FinalizeBatchReport(BatchReport* report) {
   report->ok_runs = 0;
   report->failed_runs = 0;
   report->sim_seconds_total = 0;
+  report->failed_sim_seconds = 0;
   report->worker_sim_seconds.assign(std::max(report->workers, 1), 0.0);
   for (const BatchRunResult& r : report->runs) {
     if (r.ok) {
       report->ok_runs++;
+      report->sim_seconds_total += r.outcome.seconds;
+      if (r.worker >= 0 && r.worker < static_cast<int>(report->worker_sim_seconds.size())) {
+        report->worker_sim_seconds[r.worker] += r.outcome.seconds;
+      }
     } else {
+      // A trapped run may carry partial simulated time; counting it into the
+      // totals above would inflate throughput and skew the makespan with
+      // work whose results were discarded.
       report->failed_runs++;
-    }
-    report->sim_seconds_total += r.outcome.seconds;
-    if (r.worker >= 0 && r.worker < static_cast<int>(report->worker_sim_seconds.size())) {
-      report->worker_sim_seconds[r.worker] += r.outcome.seconds;
+      report->failed_sim_seconds += r.outcome.seconds;
     }
   }
   report->sim_makespan_seconds = 0;
@@ -262,6 +291,10 @@ BatchReport ExecutorPool::Run(const std::vector<RunRequest>& requests,
   report.wall_seconds = SecondsSince(t0);
   report.stats_after = engine_->Stats();
   FinalizeBatchReport(&report);
+  // Persist what this batch taught the run-history table. ~Engine used to be
+  // the only save point, so a killed process lost every observed run; now at
+  // most one batch of history is at risk. No-op without a cache_dir.
+  engine_->FlushRunHistory();
   return report;
 }
 

@@ -67,6 +67,14 @@ struct BatchRunResult {
   int worker = 0;
   bool ok = false;
   bool cache_hit = false;  // compile was served from the engine's code cache
+  // Per-run compile attribution (CompileInfo, engine.h): whether THIS run
+  // paid a backend compile, deserialized the artifact from the disk tier, or
+  // blocked on another worker's in-flight compile. The serving layer
+  // (src/engine/serving.h) uses these to attribute tail latency to the cold
+  // event that caused it.
+  bool compiled_backend = false;
+  bool disk_loaded = false;
+  bool compile_joined = false;
   std::string error;
   RunOutcome outcome;
   CompileStats compile;  // stats of the (possibly cached) compiled module
@@ -86,9 +94,17 @@ struct BatchReport {
   uint64_t ok_runs = 0;
   uint64_t failed_runs = 0;
   double wall_seconds = 0;        // host wall clock for the whole batch
-  double sim_seconds_total = 0;   // sum of simulated seconds across runs
+  // Sum of simulated seconds across OK runs only. A trapped run carries the
+  // partial simulated time it burned before the trap; folding that into the
+  // throughput numerator would credit work whose results were discarded, so
+  // it is reported separately below.
+  double sim_seconds_total = 0;
+  // Partial simulated seconds accumulated by FAILED runs before they
+  // trapped; excluded from sim_seconds_total, worker makespans, and
+  // throughput.
+  double failed_sim_seconds = 0;
   double sim_makespan_seconds = 0;
-  std::vector<double> worker_sim_seconds;  // indexed by worker
+  std::vector<double> worker_sim_seconds;  // indexed by worker; OK runs only
   // Under kLpt: how many requests carried an observed run-history estimate
   // (vs the profiled-work fallback or none). 0 under kFifo.
   uint64_t lpt_observed_requests = 0;
@@ -158,6 +174,8 @@ class ExecutorPool {
 
 // Fills the aggregate fields of `report` (ok/failed counts, sim totals,
 // per-worker sim seconds, makespan) from report->runs and report->workers.
+// Only OK runs count toward sim_seconds_total and the per-worker makespans;
+// failed runs' partial simulated time lands in failed_sim_seconds.
 void FinalizeBatchReport(BatchReport* report);
 
 }  // namespace engine

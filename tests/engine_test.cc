@@ -14,10 +14,12 @@
 #include <gtest/gtest.h>
 
 #include "src/builder/builder.h"
+#include "src/engine/executor.h"
 #include "src/kernel/kernel.h"
 #include "src/polybench/polybench.h"
 #include "src/runtime/wasmlib.h"
 #include "src/support/str.h"
+#include "src/telemetry/metrics.h"
 #include "src/wasm/artifact_codec.h"
 #include "src/wasm/encoder.h"
 
@@ -681,6 +683,114 @@ TEST(RunHistory, EmptyTableLeavesPreviousFileUntouched) {
   }
   engine::Engine check(DiskConfig(dir.path));
   EXPECT_EQ(check.tiering().ObservedRuns("trisolv"), 1u);
+}
+
+TEST(BatchReport, FinalizeCountsOnlyOkRunsIntoTotalsAndMakespan) {
+  // A trapped run carries the partial simulated time it burned before the
+  // trap; folding that into sim_seconds_total or a worker's makespan would
+  // credit work whose results were discarded.
+  engine::BatchReport report;
+  report.workers = 2;
+  engine::BatchRunResult ok0;
+  ok0.ok = true;
+  ok0.worker = 0;
+  ok0.outcome.seconds = 2.0;
+  engine::BatchRunResult ok1;
+  ok1.ok = true;
+  ok1.worker = 1;
+  ok1.outcome.seconds = 3.0;
+  engine::BatchRunResult trapped;
+  trapped.ok = false;
+  trapped.worker = 0;
+  trapped.outcome.seconds = 5.0;  // partial sim time up to the trap
+  report.runs = {ok0, ok1, trapped};
+  engine::FinalizeBatchReport(&report);
+  EXPECT_EQ(report.ok_runs, 2u);
+  EXPECT_EQ(report.failed_runs, 1u);
+  EXPECT_DOUBLE_EQ(report.sim_seconds_total, 5.0);
+  EXPECT_DOUBLE_EQ(report.failed_sim_seconds, 5.0);
+  ASSERT_EQ(report.worker_sim_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.worker_sim_seconds[0], 2.0);  // not 7.0
+  EXPECT_DOUBLE_EQ(report.worker_sim_seconds[1], 3.0);
+  EXPECT_DOUBLE_EQ(report.sim_makespan_seconds, 3.0);
+  EXPECT_FALSE(report.all_ok());
+}
+
+// main(): a counting loop of `iters` additions.
+Module CountModule(int iters) {
+  ModuleBuilder mb("count");
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.ForI32(i, 0, iters, 1, [&] { f.LocalGet(acc).I32Const(1).I32Add().LocalSet(acc); });
+  f.LocalGet(acc);
+  return mb.Build();
+}
+
+// main(): traps immediately on an integer division by zero.
+Module DivByZeroModule() {
+  ModuleBuilder mb("trap");
+  auto& f = mb.AddFunction("main", {}, {ValType::kI32});
+  f.I32Const(1).I32Const(0).I32DivS();
+  return mb.Build();
+}
+
+TEST(BatchReport, MixedBatchSplitsFailedSimTimeAndRecordsFailedLatency) {
+  // Request-latency telemetry must cover EVERY outcome: the _ns histogram
+  // holds all requests, the _ok/_failed pair splits the population. Failed
+  // requests used to vanish from the histogram entirely, biasing its
+  // percentiles toward the successes.
+  auto& registry = telemetry::MetricsRegistry::Global();
+  telemetry::Histogram* all_ns = registry.GetHistogram("executor.request_ns");
+  telemetry::Histogram* ok_ns = registry.GetHistogram("executor.request_ok_ns");
+  telemetry::Histogram* failed_ns = registry.GetHistogram("executor.request_failed_ns");
+  uint64_t all_before = all_ns->count();
+  uint64_t ok_before = ok_ns->count();
+  uint64_t failed_before = failed_ns->count();
+
+  engine::Engine eng;
+  engine::Session session(&eng);
+  engine::RunRequest good;
+  good.spec.name = "report_ok";
+  good.spec.build = [] { return CountModule(1000); };
+  good.collect_outputs = false;
+  engine::RunRequest bad;
+  bad.spec.name = "report_trap";
+  bad.spec.build = [] { return DivByZeroModule(); };
+  bad.collect_outputs = false;
+  engine::BatchReport report = session.RunBatch({good, bad});
+
+  ASSERT_EQ(report.runs.size(), 2u);
+  EXPECT_TRUE(report.runs[0].ok) << report.runs[0].error;
+  EXPECT_FALSE(report.runs[1].ok);
+  EXPECT_EQ(report.ok_runs, 1u);
+  EXPECT_EQ(report.failed_runs, 1u);
+  EXPECT_DOUBLE_EQ(report.sim_seconds_total, report.runs[0].outcome.seconds);
+  EXPECT_DOUBLE_EQ(report.failed_sim_seconds, report.runs[1].outcome.seconds);
+  EXPECT_EQ(all_ns->count(), all_before + 2);
+  EXPECT_EQ(ok_ns->count(), ok_before + 1);
+  EXPECT_EQ(failed_ns->count(), failed_before + 1);
+}
+
+TEST(RunHistory, ExplicitFlushPersistsWithoutDestruction) {
+  // ~Engine used to be the only save point, so a crashed process lost every
+  // observed run. FlushRunHistory makes the table durable mid-flight and is
+  // a cheap no-op while clean (the dirty counter gates the write).
+  TempCacheDir dir("runhistory-flush");
+  engine::Engine eng(DiskConfig(dir.path));
+  EXPECT_EQ(eng.tiering().HistoryDirty(), 0u);
+  EXPECT_FALSE(eng.FlushRunHistory());  // clean: nothing to write
+  eng.tiering().RecordRun("lu", 0.5);
+  eng.tiering().RecordRun("lu", 1.5);
+  EXPECT_EQ(eng.tiering().HistoryDirty(), 2u);
+  EXPECT_TRUE(eng.FlushRunHistory());
+  EXPECT_EQ(eng.tiering().HistoryDirty(), 0u);
+  EXPECT_FALSE(eng.FlushRunHistory());  // clean again
+  // The file is already readable while the engine lives.
+  engine::TieringPolicy fresh;
+  EXPECT_TRUE(fresh.LoadHistory(eng.RunHistoryPath()));
+  EXPECT_EQ(fresh.ObservedRuns("lu"), 2u);
+  EXPECT_DOUBLE_EQ(fresh.ObservedSeconds("lu"), 1.0);
 }
 
 TEST(Engine, PolybenchWorkloadEndToEnd) {
