@@ -167,6 +167,8 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       "\"compile_seconds_saved\":%.6f,"
       "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_evictions\":%llu,"
       "\"disk_load_failures\":%llu,\"disk_stores\":%llu,"
+      "\"disk_lease_waits\":%llu,\"disk_lease_takeovers\":%llu,"
+      "\"disk_manifest_rebuilds\":%llu,"
       "\"deserialize_seconds\":%.6f,\"serialize_seconds\":%.6f,"
       "\"verify_rejects\":%llu}",
       static_cast<unsigned long long>(s.cache_hits),
@@ -179,7 +181,10 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       static_cast<unsigned long long>(s.disk_misses),
       static_cast<unsigned long long>(s.disk_evictions),
       static_cast<unsigned long long>(s.disk_load_failures),
-      static_cast<unsigned long long>(s.disk_stores), s.deserialize_seconds,
+      static_cast<unsigned long long>(s.disk_stores),
+      static_cast<unsigned long long>(s.disk_lease_waits),
+      static_cast<unsigned long long>(s.disk_lease_takeovers),
+      static_cast<unsigned long long>(s.disk_manifest_rebuilds), s.deserialize_seconds,
       s.serialize_seconds, static_cast<unsigned long long>(s.verify_rejects));
 }
 
@@ -203,6 +208,9 @@ inline engine::EngineStats EngineStatsDelta(const engine::EngineStats& after,
   d.disk_evictions = after.disk_evictions - before.disk_evictions;
   d.disk_load_failures = after.disk_load_failures - before.disk_load_failures;
   d.disk_stores = after.disk_stores - before.disk_stores;
+  d.disk_lease_waits = after.disk_lease_waits - before.disk_lease_waits;
+  d.disk_lease_takeovers = after.disk_lease_takeovers - before.disk_lease_takeovers;
+  d.disk_manifest_rebuilds = after.disk_manifest_rebuilds - before.disk_manifest_rebuilds;
   d.deserialize_seconds = after.deserialize_seconds - before.deserialize_seconds;
   d.serialize_seconds = after.serialize_seconds - before.serialize_seconds;
   d.verify_rejects = after.verify_rejects - before.verify_rejects;

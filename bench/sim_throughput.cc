@@ -155,7 +155,7 @@ int main() {
   printf("\n%s\n", RenderTable(table).c_str());
   printf("geomean speedup: %.2fx over %zu workloads (%s dispatch)\n", geomean, speedups.size(),
          SimDispatchBackend());
-  printf("decode: %llu instrs -> %llu records, %llu fused cmp/test+jcc pairs, "
+  printf("decode: %llu instrs -> %llu records, %llu fused pairs (cmp/test+jcc + data), "
          "%llu generic-fallback records (%.1f%%)\n",
          (unsigned long long)decode_total.instrs, (unsigned long long)decode_total.records,
          (unsigned long long)decode_total.fused_pairs, (unsigned long long)decode_total.generic,
@@ -196,8 +196,28 @@ int main() {
       dispatch_json += StrFormat("%s\"%s\":%llu", dispatch_json.empty() ? "" : ",", s.name,
                                  (unsigned long long)s.retires);
     }
-    dispatch_json = StrFormat(",\"dispatch_stats\":{\"total\":%llu,\"handlers\":{%s}}",
-                              (unsigned long long)dispatch_total, dispatch_json.c_str());
+    // Adjacent-pair table: the shortlist superinstruction selection reads.
+    // A hot (first, second) row is a fusion candidate; pairs already fused
+    // (FusedCmpJcc* etc.) show up as the fused handler, not the pair.
+    std::vector<DispatchPairStat> pairs = DispatchPairsSnapshot();
+    std::vector<std::vector<std::string>> ptable = {{"pair", "count", "share"}};
+    std::string pairs_json;
+    for (size_t i = 0; i < pairs.size() && i < kTopN; i++) {
+      double share = dispatch_total > 0 ? 100.0 * static_cast<double>(pairs[i].count) /
+                                              static_cast<double>(dispatch_total)
+                                        : 0.0;
+      ptable.push_back({StrFormat("%s + %s", pairs[i].first_name, pairs[i].second_name),
+                        StrFormat("%llu", (unsigned long long)pairs[i].count),
+                        StrFormat("%.1f%%", share)});
+      pairs_json += StrFormat("%s\"%s+%s\":%llu", pairs_json.empty() ? "" : ",",
+                              pairs[i].first_name, pairs[i].second_name,
+                              (unsigned long long)pairs[i].count);
+    }
+    printf("adjacent pairs (top %zu of %zu) — superinstruction candidates\n%s\n",
+           std::min(kTopN, pairs.size()), pairs.size(), RenderTable(ptable).c_str());
+    dispatch_json =
+        StrFormat(",\"dispatch_stats\":{\"total\":%llu,\"handlers\":{%s},\"top_pairs\":{%s}}",
+                  (unsigned long long)dispatch_total, dispatch_json.c_str(), pairs_json.c_str());
   }
 
   // Counter identity is a hard failure on every backend (asserted above per

@@ -1,10 +1,15 @@
 #include "src/engine/disk_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,21 +27,37 @@ namespace {
 
 constexpr const char* kFilePrefix = "nsfa-";
 constexpr const char* kFileSuffix = ".bin";
-// Orphaned .tmp files (a writer died between write and rename) older than
-// this are reclaimed by the next eviction walk; younger ones may still be
-// in flight and are left alone.
-constexpr auto kStaleTmpAge = std::chrono::minutes(10);
+constexpr const char* kLockSuffix = ".bin.lock";
+constexpr const char* kManifestName = "manifest.nsf";
+constexpr const char* kManifestHeader = "nsf-manifest v1";
+// Orphaned .tmp and .lock files (a writer died between write and rename, or
+// a lease holder crashed) older than this are reclaimed by the next manifest
+// rebuild scan; younger ones may still be in flight and are left alone.
+constexpr auto kStaleOrphanAge = std::chrono::minutes(10);
 
 // A published artifact file: "nsfa-<key>.bin" exactly — not an in-flight or
-// orphaned "nsfa-<key>.bin.tmp.N". The single filter every size/eviction
-// walk uses, so the enforced bound and DirSizeBytes() always agree.
+// orphaned "nsfa-<key>.bin.tmp.N", a ".bin.lock" lease, or the manifest.
+// The single filter every manifest rebuild uses, so the enforced bound and
+// DirSizeBytes() always agree.
 bool IsArtifactFile(const std::string& name) {
   return name.rfind(kFilePrefix, 0) == 0 && name.size() >= 4 &&
          name.compare(name.size() - 4, 4, kFileSuffix) == 0;
 }
 
 bool IsTmpFile(const std::string& name) {
-  return name.rfind(kFilePrefix, 0) == 0 && name.find(".tmp.") != std::string::npos;
+  return name.find(".tmp.") != std::string::npos;
+}
+
+bool IsLockFile(const std::string& name) {
+  return name.rfind(kFilePrefix, 0) == 0 && name.size() >= 9 &&
+         name.compare(name.size() - 9, 9, kLockSuffix) == 0;
+}
+
+std::string FileNameForKey(uint64_t module_hash, uint64_t fingerprint) {
+  return kFilePrefix +
+         StrFormat("%016llx-%016llx", static_cast<unsigned long long>(module_hash),
+                   static_cast<unsigned long long>(fingerprint)) +
+         kFileSuffix;
 }
 
 uint64_t NanosSince(std::chrono::steady_clock::time_point t0) {
@@ -63,13 +84,13 @@ bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
   return read == out->size();
 }
 
-bool WriteWholeFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+bool WriteWholeFile(const std::string& path, const void* data, size_t size) {
   FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return false;
   }
-  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool ok = std::fclose(f) == 0 && written == bytes.size();
+  size_t written = size == 0 ? 0 : std::fwrite(data, 1, size, f);
+  bool ok = std::fclose(f) == 0 && written == size;
   return ok;
 }
 
@@ -78,19 +99,213 @@ bool WriteWholeFile(const std::string& path, const std::vector<uint8_t>& bytes) 
 DiskCodeCache::DiskCodeCache(std::string dir, uint64_t max_bytes)
     : dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
-std::string DiskCodeCache::PathForKey(uint64_t module_hash, uint64_t fingerprint) const {
-  return dir_ + "/" + kFilePrefix +
-         StrFormat("%016llx-%016llx", static_cast<unsigned long long>(module_hash),
-                   static_cast<unsigned long long>(fingerprint)) +
-         kFileSuffix;
+DiskCodeCache::~DiskCodeCache() {
+  // Flush recency updates accumulated by Load() hits, so a fresh process
+  // (which trusts the manifest) inherits this one's LRU order.
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  if (manifest_loaded_ && manifest_dirty_) {
+    PersistManifestLocked();
+  }
 }
+
+std::string DiskCodeCache::PathForKey(uint64_t module_hash, uint64_t fingerprint) const {
+  return dir_ + "/" + FileNameForKey(module_hash, fingerprint);
+}
+
+std::string DiskCodeCache::LockPathForKey(uint64_t module_hash, uint64_t fingerprint) const {
+  return PathForKey(module_hash, fingerprint) + ".lock";
+}
+
+void DiskCodeCache::SetLeaseTimingForTest(uint64_t stale_age_ms, uint64_t poll_ms,
+                                          uint64_t wait_max_ms) {
+  lease_stale_age_ms_ = stale_age_ms;
+  lease_poll_ms_ = poll_ms;
+  lease_wait_max_ms_ = wait_max_ms;
+}
+
+// --- manifest -------------------------------------------------------------
+
+void DiskCodeCache::PersistManifestLocked() const {
+  std::string text = kManifestHeader;
+  text += '\n';
+  for (const auto& [name, entry] : manifest_) {
+    text += StrFormat("%s %llu %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(entry.size),
+                      static_cast<unsigned long long>(entry.recency));
+  }
+  // Atomic publish, same discipline as artifacts: unique tmp, then rename.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string path = dir_ + "/" + kManifestName;
+  std::string tmp = path + StrFormat(".tmp.%llu", static_cast<unsigned long long>(
+                                                      tmp_counter.fetch_add(1)));
+  if (!WriteWholeFile(tmp, text.data(), text.size())) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return;  // stays dirty; the next persist point retries
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return;
+  }
+  manifest_dirty_ = false;
+}
+
+void DiskCodeCache::RebuildManifestLocked() const {
+  manifest_.clear();
+  manifest_total_bytes_ = 0;
+  recency_clock_ = 0;
+  manifest_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  struct Scanned {
+    std::string name;
+    uint64_t size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Scanned> files;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    std::error_code stat_ec;
+    if (IsTmpFile(name) || IsLockFile(name)) {
+      // Reclaim orphans from writers/lease-holders that died mid-flight;
+      // recent ones may still be live and are left alone. (Live leases are
+      // far younger than this: BeginCompile presumes them stale after
+      // seconds, not minutes.)
+      fs::file_time_type mtime = entry.last_write_time(stat_ec);
+      if (!stat_ec && now - mtime > kStaleOrphanAge) {
+        fs::remove(entry.path(), stat_ec);
+      }
+      continue;
+    }
+    if (!IsArtifactFile(name)) {
+      continue;
+    }
+    Scanned s;
+    s.name = std::move(name);
+    s.size = entry.file_size(stat_ec);
+    if (stat_ec) {
+      continue;
+    }
+    s.mtime = entry.last_write_time(stat_ec);
+    if (stat_ec) {
+      continue;
+    }
+    files.push_back(std::move(s));
+  }
+  // Seed the logical LRU clock from mtime order, so the rebuilt manifest
+  // preserves whatever recency the file system still knows about.
+  std::sort(files.begin(), files.end(),
+            [](const Scanned& a, const Scanned& b) { return a.mtime < b.mtime; });
+  for (const Scanned& s : files) {
+    manifest_[s.name] = ManifestEntry{s.size, ++recency_clock_};
+    manifest_total_bytes_ += s.size;
+  }
+  manifest_dirty_ = true;
+}
+
+namespace {
+
+// Parses a manifest file's text into (name -> {size, recency}). False on any
+// malformation — a truncated final line, a bad header, an entry that is not
+// an artifact name — so callers fall back to the directory scan.
+bool ParseManifestText(const std::string& text,
+                       std::map<std::string, uint64_t>* sizes,
+                       std::map<std::string, uint64_t>* recencies) {
+  size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      return false;  // truncated final line: treat as corrupt
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (first) {
+      if (line != kManifestHeader) {
+        return false;
+      }
+      first = false;
+      continue;
+    }
+    char name[256];
+    unsigned long long size = 0, recency = 0;
+    if (std::sscanf(line.c_str(), "%255s %llu %llu", name, &size, &recency) != 3 ||
+        !IsArtifactFile(name)) {
+      return false;
+    }
+    (*sizes)[name] = size;
+    (*recencies)[name] = recency;
+  }
+  return !first;
+}
+
+}  // namespace
+
+void DiskCodeCache::EnsureManifestLocked() const {
+  if (manifest_loaded_) {
+    return;
+  }
+  manifest_loaded_ = true;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint64_t> sizes, recencies;
+  if (!ReadWholeFile(dir_ + "/" + kManifestName, &bytes) ||
+      !ParseManifestText(std::string(bytes.begin(), bytes.end()), &sizes, &recencies)) {
+    RebuildManifestLocked();
+    return;
+  }
+  for (const auto& [name, size] : sizes) {
+    uint64_t recency = recencies[name];
+    manifest_[name] = ManifestEntry{size, recency};
+    manifest_total_bytes_ += size;
+    recency_clock_ = std::max<uint64_t>(recency_clock_, recency);
+  }
+}
+
+void DiskCodeCache::MergeManifestFromDiskLocked() const {
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint64_t> sizes, recencies;
+  if (!ReadWholeFile(dir_ + "/" + kManifestName, &bytes) ||
+      !ParseManifestText(std::string(bytes.begin(), bytes.end()), &sizes, &recencies)) {
+    return;  // nothing usable to merge; memory stays authoritative
+  }
+  for (const auto& [name, size] : sizes) {
+    uint64_t recency = recencies[name];
+    auto it = manifest_.find(name);
+    if (it == manifest_.end()) {
+      // Stored by another process. If its file is already gone again, the
+      // eviction that follows drops the entry when removal fails.
+      manifest_[name] = ManifestEntry{size, recency};
+      manifest_total_bytes_ += size;
+      manifest_dirty_ = true;
+    } else if (recency > it->second.recency) {
+      it->second.recency = recency;  // touched more recently elsewhere
+      manifest_dirty_ = true;
+    }
+    recency_clock_ = std::max<uint64_t>(recency_clock_, recency);
+  }
+}
+
+void DiskCodeCache::ManifestEraseLocked(const std::string& name) const {
+  auto it = manifest_.find(name);
+  if (it == manifest_.end()) {
+    return;
+  }
+  manifest_total_bytes_ -= std::min(manifest_total_bytes_, it->second.size);
+  manifest_.erase(it);
+  manifest_dirty_ = true;
+}
+
+// --- artifact I/O ---------------------------------------------------------
 
 bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArtifact* out) {
   if (!enabled()) {
     return false;
   }
   telemetry::Span span("disk.load", "engine");
-  std::string path = PathForKey(module_hash, fingerprint);
+  std::string name = FileNameForKey(module_hash, fingerprint);
+  std::string path = dir_ + "/" + name;
   std::vector<uint8_t> bytes;
   auto t0 = std::chrono::steady_clock::now();
   if (!ReadWholeFile(path, &bytes)) {
@@ -106,6 +321,12 @@ bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArt
     // recompile that follows can repopulate a clean entry.
     std::error_code ec;
     fs::remove(path, ec);
+    {
+      std::lock_guard<std::mutex> lock(dir_mu_);
+      if (manifest_loaded_) {
+        ManifestEraseLocked(name);
+      }
+    }
     load_failures_.fetch_add(1, std::memory_order_relaxed);
     misses_.fetch_add(1, std::memory_order_relaxed);
     span.arg("outcome", "rejected");
@@ -121,8 +342,25 @@ bool DiskCodeCache::Load(uint64_t module_hash, uint64_t fingerprint, CompiledArt
     span.arg("outcome", "hit");
     span.arg("bytes", static_cast<uint64_t>(bytes.size()));
   }
-  // LRU touch: a hit makes this entry the newest. Failure is harmless (the
-  // file may have been evicted by another process between read and touch).
+  // LRU touch: a hit makes this entry the newest — in the manifest (flushed
+  // at destruction, merged by whoever evicts next) and on disk via mtime,
+  // the ground truth manifest rebuilds fall back on. Loads are cold-path
+  // (once per key per process), so forcing the manifest in here never taxes
+  // a warm request. Failure is harmless (the file may have been evicted
+  // between read and touch).
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    EnsureManifestLocked();
+    auto it = manifest_.find(name);
+    if (it != manifest_.end()) {
+      it->second.recency = ++recency_clock_;
+    } else {
+      // Stored by a process whose manifest write we never saw: adopt it.
+      manifest_[name] = ManifestEntry{static_cast<uint64_t>(bytes.size()), ++recency_clock_};
+      manifest_total_bytes_ += bytes.size();
+    }
+    manifest_dirty_ = true;
+  }
   std::error_code ec;
   fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
   return true;
@@ -132,9 +370,28 @@ void DiskCodeCache::Discard(uint64_t module_hash, uint64_t fingerprint) {
   if (!enabled()) {
     return;
   }
+  std::string name = FileNameForKey(module_hash, fingerprint);
   std::error_code ec;
-  fs::remove(PathForKey(module_hash, fingerprint), ec);
+  fs::remove(dir_ + "/" + name, ec);
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (manifest_loaded_) {
+      ManifestEraseLocked(name);
+    }
+  }
   load_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool DiskCodeCache::EnsureDirLocked() {
+  if (!dir_ready_) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec && !fs::is_directory(dir_, ec)) {
+      return false;  // cannot create the cache dir; skip persistence quietly
+    }
+    dir_ready_ = true;
+  }
+  return true;
 }
 
 void DiskCodeCache::Store(const CompiledArtifact& artifact) {
@@ -143,13 +400,8 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
   }
   {
     std::lock_guard<std::mutex> lock(dir_mu_);
-    if (!dir_ready_) {
-      std::error_code ec;
-      fs::create_directories(dir_, ec);
-      if (ec && !fs::is_directory(dir_, ec)) {
-        return;  // cannot create the cache dir; skip persistence quietly
-      }
-      dir_ready_ = true;
+    if (!EnsureDirLocked()) {
+      return;
     }
   }
   telemetry::Span span("disk.store", "engine");
@@ -158,13 +410,14 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
   if (span.active()) {
     span.arg("bytes", static_cast<uint64_t>(bytes.size()));
   }
-  std::string path = PathForKey(artifact.module_hash, artifact.options_fingerprint);
+  std::string name = FileNameForKey(artifact.module_hash, artifact.options_fingerprint);
+  std::string path = dir_ + "/" + name;
   // Unique tmp name per (thread, store): two racing writers of one key both
   // rename complete files; last rename wins and both are valid.
   static std::atomic<uint64_t> tmp_counter{0};
   std::string tmp = path + StrFormat(".tmp.%llu", static_cast<unsigned long long>(
                                                       tmp_counter.fetch_add(1)));
-  if (!WriteWholeFile(tmp, bytes)) {
+  if (!WriteWholeFile(tmp, bytes.data(), bytes.size())) {
     std::error_code ec;
     fs::remove(tmp, ec);
     return;
@@ -181,28 +434,22 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
   static telemetry::Histogram& serialize_ns =
       *telemetry::MetricsRegistry::Global().GetHistogram("engine.disk.serialize_ns");
   serialize_ns.Record(ser_ns);
-  if (max_bytes_ != 0) {
-    // Track the directory's size with a running counter instead of walking
-    // it on every store: seed once from a real scan, add what we write, and
-    // resync from the exact walk whenever eviction runs. The bound is
-    // enforced per-writer: other writers' stores (and our own re-stores of
-    // an existing key, which double-count here) go unseen until the next
-    // resync — both errors only delay or hasten a walk, never corrupt it,
-    // and any writer's next over-budget store converges the whole directory.
-    bool over_budget;
-    {
-      std::lock_guard<std::mutex> lock(dir_mu_);
-      if (!size_seeded_) {
-        approx_bytes_ = DirSizeBytes();  // includes the file just renamed
-        size_seeded_ = true;
-      } else {
-        approx_bytes_ += bytes.size();
-      }
-      over_budget = approx_bytes_ > max_bytes_;
-    }
-    if (over_budget) {
-      EvictToFit();
-    }
+  // Account the new entry in the manifest (loading it first if this is the
+  // first touch — a one-time seed that later stores never repeat) and
+  // enforce the size bound off the manifest total: no directory walk on
+  // either side of the budget. Other processes' concurrent stores go unseen
+  // until a rebuild — that drift only delays eviction, never corrupts it,
+  // because eviction drops entries whose files are already gone.
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  EnsureManifestLocked();
+  ManifestEraseLocked(name);  // re-store of an existing key: replace, not add
+  manifest_[name] = ManifestEntry{bytes.size(), ++recency_clock_};
+  manifest_total_bytes_ += bytes.size();
+  manifest_dirty_ = true;
+  if (max_bytes_ != 0 && manifest_total_bytes_ > max_bytes_) {
+    EvictToFit();  // persists the manifest
+  } else {
+    PersistManifestLocked();
   }
 }
 
@@ -210,87 +457,131 @@ uint64_t DiskCodeCache::DirSizeBytes() const {
   if (!enabled()) {
     return 0;
   }
-  uint64_t total = 0;
-  std::error_code ec;
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
-    if (!IsArtifactFile(entry.path().filename().string())) {
-      continue;
-    }
-    std::error_code size_ec;
-    uint64_t size = entry.file_size(size_ec);
-    if (!size_ec) {
-      total += size;
-    }
-  }
-  return total;
+  std::lock_guard<std::mutex> lock(dir_mu_);
+  EnsureManifestLocked();
+  return manifest_total_bytes_;
 }
 
 void DiskCodeCache::EvictToFit() {
-  // One evictor at a time in this process; cross-process races only cause
-  // redundant/failed removals, which are ignored.
+  // Caller holds dir_mu_ with the manifest loaded. LRU by manifest recency;
+  // cross-process races only cause removals of already-gone files, which
+  // just drop the stale manifest entry.
   telemetry::Span span("disk.evict", "engine");
-  uint64_t evicted_before = evictions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(dir_mu_);
-  struct FileInfo {
-    fs::path path;
-    uint64_t size = 0;
-    fs::file_time_type mtime;
-  };
-  std::vector<FileInfo> files;
-  uint64_t total = 0;
-  std::error_code ec;
-  const auto now = fs::file_time_type::clock::now();
-  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
-    std::string name = entry.path().filename().string();
-    std::error_code stat_ec;
-    if (IsTmpFile(name)) {
-      // Reclaim orphans from writers that died mid-store; recent .tmp files
-      // may still be in flight (about to be renamed) and are left alone.
-      fs::file_time_type mtime = entry.last_write_time(stat_ec);
-      if (!stat_ec && now - mtime > kStaleTmpAge) {
-        fs::remove(entry.path(), stat_ec);
-      }
-      continue;
-    }
-    if (!IsArtifactFile(name)) {
-      continue;
-    }
-    FileInfo info;
-    info.path = entry.path();
-    info.size = entry.file_size(stat_ec);
-    if (stat_ec) {
-      continue;
-    }
-    info.mtime = entry.last_write_time(stat_ec);
-    if (stat_ec) {
-      continue;
-    }
-    total += info.size;
-    files.push_back(std::move(info));
+  // Fold in other processes' persisted view first, so their LRU touches and
+  // stores are honored before anything is chosen for removal.
+  MergeManifestFromDiskLocked();
+  uint64_t evicted = 0;
+  std::vector<std::pair<uint64_t, std::string>> order;  // (recency, name)
+  order.reserve(manifest_.size());
+  for (const auto& [name, entry] : manifest_) {
+    order.emplace_back(entry.recency, name);
   }
-  if (total > max_bytes_) {
-    std::sort(files.begin(), files.end(),
-              [](const FileInfo& a, const FileInfo& b) { return a.mtime < b.mtime; });
-    for (const FileInfo& f : files) {
-      if (total <= max_bytes_) {
-        break;
-      }
-      std::error_code rm_ec;
-      if (fs::remove(f.path, rm_ec) && !rm_ec) {
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-      // Count the bytes as gone either way: if removal failed because another
-      // process already evicted it, the space is reclaimed all the same.
-      total -= std::min(total, f.size);
+  std::sort(order.begin(), order.end());
+  for (const auto& [recency, name] : order) {
+    if (manifest_total_bytes_ <= max_bytes_) {
+      break;
     }
+    std::error_code rm_ec;
+    if (fs::remove(dir_ + "/" + name, rm_ec) && !rm_ec) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evicted++;
+    }
+    // Drop the entry either way: if removal failed because another process
+    // already evicted the file, the space is reclaimed all the same.
+    ManifestEraseLocked(name);
   }
-  // Resync the running counter from the exact walk (also folds in anything
-  // other processes stored since the last resync).
-  approx_bytes_ = total;
+  PersistManifestLocked();
   if (span.active()) {
-    span.arg("evicted", evictions_.load(std::memory_order_relaxed) - evicted_before);
-    span.arg("dir_bytes", total);
+    span.arg("evicted", evicted);
+    span.arg("dir_bytes", manifest_total_bytes_);
   }
+}
+
+// --- cross-process compile lease ------------------------------------------
+
+bool DiskCodeCache::Exists(uint64_t module_hash, uint64_t fingerprint) const {
+  if (!enabled()) {
+    return false;
+  }
+  std::error_code ec;
+  return fs::exists(PathForKey(module_hash, fingerprint), ec) && !ec;
+}
+
+bool DiskCodeCache::BeginCompile(uint64_t module_hash, uint64_t fingerprint) {
+  if (!enabled()) {
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!EnsureDirLocked()) {
+      return true;  // no shared directory, nothing to serialize against
+    }
+  }
+  const std::string lock_path = LockPathForKey(module_hash, fingerprint);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stale_age = std::chrono::milliseconds(lease_stale_age_ms_);
+  const auto wait_max = std::chrono::milliseconds(lease_wait_max_ms_);
+  telemetry::Span span("disk.lease", "engine");
+  bool waited = false;
+  for (;;) {
+    // Exclusive create is the acquisition: exactly one process's open()
+    // succeeds for a given path. Contents are for humans inspecting the dir.
+    int fd = ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      std::string who = StrFormat("pid %d\n", static_cast<int>(::getpid()));
+      ssize_t ignored = ::write(fd, who.data(), who.size());
+      (void)ignored;
+      ::close(fd);
+      if (span.active()) {
+        span.arg("outcome", waited ? "acquired_after_wait" : "acquired");
+        span.arg("wait_ns", NanosSince(t0));
+      }
+      return true;
+    }
+    if (errno != EEXIST) {
+      // The filesystem won't give us a lease (permissions, read-only, ...).
+      // Compile without one — duplicated work, never incorrectness.
+      span.arg("outcome", "unavailable");
+      return true;
+    }
+    std::error_code ec;
+    fs::file_time_type mtime = fs::last_write_time(lock_path, ec);
+    if (ec) {
+      continue;  // vanished between open and stat: retry the create at once
+    }
+    bool stale = fs::file_time_type::clock::now() - mtime > stale_age;
+    bool timed_out = std::chrono::steady_clock::now() - t0 > wait_max;
+    if (stale || timed_out) {
+      // Presume the holder dead (stale) or wedged (timeout backstop): take
+      // the lease over by force. If the removal races another waiter's, the
+      // loop just re-contends the create.
+      fs::remove(lock_path, ec);
+      lease_takeovers_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!waited) {
+      waited = true;
+      lease_waits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(lease_poll_ms_));
+    if (!fs::exists(lock_path, ec) && !ec) {
+      // The holder released: its artifact should be on disk now. Don't
+      // acquire — report "lost the race" so the caller re-probes Load().
+      if (span.active()) {
+        span.arg("outcome", "yielded");
+        span.arg("wait_ns", NanosSince(t0));
+      }
+      return false;
+    }
+  }
+}
+
+void DiskCodeCache::EndCompile(uint64_t module_hash, uint64_t fingerprint) {
+  if (!enabled()) {
+    return;
+  }
+  std::error_code ec;
+  fs::remove(LockPathForKey(module_hash, fingerprint), ec);
 }
 
 DiskCacheStats DiskCodeCache::stats() const {
@@ -300,6 +591,9 @@ DiskCacheStats DiskCodeCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.load_failures = load_failures_.load(std::memory_order_relaxed);
   s.stores = stores_.load(std::memory_order_relaxed);
+  s.lease_waits = lease_waits_.load(std::memory_order_relaxed);
+  s.lease_takeovers = lease_takeovers_.load(std::memory_order_relaxed);
+  s.manifest_rebuilds = manifest_rebuilds_.load(std::memory_order_relaxed);
   s.deserialize_seconds =
       static_cast<double>(deserialize_nanos_.load(std::memory_order_relaxed)) * 1e-9;
   s.serialize_seconds =
@@ -313,6 +607,9 @@ void DiskCodeCache::ResetStats() {
   evictions_.store(0, std::memory_order_relaxed);
   load_failures_.store(0, std::memory_order_relaxed);
   stores_.store(0, std::memory_order_relaxed);
+  lease_waits_.store(0, std::memory_order_relaxed);
+  lease_takeovers_.store(0, std::memory_order_relaxed);
+  manifest_rebuilds_.store(0, std::memory_order_relaxed);
   deserialize_nanos_.store(0, std::memory_order_relaxed);
   serialize_nanos_.store(0, std::memory_order_relaxed);
 }

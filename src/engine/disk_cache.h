@@ -13,21 +13,34 @@
 //     truncation) AND any artifact whose stored key disagrees with the file
 //     name's key; rejected files are deleted and the caller recompiles.
 //     A load failure is never fatal.
-//   - Eviction is LRU by file modification time, bounded by max_bytes: every
-//     load hit touches its file's mtime, and a store that pushes the
-//     directory over budget evicts oldest-first until it fits (tracked by a
-//     running size counter so in-budget stores never pay a directory walk;
-//     eviction walks resync it and also reclaim stale orphaned .tmp files).
-//     Concurrent eviction from another process just makes some loads miss,
-//     which is safe.
+//   - Eviction is LRU, bounded by max_bytes: a store that pushes the
+//     directory over budget evicts least-recently-used entries until it
+//     fits. Concurrent eviction from another process just makes some loads
+//     miss, which is safe.
+//   - Cross-process single-writer: BeginCompile/EndCompile serialize cold
+//     compiles of one key across PROCESSES with an exclusive-create
+//     `.bin.lock` lease file. Two cold processes racing one NSF_CACHE_DIR
+//     collapse onto one compiler: the loser waits for the lease to clear and
+//     loads the winner's artifact. A lease whose file outlives its holder
+//     (crash) is taken over once it looks stale.
 //
-// Thread-safe. All counters are atomics; eviction is serialized in-process
-// by a mutex so two stores don't double-delete.
+// The manifest: size accounting and eviction order are kept in a persisted
+// index file (`manifest.nsf`: one line per artifact with its size and a
+// logical recency stamp) instead of walking the directory on every store
+// that crosses the budget. The manifest is an accelerator, never a
+// correctness dependency — when it is missing, unreadable, or disagrees with
+// itself, it is rebuilt from one directory scan (which also reclaims
+// orphaned .tmp and stale .lock files), and entries that turn out to be
+// stale (the file vanished under another process) are simply dropped.
+//
+// Thread-safe. All counters are atomics; manifest state and eviction are
+// serialized in-process by a mutex so two stores don't double-delete.
 #ifndef SRC_ENGINE_DISK_CACHE_H_
 #define SRC_ENGINE_DISK_CACHE_H_
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -42,6 +55,9 @@ struct DiskCacheStats {
   uint64_t evictions = 0;      // files removed by the LRU size bound
   uint64_t load_failures = 0;  // present-but-rejected files (corruption, version)
   uint64_t stores = 0;         // artifacts written
+  uint64_t lease_waits = 0;      // BeginCompile found another holder and waited
+  uint64_t lease_takeovers = 0;  // stale lease files forcibly removed
+  uint64_t manifest_rebuilds = 0;  // manifest missing/corrupt -> directory scan
   double deserialize_seconds = 0;  // wall time decoding accepted artifacts
   double serialize_seconds = 0;    // wall time encoding + writing artifacts
 };
@@ -51,15 +67,17 @@ class DiskCodeCache {
   // An empty `dir` disables the tier (every call becomes a cheap no-op).
   // The directory is created on first use. max_bytes == 0 means unbounded.
   DiskCodeCache(std::string dir, uint64_t max_bytes);
+  ~DiskCodeCache();  // flushes pending manifest recency updates
 
   bool enabled() const { return !dir_.empty(); }
   const std::string& dir() const { return dir_; }
   uint64_t max_bytes() const { return max_bytes_; }
 
   // Loads and decodes the artifact for the key. True on an accepted artifact
-  // (counted as a hit; the file's mtime is refreshed for LRU). False on a
-  // miss or any rejection — rejected files are deleted so they are not
-  // re-parsed on every future miss.
+  // (counted as a hit; the entry's recency is refreshed for LRU, on disk via
+  // the file mtime and in the manifest). False on a miss or any rejection —
+  // rejected files are deleted so they are not re-parsed on every future
+  // miss.
   bool Load(uint64_t module_hash, uint64_t fingerprint, CompiledArtifact* out);
 
   // Serializes and atomically publishes the artifact, then enforces the size
@@ -69,40 +87,92 @@ class DiskCodeCache {
 
   // Deletes the key's file, counting a load failure — for artifacts the
   // caller loaded successfully but rejected AFTER Load() accepted them
-  // (semantic verification, src/codegen/verify.h). The running size counter
-  // deliberately isn't adjusted; the next eviction walk resyncs it, exactly
-  // as for Load()'s own rejects.
+  // (semantic verification, src/codegen/verify.h).
   void Discard(uint64_t module_hash, uint64_t fingerprint);
 
-  // Sum of artifact file sizes currently in the directory.
+  // Cross-process compile lease for one key. Returns true when the calling
+  // process now HOLDS the key's lease (it created the `.bin.lock` file —
+  // possibly after taking over a stale one) and must EndCompile() when its
+  // compile+Store finishes, succeed or fail. Returns false when another
+  // process held the lease and released it while we waited: the winner's
+  // artifact should now be on disk, so re-probe Load() instead of compiling.
+  // A disabled tier returns true (no cross-process state to serialize).
+  //
+  // Because a winner Store()s before it EndCompile()s, "lease acquired but
+  // Exists() is already true" means another process published between the
+  // caller's cold probe and its acquire — re-probe Load() in that case too.
+  bool BeginCompile(uint64_t module_hash, uint64_t fingerprint);
+  void EndCompile(uint64_t module_hash, uint64_t fingerprint);
+
+  // True when a published artifact file for the key exists right now: one
+  // stat, no decode, no hit/miss accounting.
+  bool Exists(uint64_t module_hash, uint64_t fingerprint) const;
+
+  // Sum of artifact bytes currently accounted in the manifest (seeded from a
+  // directory scan when no manifest exists yet).
   uint64_t DirSizeBytes() const;
 
   // Full path of the artifact file for a key (exposed for tests that corrupt
   // or truncate cache entries on purpose).
   std::string PathForKey(uint64_t module_hash, uint64_t fingerprint) const;
+  // Path of the key's lease file (exposed for tests that fake stale leases).
+  std::string LockPathForKey(uint64_t module_hash, uint64_t fingerprint) const;
+
+  // Shrinks the lease timing so tests can exercise waiting and stale-lease
+  // takeover without multi-second sleeps. Call before any BeginCompile.
+  void SetLeaseTimingForTest(uint64_t stale_age_ms, uint64_t poll_ms,
+                             uint64_t wait_max_ms);
 
   DiskCacheStats stats() const;
   void ResetStats();
 
  private:
+  struct ManifestEntry {
+    uint64_t size = 0;
+    uint64_t recency = 0;  // logical LRU clock; larger = more recent
+  };
+
   void EvictToFit();
+  bool EnsureDirLocked();
+  // Loads the manifest into memory, rebuilding it from a directory scan when
+  // the file is missing or fails to parse. Idempotent after the first call.
+  void EnsureManifestLocked() const;
+  void RebuildManifestLocked() const;
+  // Folds the persisted manifest into memory (max recency per entry; unseen
+  // entries adopted) so eviction honors other processes' LRU touches and
+  // stores without walking the directory.
+  void MergeManifestFromDiskLocked() const;
+  void PersistManifestLocked() const;
+  void ManifestEraseLocked(const std::string& name) const;
 
   std::string dir_;
   uint64_t max_bytes_;
-  bool dir_ready_ = false;      // directory creation attempted and succeeded
-  std::mutex dir_mu_;           // guards dir_ready_, the size counter, and eviction walks
-  // Running estimate of the directory's artifact bytes, so stores only pay a
-  // directory walk when the budget is actually crossed: seeded from one scan
-  // on the first store, incremented per store, resynced to the exact total by
-  // every eviction walk. Guarded by dir_mu_.
-  bool size_seeded_ = false;
-  uint64_t approx_bytes_ = 0;
+
+  // Guards dir_ready_ and all manifest state. Mutable because read-side
+  // accessors (DirSizeBytes, Load's recency touch) lazily load the manifest.
+  mutable std::mutex dir_mu_;
+  mutable bool dir_ready_ = false;  // directory creation attempted and succeeded
+  mutable bool manifest_loaded_ = false;
+  mutable bool manifest_dirty_ = false;  // in-memory newer than manifest.nsf
+  mutable uint64_t recency_clock_ = 0;   // max recency ever issued
+  mutable uint64_t manifest_total_bytes_ = 0;
+  mutable std::map<std::string, ManifestEntry> manifest_;  // file name -> entry
+
+  // Lease timing (test-tunable): a lock file older than stale_age is presumed
+  // orphaned by a crashed holder and taken over; waiters poll every poll_ms;
+  // wait_max is a backstop after which the waiter compiles anyway.
+  uint64_t lease_stale_age_ms_ = 10000;
+  uint64_t lease_poll_ms_ = 1;
+  uint64_t lease_wait_max_ms_ = 60000;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> load_failures_{0};
   std::atomic<uint64_t> stores_{0};
+  std::atomic<uint64_t> lease_waits_{0};
+  std::atomic<uint64_t> lease_takeovers_{0};
+  mutable std::atomic<uint64_t> manifest_rebuilds_{0};
   std::atomic<uint64_t> deserialize_nanos_{0};
   std::atomic<uint64_t> serialize_nanos_{0};
 };

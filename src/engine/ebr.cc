@@ -1,0 +1,240 @@
+#include "src/engine/ebr.h"
+
+#include <utility>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace nsf {
+namespace ebr {
+
+namespace {
+
+telemetry::Counter& Count(const char* name) {
+  return *telemetry::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+// All domain state lives behind a shared_ptr so a thread's exit hook can
+// return its slot without racing domain destruction: thread records co-own
+// the State, and whatever is still retired when the last owner drops is
+// freed in ~State.
+struct EbrDomain::State {
+  std::atomic<uint64_t> global_epoch{EbrDomain::kGraceEpochs};
+
+  // Slow-path state (writers, the collector, thread registration): never
+  // touched by a warm read.
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<EpochSlot>> slots;
+  std::vector<EpochSlot*> free_slots;  // returned by exited threads
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t stamp;
+  };
+  std::vector<Retired> retired_list;
+
+  std::atomic<uint64_t> retired{0};
+  std::atomic<uint64_t> reclaimed{0};
+
+  ~State() {
+    // Last owner: no guard can be live, every grace period has trivially
+    // elapsed. Free without ceremony.
+    for (const Retired& r : retired_list) {
+      r.deleter(r.ptr);
+    }
+  }
+
+  EpochSlot* AcquireSlot() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_slots.empty()) {
+      EpochSlot* s = free_slots.back();
+      free_slots.pop_back();
+      return s;
+    }
+    slots.push_back(std::make_unique<EpochSlot>());
+    return slots.back().get();
+  }
+
+  void ReleaseSlot(EpochSlot* s) {
+    s->epoch.store(EpochSlot::kQuiescent, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(mu);
+    free_slots.push_back(s);
+  }
+
+  void RetireErased(void* p, void (*deleter)(void*)) {
+    // Stamp BEFORE queueing: a concurrent advance between the stamp and the
+    // push only makes the grace period conservatively longer.
+    uint64_t stamp = global_epoch.load(std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      retired_list.push_back(Retired{p, deleter, stamp});
+    }
+    retired.fetch_add(1, std::memory_order_relaxed);
+    static telemetry::Counter& retired_count = Count("ebr.retired");
+    retired_count.Add();
+    // Retires are slow-path events (evictions, republishes, table growth);
+    // collecting on every one keeps the pending list near-empty without any
+    // reader-visible cost.
+    Collect();
+  }
+
+  size_t Collect() {
+    std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      return 0;  // another thread is already collecting
+    }
+    if (retired_list.empty()) {
+      return 0;
+    }
+    telemetry::Span span("ebr.collect", "engine");
+    // Advance is allowed only when every pinned slot has observed the
+    // current epoch; seq_cst loads pair with the guards' seq_cst pin stores
+    // (full fences — and a happens-before edge tsan understands).
+    uint64_t e = global_epoch.load(std::memory_order_seq_cst);
+    bool advance = true;
+    for (const auto& s : slots) {
+      uint64_t se = s->epoch.load(std::memory_order_seq_cst);
+      if (se != EpochSlot::kQuiescent && se != e) {
+        advance = false;
+        break;
+      }
+    }
+    if (advance) {
+      global_epoch.store(e + 1, std::memory_order_seq_cst);
+      e = e + 1;
+    }
+    // Grace elapsed for everything retired >= kGraceEpochs advances ago.
+    // Swap the freeable tail out and run deleters OUTSIDE the lock: a
+    // deleter may cascade (dropping the last shared_ptr reference to a
+    // compiled module) and must not hold up registration or other retires.
+    std::vector<Retired> freeable;
+    size_t kept = 0;
+    for (Retired& r : retired_list) {
+      if (r.stamp + EbrDomain::kGraceEpochs <= e) {
+        freeable.push_back(r);
+      } else {
+        retired_list[kept++] = r;
+      }
+    }
+    retired_list.resize(kept);
+    size_t deferred = retired_list.size();
+    lock.unlock();
+    for (const Retired& r : freeable) {
+      r.deleter(r.ptr);
+    }
+    if (!freeable.empty()) {
+      reclaimed.fetch_add(freeable.size(), std::memory_order_relaxed);
+      static telemetry::Counter& reclaimed_count = Count("ebr.reclaimed");
+      reclaimed_count.Add(freeable.size());
+    }
+    if (span.active()) {
+      span.arg("freed", static_cast<uint64_t>(freeable.size()));
+      span.arg("deferred", static_cast<uint64_t>(deferred));
+      span.arg("advanced", static_cast<uint64_t>(advance ? 1 : 0));
+    }
+    return freeable.size();
+  }
+};
+
+namespace {
+
+// Per-thread registration records. The destructor runs at thread exit and
+// returns each slot to its (co-owned, so still valid) domain state.
+struct ThreadSlots {
+  std::vector<std::pair<std::shared_ptr<EbrDomain::State>, EpochSlot*>> entries;
+
+  ~ThreadSlots() {
+    for (auto& [state, slot] : entries) {
+      state->ReleaseSlot(slot);
+    }
+  }
+
+  EpochSlot* FindOrAcquire(const std::shared_ptr<EbrDomain::State>& state) {
+    for (auto& [s, slot] : entries) {
+      if (s == state) {
+        return slot;
+      }
+    }
+    EpochSlot* slot = state->AcquireSlot();
+    entries.emplace_back(state, slot);
+    return slot;
+  }
+};
+
+thread_local ThreadSlots t_slots;
+
+}  // namespace
+
+// --- EbrDomain ---
+
+EbrDomain::EbrDomain() : state_(std::make_shared<State>()) {}
+
+EbrDomain::~EbrDomain() = default;  // State freed when the last co-owner drops
+
+EbrDomain& EbrDomain::Global() {
+  // Leaked: worker threads may still unpin during static destruction.
+  static EbrDomain* domain = new EbrDomain();
+  return *domain;
+}
+
+EpochSlot* EbrDomain::SlotForThisThread() {
+  // Single-entry cache for the hot path: one pointer compare on a pin. The
+  // cached State is co-owned by t_slots, so an address match can never be a
+  // recycled allocation.
+  thread_local State* cached_state = nullptr;
+  thread_local EpochSlot* cached_slot = nullptr;
+  if (cached_state == state_.get()) {
+    return cached_slot;
+  }
+  EpochSlot* slot = t_slots.FindOrAcquire(state_);
+  cached_state = state_.get();
+  cached_slot = slot;
+  return slot;
+}
+
+void EbrDomain::RegisterCurrentThread() { SlotForThisThread(); }
+
+void EbrDomain::RetireErased(void* p, void (*deleter)(void*)) {
+  state_->RetireErased(p, deleter);
+}
+
+size_t EbrDomain::Collect() { return state_->Collect(); }
+
+uint64_t EbrDomain::retired() const { return state_->retired.load(std::memory_order_relaxed); }
+
+uint64_t EbrDomain::reclaimed() const {
+  return state_->reclaimed.load(std::memory_order_relaxed);
+}
+
+size_t EbrDomain::pending() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->retired_list.size();
+}
+
+uint64_t EbrDomain::epoch() const {
+  return state_->global_epoch.load(std::memory_order_relaxed);
+}
+
+// --- EbrGuard ---
+
+EbrGuard::EbrGuard(EbrDomain& domain) : slot_(domain.SlotForThisThread()) {
+  outermost_ = slot_->depth++ == 0;
+  if (outermost_) {
+    // The announced epoch may lag an in-flight advance by one; the collector
+    // then simply cannot advance past us, which is safe (just slower).
+    uint64_t e = domain.state_->global_epoch.load(std::memory_order_relaxed);
+    slot_->epoch.store(e, std::memory_order_seq_cst);
+  }
+}
+
+EbrGuard::~EbrGuard() {
+  slot_->depth--;
+  if (outermost_) {
+    slot_->epoch.store(EpochSlot::kQuiescent, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace ebr
+}  // namespace nsf

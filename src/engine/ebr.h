@@ -1,0 +1,141 @@
+// Epoch-based reclamation (EBR): safe memory reclamation for wait-free read
+// paths, built as a reusable component (the CodeCache's lock-free hit index
+// is the first client; continuous tiering's hot code swap is the next).
+//
+// The problem: a reader traverses a lock-free structure and holds a raw
+// pointer to a node while a writer unlinks and wants to free that node.
+// Locks solve this by excluding the writer; EBR solves it by deferring the
+// free until every reader that could possibly hold the pointer has provably
+// moved on:
+//
+//   - Readers bracket each traversal with an EbrGuard. Entering a guard
+//     PINS the thread: one seq_cst store of the current global epoch into
+//     the thread's slot (wait-free — no loop, no CAS, no lock). Leaving
+//     stores the quiescent sentinel.
+//   - Writers never free unlinked nodes directly; they Retire() them. A
+//     retired node is stamped with the global epoch at retirement.
+//   - The collector (amortized into Retire, or explicit via Collect) tries
+//     to ADVANCE the global epoch: allowed only when every pinned slot has
+//     observed the current epoch. A node is freed once the global epoch has
+//     advanced at least kGraceEpochs=2 beyond its stamp — by then every
+//     thread pinned at retirement time has unpinned at least once, so no
+//     live guard can hold the pointer (the classic three-epoch argument).
+//
+// Reader rules (the contract the CodeCache index relies on):
+//   1. Take pointers out of the shared structure only while a guard is live.
+//   2. Anything that must outlive the guard must be copied (the index copies
+//      the shared_ptr payload, never the node) before the guard drops.
+//   3. Guards must not nest across blocking operations: a pinned thread
+//      stalls reclamation for the whole process (bounded memory relies on
+//      guards being short).
+//
+// Synchronization: pin/unpin are seq_cst stores and the collector reads the
+// slots seq_cst — full fences on x86/ARM, and a happens-before edge tsan
+// understands (no atomic_thread_fence, which tsan ignores). Retire lists and
+// the slot registry are mutex-guarded: they are slow-path only (writers and
+// the collector), never touched by a warm read.
+//
+// Telemetry: `ebr.retired` / `ebr.reclaimed` counters and an `ebr.collect`
+// span per grace-period collection (with freed/deferred counts).
+#ifndef SRC_ENGINE_EBR_H_
+#define SRC_ENGINE_EBR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace nsf {
+namespace ebr {
+
+class EbrDomain;
+
+// One thread's epoch announcement. Slots are never freed (threads that exit
+// return theirs to a free list for reuse), so the collector may always read
+// every registered slot. Cache-line sized: two pinning threads never share a
+// line.
+struct alignas(64) EpochSlot {
+  static constexpr uint64_t kQuiescent = ~uint64_t{0};
+  std::atomic<uint64_t> epoch{kQuiescent};
+  // Guard nesting depth; touched only by the owning thread.
+  uint32_t depth = 0;
+};
+
+// RAII pin. Construction announces the thread as a reader of the current
+// epoch (wait-free: one load + one seq_cst store); destruction withdraws it.
+// Re-entrant: nested guards on one thread share the outermost pin.
+class EbrGuard {
+ public:
+  explicit EbrGuard(EbrDomain& domain);
+  ~EbrGuard();
+
+  EbrGuard(const EbrGuard&) = delete;
+  EbrGuard& operator=(const EbrGuard&) = delete;
+
+ private:
+  EpochSlot* slot_;
+  bool outermost_;
+};
+
+// A reclamation domain: one global epoch, one slot registry, one retire
+// queue. Independent structures may share the process-wide Global() domain
+// (fewer slots to scan) or own a private one (isolated grace periods).
+class EbrDomain {
+ public:
+  // All domain state lives behind a shared_ptr (defined in ebr.cc): threads
+  // that registered a slot co-own it, so a thread exiting after the domain
+  // is destroyed never touches freed memory, and whatever is still retired
+  // is freed when the last owner drops.
+  struct State;
+
+  EbrDomain();
+  ~EbrDomain();  // no live guards may remain when the last owner drops
+
+  // The process-wide default domain (the CodeCache uses this one).
+  static EbrDomain& Global();
+
+  // Ensures the calling thread has a slot, so the first pin on a hot path
+  // never pays registration. ExecutorPool / ServingLoop workers call this
+  // once at startup via Session.
+  void RegisterCurrentThread();
+
+  // Defers `delete p` until every reader pinned now has unpinned. Called by
+  // writers on the slow path (under their own locks or not — Retire is
+  // thread-safe). Amortizes a collection attempt every kCollectPeriod
+  // retires.
+  template <typename T>
+  void Retire(T* p) {
+    RetireErased(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  // Type-erased Retire for callers that already have a deleter.
+  void RetireErased(void* p, void (*deleter)(void*));
+
+  // Attempts one epoch advance and frees every retiree whose grace period
+  // has elapsed. Returns the number of objects freed. Safe from any thread;
+  // never blocks readers.
+  size_t Collect();
+
+  // Lifetime counters (relaxed reads; for tests and telemetry snapshots).
+  uint64_t retired() const;
+  uint64_t reclaimed() const;
+  // Objects currently awaiting their grace period.
+  size_t pending() const;
+  uint64_t epoch() const;
+
+  static constexpr uint64_t kGraceEpochs = 2;
+
+ private:
+  friend class EbrGuard;
+
+  // The calling thread's slot in this domain, registering it on first use.
+  EpochSlot* SlotForThisThread();
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace ebr
+}  // namespace nsf
+
+#endif  // SRC_ENGINE_EBR_H_

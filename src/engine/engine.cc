@@ -59,14 +59,129 @@ uint64_t DefaultDiskCacheMaxBytes() {
   return 256ull << 20;  // 256 MiB default budget for the disk tier
 }
 
+namespace {
+
+// Probe-start mix for the hit index. The shard was already selected by the
+// hash's top bits, so the probe position must come from a full remix or
+// same-shard keys would cluster.
+size_t IndexHash(uint64_t module_hash, uint64_t fingerprint) {
+  uint64_t x = module_hash ^ (fingerprint + 0x9e3779b97f4a7c15ull);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<size_t>(x);
+}
+
+}  // namespace
+
 // --- CodeCache ---
 
-CodeCache::CodeCache(size_t shard_count, std::string disk_dir, uint64_t disk_max_bytes)
-    : disk_(std::move(disk_dir), disk_max_bytes) {
+CodeCache::CodeCache(size_t shard_count, std::string disk_dir, uint64_t disk_max_bytes,
+                     bool lockfree_reads)
+    : disk_(std::move(disk_dir), disk_max_bytes), lockfree_reads_(lockfree_reads) {
   size_t n = RoundUpPow2(shard_count == 0 ? 1 : shard_count);
   shards_.reserve(n);
   for (size_t i = 0; i < n; i++) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+CodeCache::~CodeCache() {
+  // No readers can be probing a cache being destroyed; the live tables and
+  // nodes are freed directly. Anything already retired belongs to the EBR
+  // domain and is reclaimed on its own schedule.
+  for (auto& shard : shards_) {
+    IndexTable* t = shard->index.load(std::memory_order_relaxed);
+    if (t != nullptr) {
+      for (size_t i = 0; i < t->capacity; i++) {
+        delete t->slots[i].load(std::memory_order_relaxed);
+      }
+      delete t;
+    }
+  }
+}
+
+CompiledModuleRef CodeCache::IndexLookup(const Shard& shard, uint64_t module_hash,
+                                         uint64_t fingerprint) const {
+  // The entire warm hit: pin, acquire-load table and node, copy the ref,
+  // unpin. Wait-free — no mutex, no CAS, no retry loop. The epoch pin keeps
+  // every node and table reachable here alive until the guard drops; the
+  // shared_ptr copy keeps the module alive after it.
+  ebr::EbrGuard guard(ebr::EbrDomain::Global());
+  const IndexTable* t = shard.index.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    return nullptr;
+  }
+  const size_t mask = t->capacity - 1;
+  size_t i = IndexHash(module_hash, fingerprint) & mask;
+  while (true) {
+    IndexNode* n = t->slots[i].load(std::memory_order_acquire);
+    if (n == nullptr) {
+      return nullptr;  // load factor <= 1/2 guarantees a null terminator
+    }
+    if (n->module_hash == module_hash && n->fingerprint == fingerprint) {
+      return n->code;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void CodeCache::IndexPlace(IndexTable* table, IndexNode* node) {
+  const size_t mask = table->capacity - 1;
+  size_t i = IndexHash(node->module_hash, node->fingerprint) & mask;
+  while (table->slots[i].load(std::memory_order_relaxed) != nullptr) {
+    i = (i + 1) & mask;
+  }
+  // Relaxed is enough pre-publish (a fresh table) — the release store of the
+  // table pointer publishes the contents. Release costs nothing extra here
+  // and also covers the in-place insert path.
+  table->slots[i].store(node, std::memory_order_release);
+}
+
+void CodeCache::IndexInsert(Shard& shard, uint64_t module_hash, uint64_t fingerprint,
+                            const CompiledModuleRef& code) {
+  IndexTable* t = shard.index.load(std::memory_order_relaxed);
+  if (t == nullptr || (shard.index_live + 1) * 2 > t->capacity) {
+    // Grow (or first allocate) at load factor 1/2: build the successor table
+    // off to the side, carry the live nodes over, publish with a release
+    // store, and retire the old table — a reader still probing it finishes
+    // safely under its epoch pin.
+    size_t cap = t == nullptr ? kIndexInitialCapacity : t->capacity * 2;
+    IndexTable* bigger = new IndexTable(cap);
+    if (t != nullptr) {
+      for (size_t i = 0; i < t->capacity; i++) {
+        IndexNode* n = t->slots[i].load(std::memory_order_relaxed);
+        if (n != nullptr) {
+          IndexPlace(bigger, n);
+        }
+      }
+    }
+    shard.index.store(bigger, std::memory_order_release);
+    if (t != nullptr) {
+      ebr::EbrDomain::Global().Retire(t);
+    }
+    t = bigger;
+  }
+  const size_t mask = t->capacity - 1;
+  size_t i = IndexHash(module_hash, fingerprint) & mask;
+  while (true) {
+    IndexNode* n = t->slots[i].load(std::memory_order_relaxed);
+    if (n == nullptr) {
+      t->slots[i].store(new IndexNode{module_hash, fingerprint, code},
+                        std::memory_order_release);
+      shard.index_live++;
+      return;
+    }
+    if (n->module_hash == module_hash && n->fingerprint == fingerprint) {
+      // Same-key republish (e.g. a tier-up recompile): point the slot at the
+      // new immutable node and retire the displaced one — a reader that
+      // already acquired it keeps a valid snapshot until its guard drops.
+      t->slots[i].store(new IndexNode{module_hash, fingerprint, code},
+                        std::memory_order_release);
+      ebr::EbrDomain::Global().Retire(n);
+      return;
+    }
+    i = (i + 1) & mask;
   }
 }
 
@@ -88,6 +203,11 @@ std::unique_lock<std::mutex> CodeCache::LockShard(const Shard& shard) const {
 
 CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) const {
   const Shard& shard = ShardFor(module_hash);
+  if (lockfree_reads_) {
+    // The index holds exactly the completed entries, so the wait-free probe
+    // answers the same question without the lock.
+    return IndexLookup(shard, module_hash, fingerprint);
+  }
   std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.entries.find({module_hash, fingerprint});
   return it == shard.entries.end() ? nullptr : it->second.code;
@@ -102,6 +222,9 @@ void CodeCache::Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
       if (result != nullptr && result->ok) {
         it->second.code = result;
         it->second.latch = nullptr;
+        // Publish into the wait-free hit index under the same lock (the
+        // shard mutex is the index's single-writer exclusion).
+        IndexInsert(shard, key.first, key.second, result);
       } else {
         // Failed compiles are not cached: drop the placeholder entry entirely.
         shard.entries.erase(it);
@@ -123,15 +246,36 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
   Shard& shard = ShardFor(module_hash);
   std::pair<uint64_t, uint64_t> key{module_hash, fingerprint};
 
-  std::shared_ptr<Latch> latch;
-  bool leader = false;
-  {
-    std::unique_lock<std::mutex> lock = LockShard(shard);
-    Entry& entry = shard.entries[key];
-    if (entry.code != nullptr) {
+  if (lockfree_reads_) {
+    // The wait-free warm-hit path: an epoch-pinned index probe, no mutex.
+    // Under saturation this is the only code concurrent warm callers run —
+    // lock_waits stays 0 no matter how many threads hammer one key.
+    const auto t0 = std::chrono::steady_clock::now();
+    CompiledModuleRef hit = IndexLookup(shard, module_hash, fingerprint);
+    if (hit != nullptr) {
       info->hit = true;
       static telemetry::Counter& mem_hits = Count("engine.cache.mem_hit");
       mem_hits.Add();
+      static telemetry::Histogram& hit_ns = Hist("engine.cache.hit_ns");
+      hit_ns.Record(ElapsedNs(t0));
+      return hit;
+    }
+  }
+
+  std::shared_ptr<Latch> latch;
+  bool leader = false;
+  {
+    const auto lock_t0 = std::chrono::steady_clock::now();
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    Entry& entry = shard.entries[key];
+    if (entry.code != nullptr) {
+      // Mutex-path hit: either lockfree_reads is off (the A/B baseline), or
+      // the entry was published between the index probe and this lock.
+      info->hit = true;
+      static telemetry::Counter& mem_hits = Count("engine.cache.mem_hit");
+      mem_hits.Add();
+      static telemetry::Histogram& hit_ns = Hist("engine.cache.hit_ns");
+      hit_ns.Record(ElapsedNs(lock_t0));
       return entry.code;
     }
     static telemetry::Counter& mem_misses = Count("engine.cache.mem_miss");
@@ -165,44 +309,64 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
   // the key forever — so publish a failed result before propagating.
   CompiledModuleRef result;
   bool compiled_here = false;
-  try {
-    // Level 2: probe the disk tier before paying a backend compile. An
-    // accepted artifact is published exactly like a compile result; anything
-    // unusable (absent, truncated, version drift, checksum mismatch) falls
-    // through to the compiler.
-    if (disk_.enabled()) {
-      auto loaded = std::make_shared<CompiledModule>();
-      if (disk_.Load(module_hash, fingerprint, &loaded->artifact)) {
-        // Semantic verification of every loaded program, unconditionally:
-        // the codec's checksum catches torn bytes; this catches an artifact
-        // whose bytes are internally consistent but whose *program* is not
-        // (a stale encoder, a hostile edit with a repaired checksum, a codec
-        // bug). A failing artifact is treated exactly like a corrupt file —
-        // deleted, counted, recompiled — and is never executed.
-        const auto v0 = std::chrono::steady_clock::now();
-        std::string diag = VerifyMachine(loaded->artifact.program());
-        if (diag.empty()) {
-          loaded->ok = true;
-          loaded->from_disk = true;
-          // Predecode is part of publishing a cache entry regardless of which
-          // tier produced it: a warm-disk process pays it once per key here,
-          // never per Instance or per run.
-          loaded->BuildDecoded();
+  bool lease_held = false;
+  // Level 2: probe the disk tier before paying a backend compile. An
+  // accepted artifact is published exactly like a compile result; anything
+  // unusable (absent, truncated, version drift, checksum mismatch) falls
+  // through to the compiler. Runs up to twice per miss: once cold, and once
+  // more after losing the cross-process compile lease to another process
+  // (whose artifact should then be on disk).
+  auto probe_disk = [&]() -> CompiledModuleRef {
+    auto loaded = std::make_shared<CompiledModule>();
+    if (!disk_.Load(module_hash, fingerprint, &loaded->artifact)) {
+      return nullptr;
+    }
+    // Semantic verification of every loaded program, unconditionally:
+    // the codec's checksum catches torn bytes; this catches an artifact
+    // whose bytes are internally consistent but whose *program* is not
+    // (a stale encoder, a hostile edit with a repaired checksum, a codec
+    // bug). A failing artifact is treated exactly like a corrupt file —
+    // deleted, counted, recompiled — and is never executed.
+    const auto v0 = std::chrono::steady_clock::now();
+    std::string diag = VerifyMachine(loaded->artifact.program());
+    if (diag.empty()) {
+      loaded->ok = true;
+      loaded->from_disk = true;
+      // Predecode is part of publishing a cache entry regardless of which
+      // tier produced it: a warm-disk process pays it once per key here,
+      // never per Instance or per run.
+      loaded->BuildDecoded();
 #if defined(NSF_VERIFY_IR) || !defined(NDEBUG)
-          diag = VerifyDecodedProgram(loaded->artifact.program(), *loaded->decoded);
+      diag = VerifyDecodedProgram(loaded->artifact.program(), *loaded->decoded);
 #endif
-        }
-        static telemetry::Histogram& verify_ns = Hist("engine.disk.verify_ns");
-        verify_ns.Record(ElapsedNs(v0));
-        if (!diag.empty()) {
-          disk_.Discard(module_hash, fingerprint);
-          verify_rejects_.fetch_add(1, std::memory_order_relaxed);
-          static telemetry::Counter& rejects = Count("engine.verify_reject");
-          rejects.Add();
-        } else {
-          result = std::move(loaded);
-          info->hit = true;  // served from the cache — just the slower tier
-          info->disk_loaded = true;
+    }
+    static telemetry::Histogram& verify_ns = Hist("engine.disk.verify_ns");
+    verify_ns.Record(ElapsedNs(v0));
+    if (!diag.empty()) {
+      disk_.Discard(module_hash, fingerprint);
+      verify_rejects_.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter& rejects = Count("engine.verify_reject");
+      rejects.Add();
+      return nullptr;
+    }
+    info->hit = true;  // served from the cache — just the slower tier
+    info->disk_loaded = true;
+    return loaded;
+  };
+  try {
+    if (disk_.enabled()) {
+      result = probe_disk();
+      if (result == nullptr) {
+        // Cold everywhere. Serialize the compile across PROCESSES sharing
+        // this cache dir: take the key's lease, or — if another process beat
+        // us to it and already released — load its artifact instead of
+        // recompiling. Winners Store() before EndCompile(), so once we get
+        // past BeginCompile, an artifact existing means somebody published
+        // between our cold probe and now: load it rather than recompile.
+        // (The plain cold path stats one stat here, not a counted miss.)
+        lease_held = disk_.BeginCompile(module_hash, fingerprint);
+        if (disk_.Exists(module_hash, fingerprint)) {
+          result = probe_disk();
         }
       }
     }
@@ -212,6 +376,9 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
       info->compiled = true;
     }
   } catch (...) {
+    if (lease_held) {
+      disk_.EndCompile(module_hash, fingerprint);
+    }
     auto aborted = std::make_shared<CompiledModule>();
     aborted->artifact.module_hash = module_hash;
     aborted->artifact.options_fingerprint = fingerprint;
@@ -220,9 +387,14 @@ CompiledModuleRef CodeCache::GetOrCompile(uint64_t module_hash, uint64_t fingerp
     throw;
   }
   Publish(shard, key, latch, result);
-  // Persist AFTER publishing so waiters are never blocked on file I/O.
+  // Persist AFTER publishing so waiters are never blocked on file I/O, and
+  // release the cross-process lease only once the artifact is on disk — a
+  // lease loser that wakes up must find something to load.
   if (compiled_here && result != nullptr && result->ok) {
     disk_.Store(result->artifact);
+  }
+  if (lease_held) {
+    disk_.EndCompile(module_hash, fingerprint);
   }
   return result;
 }
@@ -240,7 +412,10 @@ size_t CodeCache::size() const {
 
 void CodeCache::Clear() {
   // Only completed entries are dropped; an entry with an in-flight compile
-  // keeps its latch so the leader's publish still finds it.
+  // keeps its latch so the leader's publish still finds it. The hit index is
+  // detached wholesale and RETIRED — a reader mid-probe finishes against the
+  // old table under its epoch pin, and the nodes are freed only after every
+  // such reader has unpinned.
   for (const auto& shard : shards_) {
     std::unique_lock<std::mutex> lock = LockShard(*shard);
     for (auto it = shard->entries.begin(); it != shard->entries.end();) {
@@ -250,6 +425,18 @@ void CodeCache::Clear() {
         it->second.code = nullptr;
         ++it;
       }
+    }
+    IndexTable* t = shard->index.load(std::memory_order_relaxed);
+    if (t != nullptr) {
+      shard->index.store(nullptr, std::memory_order_release);
+      shard->index_live = 0;
+      for (size_t i = 0; i < t->capacity; i++) {
+        IndexNode* n = t->slots[i].load(std::memory_order_relaxed);
+        if (n != nullptr) {
+          ebr::EbrDomain::Global().Retire(n);
+        }
+      }
+      ebr::EbrDomain::Global().Retire(t);
     }
   }
 }
@@ -480,7 +667,8 @@ double TieringPolicy::EstimateSeconds(const std::string& name, uint64_t* observe
 Engine::Engine(EngineConfig config)
     : config_(config),
       tiering_(config.tiering),
-      cache_(config.cache_shards, config.cache_dir, config.disk_cache_max_bytes) {
+      cache_(config.cache_shards, config.cache_dir, config.disk_cache_max_bytes,
+             config.cache_lockfree_reads) {
   if (!config_.cache_dir.empty()) {
     tiering_.LoadHistory(RunHistoryPath());
   }
@@ -636,6 +824,9 @@ EngineStats Engine::Stats() const {
   s.disk_evictions = d.evictions;
   s.disk_load_failures = d.load_failures;
   s.disk_stores = d.stores;
+  s.disk_lease_waits = d.lease_waits;
+  s.disk_lease_takeovers = d.lease_takeovers;
+  s.disk_manifest_rebuilds = d.manifest_rebuilds;
   s.deserialize_seconds = d.deserialize_seconds;
   s.serialize_seconds = d.serialize_seconds;
   s.verify_rejects = cache_.verify_rejects();
@@ -656,7 +847,12 @@ void Engine::ResetStats() {
 // --- Session ---
 
 Session::Session(Engine* engine)
-    : engine_(engine), kernel_(std::make_unique<BrowsixKernel>()) {}
+    : engine_(engine), kernel_(std::make_unique<BrowsixKernel>()) {
+  // Each worker thread owns its Session (executor.cc / serving.cc construct
+  // one per thread), so this pre-registers the thread's epoch slot — the
+  // first warm-hit probe never pays EBR registration.
+  ebr::EbrDomain::Global().RegisterCurrentThread();
+}
 
 MemFs& Session::fs() { return kernel_->fs(); }
 

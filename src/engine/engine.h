@@ -52,6 +52,7 @@
 #include "src/codegen/artifact.h"
 #include "src/codegen/codegen.h"
 #include "src/engine/disk_cache.h"
+#include "src/engine/ebr.h"
 #include "src/engine/workload.h"
 #include "src/kernel/kernel.h"
 #include "src/machine/decode.h"
@@ -101,12 +102,29 @@ using CompiledModuleRef = std::shared_ptr<const CompiledModule>;
 // Content-addressed, two-level cache of successful compiles, safe for
 // concurrent use.
 //
-// Level 1 (memory): the key space is split across `shard_count`
-// independently-locked shards selected by the top bits of the module hash,
-// so unrelated compiles never contend on one mutex. Each in-flight compile
-// parks a latch in its entry: the first requester of a key becomes the
-// leader; every concurrent requester of the same key blocks on the latch and
-// shares the leader's result (exactly one backend invocation per key).
+// Level 1 (memory) is split into a WAIT-FREE hit path and a mutex-guarded
+// slow path:
+//
+//   Hit path: each shard publishes its completed entries into an
+//   open-addressed hash index of immutable nodes. A warm hit pins an epoch
+//   (src/engine/ebr.h), acquire-loads the table and the node, copies the
+//   CompiledModuleRef, and unpins — no mutex, no CAS, no retry loop: a
+//   saturated 16-thread warm workload performs zero lock acquisitions
+//   (EngineStats::lock_waits stays 0). Writers replace or grow the index
+//   under the shard mutex and RETIRE displaced nodes/tables through the EBR
+//   domain, which frees them only after every pinned reader has moved on.
+//
+//   Slow path (misses, in-flight compiles, publishes): the key space is
+//   split across `shard_count` independently-locked shards selected by the
+//   top bits of the module hash, so unrelated compiles never contend on one
+//   mutex. Each in-flight compile parks a latch in its entry: the first
+//   requester of a key becomes the leader; every concurrent requester of the
+//   same key blocks on the latch and shares the leader's result (exactly one
+//   backend invocation per key).
+//
+// `lockfree_reads = false` keeps the index maintained but routes every hit
+// through the shard mutex — the A/B baseline bench/cache_contention measures
+// against.
 //
 // Level 2 (disk, optional): before compiling, the leader probes the disk
 // tier for a serialized artifact of the key and — on an accepted load —
@@ -130,7 +148,8 @@ struct CompileInfo {
 class CodeCache {
  public:
   explicit CodeCache(size_t shard_count = kDefaultShards, std::string disk_dir = "",
-                     uint64_t disk_max_bytes = 0);
+                     uint64_t disk_max_bytes = 0, bool lockfree_reads = true);
+  ~CodeCache();
 
   // Returns the cached module for (module_hash, fingerprint) or invokes
   // `compile` to produce it. Failed compiles are delivered to every waiter
@@ -151,6 +170,7 @@ class CodeCache {
   size_t size() const;
   void Clear();  // memory tier only; the disk tier persists by design
   size_t shard_count() const { return shards_.size(); }
+  bool lockfree_reads() const { return lockfree_reads_; }
 
   DiskCodeCache& disk() { return disk_; }
   const DiskCodeCache& disk() const { return disk_; }
@@ -185,9 +205,35 @@ class CodeCache {
     CompiledModuleRef code;        // published once a compile succeeded
     std::shared_ptr<Latch> latch;  // present while a compile is in flight
   };
+
+  // One immutable published entry in the wait-free hit index. Readers copy
+  // `code` while epoch-pinned (the node keeps the control block alive);
+  // displaced nodes are retired through the EBR domain, never deleted in
+  // place.
+  struct IndexNode {
+    uint64_t module_hash;
+    uint64_t fingerprint;
+    CompiledModuleRef code;
+  };
+  // Open-addressed, power-of-two table of release-published node pointers.
+  // Append-mostly: slots go null -> node (insert) or node -> node (same-key
+  // republish); removal only happens wholesale (Clear retires the table).
+  // Writers keep the load factor <= 1/2, so reader probes always terminate
+  // at a null slot. The table owns its slot array, never the nodes.
+  struct IndexTable {
+    explicit IndexTable(size_t cap)
+        : capacity(cap), slots(new std::atomic<IndexNode*>[cap]()) {}
+    size_t capacity;
+    std::unique_ptr<std::atomic<IndexNode*>[]> slots;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::map<std::pair<uint64_t, uint64_t>, Entry> entries;
+    // The wait-free hit index: mutated only under `mu`, read by anyone under
+    // an epoch guard. Null until the first publish.
+    std::atomic<IndexTable*> index{nullptr};
+    size_t index_live = 0;  // nodes in the table (writer-side bookkeeping)
   };
 
   Shard& ShardFor(uint64_t module_hash) const {
@@ -202,11 +248,25 @@ class CodeCache {
   void Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
                const std::shared_ptr<Latch>& latch, const CompiledModuleRef& result);
 
+  // Wait-free probe of `shard`'s hit index (epoch-pinned; no locks).
+  CompiledModuleRef IndexLookup(const Shard& shard, uint64_t module_hash,
+                                uint64_t fingerprint) const;
+  // Inserts/replaces `key -> code` in the index. Caller holds `shard.mu`.
+  // Grows the table at load factor 1/2; displaced nodes and replaced tables
+  // are retired through the EBR domain.
+  void IndexInsert(Shard& shard, uint64_t module_hash, uint64_t fingerprint,
+                   const CompiledModuleRef& code);
+  // Places `node` into `table` (single-writer, pre-publish or under `mu`).
+  static void IndexPlace(IndexTable* table, IndexNode* node);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   DiskCodeCache disk_;
+  const bool lockfree_reads_;
   mutable std::atomic<uint64_t> lock_waits_{0};
   mutable std::atomic<uint64_t> lock_wait_nanos_{0};
   std::atomic<uint64_t> verify_rejects_{0};
+
+  static constexpr size_t kIndexInitialCapacity = 16;
 };
 
 // Engine-owned tier-up policy: wraps the PGO TierManager so profiling and
@@ -303,6 +363,10 @@ uint64_t DefaultDiskCacheMaxBytes();
 struct EngineConfig {
   bool cache_enabled = true;   // table2-style compile-time benches disable it
   size_t cache_shards = CodeCache::kDefaultShards;
+  // Wait-free warm-hit read path (epoch-protected index). Disabling routes
+  // every hit through the shard mutex — the contention baseline
+  // bench/cache_contention measures against; production keeps it on.
+  bool cache_lockfree_reads = true;
   // Disk tier: empty disables persistence. Defaults honor the NSF_CACHE_DIR /
   // NSF_CACHE_MAX_BYTES environment so every bench binary persists compiles
   // when the caller exports a cache directory.
@@ -332,6 +396,9 @@ struct EngineStats {
   uint64_t disk_evictions = 0;       // files removed by the LRU size bound
   uint64_t disk_load_failures = 0;   // corrupt/mismatched files rejected
   uint64_t disk_stores = 0;          // artifacts persisted
+  uint64_t disk_lease_waits = 0;     // cold compiles that waited on another process's lease
+  uint64_t disk_lease_takeovers = 0;  // stale lease files forcibly reclaimed
+  uint64_t disk_manifest_rebuilds = 0;  // manifest missing/corrupt -> directory scan
   double deserialize_seconds = 0;    // wall time decoding disk artifacts
   double serialize_seconds = 0;      // wall time encoding + writing artifacts
   // Disk artifacts that passed the codec's checksum but failed semantic

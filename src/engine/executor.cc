@@ -187,7 +187,9 @@ ExecutorPool::~ExecutorPool() {
 
 void ExecutorPool::WorkerMain(int worker_index) {
   // The worker's Session lives on its own thread for the pool's lifetime;
-  // ExecuteRequest Reset()s it before every job.
+  // ExecuteRequest Reset()s it before every job. Constructing it also
+  // registers this thread's epoch slot with the EBR domain, so the thread's
+  // first warm code-cache hit is wait-free from the start.
   if (telemetry::TraceEnabled()) {
     telemetry::TraceRecorder::Global().SetThreadName(StrFormat("worker-%d", worker_index));
   }

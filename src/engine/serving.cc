@@ -327,6 +327,9 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
   static telemetry::Histogram& g_service_ns = GlobalHist("serving.service_ns");
   static telemetry::Histogram& g_e2e_ns = GlobalHist("serving.e2e_ns");
 
+  // Constructing the Session registers this thread's epoch slot with the
+  // EBR domain: warm code-cache hits on the serve path are wait-free from
+  // the first request.
   Session session(engine_);
   for (;;) {
     DrrItem item;

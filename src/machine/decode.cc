@@ -30,6 +30,14 @@ static_assert(static_cast<size_t>(HOp::kCount) <= kMaxDispatchHandlers,
 #ifdef NSF_DISPATCH_STATS
 namespace {
 std::atomic<uint64_t> g_dispatch_retires[kMaxDispatchHandlers] = {};
+// Adjacent-pair retires, indexed first * kMaxDispatchHandlers + second.
+// Heap-allocated once (128 KiB) instead of static so unused stats builds of
+// short-lived tools don't page it in.
+std::atomic<uint64_t>* PairTable() {
+  static std::atomic<uint64_t>* table =
+      new std::atomic<uint64_t>[kMaxDispatchHandlers * kMaxDispatchHandlers]();
+  return table;
+}
 }  // namespace
 #endif
 
@@ -51,6 +59,49 @@ void AccumulateDispatchStats(const uint64_t* counts) {
 #else
   (void)counts;
 #endif
+}
+
+void AccumulateDispatchPairs(const uint64_t* counts) {
+#ifdef NSF_DISPATCH_STATS
+  std::atomic<uint64_t>* table = PairTable();
+  for (size_t f = 0; f < static_cast<size_t>(HOp::kCount); f++) {
+    for (size_t s = 0; s < static_cast<size_t>(HOp::kCount); s++) {
+      size_t i = f * kMaxDispatchHandlers + s;
+      if (counts[i] != 0) {
+        table[i].fetch_add(counts[i], std::memory_order_relaxed);
+      }
+    }
+  }
+#else
+  (void)counts;
+#endif
+}
+
+std::vector<DispatchPairStat> DispatchPairsSnapshot() {
+  std::vector<DispatchPairStat> out;
+#ifdef NSF_DISPATCH_STATS
+  std::atomic<uint64_t>* table = PairTable();
+  for (size_t f = 0; f < static_cast<size_t>(HOp::kCount); f++) {
+    for (size_t s = 0; s < static_cast<size_t>(HOp::kCount); s++) {
+      uint64_t n = table[f * kMaxDispatchHandlers + s].load(std::memory_order_relaxed);
+      if (n != 0) {
+        DispatchPairStat p;
+        p.first = static_cast<HOp>(f);
+        p.second = static_cast<HOp>(s);
+        p.first_name = HOpName(p.first);
+        p.second_name = HOpName(p.second);
+        p.count = n;
+        out.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const DispatchPairStat& a, const DispatchPairStat& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+#endif
+  return out;
 }
 
 std::vector<DispatchStat> DispatchStatsSnapshot() {
@@ -75,6 +126,10 @@ void ResetDispatchStats() {
 #ifdef NSF_DISPATCH_STATS
   for (auto& c : g_dispatch_retires) {
     c.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t>* table = PairTable();
+  for (size_t i = 0; i < kMaxDispatchHandlers * kMaxDispatchHandlers; i++) {
+    table[i].store(0, std::memory_order_relaxed);
   }
 #endif
 }
@@ -179,6 +234,56 @@ void LowerFusedPrimary(const MInstr& in, DInstr* d) {
     }
   }
   Use(d, HOp::kFusedGenJcc);
+}
+
+// Round-2 data-pair fusion: the handler for adjacent (first, second), or
+// kCount when the pair is not one of the fused shapes. The shape tests must
+// agree exactly with LowerOne's specialization rules — a pair is only fused
+// when both elements would have lowered to the specialized handlers the
+// fused body replicates.
+HOp DataPairHandler(const MInstr& a, const MInstr& b) {
+  auto is_mov_rr = [](const MInstr& in) {
+    return (in.op == MOp::kMov || in.op == MOp::kMovImm64) && IsR(in.dst) && IsR(in.src);
+  };
+  if (is_mov_rr(b)) {
+    if ((a.op == MOp::kMov || a.op == MOp::kMovImm64) && IsR(a.dst) && IsI(a.src)) {
+      return HOp::kFusedMovRIMovRR;
+    }
+    if (a.op == MOp::kLoad && IsR(a.dst) && IsM(a.src) && !a.sign_extend) {
+      return HOp::kFusedLoadZMovRR;
+    }
+  }
+  if (is_mov_rr(a) && b.op == MOp::kAdd && IsR(b.dst) && IsR(b.src)) {
+    return HOp::kFusedMovRRAddRR;
+  }
+  return HOp::kCount;
+}
+
+// Lowers a fused data pair into one record. The first element's operands use
+// the regular fields; the second element is always reg-reg and packs into the
+// (branch-free) target field as dst | src << 8 | width << 16.
+void LowerFusedDataPair(const MInstr& first, const MInstr& second, DInstr* d) {
+  HOp h = DataPairHandler(first, second);
+  d->width = first.width;
+  switch (h) {
+    case HOp::kFusedMovRIMovRR:
+      d->a = static_cast<uint8_t>(first.dst.gpr);
+      d->imm =
+          static_cast<int64_t>(TruncToWidth(static_cast<uint64_t>(first.src.imm), first.width));
+      break;
+    case HOp::kFusedLoadZMovRR:
+      d->a = static_cast<uint8_t>(first.dst.gpr);
+      d->mem = LowerMem(first.src.mem);
+      break;
+    default:  // kFusedMovRRAddRR
+      d->a = static_cast<uint8_t>(first.dst.gpr);
+      d->b = static_cast<uint8_t>(first.src.gpr);
+      break;
+  }
+  d->target = static_cast<uint32_t>(static_cast<uint8_t>(second.dst.gpr)) |
+              (static_cast<uint32_t>(static_cast<uint8_t>(second.src.gpr)) << 8) |
+              (uint32_t{second.width} << 16);
+  Use(d, h);
 }
 
 // Resolves one unfused instruction to its specialized handler, or kGeneric.
@@ -601,15 +706,23 @@ DecodedProgram Predecode(const MProgram& program) {
     }
 
     // Pass 1: fusion decisions + the original-pc -> decoded-index map.
+    // fuse_at: 0 = unfused, 1 = cmp|test+jcc macro-op, 2 = data pair.
     df.pc_to_index.assign(n, 0);
     std::vector<uint8_t> fuse_at(n, 0);
     uint32_t record_count = 0;
     for (size_t i = 0; i < n; i++) {
       df.pc_to_index[i] = record_count;
-      bool fuse = (f.code[i].op == MOp::kCmp || f.code[i].op == MOp::kTest) && i + 1 < n &&
-                  f.code[i + 1].op == MOp::kJcc && !is_target[i + 1];
-      if (fuse) {
-        fuse_at[i] = 1;
+      uint8_t fuse = 0;
+      if (i + 1 < n && !is_target[i + 1]) {
+        if ((f.code[i].op == MOp::kCmp || f.code[i].op == MOp::kTest) &&
+            f.code[i + 1].op == MOp::kJcc) {
+          fuse = 1;
+        } else if (DataPairHandler(f.code[i], f.code[i + 1]) != HOp::kCount) {
+          fuse = 2;
+        }
+      }
+      if (fuse != 0) {
+        fuse_at[i] = fuse;
         df.pc_to_index[i + 1] = record_count;  // unreachable as an entry point
         i++;
       }
@@ -631,7 +744,7 @@ DecodedProgram Predecode(const MProgram& program) {
       d.fetch_addr = f.code_base + f.instr_offsets[i];
       d.fetch_size = EncodedSize(in);
       d.fetch_lines = LineSpan(d.fetch_addr, d.fetch_size);
-      if (fuse_at[i]) {
+      if (fuse_at[i] == 1) {
         const MInstr& jcc = f.code[i + 1];
         LowerFusedPrimary(in, &d);
         d.cond = static_cast<uint8_t>(jcc.cond);
@@ -643,6 +756,14 @@ DecodedProgram Predecode(const MProgram& program) {
         if (d.handler == static_cast<uint16_t>(HOp::kFusedGenJcc)) {
           dp.stats.generic++;
         }
+        i++;
+      } else if (fuse_at[i] == 2) {
+        const MInstr& second = f.code[i + 1];
+        LowerFusedDataPair(in, second, &d);
+        d.fetch_addr2 = f.code_base + f.instr_offsets[i + 1];
+        d.fetch_size2 = EncodedSize(second);
+        d.fetch_lines2 = LineSpan(d.fetch_addr2, d.fetch_size2);
+        dp.stats.fused_pairs++;
         i++;
       } else {
         LowerOne(in, &d, map_label);
@@ -710,7 +831,15 @@ TrapKind SimMachine::ExecDecoded() {
 // prologue a second time — counts ONCE for its fused handler. kEndOfCode
 // (NSF_CASE_RAW) is a trap sentinel, not a retirement, and is not counted.
 #ifdef NSF_DISPATCH_STATS
-#define NSF_COUNT_DISPATCH() dispatch_retires_[d->handler]++
+#define NSF_COUNT_DISPATCH()                                                      \
+  do {                                                                            \
+    dispatch_retires_[d->handler]++;                                              \
+    if (nsf_prev_handler < static_cast<uint16_t>(HOp::kCount)) {                  \
+      dispatch_pairs_[nsf_prev_handler * kMaxDispatchHandlers + d->handler]++;    \
+    }                                                                             \
+    nsf_prev_handler = d->handler;                                                \
+  } while (0)
+  uint16_t nsf_prev_handler = static_cast<uint16_t>(HOp::kCount);
 #else
 #define NSF_COUNT_DISPATCH() ((void)0)
 #endif
@@ -989,6 +1118,59 @@ nsf_dispatch:
   }
 
 #undef NSF_FUSED_TAIL
+
+  // --- fused data-movement/ALU pairs (round 2) ---
+  // Chosen from the -DNSF_DISPATCH_STATS adjacent-pair table (mov-imm+mov
+  // 15%, load+mov 11%, mov+add 10% of dynamic dispatches). Each first element
+  // executes exactly like its unfused handler, then the second element runs
+  // its own prologue (fetch + retire + fuel) and body — the counter stream is
+  // bit-identical to the unfused pair. The second element is always reg-reg,
+  // packed into the branch-free target field as dst | src << 8 | width << 16.
+
+#define NSF_PAIR2_DST (d->target & 0xff)
+#define NSF_PAIR2_SRC ((d->target >> 8) & 0xff)
+#define NSF_PAIR2_W ((d->target >> 16) & 0xff)
+
+  NSF_CASE(FusedMovRIMovRR) {
+    counters_.micro_cycles += cost_.simple;
+    gprs_[d->a] = static_cast<uint64_t>(d->imm);
+    NSF_PROLOGUE(d->fetch_addr2, d->fetch_size2, d->fetch_lines2);
+    counters_.micro_cycles += cost_.simple;
+    gprs_[NSF_PAIR2_DST] = TruncToWidth(gprs_[NSF_PAIR2_SRC], NSF_PAIR2_W);
+    NSF_NEXT(dpc + 1);
+  }
+
+  NSF_CASE(FusedLoadZMovRR) {
+    counters_.micro_cycles += cost_.simple;  // load cost added in DataAccess
+    uint8_t* p;
+    if (!DataAccess(DAddr(gprs_, d->mem), d->width, false, &p)) {
+      return pending_trap_;
+    }
+    uint64_t v = 0;
+    std::memcpy(&v, p, d->width);
+    gprs_[d->a] = v;
+    NSF_PROLOGUE(d->fetch_addr2, d->fetch_size2, d->fetch_lines2);
+    counters_.micro_cycles += cost_.simple;
+    gprs_[NSF_PAIR2_DST] = TruncToWidth(gprs_[NSF_PAIR2_SRC], NSF_PAIR2_W);
+    NSF_NEXT(dpc + 1);
+  }
+
+  NSF_CASE(FusedMovRRAddRR) {
+    counters_.micro_cycles += cost_.simple;
+    gprs_[d->a] = TruncToWidth(gprs_[d->b], d->width);
+    NSF_PROLOGUE(d->fetch_addr2, d->fetch_size2, d->fetch_lines2);
+    counters_.micro_cycles += cost_.simple;
+    const uint32_t w2 = NSF_PAIR2_W;
+    uint64_t av = TruncToWidth(gprs_[NSF_PAIR2_DST], w2);
+    uint64_t bv = TruncToWidth(gprs_[NSF_PAIR2_SRC], w2);
+    uint64_t rv = av + bv;
+    gprs_[NSF_PAIR2_DST] = w2 == 8 ? rv : TruncToWidth(rv, w2);
+    NSF_NEXT(dpc + 1);
+  }
+
+#undef NSF_PAIR2_DST
+#undef NSF_PAIR2_SRC
+#undef NSF_PAIR2_W
 
   // --- data movement ---
 

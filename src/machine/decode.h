@@ -20,6 +20,10 @@
 //     fetches, retirement, fuel, and cycle costs exactly as the unfused pair
 //     (and still writing the compare state, which later instructions may
 //     read). A pair is only fused when the jcc is not itself a branch target.
+//   - fused data pairs (mov-imm+mov, load+mov, mov+add) chosen from the
+//     -DNSF_DISPATCH_STATS adjacent-pair table, under the same legality rule
+//     (second element not a branch target) and the same counter contract
+//     (both elements fetch, retire, and burn fuel exactly as when unfused).
 //
 // Dispatch is computed-goto (labels as values) on GCC/Clang; configuring with
 // -DNSF_NO_COMPUTED_GOTO=ON (or building with a compiler without the
@@ -64,6 +68,8 @@ const char* SimDispatchBackend();
   /* fused cmp|test + jcc macro-ops */                                      \
   V(FusedCmpJccRR) V(FusedCmpJccRI) V(FusedCmpJccRM)                        \
   V(FusedTestJccRR) V(FusedTestJccRI) V(FusedGenJcc)                        \
+  /* fused data-movement/ALU pairs (round 2, from the adjacent-pair table) */\
+  V(FusedMovRIMovRR) V(FusedLoadZMovRR) V(FusedMovRRAddRR)                  \
   /* data movement */                                                       \
   V(MovRR) V(MovRI) V(MovRM) V(MovMR) V(MovMI)                              \
   V(LoadZ) V(LoadS) V(StoreR) V(StoreI) V(Lea)                              \
@@ -182,14 +188,32 @@ struct DispatchStat {
   uint64_t retires = 0;
 };
 
+// One ADJACENT handler pair's aggregate: `second` retired immediately after
+// `first` in the dispatch loop (straight-line or via a taken branch). This is
+// the table superinstruction selection reads: a hot (first, second) pair
+// whose second element is never a branch target is a fusion candidate.
+struct DispatchPairStat {
+  HOp first = HOp::kCount;
+  HOp second = HOp::kCount;
+  const char* first_name = "?";
+  const char* second_name = "?";
+  uint64_t count = 0;
+};
+
 // All handlers with a nonzero count, sorted by retires descending. Empty
 // when the flag is off or nothing ran.
 std::vector<DispatchStat> DispatchStatsSnapshot();
+// All adjacent pairs with a nonzero count, sorted descending. Empty when the
+// flag is off or nothing ran.
+std::vector<DispatchPairStat> DispatchPairsSnapshot();
 void ResetDispatchStats();
 
 // Folds one machine's local counts (indexed by HOp) into the global table.
 // No-op when the flag is off.
 void AccumulateDispatchStats(const uint64_t* counts);
+// Folds one machine's local pair counts (first * kMaxDispatchHandlers +
+// second) into the global pair table. No-op when the flag is off.
+void AccumulateDispatchPairs(const uint64_t* counts);
 
 // Upper bound on handler ids, for embedding a fixed-size local count array
 // without pulling HOp::kCount into machine.h (decode.cc static_asserts that

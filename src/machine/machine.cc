@@ -100,6 +100,7 @@ SimMachine::~SimMachine() {
   static_assert(sizeof(dispatch_retires_) / sizeof(dispatch_retires_[0]) == kMaxDispatchHandlers,
                 "machine.h's array size must mirror decode.h's kMaxDispatchHandlers");
   AccumulateDispatchStats(dispatch_retires_);
+  AccumulateDispatchPairs(dispatch_pairs_);
 #endif
   ReleaseBuffers();
 }

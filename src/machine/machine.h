@@ -392,6 +392,9 @@ class SimMachine {
   // decode types; decode.cc static_asserts the two agree). Non-atomic —
   // folded into the process-wide table by the destructor.
   uint64_t dispatch_retires_[128] = {};
+  // Adjacent-pair retires (first * 128 + second) — the superinstruction
+  // candidate table. 128 KiB per machine, stats builds only.
+  uint64_t dispatch_pairs_[128 * 128] = {};
 #endif
 };
 

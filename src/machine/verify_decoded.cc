@@ -23,6 +23,14 @@ bool IsFusedHandler(HOp h) {
   }
 }
 
+// Round-2 fused data pairs: target holds packed second-element operands, NOT
+// a branch target, so these are deliberately excluded from both
+// IsFusedHandler (no jcc checks apply) and IsDecodedBranchHandler.
+bool IsFusedDataHandler(HOp h) {
+  return h == HOp::kFusedMovRIMovRR || h == HOp::kFusedLoadZMovRR ||
+         h == HOp::kFusedMovRRAddRR;
+}
+
 bool IsDecodedBranchHandler(HOp h) {
   return h == HOp::kJmp || h == HOp::kJcc || IsFusedHandler(h);
 }
@@ -131,6 +139,20 @@ std::string VerifyDecodedProgram(const MProgram& prog, const DecodedProgram& dp)
         if (d.fetch_addr2 != mf.code_base + mf.instr_offsets[oi + 1] ||
             d.fetch_size2 != EncodedSize(mf.code[oi + 1])) {
           return at(di, "fused record's second fetch does not match the jcc's address/size");
+        }
+      }
+      if (IsFusedDataHandler(h)) {
+        if (oi + 1 >= mf.code.size()) {
+          return at(di, "fused data pair's primary is the function's last instruction");
+        }
+        if (is_target[oi + 1]) {
+          return at(di, StrFormat("fused data pair's second element at pc %zu is itself a "
+                                  "branch target (illegal fusion)",
+                                  oi + 1));
+        }
+        if (d.fetch_addr2 != mf.code_base + mf.instr_offsets[oi + 1] ||
+            d.fetch_size2 != EncodedSize(mf.code[oi + 1])) {
+          return at(di, "fused data pair's second fetch does not match the second element");
         }
       }
     }

@@ -1,0 +1,267 @@
+// Cross-process coordination on one shared cache directory: the compile
+// lease (exactly one compiler per cold key; losers wait and load the
+// winner's artifact; crashed holders' stale leases are taken over) and the
+// persisted manifest (size accounting and LRU order without directory
+// walks, rebuilt from a scan when missing or corrupt).
+//
+// "Processes" here are separate DiskCodeCache / Engine instances sharing a
+// directory — from the filesystem's point of view (the only state the lease
+// and manifest protocols use), that is exactly what two processes look like.
+#include "src/engine/disk_cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/engine/engine.h"
+#include "src/wasm/encoder.h"
+
+namespace nsf {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[maybe_unused]] const bool kEnvScrubbed = [] {
+  unsetenv("NSF_CACHE_DIR");
+  unsetenv("NSF_CACHE_MAX_BYTES");
+  return true;
+}();
+
+struct TempCacheDir {
+  explicit TempCacheDir(const std::string& tag) {
+    path = (fs::temp_directory_path() /
+            ("nsf-lease-test-" + tag + "-" + std::to_string(::getpid())))
+               .string();
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+engine::EngineConfig DiskConfig(const std::string& dir, uint64_t max_bytes = 0) {
+  engine::EngineConfig config;
+  config.cache_dir = dir;
+  config.disk_cache_max_bytes = max_bytes;
+  return config;
+}
+
+Module SumSquaresModule(int32_t bias = 0) {
+  ModuleBuilder mb("sum_squares");
+  auto& f = mb.AddFunction("sum_squares", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.I32Const(bias).LocalSet(acc);
+  f.ForI32Dyn(i, 1, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).LocalGet(i).I32Mul().I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  return mb.Build();
+}
+
+// --- lease primitives -----------------------------------------------------
+
+TEST(DiskLease, AcquireCreatesLockFileReleaseRemovesIt) {
+  TempCacheDir dir("basic");
+  engine::DiskCodeCache cache(dir.path, 0);
+  ASSERT_TRUE(cache.BeginCompile(1, 2));
+  EXPECT_TRUE(fs::exists(cache.LockPathForKey(1, 2)));
+  // An unrelated key is independent.
+  ASSERT_TRUE(cache.BeginCompile(3, 4));
+  cache.EndCompile(3, 4);
+  cache.EndCompile(1, 2);
+  EXPECT_FALSE(fs::exists(cache.LockPathForKey(1, 2)));
+  EXPECT_EQ(cache.stats().lease_waits, 0u);
+  EXPECT_EQ(cache.stats().lease_takeovers, 0u);
+}
+
+TEST(DiskLease, DisabledTierAlwaysGrants) {
+  engine::DiskCodeCache cache("", 0);
+  EXPECT_TRUE(cache.BeginCompile(1, 2));
+  cache.EndCompile(1, 2);  // no-op, must not crash
+}
+
+TEST(DiskLease, LoserBlocksUntilWinnerReleasesThenYields) {
+  TempCacheDir dir("wait");
+  engine::DiskCodeCache winner(dir.path, 0);
+  engine::DiskCodeCache loser(dir.path, 0);
+  loser.SetLeaseTimingForTest(/*stale_age_ms=*/60000, /*poll_ms=*/1,
+                              /*wait_max_ms=*/60000);
+  ASSERT_TRUE(winner.BeginCompile(7, 9));
+
+  std::atomic<int> outcome{-1};
+  std::thread t([&] { outcome.store(loser.BeginCompile(7, 9) ? 1 : 0); });
+  // The lease is held and fresh, so the loser can only be waiting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(outcome.load(), -1);
+
+  winner.EndCompile(7, 9);
+  t.join();
+  EXPECT_EQ(outcome.load(), 0) << "loser must yield, not acquire";
+  EXPECT_EQ(loser.stats().lease_waits, 1u);
+  EXPECT_EQ(loser.stats().lease_takeovers, 0u);
+}
+
+TEST(DiskLease, StaleLeaseFromDeadHolderIsTakenOver) {
+  TempCacheDir dir("stale");
+  engine::DiskCodeCache cache(dir.path, 0);
+  cache.SetLeaseTimingForTest(/*stale_age_ms=*/30, /*poll_ms=*/1,
+                              /*wait_max_ms=*/60000);
+  // Fake the lock file a crashed holder left behind.
+  fs::create_directories(dir.path);
+  {
+    FILE* f = fopen(cache.LockPathForKey(3, 4).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("pid 0\n", f);
+    fclose(f);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(cache.BeginCompile(3, 4)) << "stale lease must be reclaimed";
+  EXPECT_GE(cache.stats().lease_takeovers, 1u);
+  cache.EndCompile(3, 4);
+  EXPECT_FALSE(fs::exists(cache.LockPathForKey(3, 4)));
+}
+
+// --- lease wired into the engine ------------------------------------------
+
+TEST(DiskLease, RacingColdEnginesCollapseOntoOneCompiler) {
+  TempCacheDir dir("race");
+  Module m = SumSquaresModule(42);
+  engine::Engine a(DiskConfig(dir.path));
+  engine::Engine b(DiskConfig(dir.path));
+
+  engine::CompiledModuleRef ra, rb;
+  std::thread ta([&] { ra = a.Compile(m, CodegenOptions::ChromeV8()); });
+  std::thread tb([&] { rb = b.Compile(m, CodegenOptions::ChromeV8()); });
+  ta.join();
+  tb.join();
+
+  ASSERT_TRUE(ra != nullptr && ra->ok) << (ra ? ra->error : "null");
+  ASSERT_TRUE(rb != nullptr && rb->ok) << (rb ? rb->error : "null");
+  // The whole point: however the race interleaves, the backend ran ONCE
+  // across both engines — the loser waited on the lease (or arrived after
+  // release) and loaded the winner's artifact from disk.
+  EXPECT_EQ(a.Stats().compiles + b.Stats().compiles, 1u);
+  EXPECT_EQ(ra->program().total_code_bytes, rb->program().total_code_bytes);
+  // No lease files may survive the race.
+  uint64_t hash = HashModule(m);
+  uint64_t fp = CodegenOptions::ChromeV8().Fingerprint();
+  EXPECT_FALSE(fs::exists(a.cache().disk().LockPathForKey(hash, fp)));
+}
+
+TEST(DiskLease, UncontendedColdCompileStillCountsOneMiss) {
+  TempCacheDir dir("uncontended");
+  engine::Engine eng(DiskConfig(dir.path));
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(1), CodegenOptions::ChromeV8())->ok);
+  engine::EngineStats s = eng.Stats();
+  EXPECT_EQ(s.compiles, 1u);
+  EXPECT_EQ(s.disk_misses, 1u);  // the lease's Exists() stat is not a probe
+  EXPECT_EQ(s.disk_lease_waits, 0u);
+  EXPECT_EQ(s.disk_stores, 1u);
+}
+
+// --- manifest -------------------------------------------------------------
+
+TEST(DiskManifest, PersistedOnStoreAndTrustedByFreshInstance) {
+  TempCacheDir dir("manifest");
+  uint64_t total = 0;
+  {
+    engine::Engine writer(DiskConfig(dir.path));
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(1), CodegenOptions::ChromeV8())->ok);
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(2), CodegenOptions::ChromeV8())->ok);
+    total = writer.cache().disk().DirSizeBytes();
+    ASSERT_GT(total, 0u);
+    EXPECT_EQ(writer.Stats().disk_manifest_rebuilds, 1u)
+        << "only the first store's seed scan (no manifest existed yet)";
+  }
+  ASSERT_TRUE(fs::exists(dir.path + "/manifest.nsf"));
+
+  // A fresh instance answers size questions from the manifest alone.
+  engine::DiskCodeCache fresh(dir.path, 0);
+  EXPECT_EQ(fresh.DirSizeBytes(), total);
+  EXPECT_EQ(fresh.stats().manifest_rebuilds, 0u) << "parsed, not rescanned";
+}
+
+TEST(DiskManifest, MissingManifestRebuiltFromScanAndRepersisted) {
+  TempCacheDir dir("manifest-missing");
+  uint64_t total = 0;
+  {
+    engine::Engine writer(DiskConfig(dir.path));
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(1), CodegenOptions::ChromeV8())->ok);
+    total = writer.cache().disk().DirSizeBytes();
+  }
+  fs::remove(dir.path + "/manifest.nsf");
+  {
+    engine::DiskCodeCache fresh(dir.path, 0);
+    EXPECT_EQ(fresh.DirSizeBytes(), total) << "scan fallback must agree";
+    EXPECT_EQ(fresh.stats().manifest_rebuilds, 1u);
+  }
+  // The rebuilt manifest was flushed at destruction for the next process.
+  EXPECT_TRUE(fs::exists(dir.path + "/manifest.nsf"));
+}
+
+TEST(DiskManifest, CorruptManifestRebuiltFromScan) {
+  TempCacheDir dir("manifest-corrupt");
+  uint64_t total = 0;
+  {
+    engine::Engine writer(DiskConfig(dir.path));
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(1), CodegenOptions::ChromeV8())->ok);
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(2), CodegenOptions::ChromeV8())->ok);
+    total = writer.cache().disk().DirSizeBytes();
+  }
+  for (const char* garbage :
+       {"not a manifest at all\n", "nsf-manifest v1\nnsfa-zz zz zz\n",
+        "nsf-manifest v1\ntruncated-line-without-newline"}) {
+    FILE* f = fopen((dir.path + "/manifest.nsf").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs(garbage, f);
+    fclose(f);
+    engine::DiskCodeCache fresh(dir.path, 0);
+    EXPECT_EQ(fresh.DirSizeBytes(), total) << "garbage: " << garbage;
+    EXPECT_EQ(fresh.stats().manifest_rebuilds, 1u);
+  }
+}
+
+TEST(DiskManifest, EvictionDropsEntriesWhoseFilesAreAlreadyGone) {
+  TempCacheDir dir("manifest-ghost");
+  // Two artifacts on disk, then one deleted behind the manifest's back (an
+  // "eviction by another process"). The next bounded store must converge:
+  // the ghost entry is dropped, not double-counted, and the bound holds.
+  uint64_t one = 0;
+  {
+    engine::Engine writer(DiskConfig(dir.path));
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(1), CodegenOptions::ChromeV8())->ok);
+    one = writer.cache().disk().DirSizeBytes();
+    ASSERT_TRUE(writer.Compile(SumSquaresModule(2), CodegenOptions::ChromeV8())->ok);
+    uint64_t fp = CodegenOptions::ChromeV8().Fingerprint();
+    fs::remove(writer.cache().disk().PathForKey(HashModule(SumSquaresModule(1)), fp));
+  }
+  const uint64_t budget = one * 2 + one / 2;  // fits two artifacts
+  engine::Engine eng(DiskConfig(dir.path, budget));
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(3), CodegenOptions::ChromeV8())->ok);
+  ASSERT_TRUE(eng.Compile(SumSquaresModule(4), CodegenOptions::ChromeV8())->ok);
+  // Real bytes on disk respect the bound even though the manifest briefly
+  // carried a ghost entry.
+  uint64_t real = 0;
+  for (const auto& entry : fs::directory_iterator(dir.path)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("nsfa-", 0) == 0 && name.size() > 4 &&
+        name.compare(name.size() - 4, 4, ".bin") == 0) {
+      real += entry.file_size();
+    }
+  }
+  EXPECT_LE(real, budget);
+}
+
+}  // namespace
+}  // namespace nsf
