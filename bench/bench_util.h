@@ -170,7 +170,8 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       "\"disk_lease_waits\":%llu,\"disk_lease_takeovers\":%llu,"
       "\"disk_manifest_rebuilds\":%llu,"
       "\"deserialize_seconds\":%.6f,\"serialize_seconds\":%.6f,"
-      "\"verify_rejects\":%llu}",
+      "\"verify_rejects\":%llu,"
+      "\"tier_swaps\":%llu,\"background_recompiles\":%llu}",
       static_cast<unsigned long long>(s.cache_hits),
       static_cast<unsigned long long>(s.cache_misses),
       static_cast<unsigned long long>(s.compiles),
@@ -185,7 +186,9 @@ inline std::string EngineStatsJson(const engine::EngineStats& s) {
       static_cast<unsigned long long>(s.disk_lease_waits),
       static_cast<unsigned long long>(s.disk_lease_takeovers),
       static_cast<unsigned long long>(s.disk_manifest_rebuilds), s.deserialize_seconds,
-      s.serialize_seconds, static_cast<unsigned long long>(s.verify_rejects));
+      s.serialize_seconds, static_cast<unsigned long long>(s.verify_rejects),
+      static_cast<unsigned long long>(s.tier_swaps),
+      static_cast<unsigned long long>(s.background_recompiles));
 }
 
 // after - before, field by field: the one subtraction path for scoping a
@@ -214,6 +217,8 @@ inline engine::EngineStats EngineStatsDelta(const engine::EngineStats& after,
   d.deserialize_seconds = after.deserialize_seconds - before.deserialize_seconds;
   d.serialize_seconds = after.serialize_seconds - before.serialize_seconds;
   d.verify_rejects = after.verify_rejects - before.verify_rejects;
+  d.tier_swaps = after.tier_swaps - before.tier_swaps;
+  d.background_recompiles = after.background_recompiles - before.background_recompiles;
   return d;
 }
 

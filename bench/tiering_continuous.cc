@@ -1,0 +1,281 @@
+// Continuous tiering A/B: stop-the-world tier-up vs sampled always-on
+// profiling + background recompilation + hot code swap.
+//
+// Both sides serve the same open-loop arrival stream against a cold engine:
+//   stop_world — the serve path itself runs the interpreter warm-up on a
+//                workload's first tiered request (TieringPolicy::TierUp on
+//                the worker thread): the warm-up wall time lands in that
+//                request's latency and is attributed as a tier_warmup tail
+//                event.
+//   continuous — requests are served on base-tier code from the first
+//                dispatch; the predecoded interpreter's sampled profiler
+//                feeds the BackgroundTierer, which recompiles off-thread and
+//                hot-swaps the PGO module under the base cache key. No serve
+//                thread ever runs a warm-up, so the tier_warmup attribution
+//                bit must be ZERO across every leg — that absence (not a
+//                noisy wall-clock delta) is the acceptance criterion.
+//
+// The steady-state check then runs each workload once on the tier each mode
+// converged to: the continuous path reuses the same warm-up pipeline as
+// stop-the-world tiering (just on the background thread), so the swapped
+// module must have the same profile name and bit-identical PerfCounters —
+// the PGO cycle geomeans (0.992x/0.991x, BENCH_ablation_pgo.json) carry
+// over unchanged.
+//
+// NSF_TIERING_SMOKE=1 shrinks the legs to CI size. Exit status asserts:
+// stop-world cold leg pays >= 1 tier_warmup, continuous legs pay ZERO,
+// >= 1 hot swap was published, and the swapped code's counters match the
+// stop-the-world tier exactly.
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+#include "src/engine/serving.h"
+
+using namespace nsf;
+
+namespace {
+
+struct LegSummary {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  uint64_t tier_warmups = 0;
+  uint64_t deadline_dispatches = 0;
+  uint64_t cold_compiles = 0;
+  uint64_t worst_p99_ns = 0;
+  double goodput_rps = 0;
+};
+
+LegSummary Summarize(const engine::ServingReport& r) {
+  LegSummary s;
+  s.offered = r.offered;
+  s.completed = r.completed;
+  s.failed = r.failed;
+  s.shed = r.shed;
+  s.goodput_rps = r.goodput_rps;
+  for (const engine::TenantReport& t : r.tenants) {
+    s.tier_warmups += t.tier_warmups;
+    s.deadline_dispatches += t.deadline_dispatches;
+    s.cold_compiles += t.cold_compiles;
+    s.worst_p99_ns = std::max(s.worst_p99_ns, t.e2e_ns.p99);
+  }
+  return s;
+}
+
+std::string LegJson(const LegSummary& s) {
+  return StrFormat(
+      "{\"offered\":%llu,\"completed\":%llu,\"failed\":%llu,\"shed\":%llu,"
+      "\"tier_warmups\":%llu,\"deadline_dispatches\":%llu,\"cold_compiles\":%llu,"
+      "\"e2e_p99_ms\":%.3f,\"goodput_rps\":%.3f}",
+      (unsigned long long)s.offered, (unsigned long long)s.completed,
+      (unsigned long long)s.failed, (unsigned long long)s.shed,
+      (unsigned long long)s.tier_warmups, (unsigned long long)s.deadline_dispatches,
+      (unsigned long long)s.cold_compiles, s.worst_p99_ns / 1e6, s.goodput_rps);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("NSF_TIERING_SMOKE") != nullptr;
+  printf("== Continuous tiering: stop-the-world warm-up pauses vs sampled swap ==\n\n");
+  bool failed = false;
+
+  // Two kernels is enough to exercise per-workload watches without making
+  // the A/B pay four compiles per side.
+  std::vector<WorkloadSpec> suite = AllPolybench();
+  std::vector<WorkloadSpec> mix(suite.begin(), suite.begin() + std::min<size_t>(2, suite.size()));
+
+  engine::ServingConfig sconfig;
+  sconfig.workers = 4;
+  sconfig.slo_min_samples = 8;
+  sconfig.duration_seconds = smoke ? 0.6 : 2.0;
+  const double rps = smoke ? 6.0 : 10.0;
+
+  auto make_tenant = [&](bool tier_up) {
+    engine::TenantConfig t;
+    t.name = "app";
+    t.weight = 1.0;
+    t.tier_up = tier_up;
+    for (const WorkloadSpec& spec : mix) {
+      engine::RunRequest req;
+      req.spec = spec;
+      req.options = CodegenOptions::ChromeV8();
+      req.collect_outputs = false;
+      t.mix.push_back(std::move(req));
+    }
+    t.arrivals.kind = engine::ArrivalKind::kPoisson;
+    t.arrivals.rate_rps = rps;
+    t.arrivals.seed = 4242;  // same arrival process on both sides
+    return t;
+  };
+
+  auto run_leg = [&](engine::Engine* eng, const char* label, bool tier_up) {
+    std::vector<engine::TenantConfig> tenants = {make_tenant(tier_up)};
+    engine::ServingLoop loop(eng, sconfig);
+    engine::ServingReport r = loop.Run(tenants);
+    LegSummary s = Summarize(r);
+    printf("%-16s goodput %5.1f rps, e2e p99 %9.3f ms | %llu tier warm-ups, "
+           "%llu cold compiles, %llu deadline dispatches\n",
+           label, s.goodput_rps, s.worst_p99_ns / 1e6, (unsigned long long)s.tier_warmups,
+           (unsigned long long)s.cold_compiles, (unsigned long long)s.deadline_dispatches);
+    if (!r.accounted() || s.failed != 0) {
+      fprintf(stderr, "!! %s: %llu failed (offered %llu)\n", label,
+              (unsigned long long)s.failed, (unsigned long long)s.offered);
+      failed = true;
+    }
+    return s;
+  };
+
+  // --- A: stop-the-world tier-up on the serve path ---
+  engine::EngineConfig a_cfg;
+  a_cfg.cache_dir = "";
+  engine::Engine a_eng(a_cfg);
+  LegSummary a_cold = run_leg(&a_eng, "stop_world cold", /*tier_up=*/true);
+  LegSummary a_warm = run_leg(&a_eng, "stop_world warm", /*tier_up=*/true);
+  if (a_cold.tier_warmups == 0) {
+    fprintf(stderr, "!! stop-the-world cold leg paid no tier warm-up — A/B is vacuous\n");
+    failed = true;
+  }
+  if (a_warm.tier_warmups != 0) {
+    fprintf(stderr, "!! stop-the-world warm leg still paid warm-ups\n");
+    failed = true;
+  }
+
+  // --- B: continuous tiering, warm-ups moved off the serve path ---
+  engine::EngineConfig b_cfg;
+  b_cfg.cache_dir = "";
+  b_cfg.sample_period = 64;
+  b_cfg.background_tiering = true;
+  b_cfg.tier_hot_samples = 512;  // a fraction of one kernel run's back-edges
+  b_cfg.tier_scan_period_seconds = 0.002;
+  engine::Engine b_eng(b_cfg);
+  LegSummary b_cold = run_leg(&b_eng, "continuous cold", /*tier_up=*/false);
+  // Let in-flight background recompiles land before the warm leg, the same
+  // state a long-running server reaches on its own.
+  b_eng.DrainTierer();
+  LegSummary b_warm = run_leg(&b_eng, "continuous warm", /*tier_up=*/false);
+  engine::EngineStats b_stats = b_eng.Stats();
+  printf("continuous tierer: %llu background recompiles, %llu hot swaps\n",
+         (unsigned long long)b_stats.background_recompiles,
+         (unsigned long long)b_stats.tier_swaps);
+  if (b_cold.tier_warmups + b_warm.tier_warmups != 0) {
+    fprintf(stderr, "!! continuous mode attributed tier warm-ups to served requests\n");
+    failed = true;
+  }
+  if (b_stats.tier_warmups == 0) {
+    fprintf(stderr, "!! continuous tierer never ran a background warm-up\n");
+    failed = true;
+  }
+  if (b_stats.tier_swaps < mix.size()) {
+    fprintf(stderr, "!! only %llu hot swaps for %zu watched workloads\n",
+            (unsigned long long)b_stats.tier_swaps, mix.size());
+    failed = true;
+  }
+
+  // --- Steady state: both modes must have converged to the same tier ---
+  std::vector<double> tiered_ratios;
+  std::string steady_json;
+  for (const WorkloadSpec& spec : mix) {
+    // Base-tier reference cycles from an untiered engine.
+    engine::EngineConfig c_cfg;
+    c_cfg.cache_dir = "";
+    engine::Engine c_eng(c_cfg);
+    engine::CompiledModuleRef base = c_eng.CompileWorkload(spec, CodegenOptions::ChromeV8());
+
+    // Stop-the-world tier: recompile under the tiered options (cache hit —
+    // the serving legs above already built it).
+    std::string error;
+    CodegenOptions tiered = a_eng.TierUp(spec, CodegenOptions::ChromeV8(), &error);
+    engine::CompiledModuleRef a_code = a_eng.Compile(spec.build(), tiered);
+
+    // Continuous tier: whatever the swap left under the BASE key.
+    engine::CompiledModuleRef b_code =
+        b_eng.cache().Lookup(base->module_hash(), base->fingerprint());
+    if (!base->ok || a_code == nullptr || !a_code->ok || b_code == nullptr || !b_code->ok) {
+      fprintf(stderr, "!! %s: steady-state compile missing\n", spec.name.c_str());
+      failed = true;
+      continue;
+    }
+    if (b_code->profile_name() != a_code->profile_name()) {
+      fprintf(stderr, "!! %s: continuous tier is '%s', stop-the-world tier is '%s'\n",
+              spec.name.c_str(), b_code->profile_name().c_str(), a_code->profile_name().c_str());
+      failed = true;
+    }
+
+    auto cycles_of = [&](engine::Engine* eng, const engine::CompiledModuleRef& code,
+                         uint64_t* out) {
+      engine::Session session(eng);
+      if (spec.setup) {
+        spec.setup(session.kernel());
+      }
+      engine::InstanceOptions iopts;
+      iopts.argv = spec.argv;
+      iopts.entry = spec.entry;
+      iopts.fuel = spec.fuel;
+      std::string err;
+      std::unique_ptr<engine::Instance> inst = session.Instantiate(code, std::move(iopts), &err);
+      if (inst == nullptr) {
+        return false;
+      }
+      engine::RunOutcome out_run = inst->Run();
+      *out = out_run.counters.cycles();
+      return out_run.ok;
+    };
+    uint64_t base_cycles = 0, a_cycles = 0, b_cycles = 0;
+    if (!cycles_of(&c_eng, base, &base_cycles) || !cycles_of(&a_eng, a_code, &a_cycles) ||
+        !cycles_of(&b_eng, b_code, &b_cycles)) {
+      fprintf(stderr, "!! %s: steady-state run failed\n", spec.name.c_str());
+      failed = true;
+      continue;
+    }
+    if (a_cycles != b_cycles) {
+      fprintf(stderr, "!! %s: continuous-tier cycles %llu != stop-the-world %llu\n",
+              spec.name.c_str(), (unsigned long long)b_cycles, (unsigned long long)a_cycles);
+      failed = true;
+    }
+    double ratio = base_cycles > 0 ? static_cast<double>(b_cycles) / base_cycles : 0;
+    tiered_ratios.push_back(ratio);
+    printf("steady state %-16s %s: %.4fx cycles vs base (identical across modes: %s)\n",
+           spec.name.c_str(), b_code->profile_name().c_str(), ratio,
+           a_cycles == b_cycles ? "yes" : "NO");
+    steady_json += StrFormat(
+        "%s\"%s\":{\"profile\":\"%s\",\"base_cycles\":%llu,\"tiered_cycles\":%llu,"
+        "\"cycle_ratio\":%.4f,\"modes_identical\":%s}",
+        steady_json.empty() ? "" : ",", JsonEscape(spec.name).c_str(),
+        JsonEscape(b_code->profile_name()).c_str(), (unsigned long long)base_cycles,
+        (unsigned long long)b_cycles, ratio, a_cycles == b_cycles ? "true" : "false");
+  }
+  double steady_geomean = GeoMean(tiered_ratios);
+  if (tiered_ratios.empty() || steady_geomean > 1.005) {
+    fprintf(stderr, "!! steady-state cycle geomean %.4fx — tiered code regressed\n",
+            steady_geomean);
+    failed = true;
+  }
+
+  std::string json = StrFormat(
+      "\"mode\":\"%s\",\"workers\":%d,\"duration_seconds\":%.3f,\"rate_rps\":%.1f,"
+      "\"sample_period\":%u,\"tier_hot_samples\":%llu,"
+      "\"stop_world\":{\"cold\":%s,\"warm\":%s},"
+      "\"continuous\":{\"cold\":%s,\"warm\":%s,\"background_recompiles\":%llu,"
+      "\"tier_swaps\":%llu},"
+      "\"steady_state\":{\"cycle_geomean_vs_base\":%.4f,\"workloads\":{%s}}",
+      smoke ? "smoke" : "full", sconfig.workers, sconfig.duration_seconds, rps,
+      b_cfg.sample_period, (unsigned long long)b_cfg.tier_hot_samples,
+      LegJson(a_cold).c_str(), LegJson(a_warm).c_str(), LegJson(b_cold).c_str(),
+      LegJson(b_warm).c_str(), (unsigned long long)b_stats.background_recompiles,
+      (unsigned long long)b_stats.tier_swaps, steady_geomean, steady_json.c_str());
+  WriteBenchJson("tiering_continuous", "{" + json + "}", &b_eng);
+
+  printf("%s\n",
+         failed
+             ? "FAIL: see messages above."
+             : StrFormat("OK: stop-the-world paid %llu serve-path warm-ups; continuous paid 0 "
+                         "across both legs (%llu hot swaps), steady-state cycles %.4fx of base "
+                         "and bit-identical across modes.",
+                         (unsigned long long)a_cold.tier_warmups,
+                         (unsigned long long)b_stats.tier_swaps, steady_geomean)
+                   .c_str());
+  return failed ? 1 : 0;
+}

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/profile/profile.h"
 #include "src/support/str.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -57,6 +58,27 @@ std::string FileNameForKey(uint64_t module_hash, uint64_t fingerprint) {
   return kFilePrefix +
          StrFormat("%016llx-%016llx", static_cast<unsigned long long>(module_hash),
                    static_cast<unsigned long long>(fingerprint)) +
+         kFileSuffix;
+}
+
+// Tiering-profile files: "nsfp-" so the artifact filter (and therefore the
+// manifest, the LRU bound, and eviction) never sees them. The name is hashed
+// because workload names are arbitrary strings; FNV-1a is process-independent
+// (unlike std::hash) so warm processes find cold processes' files.
+constexpr const char* kProfilePrefix = "nsfp-";
+
+uint64_t HashWorkloadName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string FileNameForProfile(const std::string& name) {
+  return kProfilePrefix +
+         StrFormat("%016llx", static_cast<unsigned long long>(HashWorkloadName(name))) +
          kFileSuffix;
 }
 
@@ -450,6 +472,60 @@ void DiskCodeCache::Store(const CompiledArtifact& artifact) {
     EvictToFit();  // persists the manifest
   } else {
     PersistManifestLocked();
+  }
+}
+
+std::string DiskCodeCache::ProfilePathForName(const std::string& name) const {
+  return dir_ + "/" + FileNameForProfile(name);
+}
+
+bool DiskCodeCache::LoadProfile(const std::string& name, Profile* out) {
+  if (!enabled()) {
+    return false;
+  }
+  std::string path = ProfilePathForName(name);
+  std::vector<uint8_t> bytes;
+  if (!ReadWholeFile(path, &bytes)) {
+    return false;
+  }
+  std::string error;
+  if (!Profile::ParseBinary(bytes, out, &error)) {
+    // Same policy as corrupt artifacts: delete so the next miss recollects
+    // instead of re-parsing a bad file forever.
+    std::error_code ec;
+    fs::remove(path, ec);
+    load_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void DiskCodeCache::StoreProfile(const std::string& name, const Profile& profile) {
+  if (!enabled()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!EnsureDirLocked()) {
+      return;
+    }
+  }
+  std::vector<uint8_t> bytes = profile.SerializeBinary();
+  std::string path = ProfilePathForName(name);
+  // Atomic publish, same discipline as artifacts; racing writers of one name
+  // both rename complete files and last rename wins.
+  static std::atomic<uint64_t> tmp_counter{0};
+  std::string tmp = path + StrFormat(".tmp.%llu", static_cast<unsigned long long>(
+                                                      tmp_counter.fetch_add(1)));
+  if (!WriteWholeFile(tmp, bytes.data(), bytes.size())) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
   }
 }
 

@@ -47,6 +47,9 @@
 #include "src/codegen/artifact.h"
 
 namespace nsf {
+
+class Profile;
+
 namespace engine {
 
 struct DiskCacheStats {
@@ -89,6 +92,19 @@ class DiskCodeCache {
   // caller loaded successfully but rejected AFTER Load() accepted them
   // (semantic verification, src/codegen/verify.h).
   void Discard(uint64_t module_hash, uint64_t fingerprint);
+
+  // --- Tiering-profile persistence ---
+  // Warm-up Profiles (src/profile/profile.h) stored next to the artifacts as
+  //   nsfp-<fnv1a(workload name):016x>.bin
+  // so a warm process seeds its tiering policy from disk and skips the
+  // interpreter warm-up. Deliberately OUTSIDE the manifest and the LRU
+  // bound: profiles are tiny, and evicting one would silently reintroduce a
+  // warm-up pause. Same safety discipline as artifacts: atomic tmp+rename
+  // stores, parse-rejected files deleted, failures never fatal.
+  bool LoadProfile(const std::string& name, Profile* out);
+  void StoreProfile(const std::string& name, const Profile& profile);
+  // Full path of the profile file for a workload name (exposed for tests).
+  std::string ProfilePathForName(const std::string& name) const;
 
   // Cross-process compile lease for one key. Returns true when the calling
   // process now HOLDS the key's lease (it created the `.bin.lock` file —

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/codegen/verify.h"
+#include "src/engine/tierer.h"
 #include "src/machine/verify_decoded.h"
 #include "src/runtime/runtime.h"
 #include "src/support/str.h"
@@ -211,6 +212,20 @@ CompiledModuleRef CodeCache::Lookup(uint64_t module_hash, uint64_t fingerprint) 
   std::unique_lock<std::mutex> lock = LockShard(shard);
   auto it = shard.entries.find({module_hash, fingerprint});
   return it == shard.entries.end() ? nullptr : it->second.code;
+}
+
+void CodeCache::Republish(uint64_t module_hash, uint64_t fingerprint,
+                          const CompiledModuleRef& code) {
+  Shard& shard = ShardFor(module_hash);
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  // Preserve any in-flight latch: a concurrent leader for this key will
+  // overwrite entry.code when it publishes, which is the normal last-writer
+  // race for a republish — both values are correct code for the key.
+  Entry& entry = shard.entries[{module_hash, fingerprint}];
+  entry.code = code;
+  // The swap point readers actually observe: the same-key path of
+  // IndexInsert points the slot at a fresh node and EBR-retires the old one.
+  IndexInsert(shard, module_hash, fingerprint, code);
 }
 
 void CodeCache::Publish(Shard& shard, const std::pair<uint64_t, uint64_t>& key,
@@ -444,7 +459,10 @@ void CodeCache::Clear() {
 // --- TieringPolicy ---
 
 CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
-                                     std::string* error) {
+                                     std::string* error, bool* paid_warmup) {
+  if (paid_warmup != nullptr) {
+    *paid_warmup = false;
+  }
   // Per-workload leader/latch (mirroring CodeCache::GetOrCompile): only
   // same-name requests share one warm-up; distinct workloads profile in
   // parallel. Profile pointers stay valid because TierManager's cache is
@@ -465,6 +483,13 @@ CodegenOptions TieringPolicy::TierUp(const WorkloadSpec& spec, const CodegenOpti
       inflight_[spec.name] = latch;
       leader = true;
     }
+  }
+
+  // Both the leader and anyone who blocks on its latch pay warm-up wall time
+  // on this call path — that, not "who ran the interpreter", is the bit
+  // serving's tail attribution needs.
+  if (paid_warmup != nullptr) {
+    *paid_warmup = true;
   }
 
   if (!leader) {
@@ -534,6 +559,16 @@ uint64_t TieringPolicy::ProfiledWork(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const Profile* p = manager_.CachedProfile(name);
   return p != nullptr ? p->total_instrs() : 0;
+}
+
+bool TieringPolicy::HasProfile(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.CachedProfile(name) != nullptr;
+}
+
+const Profile* TieringPolicy::InsertProfile(const std::string& name, Profile profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.Insert(name, std::move(profile));
 }
 
 void TieringPolicy::RecordRun(const std::string& name, double sim_seconds) {
@@ -672,9 +707,21 @@ Engine::Engine(EngineConfig config)
   if (!config_.cache_dir.empty()) {
     tiering_.LoadHistory(RunHistoryPath());
   }
+  // Background tiering needs the sampling signal (sample_period == 0 would
+  // never mark a module hot) and the cache (the hot swap IS a cache
+  // republish); without either, don't start the thread at all.
+  if (config_.background_tiering && config_.sample_period != 0 && config_.cache_enabled) {
+    tierer_ = std::make_unique<BackgroundTierer>(this, config_.tier_hot_samples,
+                                                 config_.tier_scan_period_seconds);
+  }
 }
 
-Engine::~Engine() { SaveRunHistory(); }
+Engine::~Engine() {
+  // Stop the tierer before anything it feeds (cache, tiering policy, stats)
+  // starts tearing down.
+  tierer_.reset();
+  SaveRunHistory();
+}
 
 std::string Engine::RunHistoryPath() const {
   return config_.cache_dir.empty() ? std::string() : config_.cache_dir + "/run_history";
@@ -793,17 +840,86 @@ CompiledModuleRef Engine::Compile(const Module& module, const CodegenOptions& op
 
 CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
                                           const CodegenOptions& options, bool* was_hit) {
-  return Compile(spec.build(), options, was_hit);
+  CompileInfo info;
+  CompiledModuleRef result = CompileWorkload(spec, options, &info);
+  if (was_hit != nullptr) {
+    *was_hit = info.hit;
+  }
+  return result;
 }
 
 CompiledModuleRef Engine::CompileWorkload(const WorkloadSpec& spec,
                                           const CodegenOptions& options, CompileInfo* info) {
-  return Compile(spec.build(), options, info);
+  CompiledModuleRef result = Compile(spec.build(), options, info);
+  // A workload compile is the one place the engine has both the runnable
+  // spec and the options key, so continuous tiering registers here.
+  WatchForTierUp(result, spec, options);
+  return result;
 }
 
 CodegenOptions Engine::TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
-                              std::string* error) {
-  return tiering_.TierUp(spec, base, error);
+                              std::string* error, bool* paid_warmup) {
+  // Profile persistence (satellite to the disk artifact tier): a previous
+  // process's warm-up profile lives next to the artifacts, so a warm process
+  // seeds the in-memory profile cache and skips the interpreter run.
+  if (cache_.disk().enabled() && !tiering_.HasProfile(spec.name)) {
+    Profile loaded;
+    if (cache_.disk().LoadProfile(spec.name, &loaded)) {
+      tiering_.InsertProfile(spec.name, std::move(loaded));
+      static telemetry::Counter& profile_loads = Count("engine.tier.profile_disk_load");
+      profile_loads.Add();
+    }
+  }
+  bool warmed = false;
+  CodegenOptions tiered = tiering_.TierUp(spec, base, error, &warmed);
+  if (paid_warmup != nullptr) {
+    *paid_warmup = warmed;
+  }
+  // Persist a fresh warm-up's profile for the next process. Joiners may
+  // duplicate the leader's write with identical bytes — StoreProfile writes
+  // tmp + rename, so the race is harmless and only spans the cold window.
+  if (warmed && cache_.disk().enabled() && tiered.profile != nullptr) {
+    cache_.disk().StoreProfile(spec.name, *tiered.profile);
+  }
+  return tiered;
+}
+
+std::shared_ptr<SampledProfile> Engine::SamplerFor(const CompiledModuleRef& code) {
+  if (config_.sample_period == 0 || code == nullptr || !code->ok) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  std::shared_ptr<SampledProfile>& slot = samplers_[code->module_hash()];
+  if (slot == nullptr) {
+    slot = std::make_shared<SampledProfile>(
+        static_cast<uint32_t>(code->program().funcs.size()), config_.sample_period);
+  }
+  return slot;
+}
+
+void Engine::WatchForTierUp(const CompiledModuleRef& code, const WorkloadSpec& spec,
+                            const CodegenOptions& base) {
+  // Only base-tier code is watched: options that already carry a profile ARE
+  // the tiered artifact, and re-tiering it would loop.
+  if (tierer_ == nullptr || code == nullptr || !code->ok || base.profile != nullptr) {
+    return;
+  }
+  // After a hot swap, a warm hit on the base key hands back the TIERED
+  // module (that is the point of the swap) — its profile name no longer
+  // matches the requested base options. Watching it would re-tier forever.
+  if (code->profile_name() != base.profile_name) {
+    return;
+  }
+  std::shared_ptr<SampledProfile> sampler = SamplerFor(code);
+  if (sampler != nullptr) {
+    tierer_->Watch(code, spec, base, std::move(sampler));
+  }
+}
+
+void Engine::DrainTierer() {
+  if (tierer_ != nullptr) {
+    tierer_->Drain();
+  }
 }
 
 EngineStats Engine::Stats() const {
@@ -830,6 +946,8 @@ EngineStats Engine::Stats() const {
   s.deserialize_seconds = d.deserialize_seconds;
   s.serialize_seconds = d.serialize_seconds;
   s.verify_rejects = cache_.verify_rejects();
+  s.tier_swaps = tier_swaps_.load(std::memory_order_relaxed);
+  s.background_recompiles = background_recompiles_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -840,6 +958,8 @@ void Engine::ResetStats() {
   compile_joins_.store(0, std::memory_order_relaxed);
   compile_nanos_.store(0, std::memory_order_relaxed);
   saved_nanos_.store(0, std::memory_order_relaxed);
+  tier_swaps_.store(0, std::memory_order_relaxed);
+  background_recompiles_.store(0, std::memory_order_relaxed);
   cache_.ResetTelemetry();  // keep lock_waits + disk stats consistent with the zeros
   tiering_.ResetWarmupCount();
 }
@@ -873,8 +993,12 @@ std::unique_ptr<Instance> Session::Instantiate(CompiledModuleRef code,
     }
     return nullptr;
   }
-  return std::unique_ptr<Instance>(
+  std::unique_ptr<Instance> inst(
       new Instance(this, std::move(code), std::move(options), entry->index));
+  // Resolve the module's sampling sink once per Instance, not per run (null
+  // unless EngineConfig::sample_period is set).
+  inst->sampler_ = engine_->SamplerFor(inst->code_);
+  return inst;
 }
 
 // --- Instance ---
@@ -903,6 +1027,9 @@ RunOutcome Instance::RunAtIndex(uint32_t func_index, const std::vector<uint64_t>
   // invisible to results, they only remove per-run setup cost.
   SimMachine machine(&code_->program(), code_->decoded_program(), &session_->buffer_pool());
   machine.set_dispatch(options_.dispatch);
+  if (sampler_ != nullptr) {
+    machine.set_sampler(sampler_.get(), session_->engine()->config().sample_period);
+  }
   if (options_.fuel != 0) {
     machine.set_fuel(options_.fuel);
   }

@@ -57,11 +57,14 @@
 #include "src/kernel/kernel.h"
 #include "src/machine/decode.h"
 #include "src/machine/machine.h"
+#include "src/profile/sampled.h"
 #include "src/profile/tier.h"
 #include "src/wasm/module.h"
 
 namespace nsf {
 namespace engine {
+
+class BackgroundTierer;
 
 // A compiled (module, options) pair, shared by every caller that requests
 // the same content. Immutable once published by the Engine. The payload is a
@@ -166,6 +169,17 @@ class CodeCache {
   // Read-only probe of the MEMORY tier (no latch or disk interaction): the
   // completed entry or null.
   CompiledModuleRef Lookup(uint64_t module_hash, uint64_t fingerprint) const;
+
+  // Hot code swap (continuous tiering): replaces the published code for
+  // (module_hash, fingerprint) with `code` — the background tierer publishes
+  // PGO'd code under the BASE options key so every future warm lookup
+  // transparently serves the new tier. The safe point is one release-store
+  // into the wait-free hit index: readers that already pinned the old node
+  // finish on the old entry (their CompiledModuleRef keeps it alive however
+  // long the run takes), the displaced index node is retired through the EBR
+  // domain, and nothing is ever freed in place. An in-flight compile latch
+  // for the key, if any, is left untouched.
+  void Republish(uint64_t module_hash, uint64_t fingerprint, const CompiledModuleRef& code);
 
   size_t size() const;
   void Clear();  // memory tier only; the disk tier persists by design
@@ -284,8 +298,21 @@ class TieringPolicy {
   // Profile-guided options for `spec` over `base`. The warm-up interpreter
   // run happens at most once per workload name (TierManager caches the
   // profile). On warm-up failure returns `base` unchanged and sets *error.
+  // *paid_warmup (optional) reports whether THIS call paid warm-up wall time
+  // — it ran the interpreter warm-up or blocked on another thread's — as
+  // opposed to the cached-profile fast path; serving attributes tier_warmup
+  // tail events from exactly this bit.
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
-                        std::string* error);
+                        std::string* error, bool* paid_warmup = nullptr);
+
+  // True when `name`'s profile is already cached (no warm-up would run).
+  bool HasProfile(const std::string& name) const;
+
+  // Publishes an externally obtained profile (disk-persisted from a previous
+  // process, or reconstructed from sampling) under `name`, so subsequent
+  // TierUp calls skip the interpreter warm-up. First writer wins; returns
+  // the cached node-stable profile either way. Thread-safe.
+  const Profile* InsertProfile(const std::string& name, Profile profile);
 
   // Profiled work estimate for LPT batch scheduling: the warm-up profile's
   // total interpreted instruction count (monotone in simulated seconds), or
@@ -373,6 +400,19 @@ struct EngineConfig {
   std::string cache_dir = DefaultCacheDir();
   uint64_t disk_cache_max_bytes = DefaultDiskCacheMaxBytes();
   TierConfig tiering;
+  // --- Continuous tiering ---
+  // sample_period N != 0 arms the predecoded interpreter's sampled profiling:
+  // every Nth back-edge/call records into the module's shared SampledProfile
+  // sink (default 0 = hooks disabled, zero shared-state traffic, and
+  // PerfCounters identical either way). background_tiering additionally
+  // starts an engine-owned recompilation thread that watches the sample
+  // totals of every workload compiled through CompileWorkload and, once a
+  // module crosses tier_hot_samples, runs the PGO pipeline off the serve
+  // path and hot-swaps the result into the code cache under the base key.
+  bool background_tiering = false;
+  uint32_t sample_period = 0;
+  uint64_t tier_hot_samples = 64;
+  double tier_scan_period_seconds = 0.005;
 };
 
 // Aggregate counters surfaced into every BENCH_*.json (engine_stats block).
@@ -404,6 +444,9 @@ struct EngineStats {
   // Disk artifacts that passed the codec's checksum but failed semantic
   // verification (src/codegen/verify.h) — deleted + recompiled, never run.
   uint64_t verify_rejects = 0;
+  // Continuous tiering (zero unless EngineConfig::background_tiering):
+  uint64_t tier_swaps = 0;             // hot swaps published into the code cache
+  uint64_t background_recompiles = 0;  // PGO compiles run by the tierer thread
 };
 
 class Session;
@@ -453,9 +496,30 @@ class Engine {
   CompiledModuleRef CompileWorkload(const WorkloadSpec& spec, const CodegenOptions& options,
                                     CompileInfo* info);
 
-  // Profile-guided options for `spec` via the engine's TieringPolicy.
+  // Profile-guided options for `spec` via the engine's TieringPolicy. With a
+  // disk cache this first tries the profile persisted by a previous process
+  // (skipping the interpreter warm-up entirely) and persists any fresh
+  // warm-up's profile for the next process. *paid_warmup (optional) reports
+  // whether this call paid warm-up wall time (ran it or blocked on one).
   CodegenOptions TierUp(const WorkloadSpec& spec, const CodegenOptions& base,
-                        std::string* error);
+                        std::string* error, bool* paid_warmup = nullptr);
+
+  // The shared sampling sink for `code`'s module, sized to its function
+  // count (created on first request). Null when sampling is disabled
+  // (config().sample_period == 0) or `code` is not runnable.
+  std::shared_ptr<SampledProfile> SamplerFor(const CompiledModuleRef& code);
+
+  // Registers a base-tier compile with the background tierer: once the
+  // module's sample total crosses tier_hot_samples the tierer recompiles it
+  // with PGO and hot-swaps the result under (module_hash, fingerprint).
+  // No-op unless background tiering + sampling are both enabled; deduped by
+  // key. CompileWorkload calls this automatically for un-profiled options.
+  void WatchForTierUp(const CompiledModuleRef& code, const WorkloadSpec& spec,
+                      const CodegenOptions& base);
+
+  // Blocks until the background tierer has swapped every watch whose sample
+  // count already crossed the threshold (tests/benches; no-op otherwise).
+  void DrainTierer();
 
   EngineStats Stats() const;
   void ResetStats();
@@ -468,6 +532,8 @@ class Engine {
   CodeCache& cache() { return cache_; }
 
  private:
+  friend class BackgroundTierer;
+
   // One compile, bypassing the cache: validation + backend + stats.
   CompiledModuleRef CompileUncached(const Module& module, uint64_t module_hash,
                                     const CodegenOptions& options, uint64_t fingerprint);
@@ -485,6 +551,15 @@ class Engine {
   std::atomic<uint64_t> compile_joins_{0};
   std::atomic<uint64_t> compile_nanos_{0};
   std::atomic<uint64_t> saved_nanos_{0};
+
+  // Continuous tiering. samplers_ maps module_hash -> shared sink; the
+  // tierer thread is constructed last / destroyed first so it can never
+  // outlive the cache or tiering policy it feeds.
+  mutable std::mutex sampler_mu_;
+  std::map<uint64_t, std::shared_ptr<SampledProfile>> samplers_;
+  std::atomic<uint64_t> tier_swaps_{0};
+  std::atomic<uint64_t> background_recompiles_{0};
+  std::unique_ptr<BackgroundTierer> tierer_;
 };
 
 // Per-instance execution parameters.
@@ -595,6 +670,10 @@ class Instance {
   InstanceOptions options_;
   uint32_t entry_index_;
   uint64_t runs_ = 0;
+  // The module's shared sampling sink, resolved once at Instantiate time
+  // (null when EngineConfig::sample_period == 0). Each run's machine buffers
+  // samples locally and folds them here on teardown.
+  std::shared_ptr<SampledProfile> sampler_;
 };
 
 }  // namespace engine

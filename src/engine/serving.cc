@@ -171,6 +171,44 @@ bool DrrQueue::Pop(DrrItem* out) {
   }
 }
 
+bool DrrQueue::PopUrgent(double now_seconds, DrrItem* out) {
+  if (total_ == 0) {
+    return false;
+  }
+  // Earliest passed deadline among the queue HEADS only: FIFO order within a
+  // tenant is preserved, and the scan is one comparison per tenant.
+  size_t best = queues_.size();
+  for (size_t t = 0; t < queues_.size(); t++) {
+    const Queue& q = queues_[t];
+    if (q.items.empty()) {
+      continue;
+    }
+    const DrrItem& head = q.items.front();
+    if (head.deadline_seconds <= 0 || now_seconds < head.deadline_seconds) {
+      continue;
+    }
+    if (best == queues_.size() ||
+        head.deadline_seconds < queues_[best].items.front().deadline_seconds) {
+      best = t;
+    }
+  }
+  if (best == queues_.size()) {
+    return false;
+  }
+  Queue& q = queues_[best];
+  *out = q.items.front();
+  q.items.pop_front();
+  // Charge the jump against the tenant's deficit — possibly driving it
+  // negative, so later Pop rotations make the tenant repay and long-run
+  // shares stay proportional to quanta.
+  q.deficit -= out->cost;
+  if (q.items.empty()) {
+    q.deficit = 0;
+  }
+  total_--;
+  return true;
+}
+
 std::vector<DrrItem> DrrQueue::DrainAll() {
   std::vector<DrrItem> out;
   out.reserve(total_);
@@ -201,6 +239,7 @@ struct ServingLoop::TenantState {
   uint64_t compile_joins = 0;
   uint64_t disk_loads = 0;
   uint64_t tier_warmups = 0;
+  uint64_t deadline_dispatches = 0;
   size_t next_mix = 0;
   uint64_t next_seq = 0;
   // Per-tenant latency histograms, owned by the loop's PRIVATE registry so
@@ -299,6 +338,13 @@ void ServingLoop::GeneratorMain(LoopState* loop) {
         // estimate sharpens as the loop serves (every completion records).
         item.cost = std::max(engine_->tiering().EstimateSeconds(cfg.mix[item.payload].spec.name),
                              config_.min_cost_seconds);
+        // Dispatch deadline for SLO-aware scheduling: once this request has
+        // aged through slo_urgency_fraction of its SLO budget, waiting for
+        // its DRR turn risks the p99 — PopUrgent serves it first.
+        if (config_.slo_aware_dispatch && cfg.p99_slo_seconds > 0) {
+          item.deadline_seconds =
+              item.enqueue_seconds + config_.slo_urgency_fraction * cfg.p99_slo_seconds;
+        }
         loop->queue.Push(item);
         ts.admitted++;
         admitted_count.Add();
@@ -331,8 +377,10 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
   // EBR domain: warm code-cache hits on the serve path are wait-free from
   // the first request.
   Session session(engine_);
+  static telemetry::Counter& deadline_pops = GlobalCount("serving.deadline_pops");
   for (;;) {
     DrrItem item;
+    bool deadline_dispatch = false;
     {
       std::unique_lock<std::mutex> lock(loop->mu);
       loop->cv_work.wait(lock, [&] {
@@ -347,8 +395,18 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
         }
         continue;
       }
-      loop->queue.Pop(&item);
+      // SLO-aware dispatch first: a head past its deadline preempts DRR
+      // order. Otherwise the usual deficit rotation picks.
+      if (config_.slo_aware_dispatch) {
+        deadline_dispatch = loop->queue.PopUrgent(SecondsSince(loop->start), &item);
+      }
+      if (!deadline_dispatch) {
+        loop->queue.Pop(&item);
+      }
       loop->inflight++;
+    }
+    if (deadline_dispatch) {
+      deadline_pops.Add();
     }
 
     TenantState& ts = loop->tenants[item.tenant];
@@ -358,12 +416,13 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
     RunRequest request = cfg.mix[item.payload];
     bool tier_warmup = false;
     if (cfg.tier_up) {
-      // The first request for a workload pays (or joins) the interpreter
-      // warm-up — attribute that stall to it. ProfiledWork is the cheap
-      // "is the profile already cached" probe.
-      tier_warmup = engine_->tiering().ProfiledWork(request.spec.name) == 0;
+      // Per-call attribution straight from the tiering policy: true exactly
+      // when THIS request ran the interpreter warm-up or blocked on another
+      // thread's (a disk-loaded or cached profile is the fast path and does
+      // not count — that is the continuous-tiering win the report measures).
       std::string tier_error;
-      request.options = engine_->TierUp(request.spec, request.options, &tier_error);
+      request.options =
+          engine_->TierUp(request.spec, request.options, &tier_error, &tier_warmup);
       // On warm-up failure TierUp returns the base options: serve untiered
       // rather than shed — the SLO covers the outcome either way.
     }
@@ -384,6 +443,7 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
     rec.compile_join = result.compile_joined;
     rec.disk_load = result.disk_loaded;
     rec.tier_warmup = tier_warmup;
+    rec.deadline_dispatch = deadline_dispatch;
 
     {
       std::lock_guard<std::mutex> lock(loop->mu);
@@ -397,6 +457,7 @@ void ServingLoop::WorkerMain(LoopState* loop, int worker_index) {
       ts.compile_joins += rec.compile_join ? 1 : 0;
       ts.disk_loads += rec.disk_load ? 1 : 0;
       ts.tier_warmups += rec.tier_warmup ? 1 : 0;
+      ts.deadline_dispatches += rec.deadline_dispatch ? 1 : 0;
       ts.queue_ns->RecordSeconds(rec.queue_seconds);
       ts.service_ns->RecordSeconds(rec.service_seconds);
       ts.e2e_ns->RecordSeconds(rec.e2e_seconds);
@@ -516,6 +577,7 @@ ServingReport ServingLoop::Run(const std::vector<TenantConfig>& tenants) {
     tr.compile_joins = ts.compile_joins;
     tr.disk_loads = ts.disk_loads;
     tr.tier_warmups = ts.tier_warmups;
+    tr.deadline_dispatches = ts.deadline_dispatches;
     tr.slowest = std::move(ts.slowest);
     report.offered += tr.offered;
     report.admitted += tr.admitted;

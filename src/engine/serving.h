@@ -82,6 +82,11 @@ struct DrrItem {
   double cost = 0;
   double enqueue_seconds = 0;
   uint64_t seq = 0;  // caller-assigned sequence number (FIFO tiebreak/debug)
+  // Dispatch deadline for SLO-aware scheduling (same clock/unit as
+  // enqueue_seconds; 0 = none). Once `now` passes it, PopUrgent may serve
+  // this item out of DRR order — the serving loop sets it to
+  // enqueue + slo_urgency_fraction * the tenant's p99 SLO budget.
+  double deadline_seconds = 0;
 };
 
 // Per-tenant FIFO queues drained under deficit round robin (Shreedhar &
@@ -100,6 +105,15 @@ class DrrQueue {
   void Push(DrrItem item);  // item.tenant selects the FIFO queue
   // DRR-picks the next item to serve. False when every queue is empty.
   bool Pop(DrrItem* out);
+
+  // SLO-aware escape hatch, tried BEFORE Pop: serves the head item whose
+  // dispatch deadline has passed (earliest deadline first among queue
+  // heads), regardless of whose DRR turn it is. The served tenant's deficit
+  // is still charged — it may go negative, so the tenant repays the jump on
+  // later rotations and long-run shares remain proportional to quanta.
+  // False when no head is past its deadline (the common, fast case: one
+  // comparison per tenant).
+  bool PopUrgent(double now_seconds, DrrItem* out);
 
   size_t depth(size_t tenant) const { return queues_[tenant].items.size(); }
   size_t total_depth() const { return total_; }
@@ -174,6 +188,7 @@ struct ServedRequest {
   bool compile_join = false;  // blocked on another worker's compile
   bool disk_load = false;     // paid a disk-tier artifact deserialization
   bool tier_warmup = false;   // paid (or joined) an interpreter warm-up
+  bool deadline_dispatch = false;  // served out of DRR order by PopUrgent
 };
 
 struct TenantReport {
@@ -196,6 +211,7 @@ struct TenantReport {
   uint64_t compile_joins = 0;
   uint64_t disk_loads = 0;
   uint64_t tier_warmups = 0;
+  uint64_t deadline_dispatches = 0;  // requests served out of DRR order
   // The tenant's slowest completed/failed requests by e2e, worst first —
   // the tail, with each request's stall attribution attached.
   std::vector<ServedRequest> slowest;
@@ -241,6 +257,12 @@ struct ServingConfig {
   // the final flush when the loop ends).
   double flush_period_seconds = 0.5;
   size_t slowest_per_tenant = 8;    // tail depth kept in TenantReport::slowest
+  // SLO-aware dispatch: when a queued request's age reaches
+  // slo_urgency_fraction of its tenant's p99 SLO budget, workers serve it
+  // deadline-first instead of waiting for its DRR turn (DrrQueue::PopUrgent).
+  // Only affects tenants with p99_slo_seconds set; pure DRR otherwise.
+  bool slo_aware_dispatch = true;
+  double slo_urgency_fraction = 0.75;
 };
 
 // The serving loop itself. Construction is cheap; Run() spawns the workers

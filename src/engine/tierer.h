@@ -1,0 +1,101 @@
+// Background recompilation thread for continuous tiering.
+//
+// The stop-the-world tiering story (TieringPolicy::TierUp on the serve path)
+// pays the interpreter warm-up inline with a request — visible as tier_warmup
+// tail events in serving p99. The BackgroundTierer moves the whole pipeline
+// off the serve path:
+//
+//   1. Executors run base-tier code with sampled always-on profiling
+//      (src/profile/sampled.h): every Nth back-edge/call folds into the
+//      module's shared SampledProfile sink on machine teardown.
+//   2. This thread scans the sinks on a period. When a watched module's
+//      sample total crosses the hotness threshold it runs the existing PGO
+//      pipeline — by preference the full interpreter warm-up (highest
+//      fidelity, byte-identical artifacts to stop-the-world tiering, and the
+//      profile disk-persists for the next process), falling back to a
+//      profile reconstructed from the samples when the warm-up fails.
+//   3. The recompiled module is hot-swapped into the CodeCache under the
+//      BASE options key (CodeCache::Republish): the safe point is one
+//      release-store into the wait-free hit index, in-flight runs finish on
+//      the old code their shared_ptr pins, and the displaced index node is
+//      retired through EBR.
+//
+// Executors never block on any of this: they keep taking warm hits on the
+// old entry until the swap lands, then take warm hits on the new one.
+//
+// Owned by Engine (constructed when background_tiering + sample_period are
+// both set); Engine::~Engine stops the thread before any shared state dies.
+#ifndef SRC_ENGINE_TIERER_H_
+#define SRC_ENGINE_TIERER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+
+namespace nsf {
+namespace engine {
+
+class BackgroundTierer {
+ public:
+  BackgroundTierer(Engine* engine, uint64_t hot_samples, double scan_period_seconds);
+  ~BackgroundTierer();  // Stop() + join
+
+  // Registers base-tier code for tier-up watching. Deduped by the compiled
+  // module's (module_hash, fingerprint) key; `code` is retained so the
+  // module stays rebuildable. Thread-safe.
+  void Watch(CompiledModuleRef code, WorkloadSpec spec, CodegenOptions base,
+             std::shared_ptr<SampledProfile> sampler);
+
+  // Blocks until no watch is both past the threshold and still unswapped
+  // (tests/benches want a deterministic "all swaps landed" point; production
+  // never calls this). Watches that exhausted their attempts count as done.
+  void Drain();
+
+  // Stops the scan thread (idempotent; also done by the destructor).
+  void Stop();
+
+  size_t watch_count() const;
+
+ private:
+  struct Watched {
+    // Immutable after registration (TierOne reads them without the lock).
+    uint64_t module_hash = 0;
+    uint64_t fingerprint = 0;  // BASE options key — the swap target
+    CompiledModuleRef code;
+    WorkloadSpec spec;
+    CodegenOptions base;
+    std::shared_ptr<SampledProfile> sampler;
+    // Scan-thread state, guarded by mu_.
+    bool in_progress = false;
+    bool swapped = false;
+    int attempts = 0;
+  };
+  static constexpr int kMaxAttempts = 2;
+
+  void ThreadMain();
+  // The slow path, run OUTSIDE mu_: profile -> PGO compile -> hot swap.
+  // True when the swap was published.
+  bool TierOne(const Watched& w);
+  bool PendingLocked() const;
+
+  Engine* engine_;
+  const uint64_t hot_samples_;
+  const double scan_period_seconds_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // wakes the scan thread
+  std::condition_variable done_cv_;  // wakes Drain() waiters
+  bool stop_ = false;
+  std::vector<std::unique_ptr<Watched>> watches_;
+  std::thread thread_;
+};
+
+}  // namespace engine
+}  // namespace nsf
+
+#endif  // SRC_ENGINE_TIERER_H_

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/machine/bits.h"
@@ -47,6 +48,23 @@ bool DispatchStatsEnabled() {
 #else
   return false;
 #endif
+}
+
+uint32_t DataPairFusionMask() {
+  static const uint32_t mask = [] {
+    const char* env = std::getenv("NSF_DATA_PAIRS");
+    if (env != nullptr) {
+      if (std::strcmp(env, "all") == 0) {
+        return kDataPairMovRIMovRR | kDataPairLoadZMovRR | kDataPairMovRRAddRR;
+      }
+      if (std::strcmp(env, "none") == 0) {
+        return 0u;
+      }
+      return static_cast<uint32_t>(std::strtoul(env, nullptr, 0));
+    }
+    return kDataPairDefaultFusionMask;
+  }();
+  return mask;
 }
 
 void AccumulateDispatchStats(const uint64_t* counts) {
@@ -240,20 +258,27 @@ void LowerFusedPrimary(const MInstr& in, DInstr* d) {
 // kCount when the pair is not one of the fused shapes. The shape tests must
 // agree exactly with LowerOne's specialization rules — a pair is only fused
 // when both elements would have lowered to the specialized handlers the
-// fused body replicates.
+// fused body replicates. Each shape is additionally gated on
+// DataPairFusionMask(): round 2 cost ~3% of interpreter wall clock, so a
+// fused record must earn its keep on a measured sim_throughput A/B (the gate
+// cannot move PerfCounters — fused and unfused pairs count identically).
 HOp DataPairHandler(const MInstr& a, const MInstr& b) {
+  const uint32_t mask = DataPairFusionMask();
   auto is_mov_rr = [](const MInstr& in) {
     return (in.op == MOp::kMov || in.op == MOp::kMovImm64) && IsR(in.dst) && IsR(in.src);
   };
   if (is_mov_rr(b)) {
-    if ((a.op == MOp::kMov || a.op == MOp::kMovImm64) && IsR(a.dst) && IsI(a.src)) {
+    if ((mask & kDataPairMovRIMovRR) != 0 && (a.op == MOp::kMov || a.op == MOp::kMovImm64) &&
+        IsR(a.dst) && IsI(a.src)) {
       return HOp::kFusedMovRIMovRR;
     }
-    if (a.op == MOp::kLoad && IsR(a.dst) && IsM(a.src) && !a.sign_extend) {
+    if ((mask & kDataPairLoadZMovRR) != 0 && a.op == MOp::kLoad && IsR(a.dst) && IsM(a.src) &&
+        !a.sign_extend) {
       return HOp::kFusedLoadZMovRR;
     }
   }
-  if (is_mov_rr(a) && b.op == MOp::kAdd && IsR(b.dst) && IsR(b.src)) {
+  if ((mask & kDataPairMovRRAddRR) != 0 && is_mov_rr(a) && b.op == MOp::kAdd && IsR(b.dst) &&
+      IsR(b.src)) {
     return HOp::kFusedMovRRAddRR;
   }
   return HOp::kCount;
@@ -844,6 +869,26 @@ TrapKind SimMachine::ExecDecoded() {
 #define NSF_COUNT_DISPATCH() ((void)0)
 #endif
 
+// Sampled always-on profiling (continuous tiering, see SimMachine::
+// set_sampler): every sample_period_-th back-edge/call records one sample
+// into machine-local vectors. When sampling is off (period 0, the default)
+// each hook is one predictable compare against a cached member; the cold
+// RecordSample slice re-arms the countdown out of line. The hooks read only
+// sampling-local state — PerfCounters are bit-identical with sampling on,
+// off, or the sink absent.
+#define NSF_SAMPLE_CALL()                                          \
+  do {                                                             \
+    if (sample_period_ != 0 && --sample_tick_ == 0) {              \
+      RecordSample(cur_func_, /*backedge=*/false);                 \
+    }                                                              \
+  } while (0)
+#define NSF_SAMPLE_BACKEDGE(tgt)                                   \
+  do {                                                             \
+    if (sample_period_ != 0 && (tgt) <= dpc && --sample_tick_ == 0) { \
+      RecordSample(cur_func_, /*backedge=*/true);                  \
+    }                                                              \
+  } while (0)
+
 #if NSF_COMPUTED_GOTO
   static const void* const kLabels[] = {
 #define NSF_H(name) &&L_##name,
@@ -899,6 +944,7 @@ nsf_dispatch:
     counters_.micro_cycles += cost_.branch + cost_.branch_taken_extra;
     counters_.branches_retired++;
     counters_.taken_branches++;
+    NSF_SAMPLE_BACKEDGE(d->target);
     NSF_NEXT(d->target);
   }
 
@@ -909,6 +955,7 @@ nsf_dispatch:
     if (EvalCond(static_cast<Cond>(d->cond))) {
       counters_.taken_branches++;
       counters_.micro_cycles += cost_.branch_taken_extra;
+      NSF_SAMPLE_BACKEDGE(d->target);
       NSF_NEXT(d->target);
     }
     NSF_NEXT(dpc + 1);
@@ -933,6 +980,7 @@ nsf_dispatch:
     cur_func_ = d->target;
     dfunc = &dp.funcs[cur_func_];
     code = dfunc->code.data();
+    NSF_SAMPLE_CALL();
     NSF_NEXT(0);
   }
 
@@ -960,6 +1008,7 @@ nsf_dispatch:
     cur_func_ = static_cast<uint32_t>(target);
     dfunc = &dp.funcs[cur_func_];
     code = dfunc->code.data();
+    NSF_SAMPLE_CALL();
     NSF_NEXT(0);
   }
 
@@ -1045,6 +1094,7 @@ nsf_dispatch:
   if (EvalCond(static_cast<Cond>(d->cond))) {                       \
     counters_.taken_branches++;                                     \
     counters_.micro_cycles += cost_.branch_taken_extra;             \
+    NSF_SAMPLE_BACKEDGE(d->target);                                 \
     NSF_NEXT(d->target);                                            \
   }                                                                 \
   NSF_NEXT(dpc + 1)
@@ -1643,6 +1693,8 @@ nsf_dispatch:
 #undef NSF_NEXT
 #undef NSF_PROLOGUE
 #undef NSF_COUNT_DISPATCH
+#undef NSF_SAMPLE_CALL
+#undef NSF_SAMPLE_BACKEDGE
 }
 
 }  // namespace nsf

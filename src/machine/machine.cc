@@ -7,6 +7,7 @@
 
 #include "src/machine/bits.h"
 #include "src/machine/decode.h"
+#include "src/profile/sampled.h"
 #include "src/support/str.h"
 #include "src/telemetry/trace.h"
 
@@ -102,7 +103,28 @@ SimMachine::~SimMachine() {
   AccumulateDispatchStats(dispatch_retires_);
   AccumulateDispatchPairs(dispatch_pairs_);
 #endif
+  if (sample_sink_ != nullptr && !sample_entries_.empty()) {
+    sample_sink_->Fold(sample_entries_.data(), sample_backedges_.data(),
+                       static_cast<uint32_t>(sample_entries_.size()));
+  }
   ReleaseBuffers();
+}
+
+void SimMachine::set_sampler(SampledProfile* sink, uint32_t period) {
+  sample_sink_ = sink;
+  sample_period_ = sink == nullptr ? 0 : period;
+  sample_tick_ = sample_period_;
+  if (sample_period_ != 0) {
+    sample_entries_.assign(program_->funcs.size(), 0);
+    sample_backedges_.assign(program_->funcs.size(), 0);
+  }
+}
+
+void SimMachine::RecordSample(uint32_t func, bool backedge) {
+  sample_tick_ = sample_period_;
+  if (func < sample_entries_.size()) {
+    (backedge ? sample_backedges_ : sample_entries_)[func]++;
+  }
 }
 
 void SimMachine::ReleaseBuffers() {

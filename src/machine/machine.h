@@ -35,6 +35,7 @@ namespace nsf {
 
 struct DecodedProgram;
 struct DInstr;
+class SampledProfile;
 
 inline constexpr uint64_t kStackBase = 0x00100000;
 inline constexpr uint64_t kStackSize = 8 * 1024 * 1024;
@@ -212,6 +213,16 @@ class SimMachine {
   // Execution budget in retired instructions (0 = default 200G safety cap).
   void set_fuel(uint64_t fuel) { fuel_ = fuel; }
 
+  // Sampled always-on profiling (continuous tiering): every `period`-th
+  // back-edge/call in the predecoded interpreter records one sample into
+  // machine-local count vectors, folded into `sink` on destruction. period
+  // == 0 (the default) disables sampling entirely — the hot path then pays
+  // one predictable compare per back-edge/call and PerfCounters are
+  // untouched either way. Deterministic: same program + same period =>
+  // identical counts.
+  void set_sampler(SampledProfile* sink, uint32_t period);
+  uint32_t sample_period() const { return sample_period_; }
+
   // Wall-clock seconds implied by the cost model's clock.
   double SecondsFromCycles(uint64_t cycles) const {
     return static_cast<double>(cycles) / (static_cast<double>(cost_.clock_ghz) * 1e8);
@@ -385,6 +396,19 @@ class SimMachine {
   uint64_t fuel_ = 0;
   TrapKind pending_trap_ = TrapKind::kNone;
   std::string trap_msg_;
+
+  // Sampling state (see set_sampler). The countdown and per-function count
+  // vectors are machine-local plain integers — the decoded dispatch loop
+  // never touches shared state; the destructor folds into sample_sink_'s
+  // atomics (the dispatch-stats pattern).
+  SampledProfile* sample_sink_ = nullptr;
+  uint32_t sample_period_ = 0;
+  uint32_t sample_tick_ = 0;
+  std::vector<uint64_t> sample_entries_;    // per machine function: call samples
+  std::vector<uint64_t> sample_backedges_;  // per machine function: back-edge samples
+  // Out-of-line cold slice of the sampling hook: re-arms the countdown and
+  // bumps the local count. Called once every `sample_period_` events.
+  void RecordSample(uint32_t func, bool backedge);
 
 #ifdef NSF_DISPATCH_STATS
   // Per-handler retire counts, indexed by HOp (decode.h). 128 mirrors

@@ -1,0 +1,155 @@
+// Sampled always-on profiling in the predecoded interpreter
+// (src/profile/sampled.h + the NSF_SAMPLE_* hooks in src/machine/decode.cc):
+// determinism (same period => bit-identical sample counts), the PerfCounters
+// invariant (sampling compiled in, on or off, never changes a single
+// counter), the period-0 off switch, and the ToProfile scaling contract.
+#include "src/profile/sampled.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/builder/builder.h"
+#include "src/engine/engine.h"
+
+namespace nsf {
+namespace {
+
+[[maybe_unused]] const bool kEnvScrubbed = [] {
+  unsetenv("NSF_CACHE_DIR");
+  unsetenv("NSF_CACHE_MAX_BYTES");
+  return true;
+}();
+
+// sum_squares(n): one hot self-loop => back-edge samples; called once per
+// run => entry samples.
+Module SumSquaresModule() {
+  ModuleBuilder mb("sum_squares");
+  auto& f = mb.AddFunction("sum_squares", {ValType::kI32}, {ValType::kI32});
+  uint32_t acc = f.AddLocal(ValType::kI32);
+  uint32_t i = f.AddLocal(ValType::kI32);
+  f.I32Const(0).LocalSet(acc);
+  f.ForI32Dyn(i, 1, 0, 1, [&] {
+    f.LocalGet(acc).LocalGet(i).LocalGet(i).I32Mul().I32Add().LocalSet(acc);
+  });
+  f.LocalGet(acc);
+  return mb.Build();
+}
+
+engine::EngineConfig SamplingConfig(uint32_t period) {
+  engine::EngineConfig config;
+  config.cache_dir = "";
+  config.sample_period = period;
+  return config;
+}
+
+// Runs sum_squares(n) on a fresh engine with the given sampling period and
+// returns (outcome, the module's sample sink or null).
+struct RunWithSampling {
+  engine::RunOutcome out;
+  std::shared_ptr<SampledProfile> sampler;
+};
+
+RunWithSampling RunOnce(uint32_t period, uint64_t n, int reps = 1) {
+  engine::Engine eng(SamplingConfig(period));
+  engine::CompiledModuleRef code = eng.Compile(SumSquaresModule(), CodegenOptions::ChromeV8());
+  EXPECT_TRUE(code->ok) << code->error;
+  engine::Session session(&eng);
+  engine::InstanceOptions opts;
+  opts.entry = "sum_squares";
+  std::string error;
+  auto inst = session.Instantiate(code, opts, &error);
+  EXPECT_NE(inst, nullptr) << error;
+  RunWithSampling r;
+  for (int i = 0; i < reps; i++) {
+    r.out = inst->RunExport("sum_squares", {n});
+    EXPECT_TRUE(r.out.ok) << r.out.error;
+  }
+  // The machine folds its local sample buffers into the sink on teardown —
+  // which happens inside RunExport (one fresh machine per run), so the sink
+  // is already complete here.
+  r.sampler = eng.SamplerFor(code);
+  return r;
+}
+
+TEST(SampledProfile, PeriodZeroDisablesSamplingEntirely) {
+  RunWithSampling r = RunOnce(/*period=*/0, /*n=*/5000);
+  EXPECT_EQ(r.sampler, nullptr);  // no sink is even created
+}
+
+TEST(SampledProfile, SamplesAccumulateWhenEnabled) {
+  RunWithSampling r = RunOnce(/*period=*/64, /*n=*/50000);
+  ASSERT_NE(r.sampler, nullptr);
+  // 50000 back-edges at period 64 => hundreds of samples, all attributed to
+  // function 0 (the only one).
+  EXPECT_GT(r.sampler->total_samples(), 100u);
+  EXPECT_GT(r.sampler->backedge_samples(0), 0u);
+}
+
+TEST(SampledProfile, SameWorkloadSamePeriodIsDeterministic) {
+  RunWithSampling a = RunOnce(/*period=*/64, /*n=*/50000);
+  RunWithSampling b = RunOnce(/*period=*/64, /*n=*/50000);
+  ASSERT_NE(a.sampler, nullptr);
+  ASSERT_NE(b.sampler, nullptr);
+  // The countdown is deterministic in the instruction stream, so two
+  // identical runs sample the identical set of events.
+  EXPECT_EQ(a.sampler->total_samples(), b.sampler->total_samples());
+  EXPECT_EQ(a.sampler->entry_samples(0), b.sampler->entry_samples(0));
+  EXPECT_EQ(a.sampler->backedge_samples(0), b.sampler->backedge_samples(0));
+}
+
+TEST(SampledProfile, CountersBitIdenticalWithSamplingOnAndOff) {
+  // The hard invariant: sampling must be invisible to the simulated
+  // machine's observable state. Every PerfCounters field, not a subset.
+  RunWithSampling off = RunOnce(/*period=*/0, /*n=*/20000);
+  RunWithSampling on = RunOnce(/*period=*/8, /*n=*/20000);  // aggressive period
+  EXPECT_EQ(off.out.exit_code, on.out.exit_code);
+  EXPECT_EQ(off.out.counters.instructions_retired, on.out.counters.instructions_retired);
+  EXPECT_EQ(off.out.counters.cycles(), on.out.counters.cycles());
+  EXPECT_TRUE(off.out.counters == on.out.counters);  // every field, defaulted ==
+}
+
+TEST(SampledProfile, RepeatedRunsKeepFolding) {
+  RunWithSampling once = RunOnce(/*period=*/64, /*n=*/50000, /*reps=*/1);
+  RunWithSampling thrice = RunOnce(/*period=*/64, /*n=*/50000, /*reps=*/3);
+  ASSERT_NE(once.sampler, nullptr);
+  ASSERT_NE(thrice.sampler, nullptr);
+  // Each run's machine folds on teardown; three identical runs => exactly
+  // three times the samples (determinism again, across machine lifetimes).
+  EXPECT_EQ(thrice.sampler->total_samples(), 3 * once.sampler->total_samples());
+}
+
+TEST(SampledProfile, ToProfileScalesByPeriodIntoJointIndexSpace) {
+  SampledProfile sp(/*num_funcs=*/2, /*period=*/16);
+  uint64_t entries[2] = {3, 0};
+  uint64_t backedges[2] = {5, 7};
+  sp.Fold(entries, backedges, 2);
+  EXPECT_EQ(sp.total_samples(), 15u);
+
+  Profile p = sp.ToProfile(/*num_imported=*/4);
+  ASSERT_EQ(p.num_funcs(), 6u);
+  // Machine function f lands at joint index num_imported + f, scaled back to
+  // estimated event counts by the period.
+  EXPECT_EQ(p.func(4).entry_count, 3u * 16u);
+  EXPECT_EQ(p.func(4).instrs_retired, (3u + 5u) * 16u);
+  EXPECT_EQ(p.func(5).entry_count, 0u);
+  EXPECT_EQ(p.func(5).instrs_retired, 7u * 16u);
+  // Imported slots stay empty.
+  EXPECT_EQ(p.func(0).entry_count, 0u);
+}
+
+TEST(SampledProfile, ResetClearsCounts) {
+  SampledProfile sp(/*num_funcs=*/1, /*period=*/4);
+  uint64_t entries[1] = {2};
+  uint64_t backedges[1] = {9};
+  sp.Fold(entries, backedges, 1);
+  EXPECT_EQ(sp.total_samples(), 11u);
+  sp.Reset();
+  EXPECT_EQ(sp.total_samples(), 0u);
+  EXPECT_EQ(sp.entry_samples(0), 0u);
+  EXPECT_EQ(sp.backedge_samples(0), 0u);
+}
+
+}  // namespace
+}  // namespace nsf
